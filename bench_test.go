@@ -1,0 +1,278 @@
+// Package xamdb's root benchmark suite: one testing.B benchmark per table /
+// figure of the thesis's evaluation, driving the same harness as
+// cmd/xambench (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record).
+package xamdb_test
+
+import (
+	"testing"
+
+	"xamdb/internal/bench"
+	"xamdb/internal/containment"
+	"xamdb/internal/datagen"
+	"xamdb/internal/patgen"
+	"xamdb/internal/rewrite"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+	"xamdb/internal/xquery"
+)
+
+// E1 / Figure 4.13 — summary construction over every dataset.
+func BenchmarkSummaryBuild(b *testing.B) {
+	xmark := datagen.XMark(5, 20, 15)
+	dblp := datagen.DBLP(150)
+	b.Run("XMark", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			summary.Build(xmark)
+		}
+	})
+	b.Run("DBLP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			summary.Build(dblp)
+		}
+	})
+}
+
+// E2 / Figure 4.14 (top) — self-containment of the 20 XMark query patterns.
+func BenchmarkContainmentXMarkQueries(b *testing.B) {
+	d := bench.XMarkDataset()
+	var pats []*xam.Pattern
+	for _, src := range bench.XMarkQueryPatternSources() {
+		pats = append(pats, xam.MustParse(src))
+	}
+	// Query 7's canonical model is two orders of magnitude larger; bench it
+	// apart so the common case is visible.
+	b.Run("typical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for qi, p := range pats {
+				if qi == 6 {
+					continue
+				}
+				if ok, err := containment.Contained(p, p, d.Summary); err != nil || !ok {
+					b.Fatal(qi, ok, err)
+				}
+			}
+		}
+	})
+	b.Run("query7-outlier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := containment.Contained(pats[6], pats[6], d.Summary); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+}
+
+// E3 / Figure 4.14 (bottom) — synthetic pattern containment over the XMark
+// summary, by pattern size.
+func BenchmarkContainmentSyntheticXMark(b *testing.B) {
+	benchSynthetic(b, bench.XMarkDataset())
+}
+
+// E4 / Figure 4.15 — the same over the DBLP summary (expected several times
+// faster than XMark).
+func BenchmarkContainmentSyntheticDBLP(b *testing.B) {
+	benchSynthetic(b, bench.DBLPDataset())
+}
+
+func benchSynthetic(b *testing.B, d bench.Dataset) {
+	for _, n := range []int{3, 7, 13} {
+		pats := boundedPatterns(d, patgen.Config{Nodes: n, Returns: 1, POpt: 0.5}, 10, 1)
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pats[i%len(pats)]
+				q := pats[(i+1)%len(pats)]
+				if _, err := containment.Contained(p, q, d.Summary); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// boundedPatterns mirrors the harness's oversized-model filter: patterns
+// whose canonical models blow toward the |S|^|p| worst case would measure
+// the pathological corner instead of the figures' realistic workload.
+func boundedPatterns(d bench.Dataset, cfg patgen.Config, count int, seed int64) []*xam.Pattern {
+	raw := patgen.GenerateSet(d.Summary, cfg, count*3, seed)
+	out := make([]*xam.Pattern, 0, count)
+	for _, p := range raw {
+		if len(out) == count {
+			break
+		}
+		if _, truncated := containment.CanonicalModelBounded(p, d.Summary, 600); truncated {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		out = raw[:1]
+	}
+	return out
+}
+
+// E5 / §4.6 — optional-edge ablation: containment cost at P(opt) 0 / 0.5 / 1.
+func BenchmarkContainmentOptionalAblation(b *testing.B) {
+	d := bench.XMarkDataset()
+	for _, pOpt := range []float64{0, 0.5, 1.0} {
+		pats := boundedPatterns(d, patgen.Config{Nodes: 7, Returns: 1, POpt: pOpt}, 10, 2)
+		b.Run("popt="+ftoa(pOpt), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pats[i%len(pats)]
+				q := pats[(i+1)%len(pats)]
+				if _, err := containment.Contained(p, q, d.Summary); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E6 / §5.6 — rewriting time as the view set grows.
+func BenchmarkRewriteScalingViews(b *testing.B) {
+	d := bench.XMarkDataset()
+	for _, vc := range []int{5, 20, 80} {
+		b.Run("views="+itoa(vc), func(b *testing.B) {
+			b.StopTimer()
+			q := patgen.GenerateSet(d.Summary, patgen.Config{Nodes: 5, Returns: 1}, 1, 77)[0]
+			views := benchViews(d, vc)
+			b.StartTimer()
+			for i := 0; i < b.N; i++ {
+				rw := rewrite.NewRewriter(d.Summary, views, rewrite.Options{MaxPlans: 4})
+				if _, err := rw.Rewrite(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchViews(d bench.Dataset, vc int) []*rewrite.View {
+	pats := patgen.GenerateSet(d.Summary, patgen.Config{Nodes: 3, Returns: 2, PPred: -1, POpt: -1}, vc, 5)
+	views := make([]*rewrite.View, len(pats))
+	for i, p := range pats {
+		for _, n := range p.ReturnNodes() {
+			n.StoreVal = true
+		}
+		views[i] = &rewrite.View{Name: "v" + itoa(i), Pattern: p}
+	}
+	return views
+}
+
+// E7 / Chapter 2 — the QEP comparisons across storage schemes.
+func BenchmarkStorageModelQEP(b *testing.B) {
+	b.Run("all-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.StorageQEPs(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E8 / Chapter 3 — pattern extraction from nested XQuery.
+func BenchmarkPatternExtraction(b *testing.B) {
+	q := xquery.MustParse(`for $x in doc("x.xml")//site/*, $y in doc("x.xml")//person return <res1>{$x//keyword,
+	   <res2>{$y//emailaddress,
+	     for $z in $y//address return <res3>{$z//city}</res3>}</res2>}</res1>`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xquery.Extract(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate microbenchmarks: parsing and XAM evaluation.
+func BenchmarkParseXMark(b *testing.B) {
+	src := datagen.XMark(3, 10, 8).Serialize()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseDoc(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXAMEval(b *testing.B) {
+	doc := datagen.XMark(3, 10, 8)
+	p := xam.MustParse(`// item{id s}(/ name{val}, /(nj) description(// listitem{id s}))`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Eval(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func parseDoc(src string) (*xmltree.Document, error) {
+	return xmltree.Parse("bench.xml", src)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(f float64) string {
+	switch f {
+	case 0:
+		return "0.0"
+	case 0.5:
+		return "0.5"
+	case 1.0:
+		return "1.0"
+	}
+	return "?"
+}
+
+// Execution-layer ablation (§1.2.3): StackTree physical joins vs naive
+// materialized nested-loops on the same plan.
+func BenchmarkExecutionLogicalVsPhysical(b *testing.B) {
+	rows, err := bench.ExecutionAblation([]int{10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = rows
+	doc := datagen.XMark(10, 40, 30)
+	s := summary.Build(doc)
+	views := []*rewrite.View{
+		{Name: "items", Pattern: xam.MustParse(`// item{id s}`)},
+		{Name: "keywords", Pattern: xam.MustParse(`// keyword{id s, val}`)},
+	}
+	rw := rewrite.NewRewriter(s, views, rewrite.Options{MaxPlans: 1})
+	env, err := rw.Materialize(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans, err := rw.Rewrite(xam.MustParse(`// item{id s}(// keyword{id s, val})`))
+	if err != nil || len(plans) == 0 {
+		b.Fatal("no plan", err)
+	}
+	plan := plans[0].Plan
+	b.Run("logical-nested-loops", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Execute(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("physical-stacktree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rewrite.ExecutePhysical(plan, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

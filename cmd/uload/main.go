@@ -1,0 +1,201 @@
+// Command uload is the interactive face of the prototype: it loads XML
+// documents (from files or the built-in synthetic datasets), prints their
+// path summaries, registers XAM-described views and storage schemes, and
+// plans/executes XQuery queries, reporting which access paths were chosen.
+//
+// Examples:
+//
+//	uload -dataset xmark -summary
+//	uload -file bib.xml -query 'doc("bib.xml")//book/title'
+//	uload -dataset dblp -store tag -explain \
+//	    -query 'for $x in doc("dblp.xml")//article where $x/year = "1999" return <r>{$x/title}</r>'
+//	uload -file bib.xml -view 'v1=// book{id s}(/ title{id s, val})' -query '...'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xamdb/internal/datagen"
+	"xamdb/internal/engine"
+	"xamdb/internal/storage"
+	"xamdb/internal/xmltree"
+)
+
+type viewFlags []string
+
+func (v *viewFlags) String() string { return strings.Join(*v, ";") }
+
+func (v *viewFlags) Set(s string) error {
+	*v = append(*v, s)
+	return nil
+}
+
+func main() {
+	var (
+		file       = flag.String("file", "", "XML file to load")
+		db         = flag.String("db", "", "load a saved catalog instead of -file/-dataset")
+		save       = flag.String("save", "", "save the catalog to this path before exiting")
+		repl       = flag.Bool("repl", false, "read queries interactively from stdin")
+		dataset    = flag.String("dataset", "", "built-in dataset: xmark, dblp, shakespeare, nasa, swissprot")
+		scale      = flag.Int("scale", 5, "dataset scale factor")
+		query      = flag.String("query", "", "XQuery to run")
+		explain    = flag.Bool("explain", false, "plan only, do not execute")
+		printSum   = flag.Bool("summary", false, "print the path summary")
+		store      = flag.String("store", "", "register a storage scheme: tag, path, node, edge, hybrid")
+		noFallback = flag.Bool("no-fallback", false, "fail when no rewriting exists (pure physical independence mode)")
+	)
+	var views viewFlags
+	flag.Var(&views, "view", "register a view as name=XAM (repeatable)")
+	flag.Parse()
+
+	var e *engine.Engine
+	if *db != "" {
+		var err error
+		e, err = engine.LoadFile(*db)
+		fatal(err)
+		fmt.Printf("loaded catalog %s\n", *db)
+	} else {
+		e = engine.New()
+	}
+	e.FallbackToBase = !*noFallback
+
+	var doc *xmltree.Document
+	switch {
+	case *db != "":
+		// catalog already loaded
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		fatal(err)
+		doc, err = xmltree.Parse(*file, string(data))
+		fatal(err)
+	case *dataset != "":
+		switch *dataset {
+		case "xmark":
+			doc = datagen.XMark(*scale, *scale*4, *scale*3)
+		case "dblp":
+			doc = datagen.DBLP(*scale * 20)
+		case "shakespeare":
+			doc = datagen.Shakespeare(*scale, *scale)
+		case "nasa":
+			doc = datagen.Nasa(*scale * 10)
+		case "swissprot":
+			doc = datagen.SwissProt(*scale * 10)
+		default:
+			fatal(fmt.Errorf("unknown dataset %q", *dataset))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "uload: need -file, -dataset or -db; see -help")
+		os.Exit(2)
+	}
+	if doc != nil {
+		e.AddDocument(doc)
+		fmt.Printf("loaded %s: %d nodes, summary %d paths\n", doc.Name, doc.Size(), e.Summary(doc.Name).Size())
+	}
+
+	if *printSum && doc != nil {
+		fmt.Print(e.Summary(doc.Name))
+	}
+
+	if *store != "" && doc != nil {
+		var st *storage.Store
+		var err error
+		switch *store {
+		case "tag":
+			st, err = storage.TagPartitioned(doc)
+		case "path":
+			st, err = storage.PathPartitioned(doc, e.Summary(doc.Name))
+		case "node":
+			st, err = storage.NodeStore(doc)
+		case "edge":
+			st, err = storage.EdgeStore(doc)
+		case "hybrid":
+			st, err = storage.Hybrid(doc, e.Summary(doc.Name))
+		default:
+			err = fmt.Errorf("unknown store %q", *store)
+		}
+		fatal(err)
+		fatal(e.RegisterStore(doc.Name, st))
+		fmt.Print(st)
+	}
+
+	for _, v := range views {
+		name, pat, ok := strings.Cut(v, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -view %q, want name=XAM", v))
+		}
+		fatal(e.RegisterView(doc.Name, strings.TrimSpace(name), pat))
+		fmt.Printf("registered view %s: %s\n", name, pat)
+	}
+
+	if *save != "" {
+		fatal(e.SaveFile(*save))
+		fmt.Printf("saved catalog to %s\n", *save)
+	}
+
+	if *repl {
+		runREPL(e, *explain)
+		return
+	}
+
+	if *query == "" {
+		return
+	}
+	if *explain {
+		rep, err := e.Explain(*query)
+		fatal(err)
+		fmt.Print(rep)
+		return
+	}
+	out, rep, err := e.Query(*query)
+	fatal(err)
+	fmt.Print(rep)
+	fmt.Println("result:")
+	fmt.Println(out)
+}
+
+// runREPL reads one query per line from stdin, planning and executing each.
+func runREPL(e *engine.Engine, explainOnly bool) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println(`enter XQuery per line ("quit" to exit):`)
+	for {
+		fmt.Print("uload> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+			continue
+		case "quit", "exit", "\\q":
+			return
+		}
+		if explainOnly {
+			rep, err := e.Explain(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(rep)
+			continue
+		}
+		out, rep, err := e.Query(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(rep)
+		fmt.Println(out)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uload:", err)
+		os.Exit(1)
+	}
+}

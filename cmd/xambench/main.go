@@ -1,0 +1,163 @@
+// Command xambench regenerates the rows of every table and figure in the
+// thesis's evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md
+// for paper-vs-measured comparisons).
+//
+//	xambench -exp summaries          # Figure 4.13
+//	xambench -exp xmark-self         # Figure 4.14 (top)
+//	xambench -exp synthetic -summary xmark   # Figure 4.14 (bottom)
+//	xambench -exp synthetic -summary dblp    # Figure 4.15
+//	xambench -exp optional-ablation  # §4.6 optional-edge ablation
+//	xambench -exp rewrite            # §5.6 rewriting scaling
+//	xambench -exp qep                # Chapter 2 QEP comparisons
+//	xambench -exp execution          # §1.2.3 StackTree vs nested loops
+//	xambench -exp minimize           # §4.5 minimization by S-contraction
+//	xambench -exp extraction         # Chapter 3 pattern extraction
+//	xambench -exp all                # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xamdb/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, all")
+	sumName := flag.String("summary", "xmark", "summary for synthetic containment: xmark or dblp")
+	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "xambench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("summaries", func() error {
+		fmt.Printf("%-12s %9s %7s %8s %8s %6s\n", "dataset", "N", "|S|", "strong", "1-to-1", "depth")
+		for _, r := range bench.SummaryStats() {
+			fmt.Printf("%-12s %9d %7d %8d %8d %6d\n", r.Name, r.Nodes, r.Paths, r.StrongEdge, r.OneToOne, r.MaxDepth)
+		}
+		return nil
+	})
+
+	run("xmark-self", func() error {
+		d := bench.XMarkDataset()
+		fmt.Printf("XMark summary: %d paths\n", d.Summary.Size())
+		rows, err := bench.XMarkSelfContainment(d.Summary)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5s %6s %8s %12s\n", "query", "nodes", "|mod_S|", "time")
+		for _, r := range rows {
+			fmt.Printf("Q%-4d %6d %8d %12s\n", r.Query, r.Nodes, r.ModelSize, r.Time)
+		}
+		return nil
+	})
+
+	run("synthetic", func() error {
+		var d bench.Dataset
+		if *sumName == "dblp" {
+			d = bench.DBLPDataset()
+		} else {
+			d = bench.XMarkDataset()
+		}
+		fmt.Printf("summary: %s (%d paths), %d patterns/config, P(opt)=0.5\n", d.Name, d.Summary.Size(), *perSet)
+		rows, err := bench.SyntheticContainment(d.Summary,
+			[]int{3, 5, 7, 9, 11, 13}, []int{1, 2, 3}, *perSet, 0.5, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5s %3s %6s %5s %12s %12s %9s\n", "nodes", "r", "pairs", "pos", "pos-avg", "neg-avg", "avg|mod|")
+		for _, r := range rows {
+			fmt.Printf("%5d %3d %6d %5d %12s %12s %9.1f\n",
+				r.Nodes, r.Returns, r.Pairs, r.Positive, r.PosAvg, r.NegAvg, r.ModelAvg)
+		}
+		return nil
+	})
+
+	run("optional-ablation", func() error {
+		d := bench.XMarkDataset()
+		rows, err := bench.OptionalAblation(d.Summary, 7, *perSet, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8s %12s %6s\n", "P(opt)", "avg time", "pairs")
+		base := rows[0].AvgTime
+		for _, r := range rows {
+			ratio := float64(r.AvgTime) / float64(base)
+			fmt.Printf("%8.1f %12s %6d  (%.2fx conjunctive)\n", r.POptional, r.AvgTime, r.Pairs, ratio)
+		}
+		return nil
+	})
+
+	run("rewrite", func() error {
+		d := bench.DBLPDataset()
+		rows, err := bench.RewriteScaling(d, []int{5, 10, 20, 40, 80}, []int{3, 5, 7}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6s %7s %6s %12s\n", "views", "q-size", "plans", "time")
+		for _, r := range rows {
+			fmt.Printf("%6d %7d %6d %12s\n", r.Views, r.QueryNodes, r.PlansFound, r.Time)
+		}
+		return nil
+	})
+
+	run("qep", func() error {
+		rows, err := bench.StorageQEPs()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-15s %8d tuples %9d bytes %12s  %s\n", r.Experiment, r.Tuples, r.Bytes, r.Time, r.Variant)
+		}
+		return nil
+	})
+
+	run("minimize", func() error {
+		d := bench.DBLPDataset()
+		rows, err := bench.MinimizationStudy(d.Summary, []int{3, 5, 7}, *perSet, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6s %9s %11s %10s %7s %12s\n", "nodes", "patterns", "avg-before", "avg-after", "shrunk", "avg-time")
+		for _, r := range rows {
+			fmt.Printf("%6d %9d %11.2f %10.2f %7d %12s\n", r.Nodes, r.Patterns, r.AvgBefore, r.AvgAfter, r.Shrunk, r.AvgTime)
+		}
+		return nil
+	})
+
+	run("execution", func() error {
+		rows, err := bench.ExecutionAblation([]int{2, 5, 10, 20})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%7s %12s %12s %8s\n", "items", "logical", "physical", "tuples")
+		for _, r := range rows {
+			fmt.Printf("%7d %12s %12s %8d\n", r.Items, r.Logical, r.Physical, r.Tuples)
+		}
+		return nil
+	})
+
+	run("extraction", func() error {
+		rows, err := bench.ExtractionStudy()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("patterns=%d nodes=%d xpath-baseline=%d time=%s\n  %s\n",
+				r.Patterns, r.PatternNodes, r.XPathViews, r.Time, r.Query)
+		}
+		return nil
+	})
+}

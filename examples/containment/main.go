@@ -1,0 +1,69 @@
+// Containment under summary constraints: reasoning impossible without the
+// summary becomes decidable — and pattern minimization drops redundant
+// nodes (Chapter 4 walkthrough on XMark-like data).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xamdb/internal/containment"
+	"xamdb/internal/datagen"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+)
+
+func main() {
+	doc := datagen.XMark(3, 8, 6)
+	s := summary.Build(doc)
+	st := s.Stats()
+	fmt.Printf("XMark-like document: %d nodes; summary: %d paths, %d strong edges (%d one-to-one)\n\n",
+		doc.Size(), st.Paths, st.StrongEdge, st.OneToOne)
+
+	check := func(p, q string) {
+		pp, qq := xam.MustParse(p), xam.MustParse(q)
+		ok, err := containment.Contained(pp, qq, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-55s ⊆  %-55s : %v\n", p, q, ok)
+	}
+
+	// Every listitem under an item sits inside its description subtree, so
+	// the summary proves the equivalence of short and long navigation.
+	// (Keywords would not do: they also occur inside mail texts.)
+	check(`// item(// listitem{id s})`, `// item(/ description(// listitem{id s}))`)
+	check(`// item(/ description(// listitem{id s}))`, `// item(// listitem{id s})`)
+	check(`// item(// keyword{id s})`, `// item(/ description(// keyword{id s}))`)
+
+	// A region child with a description child can only be an item.
+	check(`// regions(/ *(/ *{id s}(/(s) description)))`, `// item{id s}`)
+
+	// But not every item-shaped thing is under europe.
+	check(`// item{id s}`, `// europe(/ item{id s})`)
+
+	// Value predicates: v=3 implies v≤10, never the converse.
+	check(`// quantity{id s, val=3}`, `// quantity{id s, val<=10}`)
+	check(`// quantity{id s, val<=10}`, `// quantity{id s, val=3}`)
+
+	// Canonical model sizes (the |mod_S(p)| of Figure 4.14).
+	for _, src := range []string{
+		`// item{id s}`,
+		`// *(// keyword{id s})`,
+		`// item{id s}(/(o) mailbox(/ mail{id s}))`,
+	} {
+		model := containment.CanonicalModel(xam.MustParse(src), s)
+		fmt.Printf("\n|mod_S(%s)| = %d", src, len(model))
+	}
+
+	// Minimization by S-contraction: the parlist hop is redundant.
+	p := xam.MustParse(`// description(// parlist(// listitem(// keyword{id s})))`)
+	min, err := containment.MinimizeByContraction(p, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n\nminimizing %s (%d nodes):\n", p, p.Size())
+	for _, m := range min {
+		fmt.Printf("  minimal: %s (%d nodes)\n", m, m.Size())
+	}
+}

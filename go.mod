@@ -1,0 +1,3 @@
+module xamdb
+
+go 1.22

@@ -1,0 +1,590 @@
+package algebra
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xamdb/internal/xmltree"
+)
+
+func idv(pre, post, depth int32) Value {
+	return IDV(xmltree.NodeID{Pre: pre, Post: post, Depth: depth})
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{I(1), I(2), -1, true},
+		{I(2), F(2.0), 0, true},
+		{F(3.5), I(3), 1, true},
+		{S("a"), S("b"), -1, true},
+		{S("10"), I(9), 1, true}, // untyped numeric coercion
+		{S("abc"), I(9), 0, false},
+		{NullValue, I(1), 0, false},
+		{idv(1, 5, 1), idv(2, 2, 2), -1, true},
+		{DV(xmltree.Dewey{1, 2}), DV(xmltree.Dewey{1, 3}), -1, true},
+	}
+	for _, c := range cases {
+		cmp, ok := c.a.Compare(c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestCmpApplyStructural(t *testing.T) {
+	root := idv(1, 10, 1)
+	child := idv(2, 4, 2)
+	grandchild := idv(3, 2, 3)
+	if !Parent.Apply(root, child) {
+		t.Error("root ≺ child expected")
+	}
+	if Parent.Apply(root, grandchild) {
+		t.Error("root must not be parent of grandchild")
+	}
+	if !Ancestor.Apply(root, grandchild) {
+		t.Error("root ≺≺ grandchild expected")
+	}
+	d1, d2 := DV(xmltree.Dewey{1}), DV(xmltree.Dewey{1, 2})
+	if !Parent.Apply(d1, d2) || Ancestor.Apply(d2, d1) {
+		t.Error("dewey structural comparators wrong")
+	}
+	if Parent.Apply(S("x"), child) {
+		t.Error("non-ID operands must not satisfy structural comparators")
+	}
+}
+
+func TestCmpApplyNulls(t *testing.T) {
+	if Eq.Apply(NullValue, NullValue) {
+		t.Error("⊥=⊥ must be false")
+	}
+	if Lt.Apply(NullValue, I(5)) || Eq.Apply(I(5), NullValue) {
+		t.Error("comparisons with ⊥ must be false")
+	}
+}
+
+func rel2(t *testing.T, names []string, rows ...[]Value) *Relation {
+	t.Helper()
+	r := NewRelation(NewSchema(names...))
+	for _, row := range rows {
+		r.Add(Tuple(row))
+	}
+	return r
+}
+
+func TestSelectFlat(t *testing.T) {
+	r := rel2(t, []string{"A", "B"},
+		[]Value{I(1), S("x")},
+		[]Value{I(2), S("y")},
+		[]Value{I(3), S("x")})
+	got, err := Select(r, Pred{Path: "B", Op: Eq, Const: S("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Tuples[0][0].Int != 1 || got.Tuples[1][0].Int != 3 {
+		t.Fatalf("select result: %s", got)
+	}
+	got2, _ := Select(r, Pred{Path: "A", Op: Ge, Const: I(2)}, Pred{Path: "B", Op: Eq, Const: S("x")})
+	if got2.Len() != 1 || got2.Tuples[0][0].Int != 3 {
+		t.Fatalf("conjunctive select: %s", got2)
+	}
+}
+
+func TestSelectNestedExistential(t *testing.T) {
+	// r(A1(A11), A2): Example 1.2.2 — keep tuples where some A1.A11 = 5,
+	// reducing the nested collection.
+	inner := NewSchema("A11")
+	schema := (&Schema{}).WithNested("A1", inner)
+	schema.Attrs = append(schema.Attrs, Attr{Name: "A2"})
+	r := NewRelation(schema)
+	n1 := NewRelation(inner).Add(Tuple{I(5)}, Tuple{I(7)})
+	n2 := NewRelation(inner).Add(Tuple{I(7)})
+	r.Add(Tuple{RelV(n1), S("a")}, Tuple{RelV(n2), S("b")})
+
+	got, err := Select(r, Pred{Path: "A1.A11", Op: Eq, Const: I(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("want 1 tuple, got %s", got)
+	}
+	nested := got.Tuples[0][0].Rel
+	if nested.Len() != 1 || nested.Tuples[0][0].Int != 5 {
+		t.Fatalf("nested collection not reduced: %s", nested)
+	}
+	if got.Tuples[0][1].Str != "a" {
+		t.Fatal("wrong surviving tuple")
+	}
+	// Original relation must be untouched.
+	if n1.Len() != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestProjectAndDistinct(t *testing.T) {
+	r := rel2(t, []string{"A", "B"},
+		[]Value{I(1), S("x")},
+		[]Value{I(1), S("y")},
+		[]Value{I(1), S("x")})
+	p, err := Project(r, false, "A")
+	if err != nil || p.Len() != 3 {
+		t.Fatalf("plain projection must preserve duplicates: %v %v", p, err)
+	}
+	p0, _ := Project(r, true, "A")
+	if p0.Len() != 1 {
+		t.Fatalf("π⁰ must dedup: %s", p0)
+	}
+	d := Distinct(r)
+	if d.Len() != 2 {
+		t.Fatalf("distinct: %s", d)
+	}
+	if _, err := Project(r, false, "Z"); err == nil {
+		t.Fatal("projecting unknown attribute must error")
+	}
+}
+
+func TestProductUnionDifference(t *testing.T) {
+	r := rel2(t, []string{"A"}, []Value{I(1)}, []Value{I(2)})
+	s := rel2(t, []string{"B"}, []Value{S("x")})
+	p := Product(r, s)
+	if p.Len() != 2 || len(p.Schema.Attrs) != 2 {
+		t.Fatalf("product: %s", p)
+	}
+	u, err := Union(r, rel2(t, []string{"A"}, []Value{I(1)}))
+	if err != nil || u.Len() != 3 {
+		t.Fatalf("union must preserve duplicates: %v %v", u, err)
+	}
+	if _, err := Union(r, s); err == nil {
+		t.Fatal("union with mismatched schema must error")
+	}
+	d, err := Difference(r, rel2(t, []string{"A"}, []Value{I(2)}))
+	if err != nil || d.Len() != 1 || d.Tuples[0][0].Int != 1 {
+		t.Fatalf("difference: %v %v", d, err)
+	}
+}
+
+func TestJoinModes(t *testing.T) {
+	r := rel2(t, []string{"A", "X"},
+		[]Value{I(1), S("r1")},
+		[]Value{I(2), S("r2")},
+		[]Value{I(3), S("r3")})
+	s := rel2(t, []string{"B", "Y"},
+		[]Value{I(1), S("s1")},
+		[]Value{I(1), S("s1b")},
+		[]Value{I(2), S("s2")})
+	pred := JoinPred{Left: "A", Op: Eq, Right: "B"}
+
+	j, err := Join(r, s, pred, InnerJoin, "")
+	if err != nil || j.Len() != 3 {
+		t.Fatalf("inner join: %v %v", j, err)
+	}
+	o, _ := Join(r, s, pred, OuterJoin, "")
+	if o.Len() != 4 {
+		t.Fatalf("outer join: %s", o)
+	}
+	var padded bool
+	for _, tp := range o.Tuples {
+		if tp[0].Int == 3 && tp[2].IsNull() && tp[3].IsNull() {
+			padded = true
+		}
+	}
+	if !padded {
+		t.Fatal("outer join must pad unmatched left tuple with ⊥")
+	}
+	sj, _ := Join(r, s, pred, SemiJoin, "")
+	if sj.Len() != 2 || len(sj.Schema.Attrs) != 2 {
+		t.Fatalf("semijoin: %s", sj)
+	}
+	aj, _ := Join(r, s, pred, AntiJoin, "")
+	if aj.Len() != 1 || aj.Tuples[0][0].Int != 3 {
+		t.Fatalf("antijoin: %s", aj)
+	}
+	nj, _ := Join(r, s, pred, NestJoin, "G")
+	if nj.Len() != 2 {
+		t.Fatalf("nestjoin: %s", nj)
+	}
+	if g := nj.Tuples[0][2]; g.Kind != Rel || g.Rel.Len() != 2 {
+		t.Fatalf("nestjoin group: %s", nj)
+	}
+	no, _ := Join(r, s, pred, NestOuterJoin, "G")
+	if no.Len() != 3 {
+		t.Fatalf("nest outer join: %s", no)
+	}
+	if g := no.Tuples[2][2]; g.Kind != Rel || g.Rel.Len() != 0 {
+		t.Fatalf("nest outer join empty group: %s", no)
+	}
+}
+
+func TestStructuralJoin(t *testing.T) {
+	// book(1,8,1) has title(2,2,2) and author(3,4,2); author has a text
+	// child (4,3,3).
+	books := rel2(t, []string{"ID"}, []Value{idv(1, 8, 1)})
+	children := rel2(t, []string{"CID"},
+		[]Value{idv(2, 2, 2)},
+		[]Value{idv(3, 4, 2)},
+		[]Value{idv(4, 3, 3)})
+	pc, err := Join(books, children, JoinPred{Left: "ID", Op: Parent, Right: "CID"}, InnerJoin, "")
+	if err != nil || pc.Len() != 2 {
+		t.Fatalf("parent-child: %v %v", pc, err)
+	}
+	ad, _ := Join(books, children, JoinPred{Left: "ID", Op: Ancestor, Right: "CID"}, InnerJoin, "")
+	if ad.Len() != 3 {
+		t.Fatalf("ancestor-descendant: %s", ad)
+	}
+	nested, _ := Join(books, children, JoinPred{Left: "ID", Op: Parent, Right: "CID"}, NestJoin, "kids")
+	if nested.Len() != 1 || nested.Tuples[0][1].Rel.Len() != 2 {
+		t.Fatalf("nest structural join: %s", nested)
+	}
+}
+
+func TestMapJoinInsideNested(t *testing.T) {
+	// r(A1(A11, A12), A2) with A1.A12 of type ID, joined to s(B1, B2) on
+	// A1.A12 ≺ B1 — Example 1.2.3.
+	inner := NewSchema("A11", "A12")
+	schema := (&Schema{}).WithNested("A1", inner)
+	schema.Attrs = append(schema.Attrs, Attr{Name: "A2"})
+	r := NewRelation(schema)
+	n1 := NewRelation(inner).Add(
+		Tuple{S("x"), idv(1, 10, 1)},
+		Tuple{S("y"), idv(5, 3, 4)})
+	r.Add(Tuple{RelV(n1), S("t1")})
+	s := rel2(t, []string{"B1", "B2"},
+		[]Value{idv(2, 9, 2), S("child-of-1")},
+		[]Value{idv(7, 1, 3), S("unrelated")})
+
+	got, err := Join(r, s, JoinPred{Left: "A1.A12", Op: Parent, Right: "B1"}, NestJoin, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("map nest join: %s", got)
+	}
+	innerRel := got.Tuples[0][0].Rel
+	if innerRel.Len() != 1 { // only the matching inner tuple survives
+		t.Fatalf("inner reduced wrong: %s", innerRel)
+	}
+	g := innerRel.Tuples[0][2]
+	if g.Kind != Rel || g.Rel.Len() != 1 || g.Rel.Tuples[0][1].Str != "child-of-1" {
+		t.Fatalf("nested group wrong: %v", g)
+	}
+}
+
+func TestNestAndUnnestRoundTrip(t *testing.T) {
+	r := rel2(t, []string{"A", "B"},
+		[]Value{I(1), S("x")},
+		[]Value{I(2), S("y")})
+	n := Nest(r, "G")
+	if n.Len() != 1 || n.Tuples[0][0].Rel.Len() != 2 {
+		t.Fatalf("nest: %s", n)
+	}
+	u, err := Unnest(n, "G")
+	if err != nil || !u.EqualAsSet(r) {
+		t.Fatalf("unnest round trip: %v %v", u, err)
+	}
+	if _, err := Unnest(r, "A"); err == nil {
+		t.Fatal("unnesting atomic attribute must error")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	r := rel2(t, []string{"K", "V"},
+		[]Value{S("a"), I(1)},
+		[]Value{S("b"), I(2)},
+		[]Value{S("a"), I(3)})
+	g, err := GroupBy(r, "G", "K")
+	if err != nil || g.Len() != 2 {
+		t.Fatalf("groupby: %v %v", g, err)
+	}
+	if g.Tuples[0][0].Str != "a" || g.Tuples[0][1].Rel.Len() != 2 {
+		t.Fatalf("group a: %s", g)
+	}
+	if g.Tuples[1][1].Rel.Len() != 1 {
+		t.Fatalf("group b: %s", g)
+	}
+	if _, err := GroupBy(r, "G", "Z"); err == nil {
+		t.Fatal("groupby unknown key must error")
+	}
+}
+
+func TestSortTopLevelAndNested(t *testing.T) {
+	r := rel2(t, []string{"A", "B"},
+		[]Value{I(3), S("c")},
+		[]Value{I(1), S("a")},
+		[]Value{I(2), S("b")})
+	sorted, err := Sort(r, OrderDesc{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Tuples[0][0].Int != 1 || sorted.Tuples[2][0].Int != 3 {
+		t.Fatalf("sort: %s", sorted)
+	}
+	// Nested sort: order descriptor A2.A21 of §1.2.3.
+	inner := NewSchema("A21")
+	schema := NewSchema("A1")
+	schema.WithNested("A2", inner)
+	nr := NewRelation(schema)
+	coll := NewRelation(inner).Add(Tuple{I(5)}, Tuple{I(2)}, Tuple{I(9)})
+	nr.Add(Tuple{I(1), RelV(coll)})
+	ns, err := Sort(nr, OrderDesc{"A2.A21"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ns.Tuples[0][1].Rel
+	if got.Tuples[0][0].Int != 2 || got.Tuples[2][0].Int != 9 {
+		t.Fatalf("nested sort: %s", got)
+	}
+}
+
+func TestXMLizeTemplate(t *testing.T) {
+	// Recreate Example 1.2.4: R(A1(A11)) where A1 holds name values and A11
+	// listitem values, template <res_item>A1 <res_desc>A11</res_desc></res_item>.
+	inner := NewSchema("A11")
+	schema := (&Schema{}).WithNested("A1", inner)
+	r := NewRelation(schema)
+	coll := NewRelation(inner).Add(Tuple{S("li1")}, Tuple{S("li2")})
+	r.Add(Tuple{RelV(coll)})
+
+	templ := Elem("res_item",
+		ForEach("A1",
+			Field("A11"))) // simplified: one field per inner tuple
+	nodes, err := XMLize(r, templ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SerializeNodes(nodes)
+	if got != "<res_item>li1li2</res_item>" {
+		t.Fatalf("xmlize = %q", got)
+	}
+
+	templ2 := Elem("res_item",
+		ForEach("A1",
+			Elem("res_desc", Field("A11"))))
+	nodes2, _ := XMLize(r, templ2)
+	if got := SerializeNodes(nodes2); got != "<res_item><res_desc>li1</res_desc><res_desc>li2</res_desc></res_item>" {
+		t.Fatalf("xmlize2 = %q", got)
+	}
+}
+
+func TestXMLizeRawContent(t *testing.T) {
+	r := rel2(t, []string{"C"}, []Value{S("<b>bold</b>")})
+	nodes, err := XMLize(r, Elem("out", RawField("C")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SerializeNodes(nodes); got != "<out><b>bold</b></out>" {
+		t.Fatalf("raw xmlize = %q", got)
+	}
+	// Null fields construct the element with no content (XQuery semantics,
+	// §3.1).
+	r2 := rel2(t, []string{"C"}, []Value{NullValue})
+	nodes2, _ := XMLize(r2, Elem("out", Field("C")))
+	if got := SerializeNodes(nodes2); got != "<out/>" {
+		t.Fatalf("null field xmlize = %q", got)
+	}
+}
+
+func TestRenameSchema(t *testing.T) {
+	r := rel2(t, []string{"ID", "V"}, []Value{I(1), S("x")})
+	r2 := RenameSchema(r, "main1.")
+	if r2.Schema.Index("main1.ID") != 0 || r2.Len() != 1 {
+		t.Fatalf("rename: %s", r2.Schema)
+	}
+	// Underlying tuples shared, schema independent.
+	if r.Schema.Index("main1.ID") != -1 {
+		t.Fatal("original schema mutated")
+	}
+}
+
+func TestSchemaResolveErrors(t *testing.T) {
+	s := NewSchema("A")
+	if _, err := s.Resolve("A.B"); err == nil {
+		t.Fatal("descending past atomic attribute must error")
+	}
+	if _, err := s.Resolve("Z"); err == nil {
+		t.Fatal("unknown attribute must error")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	// Human-readable forms used in plan explanations and errors.
+	for _, c := range []struct{ got, want string }{
+		{Eq.String(), "="},
+		{Parent.String(), "≺"},
+		{Ancestor.String(), "≺≺"},
+		{InnerJoin.String(), "join"},
+		{NestOuterJoin.String(), "nestouterjoin"},
+		{Pred{Path: "A", Op: Lt, Const: I(3)}.String(), "A<3"},
+		{JoinPred{Left: "A", Op: Eq, Right: "B"}.String(), "A=B"},
+		{NullValue.String(), "⊥"},
+		{S("x").String(), `"x"`},
+		{I(7).String(), "7"},
+	} {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+	r := NewRelation(NewSchema("A")).Add(Tuple{I(1)})
+	if !strings.Contains(r.String(), "1 tuples") {
+		t.Errorf("relation string: %q", r.String())
+	}
+	if r.Schema.String() != "(A)" {
+		t.Errorf("schema string: %q", r.Schema.String())
+	}
+}
+
+func TestValueAsString(t *testing.T) {
+	inner := NewRelation(NewSchema("X")).Add(Tuple{S("a")}, Tuple{S("b")})
+	for _, c := range []struct {
+		v    Value
+		want string
+	}{
+		{NullValue, ""},
+		{S("hi"), "hi"},
+		{I(-4), "-4"},
+		{F(2.5), "2.5"},
+		{IDV(xmltree.NodeID{Pre: 1, Post: 2, Depth: 3}), "(1,2,3)"},
+		{DV(xmltree.Dewey{1, 2}), "1.2"},
+		{RelV(inner), `("a") ("b")`},
+	} {
+		if got := c.v.AsString(); got != c.want {
+			t.Errorf("AsString(%v) = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestValueEqualAcrossKinds(t *testing.T) {
+	if S("1").Equal(I(1)) {
+		t.Error("different kinds must not be Equal")
+	}
+	if !DV(xmltree.Dewey{1, 2}).Equal(DV(xmltree.Dewey{1, 2})) {
+		t.Error("dewey equality")
+	}
+	inner1 := NewRelation(NewSchema("X")).Add(Tuple{I(1)})
+	inner2 := NewRelation(NewSchema("X")).Add(Tuple{I(1)})
+	if !RelV(inner1).Equal(RelV(inner2)) {
+		t.Error("nested relation equality")
+	}
+	inner2.Add(Tuple{I(2)})
+	if RelV(inner1).Equal(RelV(inner2)) {
+		t.Error("nested relation inequality")
+	}
+}
+
+func TestRelationGet(t *testing.T) {
+	inner := NewSchema("B")
+	schema := NewSchema("A")
+	schema.WithNested("G", inner)
+	r := NewRelation(schema)
+	coll := NewRelation(inner).Add(Tuple{S("deep")})
+	r.Add(Tuple{I(1), RelV(coll)})
+	v, err := r.Get(r.Tuples[0], "A")
+	if err != nil || v.Int != 1 {
+		t.Fatalf("Get(A) = %v, %v", v, err)
+	}
+	v, err = r.Get(r.Tuples[0], "G.B")
+	if err != nil || v.Str != "deep" {
+		t.Fatalf("Get(G.B) = %v, %v", v, err)
+	}
+	if _, err := r.Get(r.Tuples[0], "Z"); err == nil {
+		t.Fatal("Get unknown must error")
+	}
+}
+
+func TestRelationEqualOrdered(t *testing.T) {
+	a := NewRelation(NewSchema("A")).Add(Tuple{I(1)}, Tuple{I(2)})
+	b := NewRelation(NewSchema("A")).Add(Tuple{I(2)}, Tuple{I(1)})
+	if a.Equal(b) {
+		t.Error("order matters for Equal")
+	}
+	if !a.EqualAsSet(b) {
+		t.Error("EqualAsSet ignores order")
+	}
+	var nilRel *Relation
+	empty := NewRelation(NewSchema("A"))
+	if !nilRel.Equal(empty) {
+		t.Error("nil vs empty must be equal")
+	}
+}
+
+func TestMapJoinErrorsOnAtomicPath(t *testing.T) {
+	r := rel2(t, []string{"A", "B"}, []Value{I(1), S("x")})
+	s := rel2(t, []string{"C"}, []Value{I(1)})
+	if _, err := Join(r, s, JoinPred{Left: "A.B", Op: Eq, Right: "C"}, InnerJoin, ""); err == nil {
+		t.Fatal("nested path through atomic attribute must error")
+	}
+}
+
+func TestSortByNestedKeyOfFirstTuple(t *testing.T) {
+	inner := NewSchema("K")
+	schema := (&Schema{}).WithNested("G", inner)
+	r := NewRelation(schema)
+	mk := func(v int64) Tuple {
+		c := NewRelation(inner).Add(Tuple{I(v)})
+		return Tuple{RelV(c)}
+	}
+	r.Add(mk(3), mk(1), mk(2))
+	sorted, err := Sort(r, OrderDesc{"G.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nested sorting happens inside tuples; top order follows first nested
+	// keys.
+	first := func(i int) int64 { return sorted.Tuples[i][0].Rel.Tuples[0][0].Int }
+	if !(first(0) <= first(1) && first(1) <= first(2)) {
+		t.Fatalf("nested-key top sort: %v %v %v", first(0), first(1), first(2))
+	}
+}
+
+// Property: semijoin ≡ π(left) over inner join results (set-wise), and
+// outer join row count = inner matches + unmatched left rows — checked on
+// random relations with testing/quick.
+func TestQuickJoinLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(name string, n int) *Relation {
+			r := NewRelation(NewSchema(name))
+			for i := 0; i < n; i++ {
+				r.Add(Tuple{I(int64(rng.Intn(6)))})
+			}
+			return r
+		}
+		l := mk("A", 1+rng.Intn(8))
+		rr := mk("B", 1+rng.Intn(8))
+		pred := JoinPred{Left: "A", Op: Eq, Right: "B"}
+		inner, err := Join(l, rr, pred, InnerJoin, "")
+		if err != nil {
+			return false
+		}
+		semi, _ := Join(l, rr, pred, SemiJoin, "")
+		anti, _ := Join(l, rr, pred, AntiJoin, "")
+		outer, _ := Join(l, rr, pred, OuterJoin, "")
+		if semi.Len()+anti.Len() != l.Len() {
+			return false
+		}
+		if outer.Len() != inner.Len()+anti.Len() {
+			return false
+		}
+		// Every semijoin tuple appears as some inner join prefix.
+		for _, t := range semi.Tuples {
+			found := false
+			for _, u := range inner.Tuples {
+				if u[0].Equal(t[0]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attr describes one attribute of a (possibly nested) schema. A collection
+// attribute has a non-nil Nested schema; atomic attributes have nil.
+type Attr struct {
+	Name   string
+	Nested *Schema
+}
+
+// Schema is an ordered list of attributes, possibly nested in alternation
+// with collections, as the data model of §1.2.2 requires.
+type Schema struct {
+	Attrs []Attr
+}
+
+// NewSchema builds a flat schema of atomic attributes.
+func NewSchema(names ...string) *Schema {
+	s := &Schema{Attrs: make([]Attr, len(names))}
+	for i, n := range names {
+		s.Attrs[i] = Attr{Name: n}
+	}
+	return s
+}
+
+// WithNested appends a collection attribute and returns the schema.
+func (s *Schema) WithNested(name string, nested *Schema) *Schema {
+	s.Attrs = append(s.Attrs, Attr{Name: name, Nested: nested})
+	return s
+}
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Resolve follows a dotted attribute path such as "A1.A11" through nested
+// schemas and returns the index path. Attribute names may themselves contain
+// dots (the XAM convention names attributes "node.Attr"), so resolution is
+// greedy: at every level the longest attribute name matching a prefix of the
+// remaining path wins.
+func (s *Schema) Resolve(path string) ([]int, error) {
+	parts := strings.Split(path, ".")
+	idx, ok := resolveParts(s, parts)
+	if !ok {
+		return nil, fmt.Errorf("algebra: no attribute %q in schema %s", path, s)
+	}
+	return idx, nil
+}
+
+func resolveParts(s *Schema, parts []string) ([]int, bool) {
+	if s == nil || len(parts) == 0 {
+		return nil, false
+	}
+	for take := len(parts); take >= 1; take-- {
+		name := strings.Join(parts[:take], ".")
+		j := s.Index(name)
+		if j < 0 {
+			continue
+		}
+		if take == len(parts) {
+			return []int{j}, true
+		}
+		rest, ok := resolveParts(s.Attrs[j].Nested, parts[take:])
+		if !ok {
+			continue
+		}
+		return append([]int{j}, rest...), true
+	}
+	return nil, false
+}
+
+// Concat returns the concatenation of two schemas (tuple concatenation ||).
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Attrs: make([]Attr, 0, len(s.Attrs)+len(o.Attrs))}
+	out.Attrs = append(out.Attrs, s.Attrs...)
+	out.Attrs = append(out.Attrs, o.Attrs...)
+	return out
+}
+
+// Equal reports structural schema equality (names and nesting).
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i].Name != o.Attrs[i].Name {
+			return false
+		}
+		a, b := s.Attrs[i].Nested, o.Attrs[i].Nested
+		if (a == nil) != (b == nil) || (a != nil && !a.Equal(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Schema) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Name)
+		if a.Nested != nil {
+			sb.WriteString(a.Nested.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Tuple is one row; values align positionally with the schema's attributes.
+type Tuple []Value
+
+// Concat returns the concatenation t || o.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	out = append(out, o...)
+	return out
+}
+
+// Clone returns a shallow copy of the tuple (values are immutable by
+// convention; nested relations are shared).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports deep tuple equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is an ordered collection of tuples over a schema. Following
+// §1.2.2 we do not eliminate duplicates unless an operator says so; whether
+// the collection is interpreted as a set, bag or list is up to the operator
+// (the physical representation is always an ordered slice).
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation builds an empty relation over the schema.
+func NewRelation(s *Schema) *Relation { return &Relation{Schema: s} }
+
+// Add appends tuples.
+func (r *Relation) Add(ts ...Tuple) *Relation {
+	r.Tuples = append(r.Tuples, ts...)
+	return r
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Equal reports ordered deep equality of two relations.
+func (r *Relation) Equal(o *Relation) bool {
+	if r == nil || o == nil {
+		return (r == nil || r.Len() == 0) && (o == nil || o.Len() == 0)
+	}
+	if len(r.Tuples) != len(o.Tuples) {
+		return false
+	}
+	for i := range r.Tuples {
+		if !r.Tuples[i].Equal(o.Tuples[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAsSet reports set equality ignoring order and duplicates.
+func (r *Relation) EqualAsSet(o *Relation) bool {
+	contains := func(rel *Relation, t Tuple) bool {
+		for _, u := range rel.Tuples {
+			if t.Equal(u) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range r.Tuples {
+		if !contains(o, t) {
+			return false
+		}
+	}
+	for _, t := range o.Tuples {
+		if !contains(r, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the value at the dotted attribute path within tuple t,
+// descending only through the *first* tuple of nested collections. It is a
+// convenience accessor for flat paths; operators use index paths directly.
+func (r *Relation) Get(t Tuple, path string) (Value, error) {
+	idx, err := r.Schema.Resolve(path)
+	if err != nil {
+		return NullValue, err
+	}
+	cur := t
+	for i, j := range idx {
+		if i == len(idx)-1 {
+			return cur[j], nil
+		}
+		v := cur[j]
+		if v.Kind != Rel || v.Rel.Len() == 0 {
+			return NullValue, nil
+		}
+		cur = v.Rel.Tuples[0]
+	}
+	return NullValue, nil
+}
+
+func (r *Relation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%d tuples]\n", r.Schema, len(r.Tuples))
+	for _, t := range r.Tuples {
+		sb.WriteString("  ")
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

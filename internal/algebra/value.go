@@ -1,0 +1,208 @@
+// Package algebra implements the paper's logical algebra for XML processing
+// (§1.2.2): a nested relational data model with order, selections,
+// projections, value and structural joins (plain, semi, outer, nest and nest
+// outer variants), the map meta-operator that applies operators inside nested
+// tuples, group-by, unnest, sorting with order descriptors, and the XML
+// construction operator.
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xamdb/internal/xmltree"
+)
+
+// Kind enumerates the kinds of attribute values.
+type Kind uint8
+
+const (
+	// Null is the ⊥ value.
+	Null Kind = iota
+	// Str is an atomic string value.
+	Str
+	// Int is an atomic integer value.
+	Int
+	// Float is an atomic floating-point value.
+	Float
+	// ID is a (pre, post, depth) structural identifier.
+	ID
+	// DeweyID is a navigational Dewey identifier.
+	DeweyID
+	// Rel is a nested collection of homogeneous tuples.
+	Rel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Str:
+		return "string"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case ID:
+		return "id"
+	case DeweyID:
+		return "dewey"
+	case Rel:
+		return "relation"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is one attribute value: an atom from A, null, or a nested collection.
+type Value struct {
+	Kind  Kind
+	Str   string
+	Int   int64
+	Float float64
+	ID    xmltree.NodeID
+	Dewey xmltree.Dewey
+	Rel   *Relation
+}
+
+// NullValue is the ⊥ constant.
+var NullValue = Value{Kind: Null}
+
+// S builds a string value.
+func S(s string) Value { return Value{Kind: Str, Str: s} }
+
+// I builds an integer value.
+func I(i int64) Value { return Value{Kind: Int, Int: i} }
+
+// F builds a float value.
+func F(f float64) Value { return Value{Kind: Float, Float: f} }
+
+// IDV builds a structural-identifier value.
+func IDV(id xmltree.NodeID) Value { return Value{Kind: ID, ID: id} }
+
+// DV builds a Dewey identifier value.
+func DV(d xmltree.Dewey) Value { return Value{Kind: DeweyID, Dewey: d} }
+
+// RelV builds a nested-collection value.
+func RelV(r *Relation) Value { return Value{Kind: Rel, Rel: r} }
+
+// IsNull reports whether v is ⊥.
+func (v Value) IsNull() bool { return v.Kind == Null }
+
+// Equal reports deep value equality. Nested relations compare as ordered
+// lists of tuples.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case Null:
+		return true
+	case Str:
+		return v.Str == o.Str
+	case Int:
+		return v.Int == o.Int
+	case Float:
+		return v.Float == o.Float
+	case ID:
+		return v.ID == o.ID
+	case DeweyID:
+		return v.Dewey.Compare(o.Dewey) == 0
+	case Rel:
+		return v.Rel.Equal(o.Rel)
+	}
+	return false
+}
+
+// Compare orders two atomic values; relations and mismatched kinds are
+// incomparable and Compare reports ok=false. Numeric kinds compare
+// numerically across Int/Float; strings compare lexicographically; a string
+// that parses as a number compares numerically with numeric operands,
+// mirroring XQuery's untyped-data comparison rules loosely.
+func (v Value) Compare(o Value) (cmp int, ok bool) {
+	if v.Kind == Null || o.Kind == Null {
+		return 0, false
+	}
+	if v.Kind == ID && o.Kind == ID {
+		switch {
+		case v.ID.Pre < o.ID.Pre:
+			return -1, true
+		case v.ID.Pre > o.ID.Pre:
+			return 1, true
+		}
+		return 0, true
+	}
+	if v.Kind == DeweyID && o.Kind == DeweyID {
+		return v.Dewey.Compare(o.Dewey), true
+	}
+	vf, vNum := v.asFloat()
+	of, oNum := o.asFloat()
+	if vNum && oNum {
+		switch {
+		case vf < of:
+			return -1, true
+		case vf > of:
+			return 1, true
+		}
+		return 0, true
+	}
+	if v.Kind == Str && o.Kind == Str {
+		return strings.Compare(v.Str, o.Str), true
+	}
+	return 0, false
+}
+
+func (v Value) asFloat() (float64, bool) {
+	switch v.Kind {
+	case Int:
+		return float64(v.Int), true
+	case Float:
+		return v.Float, true
+	case Str:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// AsString renders an atomic value as text (used by serialization and the
+// XML construction operator). Nested relations render recursively.
+func (v Value) AsString() string {
+	switch v.Kind {
+	case Null:
+		return ""
+	case Str:
+		return v.Str
+	case Int:
+		return strconv.FormatInt(v.Int, 10)
+	case Float:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case ID:
+		return v.ID.String()
+	case DeweyID:
+		return v.Dewey.String()
+	case Rel:
+		var sb strings.Builder
+		for i, t := range v.Rel.Tuples {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t.String())
+		}
+		return sb.String()
+	}
+	return ""
+}
+
+func (v Value) String() string {
+	if v.Kind == Str {
+		return strconv.Quote(v.Str)
+	}
+	if v.Kind == Null {
+		return "⊥"
+	}
+	if v.Kind == Rel {
+		return "[" + v.AsString() + "]"
+	}
+	return v.AsString()
+}

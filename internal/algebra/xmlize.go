@@ -1,0 +1,238 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/xmltree"
+)
+
+// TemplateKind distinguishes tagging-template node types.
+type TemplateKind uint8
+
+const (
+	// TElem creates a new element with the given tag around its children
+	// (the ν node-creation function of §1.2.2).
+	TElem TemplateKind = iota
+	// TField splices the atomic value found at Path. With Raw set, the value
+	// is parsed as serialized XML content (a Cont attribute) and inserted as
+	// subtrees rather than text.
+	TField
+	// TForEach descends into the collection attribute at Path and evaluates
+	// its children once per inner tuple, preserving order.
+	TForEach
+)
+
+// Template is a tagging template for the xml_templ construction operator.
+type Template struct {
+	Kind     TemplateKind
+	Tag      string // TElem
+	Path     string // TField / TForEach (relative to the current schema)
+	Raw      bool   // TField: value is serialized XML content
+	Children []*Template
+}
+
+// Elem builds an element template.
+func Elem(tag string, children ...*Template) *Template {
+	return &Template{Kind: TElem, Tag: tag, Children: children}
+}
+
+// Field builds a text-splicing template.
+func Field(path string) *Template { return &Template{Kind: TField, Path: path} }
+
+// RawField builds a content-splicing template.
+func RawField(path string) *Template { return &Template{Kind: TField, Path: path, Raw: true} }
+
+// ForEach builds a per-inner-tuple template.
+func ForEach(path string, children ...*Template) *Template {
+	return &Template{Kind: TForEach, Path: path, Children: children}
+}
+
+// frame is one lexical scope level during template instantiation: field
+// paths resolve against the innermost frame whose schema knows their first
+// component, which lets templates produced for nested query blocks reference
+// attributes of enclosing blocks (§3.3.2).
+type frame struct {
+	schema *Schema
+	tuple  Tuple
+}
+
+// XMLize implements the xml_templ operator: for every tuple of r it
+// instantiates the template, producing a list of freshly created XML nodes.
+// It runs in time linear in the constructed output (§1.2.3). An element
+// template with an empty tag splices its children without creating a node
+// (sequence concatenation).
+func XMLize(r *Relation, templ *Template) ([]*xmltree.Node, error) {
+	var out []*xmltree.Node
+	for _, t := range r.Tuples {
+		nodes, err := instantiate(templ, []frame{{r.Schema, t}})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nodes...)
+	}
+	return out, nil
+}
+
+// lookup resolves a dotted path against the frame stack, innermost first.
+func lookup(frames []frame, path string) (Value, error) {
+	for i := len(frames) - 1; i >= 0; i-- {
+		if _, err := frames[i].schema.Resolve(path); err == nil {
+			return resolveValue(frames[i].schema, frames[i].tuple, path)
+		}
+	}
+	return NullValue, fmt.Errorf("algebra: template path %q not found in any scope", path)
+}
+
+func instantiate(tp *Template, frames []frame) ([]*xmltree.Node, error) {
+	switch tp.Kind {
+	case TElem:
+		var kids []*xmltree.Node
+		for _, c := range tp.Children {
+			ks, err := instantiate(c, frames)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, ks...)
+		}
+		if tp.Tag == "" {
+			return kids, nil
+		}
+		elem := xmltree.NewElement(tp.Tag)
+		elem.Children = kids
+		return []*xmltree.Node{elem}, nil
+	case TField:
+		v, err := lookup(frames, tp.Path)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		if v.Kind == Rel {
+			// A collection field splices every member in order.
+			var out []*xmltree.Node
+			for _, it := range v.Rel.Tuples {
+				for i := range it {
+					out = append(out, fieldNodes(it[i], tp.Raw)...)
+				}
+			}
+			return out, nil
+		}
+		return fieldNodes(v, tp.Raw), nil
+	case TForEach:
+		v, err := lookup(frames, tp.Path)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		if v.Kind != Rel {
+			return nil, fmt.Errorf("algebra: foreach path %q is not a collection", tp.Path)
+		}
+		var out []*xmltree.Node
+		for _, it := range v.Rel.Tuples {
+			for _, c := range tp.Children {
+				kids, err := instantiate(c, append(frames, frame{v.Rel.Schema, it}))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, kids...)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("algebra: unknown template kind %d", tp.Kind)
+}
+
+func fieldNodes(v Value, raw bool) []*xmltree.Node {
+	if v.IsNull() {
+		return nil
+	}
+	if raw {
+		if doc, err := xmltree.Parse("field", v.AsString()); err == nil {
+			return []*xmltree.Node{doc.Root}
+		}
+	}
+	return []*xmltree.Node{xmltree.NewText(v.AsString())}
+}
+
+// resolveValue follows a dotted path to its value inside t; if the path
+// traverses a collection it returns the collection restructured so callers
+// can iterate (only single-step traversal deep paths are needed by the
+// translations in §3).
+func resolveValue(schema *Schema, t Tuple, path string) (Value, error) {
+	idx, err := schema.Resolve(path)
+	if err != nil {
+		return NullValue, err
+	}
+	cur := t
+	curSchema := schema
+	for i, j := range idx {
+		if i == len(idx)-1 {
+			return cur[j], nil
+		}
+		v := cur[j]
+		if v.Kind != Rel {
+			return NullValue, nil
+		}
+		if v.Rel.Len() == 0 {
+			return NullValue, nil
+		}
+		cur = v.Rel.Tuples[0]
+		curSchema = curSchema.Attrs[j].Nested
+	}
+	_ = curSchema
+	return NullValue, nil
+}
+
+// SerializeNodes renders a node list to a string; convenience for tests and
+// for producing serialized query answers.
+func SerializeNodes(nodes []*xmltree.Node) string {
+	var sb []byte
+	for _, n := range nodes {
+		d := xmltree.NewDocument("out", n)
+		sb = append(sb, d.Serialize()...)
+	}
+	return string(sb)
+}
+
+// String renders the template structure for plan explanations.
+func (tp *Template) String() string {
+	var sb strings.Builder
+	writeTemplate(&sb, tp)
+	return sb.String()
+}
+
+func writeTemplate(sb *strings.Builder, tp *Template) {
+	switch tp.Kind {
+	case TElem:
+		if tp.Tag == "" {
+			for i, c := range tp.Children {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeTemplate(sb, c)
+			}
+			return
+		}
+		fmt.Fprintf(sb, "<%s>", tp.Tag)
+		for _, c := range tp.Children {
+			writeTemplate(sb, c)
+		}
+		fmt.Fprintf(sb, "</%s>", tp.Tag)
+	case TField:
+		if tp.Raw {
+			fmt.Fprintf(sb, "{%s as xml}", tp.Path)
+		} else {
+			fmt.Fprintf(sb, "{%s}", tp.Path)
+		}
+	case TForEach:
+		fmt.Fprintf(sb, "{for %s: ", tp.Path)
+		for _, c := range tp.Children {
+			writeTemplate(sb, c)
+		}
+		sb.WriteString("}")
+	}
+}

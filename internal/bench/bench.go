@@ -1,0 +1,338 @@
+// Package bench implements the reproduction harness for every table and
+// figure of the thesis's evaluation (see DESIGN.md's experiment index):
+// Figure 4.13's dataset/summary statistics, Figure 4.14's XMark pattern
+// containment (canonical model sizes and containment times, for the 20
+// XMark query patterns and for synthetic patterns of 3–13 nodes), Figure
+// 4.15's DBLP variant, the §4.6 optional-edge ablation, the §5.6 rewriting
+// scaling study, the Chapter 2 QEP comparisons across storage schemes, and
+// the Chapter 3 pattern extraction measurements. Both `go test -bench` and
+// cmd/xambench drive these entry points.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xamdb/internal/containment"
+	"xamdb/internal/datagen"
+	"xamdb/internal/patgen"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// Dataset is one synthetic stand-in for a Figure 4.13 data set.
+type Dataset struct {
+	Name    string
+	Doc     *xmltree.Document
+	Summary *summary.Summary
+}
+
+// Datasets builds the five data sets at the standard reproduction scale.
+// The documents are far smaller than the thesis's (MB-scale), but the
+// summary shapes — which drive containment and rewriting costs — match.
+func Datasets() []Dataset {
+	mk := func(name string, doc *xmltree.Document) Dataset {
+		return Dataset{Name: name, Doc: doc, Summary: summary.Build(doc)}
+	}
+	return []Dataset{
+		mk("Shakespeare", datagen.Shakespeare(5, 5)),
+		mk("Nasa", datagen.Nasa(60)),
+		mk("SwissProt", datagen.SwissProt(60)),
+		mk("XMark", datagen.XMark(5, 20, 15)),
+		mk("DBLP", datagen.DBLP(150)),
+	}
+}
+
+// XMarkDataset builds only the XMark stand-in (the summary the containment
+// experiments run against).
+func XMarkDataset() Dataset {
+	doc := datagen.XMark(5, 20, 15)
+	return Dataset{Name: "XMark", Doc: doc, Summary: summary.Build(doc)}
+}
+
+// DBLPDataset builds only the DBLP stand-in.
+func DBLPDataset() Dataset {
+	doc := datagen.DBLP(150)
+	return Dataset{Name: "DBLP", Doc: doc, Summary: summary.Build(doc)}
+}
+
+// SummaryRow is one line of the Figure 4.13 table.
+type SummaryRow struct {
+	Name       string
+	Nodes      int // N: nodes in the document
+	Paths      int // |S|
+	StrongEdge int // n_s
+	OneToOne   int // n_1
+	MaxDepth   int
+}
+
+// SummaryStats reproduces Figure 4.13.
+func SummaryStats() []SummaryRow {
+	var out []SummaryRow
+	for _, d := range Datasets() {
+		st := d.Summary.Stats()
+		out = append(out, SummaryRow{
+			Name:       d.Name,
+			Nodes:      d.Doc.Size(),
+			Paths:      st.Paths,
+			StrongEdge: st.StrongEdge,
+			OneToOne:   st.OneToOne,
+			MaxDepth:   st.MaxDepth,
+		})
+	}
+	return out
+}
+
+// XMarkQueryPatternSources returns the tree-pattern essences of the 20 XMark
+// benchmark queries over the XMark-like summary (the workload of Figure
+// 4.14 top). Query 7 deliberately has structurally unrelated branches,
+// reproducing the thesis's outlier with a large canonical model.
+func XMarkQueryPatternSources() []string {
+	return []string{
+		/* Q1  */ `// people(/ person{id s}(/(s) @id{val="person0"}, / name{val}))`,
+		/* Q2  */ `// open_auction{id s}(/ bidder(/ increase{val}))`,
+		/* Q3  */ `// open_auction{id s}(/ bidder(/ increase{id s, val}), / reserve{val})`,
+		/* Q4  */ `// open_auction{id s}(/ bidder(/ personref{id s}))`,
+		/* Q5  */ `// closed_auctions(/ closed_auction(/ price{id s, val>=40}))`,
+		/* Q6  */ `// regions(// item{id s})`,
+		/* Q7  */ `// description{id s}, // annotation{id s}, // text{id s}`,
+		/* Q8  */ `/ site(/ people(/ person{id s}(/ name{val})), / closed_auctions(/ closed_auction(/ buyer{id s})))`,
+		/* Q9  */ `/ site(/ people(/ person{id s}), / closed_auctions(/ closed_auction(/ seller{id s}, / itemref{id s})))`,
+		/* Q10 */ `// person{id s}(/(o) profile{id s}(/(o) interest{id s}))`,
+		/* Q11 */ `/ site(/ people(/ person{id s}(/ profile(/(s) @income))), / open_auctions(/ open_auction(/ initial{id s, val})))`,
+		/* Q12 */ `// person{id s}(/ profile{id s}(/ @income{val>=50000}))`,
+		/* Q13 */ `// australia(/ item{id s}(/ name{val}, / description{cont}))`,
+		/* Q14 */ `// item{id s}(/ name{val}, // text{val})`,
+		/* Q15 */ `// closed_auction(/ annotation(/ description(/ parlist(/ listitem{id s}))))`,
+		/* Q16 */ `// closed_auction{id s}(/ annotation(/ description(/ parlist(/ listitem))), / seller{id s})`,
+		/* Q17 */ `// person{id s}(/ name{val}, /(o) phone{id s})`,
+		/* Q18 */ `// open_auction(/ initial{id s, val})`,
+		/* Q19 */ `// item{id s}(/ location{val}, / name{val})`,
+		/* Q20 */ `// person{id s}(/(o) profile{id s}(/(s) @income))`,
+	}
+}
+
+// SelfContainRow is one line of the Figure 4.14 (top) table: canonical model
+// size and self-containment decision time for one XMark query pattern.
+type SelfContainRow struct {
+	Query     int
+	Nodes     int
+	ModelSize int
+	Time      time.Duration
+}
+
+// XMarkSelfContainment reproduces Figure 4.14 (top): each of the 20 XMark
+// query patterns is tested for containment in itself under the XMark
+// summary.
+func XMarkSelfContainment(s *summary.Summary) ([]SelfContainRow, error) {
+	var out []SelfContainRow
+	for i, src := range XMarkQueryPatternSources() {
+		p, err := xam.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i+1, err)
+		}
+		model := containment.CanonicalModel(p, s)
+		start := time.Now()
+		ok, err := containment.Contained(p, p, s)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i+1, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("query %d: not self-contained (%s)", i+1, p)
+		}
+		out = append(out, SelfContainRow{Query: i + 1, Nodes: p.Size(), ModelSize: len(model), Time: elapsed})
+	}
+	return out, nil
+}
+
+// SynthRow aggregates containment timings for one (pattern size, return
+// arity) configuration: positive and negative decisions are separated as in
+// Figure 4.14 (bottom).
+type SynthRow struct {
+	Nodes     int
+	Returns   int
+	Pairs     int
+	Positive  int
+	PosAvg    time.Duration
+	NegAvg    time.Duration
+	ModelAvg  float64 // average |mod_S(p)|
+	POptional float64
+	Oversized int // patterns dropped for exceeding maxSynthModel
+}
+
+// maxSynthModel bounds the canonical models of synthetic patterns admitted
+// into the timing sets: a random all-wildcard pattern can reach |S|^|p|
+// trees (§4.3.1's worst case), drowning the realistic measurements the
+// figures are about. Dropped patterns are counted in SynthRow.Oversized —
+// no silent truncation.
+const maxSynthModel = 600
+
+// SyntheticContainment reproduces Figures 4.14 (bottom) and 4.15: random
+// satisfiable patterns of the given sizes and return arities, each set
+// tested pairwise (p_i ⊆ p_j for j ≥ i).
+func SyntheticContainment(s *summary.Summary, sizes, returns []int, perSet int, pOpt float64, seed int64) ([]SynthRow, error) {
+	var out []SynthRow
+	for _, n := range sizes {
+		for _, r := range returns {
+			cfg := patgen.Config{Nodes: n, Returns: r, POpt: pOpt}
+			raw := patgen.GenerateSet(s, cfg, perSet*3, seed+int64(n*100+r))
+			var pats []*xam.Pattern
+			oversized := 0
+			for _, p := range raw {
+				if len(pats) == perSet {
+					break
+				}
+				if _, truncated := containment.CanonicalModelBounded(p, s, maxSynthModel); truncated {
+					oversized++
+					continue
+				}
+				pats = append(pats, p)
+			}
+			row := SynthRow{Nodes: n, Returns: r, POptional: pOpt, Oversized: oversized}
+			var posTotal, negTotal time.Duration
+			var modelTotal int
+			for _, p := range pats {
+				modelTotal += len(containment.CanonicalModel(p, s))
+			}
+			for i := 0; i < len(pats); i++ {
+				for j := i; j < len(pats); j++ {
+					start := time.Now()
+					ok, err := containment.Contained(pats[i], pats[j], s)
+					elapsed := time.Since(start)
+					if err != nil {
+						return nil, err
+					}
+					row.Pairs++
+					if ok {
+						row.Positive++
+						posTotal += elapsed
+					} else {
+						negTotal += elapsed
+					}
+				}
+			}
+			if row.Positive > 0 {
+				row.PosAvg = posTotal / time.Duration(row.Positive)
+			}
+			if neg := row.Pairs - row.Positive; neg > 0 {
+				row.NegAvg = negTotal / time.Duration(neg)
+			}
+			row.ModelAvg = float64(modelTotal) / float64(len(pats))
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// AblationRow is one line of the §4.6 optional-edge ablation.
+type AblationRow struct {
+	POptional float64
+	AvgTime   time.Duration
+	Pairs     int
+}
+
+// OptionalAblation reproduces the §4.6 observation that optional edges slow
+// containment by roughly a factor of 2 over the conjunctive case. The same
+// conjunctive pattern set is reused at every level; only the edge semantics
+// flip from j to o, so structure is held fixed across configurations.
+func OptionalAblation(s *summary.Summary, n, perSet int, seed int64) ([]AblationRow, error) {
+	base := goodPatterns(s, patgen.Config{Nodes: n, Returns: 1, POpt: -1}, perSet, seed)
+	var out []AblationRow
+	for _, pOpt := range []float64{0, 0.5, 1.0} {
+		pats := make([]*xam.Pattern, len(base))
+		rng := rand.New(rand.NewSource(seed + int64(pOpt*10)))
+		for i, p := range base {
+			q := p.Clone()
+			for _, node := range q.Nodes() {
+				for _, e := range node.Edges {
+					if e.Sem == xam.SemJoin && rng.Float64() < pOpt {
+						e.Sem = xam.SemOuter
+					}
+				}
+			}
+			pats[i] = q
+		}
+		row := AblationRow{POptional: pOpt}
+		var total time.Duration
+		for i := 0; i < len(pats); i++ {
+			for j := i; j < len(pats); j++ {
+				start := time.Now()
+				if _, err := containment.Contained(pats[i], pats[j], s); err != nil {
+					return nil, err
+				}
+				total += time.Since(start)
+				row.Pairs++
+			}
+		}
+		row.AvgTime = total / time.Duration(row.Pairs)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// goodPatterns generates perSet patterns whose canonical models stay below
+// the harness bound.
+func goodPatterns(s *summary.Summary, cfg patgen.Config, perSet int, seed int64) []*xam.Pattern {
+	raw := patgen.GenerateSet(s, cfg, perSet*3, seed)
+	var out []*xam.Pattern
+	for _, p := range raw {
+		if len(out) == perSet {
+			break
+		}
+		if _, truncated := containment.CanonicalModelBounded(p, s, maxSynthModel); truncated {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// MinimizeRow reports pattern minimization by S-contraction (§4.5).
+type MinimizeRow struct {
+	Nodes     int // configured size
+	Patterns  int
+	AvgBefore float64
+	AvgAfter  float64
+	Shrunk    int // patterns that lost at least one node
+	AvgTime   time.Duration
+}
+
+// MinimizationStudy measures S-contraction minimization over random
+// conjunctive patterns: how often summary constraints make nodes redundant,
+// and what minimization costs.
+func MinimizationStudy(s *summary.Summary, sizes []int, perSet int, seed int64) ([]MinimizeRow, error) {
+	var out []MinimizeRow
+	for _, n := range sizes {
+		pats := goodPatterns(s, patgen.Config{Nodes: n, Returns: 1, POpt: -1, PPred: -1}, perSet, seed+int64(n))
+		row := MinimizeRow{Nodes: n, Patterns: len(pats)}
+		var totalBefore, totalAfter int
+		var total time.Duration
+		for _, p := range pats {
+			totalBefore += p.Size()
+			start := time.Now()
+			min, err := containment.MinimizeByContraction(p, s)
+			total += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			if len(min) == 0 {
+				return nil, fmt.Errorf("minimization lost pattern %s", p)
+			}
+			best := min[0]
+			totalAfter += best.Size()
+			if best.Size() < p.Size() {
+				row.Shrunk++
+			}
+		}
+		if len(pats) > 0 {
+			row.AvgBefore = float64(totalBefore) / float64(len(pats))
+			row.AvgAfter = float64(totalAfter) / float64(len(pats))
+			row.AvgTime = total / time.Duration(len(pats))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package bench
+
+import "testing"
+
+func TestSummaryStatsShape(t *testing.T) {
+	rows := SummaryStats()
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	byName := map[string]SummaryRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Paths == 0 || r.Nodes == 0 || r.StrongEdge < r.OneToOne {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	// Figure 4.13's ordering: Shakespeare < Nasa < SwissProt < XMark;
+	// summaries are small relative to documents.
+	if !(byName["Shakespeare"].Paths < byName["Nasa"].Paths &&
+		byName["Nasa"].Paths < byName["SwissProt"].Paths &&
+		byName["SwissProt"].Paths < byName["XMark"].Paths) {
+		t.Errorf("summary size ordering violated: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Paths >= r.Nodes {
+			t.Errorf("%s: summary not smaller than document", r.Name)
+		}
+	}
+}
+
+func TestXMarkQueriesParseAndSelfContain(t *testing.T) {
+	d := XMarkDataset()
+	rows, err := XMarkSelfContainment(d.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Query 7 (unrelated branches) must have the largest canonical model,
+	// reproducing the thesis's outlier.
+	max, maxQ := 0, 0
+	for _, r := range rows {
+		if r.ModelSize == 0 {
+			t.Errorf("query %d has empty model", r.Query)
+		}
+		if r.ModelSize > max {
+			max, maxQ = r.ModelSize, r.Query
+		}
+	}
+	if maxQ != 7 {
+		t.Errorf("largest model is query %d (%d trees), want query 7", maxQ, max)
+	}
+}
+
+func TestSyntheticContainmentSmall(t *testing.T) {
+	d := DBLPDataset()
+	rows, err := SyntheticContainment(d.Summary, []int{3, 5}, []int{1}, 6, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pairs != 21 { // 6+5+...+1
+			t.Errorf("pairs: %d", r.Pairs)
+		}
+		if r.Positive == 0 { // at least the self-containments
+			t.Errorf("no positive cases in %+v", r)
+		}
+	}
+}
+
+func TestOptionalAblationSmall(t *testing.T) {
+	d := DBLPDataset()
+	rows, err := OptionalAblation(d.Summary, 5, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].POptional != 0 || rows[2].POptional != 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+}
+
+func TestRewriteScalingSmall(t *testing.T) {
+	d := DBLPDataset()
+	rows, err := RewriteScaling(d, []int{5, 10}, []int{3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+}
+
+func TestStorageQEPs(t *testing.T) {
+	rows, err := StorageQEPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// The headline shapes: view scan beats joins, content store beats
+	// recomposition, indexes beat scans — on result-equivalent work.
+	byVariantPrefix := func(prefix string) QEPRow {
+		for _, r := range rows {
+			if len(r.Variant) >= len(prefix) && r.Variant[:len(prefix)] == prefix {
+				return r
+			}
+		}
+		t.Fatalf("variant %q missing", prefix)
+		return QEPRow{}
+	}
+	q10 := byVariantPrefix("QEP10")
+	q11 := byVariantPrefix("QEP11")
+	if q10.Tuples != q11.Tuples {
+		t.Errorf("index and scan disagree: %d vs %d", q10.Tuples, q11.Tuples)
+	}
+	q12 := byVariantPrefix("QEP12")
+	q13 := byVariantPrefix("QEP13")
+	if q12.Tuples != q13.Tuples {
+		t.Errorf("FTI and contains scan disagree: %d vs %d", q12.Tuples, q13.Tuples)
+	}
+}
+
+func TestExtractionStudy(t *testing.T) {
+	rows, err := ExtractionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// The Figure 3.1-style query: 2 maximal patterns spanning 3 blocks,
+	// versus strictly more XPath single-return views.
+	if rows[0].Patterns != 2 {
+		t.Errorf("maximal patterns: %d, want 2", rows[0].Patterns)
+	}
+	if rows[0].XPathViews <= rows[0].Patterns {
+		t.Errorf("baseline should need more views: %d vs %d", rows[0].XPathViews, rows[0].Patterns)
+	}
+}
+
+func TestContentVsRecompositionEquivalent(t *testing.T) {
+	rows, err := StorageQEPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q8, q9 QEPRow
+	for _, r := range rows {
+		switch {
+		case len(r.Variant) >= 4 && r.Variant[:4] == "QEP8":
+			q8 = r
+		case len(r.Variant) >= 4 && r.Variant[:4] == "QEP9":
+			q9 = r
+		}
+	}
+	if q8.Tuples != q9.Tuples || q8.Bytes != q9.Bytes {
+		t.Fatalf("QEP8/QEP9 not result-equivalent: %+v vs %+v", q8, q9)
+	}
+}

@@ -1,0 +1,71 @@
+package containment
+
+import "xamdb/internal/value"
+
+// Box is a conjunction of per-variable value formulas: variable i (a summary
+// node number) must satisfy Box[i]; absent variables are unconstrained (T).
+// A box describes the value-assignments under which one canonical tree, or
+// one embedding of a pattern into it, applies (§4.4.2).
+type Box map[int]value.Formula
+
+// boxEmpty reports whether the box denotes no assignment.
+func boxEmpty(b Box) bool {
+	for _, f := range b {
+		if f.IsFalse() {
+			return true
+		}
+	}
+	return false
+}
+
+// boxAt returns the formula constraining variable v (T when absent).
+func boxAt(b Box, v int) value.Formula {
+	if f, ok := b[v]; ok {
+		return f
+	}
+	return value.True()
+}
+
+// cloneBox copies a box.
+func cloneBox(b Box) Box {
+	out := make(Box, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// BoxImplies decides b ⇒ c₁ ∨ … ∨ cₙ: every assignment satisfying b
+// satisfies some cover box. This is the φ_te ⇒ ∨ φ_t' test of §4.4.2,
+// implemented by orthant decomposition: subtract the first cover box from b
+// (yielding at most |vars(c)| remainder boxes) and recurse on the rest.
+func BoxImplies(b Box, cover []Box) bool {
+	if boxEmpty(b) {
+		return true
+	}
+	if len(cover) == 0 {
+		return false
+	}
+	c := cover[0]
+	if boxEmpty(c) {
+		return BoxImplies(b, cover[1:])
+	}
+	inter := cloneBox(b)
+	var remainders []Box
+	for v, cf := range c {
+		// Remainder: agrees with c on previously processed variables (via
+		// inter) but violates c on v.
+		out := cloneBox(inter)
+		out[v] = boxAt(b, v).And(cf.Not())
+		if !boxEmpty(out) {
+			remainders = append(remainders, out)
+		}
+		inter[v] = boxAt(inter, v).And(cf)
+	}
+	for _, r := range remainders {
+		if !BoxImplies(r, cover[1:]) {
+			return false
+		}
+	}
+	return true
+}

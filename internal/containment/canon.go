@@ -1,0 +1,491 @@
+// Package containment decides XAM tree pattern containment, equivalence,
+// satisfiability and minimization under path summary constraints (Chapter 4).
+// The central tool is the S-canonical model mod_S(p): for every embedding of
+// p into the summary S, a canonical tree is built whose nodes are labeled
+// with summary paths — one parent-child chain per pattern edge (§4.3.1), so
+// two pattern branches reaching the same path yield distinct tree nodes
+// unless the summary's one-to-one edges force every document to share them.
+// A pattern p is S-contained in a union of patterns iff every canonical tree
+// of p admits return-preserving embeddings of some union member, and p's
+// value formulas imply the disjunction of the embeddings' formulas (§4.4).
+package containment
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/summary"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+// CTNode is one node of a canonical tree: an element/attribute occurrence on
+// a specific summary path, optionally decorated with a value formula.
+type CTNode struct {
+	ID         int // per-tree identity, also the box variable
+	Path       *summary.Node
+	Formula    value.Formula
+	HasFormula bool
+	Parent     *CTNode
+	Children   []*CTNode
+}
+
+// CanonTree is one element of mod_S(p), together with the return tuple of
+// the generating embedding (nil entries are ⊥) and its nesting sequences.
+type CanonTree struct {
+	S *summary.Summary
+	// Top holds the chains hanging under the ⊤ node; after one-to-one
+	// merging there is normally a single root-element node.
+	Top []*CTNode
+	// All lists every node in pre-order.
+	All []*CTNode
+	// RetNodes are the return nodes of the generating embedding (nil = ⊥).
+	RetNodes []*CTNode
+	// Ret mirrors RetNodes as summary path numbers (0 = ⊥); stable across
+	// isomorphic trees, used for deduplication and display.
+	Ret []int
+	// NestSeq holds, per return node, the nesting sequence of the generating
+	// embedding (§4.4.5): summary numbers of the images of ancestors reached
+	// over nested edges, top-down; 0 stands for the ⊤ node.
+	NestSeq [][]int
+}
+
+// Size returns the number of tree nodes.
+func (t *CanonTree) Size() int { return len(t.All) }
+
+// Key returns a canonical identity for deduplication: the tree structure
+// (paths + formulas) with return markers, serialized pre-order with sorted
+// sibling order.
+func (t *CanonTree) Key() string {
+	retIdx := map[*CTNode]int{}
+	for i, n := range t.RetNodes {
+		if n != nil {
+			retIdx[n] = i + 1
+		}
+	}
+	var render func(n *CTNode) string
+	render = func(n *CTNode) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d", n.Path.Num)
+		if n.HasFormula {
+			sb.WriteByte('[')
+			sb.WriteString(n.Formula.String())
+			sb.WriteByte(']')
+		}
+		if i, ok := retIdx[n]; ok {
+			fmt.Fprintf(&sb, "!r%d", i)
+		}
+		kids := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = render(c)
+		}
+		// Sort sibling renderings for order independence.
+		for i := 1; i < len(kids); i++ {
+			for j := i; j > 0 && kids[j] < kids[j-1]; j-- {
+				kids[j], kids[j-1] = kids[j-1], kids[j]
+			}
+		}
+		sb.WriteByte('(')
+		sb.WriteString(strings.Join(kids, ","))
+		sb.WriteByte(')')
+		return sb.String()
+	}
+	tops := make([]string, len(t.Top))
+	for i, n := range t.Top {
+		tops[i] = render(n)
+	}
+	for i := 1; i < len(tops); i++ {
+		for j := i; j > 0 && tops[j] < tops[j-1]; j-- {
+			tops[j], tops[j-1] = tops[j-1], tops[j]
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Join(tops, ","))
+	sb.WriteByte('|')
+	for i, r := range t.Ret {
+		fmt.Fprintf(&sb, "%d;", r)
+		for _, s := range t.NestSeq[i] {
+			fmt.Fprintf(&sb, "%d.", s)
+		}
+	}
+	return sb.String()
+}
+
+// binding maps pattern nodes to summary nodes; nil means ⊥.
+type binding map[*xam.Node]*summary.Node
+
+// edgeCandidates returns the summary nodes a pattern node may map to, given
+// its parent's image. parent == nil denotes the ⊤ node.
+func edgeCandidates(s *summary.Summary, parent *summary.Node, e *xam.Edge) []*summary.Node {
+	label := e.Child.Label
+	if parent == nil {
+		if e.Axis == xam.Child {
+			if s.Root != nil && labelMatches(s.Root.Label, label) {
+				return []*summary.Node{s.Root}
+			}
+			return nil
+		}
+		var cands []*summary.Node
+		for _, n := range s.Nodes() {
+			if labelMatches(n.Label, label) {
+				cands = append(cands, n)
+			}
+		}
+		return cands
+	}
+	if e.Axis == xam.Child {
+		return parent.ChildrenLabeled(label)
+	}
+	return parent.DescendantsLabeled(label)
+}
+
+func labelMatches(nodeLabel, patLabel string) bool {
+	switch patLabel {
+	case "*":
+		return !strings.HasPrefix(nodeLabel, "@") && nodeLabel != "#text"
+	case "@*":
+		return strings.HasPrefix(nodeLabel, "@")
+	}
+	return nodeLabel == patLabel
+}
+
+// strictEmbeddings enumerates all embeddings of the pattern into the summary
+// treating every edge as mandatory, skipping edges for which skip returns
+// true (used to erase optional subtrees).
+func strictEmbeddings(p *xam.Pattern, s *summary.Summary, skip func(*xam.Edge) bool) []binding {
+	var out []binding
+	strictEmbeddingsFunc(p, s, skip, func(b binding) bool {
+		out = append(out, b)
+		return true
+	})
+	return out
+}
+
+// strictEmbeddingsFunc is the streaming form: yield receives each embedding
+// and may return false to stop the enumeration early.
+func strictEmbeddingsFunc(p *xam.Pattern, s *summary.Summary, skip func(*xam.Edge) bool, yield func(binding) bool) {
+	cur := binding{}
+	stopped := false
+	var assignEdges func(edges []*xam.Edge, parent *summary.Node, k func())
+	var assignEdge func(e *xam.Edge, parent *summary.Node, k func())
+	assignEdges = func(edges []*xam.Edge, parent *summary.Node, k func()) {
+		if stopped {
+			return
+		}
+		if len(edges) == 0 {
+			k()
+			return
+		}
+		assignEdge(edges[0], parent, func() {
+			assignEdges(edges[1:], parent, k)
+		})
+	}
+	assignEdge = func(e *xam.Edge, parent *summary.Node, k func()) {
+		if skip != nil && skip(e) {
+			k()
+			return
+		}
+		for _, cand := range edgeCandidates(s, parent, e) {
+			if stopped {
+				break
+			}
+			cur[e.Child] = cand
+			assignEdges(e.Child.Edges, cand, k)
+		}
+		delete(cur, e.Child)
+	}
+	assignEdges(p.Top, nil, func() {
+		if stopped {
+			return
+		}
+		b := binding{}
+		for n, sn := range cur {
+			b[n] = sn
+		}
+		if !yield(b) {
+			stopped = true
+		}
+	})
+}
+
+// optionalEdges lists the pattern's optional edges in pre-order.
+func optionalEdges(p *xam.Pattern) []*xam.Edge {
+	var out []*xam.Edge
+	var visitNode func(n *xam.Node)
+	visitEdge := func(e *xam.Edge) {
+		if e.Sem.Optional() {
+			out = append(out, e)
+		}
+	}
+	visitNode = func(n *xam.Node) {
+		for _, e := range n.Edges {
+			visitEdge(e)
+			visitNode(e.Child)
+		}
+	}
+	for _, e := range p.Top {
+		visitEdge(e)
+		visitNode(e.Child)
+	}
+	return out
+}
+
+// incomingEdge finds the edge pointing at n (possibly a top edge).
+func incomingEdge(p *xam.Pattern, n *xam.Node) *xam.Edge {
+	if n.Parent == nil {
+		for _, e := range p.Top {
+			if e.Child == n {
+				return e
+			}
+		}
+		return nil
+	}
+	for _, e := range n.Parent.Edges {
+		if e.Child == n {
+			return e
+		}
+	}
+	return nil
+}
+
+// nestingSequence computes ns(n, b): the images of n's ancestors n' such
+// that the edge below n' toward n is nested, top-down (§4.4.5). A nested
+// top edge contributes 0 (the ⊤ node).
+func nestingSequence(p *xam.Pattern, n *xam.Node, b binding) []int {
+	var chain []*xam.Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		chain = append(chain, cur)
+	}
+	var seq []int
+	for i := len(chain) - 1; i >= 0; i-- {
+		node := chain[i]
+		e := incomingEdge(p, node)
+		if e == nil || !e.Sem.Nested() {
+			continue
+		}
+		if node.Parent == nil {
+			seq = append(seq, 0)
+		} else if sn := b[node.Parent]; sn != nil {
+			seq = append(seq, sn.Num)
+		}
+	}
+	return seq
+}
+
+// NestDepth counts the nested edges on the path from ⊤ to n (the static
+// |ns(n)| of §4.4.5).
+func NestDepth(p *xam.Pattern, n *xam.Node) int {
+	d := 0
+	for cur := n; cur != nil; cur = cur.Parent {
+		if e := incomingEdge(p, cur); e != nil && e.Sem.Nested() {
+			d++
+		}
+	}
+	return d
+}
+
+// maxOptionalEdges bounds the 2^n optional-erasure enumeration; realistic
+// patterns stay far below it (§4.6).
+const maxOptionalEdges = 12
+
+// CanonicalModel computes mod_S(p) (§4.3.1–4.3.2): one canonical tree per
+// embedding of each optional-erasure variant of p, deduplicated, and
+// filtered so that the induced return tuple is actually produced by p on the
+// tree (the p(t_{e,F}) ≠ ∅ condition of §4.3.2).
+func CanonicalModel(p *xam.Pattern, s *summary.Summary) []*CanonTree {
+	out, _ := CanonicalModelBounded(p, s, 0)
+	return out
+}
+
+// CanonicalModelBounded is CanonicalModel with an optional cap on the number
+// of canonical trees (0 = unlimited). It reports whether the enumeration was
+// truncated; truncated models must not be used for containment decisions.
+func CanonicalModelBounded(p *xam.Pattern, s *summary.Summary, max int) ([]*CanonTree, bool) {
+	opts := optionalEdges(p)
+	if len(opts) > maxOptionalEdges {
+		opts = opts[:maxOptionalEdges]
+	}
+	returns := p.ReturnNodes()
+	seen := map[string]bool{}
+	var out []*CanonTree
+	truncated := false
+	for mask := 0; mask < 1<<len(opts) && !truncated; mask++ {
+		erased := map[*xam.Edge]bool{}
+		for i, e := range opts {
+			if mask&(1<<i) != 0 {
+				erased[e] = true
+			}
+		}
+		if redundantMask(p, erased) {
+			continue
+		}
+		skip := func(e *xam.Edge) bool { return erased[e] }
+		strictEmbeddingsFunc(p, s, skip, func(b binding) bool {
+			t := buildCanonTree(p, s, b, returns, skip)
+			if t == nil {
+				return true
+			}
+			// The generating embedding itself witnesses the return tuple
+			// when nothing was erased; the ⊥-rule check only matters for
+			// erased optional subtrees.
+			if mask != 0 && !retProduced(p, t) {
+				return true
+			}
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+			if max > 0 && len(out) > max {
+				truncated = true
+				return false
+			}
+			return true
+		})
+	}
+	return out, truncated
+}
+
+// redundantMask reports whether some erased edge lies strictly below another
+// erased edge's subtree (the smaller mask yields the same tree).
+func redundantMask(p *xam.Pattern, erased map[*xam.Edge]bool) bool {
+	var visit func(n *xam.Node, under bool) bool
+	visit = func(n *xam.Node, under bool) bool {
+		for _, e := range n.Edges {
+			if erased[e] && under {
+				return true
+			}
+			if visit(e.Child, under || erased[e]) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range p.Top {
+		if visit(e.Child, erased[e]) {
+			return true
+		}
+	}
+	return false
+}
+
+// uniquePerParent reports whether every document instance of the parent path
+// has exactly one child on this path — the condition under which sibling
+// chains must share the node (one-to-one merging).
+func uniquePerParent(sn *summary.Node) bool { return sn.EdgeIn == summary.One }
+
+// buildCanonTree assembles the canonical tree for one embedding: one chain
+// of fresh nodes per pattern edge (§4.3.1's construction), merging chain
+// prefixes only where the summary's one-to-one edges force every document to
+// share the occurrence. Returns nil when conflicting decorations make the
+// tree unsatisfiable.
+func buildCanonTree(p *xam.Pattern, s *summary.Summary, b binding, returns []*xam.Node, skip func(*xam.Edge) bool) *CanonTree {
+	t := &CanonTree{S: s}
+	nextID := 0
+	newNode := func(path *summary.Node, parent *CTNode) *CTNode {
+		nextID++
+		n := &CTNode{ID: nextID, Path: path, Parent: parent}
+		if parent == nil {
+			t.Top = append(t.Top, n)
+		} else {
+			parent.Children = append(parent.Children, n)
+		}
+		t.All = append(t.All, n)
+		return n
+	}
+	// attachChain walks the summary path from `fromPath` (exclusive; nil for
+	// ⊤) down to `to`, reusing existing shared nodes over one-to-one edges.
+	attachChain := func(parent *CTNode, fromPath, to *summary.Node) *CTNode {
+		// Collect the summary chain top-down.
+		var chain []*summary.Node
+		for sn := to; sn != fromPath; sn = sn.Parent {
+			chain = append([]*summary.Node{sn}, chain...)
+			if sn.Parent == nil && fromPath != nil {
+				return nil // not actually a descendant; embedding bug
+			}
+			if sn.Parent == nil {
+				break
+			}
+		}
+		cur := parent
+		for _, sn := range chain {
+			var reuse *CTNode
+			if uniquePerParent(sn) || (cur == nil && sn.Parent == nil) {
+				siblings := t.Top
+				if cur != nil {
+					siblings = cur.Children
+				}
+				for _, c := range siblings {
+					if c.Path == sn {
+						reuse = c
+						break
+					}
+				}
+			}
+			if reuse != nil {
+				cur = reuse
+			} else {
+				cur = newNode(sn, cur)
+			}
+		}
+		return cur
+	}
+
+	patNode := map[*xam.Node]*CTNode{}
+	ok := true
+	var place func(edges []*xam.Edge, parent *xam.Node)
+	place = func(edges []*xam.Edge, parent *xam.Node) {
+		if !ok {
+			return
+		}
+		for _, e := range edges {
+			if skip != nil && skip(e) {
+				continue
+			}
+			sn := b[e.Child]
+			if sn == nil {
+				continue
+			}
+			var parentCT *CTNode
+			var fromPath *summary.Node
+			if parent != nil {
+				parentCT = patNode[parent]
+				fromPath = b[parent]
+			}
+			ct := attachChain(parentCT, fromPath, sn)
+			if ct == nil {
+				ok = false
+				return
+			}
+			if e.Child.HasValuePred {
+				if ct.HasFormula {
+					ct.Formula = ct.Formula.And(e.Child.ValuePred)
+				} else {
+					ct.Formula = e.Child.ValuePred
+					ct.HasFormula = true
+				}
+				if ct.Formula.IsFalse() {
+					ok = false
+					return
+				}
+			}
+			patNode[e.Child] = ct
+			place(e.Child.Edges, e.Child)
+		}
+	}
+	place(p.Top, nil)
+	if !ok {
+		return nil
+	}
+	for _, rn := range returns {
+		ct := patNode[rn]
+		t.RetNodes = append(t.RetNodes, ct)
+		if ct != nil {
+			t.Ret = append(t.Ret, ct.Path.Num)
+			t.NestSeq = append(t.NestSeq, nestingSequence(p, rn, b))
+		} else {
+			t.Ret = append(t.Ret, 0)
+			t.NestSeq = append(t.NestSeq, nil)
+		}
+	}
+	return t
+}

@@ -1,0 +1,366 @@
+package containment
+
+import (
+	"fmt"
+
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+)
+
+// Satisfiable reports S-satisfiability: p is S-unsatisfiable iff its
+// canonical model is empty (Proposition 4.3.1's corollary).
+func Satisfiable(p *xam.Pattern, s *summary.Summary) bool {
+	return len(CanonicalModel(p, s)) > 0
+}
+
+// Contained decides p ⊆_S q (Definition 4.4.1) via Proposition 4.4.1 and its
+// decorated/optional/attribute/nested extensions (§4.4).
+func Contained(p, q *xam.Pattern, s *summary.Summary) (bool, error) {
+	return ContainedInUnion(p, []*xam.Pattern{q}, s)
+}
+
+// Equivalent decides p ≡_S q by checking containment both ways (§4.4).
+func Equivalent(p, q *xam.Pattern, s *summary.Summary) (bool, error) {
+	ok, err := Contained(p, q, s)
+	if err != nil || !ok {
+		return false, err
+	}
+	return Contained(q, p, s)
+}
+
+// ContainedInUnion decides p ⊆_S q₁ ∪ … ∪ qₘ (Proposition 4.4.2 with the
+// §4.4.2 value-formula condition): for every canonical tree of p there must
+// be return-preserving embeddings of union members, and the tree's formulas
+// must imply the disjunction of the embeddings' formulas.
+func ContainedInUnion(p *xam.Pattern, qs []*xam.Pattern, s *summary.Summary) (bool, error) {
+	ok, _, err := ContainedInUnionBounded(p, qs, s, 0)
+	return ok, err
+}
+
+// ContainedInUnionBounded is ContainedInUnion with a cap on |mod_S(p)|
+// (0 = unlimited). When the model exceeds the cap the check gives up,
+// reporting truncated=true with ok=false — a sound "don't know" used by the
+// rewriting search to skip pathological candidate plans.
+func ContainedInUnionBounded(p *xam.Pattern, qs []*xam.Pattern, s *summary.Summary, max int) (bool, bool, error) {
+	if len(qs) == 0 {
+		return false, false, fmt.Errorf("containment: empty union")
+	}
+	var compatible []*xam.Pattern
+	for _, q := range qs {
+		ok, err := staticCompatible(p, q)
+		if err != nil {
+			return false, false, err
+		}
+		if ok {
+			compatible = append(compatible, q)
+		}
+	}
+	if len(compatible) == 0 {
+		return false, false, nil
+	}
+	model, truncated := CanonicalModelBounded(p, s, max)
+	if truncated {
+		return false, true, nil
+	}
+	if len(model) == 0 {
+		// Unsatisfiable patterns are contained in anything.
+		return true, false, nil
+	}
+	for _, entry := range model {
+		var cover []Box
+		for _, q := range compatible {
+			cover = append(cover, matchingBoxes(q, entry, s)...)
+		}
+		if len(cover) == 0 {
+			return false, false, nil
+		}
+		if !BoxImplies(entryBox(entry), cover) {
+			return false, false, nil
+		}
+	}
+	return true, false, nil
+}
+
+// staticCompatible checks the structural preconditions that do not depend on
+// the summary: equal return arity, identical attribute annotations on
+// corresponding return nodes (Proposition 4.4.3 condition 1), and equal
+// nesting depths (Proposition 4.4.4 condition 2a).
+func staticCompatible(p, q *xam.Pattern) (bool, error) {
+	pr, qr := p.ReturnNodes(), q.ReturnNodes()
+	if len(pr) != len(qr) {
+		return false, nil
+	}
+	for i := range pr {
+		a, b := pr[i], qr[i]
+		if (a.IDSpec != xam.NoID) != (b.IDSpec != xam.NoID) {
+			return false, nil
+		}
+		if a.StoreTag != b.StoreTag || a.StoreVal != b.StoreVal || a.StoreCont != b.StoreCont {
+			return false, nil
+		}
+		if NestDepth(p, a) != NestDepth(q, b) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// matchingBoxes collects, for every embedding of q into the canonical tree
+// whose return tuple and nesting sequences match the entry, the box of value
+// constraints the embedding imposes (variables are tree node identities).
+func matchingBoxes(q *xam.Pattern, entry *CanonTree, s *summary.Summary) []Box {
+	qr := q.ReturnNodes()
+	var out []Box
+	for _, f := range patternEmbeddings(q, entry) {
+		if !retAndNestMatch(q, qr, f, entry, s) {
+			continue
+		}
+		box := Box{}
+		for n, ct := range f {
+			if ct == nil || !n.HasValuePred {
+				continue
+			}
+			if g, ok := box[ct.ID]; ok {
+				box[ct.ID] = g.And(n.ValuePred)
+			} else {
+				box[ct.ID] = n.ValuePred
+			}
+		}
+		out = append(out, box)
+	}
+	return out
+}
+
+// entryBox renders the canonical tree's own decorations as a box.
+func entryBox(entry *CanonTree) Box {
+	box := Box{}
+	for _, n := range entry.All {
+		if n.HasFormula {
+			box[n.ID] = n.Formula
+		}
+	}
+	return box
+}
+
+func retAndNestMatch(q *xam.Pattern, qr []*xam.Node, f ctBinding, entry *CanonTree, s *summary.Summary) bool {
+	for i, rn := range qr {
+		ct, bound := f[rn]
+		want := entry.RetNodes[i]
+		if want == nil {
+			if !bound || ct != nil {
+				return false
+			}
+			continue
+		}
+		if !bound || ct != want {
+			return false
+		}
+		ns := ctNestingSequence(q, rn, f)
+		if !nestSeqCompatible(s, entry.NestSeq[i], ns) {
+			return false
+		}
+	}
+	return true
+}
+
+// ctNestingSequence computes ns(n, f) over a tree binding: summary numbers
+// of the images of nest-edge ancestors, top-down (0 = ⊤).
+func ctNestingSequence(q *xam.Pattern, n *xam.Node, f ctBinding) []int {
+	var chain []*xam.Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		chain = append(chain, cur)
+	}
+	var seq []int
+	for i := len(chain) - 1; i >= 0; i-- {
+		node := chain[i]
+		e := incomingEdge(q, node)
+		if e == nil || !e.Sem.Nested() {
+			continue
+		}
+		if node.Parent == nil {
+			seq = append(seq, 0)
+		} else if ct := f[node.Parent]; ct != nil {
+			seq = append(seq, ct.Path.Num)
+		}
+	}
+	return seq
+}
+
+// nestSeqCompatible implements condition 2(b) of Proposition 4.4.4 with the
+// one-to-one relaxation: sequences must have equal length and corresponding
+// elements must be equal or connected by one-to-one edges only.
+func nestSeqCompatible(s *summary.Summary, a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !oneToOneConnected(s, a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// oneToOneConnected reports whether two summary nodes (0 = ⊤) are linked by
+// a path made exclusively of one-to-one edges; nesting under either then
+// groups identically (§4.4.5).
+func oneToOneConnected(s *summary.Summary, a, b int) bool {
+	if a == b {
+		return true
+	}
+	// Normalize: 0 acts as the parent of the root over a one-to-one edge.
+	nodeOf := func(num int) *summary.Node {
+		if num == 0 {
+			return nil
+		}
+		return s.NodeByNum(num)
+	}
+	na, nb := nodeOf(a), nodeOf(b)
+	// Walk up from the deeper node towards the shallower over One edges.
+	walkUp := func(from *summary.Node, to *summary.Node) bool {
+		cur := from
+		for cur != nil && cur != to {
+			if cur.EdgeIn != summary.One {
+				return false
+			}
+			cur = cur.Parent
+		}
+		return cur == to
+	}
+	switch {
+	case na == nil:
+		return walkUp(nb, nil)
+	case nb == nil:
+		return walkUp(na, nil)
+	case na.AncestorOf(nb):
+		return walkUp(nb, na)
+	case nb.AncestorOf(na):
+		return walkUp(na, nb)
+	}
+	return false
+}
+
+// PathAnnotations computes, for every pattern node, the set of summary paths
+// it may embed to (Definition 4.3.1). Optional subtrees are annotated from
+// the variants in which they are present.
+func PathAnnotations(p *xam.Pattern, s *summary.Summary) map[*xam.Node][]*summary.Node {
+	out := map[*xam.Node]map[int]*summary.Node{}
+	for _, n := range p.Nodes() {
+		out[n] = map[int]*summary.Node{}
+	}
+	// Treat every edge as mandatory except that optional subtrees may be
+	// absent: enumerate with all-optional-erased masks like CanonicalModel.
+	opts := optionalEdges(p)
+	if len(opts) > maxOptionalEdges {
+		opts = opts[:maxOptionalEdges]
+	}
+	for mask := 0; mask < 1<<len(opts); mask++ {
+		erased := map[*xam.Edge]bool{}
+		for i, e := range opts {
+			if mask&(1<<i) != 0 {
+				erased[e] = true
+			}
+		}
+		if redundantMask(p, erased) {
+			continue
+		}
+		for _, b := range strictEmbeddings(p, s, func(e *xam.Edge) bool { return erased[e] }) {
+			for n, sn := range b {
+				if sn != nil {
+					out[n][sn.Num] = sn
+				}
+			}
+		}
+	}
+	final := map[*xam.Node][]*summary.Node{}
+	for n, m := range out {
+		nodes := make([]*summary.Node, 0, len(m))
+		for _, sn := range m {
+			nodes = append(nodes, sn)
+		}
+		// Sort by path number for deterministic output.
+		for i := 1; i < len(nodes); i++ {
+			for j := i; j > 0 && nodes[j].Num < nodes[j-1].Num; j-- {
+				nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+			}
+		}
+		final[n] = nodes
+	}
+	return final
+}
+
+// Checker caches the canonical model of one query pattern so that many
+// candidate patterns can be tested against it cheaply (the rewriting search
+// of Chapter 5 tests hundreds of candidates per query).
+type Checker struct {
+	S *summary.Summary
+	Q *xam.Pattern
+
+	model   []*CanonTree
+	modeled bool
+}
+
+// NewChecker prepares a checker for q over s.
+func NewChecker(s *summary.Summary, q *xam.Pattern) *Checker {
+	return &Checker{S: s, Q: q}
+}
+
+// Model returns (computing once) mod_S(Q).
+func (c *Checker) Model() []*CanonTree {
+	if !c.modeled {
+		c.model = CanonicalModel(c.Q, c.S)
+		c.modeled = true
+	}
+	return c.model
+}
+
+// QContainedIn decides Q ⊆_S p using the cached model.
+func (c *Checker) QContainedIn(p *xam.Pattern) (bool, error) {
+	return c.QContainedInUnion([]*xam.Pattern{p})
+}
+
+// QContainedInUnion decides Q ⊆_S p₁ ∪ … ∪ pₘ using the cached model.
+func (c *Checker) QContainedInUnion(ps []*xam.Pattern) (bool, error) {
+	if len(ps) == 0 {
+		return false, fmt.Errorf("containment: empty union")
+	}
+	var compatible []*xam.Pattern
+	for _, p := range ps {
+		ok, err := staticCompatible(c.Q, p)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			compatible = append(compatible, p)
+		}
+	}
+	if len(compatible) == 0 {
+		return false, nil
+	}
+	model := c.Model()
+	if len(model) == 0 {
+		return true, nil
+	}
+	for _, entry := range model {
+		var cover []Box
+		for _, p := range compatible {
+			cover = append(cover, matchingBoxes(p, entry, c.S)...)
+		}
+		if len(cover) == 0 {
+			return false, nil
+		}
+		if !BoxImplies(entryBox(entry), cover) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equivalent decides p ≡_S Q, testing the cheap cached direction first.
+func (c *Checker) Equivalent(p *xam.Pattern) (bool, error) {
+	ok, err := c.QContainedIn(p)
+	if err != nil || !ok {
+		return false, err
+	}
+	return Contained(p, c.Q, c.S)
+}

@@ -1,0 +1,390 @@
+package containment
+
+import (
+	"testing"
+
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+func sum(t *testing.T, src string) *summary.Summary {
+	t.Helper()
+	return summary.Build(xmltree.MustParse("t.xml", src))
+}
+
+func mustContained(t *testing.T, p, q string, s *summary.Summary, want bool) {
+	t.Helper()
+	got, err := Contained(xam.MustParse(p), xam.MustParse(q), s)
+	if err != nil {
+		t.Fatalf("Contained(%s, %s): %v", p, q, err)
+	}
+	if got != want {
+		t.Fatalf("Contained(%s, %s) = %v, want %v", p, q, got, want)
+	}
+}
+
+func TestSelfContainment(t *testing.T) {
+	s := sum(t, `<a><b><c>x</c></b><b/><d><c>y</c></d></a>`)
+	for _, src := range []string{
+		`// c{id}`,
+		`/ a(/ b{id}(/(o) c{id}))`,
+		`// b{id}(/(nj) c{id, val})`,
+		`// c{id, val=5}`,
+		`// *{id}(/(s) c)`,
+	} {
+		p := xam.MustParse(src)
+		ok, err := Contained(p, xam.MustParse(src), s)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !ok {
+			t.Errorf("%s not contained in itself", src)
+		}
+	}
+}
+
+func TestSummaryEnablesContainment(t *testing.T) {
+	// Every c is a child of b: //c ≡_S //b/c, though ⊄ in general.
+	s := sum(t, `<a><b><c/></b><b><c/></b></a>`)
+	mustContained(t, `// c{id}`, `// b(/ c{id})`, s, true)
+	mustContained(t, `// b(/ c{id})`, `// c{id}`, s, true)
+
+	// With a top-level c the containment breaks one way.
+	s2 := sum(t, `<a><c/><b><c/></b></a>`)
+	mustContained(t, `// c{id}`, `// b(/ c{id})`, s2, false)
+	mustContained(t, `// b(/ c{id})`, `// c{id}`, s2, true)
+}
+
+func TestDescendantToChildTightening(t *testing.T) {
+	// All e under a are at depth 2 via d: //a//e ≡_S //a/d/e.
+	s := sum(t, `<a><d><e/></d></a>`)
+	mustContained(t, `/ a(// e{id})`, `/ a(/ d(/ e{id}))`, s, true)
+	mustContained(t, `/ a(/ d(/ e{id}))`, `/ a(// e{id})`, s, true)
+}
+
+func TestUnsatisfiablePattern(t *testing.T) {
+	s := sum(t, `<a><b/></a>`)
+	p := xam.MustParse(`// zebra{id}`)
+	if Satisfiable(p, s) {
+		t.Fatal("zebra must be unsatisfiable")
+	}
+	// Unsatisfiable patterns are contained in anything of compatible shape.
+	mustContained(t, `// zebra{id}`, `// b{id}`, s, true)
+	// A child-chain that the summary lacks is unsatisfiable too.
+	if Satisfiable(xam.MustParse(`/ a(/ b(/ b{id}))`), s) {
+		t.Fatal("b/b must be unsatisfiable")
+	}
+}
+
+func TestCanonicalModelSizeWildcards(t *testing.T) {
+	// Summary paths: /a, /a/b, /a/b/c, /a/c. Pattern //*{id} has one
+	// canonical tree per element path.
+	s := sum(t, `<a><b><c/></b><c/></a>`)
+	model := CanonicalModel(xam.MustParse(`// *{id}`), s)
+	if len(model) != 4 {
+		t.Fatalf("|mod| = %d, want 4", len(model))
+	}
+	// A chain of two wildcards: (a,b), (a,c), (b,c) pairs.
+	model2 := CanonicalModel(xam.MustParse(`// *(// *{id})`), s)
+	if len(model2) != 3 {
+		t.Fatalf("|mod| = %d, want 3", len(model2))
+	}
+}
+
+func TestUnionContainmentRequired(t *testing.T) {
+	// Summary with b reachable under x and under y; q1 covers x-side, q2
+	// covers y-side; only the union contains p (the §5.3 observation that
+	// unions enable rewritings).
+	s := sum(t, `<a><x><b/></x><y><b/></y></a>`)
+	p := xam.MustParse(`// b{id}`)
+	q1 := xam.MustParse(`// x(/ b{id})`)
+	q2 := xam.MustParse(`// y(/ b{id})`)
+	ok, err := Contained(p, q1, s)
+	if err != nil || ok {
+		t.Fatalf("p ⊆ q1 should fail: %v %v", ok, err)
+	}
+	ok, err = ContainedInUnion(p, []*xam.Pattern{q1, q2}, s)
+	if err != nil || !ok {
+		t.Fatalf("p ⊆ q1 ∪ q2 should hold: %v %v", ok, err)
+	}
+}
+
+func TestDecoratedContainment(t *testing.T) {
+	s := sum(t, `<r><x>3</x></r>`)
+	// v=3 ⇒ v≤5.
+	mustContained(t, `// x{id, val=3}`, `// x{id, val<=5}`, s, true)
+	// v≤5 ⇏ v=3.
+	mustContained(t, `// x{id, val<=5}`, `// x{id, val=3}`, s, false)
+	// Undecorated ⊄ decorated.
+	mustContained(t, `// x{id}`, `// x{id, val<=5}`, s, false)
+	// Decorated ⊆ undecorated.
+	mustContained(t, `// x{id, val=3}`, `// x{id}`, s, true)
+}
+
+func TestDecoratedUnionSplit(t *testing.T) {
+	// The §4.4.2 disjunction check: v=3 ⊆ (v≤5 ∪ v≥6); full domain is not.
+	s := sum(t, `<r><x>3</x></r>`)
+	p := xam.MustParse(`// x{id, val=3}`)
+	full := xam.MustParse(`// x{id}`)
+	lo := xam.MustParse(`// x{id, val<=5}`)
+	hi := xam.MustParse(`// x{id, val>=6}`)
+	ok, err := ContainedInUnion(p, []*xam.Pattern{lo, hi}, s)
+	if err != nil || !ok {
+		t.Fatalf("v=3 ⊆ union: %v %v", ok, err)
+	}
+	ok, err = ContainedInUnion(full, []*xam.Pattern{lo, hi}, s)
+	if err != nil || ok {
+		t.Fatalf("T ⊄ (v≤5 ∪ v≥6) over a dense domain: %v %v", ok, err)
+	}
+	// But v<7 ⊆ (v≤5 ∪ v>5).
+	p2 := xam.MustParse(`// x{id, val<7}`)
+	lo2 := xam.MustParse(`// x{id, val<=5}`)
+	hi2 := xam.MustParse(`// x{id, val>5}`)
+	ok, err = ContainedInUnion(p2, []*xam.Pattern{lo2, hi2}, s)
+	if err != nil || !ok {
+		t.Fatalf("v<7 ⊆ (v≤5 ∪ v>5): %v %v", ok, err)
+	}
+}
+
+func TestOptionalContainment(t *testing.T) {
+	s := sum(t, `<r><c><b/></c><c/></r>`)
+	// The only children of c are b's, so optional-b and optional-* agree.
+	mustContained(t, `// c{id}(/(o) b{id})`, `// c{id}(/(o) *{id})`, s, true)
+	mustContained(t, `// c{id}(/(o) *{id})`, `// c{id}(/(o) b{id})`, s, true)
+	// Optional is not contained in mandatory (the ⊥ tuple is missing).
+	mustContained(t, `// c{id}(/(o) b{id})`, `// c{id}(/ b{id})`, s, false)
+	// Mandatory ⊆ optional fails too: on the childless-c canonical tree the
+	// optional pattern produces a ⊥ tuple the strict one does not — but for
+	// the strict pattern's own model (which always includes b) the optional
+	// pattern produces matching tuples, so strict ⊆ optional holds.
+	mustContained(t, `// c{id}(/ b{id})`, `// c{id}(/(o) b{id})`, s, true)
+}
+
+func TestOptionalBotRule(t *testing.T) {
+	// mod must not contain a ⊥ tuple when a match exists (§4.1 cond 3(b)).
+	s := sum(t, `<r><c><b/></c></r>`)
+	model := CanonicalModel(xam.MustParse(`// c{id}(/(o) b{id})`), s)
+	for _, e := range model {
+		if e.Ret[1] != 0 {
+			continue
+		}
+		for _, n := range e.All {
+			if n.Path.Label == "b" {
+				t.Fatalf("⊥ return with b present in tree: %v", e.Ret)
+			}
+		}
+	}
+	// Every c has a b here, so exactly one canonical tree, with b bound.
+	if len(model) != 1 || model[0].Ret[1] == 0 {
+		t.Fatalf("model: %d entries", len(model))
+	}
+}
+
+func TestOptionalUnmatchableSubtree(t *testing.T) {
+	// The optional child's label is absent from the summary entirely: the
+	// pattern is still satisfiable, returning ⊥ for it.
+	s := sum(t, `<r><c/></r>`)
+	p := xam.MustParse(`// c{id}(/(o) zebra{id})`)
+	model := CanonicalModel(p, s)
+	if len(model) != 1 || model[0].Ret[1] != 0 {
+		t.Fatalf("model: %+v", model)
+	}
+	mustContained(t, `// c{id}(/(o) zebra{id})`, `// c{id}(/(o) zebra{id})`, s, true)
+}
+
+func TestAttributeAnnotationsMustMatch(t *testing.T) {
+	s := sum(t, `<a><b>x</b></a>`)
+	// Same annotations: contained (b ⊆ * under this summary).
+	mustContained(t, `// b{id, val}`, `// *{id, val}`, s, true)
+	// Different annotations on the return node: never contained.
+	mustContained(t, `// b{id}`, `// b{val}`, s, false)
+	mustContained(t, `// b{id, val}`, `// b{id}`, s, false)
+	// Different return arity: never contained.
+	mustContained(t, `// b{id}`, `/ a{id}(/ b{id})`, s, false)
+}
+
+func TestNestedContainment(t *testing.T) {
+	s := sum(t, `<r><w><c><b/><b/></c></w></r>`)
+	// Same nesting point: contained.
+	mustContained(t, `// c{id}(/(nj) b{id})`, `// c{id}(/(nj) b{id})`, s, true)
+	// Nested vs flat: static nest-depth mismatch.
+	mustContained(t, `// c{id}(/(nj) b{id})`, `// c{id}(/ b{id})`, s, false)
+	mustContained(t, `// c{id}(/ b{id})`, `// c{id}(/(nj) b{id})`, s, false)
+}
+
+func TestNestedOneToOneRelaxation(t *testing.T) {
+	// w has exactly one c: nesting under w equals nesting under c.
+	s := sum(t, `<r><w><c><b/><b/></c></w></r>`)
+	if s.NodeByPath("/r/w/c").EdgeIn != summary.One {
+		t.Fatal("precondition: w→c must be a one-to-one edge")
+	}
+	p := xam.MustParse(`// w{id}(/(nj) c(/ b{id}))`)
+	q := xam.MustParse(`// w{id}(/ c(/(nj) b{id}))`)
+	ok, err := Contained(p, q, s)
+	if err != nil || !ok {
+		t.Fatalf("one-to-one nest relaxation should allow containment: %v %v", ok, err)
+	}
+	// With multiple c under w, the relaxation must NOT apply.
+	s2 := sum(t, `<r><w><c><b/></c><c><b/></c></w></r>`)
+	if s2.NodeByPath("/r/w/c").EdgeIn == summary.One {
+		t.Fatal("precondition: w→c must not be one-to-one")
+	}
+	ok, err = Contained(p, q, s2)
+	if err != nil || ok {
+		t.Fatalf("nest relaxation must fail without one-to-one edge: %v %v", ok, err)
+	}
+}
+
+func TestPathAnnotations(t *testing.T) {
+	s := sum(t, `<a><b><c/></b><c/></a>`)
+	p := xam.MustParse(`// *{id}(/ c{id})`)
+	ann := PathAnnotations(p, s)
+	star := p.Nodes()[0]
+	c := p.Nodes()[1]
+	// * can be a (with child c) or b (with child c).
+	if len(ann[star]) != 2 {
+		t.Fatalf("star annotation: %v", ann[star])
+	}
+	if len(ann[c]) != 2 {
+		t.Fatalf("c annotation: %v", ann[c])
+	}
+}
+
+func TestMinimizeByContraction(t *testing.T) {
+	// Every e lies under d: //a//d//e minimizes to //a//e … and further to
+	// //e since a is the root.
+	s := sum(t, `<a><d><e/></d></a>`)
+	p := xam.MustParse(`// a(// d(// e{id}))`)
+	min, err := MinimizeByContraction(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) == 0 {
+		t.Fatal("no minimal pattern")
+	}
+	best := min[0]
+	if best.Size() != 1 {
+		t.Fatalf("minimal size = %d (%s), want 1", best.Size(), best)
+	}
+	for _, m := range min {
+		eq, err := Equivalent(m, p, s)
+		if err != nil || !eq {
+			t.Fatalf("minimal %s not equivalent: %v", m, err)
+		}
+	}
+}
+
+func TestMinimizeKeepsDiscriminatingNodes(t *testing.T) {
+	// Here d discriminates: there are e's outside d.
+	s := sum(t, `<a><d><e/></d><e/></a>`)
+	p := xam.MustParse(`// d(// e{id})`)
+	min, err := MinimizeByContraction(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range min {
+		if m.Size() < 2 {
+			t.Fatalf("over-minimized to %s", m)
+		}
+	}
+}
+
+func TestSContractionRejectsNonConjunctive(t *testing.T) {
+	if _, err := SContractions(xam.MustParse(`// a(/(o) b{id})`)); err == nil {
+		t.Fatal("optional patterns must be rejected")
+	}
+}
+
+func TestBoxImplies(t *testing.T) {
+	v3 := Box{1: eq(3)}
+	le5 := Box{1: le(5)}
+	ge6 := Box{1: ge(6)}
+	if !BoxImplies(v3, []Box{le5}) {
+		t.Fatal("v=3 ⇒ v≤5")
+	}
+	if BoxImplies(le5, []Box{v3}) {
+		t.Fatal("v≤5 ⇏ v=3")
+	}
+	if !BoxImplies(v3, []Box{ge6, le5}) {
+		t.Fatal("union membership")
+	}
+	// Cross-variable: (x=3 ∧ y=4) ⊆ (x≤5) even though y unconstrained.
+	b := Box{1: eq(3), 2: eq(4)}
+	if !BoxImplies(b, []Box{le5}) {
+		t.Fatal("projection implication")
+	}
+	// 2D split: (x∈[0,10], y∈[0,10]) ⊆ (x≤5) ∪ (x>5) holds;
+	// ⊆ (x≤5, y≤5) ∪ (x>5) fails (corner x≤5,y>5 uncovered).
+	sq := Box{1: ge(0).And(le10()), 2: ge(0).And(le10())}
+	if !BoxImplies(sq, []Box{{1: le(5)}, {1: gt(5)}}) {
+		t.Fatal("2D cover")
+	}
+	if BoxImplies(sq, []Box{{1: le(5), 2: le(5)}, {1: gt(5)}}) {
+		t.Fatal("2D corner must be uncovered")
+	}
+	// Empty box implies anything.
+	if !BoxImplies(Box{1: eq(1).And(eq(2))}, nil) {
+		t.Fatal("empty box")
+	}
+}
+
+func TestCanonTreeKeyStability(t *testing.T) {
+	s := sum(t, `<a><b>1</b></a>`)
+	m1 := CanonicalModel(xam.MustParse(`// b{id, val=1}`), s)
+	m2 := CanonicalModel(xam.MustParse(`// b{id, val=1}`), s)
+	if len(m1) != 1 || len(m2) != 1 || m1[0].Key() != m2[0].Key() {
+		t.Fatal("keys must be deterministic")
+	}
+}
+
+func TestStrongEdgeEnablesContainment(t *testing.T) {
+	// Every c has exactly one b child (One edge): //c{id} is contained in
+	// //c{id}(/(s) b) because the semijoin condition always holds on
+	// conforming documents. Enhanced-summary constraints enable this.
+	s := sum(t, `<r><c><b/></c><c><b/></c></r>`)
+	if s.NodeByPath("/r/c/b").EdgeIn != summary.One {
+		t.Fatal("precondition: c→b must be one-to-one")
+	}
+	mustContained(t, `// c{id}`, `// c{id}(/(s) b)`, s, true)
+	// Without the guarantee the containment must fail.
+	s2 := sum(t, `<r><c><b/></c><c/></r>`)
+	mustContained(t, `// c{id}`, `// c{id}(/(s) b)`, s2, false)
+}
+
+func TestSiblingBranchesNotContainedInChain(t *testing.T) {
+	// Regression for the canonical-tree construction: a pattern reaching
+	// book and title through unrelated branches pairs every book with every
+	// title — it must NOT be contained in the parent-child chain pattern,
+	// even though both touch the same summary paths. The §4.3.1
+	// construction keeps one chain per pattern edge, so the canonical tree
+	// has separate book occurrences and the chain pattern cannot match.
+	s := sum(t, `<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`)
+	p := xam.MustParse(`// *(/ book{id s}, // title{id s, val})`)
+	q := xam.MustParse(`// book{id s}(/ title{id s, val})`)
+	mustContained(t, p.String(), q.String(), s, false)
+	// The chain is contained in the product, though.
+	mustContained(t, q.String(), p.String(), s, true)
+}
+
+func TestOneToOneMergingSharesForcedNodes(t *testing.T) {
+	// With exactly one book per bib (One edge), the branch pattern and the
+	// chain pattern coincide on every conforming document: one-to-one chain
+	// merging makes the containment hold.
+	s := sum(t, `<bib><book><title>T1</title><title>T2</title></book></bib>`)
+	if s.NodeByPath("/bib/book").EdgeIn != summary.One {
+		t.Fatal("precondition: bib→book must be one-to-one")
+	}
+	p := xam.MustParse(`// *(/ book{id s}, // title{id s, val})`)
+	q := xam.MustParse(`// book{id s}(/ title{id s, val})`)
+	mustContained(t, p.String(), q.String(), s, true)
+}
+
+func TestSelfJoinStyleSemijoinBranches(t *testing.T) {
+	// Two semijoin branches on the same path must not be confused with one:
+	// //a[b][c] vs //a[b]: containment holds one way only when c exists
+	// under every a... here a's may lack c.
+	s := sum(t, `<r><a><b/><c/></a><a><b/></a></r>`)
+	mustContained(t, `// a{id s}(/(s) b, /(s) c)`, `// a{id s}(/(s) b)`, s, true)
+	mustContained(t, `// a{id s}(/(s) b)`, `// a{id s}(/(s) b, /(s) c)`, s, false)
+}

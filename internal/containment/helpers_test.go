@@ -1,0 +1,9 @@
+package containment
+
+import "xamdb/internal/value"
+
+func eq(v float64) value.Formula { return value.Eq(value.Num(v)) }
+func le(v float64) value.Formula { return value.Le(value.Num(v)) }
+func ge(v float64) value.Formula { return value.Ge(value.Num(v)) }
+func gt(v float64) value.Formula { return value.Gt(value.Num(v)) }
+func le10() value.Formula        { return value.Le(value.Num(10)) }

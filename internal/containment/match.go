@@ -1,0 +1,287 @@
+package containment
+
+import (
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+)
+
+// ctBinding maps pattern nodes to canonical tree nodes. An explicit nil
+// entry is ⊥ (an optional subtree without a match); nodes matched virtually
+// against summary-forced structure are simply absent (virtual matching is
+// only allowed for return-free, formula-free subtrees, whose assignments
+// never matter).
+type ctBinding map[*xam.Node]*CTNode
+
+// descendantsOf returns the strict descendants of a tree node, pre-order.
+func descendantsOf(n *CTNode) []*CTNode {
+	var out []*CTNode
+	var walk func(c *CTNode)
+	walk = func(c *CTNode) {
+		out = append(out, c)
+		for _, cc := range c.Children {
+			walk(cc)
+		}
+	}
+	for _, c := range n.Children {
+		walk(c)
+	}
+	return out
+}
+
+// realCandidates lists the tree nodes a pattern edge may map to under the
+// given context (nil context = ⊤).
+func realCandidates(t *CanonTree, ctx *CTNode, e *xam.Edge) []*CTNode {
+	label := e.Child.Label
+	var pool []*CTNode
+	switch {
+	case ctx == nil && e.Axis == xam.Child:
+		for _, n := range t.Top {
+			if n.Path.Parent == nil {
+				pool = append(pool, n)
+			}
+		}
+	case ctx == nil:
+		pool = t.All
+	case e.Axis == xam.Child:
+		pool = ctx.Children
+	default:
+		pool = descendantsOf(ctx)
+	}
+	var out []*CTNode
+	for _, n := range pool {
+		if labelMatches(n.Path.Label, label) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// pureSubtree reports whether the subtree rooted at n contains no return
+// node and no value predicate — the precondition for matching it virtually
+// against summary-forced structure.
+func pureSubtree(n *xam.Node) bool {
+	if n.IsReturn() || n.HasValuePred {
+		return false
+	}
+	for _, e := range n.Edges {
+		if !pureSubtree(e.Child) {
+			return false
+		}
+	}
+	return true
+}
+
+// forcedMatch reports whether the pattern subtree under e is guaranteed to
+// match below the given summary path in EVERY conforming document: the
+// target is reachable over strong (+/1) summary edges only, and the
+// subtree's mandatory edges are recursively forced. Only meaningful for
+// pure subtrees.
+func forcedMatch(e *xam.Edge, from *summary.Node) bool {
+	var targets []*summary.Node
+	var collect func(sn *summary.Node, deep bool)
+	collect = func(sn *summary.Node, deep bool) {
+		for _, c := range sn.Children {
+			if c.EdgeIn != summary.Plus && c.EdgeIn != summary.One {
+				continue
+			}
+			if labelMatches(c.Label, e.Child.Label) {
+				targets = append(targets, c)
+			}
+			if deep {
+				collect(c, true)
+			}
+		}
+	}
+	collect(from, e.Axis == xam.Descendant)
+	for _, target := range targets {
+		ok := true
+		for _, ce := range e.Child.Edges {
+			if ce.Sem.Optional() {
+				continue
+			}
+			if !forcedMatch(ce, target) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// forcedGuaranteed reports whether the subtree under e matches in EVERY
+// conforming document below the given path: targets reachable over strong
+// edges, no value predicates anywhere on the mandatory skeleton (a forced
+// node's value is arbitrary, so a predicate can always fail), and mandatory
+// children recursively guaranteed.
+func forcedGuaranteed(e *xam.Edge, from *summary.Node) bool {
+	if e.Child.HasValuePred {
+		return false
+	}
+	var targets []*summary.Node
+	var collect func(sn *summary.Node, deep bool)
+	collect = func(sn *summary.Node, deep bool) {
+		for _, c := range sn.Children {
+			if c.EdgeIn != summary.Plus && c.EdgeIn != summary.One {
+				continue
+			}
+			if labelMatches(c.Label, e.Child.Label) {
+				targets = append(targets, c)
+			}
+			if deep {
+				collect(c, true)
+			}
+		}
+	}
+	collect(from, e.Axis == xam.Descendant)
+	for _, target := range targets {
+		ok := true
+		for _, ce := range e.Child.Edges {
+			if ce.Sem.Optional() {
+				continue
+			}
+			if !forcedGuaranteed(ce, target) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// canMatch reports whether the subtree under e can match below ctx in the
+// minimal witness document — against real tree nodes, or against structure
+// the summary's strong edges force into every document. This drives the
+// ⊥-rule of §4.1 condition 3(b): an optional node maps to ⊥ only when no
+// match exists.
+func canMatch(t *CanonTree, e *xam.Edge, ctx *CTNode) bool {
+	for _, cand := range realCandidates(t, ctx, e) {
+		ok := true
+		for _, ce := range e.Child.Edges {
+			if ce.Sem.Optional() {
+				continue
+			}
+			if !canMatch(t, ce, cand) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	if from := fromPathOf(t, ctx); from != nil && forcedGuaranteed(e, from) {
+		return true
+	}
+	return false
+}
+
+// fromPathOf returns the summary path of a context (the summary root's
+// parent is represented by nil ⊤; for ⊤ forced matching starts at the
+// summary root only for child axes, handled by forcedMatch's caller).
+func fromPathOf(t *CanonTree, ctx *CTNode) *summary.Node {
+	if ctx != nil {
+		return ctx.Path
+	}
+	return nil
+}
+
+// patternEmbeddings enumerates embeddings of p into the canonical tree t,
+// honoring the optional-edge semantics of §4.1 and allowing pure subtrees to
+// match summary-forced structure. Each yielded binding covers the pattern's
+// return-relevant and decorated nodes; pure virtually-matched subtrees are
+// absent from it.
+func patternEmbeddings(p *xam.Pattern, t *CanonTree) []ctBinding {
+	var out []ctBinding
+	cur := ctBinding{}
+
+	var assignEdges func(edges []*xam.Edge, ctx *CTNode, k func())
+	var assignEdge func(e *xam.Edge, ctx *CTNode, k func())
+	var assignBot func(n *xam.Node, k func())
+
+	assignBot = func(n *xam.Node, k func()) {
+		cur[n] = nil
+		var botEdges func(edges []*xam.Edge, k func())
+		botEdges = func(edges []*xam.Edge, k func()) {
+			if len(edges) == 0 {
+				k()
+				return
+			}
+			assignBot(edges[0].Child, func() { botEdges(edges[1:], k) })
+		}
+		botEdges(n.Edges, k)
+		delete(cur, n)
+	}
+
+	assignEdges = func(edges []*xam.Edge, ctx *CTNode, k func()) {
+		if len(edges) == 0 {
+			k()
+			return
+		}
+		assignEdge(edges[0], ctx, func() {
+			assignEdges(edges[1:], ctx, k)
+		})
+	}
+	assignEdge = func(e *xam.Edge, ctx *CTNode, k func()) {
+		if e.Sem.Optional() && !canMatch(t, e, ctx) {
+			assignBot(e.Child, k)
+			return
+		}
+		for _, cand := range realCandidates(t, ctx, e) {
+			cur[e.Child] = cand
+			assignEdges(e.Child.Edges, cand, k)
+		}
+		delete(cur, e.Child)
+		// Virtual matching of a pure subtree against forced structure; its
+		// nodes stay unbound.
+		if pureSubtree(e.Child) {
+			if from := fromPathOf(t, ctx); from != nil && forcedMatch(e, from) {
+				k()
+			}
+		}
+	}
+	assignEdges(p.Top, nil, func() {
+		b := ctBinding{}
+		for n, ct := range cur {
+			b[n] = ct
+		}
+		out = append(out, b)
+	})
+	return out
+}
+
+// retProduced checks that p, evaluated on the canonical tree with optional
+// embedding semantics, produces the tree's return tuple (the p(t_{e,F}) ≠ ∅
+// filter of §4.3.2: ⊥ may stand only where no match exists).
+func retProduced(p *xam.Pattern, t *CanonTree) bool {
+	rs := p.ReturnNodes()
+	for _, b := range patternEmbeddings(p, t) {
+		ok := true
+		for i, rn := range rs {
+			ct, bound := b[rn]
+			want := t.RetNodes[i]
+			switch {
+			case want == nil:
+				if !bound || ct != nil {
+					ok = false
+				}
+			default:
+				if !bound || ct != want {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package containment
+
+import (
+	"fmt"
+
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+)
+
+// SContractions returns every pattern obtained from p by erasing one
+// non-return node and reconnecting its children to its parent over
+// ancestor-descendant edges (§4.5). Only conjunctive patterns are handled,
+// matching the scope of the thesis's minimization discussion.
+func SContractions(p *xam.Pattern) ([]*xam.Pattern, error) {
+	if !p.Conjunctive() {
+		return nil, fmt.Errorf("containment: S-contraction is defined for conjunctive patterns")
+	}
+	var out []*xam.Pattern
+	nodes := p.Nodes()
+	for i, n := range nodes {
+		if n.IsReturn() {
+			continue
+		}
+		q := p.Clone()
+		qn := q.Nodes()[i]
+		if err := contractNode(q, qn); err != nil {
+			continue
+		}
+		if q.Size() == 0 {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// contractNode removes n from q, splicing its children onto its parent (or
+// onto ⊤) with '//' axes.
+func contractNode(q *xam.Pattern, n *xam.Node) error {
+	lift := func(edges []*xam.Edge, newParent *xam.Node) []*xam.Edge {
+		var out []*xam.Edge
+		for _, e := range edges {
+			out = append(out, &xam.Edge{Axis: xam.Descendant, Sem: e.Sem, Child: e.Child})
+			e.Child.Parent = newParent
+		}
+		return out
+	}
+	if n.Parent == nil {
+		var newTop []*xam.Edge
+		for _, e := range q.Top {
+			if e.Child == n {
+				newTop = append(newTop, lift(n.Edges, nil)...)
+			} else {
+				newTop = append(newTop, e)
+			}
+		}
+		q.Top = newTop
+		return nil
+	}
+	parent := n.Parent
+	var newEdges []*xam.Edge
+	for _, e := range parent.Edges {
+		if e.Child == n {
+			newEdges = append(newEdges, lift(n.Edges, parent)...)
+		} else {
+			newEdges = append(newEdges, e)
+		}
+	}
+	parent.Edges = newEdges
+	return nil
+}
+
+// MinimizeByContraction computes all patterns minimal under S-contraction
+// that are S-equivalent to p (§4.5). Several minimal patterns may exist
+// (Figure 4.12's t'₁ and t'₂); they are returned deduplicated.
+func MinimizeByContraction(p *xam.Pattern, s *summary.Summary) ([]*xam.Pattern, error) {
+	seen := map[string]bool{}
+	minimal := map[string]*xam.Pattern{}
+	var rec func(t *xam.Pattern) error
+	rec = func(t *xam.Pattern) error {
+		key := t.String()
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		cands, err := SContractions(t)
+		if err != nil {
+			return err
+		}
+		contracted := false
+		for _, c := range cands {
+			eq, err := Equivalent(c, p, s)
+			if err != nil {
+				return err
+			}
+			if eq {
+				contracted = true
+				if err := rec(c); err != nil {
+					return err
+				}
+			}
+		}
+		if !contracted {
+			minimal[key] = t
+		}
+		return nil
+	}
+	if err := rec(p); err != nil {
+		return nil, err
+	}
+	out := make([]*xam.Pattern, 0, len(minimal))
+	for _, t := range minimal {
+		out = append(out, t)
+	}
+	// Deterministic order: smaller first, then lexicographic.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+func less(a, b *xam.Pattern) bool {
+	if a.Size() != b.Size() {
+		return a.Size() < b.Size()
+	}
+	return a.String() < b.String()
+}

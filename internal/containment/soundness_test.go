@@ -1,0 +1,109 @@
+package containment
+
+import (
+	"math/rand"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/datagen"
+	"xamdb/internal/patgen"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// TestContainmentSoundOnConformingDocument cross-validates the decision
+// procedure against evaluation: whenever p ⊆_S q, every document conforming
+// to S must satisfy p(d) ⊆ q(d). The generating document conforms to its own
+// summary by construction.
+func TestContainmentSoundOnConformingDocument(t *testing.T) {
+	docs := []*xmltree.Document{
+		datagen.DBLP(40),
+		datagen.Shakespeare(2, 3),
+		xmltree.MustParse("mixed.xml", `<r>
+			<a><b v="1">x</b><c><b v="2">y</b></c></a>
+			<a><c><b v="3">z</b></c></a>
+			<d><b v="4">w</b></d>
+		</r>`),
+	}
+	for _, doc := range docs {
+		s := summary.Build(doc)
+		pats := patgen.GenerateSet(s, patgen.Config{Nodes: 4, Returns: 1, POpt: 0.3}, 12, 11)
+		checked, positives := 0, 0
+		for i := 0; i < len(pats); i++ {
+			for j := 0; j < len(pats); j++ {
+				ok, err := Contained(pats[i], pats[j], s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checked++
+				if !ok {
+					continue
+				}
+				positives++
+				ri, err := pats[i].Eval(doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rj, err := pats[j].Eval(doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !subset(ri, rj) {
+					t.Fatalf("doc %s: decided %s ⊆ %s but evaluation disagrees:\n%s\nvs\n%s",
+						doc.Name, pats[i], pats[j], ri, rj)
+				}
+			}
+		}
+		if positives == 0 {
+			t.Errorf("doc %s: no positive pairs among %d — workload too scattered", doc.Name, checked)
+		}
+	}
+}
+
+func subset(a, b *algebra.Relation) bool {
+	for _, t := range a.Tuples {
+		found := false
+		for _, u := range b.Tuples {
+			if t.Equal(u) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEquivalenceMatchesEvaluation: decided equivalences must yield equal
+// results on a conforming document.
+func TestEquivalenceMatchesEvaluation(t *testing.T) {
+	doc := datagen.DBLP(30)
+	s := summary.Build(doc)
+	rng := rand.New(rand.NewSource(3))
+	pats := make([]*xam.Pattern, 0, 16)
+	for len(pats) < 16 {
+		p := patgen.Generate(s, patgen.Config{Nodes: 3, Returns: 1}, rng)
+		if p != nil {
+			pats = append(pats, p)
+		}
+	}
+	for i := range pats {
+		for j := range pats {
+			eq, err := Equivalent(pats[i], pats[j], s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				continue
+			}
+			ri, _ := pats[i].Eval(doc)
+			rj, _ := pats[j].Eval(doc)
+			if !ri.EqualAsSet(rj) {
+				t.Fatalf("decided %s ≡ %s but evaluations differ", pats[i], pats[j])
+			}
+		}
+	}
+}

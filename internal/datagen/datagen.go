@@ -1,0 +1,399 @@
+// Package datagen produces deterministic synthetic XML documents whose
+// path-summary shapes mimic the data sets of the thesis's evaluation
+// (Figure 4.13): XMark auction data (with the recursive parlist/listitem
+// markup that inflates its summary), DBLP-style bibliographies,
+// Shakespeare-style plays, and Nasa/SwissProt-style scientific records.
+// Real benchmark files are unavailable offline; these generators substitute
+// for them — containment and rewriting costs depend on the summary and the
+// patterns, which the generators reproduce, not on raw document bytes.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xamdb/internal/xmltree"
+)
+
+var words = strings.Fields(`the quick brown fox jumps over lazy dog web data
+semistructured query pattern view index summary access module rewriting
+containment algebra storage engine auction item person bid keyword gold
+silver shipping description creditcard category europe asia africa history
+science nature deep blue red green large small ancient modern abstract`)
+
+type gen struct {
+	rng *rand.Rand
+}
+
+func newGen(seed int64) *gen { return &gen{rng: rand.New(rand.NewSource(seed))} }
+
+func (g *gen) word() string { return words[g.rng.Intn(len(words))] }
+
+func (g *gen) text(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.word()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *gen) intn(n int) int { return g.rng.Intn(n) }
+
+func el(label string, children ...*xmltree.Node) *xmltree.Node {
+	return xmltree.NewElement(label, children...)
+}
+
+func txt(s string) *xmltree.Node { return xmltree.NewText(s) }
+
+func attr(name, v string) *xmltree.Node { return xmltree.NewAttr(name, v) }
+
+// XMark generates an XMark-like auction document. items controls the number
+// of items per region (6 regions); people and auctions scale the other
+// sections. The recursive description markup (parlist/listitem/text with
+// bold, emph, keyword) reproduces XMark's large summaries.
+func XMark(items, people, auctions int) *xmltree.Document {
+	g := newGen(7)
+	regions := el("regions")
+	for _, r := range []string{"africa", "asia", "australia", "europe", "namerica", "samerica"} {
+		region := el(r)
+		for i := 0; i < items; i++ {
+			region.Children = append(region.Children, g.xmarkItem(r, i))
+		}
+		regions.Children = append(regions.Children, region)
+	}
+	ppl := el("people")
+	for i := 0; i < people; i++ {
+		ppl.Children = append(ppl.Children, g.xmarkPerson(i))
+	}
+	open := el("open_auctions")
+	closed := el("closed_auctions")
+	for i := 0; i < auctions; i++ {
+		open.Children = append(open.Children, g.xmarkOpenAuction(i))
+		closed.Children = append(closed.Children, g.xmarkClosedAuction(i))
+	}
+	cats := el("categories")
+	for i := 0; i < max(1, items/2); i++ {
+		cats.Children = append(cats.Children,
+			el("category", attr("id", fmt.Sprintf("category%d", i)),
+				el("name", txt(g.word())),
+				el("description", g.parlist(2))))
+	}
+	root := el("site", regions, cats, el("catgraph"), ppl, open, closed)
+	return xmltree.NewDocument("xmark.xml", root)
+}
+
+func (g *gen) xmarkItem(region string, i int) *xmltree.Node {
+	item := el("item", attr("id", fmt.Sprintf("item_%s_%d", region, i)),
+		el("location", txt(g.word())),
+		el("quantity", txt(fmt.Sprint(1+g.intn(5)))),
+		el("name", txt(g.text(2))),
+		el("payment", txt("Creditcard")),
+		el("description", g.parlist(3)),
+		el("shipping", txt(g.word())))
+	mailbox := el("mailbox")
+	for m := 0; m <= g.intn(3); m++ {
+		mailbox.Children = append(mailbox.Children,
+			el("mail",
+				el("from", txt(g.word())),
+				el("to", txt(g.word())),
+				el("date", txt(fmt.Sprintf("%02d/%02d/%d", 1+g.intn(12), 1+g.intn(28), 1998+g.intn(8)))),
+				el("text", g.richText()...)))
+	}
+	item.Children = append(item.Children, mailbox)
+	item.Children = append(item.Children, el("incategory", attr("category", fmt.Sprintf("category%d", g.intn(3)))))
+	return item
+}
+
+// parlist builds the recursive description structure that dominates XMark
+// summaries: parlist → listitem → (text | parlist) …
+func (g *gen) parlist(depth int) *xmltree.Node {
+	pl := el("parlist")
+	for i := 0; i <= g.intn(2); i++ {
+		li := el("listitem")
+		if depth > 0 && g.intn(3) == 0 {
+			li.Children = append(li.Children, g.parlist(depth-1))
+		} else {
+			li.Children = append(li.Children, el("text", g.richText()...))
+		}
+		pl.Children = append(pl.Children, li)
+	}
+	return pl
+}
+
+// richText yields mixed content with the markup tags (bold, emph, keyword)
+// that make XMark summaries wide.
+func (g *gen) richText() []*xmltree.Node {
+	out := []*xmltree.Node{txt(g.text(3))}
+	if g.intn(2) == 0 {
+		out = append(out, el("bold", txt(g.word())))
+	}
+	if g.intn(2) == 0 {
+		out = append(out, el("keyword", txt(g.word()), el("emph", txt(g.word()))))
+	}
+	if g.intn(3) == 0 {
+		out = append(out, el("emph", txt(g.word()), el("bold", txt(g.word()))))
+	}
+	out = append(out, txt(g.word()))
+	return out
+}
+
+func (g *gen) xmarkPerson(i int) *xmltree.Node {
+	p := el("person", attr("id", fmt.Sprintf("person%d", i)),
+		el("name", txt(g.text(2))),
+		el("emailaddress", txt(g.word()+"@example.com")))
+	if g.intn(2) == 0 {
+		p.Children = append(p.Children, el("phone", txt(fmt.Sprint(g.intn(999999)))))
+	}
+	if g.intn(2) == 0 {
+		p.Children = append(p.Children,
+			el("address",
+				el("street", txt(g.text(2))),
+				el("city", txt(g.word())),
+				el("country", txt(g.word()))))
+	}
+	if g.intn(3) == 0 {
+		p.Children = append(p.Children,
+			el("profile", attr("income", fmt.Sprint(20000+g.intn(80000))),
+				el("interest", attr("category", fmt.Sprintf("category%d", g.intn(3)))),
+				el("education", txt("Graduate School")),
+				el("business", txt("No"))))
+	}
+	p.Children = append(p.Children, el("watches",
+		el("watch", attr("open_auction", fmt.Sprintf("open_auction%d", g.intn(10))))))
+	return p
+}
+
+func (g *gen) xmarkOpenAuction(i int) *xmltree.Node {
+	a := el("open_auction", attr("id", fmt.Sprintf("open_auction%d", i)),
+		el("initial", txt(fmt.Sprintf("%d.%02d", 1+g.intn(200), g.intn(100)))),
+		el("reserve", txt(fmt.Sprint(10+g.intn(100)))))
+	for b := 0; b <= g.intn(3); b++ {
+		a.Children = append(a.Children,
+			el("bidder",
+				el("date", txt(fmt.Sprintf("%02d/%02d/2001", 1+g.intn(12), 1+g.intn(28)))),
+				el("personref", attr("person", fmt.Sprintf("person%d", g.intn(20)))),
+				el("increase", txt(fmt.Sprintf("%d.00", 1+g.intn(20))))))
+	}
+	a.Children = append(a.Children,
+		el("current", txt(fmt.Sprint(20+g.intn(300)))),
+		el("itemref", attr("item", fmt.Sprintf("item_europe_%d", g.intn(5)))),
+		el("seller", attr("person", fmt.Sprintf("person%d", g.intn(20)))),
+		el("annotation",
+			el("author", attr("person", fmt.Sprintf("person%d", g.intn(20)))),
+			el("description", el("text", g.richText()...)),
+			el("happiness", txt(fmt.Sprint(1+g.intn(10))))),
+		el("quantity", txt("1")),
+		el("type", txt("Regular")),
+		el("interval",
+			el("start", txt("01/01/2001")),
+			el("end", txt("12/31/2001"))))
+	return a
+}
+
+func (g *gen) xmarkClosedAuction(i int) *xmltree.Node {
+	return el("closed_auction",
+		el("seller", attr("person", fmt.Sprintf("person%d", g.intn(20)))),
+		el("buyer", attr("person", fmt.Sprintf("person%d", g.intn(20)))),
+		el("itemref", attr("item", fmt.Sprintf("item_asia_%d", g.intn(5)))),
+		el("price", txt(fmt.Sprintf("%d.00", 10+g.intn(500)))),
+		el("date", txt("07/04/2001")),
+		el("quantity", txt("1")),
+		el("type", txt("Regular")),
+		el("annotation",
+			el("author", attr("person", fmt.Sprintf("person%d", g.intn(20)))),
+			el("description", g.parlist(2)),
+			el("happiness", txt(fmt.Sprint(1+g.intn(10))))))
+}
+
+// DBLP generates a DBLP-like bibliography with pubs entries spread over the
+// usual publication types.
+func DBLP(pubs int) *xmltree.Document {
+	g := newGen(11)
+	root := el("dblp")
+	kinds := []string{"article", "inproceedings", "book", "phdthesis", "mastersthesis", "www"}
+	for i := 0; i < pubs; i++ {
+		kind := kinds[i%len(kinds)]
+		pub := el(kind, attr("key", fmt.Sprintf("%s/%d", kind, i)), attr("mdate", "2002-01-03"))
+		for a := 0; a <= g.intn(3); a++ {
+			pub.Children = append(pub.Children, el("author", txt(g.text(2))))
+		}
+		pub.Children = append(pub.Children,
+			el("title", txt(g.text(4))),
+			el("year", txt(fmt.Sprint(1990+g.intn(15)))))
+		switch kind {
+		case "article":
+			pub.Children = append(pub.Children,
+				el("journal", txt(g.text(2))),
+				el("volume", txt(fmt.Sprint(1+g.intn(40)))),
+				el("pages", txt(fmt.Sprintf("%d-%d", g.intn(100), 100+g.intn(100)))))
+			if g.intn(2) == 0 {
+				pub.Children = append(pub.Children, el("ee", txt("http://doi.example/"+g.word())))
+			}
+		case "inproceedings":
+			pub.Children = append(pub.Children,
+				el("booktitle", txt(g.text(2))),
+				el("pages", txt(fmt.Sprintf("%d-%d", g.intn(100), 100+g.intn(100)))),
+				el("crossref", txt("conf/"+g.word())))
+		case "book":
+			pub.Children = append(pub.Children,
+				el("publisher", txt(g.word())),
+				el("isbn", txt(fmt.Sprint(1000000+g.intn(8999999)))))
+		case "phdthesis", "mastersthesis":
+			pub.Children = append(pub.Children, el("school", txt(g.text(2))))
+		case "www":
+			pub.Children = append(pub.Children, el("url", txt("http://"+g.word()+".example.org")))
+		}
+		if g.intn(4) == 0 {
+			pub.Children = append(pub.Children, el("cite", txt("...")))
+		}
+		root.Children = append(root.Children, pub)
+	}
+	return xmltree.NewDocument("dblp.xml", root)
+}
+
+// Shakespeare generates a play-shaped document (acts × scenes).
+func Shakespeare(acts, scenes int) *xmltree.Document {
+	g := newGen(13)
+	play := el("PLAY",
+		el("TITLE", txt("The Tragedy of "+g.word())),
+		el("FM", el("P", txt(g.text(6)))),
+		el("PERSONAE",
+			el("TITLE", txt("Dramatis Personae")),
+			el("PERSONA", txt(g.text(2))),
+			el("PGROUP", el("PERSONA", txt(g.text(2))), el("GRPDESCR", txt(g.word()))),
+			el("PERSONA", txt(g.text(2)))),
+		el("SCNDESCR", txt(g.text(4))),
+		el("PLAYSUBT", txt(g.word())))
+	for a := 0; a < acts; a++ {
+		act := el("ACT", el("TITLE", txt(fmt.Sprintf("ACT %d", a+1))))
+		for s := 0; s < scenes; s++ {
+			scene := el("SCENE", el("TITLE", txt(fmt.Sprintf("SCENE %d", s+1))),
+				el("STAGEDIR", txt(g.text(3))))
+			for sp := 0; sp <= 2+g.intn(4); sp++ {
+				speech := el("SPEECH", el("SPEAKER", txt(strings.ToUpper(g.word()))))
+				for l := 0; l <= 1+g.intn(4); l++ {
+					speech.Children = append(speech.Children, el("LINE", txt(g.text(6))))
+				}
+				scene.Children = append(scene.Children, speech)
+			}
+			act.Children = append(act.Children, scene)
+		}
+		play.Children = append(play.Children, act)
+	}
+	return xmltree.NewDocument("shakespeare.xml", play)
+}
+
+// Nasa generates astronomical dataset records.
+func Nasa(datasets int) *xmltree.Document {
+	g := newGen(17)
+	root := el("datasets")
+	for i := 0; i < datasets; i++ {
+		ds := el("dataset", attr("subject", "astronomy"),
+			el("title", txt(g.text(3))),
+			el("altname", attr("type", "ADC"), txt(g.word())),
+			el("reference",
+				el("source",
+					el("other",
+						el("title", txt(g.text(3))),
+						el("author",
+							el("initial", txt("J")),
+							el("lastName", txt(g.word()))),
+						el("name", txt(g.text(2))),
+						el("publisher", txt(g.word())),
+						el("city", txt(g.word())),
+						el("date", el("year", txt(fmt.Sprint(1970+g.intn(30)))))))),
+			el("keywords", attr("parentListURL", "http://example.org"),
+				el("keyword", txt(g.word())),
+				el("keyword", txt(g.word()))),
+			el("descriptions",
+				el("description",
+					el("para", txt(g.text(10)))),
+				el("details", txt(g.text(4)))),
+			el("identifier", txt(fmt.Sprintf("I_%d", i))))
+		if g.intn(2) == 0 {
+			ds.Children = append(ds.Children,
+				el("tableHead",
+					el("tableLinks", el("tableLink", attr("url", "http://x"))),
+					el("fields",
+						el("field",
+							el("name", txt(g.word())),
+							el("definition", txt(g.text(4)))))))
+		}
+		if g.intn(3) == 0 {
+			ds.Children = append(ds.Children,
+				el("history",
+					el("ingest", el("creator",
+						el("lastName", txt(g.word()))), el("date", el("year", txt("1999"))))))
+		}
+		root.Children = append(root.Children, ds)
+	}
+	return xmltree.NewDocument("nasa.xml", root)
+}
+
+// SwissProt generates protein entries.
+func SwissProt(entries int) *xmltree.Document {
+	g := newGen(19)
+	root := el("root")
+	for i := 0; i < entries; i++ {
+		e := el("Entry", attr("id", fmt.Sprintf("P%05d", i)), attr("seqlen", fmt.Sprint(100+g.intn(900))),
+			el("AC", txt(fmt.Sprintf("Q%05d", i))),
+			el("Mod", attr("date", "01-JAN-1998"), attr("version", fmt.Sprint(1+g.intn(30)))),
+			el("Descr", txt(g.text(4))),
+			el("Species", txt(g.word()+" "+g.word())),
+			el("Org", txt(g.word())))
+		for r := 0; r <= g.intn(3); r++ {
+			ref := el("Ref", attr("num", fmt.Sprint(r+1)), attr("pos", "1-100"),
+				el("Comment", txt(g.text(3))),
+				el("DB", txt("MEDLINE")),
+				el("MedlineID", txt(fmt.Sprint(90000000+g.intn(9999999)))))
+			for a := 0; a <= g.intn(3); a++ {
+				ref.Children = append(ref.Children, el("Author", txt(g.word()+" "+strings.ToUpper(g.word()[:1])+".")))
+			}
+			ref.Children = append(ref.Children, el("Cite", txt(g.text(4))))
+			e.Children = append(e.Children, ref)
+		}
+		e.Children = append(e.Children,
+			el("EMBL", txt(g.word())),
+			el("INTERPRO", txt(g.word())),
+			el("PFAM", txt(g.word())))
+		feats := el("Features")
+		// SwissProt's summary breadth comes from its many feature kinds,
+		// each a distinct path with the same Descr/From/To shape.
+		kinds := []string{"DOMAIN", "CHAIN", "BINDING", "TRANSMEM", "DISULFID",
+			"CONFLICT", "MUTAGEN", "SIGNAL", "CARBOHYD", "ACT_SITE", "NP_BIND",
+			"MOD_RES", "METAL", "REPEAT", "ZN_FING", "PROPEP", "VARSPLIC",
+			"INIT_MET", "SIMILAR", "PEPTIDE"}
+		for f := 0; f <= 2+g.intn(4); f++ {
+			kind := kinds[g.intn(len(kinds))]
+			feats.Children = append(feats.Children,
+				el(kind,
+					el("Descr", txt(g.text(2))),
+					el("From", txt(fmt.Sprint(g.intn(100)))),
+					el("To", txt(fmt.Sprint(100+g.intn(100))))))
+		}
+		e.Children = append(e.Children, feats)
+		// Cross-reference databases, each its own element name.
+		dbs := []string{"PROSITE", "PRINTS", "PDB", "MIM", "GCRDB", "AARHUS",
+			"DICTYDB", "ECOGENE", "FLYBASE", "MAIZEDB", "MGD", "REBASE",
+			"SGD", "STYGENE", "SUBTILIST", "TIGR", "TRANSFAC", "WORMPEP",
+			"YEPD", "ZFIN"}
+		for d := 0; d <= g.intn(5); d++ {
+			e.Children = append(e.Children, el(dbs[g.intn(len(dbs))], txt(g.word())))
+		}
+		if g.intn(3) == 0 {
+			e.Children = append(e.Children,
+				el("Keyword", txt(g.word())),
+				el("Gene", el("Name", txt(strings.ToUpper(g.word())))))
+		}
+		root.Children = append(root.Children, e)
+	}
+	return xmltree.NewDocument("swissprot.xml", root)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"testing"
+
+	"xamdb/internal/summary"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := XMark(3, 5, 4)
+	b := XMark(3, 5, 4)
+	if a.Serialize() != b.Serialize() {
+		t.Fatal("XMark not deterministic")
+	}
+	if DBLP(20).Serialize() != DBLP(20).Serialize() {
+		t.Fatal("DBLP not deterministic")
+	}
+}
+
+func TestXMarkShape(t *testing.T) {
+	doc := XMark(4, 10, 8)
+	s := summary.Build(doc)
+	// Key XMark paths must exist.
+	for _, p := range []string{
+		"/site/regions/europe/item/description/parlist/listitem",
+		"/site/people/person/name",
+		"/site/open_auctions/open_auction/bidder/increase",
+		"/site/closed_auctions/closed_auction/price",
+	} {
+		if s.NodeByPath(p) == nil {
+			t.Errorf("missing path %s", p)
+		}
+	}
+	// Recursive parlist must unfold at least once somewhere.
+	found := false
+	for _, n := range s.Nodes() {
+		if n.Label == "parlist" && n.Parent != nil && n.Parent.Label == "listitem" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no recursive parlist unfolding")
+	}
+	// The summary should be in the hundreds of paths, like real XMark.
+	if s.Size() < 200 {
+		t.Errorf("summary too small: %d", s.Size())
+	}
+	if doc.Size() < 2000 {
+		t.Errorf("document too small: %d nodes", doc.Size())
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	s := summary.Build(DBLP(60))
+	for _, p := range []string{
+		"/dblp/article/author", "/dblp/article/title", "/dblp/article/year",
+		"/dblp/inproceedings/booktitle", "/dblp/phdthesis/school", "/dblp/book/publisher",
+	} {
+		if s.NodeByPath(p) == nil {
+			t.Errorf("missing path %s", p)
+		}
+	}
+	// DBLP summaries are much smaller than XMark ones (Figure 4.13).
+	if s.Size() > 120 {
+		t.Errorf("dblp summary unexpectedly large: %d", s.Size())
+	}
+}
+
+func TestOtherShapes(t *testing.T) {
+	sh := summary.Build(Shakespeare(3, 3))
+	if sh.NodeByPath("/PLAY/ACT/SCENE/SPEECH/LINE") == nil {
+		t.Error("missing Shakespeare path")
+	}
+	na := summary.Build(Nasa(20))
+	if na.NodeByPath("/datasets/dataset/reference/source/other/author/lastName") == nil {
+		t.Error("missing Nasa path")
+	}
+	sp := summary.Build(SwissProt(20))
+	if sp.NodeByPath("/root/Entry/Features/DOMAIN/Descr") == nil {
+		t.Error("missing SwissProt path")
+	}
+	// Relative summary sizes mirror Figure 4.13's ordering:
+	// Shakespeare < Nasa < SwissProt-ish.
+	if !(sh.Size() < na.Size()) {
+		t.Errorf("expected |S(shakespeare)|=%d < |S(nasa)|=%d", sh.Size(), na.Size())
+	}
+}
+
+func TestSummariesStableAcrossScale(t *testing.T) {
+	// Summaries grow little as documents grow (Figure 4.13's observation).
+	small := summary.Build(XMark(2, 4, 3)).Size()
+	large := summary.Build(XMark(6, 20, 12)).Size()
+	if large < small {
+		t.Fatalf("summary shrank: %d -> %d", small, large)
+	}
+	if float64(large) > 1.6*float64(small) {
+		t.Fatalf("summary grew too much: %d -> %d", small, large)
+	}
+}

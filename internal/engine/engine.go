@@ -1,0 +1,312 @@
+// Package engine assembles the full ULoad-style prototype (§1.2, §5.1): a
+// catalog of documents with their path summaries, a set of XAM-described
+// storage structures / materialized views per document, and a query
+// processor that extracts patterns from XQuery (Chapter 3), rewrites each
+// pattern over the registered XAMs under summary constraints (Chapters 4–5),
+// and executes the chosen plans — achieving physical data independence:
+// changing the storage means changing the registered XAM set, never the
+// engine.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/rewrite"
+	"xamdb/internal/storage"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+	"xamdb/internal/xquery"
+)
+
+// docState groups what the engine knows about one document.
+type docState struct {
+	doc      *xmltree.Document
+	summary  *summary.Summary
+	views    []*rewrite.View
+	env      rewrite.Env
+	rewriter *rewrite.Rewriter // rebuilt lazily when views change
+}
+
+// Engine is the query processor.
+type Engine struct {
+	docs map[string]*docState
+	// FallbackToBase lets queries run by direct evaluation when no
+	// rewriting exists (equivalent to registering the trivial node store).
+	FallbackToBase bool
+	// UsePhysical executes rewritten plans through the §1.2.3 physical
+	// operators (StackTree joins over sorted inputs) instead of the
+	// materialized logical evaluator.
+	UsePhysical bool
+	Opts        rewrite.Options
+}
+
+// New creates an empty engine that falls back to base evaluation. The
+// optimizer stops after a handful of plans per pattern; raise Opts.MaxPlans
+// to explore exhaustively.
+func New() *Engine {
+	return &Engine{
+		docs:           map[string]*docState{},
+		FallbackToBase: true,
+		Opts:           rewrite.Options{MaxPlans: 3},
+	}
+}
+
+// LoadDocument parses and registers a document, building its summary.
+func (e *Engine) LoadDocument(name, content string) error {
+	doc, err := xmltree.Parse(name, content)
+	if err != nil {
+		return err
+	}
+	e.AddDocument(doc)
+	return nil
+}
+
+// AddDocument registers an already-parsed document.
+func (e *Engine) AddDocument(doc *xmltree.Document) {
+	e.docs[doc.Name] = &docState{
+		doc:     doc,
+		summary: summary.Build(doc),
+		env:     rewrite.Env{},
+	}
+}
+
+// Document returns a registered document, or nil.
+func (e *Engine) Document(name string) *xmltree.Document {
+	if st, ok := e.docs[name]; ok {
+		return st.doc
+	}
+	return nil
+}
+
+// Summary returns a document's path summary, or nil.
+func (e *Engine) Summary(name string) *summary.Summary {
+	if st, ok := e.docs[name]; ok {
+		return st.summary
+	}
+	return nil
+}
+
+func (e *Engine) state(doc string) (*docState, error) {
+	st, ok := e.docs[doc]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown document %q", doc)
+	}
+	return st, nil
+}
+
+// RegisterView materializes a XAM over the document and makes it available
+// to the optimizer. Changing the storage = changing the registered XAM set.
+func (e *Engine) RegisterView(doc, name, pat string) error {
+	st, err := e.state(doc)
+	if err != nil {
+		return err
+	}
+	p, err := xam.Parse(pat)
+	if err != nil {
+		return err
+	}
+	st.views = append(st.views, &rewrite.View{Name: name, Pattern: p})
+	st.rewriter = nil
+	return nil
+}
+
+// RegisterStore adds every module of a storage scheme as a view.
+func (e *Engine) RegisterStore(doc string, store *storage.Store) error {
+	st, err := e.state(doc)
+	if err != nil {
+		return err
+	}
+	st.views = append(st.views, store.Views()...)
+	for name, rel := range store.Env() {
+		st.env[name] = rel
+	}
+	st.rewriter = nil
+	return nil
+}
+
+// rewriterFor returns (building if needed) the document's rewriter and env.
+func (e *Engine) rewriterFor(st *docState) (*rewrite.Rewriter, rewrite.Env, error) {
+	if st.rewriter == nil {
+		st.rewriter = rewrite.NewRewriter(st.summary, st.views, e.Opts)
+		// Materialize any views that have no extent yet.
+		env, err := st.rewriter.Materialize(st.doc)
+		if err != nil {
+			return nil, nil, err
+		}
+		for name, rel := range env {
+			if _, have := st.env[name]; !have {
+				st.env[name] = rel
+			}
+		}
+	}
+	return st.rewriter, st.env, nil
+}
+
+// Report describes how a query was answered.
+type Report struct {
+	Patterns []string // extracted query patterns
+	Plans    []string // chosen plan per pattern ("base scan" for fallback)
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	for i := range r.Patterns {
+		fmt.Fprintf(&sb, "pattern %d: %s\n  plan: %s\n", i+1, r.Patterns[i], r.Plans[i])
+	}
+	return sb.String()
+}
+
+// Query parses, plans and executes an XQuery, returning the serialized XML
+// result and the planning report.
+func (e *Engine) Query(src string) (string, *Report, error) {
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	ex, err := xquery.Extract(q)
+	if err != nil {
+		return "", nil, err
+	}
+	report := &Report{}
+	var combined *algebra.Relation
+	for i, pat := range ex.Patterns {
+		report.Patterns = append(report.Patterns, pat.String())
+		st, err := e.state(ex.DocNames[i])
+		if err != nil {
+			return "", nil, err
+		}
+		rel, planDesc, err := e.answerPattern(st, pat)
+		if err != nil {
+			return "", nil, err
+		}
+		report.Plans = append(report.Plans, planDesc)
+		if combined == nil {
+			combined = rel
+		} else {
+			combined = algebra.Product(combined, rel)
+		}
+	}
+	for _, j := range ex.Joins {
+		combined, err = applyJoin(combined, j)
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	nodes, err := algebra.XMLize(combined, ex.Template)
+	if err != nil {
+		return "", nil, err
+	}
+	return algebra.SerializeNodes(nodes), report, nil
+}
+
+// answerPattern rewrites one query pattern over the document's views, or
+// falls back to base evaluation.
+func (e *Engine) answerPattern(st *docState, pat *xam.Pattern) (*algebra.Relation, string, error) {
+	if len(st.views) > 0 {
+		rw, env, err := e.rewriterFor(st)
+		if err != nil {
+			return nil, "", err
+		}
+		plans, err := rw.Rewrite(pat)
+		if err != nil {
+			return nil, "", err
+		}
+		if len(plans) > 0 {
+			var rel *algebra.Relation
+			if e.UsePhysical {
+				rel, err = rewrite.ExecutePhysical(plans[0].Plan, env)
+				if err == nil {
+					rel, err = renamePhysical(rel, plans[0])
+				}
+			} else {
+				rel, err = plans[0].Execute(env)
+			}
+			if err != nil {
+				return nil, "", err
+			}
+			return rel, plans[0].Plan.String(), nil
+		}
+	}
+	if !e.FallbackToBase {
+		return nil, "", fmt.Errorf("engine: no rewriting for pattern %s", pat)
+	}
+	rel, err := pat.Eval(st.doc)
+	if err != nil {
+		return nil, "", err
+	}
+	return rel, "base scan (direct evaluation)", nil
+}
+
+// renamePhysical aligns a physically-executed plan's output with the query
+// pattern's schema, as Rewriting.Execute does for the logical path.
+func renamePhysical(rel *algebra.Relation, rw *rewrite.Rewriting) (*algebra.Relation, error) {
+	want := rw.Query.Schema()
+	if len(rel.Schema.Attrs) != len(want.Attrs) {
+		return nil, fmt.Errorf("engine: physical output shape mismatch: %s vs %s", rel.Schema, want)
+	}
+	out := algebra.NewRelation(want)
+	out.Tuples = rel.Tuples
+	return out, nil
+}
+
+func applyJoin(r *algebra.Relation, j xquery.ValueJoin) (*algebra.Relation, error) {
+	li := r.Schema.Index(j.LeftAttr)
+	ri := r.Schema.Index(j.RightAttr)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("engine: join attribute %q/%q missing", j.LeftAttr, j.RightAttr)
+	}
+	ops := map[string]algebra.Cmp{"=": algebra.Eq, "!=": algebra.Ne, "<": algebra.Lt,
+		"<=": algebra.Le, ">": algebra.Gt, ">=": algebra.Ge}
+	op, ok := ops[j.Op]
+	if !ok {
+		return nil, fmt.Errorf("engine: unsupported comparator %q", j.Op)
+	}
+	out := algebra.NewRelation(r.Schema)
+	for _, t := range r.Tuples {
+		if op.Apply(t[li], t[ri]) {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+// Explain plans a query without executing it.
+func (e *Engine) Explain(src string) (*Report, error) {
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := xquery.Extract(q)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{}
+	for i, pat := range ex.Patterns {
+		report.Patterns = append(report.Patterns, pat.String())
+		st, err := e.state(ex.DocNames[i])
+		if err != nil {
+			return nil, err
+		}
+		desc := "base scan (direct evaluation)"
+		if len(st.views) > 0 {
+			rw, _, err := e.rewriterFor(st)
+			if err != nil {
+				return nil, err
+			}
+			plans, err := rw.Rewrite(pat)
+			if err != nil {
+				return nil, err
+			}
+			if len(plans) > 0 {
+				desc = plans[0].Plan.String()
+			} else if !e.FallbackToBase {
+				desc = "NO PLAN"
+			}
+		}
+		report.Plans = append(report.Plans, desc)
+	}
+	return report, nil
+}

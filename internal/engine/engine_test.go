@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/storage"
+	"xamdb/internal/summary"
+)
+
+const bibXML = `<bib>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+  </book>
+  <book year="2002">
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+</bib>`
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	if err := e.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQueryBaseFallback(t *testing.T) {
+	e := newEngine(t)
+	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<title>Data on the Web</title><title>The Syntactic Web</title>` {
+		t.Fatalf("result: %q", got)
+	}
+	if len(rep.Plans) != 1 || !strings.Contains(rep.Plans[0], "base scan") {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestQueryUsesRegisteredView(t *testing.T) {
+	e := newEngine(t)
+	// A view that matches the whole query pattern of //book/title queries.
+	if err := e.RegisterView("bib.xml", "vtitles",
+		`// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<title>Data on the Web</title><title>The Syntactic Web</title>` {
+		t.Fatalf("result: %q", got)
+	}
+	if !strings.Contains(rep.Plans[0], "vtitles") {
+		t.Fatalf("view not used: %s", rep)
+	}
+}
+
+func TestQueryFLWRWithStore(t *testing.T) {
+	e := New()
+	e.FallbackToBase = true
+	if err := e.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.TagPartitioned(e.Document("bib.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterStore("bib.xml", st); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.Query(
+		`for $x in doc("bib.xml")//book where $x/@year = "1999" return <r>{$x/title}</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<r><title>Data on the Web</title></r>` {
+		t.Fatalf("result: %q", got)
+	}
+}
+
+func TestExplainWithoutExecution(t *testing.T) {
+	e := newEngine(t)
+	rep, err := e.Explain(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Patterns) != 1 || !strings.Contains(rep.String(), "pattern 1") {
+		t.Fatalf("explain: %s", rep)
+	}
+}
+
+func TestUnknownDocument(t *testing.T) {
+	e := newEngine(t)
+	if _, _, err := e.Query(`doc("nope.xml")//a`); err == nil {
+		t.Fatal("unknown document must error")
+	}
+	if err := e.RegisterView("nope.xml", "v", `// a{id}`); err == nil {
+		t.Fatal("register on unknown document must error")
+	}
+}
+
+func TestNoFallbackErrors(t *testing.T) {
+	e := newEngine(t)
+	e.FallbackToBase = false
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err == nil {
+		t.Fatal("want error without views and without fallback")
+	}
+}
+
+func TestSummaryAccess(t *testing.T) {
+	e := newEngine(t)
+	s := e.Summary("bib.xml")
+	if s == nil || s.NodeByPath("/bib/book/title") == nil {
+		t.Fatal("summary missing")
+	}
+	var _ *summary.Summary = s
+}
+
+func TestCrossDocumentJoin(t *testing.T) {
+	e := New()
+	if err := e.LoadDocument("a.xml", `<as><a><k>1</k></a><a><k>2</k></a></as>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadDocument("b.xml", `<bs><b><k>2</k><v>match</v></b></bs>`); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.Query(
+		`for $x in doc("a.xml")//a, $y in doc("b.xml")//b where $x/k = $y/k return <m>{$y/v/text()}</m>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<m>match</m>` {
+		t.Fatalf("result: %q", got)
+	}
+}
+
+func TestEngineCatalogRoundTrip(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/catalog.db"
+	if err := e.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := again.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("reloaded engine answers differently: %q vs %q", got, want)
+	}
+	if !strings.Contains(rep.Plans[0], "vt") {
+		t.Fatalf("reloaded engine must reuse the view: %s", rep)
+	}
+}
+
+func TestLoadCorruptCatalog(t *testing.T) {
+	if _, err := Load(strings.NewReader("junk")); err == nil {
+		t.Fatal("corrupt catalog must error")
+	}
+}
+
+func TestQueryPhysicalExecution(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	logical, _, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.UsePhysical = true
+	physical, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if physical != logical {
+		t.Fatalf("physical execution differs: %q vs %q", physical, logical)
+	}
+	if !strings.Contains(rep.Plans[0], "vt") {
+		t.Fatalf("view must still be used: %s", rep)
+	}
+}

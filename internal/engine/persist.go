@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"xamdb/internal/storage"
+)
+
+// catalog is the persistent form of an engine: documents by their XML
+// serialization, views by their XAM text. Extents rematerialize on load —
+// the catalog is the logical description, exactly the thesis's point that
+// the XAM set *is* the storage description.
+type catalog struct {
+	Docs []catalogDoc
+}
+
+type catalogDoc struct {
+	Name  string
+	XML   string
+	Views []catalogView
+}
+
+type catalogView struct {
+	Name    string
+	Pattern string
+}
+
+// Save writes the engine's catalog (documents and registered view XAMs).
+func (e *Engine) Save(w io.Writer) error {
+	var cat catalog
+	for name, st := range e.docs {
+		cd := catalogDoc{Name: name, XML: st.doc.Serialize()}
+		for _, v := range st.views {
+			cd.Views = append(cd.Views, catalogView{Name: v.Name, Pattern: v.Pattern.String()})
+		}
+		cat.Docs = append(cat.Docs, cd)
+	}
+	// Stable order for reproducible files.
+	for i := 1; i < len(cat.Docs); i++ {
+		for j := i; j > 0 && cat.Docs[j].Name < cat.Docs[j-1].Name; j-- {
+			cat.Docs[j], cat.Docs[j-1] = cat.Docs[j-1], cat.Docs[j]
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(cat); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a catalog written by Save into a fresh engine; summaries are
+// rebuilt and view extents rematerialize lazily on first use.
+func Load(r io.Reader) (*Engine, error) {
+	var cat catalog
+	if err := gob.NewDecoder(r).Decode(&cat); err != nil {
+		return nil, fmt.Errorf("engine: load: %w", err)
+	}
+	e := New()
+	for _, cd := range cat.Docs {
+		if err := e.LoadDocument(cd.Name, cd.XML); err != nil {
+			return nil, fmt.Errorf("engine: load %s: %w", cd.Name, err)
+		}
+		for _, cv := range cd.Views {
+			if err := e.RegisterView(cd.Name, cv.Name, cv.Pattern); err != nil {
+				return nil, fmt.Errorf("engine: load view %s: %w", cv.Name, err)
+			}
+		}
+	}
+	return e, nil
+}
+
+// SaveFile / LoadFile persist the catalog on disk.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return e.Save(f)
+}
+
+// LoadFile loads a catalog file.
+func LoadFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveStoreFile materializes a named storage scheme of a document and writes
+// it next to the catalog (module extents included), using the storage
+// package's binary format.
+func SaveStoreFile(dir string, st *storage.Store) error {
+	f, err := os.Create(filepath.Join(dir, st.Name+".store"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return storage.SaveStore(f, st)
+}

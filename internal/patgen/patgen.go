@@ -1,0 +1,211 @@
+// Package patgen generates random satisfiable XAM patterns over a given
+// path summary, following the synthetic workload of §4.6: patterns of n
+// nodes with fanout f=3, nodes relabeled * with probability 0.1, decorated
+// with a value predicate v=c with probability 0.2 (10 distinct values),
+// edges labeled // with probability 0.5 and optional with a configurable
+// probability, and r return nodes. Satisfiability is guaranteed by
+// construction: every pattern is grown along an embedding into the summary.
+package patgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xamdb/internal/summary"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+// Config controls generation; zero fields take the §4.6 defaults.
+type Config struct {
+	Nodes    int     // pattern size (default 5)
+	Fanout   int     // max children per node (default 3)
+	PStar    float64 // probability of a * label (default 0.1)
+	PPred    float64 // probability of a v=c predicate (default 0.2)
+	PDesc    float64 // probability of a // edge (default 0.5)
+	POpt     float64 // probability of an optional edge (0 = conjunctive)
+	Values   int     // distinct predicate constants (default 10)
+	Returns  int     // number of return nodes, annotated {id} (default 1)
+	MaxDepth int     // summary descent bound per edge (default 4)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 5
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 3
+	}
+	if c.PStar == 0 {
+		c.PStar = 0.1
+	}
+	if c.PPred == 0 {
+		c.PPred = 0.2
+	}
+	if c.PDesc == 0 {
+		c.PDesc = 0.5
+	}
+	if c.Values == 0 {
+		c.Values = 10
+	}
+	if c.Returns == 0 {
+		c.Returns = 1
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	return c
+}
+
+// Generate builds one random satisfiable pattern. The same (summary, cfg,
+// rng state) always yields the same pattern.
+func Generate(s *summary.Summary, cfg Config, rng *rand.Rand) *xam.Pattern {
+	cfg = cfg.withDefaults()
+	// Choose the witness summary nodes by growing a tree from a random
+	// element node.
+	type slot struct {
+		sn     *summary.Node
+		parent *xam.Node
+		axis   xam.Axis
+	}
+	elems := elementNodes(s)
+	if len(elems) == 0 {
+		return nil
+	}
+	// Prefer roots with enough element descendants to host the pattern;
+	// otherwise shallow summaries degenerate to single-node patterns.
+	var roomy []*summary.Node
+	for _, e := range elems {
+		if subtreeElements(e) >= cfg.Nodes {
+			roomy = append(roomy, e)
+		}
+	}
+	if len(roomy) == 0 {
+		roomy = elems
+	}
+	pat := &xam.Pattern{}
+	budget := cfg.Nodes
+	var queue []slot
+	root := roomy[rng.Intn(len(roomy))]
+	queue = append(queue, slot{sn: root, parent: nil, axis: xam.Descendant})
+	var made []*xam.Node
+	for budget > 0 && len(queue) > 0 {
+		// Pop a random queue slot to vary shapes.
+		qi := rng.Intn(len(queue))
+		cur := queue[qi]
+		queue = append(queue[:qi], queue[qi+1:]...)
+
+		n := &xam.Node{Label: cur.sn.Label}
+		if rng.Float64() < cfg.PStar {
+			n.Label = "*"
+		}
+		if rng.Float64() < cfg.PPred {
+			c := value.Num(float64(rng.Intn(cfg.Values)))
+			n.ValuePred = value.Eq(c)
+			n.HasValuePred = true
+			n.PredSrc = []string{fmt.Sprintf("val=%s", c)}
+		}
+		sem := xam.SemJoin
+		if rng.Float64() < cfg.POpt && cur.parent != nil {
+			sem = xam.SemOuter
+		}
+		e := &xam.Edge{Axis: cur.axis, Sem: sem, Child: n}
+		if cur.parent == nil {
+			pat.Top = append(pat.Top, e)
+		} else {
+			n.Parent = cur.parent
+			cur.parent.Edges = append(cur.parent.Edges, e)
+		}
+		made = append(made, n)
+		budget--
+		if budget == 0 {
+			break
+		}
+		// Queue children of this node: descend into the summary.
+		kids := rng.Intn(cfg.Fanout) + 1
+		for k := 0; k < kids && budget > len(queue); k++ {
+			child, depth := randomDescendant(cur.sn, cfg.MaxDepth, rng)
+			if child == nil {
+				continue
+			}
+			axis := xam.Descendant
+			if depth == 1 && rng.Float64() >= cfg.PDesc {
+				axis = xam.Child
+			}
+			queue = append(queue, slot{sn: child, parent: n, axis: axis})
+		}
+	}
+	// Mark return nodes: prefer the last-generated nodes (deeper ones),
+	// mirroring the thesis's fixed-label returns keeping patterns related.
+	r := cfg.Returns
+	if r > len(made) {
+		r = len(made)
+	}
+	for i := 0; i < r; i++ {
+		made[len(made)-1-i].IDSpec = xam.StructID
+	}
+	pat.AssignNames()
+	return pat
+}
+
+// GenerateSet builds count patterns with the same configuration.
+func GenerateSet(s *summary.Summary, cfg Config, count int, seed int64) []*xam.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*xam.Pattern, 0, count)
+	for len(out) < count {
+		p := Generate(s, cfg, rng)
+		if p != nil && p.Size() > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// subtreeElements counts the element nodes in a summary subtree (incl. n).
+func subtreeElements(n *summary.Node) int {
+	count := 1
+	for _, c := range n.Children {
+		if c.Label != "#text" && c.Label[0] != '@' {
+			count += subtreeElements(c)
+		}
+	}
+	return count
+}
+
+func elementNodes(s *summary.Summary) []*summary.Node {
+	var out []*summary.Node
+	for _, n := range s.Nodes() {
+		if n.Label != "#text" && len(n.Label) > 0 && n.Label[0] != '@' {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// randomDescendant picks a random element descendant within maxDepth levels;
+// it returns the node and its depth below the start (1 = child).
+func randomDescendant(from *summary.Node, maxDepth int, rng *rand.Rand) (*summary.Node, int) {
+	type cand struct {
+		n *summary.Node
+		d int
+	}
+	var cands []cand
+	var walk func(n *summary.Node, d int)
+	walk = func(n *summary.Node, d int) {
+		if d > maxDepth {
+			return
+		}
+		for _, c := range n.Children {
+			if c.Label != "#text" && c.Label[0] != '@' {
+				cands = append(cands, cand{c, d})
+				walk(c, d+1)
+			}
+		}
+	}
+	walk(from, 1)
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	pick := cands[rng.Intn(len(cands))]
+	return pick.n, pick.d
+}

@@ -1,0 +1,81 @@
+package patgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"xamdb/internal/containment"
+	"xamdb/internal/datagen"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+)
+
+func TestGeneratedPatternsAreSatisfiable(t *testing.T) {
+	s := summary.Build(datagen.XMark(2, 4, 3))
+	pats := GenerateSet(s, Config{Nodes: 6, Returns: 2}, 25, 42)
+	if len(pats) != 25 {
+		t.Fatalf("generated %d", len(pats))
+	}
+	for i, p := range pats {
+		if !containment.Satisfiable(p, s) {
+			t.Errorf("pattern %d unsatisfiable: %s", i, p)
+		}
+		if len(p.ReturnNodes()) == 0 {
+			t.Errorf("pattern %d has no return nodes: %s", i, p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := summary.Build(datagen.DBLP(30))
+	a := GenerateSet(s, Config{Nodes: 5}, 10, 7)
+	b := GenerateSet(s, Config{Nodes: 5}, 10, 7)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("pattern %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSizeAndOptions(t *testing.T) {
+	s := summary.Build(datagen.DBLP(30))
+	rng := rand.New(rand.NewSource(1))
+	optSeen, predSeen, starSeen := false, false, false
+	for i := 0; i < 60; i++ {
+		p := Generate(s, Config{Nodes: 8, POpt: 0.5}, rng)
+		if p.Size() > 8 {
+			t.Fatalf("size %d > 8: %s", p.Size(), p)
+		}
+		for _, n := range p.Nodes() {
+			if n.Label == "*" {
+				starSeen = true
+			}
+			if n.HasValuePred {
+				predSeen = true
+			}
+			for _, e := range n.Edges {
+				if e.Sem == xam.SemOuter {
+					optSeen = true
+				}
+			}
+		}
+	}
+	if !optSeen || !predSeen || !starSeen {
+		t.Fatalf("feature coverage: opt=%v pred=%v star=%v", optSeen, predSeen, starSeen)
+	}
+}
+
+func TestSelfContainmentOfGenerated(t *testing.T) {
+	// Conjunctive-only generated patterns must contain themselves.
+	s := summary.Build(datagen.DBLP(30))
+	pats := GenerateSet(s, Config{Nodes: 5, POpt: -1}, 10, 99)
+	for _, p := range pats {
+		ok, err := containment.Contained(p, p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("self containment failed: %s", p)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package physical implements the execution engine's physical operators
+// (§1.2.3): tuple iterators for scan, select, project, sort, hash join,
+// nested loops join, and the stack-based structural join algorithms
+// StackTreeDesc and StackTreeAnc of Al-Khalifa et al., with semijoin and
+// outerjoin variants. Every operator carries an order descriptor so the
+// optimizer can verify that structural joins receive correctly sorted
+// inputs.
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"xamdb/internal/algebra"
+)
+
+// Iterator is the pull-based physical operator interface. Next returns the
+// next tuple and false when exhausted.
+type Iterator interface {
+	Schema() *algebra.Schema
+	// Order is the operator's output order descriptor (§1.2.3).
+	Order() algebra.OrderDesc
+	Next() (algebra.Tuple, bool)
+}
+
+// Drain materializes an iterator into a relation.
+func Drain(it Iterator) *algebra.Relation {
+	out := algebra.NewRelation(it.Schema())
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out.Add(t)
+	}
+}
+
+// Scan iterates over a materialized relation, optionally declaring the order
+// its tuples are known to satisfy.
+type Scan struct {
+	rel   *algebra.Relation
+	order algebra.OrderDesc
+	pos   int
+}
+
+// NewScan builds a scan over rel with a declared order.
+func NewScan(rel *algebra.Relation, order algebra.OrderDesc) *Scan {
+	return &Scan{rel: rel, order: order}
+}
+
+// Schema implements Iterator.
+func (s *Scan) Schema() *algebra.Schema { return s.rel.Schema }
+
+// Order implements Iterator.
+func (s *Scan) Order() algebra.OrderDesc { return s.order }
+
+// Next implements Iterator.
+func (s *Scan) Next() (algebra.Tuple, bool) {
+	if s.pos >= s.rel.Len() {
+		return nil, false
+	}
+	t := s.rel.Tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Filter applies a tuple predicate.
+type Filter struct {
+	in   Iterator
+	pred func(algebra.Tuple) bool
+}
+
+// NewFilter builds a filtering iterator.
+func NewFilter(in Iterator, pred func(algebra.Tuple) bool) *Filter {
+	return &Filter{in: in, pred: pred}
+}
+
+// NewSelect builds a filter from σ predicates on top-level attributes.
+func NewSelect(in Iterator, preds ...algebra.Pred) (*Filter, error) {
+	idx := make([]int, len(preds))
+	for i, p := range preds {
+		j := in.Schema().Index(p.Path)
+		if j < 0 {
+			return nil, fmt.Errorf("physical: select: no attribute %q", p.Path)
+		}
+		idx[i] = j
+	}
+	return NewFilter(in, func(t algebra.Tuple) bool {
+		for i, p := range preds {
+			if !p.Op.Apply(t[idx[i]], p.Const) {
+				return false
+			}
+		}
+		return true
+	}), nil
+}
+
+// Schema implements Iterator.
+func (f *Filter) Schema() *algebra.Schema { return f.in.Schema() }
+
+// Order implements Iterator; filtering preserves order.
+func (f *Filter) Order() algebra.OrderDesc { return f.in.Order() }
+
+// Next implements Iterator.
+func (f *Filter) Next() (algebra.Tuple, bool) {
+	for {
+		t, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(t) {
+			return t, true
+		}
+	}
+}
+
+// Projection keeps the named top-level attributes.
+type Projection struct {
+	in     Iterator
+	cols   []int
+	schema *algebra.Schema
+}
+
+// NewProject builds a projection iterator.
+func NewProject(in Iterator, names ...string) (*Projection, error) {
+	cols := make([]int, len(names))
+	schema := &algebra.Schema{}
+	for i, n := range names {
+		j := in.Schema().Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("physical: project: no attribute %q", n)
+		}
+		cols[i] = j
+		schema.Attrs = append(schema.Attrs, in.Schema().Attrs[j])
+	}
+	return &Projection{in: in, cols: cols, schema: schema}, nil
+}
+
+// Schema implements Iterator.
+func (p *Projection) Schema() *algebra.Schema { return p.schema }
+
+// Order implements Iterator. Projection preserves order only if the order
+// columns survive; we report the surviving prefix.
+func (p *Projection) Order() algebra.OrderDesc {
+	var out algebra.OrderDesc
+	for _, o := range p.in.Order() {
+		if p.schema.Index(o) >= 0 {
+			out = append(out, o)
+		} else {
+			break
+		}
+	}
+	return out
+}
+
+// Next implements Iterator.
+func (p *Projection) Next() (algebra.Tuple, bool) {
+	t, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(algebra.Tuple, len(p.cols))
+	for i, j := range p.cols {
+		out[i] = t[j]
+	}
+	return out, true
+}
+
+// SortOp materializes and sorts its input by top-level attribute paths (the
+// paper's Sort_φ; ours is in-memory rather than B+-tree backed).
+type SortOp struct {
+	in     Iterator
+	by     []string
+	sorted []algebra.Tuple
+	pos    int
+	done   bool
+}
+
+// NewSort builds a sort operator.
+func NewSort(in Iterator, by ...string) *SortOp {
+	return &SortOp{in: in, by: by}
+}
+
+// Schema implements Iterator.
+func (s *SortOp) Schema() *algebra.Schema { return s.in.Schema() }
+
+// Order implements Iterator.
+func (s *SortOp) Order() algebra.OrderDesc { return algebra.OrderDesc(s.by) }
+
+// Next implements Iterator.
+func (s *SortOp) Next() (algebra.Tuple, bool) {
+	if !s.done {
+		idx := make([]int, len(s.by))
+		for i, b := range s.by {
+			idx[i] = s.in.Schema().Index(b)
+		}
+		for {
+			t, ok := s.in.Next()
+			if !ok {
+				break
+			}
+			s.sorted = append(s.sorted, t)
+		}
+		sort.SliceStable(s.sorted, func(i, j int) bool {
+			for _, k := range idx {
+				if k < 0 {
+					continue
+				}
+				cmp, ok := s.sorted[i][k].Compare(s.sorted[j][k])
+				if ok && cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+		s.done = true
+	}
+	if s.pos >= len(s.sorted) {
+		return nil, false
+	}
+	t := s.sorted[s.pos]
+	s.pos++
+	return t, true
+}
+
+// HashJoin is the equality join backed by a memory-resident hash table built
+// on the right input.
+type HashJoin struct {
+	left, right Iterator
+	lcol, rcol  int
+	schema      *algebra.Schema
+	table       map[string][]algebra.Tuple
+	built       bool
+	cur         algebra.Tuple
+	matches     []algebra.Tuple
+	mi          int
+	outer       bool
+}
+
+// NewHashJoin joins left and right on equality of the given top-level
+// attributes. With outer set, unmatched left tuples are padded with ⊥.
+func NewHashJoin(left, right Iterator, leftAttr, rightAttr string, outer bool) (*HashJoin, error) {
+	lc := left.Schema().Index(leftAttr)
+	rc := right.Schema().Index(rightAttr)
+	if lc < 0 || rc < 0 {
+		return nil, fmt.Errorf("physical: hash join: missing attribute %q/%q", leftAttr, rightAttr)
+	}
+	return &HashJoin{
+		left: left, right: right, lcol: lc, rcol: rc,
+		schema: left.Schema().Concat(right.Schema()),
+		outer:  outer,
+	}, nil
+}
+
+// Schema implements Iterator.
+func (h *HashJoin) Schema() *algebra.Schema { return h.schema }
+
+// Order implements Iterator: output follows the probe (left) order.
+func (h *HashJoin) Order() algebra.OrderDesc { return h.left.Order() }
+
+func hashKey(v algebra.Value) string { return v.String() }
+
+// Next implements Iterator.
+func (h *HashJoin) Next() (algebra.Tuple, bool) {
+	if !h.built {
+		h.table = map[string][]algebra.Tuple{}
+		for {
+			t, ok := h.right.Next()
+			if !ok {
+				break
+			}
+			k := hashKey(t[h.rcol])
+			h.table[k] = append(h.table[k], t)
+		}
+		h.built = true
+	}
+	for {
+		if h.cur != nil && h.mi < len(h.matches) {
+			u := h.matches[h.mi]
+			h.mi++
+			return h.cur.Concat(u), true
+		}
+		t, ok := h.left.Next()
+		if !ok {
+			return nil, false
+		}
+		h.cur = t
+		h.matches = h.table[hashKey(t[h.lcol])]
+		h.mi = 0
+		if len(h.matches) == 0 {
+			if h.outer {
+				pad := make(algebra.Tuple, len(h.right.Schema().Attrs))
+				for i := range pad {
+					pad[i] = algebra.NullValue
+				}
+				return t.Concat(pad), true
+			}
+			continue
+		}
+	}
+}
+
+// NestedLoops is the general-predicate join; the right input is materialized.
+type NestedLoops struct {
+	left    Iterator
+	right   []algebra.Tuple
+	rschema *algebra.Schema
+	pred    func(l, r algebra.Tuple) bool
+	schema  *algebra.Schema
+	cur     algebra.Tuple
+	ri      int
+	loaded  bool
+	rightIt Iterator
+}
+
+// NewNestedLoops builds a nested loops join with an arbitrary predicate.
+func NewNestedLoops(left, right Iterator, pred func(l, r algebra.Tuple) bool) *NestedLoops {
+	return &NestedLoops{
+		left: left, rightIt: right, rschema: right.Schema(),
+		pred:   pred,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Iterator.
+func (n *NestedLoops) Schema() *algebra.Schema { return n.schema }
+
+// Order implements Iterator.
+func (n *NestedLoops) Order() algebra.OrderDesc { return n.left.Order() }
+
+// Next implements Iterator.
+func (n *NestedLoops) Next() (algebra.Tuple, bool) {
+	if !n.loaded {
+		for {
+			t, ok := n.rightIt.Next()
+			if !ok {
+				break
+			}
+			n.right = append(n.right, t)
+		}
+		n.loaded = true
+	}
+	for {
+		if n.cur == nil {
+			t, ok := n.left.Next()
+			if !ok {
+				return nil, false
+			}
+			n.cur = t
+			n.ri = 0
+		}
+		for n.ri < len(n.right) {
+			u := n.right[n.ri]
+			n.ri++
+			if n.pred(n.cur, u) {
+				return n.cur.Concat(u), true
+			}
+		}
+		n.cur = nil
+	}
+}

@@ -1,0 +1,286 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xmltree"
+)
+
+func idv(pre, post, depth int32) algebra.Value {
+	return algebra.IDV(xmltree.NodeID{Pre: pre, Post: post, Depth: depth})
+}
+
+func relOf(names []string, rows ...[]algebra.Value) *algebra.Relation {
+	r := algebra.NewRelation(algebra.NewSchema(names...))
+	for _, row := range rows {
+		r.Add(algebra.Tuple(row))
+	}
+	return r
+}
+
+func TestScanFilterProject(t *testing.T) {
+	r := relOf([]string{"A", "B"},
+		[]algebra.Value{algebra.I(1), algebra.S("x")},
+		[]algebra.Value{algebra.I(2), algebra.S("y")})
+	sel, err := NewSelect(NewScan(r, algebra.OrderDesc{"A"}), algebra.Pred{Path: "B", Op: algebra.Eq, Const: algebra.S("y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := NewProject(sel, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(proj)
+	if got.Len() != 1 || got.Tuples[0][0].Int != 2 {
+		t.Fatalf("pipeline result: %s", got)
+	}
+	if len(proj.Order()) != 1 || proj.Order()[0] != "A" {
+		t.Fatalf("order propagation: %v", proj.Order())
+	}
+}
+
+func TestProjectionDropsOrderWhenColumnLost(t *testing.T) {
+	r := relOf([]string{"A", "B"}, []algebra.Value{algebra.I(1), algebra.S("x")})
+	p, _ := NewProject(NewScan(r, algebra.OrderDesc{"B", "A"}), "A")
+	if len(p.Order()) != 0 {
+		t.Fatalf("order should be dropped, got %v", p.Order())
+	}
+}
+
+func TestSortOp(t *testing.T) {
+	r := relOf([]string{"A"},
+		[]algebra.Value{algebra.I(3)},
+		[]algebra.Value{algebra.I(1)},
+		[]algebra.Value{algebra.I(2)})
+	got := Drain(NewSort(NewScan(r, nil), "A"))
+	for i, want := range []int64{1, 2, 3} {
+		if got.Tuples[i][0].Int != want {
+			t.Fatalf("sorted: %s", got)
+		}
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	l := relOf([]string{"A"}, []algebra.Value{algebra.I(1)}, []algebra.Value{algebra.I(2)}, []algebra.Value{algebra.I(3)})
+	r := relOf([]string{"B", "V"},
+		[]algebra.Value{algebra.I(1), algebra.S("a")},
+		[]algebra.Value{algebra.I(1), algebra.S("b")},
+		[]algebra.Value{algebra.I(2), algebra.S("c")})
+	j, err := NewHashJoin(NewScan(l, nil), NewScan(r, nil), "A", "B", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(j); got.Len() != 3 {
+		t.Fatalf("hash join: %s", got)
+	}
+	oj, _ := NewHashJoin(NewScan(l, nil), NewScan(r, nil), "A", "B", true)
+	got := Drain(oj)
+	if got.Len() != 4 {
+		t.Fatalf("outer hash join: %s", got)
+	}
+	last := got.Tuples[3]
+	if last[0].Int != 3 || !last[1].IsNull() {
+		t.Fatalf("outer padding: %s", got)
+	}
+	if _, err := NewHashJoin(NewScan(l, nil), NewScan(r, nil), "Z", "B", false); err == nil {
+		t.Fatal("missing attribute must error")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	l := relOf([]string{"A"}, []algebra.Value{algebra.I(1)}, []algebra.Value{algebra.I(5)})
+	r := relOf([]string{"B"}, []algebra.Value{algebra.I(3)}, []algebra.Value{algebra.I(7)})
+	j := NewNestedLoops(NewScan(l, nil), NewScan(r, nil), func(a, b algebra.Tuple) bool {
+		return a[0].Int < b[0].Int
+	})
+	got := Drain(j)
+	if got.Len() != 3 { // (1,3) (1,7) (5,7)
+		t.Fatalf("nested loops: %s", got)
+	}
+}
+
+// buildDocRelations creates ancestor/descendant input relations (sorted by
+// pre order) from a random tree, plus the expected pair set per axis.
+func buildDocRelations(t *testing.T, seed int64, n int) (*algebra.Relation, *algebra.Relation, map[[2]int32]bool, map[[2]int32]bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	root := xmltree.NewElement("n0")
+	nodes := []*xmltree.Node{root}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		c := xmltree.NewElement("n")
+		parent.Children = append(parent.Children, c)
+		nodes = append(nodes, c)
+	}
+	doc := xmltree.NewDocument("rand.xml", root)
+	var all []*xmltree.Node
+	doc.Walk(func(nd *xmltree.Node) bool { all = append(all, nd); return true })
+
+	anc := relOf([]string{"A"})
+	desc := relOf([]string{"D"})
+	childPairs := map[[2]int32]bool{}
+	descPairs := map[[2]int32]bool{}
+	for _, nd := range all {
+		anc.Add(algebra.Tuple{algebra.IDV(nd.ID)})
+		desc.Add(algebra.Tuple{algebra.IDV(nd.ID)})
+	}
+	for _, a := range all {
+		for _, d := range all {
+			if a.ID.ParentOf(d.ID) {
+				childPairs[[2]int32{a.ID.Pre, d.ID.Pre}] = true
+			}
+			if a.ID.AncestorOf(d.ID) {
+				descPairs[[2]int32{a.ID.Pre, d.ID.Pre}] = true
+			}
+		}
+	}
+	return anc, desc, childPairs, descPairs
+}
+
+func drainPairs(t *testing.T, it Iterator) [][2]int32 {
+	t.Helper()
+	var out [][2]int32
+	for {
+		tp, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, [2]int32{tp[0].ID.Pre, tp[1].ID.Pre})
+	}
+}
+
+func TestStackTreeDescMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		anc, desc, childPairs, descPairs := buildDocRelations(t, seed, 60)
+		for _, axis := range []Axis{ChildAxis, DescendantAxis} {
+			want := childPairs
+			if axis == DescendantAxis {
+				want = descPairs
+			}
+			j, err := NewStackTreeDesc(NewScan(anc, algebra.OrderDesc{"A"}), NewScan(desc, algebra.OrderDesc{"D"}), "A", "D", axis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainPairs(t, j)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d axis %v: got %d pairs, want %d", seed, axis, len(got), len(want))
+			}
+			for _, p := range got {
+				if !want[p] {
+					t.Fatalf("seed %d: unexpected pair %v", seed, p)
+				}
+			}
+			// Output must be ordered by descendant pre.
+			for i := 1; i < len(got); i++ {
+				if got[i][1] < got[i-1][1] {
+					t.Fatalf("seed %d: desc order violated at %d", seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStackTreeAncMatchesOracleAndOrder(t *testing.T) {
+	for seed := int64(10); seed < 15; seed++ {
+		anc, desc, _, descPairs := buildDocRelations(t, seed, 60)
+		j, err := NewStackTreeAnc(NewScan(anc, algebra.OrderDesc{"A"}), NewScan(desc, algebra.OrderDesc{"D"}), "A", "D", DescendantAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainPairs(t, j)
+		if len(got) != len(descPairs) {
+			t.Fatalf("seed %d: got %d pairs, want %d", seed, len(got), len(descPairs))
+		}
+		for _, p := range got {
+			if !descPairs[p] {
+				t.Fatalf("seed %d: unexpected pair %v", seed, p)
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i][0] < got[i-1][0] {
+				t.Fatalf("seed %d: anc order violated at %d: %v", seed, i, got)
+			}
+		}
+	}
+}
+
+func TestStructuralSemiAndOuterJoin(t *testing.T) {
+	// Tree: r(1,4,1) -> a(2,2,2), b(3,3,2)... build explicit: r has child a;
+	// a has child c; sibling b childless.
+	doc := xmltree.MustParse("t.xml", `<r><a><c/></a><b/></r>`)
+	var ids []xmltree.NodeID
+	doc.Walk(func(n *xmltree.Node) bool { ids = append(ids, n.ID); return true })
+	anc := relOf([]string{"A"})
+	for _, id := range ids {
+		anc.Add(algebra.Tuple{algebra.IDV(id)})
+	}
+	// Descendants: only the c node.
+	c := doc.Root.Elements()[0].Elements()[0]
+	desc := relOf([]string{"D"}, []algebra.Value{algebra.IDV(c.ID)})
+
+	semi, err := NewStructuralSemiJoin(NewScan(anc, algebra.OrderDesc{"A"}), NewScan(desc, algebra.OrderDesc{"D"}), "A", "D", DescendantAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(semi)
+	if got.Len() != 2 { // r and a have descendant c
+		t.Fatalf("semijoin: %s", got)
+	}
+	if got.Tuples[0][0].ID.Pre > got.Tuples[1][0].ID.Pre {
+		t.Fatal("semijoin output not in ancestor order")
+	}
+
+	outer, err := NewStructuralOuterJoin(NewScan(anc, algebra.OrderDesc{"A"}), NewScan(desc, algebra.OrderDesc{"D"}), "A", "D", DescendantAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := Drain(outer)
+	if got2.Len() != 4 { // every ancestor once; matched carry c, others ⊥
+		t.Fatalf("outerjoin: %s", got2)
+	}
+	var padded, matched int
+	for _, tp := range got2.Tuples {
+		if tp[1].IsNull() {
+			padded++
+		} else {
+			matched++
+		}
+	}
+	if padded != 2 || matched != 2 {
+		t.Fatalf("outerjoin padding: %s", got2)
+	}
+}
+
+func TestStackTreeRejectsUnsortedInput(t *testing.T) {
+	r := relOf([]string{"A"}, []algebra.Value{idv(1, 1, 1)})
+	if _, err := NewStackTreeDesc(NewScan(r, nil), NewScan(r, algebra.OrderDesc{"A"}), "A", "A", ChildAxis); err == nil {
+		t.Fatal("must reject unsorted ancestor input")
+	}
+	if _, err := NewStackTreeDesc(NewScan(r, algebra.OrderDesc{"A"}), NewScan(r, nil), "A", "A", ChildAxis); err == nil {
+		t.Fatal("must reject unsorted descendant input")
+	}
+}
+
+func TestStackTreeSelfJoinNoSelfPairs(t *testing.T) {
+	doc := xmltree.MustParse("t.xml", `<r><a/></r>`)
+	rel := relOf([]string{"A"})
+	doc.Walk(func(n *xmltree.Node) bool {
+		rel.Add(algebra.Tuple{algebra.IDV(n.ID)})
+		return true
+	})
+	rel2 := relOf([]string{"D"})
+	rel2.Tuples = append(rel2.Tuples, rel.Tuples...)
+	j, err := NewStackTreeDesc(NewScan(rel, algebra.OrderDesc{"A"}), NewScan(rel2, algebra.OrderDesc{"D"}), "A", "D", DescendantAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(j)
+	if got.Len() != 1 {
+		t.Fatalf("self join: %s", got)
+	}
+	if got.Tuples[0][0].ID == got.Tuples[0][1].ID {
+		t.Fatal("node paired with itself")
+	}
+}

@@ -1,0 +1,318 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xmltree"
+)
+
+// Axis selects the structural relationship a stack-tree join matches.
+type Axis uint8
+
+const (
+	// ChildAxis matches parent–child pairs.
+	ChildAxis Axis = iota
+	// DescendantAxis matches ancestor–descendant pairs.
+	DescendantAxis
+)
+
+func (a Axis) String() string {
+	if a == ChildAxis {
+		return "/"
+	}
+	return "//"
+}
+
+// JoinVariant selects the structural join flavor implemented as a variation
+// of StackTreeDesc (§1.2.3: "We have implemented structural outerjoins and
+// structural semijoins as variations of the StackTreeDesc algorithm").
+type JoinVariant uint8
+
+const (
+	// VariantJoin emits one concatenated tuple per matching pair.
+	VariantJoin JoinVariant = iota
+	// VariantSemi emits each ancestor tuple once if it has a match.
+	VariantSemi
+	// VariantOuter emits every ancestor tuple, padding with ⊥ when no
+	// descendant matches.
+	VariantOuter
+)
+
+type pair struct{ a, d algebra.Tuple }
+
+type stackEntry struct {
+	tuple   algebra.Tuple
+	id      xmltree.NodeID
+	self    []pair
+	inherit []pair
+	matched bool
+}
+
+func tupleID(t algebra.Tuple, col int) (xmltree.NodeID, bool) {
+	v := t[col]
+	if v.Kind != algebra.ID {
+		return xmltree.NodeID{}, false
+	}
+	return v.ID, true
+}
+
+// stackTree is the shared machinery of StackTreeDesc and StackTreeAnc. Both
+// require their inputs sorted by the join attribute in document (pre) order.
+type stackTree struct {
+	anc, desc   Iterator
+	acol, dcol  int
+	axis        Axis
+	variant     JoinVariant
+	ancOrder    bool // true = StackTreeAnc output order
+	schema      *algebra.Schema
+	order       algebra.OrderDesc
+	stack       []*stackEntry
+	nextA       algebra.Tuple
+	nextD       algebra.Tuple
+	aDone       bool
+	dDone       bool
+	out         []pair // buffered output pairs
+	oi          int
+	outTuples   []algebra.Tuple // for semi/outer variants
+	oti         int
+	initialized bool
+}
+
+func newStackTree(anc, desc Iterator, ancAttr, descAttr string, axis Axis, variant JoinVariant, ancOrder bool) (*stackTree, error) {
+	ac := anc.Schema().Index(ancAttr)
+	dc := desc.Schema().Index(descAttr)
+	if ac < 0 || dc < 0 {
+		return nil, fmt.Errorf("physical: stack-tree join: missing attribute %q/%q", ancAttr, descAttr)
+	}
+	if err := requireOrder(anc, ancAttr); err != nil {
+		return nil, err
+	}
+	if err := requireOrder(desc, descAttr); err != nil {
+		return nil, err
+	}
+	st := &stackTree{
+		anc: anc, desc: desc, acol: ac, dcol: dc,
+		axis: axis, variant: variant, ancOrder: ancOrder,
+	}
+	switch variant {
+	case VariantJoin:
+		st.schema = anc.Schema().Concat(desc.Schema())
+	case VariantSemi:
+		st.schema = anc.Schema()
+	case VariantOuter:
+		st.schema = anc.Schema().Concat(desc.Schema())
+	}
+	if ancOrder || variant != VariantJoin {
+		st.order = algebra.OrderDesc{ancAttr}
+	} else {
+		st.order = algebra.OrderDesc{descAttr}
+	}
+	return st, nil
+}
+
+// requireOrder enforces the §1.2.3 rule that structural joins only accept
+// inputs sorted on the right attributes; it is how order descriptors keep
+// operators correctly piped.
+func requireOrder(it Iterator, attr string) error {
+	o := it.Order()
+	if len(o) == 0 || o[0] != attr {
+		return fmt.Errorf("physical: stack-tree join requires input ordered by %q, have %v", attr, o)
+	}
+	return nil
+}
+
+func (st *stackTree) matches(a, d xmltree.NodeID) bool {
+	if st.axis == ChildAxis {
+		return a.ParentOf(d)
+	}
+	return a.AncestorOf(d)
+}
+
+func (st *stackTree) advanceA() {
+	if t, ok := st.anc.Next(); ok {
+		st.nextA = t
+	} else {
+		st.nextA = nil
+		st.aDone = true
+	}
+}
+
+func (st *stackTree) advanceD() {
+	if t, ok := st.desc.Next(); ok {
+		st.nextD = t
+	} else {
+		st.nextD = nil
+		st.dDone = true
+	}
+}
+
+// run executes the whole join eagerly; the stack discipline itself is the
+// streaming stack-tree algorithm, output is buffered to honor the requested
+// order without a second sort.
+func (st *stackTree) run() {
+	st.advanceA()
+	st.advanceD()
+	for st.nextA != nil || st.nextD != nil {
+		var aID, dID xmltree.NodeID
+		var aOK, dOK bool
+		if st.nextA != nil {
+			aID, aOK = tupleID(st.nextA, st.acol)
+			if !aOK {
+				st.advanceA()
+				continue
+			}
+		}
+		if st.nextD != nil {
+			dID, dOK = tupleID(st.nextD, st.dcol)
+			if !dOK {
+				st.advanceD()
+				continue
+			}
+		}
+		if st.nextA != nil && (st.nextD == nil || aID.Pre < dID.Pre) {
+			st.popFinished(aID)
+			st.stack = append(st.stack, &stackEntry{tuple: st.nextA, id: aID})
+			st.advanceA()
+		} else if st.nextD != nil {
+			st.popFinished(dID)
+			st.emitMatches(st.nextD, dID)
+			st.advanceD()
+		}
+	}
+	// Drain the stack.
+	for len(st.stack) > 0 {
+		st.pop()
+	}
+	// Semi/outer variants emit ancestor tuples at pop time (LIFO); restore
+	// the declared ancestor order.
+	if st.variant == VariantSemi || st.variant == VariantOuter {
+		sort.SliceStable(st.outTuples, func(i, j int) bool {
+			a, aok := tupleID(st.outTuples[i], st.acol)
+			b, bok := tupleID(st.outTuples[j], st.acol)
+			return aok && bok && a.Pre < b.Pre
+		})
+	}
+}
+
+// popFinished pops stack entries that cannot contain the node with id.
+// Entries with an identical identifier stay: composed plans feed the join
+// ancestor tuples with repeated IDs, which behave as a nested run.
+func (st *stackTree) popFinished(id xmltree.NodeID) {
+	for len(st.stack) > 0 {
+		top := st.stack[len(st.stack)-1]
+		if top.id.AncestorOf(id) || top.id == id {
+			return
+		}
+		st.pop()
+	}
+}
+
+func (st *stackTree) pop() {
+	top := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+	switch st.variant {
+	case VariantSemi:
+		if top.matched {
+			st.outTuples = append(st.outTuples, top.tuple)
+		}
+	case VariantOuter:
+		if !top.matched {
+			pad := make(algebra.Tuple, len(st.desc.Schema().Attrs))
+			for i := range pad {
+				pad[i] = algebra.NullValue
+			}
+			st.outTuples = append(st.outTuples, top.tuple.Concat(pad))
+		} else {
+			for _, p := range append(top.self, top.inherit...) {
+				st.outTuples = append(st.outTuples, p.a.Concat(p.d))
+			}
+		}
+	case VariantJoin:
+		if st.ancOrder {
+			combined := append(top.self, top.inherit...)
+			if len(st.stack) == 0 {
+				st.out = append(st.out, combined...)
+			} else {
+				newTop := st.stack[len(st.stack)-1]
+				newTop.inherit = append(newTop.inherit, combined...)
+			}
+		}
+	}
+}
+
+func (st *stackTree) emitMatches(d algebra.Tuple, dID xmltree.NodeID) {
+	for i, e := range st.stack {
+		if !st.matches(e.id, dID) {
+			continue
+		}
+		e.matched = true
+		switch st.variant {
+		case VariantJoin:
+			if st.ancOrder {
+				if i == 0 {
+					st.out = append(st.out, pair{e.tuple, d})
+				} else {
+					e.self = append(e.self, pair{e.tuple, d})
+				}
+			} else {
+				st.out = append(st.out, pair{e.tuple, d}) // descendant order
+			}
+		case VariantSemi, VariantOuter:
+			if st.variant == VariantOuter {
+				e.self = append(e.self, pair{e.tuple, d})
+			}
+		}
+	}
+}
+
+// Schema implements Iterator.
+func (st *stackTree) Schema() *algebra.Schema { return st.schema }
+
+// Order implements Iterator.
+func (st *stackTree) Order() algebra.OrderDesc { return st.order }
+
+// Next implements Iterator.
+func (st *stackTree) Next() (algebra.Tuple, bool) {
+	if !st.initialized {
+		st.run()
+		st.initialized = true
+	}
+	if st.variant == VariantJoin {
+		if st.oi >= len(st.out) {
+			return nil, false
+		}
+		p := st.out[st.oi]
+		st.oi++
+		return p.a.Concat(p.d), true
+	}
+	if st.oti >= len(st.outTuples) {
+		return nil, false
+	}
+	t := st.outTuples[st.oti]
+	st.oti++
+	return t, true
+}
+
+// NewStackTreeDesc builds the StackTreeDesc structural join: output ordered
+// by the descendant attribute.
+func NewStackTreeDesc(anc, desc Iterator, ancAttr, descAttr string, axis Axis) (Iterator, error) {
+	return newStackTree(anc, desc, ancAttr, descAttr, axis, VariantJoin, false)
+}
+
+// NewStackTreeAnc builds the StackTreeAnc structural join: output ordered by
+// the ancestor attribute, using per-entry self/inherit pair lists.
+func NewStackTreeAnc(anc, desc Iterator, ancAttr, descAttr string, axis Axis) (Iterator, error) {
+	return newStackTree(anc, desc, ancAttr, descAttr, axis, VariantJoin, true)
+}
+
+// NewStructuralSemiJoin builds the structural semijoin variant.
+func NewStructuralSemiJoin(anc, desc Iterator, ancAttr, descAttr string, axis Axis) (Iterator, error) {
+	return newStackTree(anc, desc, ancAttr, descAttr, axis, VariantSemi, true)
+}
+
+// NewStructuralOuterJoin builds the structural left outerjoin variant.
+func NewStructuralOuterJoin(anc, desc Iterator, ancAttr, descAttr string, axis Axis) (Iterator, error) {
+	return newStackTree(anc, desc, ancAttr, descAttr, axis, VariantOuter, true)
+}

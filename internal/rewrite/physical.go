@@ -1,0 +1,197 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/physical"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+// ExecutePhysical compiles the plan into the §1.2.3 physical operators —
+// StackTreeDesc/StackTreeAnc structural joins over sorted inputs, hash joins
+// for ID fusions, streaming selections and projections — and drains the
+// resulting iterator. It is the execution-engine counterpart of the
+// materialized logical Execute, and produces the same relation (checked by
+// tests); benchmarks compare the two (the structural-join family is why the
+// paper's physical layer exists).
+func ExecutePhysical(p Plan, env Env) (*algebra.Relation, error) {
+	it, err := compile(p, env)
+	if err != nil {
+		return nil, err
+	}
+	return physical.Drain(it), nil
+}
+
+// compile turns a logical plan into an iterator tree.
+func compile(p Plan, env Env) (physical.Iterator, error) {
+	switch pl := p.(type) {
+	case *ScanPlan:
+		rel, ok := env[pl.View.Name]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: no extent for view %q", pl.View.Name)
+		}
+		return physical.NewScan(rel, nil), nil
+
+	case *ProjectPlan:
+		in, err := compile(pl.In, env)
+		if err != nil {
+			return nil, err
+		}
+		// π⁰ semantics: dedup after projection (materializing; projections
+		// sit at plan roots).
+		proj, err := physical.NewProject(in, pl.Attrs...)
+		if err != nil {
+			return nil, err
+		}
+		rel := algebra.Distinct(physical.Drain(proj))
+		return physical.NewScan(rel, proj.Order()), nil
+
+	case *SelectTagPlan:
+		in, err := compile(pl.In, env)
+		if err != nil {
+			return nil, err
+		}
+		return physical.NewSelect(in, algebra.Pred{Path: pl.Node + ".Tag", Op: algebra.Eq, Const: algebra.S(pl.Label)})
+
+	case *SelectValPlan:
+		in, err := compile(pl.In, env)
+		if err != nil {
+			return nil, err
+		}
+		col := in.Schema().Index(pl.Node + ".Val")
+		if col < 0 {
+			return nil, fmt.Errorf("rewrite: select-val: no column %s.Val", pl.Node)
+		}
+		f := pl.Formula
+		return physical.NewFilter(in, func(t algebra.Tuple) bool {
+			return !t[col].IsNull() && f.Holds(value.Str(t[col].AsString()))
+		}), nil
+
+	case *StructJoinPlan:
+		outer, err := compile(pl.Outer, env)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := compile(pl.Inner, env)
+		if err != nil {
+			return nil, err
+		}
+		// StackTree joins need both inputs sorted by the join IDs.
+		outerSorted := physical.NewSort(outer, pl.OuterNode+".ID")
+		innerSorted := physical.NewSort(inner, pl.InnerNode+".ID")
+		axis := physical.DescendantAxis
+		if pl.Axis == xam.Child {
+			axis = physical.ChildAxis
+		}
+		return physical.NewStackTreeDesc(outerSorted, innerSorted, pl.OuterNode+".ID", pl.InnerNode+".ID", axis)
+
+	case *FusePlan:
+		left, err := compile(pl.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compile(pl.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		hj, err := physical.NewHashJoin(left, right, pl.LeftNode+".ID", pl.RightNode+".ID", false)
+		if err != nil {
+			return nil, err
+		}
+		// Drop the duplicated key and rename the fused columns, matching the
+		// logical FusePlan output.
+		rel := physical.Drain(hj)
+		shaped, err := fuseShape(rel, pl, left.Schema(), right.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return physical.NewScan(shaped, nil), nil
+
+	case *DeriveParentPlan:
+		rel, err := pl.Execute(env) // derivation is a per-tuple map; reuse
+		if err != nil {
+			return nil, err
+		}
+		return physical.NewScan(rel, nil), nil
+
+	case *UnionPlan:
+		var acc *algebra.Relation
+		for _, part := range pl.Parts {
+			it, err := compile(part, env)
+			if err != nil {
+				return nil, err
+			}
+			rel := physical.Drain(it)
+			if acc == nil {
+				acc = rel
+				continue
+			}
+			aligned := algebra.NewRelation(acc.Schema)
+			aligned.Tuples = rel.Tuples
+			acc, err = algebra.Union(acc, aligned)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			return nil, fmt.Errorf("rewrite: empty union plan")
+		}
+		return physical.NewScan(acc, nil), nil
+
+	case *RenamePlan:
+		in, err := compile(pl.In, env)
+		if err != nil {
+			return nil, err
+		}
+		rel := physical.Drain(in)
+		out := algebra.NewRelation(renameSchema(rel.Schema, pl.Suffix))
+		out.Tuples = rel.Tuples
+		return physical.NewScan(out, nil), nil
+	}
+	return nil, fmt.Errorf("rewrite: cannot compile %T", p)
+}
+
+// fuseShape reproduces FusePlan's output shaping on a drained hash join.
+func fuseShape(rel *algebra.Relation, pl *FusePlan, left, right *algebra.Schema) (*algebra.Relation, error) {
+	var names []string
+	for _, a := range left.Attrs {
+		names = append(names, a.Name)
+	}
+	for _, a := range right.Attrs {
+		if a.Name == pl.RightNode+".ID" {
+			continue
+		}
+		names = append(names, a.Name)
+	}
+	proj, err := algebra.Project(rel, false, names...)
+	if err != nil {
+		return nil, err
+	}
+	renamed := &algebra.Schema{Attrs: append([]algebra.Attr{}, proj.Schema.Attrs...)}
+	for i, a := range renamed.Attrs {
+		if hasPrefix(a.Name, pl.RightNode+".") {
+			renamed.Attrs[i].Name = pl.LeftNode + a.Name[len(pl.RightNode):]
+		}
+	}
+	out := algebra.NewRelation(renamed)
+	out.Tuples = proj.Tuples
+	return out, nil
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// SortPlans orders rewritings deterministically by cost then rendering;
+// convenience for stable displays.
+func SortPlans(rs []*Rewriting) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if c1, c2 := rs[i].Plan.Cost(), rs[j].Plan.Cost(); c1 != c2 {
+			return c1 < c2
+		}
+		return rs[i].Plan.String() < rs[j].Plan.String()
+	})
+}

@@ -1,0 +1,90 @@
+package rewrite
+
+import (
+	"testing"
+
+	"xamdb/internal/xam"
+)
+
+// TestPhysicalMatchesLogical: the iterator-based execution must agree with
+// the materialized logical execution on every plan kind.
+func TestPhysicalMatchesLogical(t *testing.T) {
+	rw, _, env := setup(t,
+		`<bib><book year="1999"><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{
+			"books":  `// book{id s}`,
+			"titles": `// title{id s, val}`,
+			"main":   `// *{id s, tag, val}`,
+		},
+		Options{})
+	for _, q := range []string{
+		`// book{id s}(/ title{id s, val})`,
+		`// title{id s, val}`,
+		`// book(/ title{val})`,
+	} {
+		plans, err := rw.Rewrite(xam.MustParse(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plans) == 0 {
+			t.Fatalf("no plans for %s", q)
+		}
+		for _, p := range plans {
+			logical, err := p.Plan.Execute(env)
+			if err != nil {
+				t.Fatalf("%s logical: %v", p.Plan, err)
+			}
+			phys, err := ExecutePhysical(p.Plan, env)
+			if err != nil {
+				t.Fatalf("%s physical: %v", p.Plan, err)
+			}
+			if !logical.EqualAsSet(phys) {
+				t.Fatalf("plan %s: physical differs\nlogical: %s\nphysical: %s", p.Plan, logical, phys)
+			}
+		}
+	}
+}
+
+func TestPhysicalUnionAndDerive(t *testing.T) {
+	rw, _, env := setup(t,
+		`<a><x><b>1</b></x><y><b>2</b></y></a>`,
+		map[string]string{
+			"vx": `// x(/ b{id s, val})`,
+			"vy": `// y(/ b{id s, val})`,
+		},
+		Options{})
+	plans, err := rw.Rewrite(xam.MustParse(`// b{id s, val}`))
+	if err != nil || len(plans) == 0 {
+		t.Fatalf("plans: %v %v", plans, err)
+	}
+	for _, p := range plans {
+		logical, err := p.Plan.Execute(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phys, err := ExecutePhysical(p.Plan, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !logical.EqualAsSet(phys) {
+			t.Fatalf("union physical differs for %s", p.Plan)
+		}
+	}
+
+	rw2, _, env2 := setup(t,
+		`<a><d><p/></d><d><p/></d></a>`,
+		map[string]string{"vp": `// d(/ p{id p})`},
+		Options{})
+	plans2, err := rw2.Rewrite(xam.MustParse(`// d{id p}(/ p{id p})`))
+	if err != nil || len(plans2) == 0 {
+		t.Fatalf("derive plans: %v %v", plans2, err)
+	}
+	logical, _ := plans2[0].Plan.Execute(env2)
+	phys, err := ExecutePhysical(plans2[0].Plan, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logical.EqualAsSet(phys) {
+		t.Fatal("derive physical differs")
+	}
+}

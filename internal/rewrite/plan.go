@@ -1,0 +1,570 @@
+// Package rewrite implements view-based rewriting of XAM query patterns
+// under path summary constraints (Chapter 5). Rewritings are logical plans
+// over materialized view XAMs — scans, projections, structural joins, node
+// fusions (ID-equality joins), navigational parent-ID derivations, and
+// unions — following the generate-and-test approach of §5.3: each candidate
+// plan is converted to its S-equivalent pattern (§5.5) and checked
+// S-equivalent to the query pattern with the Chapter 4 machinery.
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+// View is a materialized view described by a XAM.
+type View struct {
+	Name    string
+	Pattern *xam.Pattern
+}
+
+// Env supplies the materialized extents of views for plan execution.
+type Env map[string]*algebra.Relation
+
+// Plan is a logical rewriting plan over views.
+type Plan interface {
+	// Pattern returns the S-equivalent pattern of the plan (§5.5); union
+	// plans return nil (they are equivalent to a union of patterns).
+	Pattern() *xam.Pattern
+	// Cost is the number of operators, used to prefer minimal plans.
+	Cost() int
+	// Execute evaluates the plan against materialized views.
+	Execute(env Env) (*algebra.Relation, error)
+	String() string
+}
+
+// ScanPlan reads one view.
+type ScanPlan struct {
+	View *View
+}
+
+// Pattern implements Plan.
+func (p *ScanPlan) Pattern() *xam.Pattern { return p.View.Pattern.Clone() }
+
+// Cost implements Plan.
+func (p *ScanPlan) Cost() int { return 1 }
+
+// Execute implements Plan.
+func (p *ScanPlan) Execute(env Env) (*algebra.Relation, error) {
+	r, ok := env[p.View.Name]
+	if !ok {
+		return nil, fmt.Errorf("rewrite: no extent for view %q", p.View.Name)
+	}
+	return r, nil
+}
+
+func (p *ScanPlan) String() string { return "scan(" + p.View.Name + ")" }
+
+// ProjectPlan keeps only the listed attributes (named after pattern nodes,
+// e.g. "e1.ID").
+type ProjectPlan struct {
+	In    Plan
+	Attrs []string
+}
+
+// Pattern implements Plan: annotations outside the kept attributes are
+// erased.
+func (p *ProjectPlan) Pattern() *xam.Pattern {
+	pat := p.In.Pattern()
+	if pat == nil {
+		return nil
+	}
+	keep := map[string]bool{}
+	for _, a := range p.Attrs {
+		keep[a] = true
+	}
+	for _, n := range pat.Nodes() {
+		if n.IDSpec != xam.NoID && !keep[n.Name+".ID"] {
+			n.IDSpec = xam.NoID
+		}
+		if n.StoreTag && !keep[n.Name+".Tag"] {
+			n.StoreTag = false
+		}
+		if n.StoreVal && !keep[n.Name+".Val"] {
+			n.StoreVal = false
+		}
+		if n.StoreCont && !keep[n.Name+".Cont"] {
+			n.StoreCont = false
+		}
+	}
+	return pat
+}
+
+// Cost implements Plan.
+func (p *ProjectPlan) Cost() int { return p.In.Cost() + 1 }
+
+// Execute implements Plan.
+func (p *ProjectPlan) Execute(env Env) (*algebra.Relation, error) {
+	r, err := p.In.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Project(r, true, p.Attrs...)
+}
+
+func (p *ProjectPlan) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Attrs, ","), p.In)
+}
+
+// StructJoinPlan joins two plans on a structural predicate
+// outer.OuterAttr ≺(≺) inner.InnerAttr, where InnerAttr identifies the
+// single top node of the inner plan's pattern. Its equivalent pattern grafts
+// the inner pattern under the outer node (§5.5.2).
+type StructJoinPlan struct {
+	Outer     Plan
+	Inner     Plan
+	OuterNode string // node name in outer pattern
+	InnerNode string // top node name in inner pattern
+	Axis      xam.Axis
+}
+
+// Pattern implements Plan.
+func (p *StructJoinPlan) Pattern() *xam.Pattern {
+	outer := p.Outer.Pattern()
+	inner := p.Inner.Pattern()
+	if outer == nil || inner == nil || len(inner.Top) != 1 {
+		return nil
+	}
+	anchor := outer.NodeByName(p.OuterNode)
+	top := inner.Top[0].Child
+	if anchor == nil || top.Name != p.InnerNode {
+		return nil
+	}
+	e := &xam.Edge{Axis: p.Axis, Sem: xam.SemJoin, Child: top}
+	top.Parent = anchor
+	anchor.Edges = append(anchor.Edges, e)
+	return outer
+}
+
+// Cost implements Plan.
+func (p *StructJoinPlan) Cost() int { return p.Outer.Cost() + p.Inner.Cost() + 1 }
+
+// Execute implements Plan.
+func (p *StructJoinPlan) Execute(env Env) (*algebra.Relation, error) {
+	outer, err := p.Outer.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := p.Inner.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	op := algebra.Ancestor
+	if p.Axis == xam.Child {
+		op = algebra.Parent
+	}
+	return algebra.Join(outer, inner,
+		algebra.JoinPred{Left: p.OuterNode + ".ID", Op: op, Right: p.InnerNode + ".ID"},
+		algebra.InnerJoin, "")
+}
+
+func (p *StructJoinPlan) String() string {
+	return fmt.Sprintf("(%s ⋈[%s.ID%s%s.ID] %s)", p.Outer, p.OuterNode,
+		map[xam.Axis]string{xam.Child: "≺", xam.Descendant: "≺≺"}[p.Axis], p.InnerNode, p.Inner)
+}
+
+// FusePlan joins two plans on node identity (left.LeftNode.ID =
+// right.RightNode.ID), the "join pairing input tuples which contain exactly
+// the same node" of §5.3. RightNode must be the single top node of the right
+// pattern; the equivalent pattern unifies the two nodes.
+type FusePlan struct {
+	Left      Plan
+	Right     Plan
+	LeftNode  string
+	RightNode string
+}
+
+// Pattern implements Plan.
+func (p *FusePlan) Pattern() *xam.Pattern {
+	left := p.Left.Pattern()
+	right := p.Right.Pattern()
+	if left == nil || right == nil || len(right.Top) != 1 {
+		return nil
+	}
+	// The unified node must not be constrained to be the document root's
+	// child unless the left node is compatible; requiring a descendant top
+	// edge keeps the graft sound.
+	if right.Top[0].Axis != xam.Descendant {
+		return nil
+	}
+	target := left.NodeByName(p.LeftNode)
+	src := right.Top[0].Child
+	if target == nil || src.Name != p.RightNode {
+		return nil
+	}
+	// Unify labels: wildcard yields to constant; conflicting constants fail.
+	switch {
+	case target.Label == src.Label:
+	case target.Wildcard():
+		target.Label = src.Label
+	case src.Wildcard():
+	default:
+		return nil
+	}
+	// Merge annotations and value predicates.
+	if src.IDSpec != xam.NoID && target.IDSpec == xam.NoID {
+		target.IDSpec = src.IDSpec
+	}
+	target.StoreTag = target.StoreTag || src.StoreTag
+	target.StoreVal = target.StoreVal || src.StoreVal
+	target.StoreCont = target.StoreCont || src.StoreCont
+	if src.HasValuePred {
+		if target.HasValuePred {
+			target.ValuePred = target.ValuePred.And(src.ValuePred)
+		} else {
+			target.ValuePred = src.ValuePred
+			target.HasValuePred = true
+		}
+		target.PredSrc = append(target.PredSrc, src.PredSrc...)
+	}
+	for _, e := range src.Edges {
+		e.Child.Parent = target
+		target.Edges = append(target.Edges, e)
+	}
+	return left
+}
+
+// Cost implements Plan.
+func (p *FusePlan) Cost() int { return p.Left.Cost() + p.Right.Cost() + 1 }
+
+// Execute implements Plan: an ID-equality join, then dropping the duplicate
+// right-node columns.
+func (p *FusePlan) Execute(env Env) (*algebra.Relation, error) {
+	left, err := p.Left.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.Right.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := algebra.Join(left, right,
+		algebra.JoinPred{Left: p.LeftNode + ".ID", Op: algebra.Eq, Right: p.RightNode + ".ID"},
+		algebra.InnerJoin, "")
+	if err != nil {
+		return nil, err
+	}
+	// Keep left columns plus right columns that are not the duplicated key;
+	// the fused node's surviving columns take the left node's name, matching
+	// the unified pattern.
+	var names []string
+	for _, a := range left.Schema.Attrs {
+		names = append(names, a.Name)
+	}
+	for _, a := range right.Schema.Attrs {
+		if a.Name == p.RightNode+".ID" {
+			continue
+		}
+		names = append(names, a.Name)
+	}
+	proj, err := algebra.Project(joined, false, names...)
+	if err != nil {
+		return nil, err
+	}
+	renamed := &algebra.Schema{Attrs: append([]algebra.Attr{}, proj.Schema.Attrs...)}
+	for i, a := range renamed.Attrs {
+		if strings.HasPrefix(a.Name, p.RightNode+".") {
+			renamed.Attrs[i].Name = p.LeftNode + strings.TrimPrefix(a.Name, p.RightNode)
+		}
+	}
+	out := algebra.NewRelation(renamed)
+	out.Tuples = proj.Tuples
+	return out, nil
+}
+
+func (p *FusePlan) String() string {
+	return fmt.Sprintf("(%s ⋈[%s.ID=%s.ID] %s)", p.Left, p.LeftNode, p.RightNode, p.Right)
+}
+
+// DeriveParentPlan exposes the parent's identifier of a node whose view
+// stores navigational (Dewey) IDs (§5.2 "Exploiting ID properties"): the
+// parent pattern node, reached over a '/' edge, gains a derived ID column.
+type DeriveParentPlan struct {
+	In         Plan
+	ChildNode  string // node with IDSpec p
+	ParentNode string // its '/'-parent in the pattern
+}
+
+// Pattern implements Plan.
+func (p *DeriveParentPlan) Pattern() *xam.Pattern {
+	pat := p.In.Pattern()
+	if pat == nil {
+		return nil
+	}
+	child := pat.NodeByName(p.ChildNode)
+	if child == nil || child.IDSpec != xam.ParentID || child.Parent == nil ||
+		child.Parent.Name != p.ParentNode {
+		return nil
+	}
+	var edge *xam.Edge
+	for _, e := range child.Parent.Edges {
+		if e.Child == child {
+			edge = e
+		}
+	}
+	if edge == nil || edge.Axis != xam.Child {
+		return nil
+	}
+	child.Parent.IDSpec = xam.ParentID
+	return pat
+}
+
+// Cost implements Plan.
+func (p *DeriveParentPlan) Cost() int { return p.In.Cost() + 1 }
+
+// Execute implements Plan: computes the parent Dewey ID column.
+func (p *DeriveParentPlan) Execute(env Env) (*algebra.Relation, error) {
+	r, err := p.In.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	ci := r.Schema.Index(p.ChildNode + ".ID")
+	if ci < 0 {
+		return nil, fmt.Errorf("rewrite: derive-parent: no column %s.ID", p.ChildNode)
+	}
+	outSchema := &algebra.Schema{Attrs: append([]algebra.Attr{}, r.Schema.Attrs...)}
+	outSchema.Attrs = append(outSchema.Attrs, algebra.Attr{Name: p.ParentNode + ".ID"})
+	out := algebra.NewRelation(outSchema)
+	for _, t := range r.Tuples {
+		v := t[ci]
+		if v.Kind != algebra.DeweyID {
+			return nil, fmt.Errorf("rewrite: derive-parent: %s.ID is not a Dewey ID", p.ChildNode)
+		}
+		parent := v.Dewey.ParentID()
+		nt := t.Clone()
+		if parent == nil {
+			nt = append(nt, algebra.NullValue)
+		} else {
+			nt = append(nt, algebra.DV(parent))
+		}
+		out.Add(nt)
+	}
+	return out, nil
+}
+
+func (p *DeriveParentPlan) String() string {
+	return fmt.Sprintf("deriveParent[%s→%s](%s)", p.ChildNode, p.ParentNode, p.In)
+}
+
+// UnionPlan is the duplicate-preserving union of part plans; required for
+// completeness under summary constraints (§5.3's q ∪ p₃ example).
+type UnionPlan struct {
+	Parts []Plan
+	// ColMaps aligns each part's output columns with the first part's.
+	ColMaps [][]string
+}
+
+// Pattern implements Plan: unions have no single equivalent pattern.
+func (p *UnionPlan) Pattern() *xam.Pattern { return nil }
+
+// PartPatterns returns the patterns of the union members.
+func (p *UnionPlan) PartPatterns() []*xam.Pattern {
+	out := make([]*xam.Pattern, len(p.Parts))
+	for i, part := range p.Parts {
+		out[i] = part.Pattern()
+	}
+	return out
+}
+
+// Cost implements Plan.
+func (p *UnionPlan) Cost() int {
+	c := 1
+	for _, part := range p.Parts {
+		c += part.Cost()
+	}
+	return c
+}
+
+// Execute implements Plan.
+func (p *UnionPlan) Execute(env Env) (*algebra.Relation, error) {
+	var acc *algebra.Relation
+	for i, part := range p.Parts {
+		r, err := part.Execute(env)
+		if err != nil {
+			return nil, err
+		}
+		if p.ColMaps != nil {
+			r, err = algebra.Project(r, false, p.ColMaps[i]...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			acc = r
+			continue
+		}
+		// Align schemas positionally.
+		aligned := algebra.NewRelation(acc.Schema)
+		aligned.Tuples = r.Tuples
+		acc, err = algebra.Union(acc, aligned)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+func (p *UnionPlan) String() string {
+	parts := make([]string, len(p.Parts))
+	for i, part := range p.Parts {
+		parts[i] = part.String()
+	}
+	return "(" + strings.Join(parts, " ∪ ") + ")"
+}
+
+// SelectTagPlan applies σ(Node.Tag = Label) — the tag selections of the
+// node-store plans QEP4/QEP5 (§2.1.1). Its pattern effect narrows a wildcard
+// node to the selected label.
+type SelectTagPlan struct {
+	In    Plan
+	Node  string
+	Label string
+}
+
+// Pattern implements Plan.
+func (p *SelectTagPlan) Pattern() *xam.Pattern {
+	pat := p.In.Pattern()
+	if pat == nil {
+		return nil
+	}
+	n := pat.NodeByName(p.Node)
+	if n == nil || !n.Wildcard() || !n.StoreTag {
+		return nil
+	}
+	n.Label = p.Label
+	return pat
+}
+
+// Cost implements Plan.
+func (p *SelectTagPlan) Cost() int { return p.In.Cost() + 1 }
+
+// Execute implements Plan.
+func (p *SelectTagPlan) Execute(env Env) (*algebra.Relation, error) {
+	r, err := p.In.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Select(r, algebra.Pred{Path: p.Node + ".Tag", Op: algebra.Eq, Const: algebra.S(p.Label)})
+}
+
+func (p *SelectTagPlan) String() string {
+	return fmt.Sprintf("σ[%s.Tag=%s](%s)", p.Node, p.Label, p.In)
+}
+
+// SelectValPlan applies σ(φ(Node.Val)) for a value formula, letting wide
+// views answer decorated query patterns.
+type SelectValPlan struct {
+	In      Plan
+	Node    string
+	Formula value.Formula
+	Src     []string // parseable rendering for the pattern
+}
+
+// Pattern implements Plan.
+func (p *SelectValPlan) Pattern() *xam.Pattern {
+	pat := p.In.Pattern()
+	if pat == nil {
+		return nil
+	}
+	n := pat.NodeByName(p.Node)
+	if n == nil || !n.StoreVal {
+		return nil
+	}
+	if n.HasValuePred {
+		n.ValuePred = n.ValuePred.And(p.Formula)
+	} else {
+		n.ValuePred = p.Formula
+		n.HasValuePred = true
+	}
+	n.PredSrc = append(n.PredSrc, p.Src...)
+	return pat
+}
+
+// Cost implements Plan.
+func (p *SelectValPlan) Cost() int { return p.In.Cost() + 1 }
+
+// Execute implements Plan.
+func (p *SelectValPlan) Execute(env Env) (*algebra.Relation, error) {
+	r, err := p.In.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	col := r.Schema.Index(p.Node + ".Val")
+	if col < 0 {
+		return nil, fmt.Errorf("rewrite: select-val: no column %s.Val", p.Node)
+	}
+	out := algebra.NewRelation(r.Schema)
+	for _, t := range r.Tuples {
+		if t[col].Kind != algebra.Null && p.Formula.Holds(value.Str(t[col].AsString())) {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+func (p *SelectValPlan) String() string {
+	return fmt.Sprintf("σ[φ(%s.Val)](%s)", p.Node, p.In)
+}
+
+// RenamePlan suffixes every pattern node name (and output column) of its
+// input; it keeps self-joins unambiguous (main₁, main₂, … in §2.1's QEP5).
+type RenamePlan struct {
+	In     Plan
+	Suffix string
+}
+
+// Pattern implements Plan.
+func (p *RenamePlan) Pattern() *xam.Pattern {
+	pat := p.In.Pattern()
+	if pat == nil {
+		return nil
+	}
+	for _, n := range pat.Nodes() {
+		n.Name += p.Suffix
+	}
+	return pat
+}
+
+// Cost implements Plan: renaming is free.
+func (p *RenamePlan) Cost() int { return p.In.Cost() }
+
+// Execute implements Plan.
+func (p *RenamePlan) Execute(env Env) (*algebra.Relation, error) {
+	r, err := p.In.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	out := algebra.NewRelation(renameSchema(r.Schema, p.Suffix))
+	out.Tuples = r.Tuples
+	return out, nil
+}
+
+func renameSchema(s *algebra.Schema, suffix string) *algebra.Schema {
+	out := &algebra.Schema{Attrs: make([]algebra.Attr, len(s.Attrs))}
+	for i, a := range s.Attrs {
+		name := a.Name
+		if j := strings.LastIndexByte(name, '.'); j >= 0 &&
+			(name[j:] == ".ID" || name[j:] == ".Tag" || name[j:] == ".Val" || name[j:] == ".Cont") {
+			name = name[:j] + suffix + name[j:]
+		} else {
+			name += suffix
+		}
+		out.Attrs[i] = algebra.Attr{Name: name, Nested: renameSchema2(a.Nested, suffix)}
+	}
+	return out
+}
+
+func renameSchema2(s *algebra.Schema, suffix string) *algebra.Schema {
+	if s == nil {
+		return nil
+	}
+	return renameSchema(s, suffix)
+}
+
+func (p *RenamePlan) String() string {
+	return fmt.Sprintf("ρ[%s](%s)", p.Suffix, p.In)
+}

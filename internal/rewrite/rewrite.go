@@ -1,0 +1,606 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/containment"
+	"xamdb/internal/summary"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// Options bounds the generate-and-test search.
+type Options struct {
+	// MaxJoinDepth limits composed plans: 0 = single views only, 1 = one
+	// join, 2 = two joins (default 2).
+	MaxJoinDepth int
+	// DisableUnions switches off union rewritings.
+	DisableUnions bool
+	// DisableDerive switches off navigational parent-ID derivation.
+	DisableDerive bool
+	// MaxPlans stops the search after this many rewritings (0 = unlimited).
+	MaxPlans int
+	// MaxCandidates caps the generated plan pool (default 3000).
+	MaxCandidates int
+	// DisablePruning turns off summary-based view relevance pruning.
+	DisablePruning bool
+}
+
+// Rewriter finds S-equivalent plans for query patterns over a fixed set of
+// views.
+type Rewriter struct {
+	S     *summary.Summary
+	Views []*View
+	Opts  Options
+}
+
+// NewRewriter prepares views for rewriting: node names are made globally
+// unique ("view_node") so composed plans have unambiguous columns. Extents
+// registered in an Env must be produced from the returned views' patterns.
+func NewRewriter(s *summary.Summary, views []*View, opts Options) *Rewriter {
+	if opts.MaxJoinDepth == 0 {
+		opts.MaxJoinDepth = 2
+	}
+	renamed := make([]*View, len(views))
+	for i, v := range views {
+		p := v.Pattern.Clone()
+		for _, n := range p.Nodes() {
+			n.Name = v.Name + "_" + n.Name
+		}
+		renamed[i] = &View{Name: v.Name, Pattern: p}
+	}
+	return &Rewriter{S: s, Views: renamed, Opts: opts}
+}
+
+// Rewriting is one S-equivalent plan for a query pattern, with the column
+// correspondence to the query's schema.
+type Rewriting struct {
+	Plan Plan
+	// Query is the rewritten pattern.
+	Query *xam.Pattern
+}
+
+// Execute runs the plan and renames its output schema to the query pattern's
+// schema (positionally — equivalence guarantees isomorphic shapes).
+func (rw *Rewriting) Execute(env Env) (*algebra.Relation, error) {
+	r, err := rw.Plan.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	want := rw.Query.Schema()
+	renamed, err := renameTo(r, want)
+	if err != nil {
+		return nil, err
+	}
+	return renamed, nil
+}
+
+// renameTo renames rel's schema to target if the shapes agree.
+func renameTo(rel *algebra.Relation, target *algebra.Schema) (*algebra.Relation, error) {
+	if len(rel.Schema.Attrs) != len(target.Attrs) {
+		return nil, fmt.Errorf("rewrite: output shape mismatch: %s vs %s", rel.Schema, target)
+	}
+	out := algebra.NewRelation(target)
+	out.Tuples = rel.Tuples
+	return out, nil
+}
+
+// Rewrite computes a set of non-redundant S-equivalent plans for q, cheapest
+// first. An empty result means no rewriting exists over the registered views.
+func (r *Rewriter) Rewrite(q *xam.Pattern) ([]*Rewriting, error) {
+	needs, flatOK := queryNeeds(q)
+	var results []*Rewriting
+	seen := map[string]bool{}
+	addResult := func(p Plan) {
+		if seen[p.String()] {
+			return
+		}
+		seen[p.String()] = true
+		results = append(results, &Rewriting{Plan: p, Query: q})
+	}
+	limit := func() bool {
+		return r.Opts.MaxPlans > 0 && len(results) >= r.Opts.MaxPlans
+	}
+
+	// Candidate pool: base scans over relevant views, plus derived and
+	// joined combinations. Relevance pruning keeps only views whose
+	// annotated nodes can share summary paths with the query (Definition
+	// 4.3.1 path annotations); irrelevant views can never participate in an
+	// equivalent plan.
+	relevant := r.Views
+	if !r.Opts.DisablePruning {
+		relevant = r.relevantViews(q)
+	}
+	maxCands := r.Opts.MaxCandidates
+	if maxCands == 0 {
+		maxCands = 3000
+	}
+	var pool []Plan
+	for _, v := range relevant {
+		pool = append(pool, &ScanPlan{View: v})
+	}
+	if !r.Opts.DisableDerive {
+		for _, v := range relevant {
+			pool = append(pool, derivePlans(&ScanPlan{View: v})...)
+		}
+	}
+	base := append([]Plan{}, pool...)
+	frontier := base
+	for depth := 1; depth <= r.Opts.MaxJoinDepth && len(frontier) > 0 && len(pool) < maxCands; depth++ {
+		var next []Plan
+		for _, left := range frontier {
+			for _, right := range base {
+				next = append(next, composePlans(left, right)...)
+				if len(pool)+len(next) >= maxCands {
+					break
+				}
+			}
+			if len(pool)+len(next) >= maxCands {
+				break
+			}
+		}
+		next = dedupPlans(next)
+		pool = append(pool, next...)
+		frontier = next
+	}
+	pool = dedupPlans(pool)
+
+	// Selection variants guided by the query's labels and value predicates
+	// (the σ_name=… selections of QEP4/QEP5).
+	pool = append(pool, r.selectionVariants(pool, q, maxCands)...)
+	pool = dedupPlans(pool)
+
+	// Test candidates cheapest-first: exact or projected equivalence,
+	// trying every monotone return-node assignment. Distinct plans with the
+	// same equivalent pattern are tested once.
+	sort.SliceStable(pool, func(i, j int) bool { return pool[i].Cost() < pool[j].Cost() })
+	checker := containment.NewChecker(r.S, q)
+	seenPattern := map[string]bool{}
+	var containedParts []*fitted
+	for _, cand := range pool {
+		if limit() {
+			break
+		}
+		for _, f := range r.fits(cand, q, needs, flatOK) {
+			if k := f.pattern.String(); seenPattern[k] {
+				continue
+			} else {
+				seenPattern[k] = true
+			}
+			// Cheap direction first: q ⊆ f using the cached model of q; most
+			// candidates fail here without computing their own model.
+			back, err := checker.QContainedIn(f.pattern)
+			if err != nil {
+				return nil, err
+			}
+			sub := false
+			if back {
+				sub, _, err = containment.ContainedInUnionBounded(f.pattern, []*xam.Pattern{q}, r.S, maxCandidateModel)
+				if err != nil {
+					return nil, err
+				}
+				if sub {
+					addResult(f.plan)
+					break
+				}
+			}
+			if r.Opts.DisableUnions || back || len(containedParts) >= maxUnionParts {
+				continue
+			}
+			// Keep one-way contained candidates as union parts.
+			sub, _, err = containment.ContainedInUnionBounded(f.pattern, []*xam.Pattern{q}, r.S, maxCandidateModel)
+			if err != nil {
+				return nil, err
+			}
+			if sub {
+				containedParts = append(containedParts, f)
+			}
+		}
+	}
+
+	// Union rewritings: a set of contained parts whose union contains q.
+	if !r.Opts.DisableUnions && !limit() && len(containedParts) > 1 {
+		if u, err := r.unionCover(checker, containedParts); err != nil {
+			return nil, err
+		} else if u != nil {
+			addResult(u)
+		}
+	}
+
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].Plan.Cost() < results[j].Plan.Cost()
+	})
+	return results, nil
+}
+
+// maxCandidateModel caps canonical models of candidate plan patterns: a
+// candidate whose model exceeds it is skipped ("don't know" is sound — some
+// other plan will cover the query, or none is reported).
+const maxCandidateModel = 2000
+
+// maxUnionParts caps the contained-part pool fed to the union cover search.
+const maxUnionParts = 16
+
+// fitted pairs a plan (already projected to the query's needs) with its
+// equivalent pattern.
+type fitted struct {
+	plan    Plan
+	pattern *xam.Pattern
+}
+
+// need describes the attributes one query return node requires.
+type need struct {
+	id, tag, val, cont bool
+	nestDepth          int
+}
+
+func nodeNeed(q *xam.Pattern, n *xam.Node) need {
+	return need{
+		id:        n.IDSpec != xam.NoID,
+		tag:       n.StoreTag,
+		val:       n.StoreVal,
+		cont:      n.StoreCont,
+		nestDepth: containment.NestDepth(q, n),
+	}
+}
+
+// queryNeeds lists the query's return-node requirements in pre-order and
+// reports whether all needed attributes are top-level (projectable).
+func queryNeeds(q *xam.Pattern) ([]need, bool) {
+	var needs []need
+	flat := true
+	for _, n := range q.ReturnNodes() {
+		nd := nodeNeed(q, n)
+		if nd.nestDepth > 0 {
+			flat = false
+		}
+		needs = append(needs, nd)
+	}
+	return needs, flat
+}
+
+// fits matches the plan's pattern to the query needs: the exact fit (the
+// pattern's return nodes line up with the query's) plus every monotone
+// projection assignment of pattern nodes to query needs (bounded).
+func (r *Rewriter) fits(p Plan, q *xam.Pattern, needs []need, flatOK bool) []*fitted {
+	pat := p.Pattern()
+	if pat == nil {
+		return nil
+	}
+	var out []*fitted
+	rets := pat.ReturnNodes()
+	if len(rets) == len(needs) {
+		ok := true
+		for i, n := range rets {
+			if nodeNeed(pat, n) != needs[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if !flatOK {
+				// Nested patterns execute in schema order already.
+				return []*fitted{{plan: p, pattern: pat}}
+			}
+			// Flat exact fit: order the columns by pattern pre-order so the
+			// output aligns with the query schema (composed plans append
+			// derived or joined columns out of order).
+			var attrs []string
+			for _, n := range rets {
+				attrs = append(attrs, nodeAttrs(pat, n)...)
+			}
+			proj := &ProjectPlan{In: p, Attrs: attrs}
+			return []*fitted{{plan: proj, pattern: proj.Pattern()}}
+		}
+	}
+	if !flatOK {
+		return nil
+	}
+	// Nested collections hide data the projection cannot reach.
+	for _, n := range pat.Nodes() {
+		if containment.NestDepth(pat, n) > 0 && n.StoresAnything() {
+			return nil
+		}
+	}
+	nodes := pat.Nodes()
+	const maxAssignments = 6
+	var rec func(ni, di int, attrs []string)
+	rec = func(ni, di int, attrs []string) {
+		if len(out) >= maxAssignments {
+			return
+		}
+		if di == len(needs) {
+			proj := &ProjectPlan{In: p, Attrs: append([]string{}, attrs...)}
+			out = append(out, &fitted{plan: proj, pattern: proj.Pattern()})
+			return
+		}
+		for i := ni; i < len(nodes); i++ {
+			n := nodes[i]
+			nd := needs[di]
+			have := nodeNeed(pat, n)
+			if have.nestDepth != 0 {
+				continue
+			}
+			if (nd.id && !have.id) || (nd.tag && !have.tag) || (nd.val && !have.val) || (nd.cont && !have.cont) {
+				continue
+			}
+			var add []string
+			if nd.id {
+				add = append(add, n.Name+".ID")
+			}
+			if nd.tag {
+				add = append(add, n.Name+".Tag")
+			}
+			if nd.val {
+				add = append(add, n.Name+".Val")
+			}
+			if nd.cont {
+				add = append(add, n.Name+".Cont")
+			}
+			rec(i+1, di+1, append(attrs, add...))
+		}
+	}
+	rec(0, 0, nil)
+	return out
+}
+
+// nodeAttrs lists the stored attribute columns of a pattern node, in the
+// canonical ID/Tag/Val/Cont order.
+func nodeAttrs(pat *xam.Pattern, n *xam.Node) []string {
+	nd := nodeNeed(pat, n)
+	var attrs []string
+	if nd.id {
+		attrs = append(attrs, n.Name+".ID")
+	}
+	if nd.tag {
+		attrs = append(attrs, n.Name+".Tag")
+	}
+	if nd.val {
+		attrs = append(attrs, n.Name+".Val")
+	}
+	if nd.cont {
+		attrs = append(attrs, n.Name+".Cont")
+	}
+	return attrs
+}
+
+// selectionVariants proposes σ(Tag=…) and σ(φ(Val)) augmentations of pooled
+// plans, guided by the query's constant labels and value predicates. Each
+// selection set is generated once (selections apply to nodes in pre-order).
+func (r *Rewriter) selectionVariants(pool []Plan, q *xam.Pattern, maxCands int) []Plan {
+	var labels []string
+	type predInfo struct {
+		f   value.Formula
+		src []string
+	}
+	var preds []predInfo
+	seenLabel := map[string]bool{}
+	for _, n := range q.Nodes() {
+		if !n.Wildcard() && !n.IsAttribute() && !seenLabel[n.Label] {
+			seenLabel[n.Label] = true
+			labels = append(labels, n.Label)
+		}
+		if n.HasValuePred {
+			preds = append(preds, predInfo{f: n.ValuePred, src: n.PredSrc})
+		}
+	}
+	if len(labels) == 0 && len(preds) == 0 {
+		return nil
+	}
+	var out []Plan
+	for _, pl := range pool {
+		pat := pl.Pattern()
+		if pat == nil {
+			continue
+		}
+		nodes := pat.Nodes()
+		var rec func(idx int, cur Plan)
+		rec = func(idx int, cur Plan) {
+			if len(out) >= maxCands {
+				return
+			}
+			for j := idx; j < len(nodes); j++ {
+				n := nodes[j]
+				if n.Wildcard() && n.StoreTag {
+					for _, l := range labels {
+						next := &SelectTagPlan{In: cur, Node: n.Name, Label: l}
+						out = append(out, next)
+						rec(j+1, next)
+					}
+				}
+				if n.StoreVal && !n.HasValuePred {
+					for _, pi := range preds {
+						next := &SelectValPlan{In: cur, Node: n.Name, Formula: pi.f, Src: pi.src}
+						out = append(out, next)
+						rec(j+1, next)
+					}
+				}
+			}
+		}
+		rec(0, pl)
+		if len(out) >= maxCands {
+			break
+		}
+	}
+	return out
+}
+
+// derivePlans proposes parent-ID derivations on a plan's Dewey-labeled
+// nodes.
+func derivePlans(p Plan) []Plan {
+	pat := p.Pattern()
+	if pat == nil {
+		return nil
+	}
+	var out []Plan
+	for _, n := range pat.Nodes() {
+		if n.IDSpec != xam.ParentID || n.Parent == nil || n.Parent.IDSpec != xam.NoID {
+			continue
+		}
+		d := &DeriveParentPlan{In: p, ChildNode: n.Name, ParentNode: n.Parent.Name}
+		if d.Pattern() != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// composePlans proposes structural joins and fusions between two plans.
+func composePlans(left, right Plan) []Plan {
+	lp, rp := left.Pattern(), right.Pattern()
+	if lp == nil || rp == nil || len(rp.Top) != 1 {
+		return nil
+	}
+	// Disambiguate node names on self-joins (main₁, main₂ … of §2.1).
+	if namesCollide(lp, rp) {
+		for i := 2; ; i++ {
+			suffix := fmt.Sprintf("·%d", i)
+			r2 := &RenamePlan{In: right, Suffix: suffix}
+			rp2 := r2.Pattern()
+			if rp2 != nil && !namesCollide(lp, rp2) {
+				right, rp = r2, rp2
+				break
+			}
+			if i > 8 {
+				return nil
+			}
+		}
+	}
+	rTop := rp.Top[0].Child
+	var out []Plan
+	selfJoin := left.String() == right.String()
+	for _, ln := range lp.Nodes() {
+		if ln.IDSpec == xam.NoID {
+			continue
+		}
+		if rTop.IDSpec != xam.NoID && rp.Top[0].Axis == xam.Descendant &&
+			!(selfJoin && ln.Name == rTop.Name) {
+			// Fusion on node identity (skipping trivial self-fusions).
+			f := &FusePlan{Left: left, Right: right, LeftNode: ln.Name, RightNode: rTop.Name}
+			if f.Pattern() != nil {
+				out = append(out, f)
+			}
+		}
+		if ln.IDSpec.Structural() && rTop.IDSpec.Structural() {
+			for _, axis := range []xam.Axis{xam.Child, xam.Descendant} {
+				j := &StructJoinPlan{Outer: left, Inner: right, OuterNode: ln.Name, InnerNode: rTop.Name, Axis: axis}
+				if j.Pattern() != nil {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func dedupPlans(ps []Plan) []Plan {
+	seen := map[string]bool{}
+	var out []Plan
+	for _, p := range ps {
+		k := p.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// unionCover searches for a small set of contained parts whose union
+// contains (hence equals) q; parts are tried cheapest-first, greedily.
+func (r *Rewriter) unionCover(checker *containment.Checker, parts []*fitted) (Plan, error) {
+	sort.SliceStable(parts, func(i, j int) bool {
+		return parts[i].plan.Cost() < parts[j].plan.Cost()
+	})
+	var chosen []*fitted
+	var pats []*xam.Pattern
+	for _, f := range parts {
+		chosen = append(chosen, f)
+		pats = append(pats, f.pattern)
+		ok, err := checker.QContainedInUnion(pats)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			u := &UnionPlan{}
+			for _, c := range chosen {
+				u.Parts = append(u.Parts, c.plan)
+			}
+			return u, nil
+		}
+	}
+	return nil, nil
+}
+
+// Materialize evaluates every registered view over the document, producing
+// the execution environment for rewritten plans. Patterns with required
+// attributes (indexes) are skipped — they need bindings at lookup time.
+func (r *Rewriter) Materialize(doc *xmltree.Document) (Env, error) {
+	env := Env{}
+	for _, v := range r.Views {
+		if v.Pattern.HasRequired() {
+			continue
+		}
+		rel, err := v.Pattern.Eval(doc)
+		if err != nil {
+			return nil, err
+		}
+		env[v.Name] = rel
+	}
+	return env, nil
+}
+
+// relevantViews keeps the views whose stored nodes can map to summary paths
+// that some query node also maps to (or to their ancestors/descendants —
+// join anchors may sit above the query's own nodes).
+func (r *Rewriter) relevantViews(q *xam.Pattern) []*View {
+	qPaths := map[int]bool{}
+	for _, ann := range containment.PathAnnotations(q, r.S) {
+		for _, sn := range ann {
+			qPaths[sn.Num] = true
+			for p := sn.Parent; p != nil; p = p.Parent {
+				qPaths[p.Num] = true
+			}
+		}
+	}
+	var out []*View
+	for _, v := range r.Views {
+		ann := containment.PathAnnotations(v.Pattern, r.S)
+		keep := false
+		for n, sns := range ann {
+			if !n.StoresAnything() {
+				continue
+			}
+			for _, sn := range sns {
+				if qPaths[sn.Num] {
+					keep = true
+					break
+				}
+			}
+			if keep {
+				break
+			}
+		}
+		if keep {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// namesCollide reports whether two patterns share a node name.
+func namesCollide(a, b *xam.Pattern) bool {
+	names := map[string]bool{}
+	for _, n := range a.Nodes() {
+		names[n.Name] = true
+	}
+	for _, n := range b.Nodes() {
+		if names[n.Name] {
+			return true
+		}
+	}
+	return false
+}

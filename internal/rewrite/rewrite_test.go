@@ -1,0 +1,342 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+func setup(t *testing.T, docSrc string, views map[string]string, opts Options) (*Rewriter, *xmltree.Document, Env) {
+	t.Helper()
+	doc := xmltree.MustParse("t.xml", docSrc)
+	s := summary.Build(doc)
+	var vs []*View
+	for name, src := range views {
+		vs = append(vs, &View{Name: name, Pattern: xam.MustParse(src)})
+	}
+	rw := NewRewriter(s, vs, opts)
+	env, err := rw.Materialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rw, doc, env
+}
+
+func bestPlan(t *testing.T, rw *Rewriter, q string) *Rewriting {
+	t.Helper()
+	plans, err := rw.Rewrite(xam.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatalf("no rewriting found for %s", q)
+	}
+	return plans[0]
+}
+
+func TestSingleViewExactRewriting(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<bib><book><title>T</title></book></bib>`,
+		map[string]string{"v1": `// book{id s, cont}`},
+		Options{})
+	r := bestPlan(t, rw, `// book{id s, cont}`)
+	if !strings.Contains(r.Plan.String(), "scan(v1)") {
+		t.Fatalf("plan: %s", r.Plan)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(`// book{id s, cont}`).Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestProjectionRewriting(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<bib><book><title>T</title></book></bib>`,
+		map[string]string{"wide": `// book{id s, tag, cont}`},
+		Options{})
+	r := bestPlan(t, rw, `// book{id s}`)
+	if !strings.Contains(r.Plan.String(), "π[") {
+		t.Fatalf("plan should project: %s", r.Plan)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(`// book{id s}`).Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestSummaryEnabledViewReuse(t *testing.T) {
+	// The §5.2 motivating scenario: the view stores region children having a
+	// description child, without naming them; the summary guarantees all
+	// such children are items.
+	rw, doc, env := setup(t,
+		`<regions><region><item><description/></item><item><description/></item></region></regions>`,
+		map[string]string{"v1": `// region(/ *{id s}(/(s) description))`},
+		Options{})
+	r := bestPlan(t, rw, `// item{id s}`)
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(`// item{id s}`).Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestStructuralJoinRewriting(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{
+			"books":  `// book{id s}`,
+			"titles": `// title{id s, val}`,
+		},
+		Options{})
+	q := `// book{id s}(/ title{id s, val})`
+	r := bestPlan(t, rw, q)
+	if !strings.Contains(r.Plan.String(), "⋈") {
+		t.Fatalf("plan should join: %s", r.Plan)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(q).Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestUnionRewriting(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<a><x><b>1</b></x><y><b>2</b></y></a>`,
+		map[string]string{
+			"vx": `// x(/ b{id s, val})`,
+			"vy": `// y(/ b{id s, val})`,
+		},
+		Options{})
+	q := `// b{id s, val}`
+	r := bestPlan(t, rw, q)
+	if !strings.Contains(r.Plan.String(), "∪") {
+		t.Fatalf("plan should union: %s", r.Plan)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(q).Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+	// With unions disabled, no rewriting exists.
+	rw.Opts.DisableUnions = true
+	plans, err := rw.Rewrite(xam.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 0 {
+		t.Fatalf("unexpected plans without unions: %v", plans[0].Plan)
+	}
+}
+
+func TestDeweyParentDerivation(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<a><d><p/></d><d><p/></d></a>`,
+		map[string]string{"vp": `// d(/ p{id p})`},
+		Options{})
+	q := `// d{id p}(/ p{id p})`
+	r := bestPlan(t, rw, q)
+	if !strings.Contains(r.Plan.String(), "deriveParent") {
+		t.Fatalf("plan should derive parent IDs: %s", r.Plan)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify derived parent IDs are the true Dewey labels of the d nodes.
+	ds := doc.Root.Elements()
+	found := 0
+	for _, tp := range got.Tuples {
+		di := got.Schema.Index("e1.ID")
+		if di < 0 {
+			t.Fatalf("schema: %s", got.Schema)
+		}
+		for _, d := range ds {
+			if tp[di].Kind == algebra.DeweyID && tp[di].Dewey.Compare(d.Dewey) == 0 {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("derived parent IDs wrong: %s", got)
+	}
+	// With derivation disabled, no rewriting exists.
+	rw.Opts.DisableDerive = true
+	plans, _ := rw.Rewrite(xam.MustParse(q))
+	if len(plans) != 0 {
+		t.Fatalf("unexpected plans without derivation: %v", plans[0].Plan)
+	}
+}
+
+func TestNoRewritingWhenViewsInsufficient(t *testing.T) {
+	rw, _, _ := setup(t,
+		`<bib><book><title>T</title></book></bib>`,
+		map[string]string{"titles": `// title{id s}`},
+		Options{})
+	plans, err := rw.Rewrite(xam.MustParse(`// book{id s, cont}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 0 {
+		t.Fatalf("unexpected plan: %v", plans[0].Plan)
+	}
+}
+
+func TestValuePredicateViewOnlyForMatchingQueries(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<bib><book><year>1999</year></book><book><year>2005</year></book></bib>`,
+		map[string]string{
+			"v99":  `// book{id s}(/(s) year{val=1999})`,
+			"vall": `// book{id s}`,
+		},
+		Options{})
+	// Query with the same predicate: the filtered view fits.
+	q := `// book{id s}(/(s) year{val=1999})`
+	plans, err := rw.Rewrite(xam.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundFiltered bool
+	for _, p := range plans {
+		if strings.Contains(p.Plan.String(), "scan(v99)") && !strings.Contains(p.Plan.String(), "vall") {
+			foundFiltered = true
+			got, err := p.Execute(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := xam.MustParse(q).Eval(doc)
+			if !got.EqualAsSet(want) {
+				t.Fatalf("results differ")
+			}
+		}
+	}
+	if !foundFiltered {
+		t.Fatal("filtered view not used")
+	}
+	// The unfiltered query must not be answered by the filtered view alone.
+	plans2, _ := rw.Rewrite(xam.MustParse(`// book{id s}`))
+	for _, p := range plans2 {
+		if strings.Contains(p.Plan.String(), "v99") && !strings.Contains(p.Plan.String(), "vall") {
+			t.Fatalf("unsound plan: %s", p.Plan)
+		}
+	}
+}
+
+func TestFusionRewriting(t *testing.T) {
+	// Two views over the same nodes, each storing half the attributes;
+	// fusing on node identity recovers both.
+	rw, doc, env := setup(t,
+		`<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{
+			"ids":  `// title{id s, val}`,
+			"tags": `// title{id s, tag}`,
+		},
+		Options{})
+	q := `// title{id s, tag, val}`
+	plans, err := rw.Rewrite(xam.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fused *Rewriting
+	for _, p := range plans {
+		if strings.Contains(p.Plan.String(), "=") {
+			fused = p
+			break
+		}
+	}
+	if fused == nil {
+		t.Fatalf("no fusion plan among %d plans", len(plans))
+	}
+	got, err := fused.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(q).Eval(doc)
+	if got.Len() != want.Len() {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestRewritePrefersCheapestPlan(t *testing.T) {
+	rw, _, _ := setup(t,
+		`<bib><book><title>T</title></book></bib>`,
+		map[string]string{
+			"exact":  `// book{id s}(/ title{id s, val})`,
+			"books":  `// book{id s}`,
+			"titles": `// title{id s, val}`,
+		},
+		Options{})
+	plans, err := rw.Rewrite(xam.MustParse(`// book{id s}(/ title{id s, val})`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 2 {
+		t.Fatalf("want several plans, got %d", len(plans))
+	}
+	if !strings.Contains(plans[0].Plan.String(), "scan(exact)") || strings.Contains(plans[0].Plan.String(), "⋈") {
+		t.Fatalf("cheapest plan should be the exact view scan: %s", plans[0].Plan)
+	}
+}
+
+func TestNodeStoreTagSelections(t *testing.T) {
+	// The QEP5 shape of §2.1.1: a node store answers //book/title by two
+	// tag selections over the wildcard view plus a structural join.
+	rw, doc, env := setup(t,
+		`<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{"main": `// *{id s, tag, val}`},
+		Options{})
+	q := `// book(/ title{val})`
+	r := bestPlan(t, rw, q)
+	if !strings.Contains(r.Plan.String(), "σ[") {
+		t.Fatalf("plan should select tags: %s", r.Plan)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(q).Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestValueSelectionOnWideView(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<bib><book><year>1999</year></book><book><year>2005</year></book></bib>`,
+		map[string]string{"years": `// year{id s, val}`},
+		Options{})
+	q := `// year{id s, val, val=1999}`
+	r := bestPlan(t, rw, q)
+	if !strings.Contains(r.Plan.String(), "σ[φ") {
+		t.Fatalf("plan should filter values: %s", r.Plan)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := xam.MustParse(q).Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -1,0 +1,62 @@
+package rewrite
+
+import (
+	"testing"
+
+	"xamdb/internal/datagen"
+	"xamdb/internal/patgen"
+	"xamdb/internal/summary"
+	"xamdb/internal/xmltree"
+)
+
+// TestRewritingSoundOnRandomWorkload cross-validates the planner against
+// direct evaluation: every plan found for a random query over random views
+// must produce exactly the query pattern's result on the document.
+func TestRewritingSoundOnRandomWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation workload skipped in -short mode")
+	}
+	docs := []*xmltree.Document{
+		datagen.DBLP(30),
+	}
+	for _, doc := range docs {
+		s := summary.Build(doc)
+		viewPats := patgen.GenerateSet(s, patgen.Config{Nodes: 3, Returns: 2, PPred: -1, POpt: -1}, 6, 21)
+		var views []*View
+		for i, p := range viewPats {
+			for _, n := range p.ReturnNodes() {
+				n.StoreVal = true
+			}
+			views = append(views, &View{Name: "v" + string(rune('a'+i)), Pattern: p})
+		}
+		rw := NewRewriter(s, views, Options{MaxPlans: 2, MaxJoinDepth: 1})
+		env, err := rw.Materialize(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := patgen.GenerateSet(s, patgen.Config{Nodes: 3, Returns: 1, PPred: -1, POpt: -1}, 8, 33)
+		for _, q := range queries {
+			for _, n := range q.ReturnNodes() {
+				n.StoreVal = true
+			}
+			plans, err := rw.Rewrite(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := q.Eval(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range plans {
+				got, err := p.Execute(env)
+				if err != nil {
+					t.Fatalf("doc %s, query %s, plan %s: %v", doc.Name, q, p.Plan, err)
+				}
+				if !got.EqualAsSet(want) {
+					t.Fatalf("doc %s: unsound plan for %s:\n  plan %s\n  got  %s\n  want %s",
+						doc.Name, q, p.Plan, got, want)
+				}
+			}
+		}
+	}
+}

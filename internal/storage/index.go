@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// Index is a generic XML index described by an R-marked XAM (§2.2.2): the
+// required attributes form the lookup key; Lookup applies the restricted
+// semantics (Definition 2.2.6) against the precomputed full extent.
+type Index struct {
+	Name    string
+	Pattern *xam.Pattern
+	full    *algebra.Relation
+}
+
+// BuildIndex materializes the index over the document. The pattern must
+// carry at least one R marker.
+func BuildIndex(doc *xmltree.Document, name, pat string) (*Index, error) {
+	p, err := xam.Parse(pat)
+	if err != nil {
+		return nil, err
+	}
+	if !p.HasRequired() {
+		return nil, fmt.Errorf("storage: index pattern %q has no required attribute", pat)
+	}
+	full, err := p.StripRequired().Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Name: name, Pattern: p, full: full}, nil
+}
+
+// BindingSchema returns the lookup key type.
+func (ix *Index) BindingSchema() *algebra.Schema { return ix.Pattern.BindingSchema() }
+
+// Lookup returns the data accessible under the given bindings.
+func (ix *Index) Lookup(bindings *algebra.Relation) (*algebra.Relation, error) {
+	bs := ix.BindingSchema()
+	if !bs.Equal(bindings.Schema) {
+		return nil, fmt.Errorf("storage: binding schema %s does not match %s", bindings.Schema, bs)
+	}
+	out := algebra.NewRelation(ix.full.Schema)
+	for _, b := range bindings.Tuples {
+		for _, t := range ix.full.Tuples {
+			if r, ok := xam.IntersectTuples(t, ix.full.Schema, b, bs); ok {
+				out.Add(r)
+			}
+		}
+	}
+	return algebra.Distinct(out), nil
+}
+
+// Size returns the number of indexed tuples.
+func (ix *Index) Size() int { return ix.full.Len() }
+
+// FullTextIndex maps words to the structural identifiers of the elements
+// whose value contains them — the IndexFabric-style FTI of §2.1.2, scoped by
+// a single-return-node XAM (e.g. "// title{id s, val}" indexes book titles
+// by title words).
+type FullTextIndex struct {
+	Name    string
+	Pattern *xam.Pattern
+	posting map[string][]xmltree.NodeID
+}
+
+// BuildFullTextIndex builds the word index over the elements selected by the
+// pattern, which must store exactly one node's ID and Val.
+func BuildFullTextIndex(doc *xmltree.Document, name, pat string) (*FullTextIndex, error) {
+	p, err := xam.Parse(pat)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := p.Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	idCol, valCol := -1, -1
+	for i, a := range rel.Schema.Attrs {
+		switch {
+		case strings.HasSuffix(a.Name, ".ID"):
+			idCol = i
+		case strings.HasSuffix(a.Name, ".Val"):
+			valCol = i
+		}
+	}
+	if idCol < 0 || valCol < 0 {
+		return nil, fmt.Errorf("storage: FTI pattern must store one node's ID and Val, got %s", rel.Schema)
+	}
+	fti := &FullTextIndex{Name: name, Pattern: p, posting: map[string][]xmltree.NodeID{}}
+	for _, t := range rel.Tuples {
+		if t[idCol].Kind != algebra.ID {
+			continue
+		}
+		id := t[idCol].ID
+		seen := map[string]bool{}
+		for _, w := range strings.Fields(strings.ToLower(t[valCol].AsString())) {
+			w = strings.Trim(w, ".,;:!?()'\"")
+			if w == "" || seen[w] {
+				continue
+			}
+			seen[w] = true
+			fti.posting[w] = append(fti.posting[w], id)
+		}
+	}
+	for _, ids := range fti.posting {
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Pre < ids[j].Pre })
+	}
+	return fti, nil
+}
+
+// Lookup returns the IDs of elements containing the word, in document order.
+func (f *FullTextIndex) Lookup(word string) []xmltree.NodeID {
+	return f.posting[strings.ToLower(word)]
+}
+
+// Words returns the number of distinct indexed words.
+func (f *FullTextIndex) Words() int { return len(f.posting) }

@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// The thesis studies *persistent* XML databases: storage modules outlive the
+// process. This file serializes stores to disk-ready bytes — relations via
+// gob, XAMs via their textual syntax (always reparseable), documents via
+// their XML serialization.
+
+// persistedModule is the on-wire form of a Module.
+type persistedModule struct {
+	Name    string
+	Pattern string // textual XAM
+	Data    persistedRelation
+}
+
+// persistedRelation flattens a nested relation for gob: the schema as a
+// rendering-independent structure and the tuples with explicit value kinds.
+type persistedRelation struct {
+	Schema persistedSchema
+	Tuples []persistedTuple
+}
+
+type persistedSchema struct {
+	Names    []string
+	Nested   []persistedSchema // zero value for atomic attributes
+	IsNested []bool
+}
+
+type persistedTuple struct {
+	Values []persistedValue
+}
+
+type persistedValue struct {
+	Kind  uint8
+	Str   string
+	Int   int64
+	Float float64
+	Pre   int32
+	Post  int32
+	Depth int32
+	Dewey []int32
+	Rel   *persistedRelation
+}
+
+func toPersistedSchema(s *algebra.Schema) persistedSchema {
+	out := persistedSchema{}
+	for _, a := range s.Attrs {
+		out.Names = append(out.Names, a.Name)
+		if a.Nested != nil {
+			out.Nested = append(out.Nested, toPersistedSchema(a.Nested))
+			out.IsNested = append(out.IsNested, true)
+		} else {
+			out.Nested = append(out.Nested, persistedSchema{})
+			out.IsNested = append(out.IsNested, false)
+		}
+	}
+	return out
+}
+
+func fromPersistedSchema(p persistedSchema) (*algebra.Schema, error) {
+	if len(p.Names) != len(p.Nested) || len(p.Names) != len(p.IsNested) {
+		return nil, fmt.Errorf("storage: corrupt schema: %d names, %d nests", len(p.Names), len(p.Nested))
+	}
+	out := &algebra.Schema{}
+	for i, n := range p.Names {
+		var nested *algebra.Schema
+		if p.IsNested[i] {
+			var err error
+			nested, err = fromPersistedSchema(p.Nested[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Attrs = append(out.Attrs, algebra.Attr{Name: n, Nested: nested})
+	}
+	return out, nil
+}
+
+func toPersistedRelation(r *algebra.Relation) persistedRelation {
+	out := persistedRelation{Schema: toPersistedSchema(r.Schema)}
+	for _, t := range r.Tuples {
+		pt := persistedTuple{}
+		for _, v := range t {
+			pt.Values = append(pt.Values, toPersistedValue(v))
+		}
+		out.Tuples = append(out.Tuples, pt)
+	}
+	return out
+}
+
+func toPersistedValue(v algebra.Value) persistedValue {
+	pv := persistedValue{Kind: uint8(v.Kind), Str: v.Str, Int: v.Int, Float: v.Float,
+		Pre: v.ID.Pre, Post: v.ID.Post, Depth: v.ID.Depth, Dewey: v.Dewey}
+	if v.Kind == algebra.Rel && v.Rel != nil {
+		pr := toPersistedRelation(v.Rel)
+		pv.Rel = &pr
+	}
+	return pv
+}
+
+func fromPersistedRelation(p persistedRelation) (*algebra.Relation, error) {
+	schema, err := fromPersistedSchema(p.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := algebra.NewRelation(schema)
+	for _, pt := range p.Tuples {
+		t := make(algebra.Tuple, 0, len(pt.Values))
+		for _, pv := range pt.Values {
+			v, err := fromPersistedValue(pv)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		out.Add(t)
+	}
+	return out, nil
+}
+
+func fromPersistedValue(pv persistedValue) (algebra.Value, error) {
+	v := algebra.Value{Kind: algebra.Kind(pv.Kind), Str: pv.Str, Int: pv.Int, Float: pv.Float,
+		ID: xmltree.NodeID{Pre: pv.Pre, Post: pv.Post, Depth: pv.Depth}, Dewey: pv.Dewey}
+	if v.Kind == algebra.Rel {
+		if pv.Rel == nil {
+			return v, fmt.Errorf("storage: corrupt value: nil nested relation")
+		}
+		rel, err := fromPersistedRelation(*pv.Rel)
+		if err != nil {
+			return v, err
+		}
+		v.Rel = rel
+	}
+	return v, nil
+}
+
+// SaveStore serializes the store.
+func SaveStore(w io.Writer, s *Store) error {
+	mods := make([]persistedModule, len(s.Modules))
+	for i, m := range s.Modules {
+		mods[i] = persistedModule{
+			Name:    m.Name,
+			Pattern: m.Pattern.String(),
+			Data:    toPersistedRelation(m.Data),
+		}
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(s.Name); err != nil {
+		return fmt.Errorf("storage: save: %w", err)
+	}
+	if err := enc.Encode(mods); err != nil {
+		return fmt.Errorf("storage: save: %w", err)
+	}
+	return nil
+}
+
+// LoadStore deserializes a store written by SaveStore.
+func LoadStore(r io.Reader) (*Store, error) {
+	dec := gob.NewDecoder(r)
+	s := &Store{}
+	if err := dec.Decode(&s.Name); err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	var mods []persistedModule
+	if err := dec.Decode(&mods); err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	for _, pm := range mods {
+		pat, err := xam.Parse(pm.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("storage: load module %s: %w", pm.Name, err)
+		}
+		data, err := fromPersistedRelation(pm.Data)
+		if err != nil {
+			return nil, fmt.Errorf("storage: load module %s: %w", pm.Name, err)
+		}
+		s.Modules = append(s.Modules, &Module{Name: pm.Name, Pattern: pat, Data: data})
+	}
+	return s, nil
+}
+
+// StoreBytes is SaveStore into a fresh buffer.
+func StoreBytes(s *Store) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveStore(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadStoreBytes is LoadStore from a byte slice.
+func LoadStoreBytes(b []byte) (*Store, error) {
+	return LoadStore(bytes.NewReader(b))
+}

@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"testing"
+
+	"xamdb/internal/summary"
+	"xamdb/internal/xmltree"
+)
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	doc := xmltree.MustParse("bib.xml", bibXML)
+	for _, build := range []func() (*Store, error){
+		func() (*Store, error) { return TagPartitioned(doc) },
+		func() (*Store, error) { return PathPartitioned(doc, summary.Build(doc)) },
+		func() (*Store, error) { return Hybrid(doc, summary.Build(doc)) },
+	} {
+		st, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := StoreBytes(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := LoadStoreBytes(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Name != st.Name || len(again.Modules) != len(st.Modules) {
+			t.Fatalf("shape: %s vs %s", again.Name, st.Name)
+		}
+		for i, m := range st.Modules {
+			m2 := again.Modules[i]
+			if m2.Name != m.Name {
+				t.Fatalf("module %d name %q vs %q", i, m2.Name, m.Name)
+			}
+			if m2.Pattern.String() != m.Pattern.String() {
+				t.Fatalf("module %s pattern %q vs %q", m.Name, m2.Pattern, m.Pattern)
+			}
+			if !m2.Data.Equal(m.Data) {
+				t.Fatalf("module %s data differs:\n%s\nvs\n%s", m.Name, m2.Data, m.Data)
+			}
+		}
+	}
+}
+
+func TestStoreLoadCorrupt(t *testing.T) {
+	if _, err := LoadStoreBytes([]byte("not a store")); err == nil {
+		t.Fatal("corrupt input must error")
+	}
+}
+
+func TestPersistNestedRelations(t *testing.T) {
+	doc := xmltree.MustParse("n.xml", `<r><a><b>1</b><b>2</b></a></r>`)
+	m, err := buildModule(doc, "nested", `// a{id p}(/(nj) b{id s, val})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{Name: "n", Modules: []*Module{m}}
+	b, err := StoreBytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadStoreBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Modules[0].Data.Equal(m.Data) {
+		t.Fatalf("nested round trip:\n%s\nvs\n%s", again.Modules[0].Data, m.Data)
+	}
+}

@@ -1,0 +1,330 @@
+// Package storage implements the persistent storage schemes surveyed in
+// Chapter 2, each described uniformly by XAMs and materialized as nested
+// relations: tag-partitioned stores (Timber/Natix style), path-partitioned
+// stores (early Monet/XQueC), node stores (Galax native model #1), the Edge
+// relation approach, inlined Hybrid-style relational mappings, unfragmented
+// content ("blob") stores, composite-key indexes and full-text indexes. The
+// point of the chapter — and of this package — is that the optimizer sees
+// every one of them as just a set of XAMs.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/rewrite"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// Module is one persistent structure: a XAM and its materialized extent.
+type Module struct {
+	Name    string
+	Pattern *xam.Pattern
+	Data    *algebra.Relation
+}
+
+// Store is a named collection of modules implementing one storage scheme.
+type Store struct {
+	Name    string
+	Modules []*Module
+}
+
+// Module returns the named module, or nil.
+func (s *Store) Module(name string) *Module {
+	for _, m := range s.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Views exposes the store's XAMs to the rewriter.
+func (s *Store) Views() []*rewrite.View {
+	out := make([]*rewrite.View, len(s.Modules))
+	for i, m := range s.Modules {
+		out[i] = &rewrite.View{Name: m.Name, Pattern: m.Pattern}
+	}
+	return out
+}
+
+// Env exposes the materialized extents under the column naming the rewriter
+// expects (view-prefixed node names), without re-evaluating patterns.
+func (s *Store) Env() rewrite.Env {
+	env := rewrite.Env{}
+	for _, m := range s.Modules {
+		renamed := &algebra.Schema{Attrs: make([]algebra.Attr, len(m.Data.Schema.Attrs))}
+		for i, a := range m.Data.Schema.Attrs {
+			renamed.Attrs[i] = algebra.Attr{Name: m.Name + "_" + a.Name, Nested: prefixNested(m.Name, a.Nested)}
+		}
+		rel := algebra.NewRelation(renamed)
+		rel.Tuples = m.Data.Tuples
+		env[m.Name] = rel
+	}
+	return env
+}
+
+func prefixNested(prefix string, s *algebra.Schema) *algebra.Schema {
+	if s == nil {
+		return nil
+	}
+	out := &algebra.Schema{Attrs: make([]algebra.Attr, len(s.Attrs))}
+	for i, a := range s.Attrs {
+		out.Attrs[i] = algebra.Attr{Name: prefix + "_" + a.Name, Nested: prefixNested(prefix, a.Nested)}
+	}
+	return out
+}
+
+// TotalTuples sums module extents; a coarse size measure.
+func (s *Store) TotalTuples() int {
+	n := 0
+	for _, m := range s.Modules {
+		n += m.Data.Len()
+	}
+	return n
+}
+
+func (s *Store) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "store %s (%d modules, %d tuples)\n", s.Name, len(s.Modules), s.TotalTuples())
+	for _, m := range s.Modules {
+		fmt.Fprintf(&sb, "  %-24s %6d tuples  %s\n", m.Name, m.Data.Len(), m.Pattern)
+	}
+	return sb.String()
+}
+
+// buildModule evaluates a XAM over the document.
+func buildModule(doc *xmltree.Document, name, pat string) (*Module, error) {
+	p, err := xam.Parse(pat)
+	if err != nil {
+		return nil, err
+	}
+	data, err := p.Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{Name: name, Pattern: p, Data: data}, nil
+}
+
+func mustModule(doc *xmltree.Document, name, pat string) *Module {
+	m, err := buildModule(doc, name, pat)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// elementTags returns the document's distinct element tags, sorted.
+func elementTags(doc *xmltree.Document) []string {
+	set := map[string]bool{}
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.Element {
+			set[n.Label] = true
+		}
+		return true
+	})
+	tags := make([]string, 0, len(set))
+	for t := range set {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// TagPartitioned builds the native storage model #3 (§2.1.1): tag-partitioned
+// collections of structural identifiers, as used by Timber and Natix, plus an
+// attribute module.
+func TagPartitioned(doc *xmltree.Document) (*Store, error) {
+	s := &Store{Name: "tag-partitioned"}
+	for _, t := range elementTags(doc) {
+		m, err := buildModule(doc, "tag_"+t, fmt.Sprintf("// %s{id s, val}", t))
+		if err != nil {
+			return nil, err
+		}
+		s.Modules = append(s.Modules, m)
+	}
+	m, err := buildModule(doc, "tag_attrs", "// @*{id s, tag, val}")
+	if err != nil {
+		return nil, err
+	}
+	s.Modules = append(s.Modules, m)
+	return s, nil
+}
+
+// PathPartitioned builds the native storage model #4 (§2.1.1): one module
+// per rooted element path, in the precise [Tag=c]-per-step form preferred in
+// §2.3.2 (Figure 2.14(b)).
+func PathPartitioned(doc *xmltree.Document, sum *summary.Summary) (*Store, error) {
+	s := &Store{Name: "path-partitioned"}
+	for _, sn := range sum.Nodes() {
+		if strings.HasPrefix(sn.Label, "@") || sn.Label == "#text" {
+			continue
+		}
+		// Build the chain pattern /root(/l2(/...{id s, val})).
+		var labels []string
+		for n := sn; n != nil; n = n.Parent {
+			labels = append([]string{n.Label}, labels...)
+		}
+		var sb strings.Builder
+		for i, l := range labels {
+			sb.WriteString("/ ")
+			sb.WriteString(l)
+			if i == len(labels)-1 {
+				sb.WriteString("{id s, val}")
+			}
+			if i < len(labels)-1 {
+				sb.WriteString("(")
+			}
+		}
+		sb.WriteString(strings.Repeat(")", len(labels)-1))
+		m, err := buildModule(doc, fmt.Sprintf("path_%d", sn.Num), sb.String())
+		if err != nil {
+			return nil, err
+		}
+		s.Modules = append(s.Modules, m)
+	}
+	return s, nil
+}
+
+// NodeStore builds the Galax-style native model #1/#2 (§2.1.1): one entry
+// per node, with structural IDs replacing explicit parent pointers.
+func NodeStore(doc *xmltree.Document) (*Store, error) {
+	s := &Store{Name: "node-store"}
+	elems, err := buildModule(doc, "main_elems", "// *{id s, tag, val}")
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := buildModule(doc, "main_attrs", "// @*{id s, tag, val}")
+	if err != nil {
+		return nil, err
+	}
+	s.Modules = []*Module{elems, attrs}
+	return s, nil
+}
+
+// EdgeStore builds the Edge approach of Florescu & Kossmann (§2.3.1): one
+// tuple per parent-child pair of nodes, with order-reflecting IDs; the child
+// carries name and value (the Value table is folded in).
+func EdgeStore(doc *xmltree.Document) (*Store, error) {
+	s := &Store{Name: "edge"}
+	edges, err := buildModule(doc, "edge", "// *{id o}(/ *{id o, tag, val})")
+	if err != nil {
+		return nil, err
+	}
+	attrEdges, err := buildModule(doc, "edge_attrs", "// *{id o}(/ @*{id o, tag, val})")
+	if err != nil {
+		return nil, err
+	}
+	root, err := buildModule(doc, "edge_root", "/ *{id o, tag, val}")
+	if err != nil {
+		return nil, err
+	}
+	s.Modules = []*Module{edges, attrEdges, root}
+	return s, nil
+}
+
+// ContentStore builds an unfragmented ("blob") store for the given tags
+// (§2.1.1's sectionContent): each element's full serialized content in one
+// module.
+func ContentStore(doc *xmltree.Document, tags ...string) (*Store, error) {
+	s := &Store{Name: "content"}
+	for _, t := range tags {
+		m, err := buildModule(doc, "content_"+t, fmt.Sprintf("// %s{id s, cont}", t))
+		if err != nil {
+			return nil, err
+		}
+		s.Modules = append(s.Modules, m)
+	}
+	return s, nil
+}
+
+// Hybrid builds a Shanmugasundaram-style inlined relational mapping
+// (§2.1.1 model #1): per element tag, a module storing the element's ID and
+// the values of children that occur at most once under every instance
+// (one-to-one edges in the enhanced summary); repeatable children keep their
+// own modules.
+func Hybrid(doc *xmltree.Document, sum *summary.Summary) (*Store, error) {
+	s := &Store{Name: "hybrid"}
+	// For each tag, collect child labels inlineable everywhere the tag
+	// occurs.
+	inlineable := map[string]map[string]bool{}
+	occurrences := map[string][]*summary.Node{}
+	for _, sn := range sum.Nodes() {
+		if strings.HasPrefix(sn.Label, "@") || sn.Label == "#text" {
+			continue
+		}
+		occurrences[sn.Label] = append(occurrences[sn.Label], sn)
+	}
+	for tag, sns := range occurrences {
+		cands := map[string]int{}
+		for _, sn := range sns {
+			for _, c := range sn.Children {
+				if c.Label == "#text" {
+					continue
+				}
+				if c.EdgeIn == summary.One && isLeafLike(c) {
+					cands[c.Label]++
+				} else {
+					cands[c.Label] = -1 << 20
+				}
+			}
+		}
+		inlineable[tag] = map[string]bool{}
+		for l, n := range cands {
+			if n > 0 {
+				inlineable[tag][l] = true
+			}
+		}
+	}
+	tags := make([]string, 0, len(occurrences))
+	for t := range occurrences {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	inlinedSomewhere := map[string]bool{}
+	for _, t := range tags {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "// %s{id s, val}", t)
+		var kids []string
+		for l := range inlineable[t] {
+			kids = append(kids, l)
+		}
+		sort.Strings(kids)
+		if len(kids) > 0 {
+			sb.WriteString("(")
+			for i, l := range kids {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "/(o) %s{val}", l)
+				inlinedSomewhere[l] = true
+			}
+			sb.WriteString(")")
+		}
+		m, err := buildModule(doc, "hybrid_"+t, sb.String())
+		if err != nil {
+			return nil, err
+		}
+		s.Modules = append(s.Modules, m)
+	}
+	m, err := buildModule(doc, "hybrid_attrs", "// @*{id s, tag, val}")
+	if err != nil {
+		return nil, err
+	}
+	s.Modules = append(s.Modules, m)
+	return s, nil
+}
+
+// isLeafLike reports whether a summary node has only text below it.
+func isLeafLike(n *summary.Node) bool {
+	for _, c := range n.Children {
+		if c.Label != "#text" {
+			return false
+		}
+	}
+	return true
+}

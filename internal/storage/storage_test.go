@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/rewrite"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+const bibXML = `<bib>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+  </book>
+  <book year="2002">
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+</bib>`
+
+func bib(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return xmltree.MustParse("bib.xml", bibXML)
+}
+
+func TestTagPartitioned(t *testing.T) {
+	s, err := TagPartitioned(bib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := s.Module("tag_book")
+	if books == nil || books.Data.Len() != 2 {
+		t.Fatalf("books module: %v", books)
+	}
+	authors := s.Module("tag_author")
+	if authors == nil || authors.Data.Len() != 3 {
+		t.Fatalf("authors module: %v", authors)
+	}
+	attrs := s.Module("tag_attrs")
+	if attrs == nil || attrs.Data.Len() != 2 {
+		t.Fatalf("attrs module: %v", attrs)
+	}
+}
+
+func TestPathPartitioned(t *testing.T) {
+	doc := bib(t)
+	s, err := PathPartitioned(doc, summary.Build(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modules: /bib, /bib/book, /bib/book/title, /bib/book/author.
+	if len(s.Modules) != 4 {
+		t.Fatalf("modules: %s", s)
+	}
+	var titleMod *Module
+	for _, m := range s.Modules {
+		if strings.Contains(m.Pattern.String(), "title") {
+			titleMod = m
+		}
+	}
+	if titleMod == nil || titleMod.Data.Len() != 2 {
+		t.Fatalf("title module: %v", titleMod)
+	}
+}
+
+func TestNodeAndEdgeStores(t *testing.T) {
+	doc := bib(t)
+	ns, err := NodeStore(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 elements + 2 attributes.
+	if ns.Module("main_elems").Data.Len() != 8 || ns.Module("main_attrs").Data.Len() != 2 {
+		t.Fatalf("node store: %s", ns)
+	}
+	es, err := EdgeStore(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element parent-child pairs: bib→book ×2, book→title ×2, book→author ×3.
+	if es.Module("edge").Data.Len() != 7 {
+		t.Fatalf("edge store: %s", es)
+	}
+	if es.Module("edge_attrs").Data.Len() != 2 || es.Module("edge_root").Data.Len() != 1 {
+		t.Fatalf("edge store aux: %s", es)
+	}
+}
+
+func TestContentStore(t *testing.T) {
+	s, err := ContentStore(bib(t), "book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Module("content_book")
+	if m.Data.Len() != 2 {
+		t.Fatalf("content store: %s", s)
+	}
+	if !strings.Contains(m.Data.Tuples[0][1].Str, "<title>Data on the Web</title>") {
+		t.Fatalf("content: %s", m.Data.Tuples[0][1].Str)
+	}
+}
+
+func TestHybridInlining(t *testing.T) {
+	doc := bib(t)
+	s, err := Hybrid(doc, summary.Build(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := s.Module("hybrid_book")
+	if bm == nil {
+		t.Fatalf("no book module: %s", s)
+	}
+	// title occurs exactly once per book → inlined; author repeats → not.
+	if !strings.Contains(bm.Pattern.String(), "title") {
+		t.Fatalf("title not inlined: %s", bm.Pattern)
+	}
+	if strings.Contains(bm.Pattern.String(), "author") {
+		t.Fatalf("author wrongly inlined: %s", bm.Pattern)
+	}
+	if s.Module("hybrid_author") == nil {
+		t.Fatal("author module missing")
+	}
+}
+
+func TestStoreFeedsRewriter(t *testing.T) {
+	// The headline of the paper: the optimizer consumes ANY store through
+	// its XAMs. Rewrite a query over the tag-partitioned store and compare
+	// with direct evaluation.
+	doc := bib(t)
+	sum := summary.Build(doc)
+	st, err := TagPartitioned(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := rewrite.NewRewriter(sum, st.Views(), rewrite.Options{})
+	q := xam.MustParse(`// book{id s}(/ title{id s, val})`)
+	plans, err := rw.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plan over tag-partitioned store")
+	}
+	got, err := plans[0].Execute(st.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := q.Eval(doc)
+	if !got.EqualAsSet(want) {
+		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestCompositeIndex(t *testing.T) {
+	// The booksByYearTitle index of §2.1.2: key (year, title) → book.
+	doc := bib(t)
+	ix, err := BuildIndex(doc, "booksByYearTitle",
+		`// b:book{id s}(/ y:@year{val R}, / t:title{val R})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ix.BindingSchema()
+	if len(bs.Attrs) != 2 {
+		t.Fatalf("binding schema: %s", bs)
+	}
+	bindings := algebra.NewRelation(bs)
+	bindings.Add(algebra.Tuple{algebra.S("1999"), algebra.S("Data on the Web")})
+	got, err := ix.Lookup(bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("lookup: %s", got)
+	}
+	// Missing key → empty.
+	miss := algebra.NewRelation(bs)
+	miss.Add(algebra.Tuple{algebra.S("1999"), algebra.S("No Such Book")})
+	got2, _ := ix.Lookup(miss)
+	if got2.Len() != 0 {
+		t.Fatalf("miss lookup: %s", got2)
+	}
+	if _, err := BuildIndex(doc, "bad", `// book{id}`); err == nil {
+		t.Fatal("index without R must be rejected")
+	}
+}
+
+func TestFullTextIndex(t *testing.T) {
+	doc := bib(t)
+	fti, err := BuildFullTextIndex(doc, "titleWords", `// title{id s, val}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := fti.Lookup("Web")
+	if len(web) != 2 {
+		t.Fatalf("'Web' postings: %v", web)
+	}
+	if len(fti.Lookup("syntactic")) != 1 {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if len(fti.Lookup("zebra")) != 0 {
+		t.Fatal("absent word must have no postings")
+	}
+	// Postings in document order.
+	if web[0].Pre > web[1].Pre {
+		t.Fatal("postings not in document order")
+	}
+	if fti.Words() == 0 {
+		t.Fatal("no words indexed")
+	}
+}
+
+func TestStoreEnvPrefixing(t *testing.T) {
+	st, err := NodeStore(bib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := st.Env()
+	rel := env["main_elems"]
+	if rel == nil || !strings.HasPrefix(rel.Schema.Attrs[0].Name, "main_elems_") {
+		t.Fatalf("env schema: %v", rel.Schema)
+	}
+}

@@ -1,0 +1,393 @@
+// Package summary implements XML path summaries — strong DataGuides for
+// tree-structured data (§4.2.1) — and their enhanced form carrying integrity
+// constraints on edges (§4.2.2). A summary has exactly one node per rooted
+// label path occurring in the documents it describes; containment and
+// rewriting use it as the source of structural constraints.
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xamdb/internal/xmltree"
+)
+
+// EdgeKind is the integrity annotation on a summary edge (§4.2.2).
+type EdgeKind uint8
+
+const (
+	// Star is the unconstrained edge: parents may have zero or more children
+	// on the child path.
+	Star EdgeKind = iota
+	// Plus marks a strong edge: every document node on the parent path has
+	// at least one child on the child path.
+	Plus
+	// One marks a one-to-one edge: every document node on the parent path
+	// has exactly one child on the child path.
+	One
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Star:
+		return "*"
+	case Plus:
+		return "+"
+	case One:
+		return "1"
+	}
+	return "?"
+}
+
+// Node is one summary node, i.e. one rooted path. Path numbers are assigned
+// in pre-order starting from 1 (the paper's "large font" integers in Fig 4.6).
+type Node struct {
+	Num      int    // path number, 1-based
+	Label    string // element tag, attribute name with '@', or "#text"
+	Parent   *Node
+	Children []*Node
+	EdgeIn   EdgeKind // constraint on the edge from Parent to this node
+
+	// Count is the number of document nodes mapped to this path; it is
+	// maintained by Build/Extend and used by the optimizer as a coarse
+	// cardinality statistic.
+	Count int
+
+	depth int
+}
+
+// Depth returns the node's depth; the root path has depth 1.
+func (n *Node) Depth() int { return n.depth }
+
+// Child returns the child with the given label, or nil.
+func (n *Node) Child(label string) *Node {
+	for _, c := range n.Children {
+		if c.Label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// Path returns the rooted path string, e.g. "/site/people/person".
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		return "/" + n.Label
+	}
+	return n.Parent.Path() + "/" + n.Label
+}
+
+// AncestorOf reports whether n is a strict ancestor of other in the summary.
+func (n *Node) AncestorOf(other *Node) bool {
+	for p := other.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary is a path summary over one or more documents.
+type Summary struct {
+	Root *Node
+
+	byNum []*Node
+}
+
+// Build computes the strong DataGuide of a document together with the
+// enhanced 1/+ edge constraints it satisfies (Definition 4.2.1 / 4.2.3).
+func Build(doc *xmltree.Document) *Summary {
+	s := &Summary{}
+	s.Extend(doc)
+	return s
+}
+
+// BuildAll computes a single summary describing several documents; all
+// documents must share the same root label.
+func BuildAll(docs ...*xmltree.Document) (*Summary, error) {
+	s := &Summary{}
+	for _, d := range docs {
+		if s.Root != nil && d.Root != nil && s.Root.Label != d.Root.Label {
+			return nil, fmt.Errorf("summary: root label %q conflicts with %q", d.Root.Label, s.Root.Label)
+		}
+		s.Extend(d)
+	}
+	return s, nil
+}
+
+// Extend folds another document into the summary (summaries update in linear
+// time, §4.6). Edge constraints are tightened downward only: an edge keeps
+// the strongest annotation consistent with every document seen so far.
+func (s *Summary) Extend(doc *xmltree.Document) {
+	if doc.Root == nil {
+		return
+	}
+	if s.Root == nil {
+		s.Root = &Node{Label: doc.Root.Label, depth: 1, EdgeIn: One}
+	}
+	s.extendNode(s.Root, doc.Root, true)
+	s.renumber()
+}
+
+// extendNode maps the document subtree rooted at dn onto summary node sn.
+func (s *Summary) extendNode(sn *Node, dn *xmltree.Node, fresh bool) {
+	sn.Count++
+	// Group dn's children by summary label.
+	groups := map[string][]*xmltree.Node{}
+	var order []string
+	addChild := func(label string, c *xmltree.Node) {
+		if _, seen := groups[label]; !seen {
+			order = append(order, label)
+		}
+		groups[label] = append(groups[label], c)
+	}
+	for _, c := range dn.Children {
+		addChild(c.Label, c)
+	}
+	seenHere := map[string]bool{}
+	for _, label := range order {
+		seenHere[label] = true
+		child := sn.Child(label)
+		freshChild := false
+		if child == nil {
+			child = &Node{Label: label, Parent: sn, depth: sn.depth + 1}
+			// First sighting: provisionally the strongest constraint that
+			// this parent instance satisfies.
+			if len(groups[label]) == 1 {
+				child.EdgeIn = One
+			} else {
+				child.EdgeIn = Plus
+			}
+			// If the parent had earlier instances without this child, the
+			// edge cannot be strong.
+			if sn.Count > 1 {
+				child.EdgeIn = Star
+			}
+			sn.Children = append(sn.Children, child)
+			freshChild = true
+		} else if len(groups[label]) > 1 && child.EdgeIn == One {
+			child.EdgeIn = Plus
+		}
+		_ = freshChild
+		for _, dc := range groups[label] {
+			s.extendNode(child, dc, freshChild)
+		}
+	}
+	// Any known child label missing under this parent instance demotes the
+	// edge to Star.
+	for _, c := range sn.Children {
+		if !seenHere[c.Label] {
+			c.EdgeIn = Star
+		}
+	}
+	_ = fresh
+}
+
+func (s *Summary) renumber() {
+	s.byNum = s.byNum[:0]
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		n.Num = len(s.byNum) + 1
+		s.byNum = append(s.byNum, n)
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	if s.Root != nil {
+		visit(s.Root)
+	}
+}
+
+// Size returns the number of summary nodes (paths).
+func (s *Summary) Size() int { return len(s.byNum) }
+
+// NodeByNum returns the summary node with the given path number, or nil.
+func (s *Summary) NodeByNum(num int) *Node {
+	if num < 1 || num > len(s.byNum) {
+		return nil
+	}
+	return s.byNum[num-1]
+}
+
+// Nodes returns all summary nodes in pre-order.
+func (s *Summary) Nodes() []*Node { return s.byNum }
+
+// NodeByPath resolves a rooted '/'-separated path, e.g. "/bib/book/title".
+func (s *Summary) NodeByPath(path string) *Node {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 0 || s.Root == nil || parts[0] != s.Root.Label {
+		return nil
+	}
+	n := s.Root
+	for _, p := range parts[1:] {
+		n = n.Child(p)
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// PathOf returns the summary node a document node maps to (the φ function of
+// Definition 4.2.1), or nil if the node's path is not in the summary.
+func (s *Summary) PathOf(n *xmltree.Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Parent == nil {
+		if s.Root != nil && s.Root.Label == n.Label {
+			return s.Root
+		}
+		return nil
+	}
+	p := s.PathOf(n.Parent)
+	if p == nil {
+		return nil
+	}
+	return p.Child(n.Label)
+}
+
+// Conforms reports whether every path of doc appears in the summary and every
+// 1/+ edge constraint holds on doc (Definition 4.2.2 plus 4.2.3).
+func (s *Summary) Conforms(doc *xmltree.Document) bool {
+	if doc.Root == nil {
+		return s.Root == nil
+	}
+	if s.Root == nil || s.Root.Label != doc.Root.Label {
+		return false
+	}
+	ok := true
+	var visit func(sn *Node, dn *xmltree.Node) bool
+	visit = func(sn *Node, dn *xmltree.Node) bool {
+		counts := map[string]int{}
+		for _, c := range dn.Children {
+			counts[c.Label]++
+			sc := sn.Child(c.Label)
+			if sc == nil {
+				return false
+			}
+			if !visit(sc, c) {
+				return false
+			}
+		}
+		for _, sc := range sn.Children {
+			got := counts[sc.Label]
+			switch sc.EdgeIn {
+			case One:
+				if got != 1 {
+					return false
+				}
+			case Plus:
+				if got < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ok = visit(s.Root, doc.Root)
+	return ok
+}
+
+// Stats summarizes the summary itself: |S|, strong edges n_s and one-to-one
+// edges n_1, the numbers reported in Figure 4.13.
+type Stats struct {
+	Paths      int
+	StrongEdge int // edges labeled + or 1
+	OneToOne   int // edges labeled 1
+	MaxDepth   int
+}
+
+// Stats computes the Figure 4.13 statistics.
+func (s *Summary) Stats() Stats {
+	var st Stats
+	for _, n := range s.byNum {
+		st.Paths++
+		if n.depth > st.MaxDepth {
+			st.MaxDepth = n.depth
+		}
+		if n.Parent == nil {
+			continue
+		}
+		switch n.EdgeIn {
+		case Plus:
+			st.StrongEdge++
+		case One:
+			st.StrongEdge++
+			st.OneToOne++
+		}
+	}
+	return st
+}
+
+// String renders the summary as an indented tree with edge annotations and
+// path numbers; used by cmd tools and tests.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	var visit func(n *Node, indent string)
+	visit = func(n *Node, indent string) {
+		fmt.Fprintf(&sb, "%s%d %s", indent, n.Num, n.Label)
+		if n.Parent != nil {
+			fmt.Fprintf(&sb, " [%s]", n.EdgeIn)
+		}
+		fmt.Fprintf(&sb, " (count=%d)\n", n.Count)
+		for _, c := range n.Children {
+			visit(c, indent+"  ")
+		}
+	}
+	if s.Root != nil {
+		visit(s.Root, "")
+	}
+	return sb.String()
+}
+
+// DescendantsLabeled returns, in path-number order, every summary node under
+// (and excluding) n whose label matches label; "*" matches any element label
+// (attribute and text paths are excluded for "*", per XPath child/descendant
+// axis semantics).
+func (n *Node) DescendantsLabeled(label string) []*Node {
+	var out []*Node
+	var visit func(c *Node)
+	visit = func(c *Node) {
+		if matchLabel(c.Label, label) {
+			out = append(out, c)
+		}
+		for _, cc := range c.Children {
+			visit(cc)
+		}
+	}
+	for _, c := range n.Children {
+		visit(c)
+	}
+	return out
+}
+
+// ChildrenLabeled returns n's children matching label (see DescendantsLabeled).
+func (n *Node) ChildrenLabeled(label string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if matchLabel(c.Label, label) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func matchLabel(nodeLabel, query string) bool {
+	if query == "*" {
+		return !strings.HasPrefix(nodeLabel, "@") && nodeLabel != "#text"
+	}
+	return nodeLabel == query
+}
+
+// SortedPaths returns every rooted path string in lexicographic order;
+// convenience for stable test assertions.
+func (s *Summary) SortedPaths() []string {
+	out := make([]string, 0, len(s.byNum))
+	for _, n := range s.byNum {
+		out = append(out, n.Path())
+	}
+	sort.Strings(out)
+	return out
+}

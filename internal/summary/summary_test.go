@@ -1,0 +1,275 @@
+package summary
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/xmltree"
+)
+
+const bibXML = `<bib>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+  </book>
+  <book>
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+  <phdthesis year="2004">
+    <title>The Web: next generation</title>
+    <author>Jim Smith</author>
+  </phdthesis>
+</bib>`
+
+func bibDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return xmltree.MustParse("bib.xml", bibXML)
+}
+
+func TestBuildPaths(t *testing.T) {
+	s := Build(bibDoc(t))
+	want := []string{
+		"/bib",
+		"/bib/book",
+		"/bib/book/@year",
+		"/bib/book/title",
+		"/bib/book/title/#text",
+		"/bib/book/author",
+		"/bib/book/author/#text",
+		"/bib/phdthesis",
+		"/bib/phdthesis/@year",
+		"/bib/phdthesis/title",
+		"/bib/phdthesis/title/#text",
+		"/bib/phdthesis/author",
+		"/bib/phdthesis/author/#text",
+	}
+	if s.Size() != len(want) {
+		t.Fatalf("size = %d, want %d\n%s", s.Size(), len(want), s)
+	}
+	for _, p := range want {
+		if s.NodeByPath(p) == nil {
+			t.Errorf("missing path %s", p)
+		}
+	}
+}
+
+func TestPathNumbersAreDense(t *testing.T) {
+	s := Build(bibDoc(t))
+	for i := 1; i <= s.Size(); i++ {
+		n := s.NodeByNum(i)
+		if n == nil || n.Num != i {
+			t.Fatalf("NodeByNum(%d) = %v", i, n)
+		}
+	}
+	if s.NodeByNum(0) != nil || s.NodeByNum(s.Size()+1) != nil {
+		t.Fatal("out-of-range NodeByNum must be nil")
+	}
+}
+
+func TestEdgeConstraints(t *testing.T) {
+	s := Build(bibDoc(t))
+	// Every book and phdthesis has exactly one title -> One.
+	if got := s.NodeByPath("/bib/book/title").EdgeIn; got != One {
+		t.Errorf("book/title edge = %v, want 1", got)
+	}
+	// Books have 1..2 authors, all have at least one -> Plus.
+	if got := s.NodeByPath("/bib/book/author").EdgeIn; got != Plus {
+		t.Errorf("book/author edge = %v, want +", got)
+	}
+	// Second book lacks @year -> Star.
+	if got := s.NodeByPath("/bib/book/@year").EdgeIn; got != Star {
+		t.Errorf("book/@year edge = %v, want *", got)
+	}
+	// phdthesis/@year occurs on the single phdthesis -> One.
+	if got := s.NodeByPath("/bib/phdthesis/@year").EdgeIn; got != One {
+		t.Errorf("phdthesis/@year edge = %v, want 1", got)
+	}
+}
+
+func TestEdgeConstraintOrderIndependence(t *testing.T) {
+	// A document where the child is missing on the FIRST parent instance.
+	doc := xmltree.MustParse("o.xml", `<r><a/><a><b/></a></r>`)
+	s := Build(doc)
+	if got := s.NodeByPath("/r/a/b").EdgeIn; got != Star {
+		t.Errorf("edge = %v, want * (first parent lacks b)", got)
+	}
+	// Mirror image: missing on the SECOND instance.
+	doc2 := xmltree.MustParse("o2.xml", `<r><a><b/></a><a/></r>`)
+	s2 := Build(doc2)
+	if got := s2.NodeByPath("/r/a/b").EdgeIn; got != Star {
+		t.Errorf("edge = %v, want * (second parent lacks b)", got)
+	}
+}
+
+func TestPlusDemotionFromOne(t *testing.T) {
+	doc := xmltree.MustParse("p.xml", `<r><a><b/></a><a><b/><b/></a></r>`)
+	s := Build(doc)
+	if got := s.NodeByPath("/r/a/b").EdgeIn; got != Plus {
+		t.Errorf("edge = %v, want +", got)
+	}
+}
+
+func TestPathOf(t *testing.T) {
+	doc := bibDoc(t)
+	s := Build(doc)
+	title := doc.Root.Elements()[0].Elements()[0]
+	sn := s.PathOf(title)
+	if sn == nil || sn.Path() != "/bib/book/title" {
+		t.Fatalf("PathOf(title) = %v", sn)
+	}
+	// All same-path nodes map to the same summary node.
+	title2 := doc.Root.Elements()[1].Elements()[0]
+	if s.PathOf(title2) != sn {
+		t.Fatal("same-path nodes must share a summary node")
+	}
+	other := xmltree.MustParse("x.xml", `<zzz/>`)
+	if s.PathOf(other.Root) != nil {
+		t.Fatal("foreign node must not resolve")
+	}
+}
+
+func TestConforms(t *testing.T) {
+	doc := bibDoc(t)
+	s := Build(doc)
+	if !s.Conforms(doc) {
+		t.Fatal("document must conform to its own summary")
+	}
+	// A document with a new path does not conform.
+	other := xmltree.MustParse("n.xml", `<bib><journal/></bib>`)
+	if s.Conforms(other) {
+		t.Fatal("new path must break conformance")
+	}
+	// A document violating a One edge (two titles) does not conform.
+	twoTitles := xmltree.MustParse("t.xml",
+		`<bib><book year="1"><title>a</title><title>b</title><author>x</author></book></bib>`)
+	if s.Conforms(twoTitles) {
+		t.Fatal("1-edge violation must break conformance")
+	}
+	// A document violating a Plus edge (book without author) does not conform.
+	noAuthor := xmltree.MustParse("t2.xml", `<bib><book year="1"><title>a</title></book></bib>`)
+	if s.Conforms(noAuthor) {
+		t.Fatal("+-edge violation must break conformance")
+	}
+}
+
+func TestExtendWithSecondDocument(t *testing.T) {
+	s := Build(bibDoc(t))
+	before := s.Size()
+	// Second doc adds a path and removes year from all books.
+	doc2 := xmltree.MustParse("bib2.xml",
+		`<bib><book><title>T</title><author>A</author><isbn>1</isbn></book></bib>`)
+	s.Extend(doc2)
+	if s.Size() != before+2 { // isbn + isbn/#text
+		t.Fatalf("size = %d, want %d", s.Size(), before+2)
+	}
+	if s.NodeByPath("/bib/book/isbn") == nil {
+		t.Fatal("missing extended path")
+	}
+	// Title is still One (every book in both docs has one title).
+	if got := s.NodeByPath("/bib/book/title").EdgeIn; got != One {
+		t.Errorf("title edge after extend = %v, want 1", got)
+	}
+	// isbn appeared only in the later doc: must be Star.
+	if got := s.NodeByPath("/bib/book/isbn").EdgeIn; got != Star {
+		t.Errorf("isbn edge = %v, want *", got)
+	}
+}
+
+func TestBuildAllRejectsDifferentRoots(t *testing.T) {
+	a := xmltree.MustParse("a.xml", `<a/>`)
+	b := xmltree.MustParse("b.xml", `<b/>`)
+	if _, err := BuildAll(a, b); err == nil {
+		t.Fatal("want root-conflict error")
+	}
+	if s, err := BuildAll(a, a); err != nil || s.Size() != 1 {
+		t.Fatalf("BuildAll(a,a) = %v, %v", s, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := Build(bibDoc(t))
+	st := s.Stats()
+	if st.Paths != s.Size() {
+		t.Fatalf("paths = %d", st.Paths)
+	}
+	if st.OneToOne == 0 || st.StrongEdge < st.OneToOne {
+		t.Fatalf("bad stats %+v", st)
+	}
+	if st.MaxDepth != 4 { // /bib/book/title/#text
+		t.Fatalf("depth = %d, want 4", st.MaxDepth)
+	}
+}
+
+func TestRecursionSharesSummaryNodesPerDepth(t *testing.T) {
+	// Recursive parlist/listitem as in XMark: each unfolding depth is a
+	// distinct path (summaries are trees, not graphs).
+	doc := xmltree.MustParse("r.xml",
+		`<a><p><l/><l><p><l/></p></l></p></a>`)
+	s := Build(doc)
+	if s.NodeByPath("/a/p/l/p/l") == nil {
+		t.Fatal("nested unfolding path missing")
+	}
+	if got := s.NodeByPath("/a/p/l"); got == nil || got.Count != 2 {
+		t.Fatalf("count of /a/p/l = %v", got)
+	}
+}
+
+func TestDescendantsLabeledAndWildcard(t *testing.T) {
+	s := Build(bibDoc(t))
+	titles := s.Root.DescendantsLabeled("title")
+	if len(titles) != 2 {
+		t.Fatalf("titles = %d, want 2", len(titles))
+	}
+	stars := s.Root.DescendantsLabeled("*")
+	for _, n := range stars {
+		if strings.HasPrefix(n.Label, "@") || n.Label == "#text" {
+			t.Errorf("wildcard matched non-element %s", n.Label)
+		}
+	}
+	if len(stars) != 6 { // book, phdthesis, and their title+author paths
+		t.Fatalf("wildcard count = %d, want 6", len(stars))
+	}
+	if got := len(s.Root.ChildrenLabeled("book")); got != 1 {
+		t.Fatalf("children book = %d", got)
+	}
+	if got := len(s.Root.ChildrenLabeled("*")); got != 2 {
+		t.Fatalf("children * = %d", got)
+	}
+}
+
+func TestAncestorOf(t *testing.T) {
+	s := Build(bibDoc(t))
+	root := s.Root
+	title := s.NodeByPath("/bib/book/title")
+	if !root.AncestorOf(title) || title.AncestorOf(root) || title.AncestorOf(title) {
+		t.Fatal("AncestorOf wrong")
+	}
+}
+
+func TestStringAndSortedPaths(t *testing.T) {
+	s := Build(bibDoc(t))
+	out := s.String()
+	if !strings.Contains(out, "1 bib") || !strings.Contains(out, "[+]") {
+		t.Fatalf("render: %s", out)
+	}
+	paths := s.SortedPaths()
+	if len(paths) != s.Size() || paths[0] != "/bib" {
+		t.Fatalf("sorted paths: %v", paths)
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i] < paths[i-1] {
+			t.Fatal("paths not sorted")
+		}
+	}
+	if One.String() != "1" || Plus.String() != "+" || Star.String() != "*" {
+		t.Fatal("edge kind strings")
+	}
+	if s.Root.Depth() != 1 || s.NodeByPath("/bib/book/title").Depth() != 3 {
+		t.Fatal("depths")
+	}
+	if len(s.Nodes()) != s.Size() {
+		t.Fatal("Nodes()")
+	}
+}

@@ -1,0 +1,378 @@
+// Package value implements the node-decoration formulas φ(v) of §4.1: boolean
+// combinations of atoms v θ c over a totally ordered atomic domain. As the
+// paper suggests, a formula is represented compactly as a union of disjoint
+// intervals, which makes negation, conjunction, disjunction and implication
+// directly computable — the operations containment of decorated patterns
+// needs (§4.4.2).
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Atom is one point of the ordered atomic domain A. Numbers order before
+// strings; numbers order numerically, strings lexicographically. A string
+// constant that parses as a number is treated as that number, mirroring the
+// loose typing of XML leaf values.
+type Atom struct {
+	IsNum bool
+	Num   float64
+	Str   string
+}
+
+// Num builds a numeric atom.
+func Num(f float64) Atom { return Atom{IsNum: true, Num: f} }
+
+// Str builds a string atom (numeric strings become numeric atoms).
+func Str(s string) Atom {
+	if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+		return Num(f)
+	}
+	return Atom{Str: s}
+}
+
+// Compare totally orders atoms.
+func (a Atom) Compare(b Atom) int {
+	switch {
+	case a.IsNum && !b.IsNum:
+		return -1
+	case !a.IsNum && b.IsNum:
+		return 1
+	case a.IsNum:
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a.Str, b.Str)
+}
+
+func (a Atom) String() string {
+	if a.IsNum {
+		return strconv.FormatFloat(a.Num, 'g', -1, 64)
+	}
+	return strconv.Quote(a.Str)
+}
+
+// Interval is a contiguous range of the domain. Infinite bounds are flagged;
+// Open marks strict bounds.
+type Interval struct {
+	LoInf, HiInf   bool
+	Lo, Hi         Atom
+	LoOpen, HiOpen bool
+}
+
+// Contains reports whether a lies in the interval.
+func (iv Interval) Contains(a Atom) bool {
+	if !iv.LoInf {
+		c := iv.Lo.Compare(a)
+		if c > 0 || (c == 0 && iv.LoOpen) {
+			return false
+		}
+	}
+	if !iv.HiInf {
+		c := a.Compare(iv.Hi)
+		if c > 0 || (c == 0 && iv.HiOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// empty reports whether the interval denotes no point.
+func (iv Interval) empty() bool {
+	if iv.LoInf || iv.HiInf {
+		return false
+	}
+	c := iv.Lo.Compare(iv.Hi)
+	return c > 0 || (c == 0 && (iv.LoOpen || iv.HiOpen))
+}
+
+func (iv Interval) String() string {
+	var sb strings.Builder
+	if iv.LoOpen || iv.LoInf {
+		sb.WriteByte('(')
+	} else {
+		sb.WriteByte('[')
+	}
+	if iv.LoInf {
+		sb.WriteString("-∞")
+	} else {
+		sb.WriteString(iv.Lo.String())
+	}
+	sb.WriteString(", ")
+	if iv.HiInf {
+		sb.WriteString("+∞")
+	} else {
+		sb.WriteString(iv.Hi.String())
+	}
+	if iv.HiOpen || iv.HiInf {
+		sb.WriteByte(')')
+	} else {
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Formula is a normalized union of disjoint, sorted intervals. The zero
+// value is F (false); True() spans the whole domain.
+type Formula struct {
+	ivs []Interval
+}
+
+// False is the unsatisfiable formula F.
+func False() Formula { return Formula{} }
+
+// True is the trivially satisfied formula T.
+func True() Formula { return Formula{ivs: []Interval{{LoInf: true, HiInf: true}}} }
+
+// Eq builds v = c.
+func Eq(c Atom) Formula { return Formula{ivs: []Interval{{Lo: c, Hi: c}}} }
+
+// Lt builds v < c.
+func Lt(c Atom) Formula {
+	return Formula{ivs: []Interval{{LoInf: true, Hi: c, HiOpen: true}}}
+}
+
+// Le builds v ≤ c.
+func Le(c Atom) Formula { return Formula{ivs: []Interval{{LoInf: true, Hi: c}}} }
+
+// Gt builds v > c.
+func Gt(c Atom) Formula {
+	return Formula{ivs: []Interval{{Lo: c, LoOpen: true, HiInf: true}}}
+}
+
+// Ge builds v ≥ c.
+func Ge(c Atom) Formula { return Formula{ivs: []Interval{{Lo: c, HiInf: true}}} }
+
+// Ne builds v ≠ c.
+func Ne(c Atom) Formula { return Eq(c).Not() }
+
+// IsFalse reports whether the formula is unsatisfiable.
+func (f Formula) IsFalse() bool { return len(f.ivs) == 0 }
+
+// IsTrue reports whether the formula covers the whole domain.
+func (f Formula) IsTrue() bool {
+	return len(f.ivs) == 1 && f.ivs[0].LoInf && f.ivs[0].HiInf
+}
+
+// Holds reports whether the formula is satisfied by the atom.
+func (f Formula) Holds(a Atom) bool {
+	for _, iv := range f.ivs {
+		if iv.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// cmpLo orders intervals by lower bound.
+func cmpLo(a, b Interval) int {
+	switch {
+	case a.LoInf && b.LoInf:
+		return 0
+	case a.LoInf:
+		return -1
+	case b.LoInf:
+		return 1
+	}
+	c := a.Lo.Compare(b.Lo)
+	if c != 0 {
+		return c
+	}
+	switch {
+	case !a.LoOpen && b.LoOpen:
+		return -1
+	case a.LoOpen && !b.LoOpen:
+		return 1
+	}
+	return 0
+}
+
+// adjacentOrOverlap reports whether a ∪ b is contiguous given cmpLo(a,b) ≤ 0.
+func adjacentOrOverlap(a, b Interval) bool {
+	if a.HiInf {
+		return true
+	}
+	if b.LoInf {
+		return true
+	}
+	c := a.Hi.Compare(b.Lo)
+	if c > 0 {
+		return true
+	}
+	if c == 0 {
+		// [x, c] [c, y] or [x, c) [c, y]: contiguous unless both open.
+		return !(a.HiOpen && b.LoOpen)
+	}
+	return false
+}
+
+func maxHi(a, b Interval) (hiInf bool, hi Atom, hiOpen bool) {
+	if a.HiInf || b.HiInf {
+		return true, Atom{}, false
+	}
+	c := a.Hi.Compare(b.Hi)
+	switch {
+	case c > 0:
+		return false, a.Hi, a.HiOpen
+	case c < 0:
+		return false, b.Hi, b.HiOpen
+	}
+	return false, a.Hi, a.HiOpen && b.HiOpen
+}
+
+func normalize(ivs []Interval) Formula {
+	var kept []Interval
+	for _, iv := range ivs {
+		if !iv.empty() {
+			kept = append(kept, iv)
+		}
+	}
+	if len(kept) == 0 {
+		return Formula{}
+	}
+	// Insertion sort by lower bound (lists are tiny).
+	for i := 1; i < len(kept); i++ {
+		for j := i; j > 0 && cmpLo(kept[j], kept[j-1]) < 0; j-- {
+			kept[j], kept[j-1] = kept[j-1], kept[j]
+		}
+	}
+	out := []Interval{kept[0]}
+	for _, iv := range kept[1:] {
+		last := &out[len(out)-1]
+		if adjacentOrOverlap(*last, iv) {
+			last.HiInf, last.Hi, last.HiOpen = maxHi(*last, iv)
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return Formula{ivs: out}
+}
+
+// Or computes f ∨ g.
+func (f Formula) Or(g Formula) Formula {
+	return normalize(append(append([]Interval{}, f.ivs...), g.ivs...))
+}
+
+// And computes f ∧ g.
+func (f Formula) And(g Formula) Formula {
+	var out []Interval
+	for _, a := range f.ivs {
+		for _, b := range g.ivs {
+			iv := intersect(a, b)
+			if !iv.empty() {
+				out = append(out, iv)
+			}
+		}
+	}
+	return normalize(out)
+}
+
+func intersect(a, b Interval) Interval {
+	out := Interval{LoInf: a.LoInf && b.LoInf, HiInf: a.HiInf && b.HiInf}
+	// Lower bound: the larger of the two.
+	switch {
+	case a.LoInf:
+		out.Lo, out.LoOpen = b.Lo, b.LoOpen
+	case b.LoInf:
+		out.Lo, out.LoOpen = a.Lo, a.LoOpen
+	default:
+		c := a.Lo.Compare(b.Lo)
+		switch {
+		case c > 0:
+			out.Lo, out.LoOpen = a.Lo, a.LoOpen
+		case c < 0:
+			out.Lo, out.LoOpen = b.Lo, b.LoOpen
+		default:
+			out.Lo, out.LoOpen = a.Lo, a.LoOpen || b.LoOpen
+		}
+	}
+	// Upper bound: the smaller of the two.
+	switch {
+	case a.HiInf:
+		out.Hi, out.HiOpen = b.Hi, b.HiOpen
+	case b.HiInf:
+		out.Hi, out.HiOpen = a.Hi, a.HiOpen
+	default:
+		c := a.Hi.Compare(b.Hi)
+		switch {
+		case c < 0:
+			out.Hi, out.HiOpen = a.Hi, a.HiOpen
+		case c > 0:
+			out.Hi, out.HiOpen = b.Hi, b.HiOpen
+		default:
+			out.Hi, out.HiOpen = a.Hi, a.HiOpen || b.HiOpen
+		}
+	}
+	return out
+}
+
+// Not computes ¬f.
+func (f Formula) Not() Formula {
+	if f.IsFalse() {
+		return True()
+	}
+	var out []Interval
+	cur := Interval{LoInf: true}
+	for _, iv := range f.ivs {
+		if !iv.LoInf {
+			gap := cur
+			gap.Hi, gap.HiOpen, gap.HiInf = iv.Lo, !iv.LoOpen, false
+			if !gap.empty() {
+				out = append(out, gap)
+			}
+		}
+		if iv.HiInf {
+			return normalize(out)
+		}
+		cur = Interval{Lo: iv.Hi, LoOpen: !iv.HiOpen, HiInf: true}
+	}
+	out = append(out, cur)
+	return normalize(out)
+}
+
+// Implies reports f ⇒ g (every satisfying point of f satisfies g).
+func (f Formula) Implies(g Formula) bool { return f.And(g.Not()).IsFalse() }
+
+// Equal reports logical equivalence.
+func (f Formula) Equal(g Formula) bool { return f.Implies(g) && g.Implies(f) }
+
+func (f Formula) String() string {
+	if f.IsFalse() {
+		return "F"
+	}
+	if f.IsTrue() {
+		return "T"
+	}
+	parts := make([]string, len(f.ivs))
+	for i, iv := range f.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// FromComparison builds a formula for a v θ c atom from its textual
+// comparator; used by the XAM and XQuery parsers.
+func FromComparison(op string, c Atom) (Formula, error) {
+	switch op {
+	case "=":
+		return Eq(c), nil
+	case "!=", "<>":
+		return Ne(c), nil
+	case "<":
+		return Lt(c), nil
+	case "<=":
+		return Le(c), nil
+	case ">":
+		return Gt(c), nil
+	case ">=":
+		return Ge(c), nil
+	}
+	return Formula{}, fmt.Errorf("value: unknown comparator %q", op)
+}

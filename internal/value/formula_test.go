@@ -1,0 +1,226 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomOrder(t *testing.T) {
+	if Num(1).Compare(Num(2)) != -1 || Num(2).Compare(Num(2)) != 0 {
+		t.Fatal("numeric order")
+	}
+	if Str("a").Compare(Str("b")) != -1 {
+		t.Fatal("string order")
+	}
+	if Num(1e9).Compare(Atom{Str: "a"}) != -1 {
+		t.Fatal("numbers order before strings")
+	}
+	// Numeric strings coerce to numbers.
+	if !Str("42").IsNum || Str("42").Num != 42 {
+		t.Fatal("numeric string coercion")
+	}
+}
+
+func TestBasicConstructors(t *testing.T) {
+	c := Num(5)
+	cases := []struct {
+		f      Formula
+		pt     Atom
+		expect bool
+	}{
+		{Eq(c), Num(5), true},
+		{Eq(c), Num(4), false},
+		{Ne(c), Num(5), false},
+		{Ne(c), Num(6), true},
+		{Lt(c), Num(4.9), true},
+		{Lt(c), Num(5), false},
+		{Le(c), Num(5), true},
+		{Gt(c), Num(5), false},
+		{Gt(c), Num(5.1), true},
+		{Ge(c), Num(5), true},
+		{True(), Str("anything"), true},
+		{False(), Num(0), false},
+	}
+	for i, tc := range cases {
+		if got := tc.f.Holds(tc.pt); got != tc.expect {
+			t.Errorf("case %d: %s holds %s = %v, want %v", i, tc.f, tc.pt, got, tc.expect)
+		}
+	}
+}
+
+func TestAndOrNot(t *testing.T) {
+	a := Ge(Num(1)).And(Le(Num(10))) // [1,10]
+	b := Ge(Num(5)).And(Le(Num(20))) // [5,20]
+	inter := a.And(b)                // [5,10]
+	if !inter.Holds(Num(7)) || inter.Holds(Num(3)) || inter.Holds(Num(15)) {
+		t.Fatalf("intersection: %s", inter)
+	}
+	uni := a.Or(b) // [1,20]
+	if !uni.Holds(Num(3)) || !uni.Holds(Num(15)) || uni.Holds(Num(0)) {
+		t.Fatalf("union: %s", uni)
+	}
+	neg := a.Not()
+	if neg.Holds(Num(5)) || !neg.Holds(Num(0)) || !neg.Holds(Num(11)) {
+		t.Fatalf("negation: %s", neg)
+	}
+	if !a.And(a.Not()).IsFalse() {
+		t.Fatal("f ∧ ¬f must be F")
+	}
+	if !a.Or(a.Not()).IsTrue() {
+		t.Fatalf("f ∨ ¬f must be T, got %s", a.Or(a.Not()))
+	}
+}
+
+func TestDisjointUnionStaysDisjoint(t *testing.T) {
+	f := Eq(Num(1)).Or(Eq(Num(3)))
+	if f.Holds(Num(2)) {
+		t.Fatal("gap must not be covered")
+	}
+	if !f.Holds(Num(1)) || !f.Holds(Num(3)) {
+		t.Fatal("points must be covered")
+	}
+	// Adjacent half-open intervals merge.
+	g := Lt(Num(5)).Or(Ge(Num(5)))
+	if !g.IsTrue() {
+		t.Fatalf("(-∞,5) ∪ [5,∞) must be T, got %s", g)
+	}
+	// Both-open adjacency leaves the point out.
+	h := Lt(Num(5)).Or(Gt(Num(5)))
+	if h.Holds(Num(5)) || h.IsTrue() {
+		t.Fatalf("(-∞,5) ∪ (5,∞): %s", h)
+	}
+	if !h.Equal(Ne(Num(5))) {
+		t.Fatal("should equal v≠5")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	if !Eq(Num(3)).Implies(Ge(Num(1))) {
+		t.Fatal("v=3 ⇒ v≥1")
+	}
+	if Ge(Num(1)).Implies(Eq(Num(3))) {
+		t.Fatal("v≥1 ⇏ v=3")
+	}
+	if !False().Implies(Eq(Num(1))) {
+		t.Fatal("F implies everything")
+	}
+	if !Eq(Num(1)).Implies(True()) {
+		t.Fatal("everything implies T")
+	}
+	// The §4.4.2 check: φ ⇒ φ₁ ∨ φ₂.
+	phi := Eq(Num(3)).Or(Eq(Num(7)))
+	phi1 := Le(Num(5))
+	phi2 := Ge(Num(6))
+	if !phi.Implies(phi1.Or(phi2)) {
+		t.Fatal("disjunctive implication")
+	}
+	if phi.Implies(phi1) {
+		t.Fatal("phi ⇏ phi1 alone")
+	}
+}
+
+func TestStringsAndNumbersMix(t *testing.T) {
+	f := Eq(Str("Data on the Web"))
+	if !f.Holds(Str("Data on the Web")) || f.Holds(Str("other")) {
+		t.Fatal("string equality")
+	}
+	g := Ge(Str("m")) // strings ≥ "m"
+	if !g.Holds(Str("z")) || g.Holds(Str("a")) {
+		t.Fatal("string range")
+	}
+	// All numbers sort before strings, so v ≥ "m" excludes numbers below
+	// every string.
+	if g.Holds(Num(1e12)) {
+		t.Fatal("numbers precede strings in the domain order")
+	}
+}
+
+func TestFromComparison(t *testing.T) {
+	for _, op := range []string{"=", "!=", "<>", "<", "<=", ">", ">="} {
+		if _, err := FromComparison(op, Num(1)); err != nil {
+			t.Errorf("FromComparison(%q): %v", op, err)
+		}
+	}
+	if _, err := FromComparison("~", Num(1)); err == nil {
+		t.Fatal("unknown comparator must error")
+	}
+}
+
+// randFormula builds a random formula from atoms over small integers.
+func randFormula(rng *rand.Rand, depth int) Formula {
+	if depth == 0 {
+		c := Num(float64(rng.Intn(10)))
+		switch rng.Intn(6) {
+		case 0:
+			return Eq(c)
+		case 1:
+			return Ne(c)
+		case 2:
+			return Lt(c)
+		case 3:
+			return Le(c)
+		case 4:
+			return Gt(c)
+		default:
+			return Ge(c)
+		}
+	}
+	a := randFormula(rng, depth-1)
+	b := randFormula(rng, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return a.And(b)
+	case 1:
+		return a.Or(b)
+	default:
+		return a.Not()
+	}
+}
+
+// Property: boolean algebra laws hold pointwise over sampled atoms.
+func TestQuickBooleanLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]Atom, 0, 40)
+	for i := -2; i <= 11; i++ {
+		pts = append(pts, Num(float64(i)), Num(float64(i)+0.5))
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randFormula(r, 2)
+		b := randFormula(r, 2)
+		for _, p := range pts {
+			if a.And(b).Holds(p) != (a.Holds(p) && b.Holds(p)) {
+				return false
+			}
+			if a.Or(b).Holds(p) != (a.Holds(p) || b.Holds(p)) {
+				return false
+			}
+			if a.Not().Holds(p) != !a.Holds(p) {
+				return false
+			}
+		}
+		// Implication matches pointwise subset over the sample.
+		if a.Implies(b) {
+			for _, p := range pts {
+				if a.Holds(p) && !b.Holds(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		f := randFormula(rng, 2)
+		if !f.Not().Not().Equal(f) {
+			t.Fatalf("¬¬f ≠ f for %s", f)
+		}
+	}
+}

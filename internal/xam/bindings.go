@@ -1,0 +1,118 @@
+package xam
+
+import (
+	"fmt"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xmltree"
+)
+
+// BindingSchema computes the type of binding tuples for a XAM with R
+// markers: the projection of the XAM's schema over its required attributes
+// (§2.2.2). Nested collections survive only when their subtree contains a
+// required attribute.
+func (p *Pattern) BindingSchema() *algebra.Schema {
+	out := &algebra.Schema{}
+	for _, e := range p.Top {
+		appendBindingEdgeSchema(out, e)
+	}
+	return out
+}
+
+func appendBindingEdgeSchema(s *algebra.Schema, e *Edge) {
+	n := e.Child
+	switch e.Sem {
+	case SemSemi:
+		return
+	case SemNest, SemNestOuter:
+		inner := &algebra.Schema{}
+		appendBindingNodeSchema(inner, n)
+		if len(inner.Attrs) > 0 {
+			s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name, Nested: inner})
+		}
+	default:
+		appendBindingNodeSchema(s, n)
+	}
+}
+
+func appendBindingNodeSchema(s *algebra.Schema, n *Node) {
+	if n.IDSpec != NoID && n.IDRequired {
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name + ".ID"})
+	}
+	if n.StoreTag && n.TagRequired {
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name + ".Tag"})
+	}
+	if n.StoreVal && n.ValRequired {
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name + ".Val"})
+	}
+	for _, e := range n.Edges {
+		appendBindingEdgeSchema(s, e)
+	}
+}
+
+// IntersectTuples implements the nested tuple intersection t ∩ b of
+// Algorithm 1: the data accessible from t given binding b. The binding
+// schema bs must be a (name-matched) projection of ts. It returns the
+// reduced tuple and whether any data is reachable. Intersection is not
+// commutative.
+func IntersectTuples(t algebra.Tuple, ts *algebra.Schema, b algebra.Tuple, bs *algebra.Schema) (algebra.Tuple, bool) {
+	out := t.Clone()
+	for bi, battr := range bs.Attrs {
+		ti := ts.Index(battr.Name)
+		if ti < 0 {
+			return nil, false
+		}
+		tv, bv := t[ti], b[bi]
+		if battr.Nested == nil {
+			// Atomic attribute: values must agree (lines 2–7).
+			if bv.IsNull() {
+				continue
+			}
+			if !tv.Equal(bv) {
+				return nil, false
+			}
+			continue
+		}
+		// Collection attribute: pairwise intersection (lines 8–11).
+		if tv.Kind != algebra.Rel || bv.Kind != algebra.Rel {
+			return nil, false
+		}
+		innerTS := ts.Attrs[ti].Nested
+		result := algebra.NewRelation(innerTS)
+		for _, it := range tv.Rel.Tuples {
+			for _, ib := range bv.Rel.Tuples {
+				if r, ok := IntersectTuples(it, innerTS, ib, battr.Nested); ok {
+					result.Add(r)
+				}
+			}
+		}
+		if result.Len() == 0 {
+			return nil, false
+		}
+		out[ti] = algebra.RelV(algebra.Distinct(result))
+	}
+	return out, true
+}
+
+// EvalWithBindings computes the restricted XAM semantics (Definition 2.2.6):
+// [[χ(B)]]_d = ⋃_{b∈B, t∈[[χ⁰]]_d} t ∩ b. The bindings relation must have
+// the pattern's BindingSchema.
+func (p *Pattern) EvalWithBindings(doc *xmltree.Document, bindings *algebra.Relation) (*algebra.Relation, error) {
+	bs := p.BindingSchema()
+	if !bs.Equal(bindings.Schema) {
+		return nil, fmt.Errorf("xam: binding schema %s does not match required %s", bindings.Schema, bs)
+	}
+	full, err := p.StripRequired().Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	out := algebra.NewRelation(full.Schema)
+	for _, b := range bindings.Tuples {
+		for _, t := range full.Tuples {
+			if r, ok := IntersectTuples(t, full.Schema, b, bs); ok {
+				out.Add(r)
+			}
+		}
+	}
+	return algebra.Distinct(out), nil
+}

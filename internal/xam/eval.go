@@ -1,0 +1,244 @@
+package xam
+
+import (
+	"fmt"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/value"
+	"xamdb/internal/xmltree"
+)
+
+// Schema computes the nested relational schema of the XAM's semantics
+// (§2.2.2): each node contributes ID/Tag/Val/Cont attributes named
+// "<node>.<attr>"; j and o edges splice the child schema flat, s edges
+// contribute nothing, nj and no edges contribute a collection attribute
+// named after the child node.
+func (p *Pattern) Schema() *algebra.Schema {
+	out := &algebra.Schema{}
+	for _, e := range p.Top {
+		appendEdgeSchema(out, e)
+	}
+	return out
+}
+
+func appendEdgeSchema(s *algebra.Schema, e *Edge) {
+	n := e.Child
+	switch e.Sem {
+	case SemSemi:
+		return
+	case SemNest, SemNestOuter:
+		inner := &algebra.Schema{}
+		appendNodeSchema(inner, n)
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name, Nested: inner})
+	default:
+		appendNodeSchema(s, n)
+	}
+}
+
+func appendNodeSchema(s *algebra.Schema, n *Node) {
+	if n.IDSpec != NoID {
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name + ".ID"})
+	}
+	if n.StoreTag {
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name + ".Tag"})
+	}
+	if n.StoreVal {
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name + ".Val"})
+	}
+	if n.StoreCont {
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: n.Name + ".Cont"})
+	}
+	for _, e := range n.Edges {
+		appendEdgeSchema(s, e)
+	}
+}
+
+// Eval computes the XAM's semantics over a document: the set (list, if
+// ordered) of nested tuples of Definitions 2.2.2–2.2.5. Patterns with R
+// markers must use EvalWithBindings.
+func (p *Pattern) Eval(doc *xmltree.Document) (*algebra.Relation, error) {
+	if p.HasRequired() {
+		return nil, fmt.Errorf("xam: pattern has required attributes; use EvalWithBindings")
+	}
+	out := algebra.NewRelation(p.Schema())
+	// ⊤ behaves as a node whose edges are the top edges; its single match is
+	// the virtual document node.
+	tuples, err := evalEdges(p.Top, doc, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Add(tuples...)
+	// Π_χ eliminates duplicates (Definition 2.2.3).
+	return algebra.Distinct(out), nil
+}
+
+// matchLabel tests a document node against a XAM node's tag predicate.
+func matchNode(pn *Node, dn *xmltree.Node) bool {
+	switch pn.Label {
+	case "*":
+		if dn.Kind != xmltree.Element {
+			return false
+		}
+	case "@*":
+		if dn.Kind != xmltree.Attribute {
+			return false
+		}
+	default:
+		if dn.Label != pn.Label {
+			return false
+		}
+	}
+	if pn.HasValuePred && !pn.ValuePred.Holds(value.Str(dn.Value())) {
+		return false
+	}
+	return true
+}
+
+// candidates returns the document nodes reachable from ctx along the edge.
+// A nil ctx denotes the virtual document node ⊤.
+func candidates(e *Edge, doc *xmltree.Document, ctx *xmltree.Node) []*xmltree.Node {
+	attr := e.Child.IsAttribute()
+	var out []*xmltree.Node
+	consider := func(n *xmltree.Node) {
+		if matchNode(e.Child, n) {
+			out = append(out, n)
+		}
+	}
+	if ctx == nil {
+		if doc.Root == nil {
+			return nil
+		}
+		if e.Axis == Child {
+			if !attr {
+				consider(doc.Root)
+			}
+			return out
+		}
+		doc.Walk(func(n *xmltree.Node) bool {
+			consider(n)
+			return true
+		})
+		return out
+	}
+	if e.Axis == Child {
+		for _, c := range ctx.Children {
+			_ = attr
+			consider(c)
+		}
+		return out
+	}
+	for _, d := range ctx.Descendants() {
+		consider(d)
+	}
+	return out
+}
+
+// evalEdges computes the cross-combination of all edges' contributions for
+// one context node.
+func evalEdges(edges []*Edge, doc *xmltree.Document, ctx *xmltree.Node) ([]algebra.Tuple, error) {
+	acc := []algebra.Tuple{{}}
+	for _, e := range edges {
+		contrib, err := evalEdge(e, doc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if contrib == nil {
+			// Edge eliminates the context (no matches on a mandatory edge).
+			return nil, nil
+		}
+		var next []algebra.Tuple
+		for _, a := range acc {
+			for _, c := range contrib {
+				next = append(next, a.Concat(c))
+			}
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// evalEdge computes one edge's tuple fragments for a context node. It
+// returns nil (not an empty slice) when the edge's semantics eliminate the
+// context, and a slice of fragments otherwise. Semijoin edges yield a single
+// empty fragment when satisfied.
+func evalEdge(e *Edge, doc *xmltree.Document, ctx *xmltree.Node) ([]algebra.Tuple, error) {
+	cands := candidates(e, doc, ctx)
+	var matches []algebra.Tuple
+	for _, dn := range cands {
+		sub, err := evalEdges(e.Child.Edges, doc, dn)
+		if err != nil {
+			return nil, err
+		}
+		if sub == nil {
+			continue
+		}
+		base := nodeTuple(e.Child, dn)
+		for _, s := range sub {
+			matches = append(matches, base.Concat(s))
+		}
+	}
+	switch e.Sem {
+	case SemJoin:
+		if len(matches) == 0 {
+			return nil, nil
+		}
+		return matches, nil
+	case SemSemi:
+		if len(matches) == 0 {
+			return nil, nil
+		}
+		return []algebra.Tuple{{}}, nil
+	case SemOuter:
+		if len(matches) == 0 {
+			width := len(subSchemaOf(e.Child).Attrs)
+			pad := make(algebra.Tuple, width)
+			for i := range pad {
+				pad[i] = algebra.NullValue
+			}
+			return []algebra.Tuple{pad}, nil
+		}
+		return matches, nil
+	case SemNest, SemNestOuter:
+		if len(matches) == 0 && e.Sem == SemNest {
+			return nil, nil
+		}
+		inner := algebra.NewRelation(subSchemaOf(e.Child))
+		inner.Add(matches...)
+		return []algebra.Tuple{{algebra.RelV(inner)}}, nil
+	}
+	return nil, fmt.Errorf("xam: unknown edge semantics %v", e.Sem)
+}
+
+// subSchemaOf computes the schema fragment contributed by a node subtree.
+func subSchemaOf(n *Node) *algebra.Schema {
+	s := &algebra.Schema{}
+	appendNodeSchema(s, n)
+	return s
+}
+
+// nodeTuple extracts the stored attributes of a document node.
+func nodeTuple(pn *Node, dn *xmltree.Node) algebra.Tuple {
+	var t algebra.Tuple
+	if pn.IDSpec != NoID {
+		switch pn.IDSpec {
+		case ParentID:
+			t = append(t, algebra.DV(dn.Dewey))
+		default:
+			t = append(t, algebra.IDV(dn.ID))
+		}
+	}
+	if pn.StoreTag {
+		label := dn.Label
+		if dn.Kind == xmltree.Attribute {
+			label = dn.Label[1:]
+		}
+		t = append(t, algebra.S(label))
+	}
+	if pn.StoreVal {
+		t = append(t, algebra.S(dn.Value()))
+	}
+	if pn.StoreCont {
+		t = append(t, algebra.S(dn.Content()))
+	}
+	return t
+}

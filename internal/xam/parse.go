@@ -1,0 +1,364 @@
+package xam
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/value"
+)
+
+// Parse parses the textual XAM syntax. Examples:
+//
+//	// book{id s, tag}(/ year{val}, //(nj) author{id, cont})
+//	ordered / bib(/ book{id}(/(o) title{val}))
+//	// item{id R}(/ @id{val R})
+//
+// Grammar:
+//
+//	pattern := 'ordered'? edge (',' edge)*
+//	edge    := ('//' | '/') ('(' sem ')')? node          sem ∈ {j,o,s,nj,no}
+//	node    := (name ':')? label annots? ('(' edge (',' edge)* ')')?
+//	label   := NCName | '*' | '@'NCName | '@*'
+//	annots  := '{' annot (',' annot)* '}'
+//	annot   := 'id' ('i'|'o'|'s'|'p')? 'R'? | 'tag' 'R'? | 'val' 'R'?
+//	         | 'cont' | 'ret' | 'val' cmp literal
+//	cmp     := '=' | '!=' | '<' | '<=' | '>' | '>='
+func Parse(src string) (*Pattern, error) {
+	p := &patParser{src: src}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, fmt.Errorf("xam: parse %q: %w", src, err)
+	}
+	pat.AssignNames()
+	wireParents(pat)
+	return pat, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *Pattern {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func wireParents(p *Pattern) {
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		for _, e := range n.Edges {
+			e.Child.Parent = n
+			visit(e.Child)
+		}
+	}
+	for _, e := range p.Top {
+		e.Child.Parent = nil
+		visit(e.Child)
+	}
+}
+
+type patParser struct {
+	src string
+	pos int
+}
+
+func (p *patParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *patParser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *patParser) eof() bool { p.ws(); return p.pos >= len(p.src) }
+
+func (p *patParser) has(s string) bool {
+	p.ws()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *patParser) eat(s string) bool {
+	if p.has(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func identByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_':
+		return true
+	case !first && (b >= '0' && b <= '9' || b == '-' || b == '.'):
+		return true
+	}
+	return false
+}
+
+func (p *patParser) ident() string {
+	p.ws()
+	start := p.pos
+	if p.pos >= len(p.src) || !identByte(p.src[p.pos], true) {
+		return ""
+	}
+	p.pos++
+	for p.pos < len(p.src) && identByte(p.src[p.pos], false) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *patParser) parsePattern() (*Pattern, error) {
+	pat := &Pattern{}
+	p.ws()
+	save := p.pos
+	if id := p.ident(); id == "ordered" {
+		pat.Ordered = true
+	} else {
+		p.pos = save
+	}
+	for {
+		e, err := p.parseEdge()
+		if err != nil {
+			return nil, err
+		}
+		pat.Top = append(pat.Top, e)
+		if !p.eat(",") {
+			break
+		}
+	}
+	if !p.eof() {
+		return nil, p.errorf("trailing input")
+	}
+	return pat, nil
+}
+
+func (p *patParser) parseEdge() (*Edge, error) {
+	p.ws()
+	e := &Edge{}
+	switch {
+	case p.eat("//"):
+		e.Axis = Descendant
+	case p.eat("/"):
+		e.Axis = Child
+	default:
+		return nil, p.errorf("expected '/' or '//'")
+	}
+	if p.eat("(") {
+		sem := p.ident()
+		switch sem {
+		case "j":
+			e.Sem = SemJoin
+		case "o":
+			e.Sem = SemOuter
+		case "s":
+			e.Sem = SemSemi
+		case "nj":
+			e.Sem = SemNest
+		case "no":
+			e.Sem = SemNestOuter
+		default:
+			return nil, p.errorf("unknown edge semantics %q", sem)
+		}
+		if !p.eat(")") {
+			return nil, p.errorf("expected ')' after edge semantics")
+		}
+	}
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	e.Child = n
+	return e, nil
+}
+
+func (p *patParser) parseNode() (*Node, error) {
+	p.ws()
+	n := &Node{}
+	// Optional "name:" prefix.
+	save := p.pos
+	if id := p.ident(); id != "" && p.eat(":") {
+		n.Name = id
+	} else {
+		p.pos = save
+	}
+	// Label.
+	p.ws()
+	switch {
+	case p.eat("@*"):
+		n.Label = "@*"
+	case p.eat("@"):
+		id := p.ident()
+		if id == "" {
+			return nil, p.errorf("expected attribute name after '@'")
+		}
+		n.Label = "@" + id
+	case p.eat("*"):
+		n.Label = "*"
+	default:
+		id := p.ident()
+		if id == "" {
+			return nil, p.errorf("expected node label")
+		}
+		n.Label = id
+	}
+	if p.eat("{") {
+		for {
+			if err := p.parseAnnot(n); err != nil {
+				return nil, err
+			}
+			if p.eat(",") {
+				continue
+			}
+			if p.eat("}") {
+				break
+			}
+			return nil, p.errorf("expected ',' or '}' in annotations")
+		}
+	}
+	if p.eat("(") {
+		for {
+			e, err := p.parseEdge()
+			if err != nil {
+				return nil, err
+			}
+			e.Child.Parent = n
+			n.Edges = append(n.Edges, e)
+			if p.eat(",") {
+				continue
+			}
+			if p.eat(")") {
+				break
+			}
+			return nil, p.errorf("expected ',' or ')' in edge list")
+		}
+	}
+	return n, nil
+}
+
+func (p *patParser) parseAnnot(n *Node) error {
+	kw := p.ident()
+	switch kw {
+	case "id":
+		n.IDSpec = SimpleID
+		p.ws()
+		save := p.pos
+		if k := p.ident(); k != "" {
+			switch k {
+			case "i":
+				n.IDSpec = SimpleID
+			case "o":
+				n.IDSpec = OrderID
+			case "s":
+				n.IDSpec = StructID
+			case "p":
+				n.IDSpec = ParentID
+			case "R":
+				n.IDRequired = true
+				return nil
+			default:
+				p.pos = save
+				return nil
+			}
+			if q := p.ident(); q == "R" {
+				n.IDRequired = true
+			} else if q != "" {
+				return p.errorf("unexpected token %q in id spec", q)
+			}
+		}
+		return nil
+	case "tag":
+		if p.eat("=") {
+			lit, err := p.literal()
+			if err != nil {
+				return err
+			}
+			n.Label = lit
+			return nil
+		}
+		n.StoreTag = true
+		if r := p.identIfR(); r {
+			n.TagRequired = true
+		}
+		return nil
+	case "val":
+		// Either a stored-value spec or a predicate.
+		for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+			if p.eat(op) {
+				lit, err := p.literal()
+				if err != nil {
+					return err
+				}
+				f, err := value.FromComparison(op, value.Str(lit))
+				if err != nil {
+					return err
+				}
+				if n.HasValuePred {
+					n.ValuePred = n.ValuePred.And(f)
+				} else {
+					n.ValuePred = f
+					n.HasValuePred = true
+				}
+				if strings.ContainsAny(lit, ", \t(){}") {
+					lit = `"` + lit + `"`
+				}
+				n.PredSrc = append(n.PredSrc, "val"+op+lit)
+				return nil
+			}
+		}
+		n.StoreVal = true
+		if p.identIfR() {
+			n.ValRequired = true
+		}
+		return nil
+	case "cont":
+		n.StoreCont = true
+		return nil
+	case "ret":
+		n.Ret = true
+		return nil
+	}
+	return p.errorf("unknown annotation %q", kw)
+}
+
+func (p *patParser) identIfR() bool {
+	save := p.pos
+	if p.ident() == "R" {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+func (p *patParser) literal() (string, error) {
+	p.ws()
+	if p.pos < len(p.src) && p.src[p.pos] == '"' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", p.errorf("unterminated string literal")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return s, nil
+	}
+	// Bare literal: up to a delimiter.
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune(",}){( \t\n\r", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected literal")
+	}
+	return p.src[start:p.pos], nil
+}

@@ -1,0 +1,398 @@
+// Package xam implements XML Access Modules (§2.2): the tree pattern language
+// that uniformly describes XML storage structures, indices and materialized
+// views. A XAM is an annotated tree (NS, ES, o): nodes carry identifier, tag,
+// value and content specifications (each possibly marked R, required), edges
+// are parent-child or ancestor-descendant with join / outerjoin / semijoin /
+// nest-join / nest-outerjoin semantics, and the o flag declares document
+// order.
+//
+// The package provides the textual syntax, the algebraic semantics over a
+// document (Definitions 2.2.2–2.2.5) producing nested relations, and the
+// restricted semantics under binding lists for R-marked XAMs (Definition
+// 2.2.6, Algorithm 1's nested tuple intersection).
+package xam
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/value"
+)
+
+// IDKind describes the identifier specification of a XAM node (§2.2.1).
+type IDKind uint8
+
+const (
+	// NoID means the node's identifier is not stored.
+	NoID IDKind = iota
+	// SimpleID ("i") only guarantees unique identification.
+	SimpleID
+	// OrderID ("o") additionally reflects document order.
+	OrderID
+	// StructID ("s") allows deciding parent/ancestor by comparing IDs.
+	StructID
+	// ParentID ("p") designates navigational structural identifiers (Dewey,
+	// ORDPATH) from which ancestors' IDs are directly derivable.
+	ParentID
+)
+
+func (k IDKind) String() string {
+	switch k {
+	case NoID:
+		return ""
+	case SimpleID:
+		return "i"
+	case OrderID:
+		return "o"
+	case StructID:
+		return "s"
+	case ParentID:
+		return "p"
+	}
+	return "?"
+}
+
+// Structural reports whether IDs of this kind support structural comparison.
+func (k IDKind) Structural() bool { return k == StructID || k == ParentID }
+
+// Axis is the edge axis: parent-child or ancestor-descendant.
+type Axis uint8
+
+const (
+	// Child is the '/' axis.
+	Child Axis = iota
+	// Descendant is the '//' axis.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// EdgeSem is the join semantics of a XAM edge (§2.2.1: j, o, s, nj, no).
+type EdgeSem uint8
+
+const (
+	// SemJoin is the plain structural join (j).
+	SemJoin EdgeSem = iota
+	// SemOuter is the left outerjoin (o) — the child subtree is optional,
+	// missing matches yield nulls.
+	SemOuter
+	// SemSemi is the left semijoin (s) — the child subtree filters but
+	// contributes no attributes.
+	SemSemi
+	// SemNest is the nest join (nj) — matches are grouped into a nested
+	// collection.
+	SemNest
+	// SemNestOuter is the nest outerjoin (no) — like nj but parents without
+	// matches keep an empty collection.
+	SemNestOuter
+)
+
+func (s EdgeSem) String() string {
+	switch s {
+	case SemJoin:
+		return "j"
+	case SemOuter:
+		return "o"
+	case SemSemi:
+		return "s"
+	case SemNest:
+		return "nj"
+	case SemNestOuter:
+		return "no"
+	}
+	return "?"
+}
+
+// Optional reports whether the edge is optional in the §4.1 sense (matches
+// may be absent without suppressing the parent).
+func (s EdgeSem) Optional() bool { return s == SemOuter || s == SemNestOuter }
+
+// Nested reports whether the edge produces a nested collection.
+func (s EdgeSem) Nested() bool { return s == SemNest || s == SemNestOuter }
+
+// Edge connects a parent XAM node to a child node.
+type Edge struct {
+	Axis  Axis
+	Sem   EdgeSem
+	Child *Node
+}
+
+// Node is one XAM node with its specifications.
+type Node struct {
+	// Name is the node identifier used in attribute names (e1, e2, …);
+	// assigned automatically when absent.
+	Name string
+
+	// Label is the tag predicate: a tag constant for [Tag=c] nodes, "*" for
+	// unconstrained element nodes, "@a" for attribute nodes, "@*" for
+	// unconstrained attribute nodes.
+	Label string
+
+	// IDSpec / StoreTag / StoreVal / StoreCont say which attributes the XAM
+	// stores for this node.
+	IDSpec    IDKind
+	StoreTag  bool
+	StoreVal  bool
+	StoreCont bool
+
+	// Required flags (the R markers): the attribute's value must be supplied
+	// through bindings to access the XAM's data.
+	IDRequired  bool
+	TagRequired bool
+	ValRequired bool
+
+	// ValuePred is the φ(v) decoration ([Val=c] and its generalizations,
+	// §4.1). HasValuePred distinguishes "no predicate" from T. PredSrc
+	// keeps the parsed annotation texts so String() stays parseable.
+	ValuePred    value.Formula
+	HasValuePred bool
+	PredSrc      []string
+
+	// Ret marks an explicit return node (containment chapters use boxed
+	// return nodes even on patterns without stored attributes).
+	Ret bool
+
+	Edges  []*Edge
+	Parent *Node
+}
+
+// Pattern is a full XAM: the implicit ⊤ root with its top edges, plus the
+// order flag.
+type Pattern struct {
+	// Top holds the edges leaving the ⊤ node.
+	Top []*Edge
+	// Ordered is the o flag: data is stored in document order.
+	Ordered bool
+}
+
+// IsAttribute reports whether the node denotes an XML attribute.
+func (n *Node) IsAttribute() bool { return strings.HasPrefix(n.Label, "@") }
+
+// Wildcard reports whether the node has no tag constraint.
+func (n *Node) Wildcard() bool { return n.Label == "*" || n.Label == "@*" }
+
+// StoresAnything reports whether the node contributes attributes to the XAM
+// content.
+func (n *Node) StoresAnything() bool {
+	return n.IDSpec != NoID || n.StoreTag || n.StoreVal || n.StoreCont
+}
+
+// IsReturn reports whether the node is a return node: marked explicitly or
+// storing at least one attribute.
+func (n *Node) IsReturn() bool { return n.Ret || n.StoresAnything() }
+
+// Nodes returns every node of the pattern in a pre-order walk of the tree.
+func (p *Pattern) Nodes() []*Node {
+	var out []*Node
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		out = append(out, n)
+		for _, e := range n.Edges {
+			visit(e.Child)
+		}
+	}
+	for _, e := range p.Top {
+		visit(e.Child)
+	}
+	return out
+}
+
+// ReturnNodes returns the pattern's return nodes in pre-order.
+func (p *Pattern) ReturnNodes() []*Node {
+	var out []*Node
+	for _, n := range p.Nodes() {
+		if n.IsReturn() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Size returns the number of pattern nodes (excluding ⊤).
+func (p *Pattern) Size() int { return len(p.Nodes()) }
+
+// Conjunctive reports whether the pattern lies in the conjunctive subset of
+// §4.1: only j edges.
+func (p *Pattern) Conjunctive() bool {
+	for _, n := range p.Nodes() {
+		for _, e := range n.Edges {
+			if e.Sem != SemJoin {
+				return false
+			}
+		}
+	}
+	for _, e := range p.Top {
+		if e.Sem != SemJoin {
+			return false
+		}
+	}
+	return true
+}
+
+// HasRequired reports whether any attribute is R-marked (the XAM models an
+// index and needs bindings).
+func (p *Pattern) HasRequired() bool {
+	for _, n := range p.Nodes() {
+		if n.IDRequired || n.TagRequired || n.ValRequired {
+			return true
+		}
+	}
+	return false
+}
+
+// StripRequired returns a copy of the pattern with all R markers erased
+// (the χ⁰ of Definition 2.2.6).
+func (p *Pattern) StripRequired() *Pattern {
+	q := p.Clone()
+	for _, n := range q.Nodes() {
+		n.IDRequired, n.TagRequired, n.ValRequired = false, false, false
+	}
+	return q
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	out := &Pattern{Ordered: p.Ordered}
+	var cloneNode func(n *Node, parent *Node) *Node
+	cloneNode = func(n *Node, parent *Node) *Node {
+		c := *n
+		c.Parent = parent
+		c.Edges = nil
+		for _, e := range n.Edges {
+			ce := &Edge{Axis: e.Axis, Sem: e.Sem}
+			ce.Child = cloneNode(e.Child, &c)
+			c.Edges = append(c.Edges, ce)
+		}
+		return &c
+	}
+	for _, e := range p.Top {
+		ce := &Edge{Axis: e.Axis, Sem: e.Sem}
+		ce.Child = cloneNode(e.Child, nil)
+		out.Top = append(out.Top, ce)
+	}
+	return out
+}
+
+// AssignNames gives every unnamed node a fresh name e1, e2, … in pre-order.
+func (p *Pattern) AssignNames() {
+	used := map[string]bool{}
+	for _, n := range p.Nodes() {
+		if n.Name != "" {
+			used[n.Name] = true
+		}
+	}
+	i := 0
+	for _, n := range p.Nodes() {
+		if n.Name != "" {
+			continue
+		}
+		for {
+			i++
+			cand := fmt.Sprintf("e%d", i)
+			if !used[cand] {
+				n.Name = cand
+				used[cand] = true
+				break
+			}
+		}
+	}
+}
+
+// NodeByName returns the node with the given name, or nil.
+func (p *Pattern) NodeByName(name string) *Node {
+	for _, n := range p.Nodes() {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// String renders the pattern in the textual XAM syntax accepted by Parse.
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	if p.Ordered {
+		sb.WriteString("ordered ")
+	}
+	for i, e := range p.Top {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writeEdge(&sb, e)
+	}
+	return sb.String()
+}
+
+func writeEdge(sb *strings.Builder, e *Edge) {
+	sb.WriteString(e.Axis.String())
+	if e.Sem != SemJoin {
+		fmt.Fprintf(sb, "(%s)", e.Sem)
+	}
+	writeNode(sb, e.Child)
+}
+
+func writeNode(sb *strings.Builder, n *Node) {
+	if n.Name != "" && !strings.HasPrefix(n.Name, "e") {
+		sb.WriteString(n.Name)
+		sb.WriteByte(':')
+	}
+	sb.WriteString(n.Label)
+	var annots []string
+	if n.IDSpec != NoID {
+		a := "id"
+		if n.IDSpec != SimpleID {
+			a += " " + n.IDSpec.String()
+		}
+		if n.IDRequired {
+			a += " R"
+		}
+		annots = append(annots, a)
+	}
+	if n.StoreTag {
+		a := "tag"
+		if n.TagRequired {
+			a += " R"
+		}
+		annots = append(annots, a)
+	}
+	if n.StoreVal {
+		a := "val"
+		if n.ValRequired {
+			a += " R"
+		}
+		annots = append(annots, a)
+	}
+	if n.HasValuePred {
+		if len(n.PredSrc) > 0 {
+			annots = append(annots, n.PredSrc...)
+		} else {
+			annots = append(annots, "val="+n.ValuePred.String())
+		}
+	}
+	if n.StoreCont {
+		annots = append(annots, "cont")
+	}
+	if n.Ret && !n.StoresAnything() {
+		annots = append(annots, "ret")
+	}
+	if len(annots) > 0 {
+		sb.WriteByte('{')
+		sb.WriteString(strings.Join(annots, ", "))
+		sb.WriteByte('}')
+	}
+	if len(n.Edges) > 0 {
+		sb.WriteByte('(')
+		for i, e := range n.Edges {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeEdge(sb, e)
+		}
+		sb.WriteByte(')')
+	}
+}

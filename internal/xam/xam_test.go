@@ -1,0 +1,440 @@
+package xam
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xmltree"
+)
+
+// The Figure 2.5 sample document.
+const libraryXML = `<library>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+  </book>
+  <book>
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+  <phdthesis year="2004">
+    <title>The Web: next generation</title>
+    <author>Jim Smith</author>
+  </phdthesis>
+</library>`
+
+func libDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return xmltree.MustParse("library.xml", libraryXML)
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	cases := []string{
+		`// book{id s, tag}(/ @year{val}, //(nj) author{id, cont})`,
+		`ordered / library(/ book{id}(/(o) title{val}))`,
+		`// *{tag, val}`,
+		`// item{id R}(/ @id{val R})`,
+		`// book{id}(/(s) @year, /(nj) title{val}(/(no) *{cont}))`,
+		`// a{val=5}`,
+		`// a{val>=3, val<10}`,
+		`// t{ret}`,
+	}
+	for _, src := range cases {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, p.String(), err)
+		}
+		if p.String() != again.String() {
+			t.Fatalf("print not stable: %q vs %q", p.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "book", "/ book{zzz}", "/ book{id} extra", "/(x) book",
+		"/ book(/ title", "/ book{val~3}", "/ @", "/ book{",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssignNamesAndLookup(t *testing.T) {
+	p := MustParse(`// book(/ title, / author)`)
+	names := map[string]bool{}
+	for _, n := range p.Nodes() {
+		if n.Name == "" {
+			t.Fatal("unnamed node after parse")
+		}
+		if names[n.Name] {
+			t.Fatalf("duplicate name %s", n.Name)
+		}
+		names[n.Name] = true
+	}
+	if p.NodeByName("e1") == nil || p.NodeByName("zz") != nil {
+		t.Fatal("NodeByName wrong")
+	}
+}
+
+// χ1 of Figure 2.8: // book{id, tag}. Expect the two books.
+func TestEvalChi1(t *testing.T) {
+	doc := libDoc(t)
+	p := MustParse(`// book{id, tag}`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("χ1: want 2 books, got %s", got)
+	}
+	for _, tp := range got.Tuples {
+		if tp[1].Str != "book" {
+			t.Fatalf("tag attr: %s", got)
+		}
+	}
+}
+
+// χ2 of Figure 2.8: // book{id, tag}(/(s) @year) — semijoin on @year keeps
+// only the first book.
+func TestEvalChi2SemijoinEdge(t *testing.T) {
+	doc := libDoc(t)
+	p := MustParse(`// book{id, tag}(/(s) @year)`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("χ2: want 1 book, got %s", got)
+	}
+	if len(got.Schema.Attrs) != 2 {
+		t.Fatalf("semijoin must not add attributes: %s", got.Schema)
+	}
+}
+
+// χ3 of Figure 2.8: nested title under the year-filtered book.
+func TestEvalChi3Nested(t *testing.T) {
+	doc := libDoc(t)
+	p := MustParse(`// b:book{id, tag}(/(s) @year, /(nj) t:title{id, val})`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("χ3: %s", got)
+	}
+	nested := got.Tuples[0][2]
+	if nested.Kind != algebra.Rel || nested.Rel.Len() != 1 {
+		t.Fatalf("nested titles: %s", got)
+	}
+	if v := nested.Rel.Tuples[0][1].Str; v != "Data on the Web" {
+		t.Fatalf("title value: %q", v)
+	}
+}
+
+func TestEvalValuePredicate(t *testing.T) {
+	doc := libDoc(t)
+	p := MustParse(`// book{id}(/ title{val="Data on the Web"})`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("value predicate: %s", got)
+	}
+	// Numeric predicate on attribute value.
+	p2 := MustParse(`// *{tag}(/ @year{val>=2000})`)
+	got2, _ := p2.Eval(doc)
+	if got2.Len() != 1 || got2.Tuples[0][0].Str != "phdthesis" {
+		t.Fatalf("numeric predicate: %s", got2)
+	}
+}
+
+func TestEvalOuterEdgeNulls(t *testing.T) {
+	doc := libDoc(t)
+	// Optional @year: the second book yields ⊥.
+	p := MustParse(`// book{id}(/(o) @year{val})`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("outer edge: %s", got)
+	}
+	var nulls int
+	for _, tp := range got.Tuples {
+		if tp[1].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 1 {
+		t.Fatalf("want exactly one ⊥ year: %s", got)
+	}
+}
+
+func TestEvalNestOuterEmptyCollection(t *testing.T) {
+	doc := xmltree.MustParse("d.xml", `<r><a><b/></a><a/></r>`)
+	p := MustParse(`// a{id}(/(no) b{id})`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("nest outer: %s", got)
+	}
+	if got.Tuples[1][1].Rel.Len() != 0 {
+		t.Fatalf("second a must have empty collection: %s", got)
+	}
+}
+
+func TestEvalWildcardAndDescendant(t *testing.T) {
+	doc := libDoc(t)
+	p := MustParse(`/ library(// *{id, tag})`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elements below library: 3 entries + 3 titles + 4 authors = 10.
+	if got.Len() != 10 {
+		t.Fatalf("wildcard descendants = %d: %s", got.Len(), got)
+	}
+	// Without IDs the same pattern dedups down to the 4 distinct tags
+	// (Π eliminates duplicates, Definition 2.2.3).
+	p2 := MustParse(`/ library(// *{tag})`)
+	got2, _ := p2.Eval(doc)
+	if got2.Len() != 4 {
+		t.Fatalf("dedup by tag = %d: %s", got2.Len(), got2)
+	}
+}
+
+func TestEvalDeweyIDs(t *testing.T) {
+	doc := libDoc(t)
+	p := MustParse(`// author{id p}`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("authors: %s", got)
+	}
+	for _, tp := range got.Tuples {
+		if tp[0].Kind != algebra.DeweyID {
+			t.Fatalf("want dewey ids: %s", got)
+		}
+	}
+}
+
+func TestEvalDuplicateElimination(t *testing.T) {
+	doc := libDoc(t)
+	// Without IDs, the two matches of (book, author-exists) dedup by tag.
+	p := MustParse(`// book{tag}(/(s) author)`)
+	got, err := p.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("Π must eliminate duplicates: %s", got)
+	}
+}
+
+func TestEvalRejectsRequiredWithoutBindings(t *testing.T) {
+	p := MustParse(`// book{id R}`)
+	if _, err := p.Eval(libDoc(t)); err == nil {
+		t.Fatal("Eval must reject R-marked patterns")
+	}
+}
+
+// χ4/χ5 of Figure 2.9 and Example 2.2.2: composite-key index semantics.
+func TestEvalWithBindings(t *testing.T) {
+	doc := libDoc(t)
+	// χ4: elements with title and author children; element tag and title
+	// value are required (an index keyed on publication type + title).
+	chi4 := MustParse(`// e1:*{id, tag R}(/(nj) e2:title{id, val R}, /(nj) e3:author{id, val})`)
+	bs := chi4.BindingSchema()
+	// Binding schema: (e1.Tag, e2(e2.Val)).
+	if len(bs.Attrs) != 2 || bs.Attrs[0].Name != "e1.Tag" || bs.Attrs[1].Nested == nil {
+		t.Fatalf("binding schema: %s", bs)
+	}
+
+	mkBinding := func(tag, title string) algebra.Tuple {
+		inner := algebra.NewRelation(bs.Attrs[1].Nested)
+		inner.Add(algebra.Tuple{algebra.S(title)})
+		return algebra.Tuple{algebra.S(tag), algebra.RelV(inner)}
+	}
+	bindings := algebra.NewRelation(bs)
+	bindings.Add(mkBinding("book", "Data on the Web"))
+
+	got, err := chi4.EvalWithBindings(doc, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("lookup: %s", got)
+	}
+	// The matched book has both authors in its nested author collection.
+	authors := got.Tuples[0][3]
+	if authors.Kind != algebra.Rel || authors.Rel.Len() != 2 {
+		t.Fatalf("authors of match: %s", got)
+	}
+
+	// Unsuccessful lookup: an 'article' with that title does not exist.
+	bindings2 := algebra.NewRelation(bs)
+	bindings2.Add(mkBinding("article", "Data on the Web"))
+	got2, _ := chi4.EvalWithBindings(doc, bindings2)
+	if got2.Len() != 0 {
+		t.Fatalf("lookup must be empty: %s", got2)
+	}
+
+	// Two bindings: both books found (Example 2.2.2's [t1, t2]).
+	bindings3 := algebra.NewRelation(bs)
+	bindings3.Add(mkBinding("book", "Data on the Web"), mkBinding("book", "The Syntactic Web"))
+	got3, _ := chi4.EvalWithBindings(doc, bindings3)
+	if got3.Len() != 2 {
+		t.Fatalf("two lookups: %s", got3)
+	}
+}
+
+func TestEvalWithBindingsSchemaMismatch(t *testing.T) {
+	p := MustParse(`// book{id R}`)
+	bad := algebra.NewRelation(algebra.NewSchema("whatever"))
+	if _, err := p.EvalWithBindings(libDoc(t), bad); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+}
+
+func TestIntersectTuplesAlgorithm1(t *testing.T) {
+	// The worked example after Algorithm 1:
+	// t = e1(ID=2, Tag="book", e2[(Val="Abiteboul"),(Val="Suciu")], e3[(ID=4, Val="Data on the Web")])
+	// b1 = e1(ID=2, e2[(Val="Suciu"),(Val="Buneman")])
+	e2Schema := algebra.NewSchema("e2.Val")
+	e3Schema := algebra.NewSchema("e3.ID", "e3.Val")
+	ts := algebra.NewSchema("e1.ID", "e1.Tag").
+		WithNested("e2", e2Schema).
+		WithNested("e3", e3Schema)
+
+	e2rel := algebra.NewRelation(e2Schema).Add(
+		algebra.Tuple{algebra.S("Abiteboul")},
+		algebra.Tuple{algebra.S("Suciu")})
+	e3rel := algebra.NewRelation(e3Schema).Add(
+		algebra.Tuple{algebra.I(4), algebra.S("Data on the Web")})
+	t0 := algebra.Tuple{algebra.I(2), algebra.S("book"), algebra.RelV(e2rel), algebra.RelV(e3rel)}
+
+	bsInner := algebra.NewSchema("e2.Val")
+	bs := algebra.NewSchema("e1.ID").WithNested("e2", bsInner)
+	b2rel := algebra.NewRelation(bsInner).Add(
+		algebra.Tuple{algebra.S("Suciu")},
+		algebra.Tuple{algebra.S("Buneman")})
+	b := algebra.Tuple{algebra.I(2), algebra.RelV(b2rel)}
+
+	res, ok := IntersectTuples(t0, ts, b, bs)
+	if !ok {
+		t.Fatal("intersection must succeed")
+	}
+	if res[0].Int != 2 || res[1].Str != "book" {
+		t.Fatalf("atomic attrs: %v", res)
+	}
+	if res[2].Rel.Len() != 1 || res[2].Rel.Tuples[0][0].Str != "Suciu" {
+		t.Fatalf("e2 must reduce to Suciu: %v", res[2].Rel)
+	}
+	if res[3].Rel.Len() != 1 {
+		t.Fatalf("e3 must be copied: %v", res[3].Rel)
+	}
+
+	// Disagreeing atomic value: no access.
+	b2 := algebra.Tuple{algebra.I(99), algebra.RelV(b2rel)}
+	if _, ok := IntersectTuples(t0, ts, b2, bs); ok {
+		t.Fatal("ID mismatch must fail")
+	}
+	// Empty collection intersection: no access.
+	b3rel := algebra.NewRelation(bsInner).Add(algebra.Tuple{algebra.S("Nobody")})
+	b3 := algebra.Tuple{algebra.I(2), algebra.RelV(b3rel)}
+	if _, ok := IntersectTuples(t0, ts, b3, bs); ok {
+		t.Fatal("empty collection intersection must fail")
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	p := MustParse(`// b:book{id s, tag}(/ y:@year{val}, //(nj) a:author{id, cont})`)
+	s := p.Schema()
+	want := "(b.ID, b.Tag, y.Val, a(a.ID, a.Cont))"
+	if s.String() != want {
+		t.Fatalf("schema = %s, want %s", s, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse(`// book{id}(/ title{val})`)
+	q := p.Clone()
+	q.Nodes()[0].Label = "changed"
+	if p.Nodes()[0].Label != "book" {
+		t.Fatal("clone must be independent")
+	}
+	if q.Nodes()[1].Parent == nil || q.Nodes()[1].Parent.Label != "changed" {
+		t.Fatal("clone must wire parents")
+	}
+}
+
+func TestStripRequired(t *testing.T) {
+	p := MustParse(`// book{id R, tag R}(/ title{val R})`)
+	q := p.StripRequired()
+	if q.HasRequired() {
+		t.Fatal("strip failed")
+	}
+	if !p.HasRequired() {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestConjunctive(t *testing.T) {
+	if !MustParse(`// a(/ b, // c)`).Conjunctive() {
+		t.Fatal("pure-j pattern must be conjunctive")
+	}
+	if MustParse(`// a(/(o) b)`).Conjunctive() {
+		t.Fatal("optional edge is not conjunctive")
+	}
+}
+
+func TestStringHasNoTrailingGarbage(t *testing.T) {
+	p := MustParse(`ordered // a{id}`)
+	if !strings.HasPrefix(p.String(), "ordered ") {
+		t.Fatalf("ordered flag lost: %s", p)
+	}
+}
+
+func TestEnumStringsAndPredicates(t *testing.T) {
+	if StructID.String() != "s" || ParentID.String() != "p" || NoID.String() != "" {
+		t.Fatal("IDKind strings")
+	}
+	if !StructID.Structural() || !ParentID.Structural() || OrderID.Structural() {
+		t.Fatal("Structural()")
+	}
+	if SemNest.String() != "nj" || !SemNest.Nested() || SemNest.Optional() {
+		t.Fatal("SemNest")
+	}
+	if !SemNestOuter.Optional() || !SemNestOuter.Nested() {
+		t.Fatal("SemNestOuter")
+	}
+	p := MustParse(`// *{id}(/ @x{val}, / t{ret})`)
+	star := p.Nodes()[0]
+	if !star.Wildcard() || !star.IsReturn() {
+		t.Fatal("wildcard/return")
+	}
+	at := p.Nodes()[1]
+	if !at.IsAttribute() || at.Wildcard() {
+		t.Fatal("attribute node")
+	}
+	retOnly := p.Nodes()[2]
+	if !retOnly.IsReturn() || retOnly.StoresAnything() {
+		t.Fatal("explicit ret marker")
+	}
+	if len(p.ReturnNodes()) != 3 || p.Size() != 3 {
+		t.Fatal("returns/size")
+	}
+}

@@ -1,0 +1,115 @@
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dewey is a navigational structural identifier (§1.2.1): the sequence of
+// 1-based child ordinals from the root. Unlike (pre, post, depth) labels, a
+// Dewey ID lets us *derive* the identifier of any ancestor directly — the
+// property the rewriting algorithm exploits in §5.2 ("Exploiting ID
+// properties").
+type Dewey []int32
+
+// Child returns the Dewey label of the ord-th child (1-based).
+func (d Dewey) Child(ord int) Dewey {
+	out := make(Dewey, len(d)+1)
+	copy(out, d)
+	out[len(d)] = int32(ord)
+	return out
+}
+
+// ParentID returns the Dewey label of the parent, or nil for the root.
+// This is the navigational derivation step: no tree access is needed.
+func (d Dewey) ParentID() Dewey {
+	if len(d) <= 1 {
+		return nil
+	}
+	return d[:len(d)-1].Clone()
+}
+
+// AncestorID returns the ancestor's label at the given depth (1 = root), or
+// nil if depth is out of range.
+func (d Dewey) AncestorID(depth int) Dewey {
+	if depth < 1 || depth >= len(d) {
+		return nil
+	}
+	return d[:depth].Clone()
+}
+
+// Depth returns the node depth encoded by the label (root = 1).
+func (d Dewey) Depth() int { return len(d) }
+
+// Clone returns an independent copy.
+func (d Dewey) Clone() Dewey {
+	out := make(Dewey, len(d))
+	copy(out, d)
+	return out
+}
+
+// AncestorOf reports whether d labels a strict ancestor of other.
+func (d Dewey) AncestorOf(other Dewey) bool {
+	if len(d) >= len(other) {
+		return false
+	}
+	for i := range d {
+		if d[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParentOf reports whether d labels the parent of other.
+func (d Dewey) ParentOf(other Dewey) bool {
+	return len(d)+1 == len(other) && d.AncestorOf(other)
+}
+
+// Compare orders Dewey labels in document order: -1, 0 or +1. An ancestor
+// sorts before its descendants.
+func (d Dewey) Compare(other Dewey) int {
+	n := min(len(d), len(other))
+	for i := 0; i < n; i++ {
+		switch {
+		case d[i] < other[i]:
+			return -1
+		case d[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(d) < len(other):
+		return -1
+	case len(d) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// String renders the label in the conventional dotted form, e.g. "1.3.2".
+func (d Dewey) String() string {
+	parts := make([]string, len(d))
+	for i, c := range d {
+		parts[i] = strconv.FormatInt(int64(c), 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// ParseDewey parses the dotted form produced by String.
+func ParseDewey(s string) (Dewey, error) {
+	if s == "" {
+		return nil, fmt.Errorf("xmltree: empty dewey label")
+	}
+	parts := strings.Split(s, ".")
+	out := make(Dewey, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 32)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("xmltree: bad dewey component %q", p)
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+// Package xmltree implements the XML data model of the paper (§1.1): ordered
+// trees of element, attribute and text nodes, endowed with structural
+// identifiers. It provides a parser for a practical XML subset, a serializer,
+// and the (pre, post, depth) and Dewey labeling schemes of §1.2.1.
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the node populations Φ_e, Φ_a and text nodes.
+type Kind uint8
+
+const (
+	// Element is an XML element node (member of Φ_e).
+	Element Kind = iota
+	// Attribute is an XML attribute node (member of Φ_a). By the paper's
+	// convention attribute labels are written with a leading '@'.
+	Attribute
+	// Text is a text node. The paper folds text into element values; we keep
+	// text nodes first-class (the "simple extension" of §1.1) so content
+	// serialization and full-text indexing stay faithful.
+	Text
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Attribute:
+		return "attribute"
+	case Text:
+		return "text"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// NodeID is a (pre, post, depth) structural identifier (§1.2.1). Comparing two
+// NodeIDs decides every structural axis without touching the tree.
+type NodeID struct {
+	Pre   int32
+	Post  int32
+	Depth int32
+}
+
+// IsZero reports whether the identifier is unassigned.
+func (id NodeID) IsZero() bool { return id == NodeID{} }
+
+// AncestorOf reports whether id identifies a strict ancestor of other.
+func (id NodeID) AncestorOf(other NodeID) bool {
+	return id.Pre < other.Pre && other.Post < id.Post
+}
+
+// ParentOf reports whether id identifies the parent of other.
+func (id NodeID) ParentOf(other NodeID) bool {
+	return id.AncestorOf(other) && id.Depth+1 == other.Depth
+}
+
+// Precedes reports whether id's node precedes other in document order and is
+// not one of its ancestors.
+func (id NodeID) Precedes(other NodeID) bool { return id.Post < other.Pre }
+
+// Follows reports whether id's node follows other in document order and is
+// not one of its descendants.
+func (id NodeID) Follows(other NodeID) bool { return other.Post < id.Pre }
+
+// Before reports document order: id's node starts before other's.
+func (id NodeID) Before(other NodeID) bool { return id.Pre < other.Pre }
+
+func (id NodeID) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", id.Pre, id.Post, id.Depth)
+}
+
+// Node is one node of an XML document tree.
+type Node struct {
+	Kind     Kind
+	Label    string // element tag, attribute name (with '@'), or "#text"
+	Text     string // text content for Text nodes, attribute value for Attribute nodes
+	ID       NodeID
+	Dewey    Dewey
+	Parent   *Node
+	Children []*Node // attributes first, then element/text children in document order
+
+	doc *Document
+}
+
+// Document is a parsed XML document: a virtual document node above a single
+// element root, as in §1.1.
+type Document struct {
+	Root *Node  // the unique Φ_e child of the document node
+	Name string // document name, e.g. "bib.xml"
+
+	byPre []*Node // nodes indexed by ID.Pre-1, filled by Relabel
+}
+
+// Doc returns the document the node belongs to.
+func (n *Node) Doc() *Document { return n.doc }
+
+// IsElem reports whether n is an element.
+func (n *Node) IsElem() bool { return n.Kind == Element }
+
+// Value implements the paper's value function: for an element it is the
+// concatenation of all descendant text, for attributes and text nodes the
+// literal text.
+func (n *Node) Value() string {
+	switch n.Kind {
+	case Attribute, Text:
+		return n.Text
+	}
+	var sb strings.Builder
+	n.appendText(&sb)
+	return sb.String()
+}
+
+func (n *Node) appendText(sb *strings.Builder) {
+	if n.Kind == Text {
+		sb.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		if c.Kind != Attribute {
+			c.appendText(sb)
+		}
+	}
+}
+
+// Content returns the node's serialized subtree (the paper's Cont attribute).
+func (n *Node) Content() string {
+	var sb strings.Builder
+	serializeNode(&sb, n)
+	return sb.String()
+}
+
+// Elements returns the element children of n in document order.
+func (n *Node) Elements() []*Node {
+	out := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Attr returns the attribute child named name (with or without leading '@'),
+// or nil.
+func (n *Node) Attr(name string) *Node {
+	if !strings.HasPrefix(name, "@") {
+		name = "@" + name
+	}
+	for _, c := range n.Children {
+		if c.Kind == Attribute && c.Label == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Path returns the node's rooted label path, e.g. "/bib/book/title".
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		return "/" + n.Label
+	}
+	return n.Parent.Path() + "/" + n.pathStep()
+}
+
+func (n *Node) pathStep() string {
+	if n.Kind == Text {
+		return "#text"
+	}
+	return n.Label
+}
+
+// Walk calls fn for every node of the subtree rooted at n (pre-order,
+// attributes before element/text children). Walking stops early if fn
+// returns false.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Descendants returns every strict descendant of n in document order.
+func (n *Node) Descendants() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		c.Walk(func(d *Node) bool {
+			out = append(out, d)
+			return true
+		})
+	}
+	return out
+}
+
+// NodeByPre returns the node whose pre label is pre, or nil.
+func (d *Document) NodeByPre(pre int32) *Node {
+	if pre < 1 || int(pre) > len(d.byPre) {
+		return nil
+	}
+	return d.byPre[pre-1]
+}
+
+// Size returns the number of nodes in the document (elements, attributes and
+// text nodes), excluding the virtual document node.
+func (d *Document) Size() int { return len(d.byPre) }
+
+// Relabel (re)assigns (pre, post, depth) identifiers and Dewey labels over
+// the whole document and rebuilds the pre-order index. It must be called
+// after structural edits; Parse calls it automatically.
+func (d *Document) Relabel() {
+	d.byPre = d.byPre[:0]
+	var pre, post int32
+	var visit func(n *Node, depth int32, dewey Dewey)
+	visit = func(n *Node, depth int32, dewey Dewey) {
+		pre++
+		n.ID.Pre = pre
+		n.ID.Depth = depth
+		n.Dewey = dewey
+		n.doc = d
+		d.byPre = append(d.byPre, n)
+		for i, c := range n.Children {
+			c.Parent = n
+			visit(c, depth+1, dewey.Child(i+1))
+		}
+		post++
+		n.ID.Post = post
+	}
+	if d.Root != nil {
+		d.Root.Parent = nil
+		visit(d.Root, 1, Dewey{1})
+	}
+}
+
+// Walk visits every node of the document in document order.
+func (d *Document) Walk(fn func(*Node) bool) {
+	if d.Root != nil {
+		d.Root.Walk(fn)
+	}
+}

@@ -1,0 +1,335 @@
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an XML document from its textual form. The supported subset
+// covers the needs of the paper's data sets: elements, attributes, character
+// data, entity references, comments, processing instructions and a DOCTYPE
+// prolog (the latter three are skipped). Whitespace-only text between
+// elements is dropped; mixed content keeps its text nodes.
+func Parse(name, input string) (*Document, error) {
+	p := &parser{src: input}
+	root, err := p.parseDocument()
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: parse %s: %w", name, err)
+	}
+	doc := &Document{Root: root, Name: name}
+	doc.Relabel()
+	return doc, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(name, input string) *Document {
+	doc, err := Parse(name, input)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) skipMisc() error {
+	for {
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			end := strings.Index(p.src[p.pos:], "?>")
+			if end < 0 {
+				return p.errorf("unterminated processing instruction")
+			}
+			p.pos += end + 2
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			end := strings.Index(p.src[p.pos:], "-->")
+			if end < 0 {
+				return p.errorf("unterminated comment")
+			}
+			p.pos += end + 3
+		case strings.HasPrefix(p.src[p.pos:], "<!DOCTYPE"):
+			// Skip to the matching '>' (internal subsets with brackets
+			// supported shallowly).
+			depth := 0
+			for ; p.pos < len(p.src); p.pos++ {
+				switch p.src[p.pos] {
+				case '[':
+					depth++
+				case ']':
+					depth--
+				case '>':
+					if depth <= 0 {
+						p.pos++
+						goto next
+					}
+				}
+			}
+			return p.errorf("unterminated DOCTYPE")
+		default:
+			return nil
+		}
+	next:
+	}
+}
+
+func (p *parser) parseDocument() (*Node, error) {
+	if err := p.skipMisc(); err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek() != '<' {
+		return nil, p.errorf("expected root element")
+	}
+	root, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.skipMisc(); err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errorf("trailing content after root element")
+	}
+	return root, nil
+}
+
+func isNameByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case !first && (b >= '0' && b <= '9' || b == '-' || b == '.'):
+		return true
+	case b >= 0x80: // permit UTF-8 names bytewise
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameByte(p.src[p.pos], true) {
+		return "", p.errorf("expected name")
+	}
+	p.pos++
+	for !p.eof() && isNameByte(p.src[p.pos], false) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseElement() (*Node, error) {
+	if p.peek() != '<' {
+		return nil, p.errorf("expected '<'")
+	}
+	p.pos++
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	elem := &Node{Kind: Element, Label: name}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, p.errorf("unterminated start tag <%s", name)
+		}
+		switch p.peek() {
+		case '/':
+			if !strings.HasPrefix(p.src[p.pos:], "/>") {
+				return nil, p.errorf("bad empty-element tag")
+			}
+			p.pos += 2
+			return elem, nil
+		case '>':
+			p.pos++
+			if err := p.parseContent(elem); err != nil {
+				return nil, err
+			}
+			return elem, nil
+		default:
+			attr, err := p.parseAttr()
+			if err != nil {
+				return nil, err
+			}
+			elem.Children = append(elem.Children, attr)
+		}
+	}
+}
+
+func (p *parser) parseAttr() (*Node, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != '=' {
+		return nil, p.errorf("expected '=' after attribute %s", name)
+	}
+	p.pos++
+	p.skipSpace()
+	quote := p.peek()
+	if quote != '"' && quote != '\'' {
+		return nil, p.errorf("expected quoted attribute value")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.eof() {
+		return nil, p.errorf("unterminated attribute value")
+	}
+	val, err := unescape(p.src[start:p.pos])
+	if err != nil {
+		return nil, err
+	}
+	p.pos++
+	return &Node{Kind: Attribute, Label: "@" + name, Text: val}, nil
+}
+
+func (p *parser) parseContent(parent *Node) error {
+	var textStart = p.pos
+	flush := func(end int) error {
+		raw := p.src[textStart:end]
+		if strings.TrimSpace(raw) == "" {
+			return nil
+		}
+		text, err := unescape(raw)
+		if err != nil {
+			return err
+		}
+		parent.Children = append(parent.Children, &Node{Kind: Text, Label: "#text", Text: text})
+		return nil
+	}
+	for {
+		if p.eof() {
+			return p.errorf("unterminated element <%s>", parent.Label)
+		}
+		if p.peek() != '<' {
+			p.pos++
+			continue
+		}
+		if err := flush(p.pos); err != nil {
+			return err
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "</"):
+			p.pos += 2
+			name, err := p.parseName()
+			if err != nil {
+				return err
+			}
+			if name != parent.Label {
+				return p.errorf("mismatched end tag </%s> for <%s>", name, parent.Label)
+			}
+			p.skipSpace()
+			if p.peek() != '>' {
+				return p.errorf("malformed end tag </%s", name)
+			}
+			p.pos++
+			return nil
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			end := strings.Index(p.src[p.pos:], "-->")
+			if end < 0 {
+				return p.errorf("unterminated comment")
+			}
+			p.pos += end + 3
+		case strings.HasPrefix(p.src[p.pos:], "<![CDATA["):
+			body := p.src[p.pos+9:]
+			end := strings.Index(body, "]]>")
+			if end < 0 {
+				return p.errorf("unterminated CDATA section")
+			}
+			parent.Children = append(parent.Children, &Node{Kind: Text, Label: "#text", Text: body[:end]})
+			p.pos += 9 + end + 3
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			end := strings.Index(p.src[p.pos:], "?>")
+			if end < 0 {
+				return p.errorf("unterminated processing instruction")
+			}
+			p.pos += end + 2
+		default:
+			child, err := p.parseElement()
+			if err != nil {
+				return err
+			}
+			parent.Children = append(parent.Children, child)
+		}
+		textStart = p.pos
+	}
+}
+
+func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '&') {
+		return s, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 {
+			return "", fmt.Errorf("xmltree: unterminated entity in %q", s)
+		}
+		ent := s[i+1 : i+semi]
+		switch {
+		case ent == "lt":
+			sb.WriteByte('<')
+		case ent == "gt":
+			sb.WriteByte('>')
+		case ent == "amp":
+			sb.WriteByte('&')
+		case ent == "quot":
+			sb.WriteByte('"')
+		case ent == "apos":
+			sb.WriteByte('\'')
+		case strings.HasPrefix(ent, "#x"), strings.HasPrefix(ent, "#X"):
+			v, err := strconv.ParseInt(ent[2:], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("xmltree: bad character reference &%s;", ent)
+			}
+			sb.WriteRune(rune(v))
+		case strings.HasPrefix(ent, "#"):
+			v, err := strconv.ParseInt(ent[1:], 10, 32)
+			if err != nil {
+				return "", fmt.Errorf("xmltree: bad character reference &%s;", ent)
+			}
+			sb.WriteRune(rune(v))
+		default:
+			return "", fmt.Errorf("xmltree: unknown entity &%s;", ent)
+		}
+		i += semi + 1
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,125 @@
+package xmltree
+
+import "sort"
+
+// Plane is the pre/post plane of §1.2.1 (Figure 1.3) — the XPath Accelerator
+// view of a document: every node plotted by its (pre, post) coordinates.
+// Axis evaluation becomes a range query: the descendants of n occupy the
+// quadrant right of and below n, ancestors the upper-left quadrant, and so
+// on. The plane stores nodes sorted by pre, so window scans are binary
+// searches plus a linear pass over the candidate strip.
+type Plane struct {
+	nodes []*Node // sorted by ID.Pre
+}
+
+// NewPlane indexes a document's nodes onto the pre/post plane.
+func NewPlane(doc *Document) *Plane {
+	p := &Plane{nodes: make([]*Node, 0, doc.Size())}
+	doc.Walk(func(n *Node) bool {
+		p.nodes = append(p.nodes, n)
+		return true
+	})
+	sort.Slice(p.nodes, func(i, j int) bool { return p.nodes[i].ID.Pre < p.nodes[j].ID.Pre })
+	return p
+}
+
+// Size returns the number of plotted nodes.
+func (p *Plane) Size() int { return len(p.nodes) }
+
+// firstAfter returns the index of the first node with Pre > pre.
+func (p *Plane) firstAfter(pre int32) int {
+	return sort.Search(len(p.nodes), func(i int) bool { return p.nodes[i].ID.Pre > pre })
+}
+
+// Descendants returns the nodes in n's descendant quadrant (pre > n.pre,
+// post < n.post), in document order. On the plane this is the contiguous
+// pre-strip (n.pre, …] cut at the first node leaving n's interval.
+func (p *Plane) Descendants(id NodeID) []*Node {
+	start := p.firstAfter(id.Pre)
+	var out []*Node
+	for i := start; i < len(p.nodes); i++ {
+		n := p.nodes[i]
+		if n.ID.Post > id.Post {
+			break // left n's subtree: everything further follows n
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Children filters the descendant strip by depth.
+func (p *Plane) Children(id NodeID) []*Node {
+	var out []*Node
+	for _, n := range p.Descendants(id) {
+		if n.ID.Depth == id.Depth+1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Ancestors returns the nodes in n's ancestor quadrant (pre < n.pre,
+// post > n.post), outermost first.
+func (p *Plane) Ancestors(id NodeID) []*Node {
+	var out []*Node
+	for i := 0; i < len(p.nodes); i++ {
+		n := p.nodes[i]
+		if n.ID.Pre >= id.Pre {
+			break
+		}
+		if n.ID.Post > id.Post {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Parent returns the parent node, or nil for the root.
+func (p *Plane) Parent(id NodeID) *Node {
+	for _, a := range p.Ancestors(id) {
+		if a.ID.Depth == id.Depth-1 {
+			return a
+		}
+	}
+	return nil
+}
+
+// Following returns nodes entirely after n in document order (pre > n.pre
+// and post > n.post), i.e. the upper-right quadrant.
+func (p *Plane) Following(id NodeID) []*Node {
+	start := p.firstAfter(id.Pre)
+	var out []*Node
+	for i := start; i < len(p.nodes); i++ {
+		n := p.nodes[i]
+		if n.ID.Post > id.Post {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Preceding returns nodes entirely before n (pre < n.pre, post < n.post).
+func (p *Plane) Preceding(id NodeID) []*Node {
+	var out []*Node
+	for i := 0; i < len(p.nodes); i++ {
+		n := p.nodes[i]
+		if n.ID.Pre >= id.Pre {
+			break
+		}
+		if n.ID.Post < id.Post {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Window returns the nodes with pre in [loPre, hiPre] — the primitive range
+// scan other axes are built from.
+func (p *Plane) Window(loPre, hiPre int32) []*Node {
+	start := sort.Search(len(p.nodes), func(i int) bool { return p.nodes[i].ID.Pre >= loPre })
+	var out []*Node
+	for i := start; i < len(p.nodes) && p.nodes[i].ID.Pre <= hiPre; i++ {
+		out = append(out, p.nodes[i])
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomDoc(seed int64, n int) *Document {
+	rng := rand.New(rand.NewSource(seed))
+	root := NewElement("n0")
+	nodes := []*Node{root}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		c := NewElement("n")
+		parent.Children = append(parent.Children, c)
+		nodes = append(nodes, c)
+	}
+	return NewDocument("rand.xml", root)
+}
+
+// Every plane axis must agree with the tree-walking oracle.
+func TestPlaneAxesMatchTree(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		doc := randomDoc(seed, 80)
+		plane := NewPlane(doc)
+		if plane.Size() != doc.Size() {
+			t.Fatalf("plane size %d != %d", plane.Size(), doc.Size())
+		}
+		var all []*Node
+		doc.Walk(func(n *Node) bool { all = append(all, n); return true })
+		for _, n := range all {
+			wantDesc := n.Descendants()
+			gotDesc := plane.Descendants(n.ID)
+			if len(wantDesc) != len(gotDesc) {
+				t.Fatalf("seed %d: descendants of %s: %d vs %d", seed, n.ID, len(gotDesc), len(wantDesc))
+			}
+			for i := range gotDesc {
+				if gotDesc[i] != wantDesc[i] {
+					t.Fatalf("seed %d: descendant order differs at %d", seed, i)
+				}
+			}
+			gotKids := plane.Children(n.ID)
+			var wantKids int
+			for _, c := range n.Children {
+				_ = c
+				wantKids++
+			}
+			if len(gotKids) != wantKids {
+				t.Fatalf("seed %d: children of %s: %d vs %d", seed, n.ID, len(gotKids), wantKids)
+			}
+			if par := plane.Parent(n.ID); par != n.Parent {
+				t.Fatalf("seed %d: parent mismatch for %s", seed, n.ID)
+			}
+			// Quadrant partition: every other node falls in exactly one of
+			// the four quadrants (Figure 1.3).
+			anc := plane.Ancestors(n.ID)
+			fol := plane.Following(n.ID)
+			pre := plane.Preceding(n.ID)
+			if len(anc)+len(fol)+len(pre)+len(gotDesc)+1 != doc.Size() {
+				t.Fatalf("seed %d: quadrants do not partition: %d+%d+%d+%d+1 != %d",
+					seed, len(anc), len(fol), len(pre), len(gotDesc), doc.Size())
+			}
+		}
+	}
+}
+
+func TestPlaneWindow(t *testing.T) {
+	doc := randomDoc(9, 40)
+	plane := NewPlane(doc)
+	w := plane.Window(5, 10)
+	if len(w) != 6 {
+		t.Fatalf("window: %d", len(w))
+	}
+	for _, n := range w {
+		if n.ID.Pre < 5 || n.ID.Pre > 10 {
+			t.Fatalf("window out of range: %s", n.ID)
+		}
+	}
+	if len(plane.Window(1000, 2000)) != 0 {
+		t.Fatal("empty window expected")
+	}
+}

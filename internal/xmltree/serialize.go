@@ -1,0 +1,105 @@
+package xmltree
+
+import "strings"
+
+// Serialize renders the document back to XML text.
+func (d *Document) Serialize() string {
+	var sb strings.Builder
+	if d.Root != nil {
+		serializeNode(&sb, d.Root)
+	}
+	return sb.String()
+}
+
+func serializeNode(sb *strings.Builder, n *Node) {
+	switch n.Kind {
+	case Text:
+		escapeText(sb, n.Text)
+	case Attribute:
+		sb.WriteString(n.Label[1:])
+		sb.WriteString(`="`)
+		escapeAttr(sb, n.Text)
+		sb.WriteByte('"')
+	case Element:
+		sb.WriteByte('<')
+		sb.WriteString(n.Label)
+		var hasContent bool
+		for _, c := range n.Children {
+			if c.Kind == Attribute {
+				sb.WriteByte(' ')
+				serializeNode(sb, c)
+			} else {
+				hasContent = true
+			}
+		}
+		if !hasContent {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteByte('>')
+		for _, c := range n.Children {
+			if c.Kind != Attribute {
+				serializeNode(sb, c)
+			}
+		}
+		sb.WriteString("</")
+		sb.WriteString(n.Label)
+		sb.WriteByte('>')
+	}
+}
+
+func escapeText(sb *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+}
+
+func escapeAttr(sb *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			sb.WriteString("&lt;")
+		case '&':
+			sb.WriteString("&amp;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+}
+
+// NewElement builds an element node with the given label and children;
+// convenience for programmatic document construction (tests, generators).
+func NewElement(label string, children ...*Node) *Node {
+	return &Node{Kind: Element, Label: label, Children: children}
+}
+
+// NewText builds a text node.
+func NewText(text string) *Node {
+	return &Node{Kind: Text, Label: "#text", Text: text}
+}
+
+// NewAttr builds an attribute node; the '@' prefix is added if missing.
+func NewAttr(name, value string) *Node {
+	if !strings.HasPrefix(name, "@") {
+		name = "@" + name
+	}
+	return &Node{Kind: Attribute, Label: name, Text: value}
+}
+
+// NewDocument wraps a root element into a relabeled document.
+func NewDocument(name string, root *Node) *Document {
+	doc := &Document{Root: root, Name: name}
+	doc.Relabel()
+	return doc
+}

@@ -1,0 +1,170 @@
+// Package xquery implements the XQuery subset Q of §3.2 — core
+// XPath{/,//,*,[]} with text(), variable-relative paths, concatenation,
+// element constructors, and nested for-where-return blocks — together with
+// the Chapter 3 contribution: an algorithm extracting maximal XAM tree
+// patterns from queries, where patterns span nested query blocks. The
+// extraction also yields the tagging template and the compensating actions
+// (value joins across patterns, null-dependency selections) needed to
+// rebuild the query from its patterns.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/xam"
+)
+
+// Expr is any expression of the Q subset.
+type Expr interface {
+	exprString(sb *strings.Builder)
+}
+
+// String renders any expression back to query syntax.
+func String(e Expr) string {
+	var sb strings.Builder
+	e.exprString(&sb)
+	return sb.String()
+}
+
+// Step is one navigation step of a path expression.
+type Step struct {
+	Axis  xam.Axis
+	Label string // element name, "*", or "@name"
+	Preds []Pred // the [ ] qualifiers on this step
+}
+
+// Pred is a step qualifier: a relative existence path, optionally compared
+// to a constant (e.g. [d/text() = 5] or [c]).
+type Pred struct {
+	Path  *PathExpr // relative, starting with a child step
+	Op    string    // "" for pure existence
+	Const string
+}
+
+// PathExpr is a path query: absolute over a document, or relative to a
+// variable binding (§3.2 classes (1) and (2)).
+type PathExpr struct {
+	Doc   string // document name for absolute paths ("" when Var is set)
+	Var   string // variable name without '$' for relative paths
+	Steps []Step
+	Text  bool // ends in /text()
+}
+
+func (p *PathExpr) exprString(sb *strings.Builder) {
+	if p.Var != "" {
+		sb.WriteString("$" + p.Var)
+	} else {
+		fmt.Fprintf(sb, "doc(%q)", p.Doc)
+	}
+	for _, s := range p.Steps {
+		sb.WriteString(s.Axis.String())
+		sb.WriteString(s.Label)
+		for _, pr := range s.Preds {
+			sb.WriteByte('[')
+			pr.Path.exprString(sb)
+			if pr.Op != "" {
+				fmt.Fprintf(sb, " %s %q", pr.Op, pr.Const)
+			}
+			sb.WriteByte(']')
+		}
+	}
+	if p.Text {
+		sb.WriteString("/text()")
+	}
+}
+
+// Clone returns a deep copy of the path.
+func (p *PathExpr) Clone() *PathExpr {
+	out := *p
+	out.Steps = make([]Step, len(p.Steps))
+	for i, s := range p.Steps {
+		out.Steps[i] = s
+		out.Steps[i].Preds = make([]Pred, len(s.Preds))
+		for j, pr := range s.Preds {
+			out.Steps[i].Preds[j] = pr
+			out.Steps[i].Preds[j].Path = pr.Path.Clone()
+		}
+	}
+	return &out
+}
+
+// Sequence is the concatenation e1, e2, … (§3.2 class (3)).
+type Sequence struct {
+	Items []Expr
+}
+
+func (s *Sequence) exprString(sb *strings.Builder) {
+	for i, e := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		e.exprString(sb)
+	}
+}
+
+// ElementCtor is an element constructor ⟨t⟩{exp}⟨/t⟩ (§3.2 class (4)).
+type ElementCtor struct {
+	Tag     string
+	Content []Expr
+}
+
+func (c *ElementCtor) exprString(sb *strings.Builder) {
+	fmt.Fprintf(sb, "<%s>{", c.Tag)
+	for i, e := range c.Content {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		e.exprString(sb)
+	}
+	fmt.Fprintf(sb, "}</%s>", c.Tag)
+}
+
+// Binding is one "for $x in path" clause member.
+type Binding struct {
+	Var  string
+	Path *PathExpr
+}
+
+// Cond is one where-clause conjunct: path θ constant or path θ path.
+type Cond struct {
+	Left  *PathExpr
+	Op    string
+	Right *PathExpr // nil for constant comparisons
+	Const string
+}
+
+// FLWR is a for-where-return block (§3.2 class (5)).
+type FLWR struct {
+	Bindings []Binding
+	Where    []Cond
+	Return   Expr
+}
+
+func (f *FLWR) exprString(sb *strings.Builder) {
+	sb.WriteString("for ")
+	for i, b := range f.Bindings {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "$%s in ", b.Var)
+		b.Path.exprString(sb)
+	}
+	if len(f.Where) > 0 {
+		sb.WriteString(" where ")
+		for i, c := range f.Where {
+			if i > 0 {
+				sb.WriteString(" and ")
+			}
+			c.Left.exprString(sb)
+			fmt.Fprintf(sb, " %s ", c.Op)
+			if c.Right != nil {
+				c.Right.exprString(sb)
+			} else {
+				fmt.Fprintf(sb, "%q", c.Const)
+			}
+		}
+	}
+	sb.WriteString(" return ")
+	f.Return.exprString(sb)
+}

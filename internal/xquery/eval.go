@@ -1,0 +1,100 @@
+package xquery
+
+import (
+	"fmt"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xmltree"
+)
+
+// Evaluate executes a Q query directly over a document: patterns are
+// extracted (§3.3), evaluated with the XAM algebraic semantics, combined by
+// cartesian products and value joins, and the tagging template rebuilds the
+// XML result. This is the reference evaluator that view-based rewritings are
+// checked against.
+func Evaluate(q Expr, doc *xmltree.Document) ([]*xmltree.Node, error) {
+	ex, err := Extract(q)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := ex.Combine(doc)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.XMLize(rel, ex.Template)
+}
+
+// EvaluateString is Evaluate on query text, serializing the result.
+func EvaluateString(src string, doc *xmltree.Document) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	nodes, err := Evaluate(q, doc)
+	if err != nil {
+		return "", err
+	}
+	return algebra.SerializeNodes(nodes), nil
+}
+
+// Combine evaluates every extracted pattern over the document and combines
+// the group relations: cartesian product across groups, then the
+// cross-pattern value joins as selections.
+func (ex *Extraction) Combine(doc *xmltree.Document) (*algebra.Relation, error) {
+	if len(ex.Patterns) == 0 {
+		return nil, fmt.Errorf("xquery: no patterns extracted")
+	}
+	var combined *algebra.Relation
+	for _, p := range ex.Patterns {
+		r, err := p.Eval(doc)
+		if err != nil {
+			return nil, err
+		}
+		if combined == nil {
+			combined = r
+		} else {
+			combined = algebra.Product(combined, r)
+		}
+	}
+	for _, j := range ex.Joins {
+		var err error
+		combined, err = filterJoin(combined, j)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
+}
+
+// filterJoin applies a value-join condition over two top-level attributes.
+func filterJoin(r *algebra.Relation, j ValueJoin) (*algebra.Relation, error) {
+	li := r.Schema.Index(j.LeftAttr)
+	ri := r.Schema.Index(j.RightAttr)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("xquery: join attribute %q/%q not at top level", j.LeftAttr, j.RightAttr)
+	}
+	var op algebra.Cmp
+	switch j.Op {
+	case "=":
+		op = algebra.Eq
+	case "!=":
+		op = algebra.Ne
+	case "<":
+		op = algebra.Lt
+	case "<=":
+		op = algebra.Le
+	case ">":
+		op = algebra.Gt
+	case ">=":
+		op = algebra.Ge
+	default:
+		return nil, fmt.Errorf("xquery: unsupported join comparator %q", j.Op)
+	}
+	out := algebra.NewRelation(r.Schema)
+	for _, t := range r.Tuples {
+		if op.Apply(t[li], t[ri]) {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,449 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+// Extraction is the result of translating a Q query into XAM patterns
+// (§3.3): one maximal tree pattern per group of structurally related
+// variables — patterns span nested for-where-return blocks — plus the
+// value joins connecting groups, the tagging template that rebuilds the
+// query result, and the null-dependency compensations that tree patterns
+// cannot express (§3.1's d→e dependency).
+type Extraction struct {
+	// Patterns are the maximal query tree patterns, in the order their
+	// groups first appear in the query.
+	Patterns []*xam.Pattern
+	// VarNodes maps each for-variable to its pattern node.
+	VarNodes map[string]*xam.Node
+	// DocNames holds, per pattern, the document its group navigates.
+	DocNames []string
+	// Joins are cross-pattern value-join conditions from the where clauses.
+	Joins []ValueJoin
+	// Compensations are σ conditions of the form
+	// (dep.ID ≠ ⊥) ∨ (dep.ID = ⊥ ∧ out.attr = ⊥) — the returned node out
+	// must be nulled when its enclosing inner block produced no bindings.
+	Compensations []Compensation
+	// Template rebuilds the query result from the joined pattern tuples.
+	Template *algebra.Template
+}
+
+// ValueJoin is a where-condition connecting two patterns.
+type ValueJoin struct {
+	LeftAttr  string // attribute name in the combined schema, e.g. "e3.Val"
+	Op        string
+	RightAttr string
+}
+
+// Compensation ties a returned node to an enclosing inner-block variable of
+// the same pattern: if Dep has no binding (⊥), Out's data must not be
+// emitted.
+type Compensation struct {
+	Dep *xam.Node // the inner for-variable node
+	Out *xam.Node // the returned node that lexically sits inside Dep's block
+}
+
+// group is a pattern under construction.
+type group struct {
+	pattern *xam.Pattern
+	doc     string // document the group's absolute path navigates
+}
+
+type extractor struct {
+	groups   []*group
+	varGroup map[string]*group
+	varNode  map[string]*xam.Node
+	joins    []ValueJoin
+	comps    []Compensation
+	nameSeq  int
+}
+
+// Extract runs the pattern extraction algorithm on a parsed query.
+func Extract(q Expr) (*Extraction, error) {
+	ex := &extractor{
+		varGroup: map[string]*group{},
+		varNode:  map[string]*xam.Node{},
+	}
+	templ, err := ex.walk(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Extraction{
+		VarNodes:      ex.varNode,
+		Joins:         ex.joins,
+		Compensations: ex.comps,
+		Template:      templ,
+	}
+	for _, g := range ex.groups {
+		g.pattern.AssignNames()
+		out.Patterns = append(out.Patterns, g.pattern)
+		out.DocNames = append(out.DocNames, g.doc)
+	}
+	return out, nil
+}
+
+func (ex *extractor) fresh(label string) *xam.Node {
+	ex.nameSeq++
+	return &xam.Node{Name: fmt.Sprintf("n%d", ex.nameSeq), Label: label}
+}
+
+// attach builds the chain of pattern nodes for a path's steps below an
+// anchor node (nil anchor = the ⊤ of a new group's pattern) and returns the
+// final node. The first edge uses sem; deeper edges use deep.
+func (ex *extractor) attach(g *group, anchor *xam.Node, steps []Step, sem, deep xam.EdgeSem) (*xam.Node, error) {
+	cur := anchor
+	for i, st := range steps {
+		n := ex.fresh(st.Label)
+		edgeSem := deep
+		if i == 0 {
+			edgeSem = sem
+		}
+		e := &xam.Edge{Axis: st.Axis, Sem: edgeSem, Child: n}
+		if cur == nil {
+			g.pattern.Top = append(g.pattern.Top, e)
+		} else {
+			n.Parent = cur
+			cur.Edges = append(cur.Edges, e)
+		}
+		// Step qualifiers become existential semijoin branches.
+		for _, pred := range st.Preds {
+			if err := ex.attachPred(g, n, pred); err != nil {
+				return nil, err
+			}
+		}
+		cur = n
+	}
+	return cur, nil
+}
+
+// attachPred adds a [qualifier] as a semijoin subtree (or a value predicate
+// when the qualifier is text() θ c on the step itself).
+func (ex *extractor) attachPred(g *group, node *xam.Node, pred Pred) error {
+	if len(pred.Path.Steps) == 0 && pred.Path.Text {
+		// [text() = c] decorates the node itself.
+		return addValuePred(node, pred.Op, pred.Const)
+	}
+	last, err := ex.attach(g, node, pred.Path.Steps, xam.SemSemi, xam.SemJoin)
+	if err != nil {
+		return err
+	}
+	if pred.Op != "" {
+		return addValuePred(last, pred.Op, pred.Const)
+	}
+	return nil
+}
+
+func addValuePred(n *xam.Node, op, c string) error {
+	if op == "" {
+		return nil
+	}
+	f, err := value.FromComparison(op, value.Str(c))
+	if err != nil {
+		return err
+	}
+	if n.HasValuePred {
+		n.ValuePred = n.ValuePred.And(f)
+	} else {
+		n.ValuePred = f
+		n.HasValuePred = true
+	}
+	q := c
+	n.PredSrc = append(n.PredSrc, "val"+op+`"`+q+`"`)
+	return nil
+}
+
+// resolve finds the group and anchor node for a path: absolute paths open a
+// new group; variable paths attach to the variable's node and group.
+func (ex *extractor) resolve(p *PathExpr) (*group, *xam.Node, error) {
+	if p.Var != "" {
+		g, ok := ex.varGroup[p.Var]
+		if !ok {
+			return nil, nil, fmt.Errorf("xquery: unbound variable $%s", p.Var)
+		}
+		return g, ex.varNode[p.Var], nil
+	}
+	g := &group{pattern: &xam.Pattern{}, doc: p.Doc}
+	ex.groups = append(ex.groups, g)
+	return g, nil, nil
+}
+
+// enclosing tracks, during the walk, the chain of for-variables lexically
+// enclosing the current position (innermost last).
+type scopeVar struct {
+	name string
+	node *xam.Node
+	g    *group
+}
+
+// walk translates the expression, building patterns and returning the
+// tagging template for the expression's output.
+func (ex *extractor) walk(e Expr, scope []scopeVar) (*algebra.Template, error) {
+	switch q := e.(type) {
+	case *Sequence:
+		t := &algebra.Template{Kind: algebra.TElem, Tag: ""}
+		for _, item := range q.Items {
+			sub, err := ex.walk(item, scope)
+			if err != nil {
+				return nil, err
+			}
+			t.Children = append(t.Children, sub)
+		}
+		return t, nil
+
+	case *ElementCtor:
+		t := algebra.Elem(q.Tag)
+		for _, item := range q.Content {
+			sub, err := ex.walk(item, scope)
+			if err != nil {
+				return nil, err
+			}
+			t.Children = append(t.Children, sub)
+		}
+		return t, nil
+
+	case *PathExpr:
+		return ex.walkReturnedPath(q, scope)
+
+	case *FLWR:
+		return ex.walkFLWR(q, scope)
+	}
+	return nil, fmt.Errorf("xquery: unsupported expression %T", e)
+}
+
+// walkReturnedPath handles a path expression in output position: its data
+// is stored (Val for text(), Cont otherwise) under nest-outerjoin edges so
+// constructors emit output even for empty results.
+func (ex *extractor) walkReturnedPath(p *PathExpr, scope []scopeVar) (*algebra.Template, error) {
+	g, anchor, err := ex.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Steps) == 0 {
+		// Returning the variable itself: store its content.
+		if anchor == nil {
+			return nil, fmt.Errorf("xquery: returning a whole document is unsupported")
+		}
+		if p.Text {
+			anchor.StoreVal = true
+			ex.addComps(anchor, g, scope)
+			return algebra.Field(anchor.Name + ".Val"), nil
+		}
+		anchor.StoreCont = true
+		ex.addComps(anchor, g, scope)
+		return algebra.RawField(anchor.Name + ".Cont"), nil
+	}
+	if anchor == nil && len(scope) == 0 {
+		// A standalone path query: one output node per match, nothing to
+		// group or keep on empty — the extracted pattern is conjunctive and
+		// flat, the most rewritable form.
+		last, err := ex.attach(g, anchor, p.Steps, xam.SemJoin, xam.SemJoin)
+		if err != nil {
+			return nil, err
+		}
+		if p.Text {
+			last.StoreVal = true
+			return algebra.Field(last.Name + ".Val"), nil
+		}
+		last.StoreCont = true
+		return algebra.RawField(last.Name + ".Cont"), nil
+	}
+	// Inside a constructor or block: the first edge is a nest outerjoin
+	// (grouped, optional); deeper edges stay optional.
+	last, err := ex.attach(g, anchor, p.Steps, xam.SemNestOuter, xam.SemOuter)
+	if err != nil {
+		return nil, err
+	}
+	attr := ".Cont"
+	if p.Text {
+		last.StoreVal = true
+		attr = ".Val"
+	} else {
+		last.StoreCont = true
+	}
+	ex.addComps(last, g, scope)
+
+	field := algebra.Field(last.Name + attr)
+	if attr == ".Cont" {
+		field = algebra.RawField(last.Name + attr)
+	}
+	// Wrap in ForEach over the nested collection introduced by the first
+	// step's nest-outer edge.
+	first := topOf(last, anchor)
+	return algebra.ForEach(first.Name, nestedFieldTemplate(first, last, field)), nil
+}
+
+// topOf walks up from last to the child of anchor (the node owning the
+// nested collection attribute).
+func topOf(last, anchor *xam.Node) *xam.Node {
+	cur := last
+	for cur.Parent != anchor && cur.Parent != nil {
+		cur = cur.Parent
+	}
+	return cur
+}
+
+// nestedFieldTemplate descends from the collection root to the stored node;
+// intermediate optional edges contribute flat (outerjoined) attributes, so
+// the field path is direct.
+func nestedFieldTemplate(first, last *xam.Node, field *algebra.Template) *algebra.Template {
+	return field
+}
+
+// addComps records compensations: the returned node depends on every
+// enclosing block variable of the same group that is not on its own anchor
+// chain (§3.1: no e should appear if its b ancestor has no d descendants).
+func (ex *extractor) addComps(out *xam.Node, g *group, scope []scopeVar) {
+	for _, sv := range scope {
+		if sv.g != g {
+			continue
+		}
+		// Skip variables that are ancestors of out in the pattern: their
+		// presence is already implied structurally.
+		if isAncestor(sv.node, out) {
+			continue
+		}
+		ex.comps = append(ex.comps, Compensation{Dep: sv.node, Out: out})
+	}
+}
+
+func isAncestor(a, n *xam.Node) bool {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFLWR translates a for-where-return block.
+func (ex *extractor) walkFLWR(f *FLWR, scope []scopeVar) (*algebra.Template, error) {
+	newScope := append([]scopeVar{}, scope...)
+	collRoots := make([]*xam.Node, len(f.Bindings)) // non-nil for anchored bindings
+	for i, b := range f.Bindings {
+		g, anchor, err := ex.resolve(b.Path)
+		if err != nil {
+			return nil, err
+		}
+		sem := xam.SemJoin
+		if anchor != nil {
+			// A nested block's variable hangs off its anchor with nest
+			// outerjoin semantics: the outer constructor emits output even
+			// when the inner block is empty, and inner bindings group under
+			// the outer one (the full(xq3) translation of §3.3.2).
+			sem = xam.SemNestOuter
+		}
+		n, err := ex.attach(g, anchor, b.Path.Steps, sem, xam.SemJoin)
+		if err != nil {
+			return nil, err
+		}
+		if n == nil || n == anchor {
+			return nil, fmt.Errorf("xquery: for-variable $%s binds an empty path", b.Var)
+		}
+		// Variables carry IDs: they anchor grouping, joins and rewriting.
+		n.IDSpec = xam.StructID
+		ex.varGroup[b.Var] = g
+		ex.varNode[b.Var] = n
+		if anchor != nil {
+			collRoots[i] = topOf(n, anchor)
+		}
+		newScope = append(newScope, scopeVar{name: b.Var, node: n, g: g})
+	}
+	for _, c := range f.Where {
+		if err := ex.walkCond(c); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := ex.walk(f.Return, newScope)
+	if err != nil {
+		return nil, err
+	}
+	// One output per binding combination of this block's variables: iterate
+	// the nested collections of variables anchored inside other variables.
+	out := inner
+	for i := len(f.Bindings) - 1; i >= 0; i-- {
+		if collRoots[i] != nil {
+			out = algebra.ForEach(collRoots[i].Name, out)
+		}
+	}
+	return out, nil
+}
+
+// walkCond translates a where conjunct: constant comparisons decorate a
+// semijoin branch of the owning pattern; variable-to-variable comparisons
+// become value joins (possibly across groups).
+func (ex *extractor) walkCond(c Cond) error {
+	if c.Right == nil {
+		g, anchor, err := ex.resolve(c.Left)
+		if err != nil {
+			return err
+		}
+		if len(c.Left.Steps) == 0 {
+			if anchor == nil {
+				return fmt.Errorf("xquery: condition on whole document")
+			}
+			return addValuePred(anchor, c.Op, c.Const)
+		}
+		last, err := ex.attach(g, anchor, c.Left.Steps, xam.SemSemi, xam.SemJoin)
+		if err != nil {
+			return err
+		}
+		return addValuePred(last, c.Op, c.Const)
+	}
+	// Path θ path: both sides store their values over mandatory edges.
+	la, err := ex.condAttr(c.Left)
+	if err != nil {
+		return err
+	}
+	ra, err := ex.condAttr(c.Right)
+	if err != nil {
+		return err
+	}
+	ex.joins = append(ex.joins, ValueJoin{LeftAttr: la, Op: c.Op, RightAttr: ra})
+	return nil
+}
+
+func (ex *extractor) condAttr(p *PathExpr) (string, error) {
+	g, anchor, err := ex.resolve(p)
+	if err != nil {
+		return "", err
+	}
+	n := anchor
+	if len(p.Steps) > 0 {
+		n, err = ex.attach(g, anchor, p.Steps, xam.SemJoin, xam.SemJoin)
+		if err != nil {
+			return "", err
+		}
+	}
+	if n == nil {
+		return "", fmt.Errorf("xquery: join condition on whole document")
+	}
+	n.StoreVal = true
+	return n.Name + ".Val", nil
+}
+
+// Describe renders the extraction for explain output: patterns, cross-group
+// joins, null-dependency compensations, and the tagging template.
+func (ex *Extraction) Describe() string {
+	var sb strings.Builder
+	for i, p := range ex.Patterns {
+		fmt.Fprintf(&sb, "pattern %d", i+1)
+		if ex.DocNames[i] != "" {
+			fmt.Fprintf(&sb, " over %s", ex.DocNames[i])
+		}
+		fmt.Fprintf(&sb, ": %s\n", p)
+	}
+	for _, j := range ex.Joins {
+		fmt.Fprintf(&sb, "value join: %s %s %s\n", j.LeftAttr, j.Op, j.RightAttr)
+	}
+	for _, c := range ex.Compensations {
+		fmt.Fprintf(&sb, "compensation: null %s output when %s is ⊥ (σ %s.ID≠⊥ ∨ …)\n",
+			c.Out.Name, c.Dep.Name, c.Dep.Name)
+	}
+	fmt.Fprintf(&sb, "template: %s\n", ex.Template)
+	return sb.String()
+}

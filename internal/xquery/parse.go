@@ -1,0 +1,438 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/xam"
+)
+
+// Parse parses a query of the Q subset. Examples:
+//
+//	doc("bib.xml")//book[year = "1999"]/title
+//	for $x in doc("bib.xml")//book where $x/year = "1999" return $x/author
+//	for $x in doc("x.xml")//item return <res>{$x/name/text(), $x//keyword}</res>
+func Parse(src string) (Expr, error) {
+	p := &qparser{src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("xquery: parse: %w", err)
+	}
+	p.ws()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("xquery: parse: trailing input at offset %d", p.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) errorf(format string, args ...any) error {
+	return fmt.Errorf("offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *qparser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *qparser) has(s string) bool {
+	p.ws()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *qparser) eat(s string) bool {
+	if p.has(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// keyword matches an identifier-delimited keyword.
+func (p *qparser) keyword(kw string) bool {
+	p.ws()
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	if end < len(p.src) && identByte(p.src[end], false) {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func identByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_':
+		return true
+	case !first && (b >= '0' && b <= '9' || b == '-' || b == '.'):
+		return true
+	}
+	return false
+}
+
+func (p *qparser) ident() string {
+	p.ws()
+	start := p.pos
+	if p.pos >= len(p.src) || !identByte(p.src[p.pos], true) {
+		return ""
+	}
+	p.pos++
+	for p.pos < len(p.src) && identByte(p.src[p.pos], false) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *qparser) stringLit() (string, error) {
+	p.ws()
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errorf("expected string literal")
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errorf("unterminated string literal")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// scalarLit accepts a string literal or a bare number.
+func (p *qparser) scalarLit() (string, error) {
+	p.ws()
+	if p.pos < len(p.src) && (p.src[p.pos] == '"' || p.src[p.pos] == '\'') {
+		return p.stringLit()
+	}
+	start := p.pos
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.' || p.src[p.pos] == '-') {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected literal")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseExpr parses a sequence of top-level expressions.
+func (p *qparser) parseExpr() (Expr, error) {
+	var items []Expr
+	for {
+		e, err := p.parseSingle()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, e)
+		if !p.eat(",") {
+			break
+		}
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &Sequence{Items: items}, nil
+}
+
+func (p *qparser) parseSingle() (Expr, error) {
+	p.ws()
+	switch {
+	case p.keyword("for"):
+		return p.parseFLWR()
+	case p.has("<"):
+		return p.parseCtor()
+	case p.has("doc("), p.has("document("), p.has("$"):
+		return p.parsePath()
+	}
+	return nil, p.errorf("expected expression")
+}
+
+func (p *qparser) parseFLWR() (Expr, error) {
+	f := &FLWR{}
+	for {
+		p.ws()
+		if !p.eat("$") {
+			return nil, p.errorf("expected variable after 'for'")
+		}
+		name := p.ident()
+		if name == "" {
+			return nil, p.errorf("expected variable name")
+		}
+		if !p.keyword("in") {
+			return nil, p.errorf("expected 'in'")
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		f.Bindings = append(f.Bindings, Binding{Var: name, Path: path})
+		if !p.eat(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			f.Where = append(f.Where, c)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if !p.keyword("return") {
+		return nil, p.errorf("expected 'return'")
+	}
+	ret, err := p.parseSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = ret
+	return f, nil
+}
+
+func (p *qparser) parseCond() (Cond, error) {
+	left, err := p.parsePath()
+	if err != nil {
+		return Cond{}, err
+	}
+	op := p.cmpOp()
+	if op == "" {
+		return Cond{}, p.errorf("expected comparison operator")
+	}
+	p.ws()
+	if p.has("$") || p.has("doc(") {
+		right, err := p.parsePath()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Left: left, Op: op, Right: right}, nil
+	}
+	c, err := p.scalarLit()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Left: left, Op: op, Const: c}, nil
+}
+
+func (p *qparser) cmpOp() string {
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.eat(op) {
+			return op
+		}
+	}
+	return ""
+}
+
+// parseCtor parses <tag>{e1, e2}</tag> with nested constructors allowed both
+// inside braces and directly in element content.
+func (p *qparser) parseCtor() (Expr, error) {
+	if !p.eat("<") {
+		return nil, p.errorf("expected '<'")
+	}
+	tag := p.ident()
+	if tag == "" {
+		return nil, p.errorf("expected constructor tag")
+	}
+	if !p.eat(">") {
+		return nil, p.errorf("expected '>' after tag %s", tag)
+	}
+	c := &ElementCtor{Tag: tag}
+	for {
+		p.ws()
+		switch {
+		case p.has("</"):
+			p.eat("</")
+			end := p.ident()
+			if end != tag {
+				return nil, p.errorf("mismatched constructor </%s> for <%s>", end, tag)
+			}
+			if !p.eat(">") {
+				return nil, p.errorf("expected '>' in closing tag")
+			}
+			return c, nil
+		case p.eat("{"):
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.eat("}") {
+				return nil, p.errorf("expected '}'")
+			}
+			if seq, ok := e.(*Sequence); ok {
+				c.Content = append(c.Content, seq.Items...)
+			} else {
+				c.Content = append(c.Content, e)
+			}
+		case p.has("<"):
+			inner, err := p.parseCtor()
+			if err != nil {
+				return nil, err
+			}
+			c.Content = append(c.Content, inner)
+		case p.eat(","):
+			// separators between content items
+		default:
+			return nil, p.errorf("unexpected content in <%s>", tag)
+		}
+	}
+}
+
+func (p *qparser) parsePath() (*PathExpr, error) {
+	p.ws()
+	path := &PathExpr{}
+	switch {
+	case p.eat("$"):
+		name := p.ident()
+		if name == "" {
+			return nil, p.errorf("expected variable name")
+		}
+		path.Var = name
+	case p.eat("doc("), p.eat("document("):
+		doc, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, p.errorf("expected ')' after document name")
+		}
+		path.Doc = doc
+	default:
+		return nil, p.errorf("expected '$var' or 'doc(...)'")
+	}
+	for {
+		var axis xam.Axis
+		switch {
+		case p.eat("//"):
+			axis = xam.Descendant
+		case p.eat("/"):
+			axis = xam.Child
+		default:
+			return path, nil
+		}
+		p.ws()
+		if p.keywordAt("text()") {
+			path.Text = true
+			return path, nil
+		}
+		step := Step{Axis: axis}
+		switch {
+		case p.eat("@"):
+			name := p.ident()
+			if name == "" {
+				return nil, p.errorf("expected attribute name")
+			}
+			step.Label = "@" + name
+		case p.eat("*"):
+			step.Label = "*"
+		default:
+			name := p.ident()
+			if name == "" {
+				return nil, p.errorf("expected step name")
+			}
+			step.Label = name
+		}
+		for p.eat("[") {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			step.Preds = append(step.Preds, pred)
+			if !p.eat("]") {
+				return nil, p.errorf("expected ']'")
+			}
+		}
+		path.Steps = append(path.Steps, step)
+	}
+}
+
+func (p *qparser) keywordAt(lit string) bool {
+	p.ws()
+	if strings.HasPrefix(p.src[p.pos:], lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+// parsePred parses a step qualifier: relpath, relpath θ c, or text() θ c.
+func (p *qparser) parsePred() (Pred, error) {
+	p.ws()
+	rel := &PathExpr{}
+	if p.keywordAt("text()") {
+		rel.Text = true
+	} else {
+		for {
+			step := Step{Axis: xam.Child}
+			if len(rel.Steps) == 0 && p.eat("//") {
+				step.Axis = xam.Descendant
+			} else if len(rel.Steps) > 0 {
+				if p.eat("//") {
+					step.Axis = xam.Descendant
+				} else if !p.eat("/") {
+					break
+				}
+			}
+			p.ws()
+			if p.keywordAt("text()") {
+				rel.Text = true
+				break
+			}
+			switch {
+			case p.eat("@"):
+				name := p.ident()
+				if name == "" {
+					return Pred{}, p.errorf("expected attribute name")
+				}
+				step.Label = "@" + name
+			case p.eat("*"):
+				step.Label = "*"
+			default:
+				name := p.ident()
+				if name == "" {
+					return Pred{}, p.errorf("expected qualifier step")
+				}
+				step.Label = name
+			}
+			rel.Steps = append(rel.Steps, step)
+		}
+		if len(rel.Steps) == 0 && !rel.Text {
+			return Pred{}, p.errorf("empty qualifier")
+		}
+	}
+	op := p.cmpOp()
+	if op == "" {
+		return Pred{Path: rel}, nil
+	}
+	c, err := p.scalarLit()
+	if err != nil {
+		return Pred{}, err
+	}
+	return Pred{Path: rel, Op: op, Const: c}, nil
+}

@@ -1,0 +1,89 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"xamdb/internal/xam"
+)
+
+// Algebraic renders the §3.3 translation of a query as a textual algebraic
+// expression in the style of the thesis's full(q)/alg(q): tag-derived
+// relation scans combined by structural joins (with the j/o/s/nj/no
+// semantics the XAM edges carry), selections for value predicates, cartesian
+// products between variable groups, value-join selections, and the xml_templ
+// construction operator on top. This is the form Figure 3.2/3.3's rules
+// produce before pattern isolation; Extract is the isolation step.
+func Algebraic(q Expr) (string, error) {
+	ex, err := Extract(q)
+	if err != nil {
+		return "", err
+	}
+	var groups []string
+	for _, p := range ex.Patterns {
+		groups = append(groups, renderPattern(p))
+	}
+	expr := strings.Join(groups, " × ")
+	for _, j := range ex.Joins {
+		expr = fmt.Sprintf("σ[%s %s %s](%s)", j.LeftAttr, j.Op, j.RightAttr, expr)
+	}
+	for _, c := range ex.Compensations {
+		expr = fmt.Sprintf("σ[%s.ID≠⊥ ∨ %s=⊥](%s)", c.Dep.Name, c.Out.Name, expr)
+	}
+	return fmt.Sprintf("xml_templ[%s](%s)", ex.Template, expr), nil
+}
+
+// renderPattern renders one query pattern as the bottom-up structural join
+// tree of Definition 2.2.4.
+func renderPattern(p *xam.Pattern) string {
+	var renderNode func(e *xam.Edge) string
+	renderNode = func(e *xam.Edge) string {
+		n := e.Child
+		base := "e_" + baseName(n)
+		if n.HasValuePred {
+			base = fmt.Sprintf("σ[%s](%s)", strings.Join(n.PredSrc, "∧"), base)
+		}
+		expr := base
+		for _, ce := range n.Edges {
+			expr = fmt.Sprintf("(%s %s %s)", expr, joinGlyph(ce), renderNode(ce))
+		}
+		return expr
+	}
+	parts := make([]string, len(p.Top))
+	for i, e := range p.Top {
+		parts[i] = renderNode(e)
+	}
+	return strings.Join(parts, " × ")
+}
+
+func baseName(n *xam.Node) string {
+	switch n.Label {
+	case "*":
+		return "★"
+	case "@*":
+		return "@★"
+	}
+	return n.Label
+}
+
+// joinGlyph renders the structural join operator for an edge: axis (≺ for
+// parent-child, ≺≺ for ancestor-descendant) with the semantics superscript.
+func joinGlyph(e *xam.Edge) string {
+	axis := "≺"
+	if e.Axis == xam.Descendant {
+		axis = "≺≺"
+	}
+	switch e.Sem {
+	case xam.SemJoin:
+		return "⋈" + axis
+	case xam.SemOuter:
+		return "⟕" + axis
+	case xam.SemSemi:
+		return "⋉" + axis
+	case xam.SemNest:
+		return "⋈ⁿ" + axis
+	case xam.SemNestOuter:
+		return "⟕ⁿ" + axis
+	}
+	return "⋈" + axis
+}

@@ -1,0 +1,444 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+const bibXML = `<bib>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Suciu</author>
+  </book>
+  <book>
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+</bib>`
+
+func bib(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return xmltree.MustParse("bib.xml", bibXML)
+}
+
+func TestParsePathQuery(t *testing.T) {
+	e := MustParse(`doc("bib.xml")//book[year = "1999"]/title`)
+	p, ok := e.(*PathExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if p.Doc != "bib.xml" || len(p.Steps) != 2 {
+		t.Fatalf("path: %s", String(p))
+	}
+	if len(p.Steps[0].Preds) != 1 || p.Steps[0].Preds[0].Const != "1999" {
+		t.Fatalf("pred: %+v", p.Steps[0].Preds)
+	}
+	if p.Steps[0].Axis != xam.Descendant || p.Steps[1].Axis != xam.Child {
+		t.Fatal("axes wrong")
+	}
+}
+
+func TestParseFLWR(t *testing.T) {
+	e := MustParse(`for $x in doc("bib.xml")//book where $x/year = "1999" return $x/author`)
+	f, ok := e.(*FLWR)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(f.Bindings) != 1 || f.Bindings[0].Var != "x" {
+		t.Fatalf("bindings: %+v", f.Bindings)
+	}
+	if len(f.Where) != 1 || f.Where[0].Const != "1999" {
+		t.Fatalf("where: %+v", f.Where)
+	}
+	if _, ok := f.Return.(*PathExpr); !ok {
+		t.Fatalf("return: %T", f.Return)
+	}
+}
+
+func TestParseNestedConstructor(t *testing.T) {
+	src := `for $x in doc("x.xml")//item return <res>{$x/name/text()}<inner>{$x//keyword}</inner></res>`
+	e := MustParse(src)
+	f := e.(*FLWR)
+	c := f.Return.(*ElementCtor)
+	if c.Tag != "res" || len(c.Content) != 2 {
+		t.Fatalf("ctor: %s", String(c))
+	}
+	inner, ok := c.Content[1].(*ElementCtor)
+	if !ok || inner.Tag != "inner" {
+		t.Fatalf("inner ctor: %T", c.Content[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`for $x return 1`,
+		`for $x in doc("d") where return $x`,
+		`doc("d")//a[`,
+		`<a>{doc("d")//b}</b>`,
+		`$x/a`, // unbound at parse level is fine; check extraction instead
+	} {
+		if src == `$x/a` {
+			e, err := Parse(src)
+			if err != nil {
+				t.Errorf("Parse(%q) failed: %v", src, err)
+				continue
+			}
+			if _, err := Extract(e); err == nil {
+				t.Errorf("Extract(%q) should fail (unbound variable)", src)
+			}
+			continue
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExtractSingleGroup(t *testing.T) {
+	// All navigation hangs on $x: one maximal pattern.
+	e := MustParse(`for $x in doc("bib.xml")//book where $x/year = "1999" return <r>{$x/title}</r>`)
+	ex, err := Extract(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Patterns) != 1 {
+		t.Fatalf("patterns: %d", len(ex.Patterns))
+	}
+	p := ex.Patterns[0]
+	if p.Size() != 3 { // book, year (semijoin, val=1999), title (nest-outer)
+		t.Fatalf("pattern size %d: %s", p.Size(), p)
+	}
+	book := ex.VarNodes["x"]
+	if book == nil || book.IDSpec == xam.NoID {
+		t.Fatal("variable node must carry an ID")
+	}
+	var semi, nest int
+	for _, n := range p.Nodes() {
+		for _, edge := range n.Edges {
+			switch edge.Sem {
+			case xam.SemSemi:
+				semi++
+			case xam.SemNestOuter:
+				nest++
+			}
+		}
+	}
+	if semi != 1 || nest != 1 {
+		t.Fatalf("edge kinds: semi=%d nest=%d in %s", semi, nest, p)
+	}
+}
+
+func TestExtractSpansNestedBlocks(t *testing.T) {
+	// The Chapter 3 headline: the inner for over $y attaches to $x's
+	// pattern — a single pattern spans both blocks.
+	src := `for $x in doc("x.xml")//item return <res>{$x/name/text(),
+		for $y in $x//description return <d>{$y//listitem}</d>}</res>`
+	ex, err := Extract(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Patterns) != 1 {
+		t.Fatalf("want one maximal pattern, got %d", len(ex.Patterns))
+	}
+	if ex.VarNodes["y"] == nil || ex.VarNodes["y"].Parent == nil {
+		t.Fatal("inner variable must hang inside the outer pattern")
+	}
+}
+
+func TestExtractSeparateGroupsAndJoin(t *testing.T) {
+	src := `for $x in doc("a.xml")//a, $y in doc("b.xml")//b where $x/k = $y/k return <r>{$x/k}</r>`
+	ex, err := Extract(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Patterns) != 2 {
+		t.Fatalf("want two groups, got %d", len(ex.Patterns))
+	}
+	if len(ex.Joins) != 1 || ex.Joins[0].Op != "=" {
+		t.Fatalf("joins: %+v", ex.Joins)
+	}
+}
+
+func TestExtractCompensation(t *testing.T) {
+	// $x/name returned inside the $y block: if $y has no bindings the name
+	// must not appear — the d→e dependency of §3.1.
+	src := `for $x in doc("x.xml")//item return <res>{
+		for $y in $x//bid return <b>{$x/name, $y/amount}</b>}</res>`
+	ex, err := Extract(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Compensations) != 1 {
+		t.Fatalf("compensations: %+v", ex.Compensations)
+	}
+	if ex.Compensations[0].Dep != ex.VarNodes["y"] {
+		t.Fatal("compensation must depend on $y")
+	}
+}
+
+func TestEvaluatePathQuery(t *testing.T) {
+	got, err := EvaluateString(`doc("bib.xml")//book/title`, bib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<title>Data on the Web</title><title>The Syntactic Web</title>`
+	if got != want {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEvaluatePathWithPredicate(t *testing.T) {
+	got, err := EvaluateString(`doc("bib.xml")//book[@year = "1999"]/title`, bib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<title>Data on the Web</title>` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEvaluateFLWRWithWhere(t *testing.T) {
+	got, err := EvaluateString(
+		`for $x in doc("bib.xml")//book where $x/@year = "1999" return <info>{$x/author}</info>`,
+		bib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<info><author>Abiteboul</author><author>Suciu</author></info>`
+	if got != want {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEvaluateConstructorEmitsEmpty(t *testing.T) {
+	// The XQuery rule of §3.1: constructors emit output even when the inner
+	// expression is empty. The second book has no @year.
+	got, err := EvaluateString(
+		`for $x in doc("bib.xml")//book return <y>{$x/@year}</y>`,
+		bib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "<y/>") {
+		t.Fatalf("missing empty constructor output: %q", got)
+	}
+}
+
+func TestEvaluateNestedBlocks(t *testing.T) {
+	doc := xmltree.MustParse("x.xml", `<site>
+	  <item><name>i1</name><desc><li>a</li><li>b</li></desc></item>
+	  <item><name>i2</name></item>
+	</site>`)
+	got, err := EvaluateString(
+		`for $x in doc("x.xml")//item return <res>{$x/name/text(),
+		   for $y in $x/desc return <d>{$y//li}</d>}</res>`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<res>i1<d><li>a</li><li>b</li></d></res><res>i2</res>`
+	if got != want {
+		t.Fatalf("got  %q\nwant %q", got, want)
+	}
+}
+
+func TestEvaluateInnerBlockDependency(t *testing.T) {
+	// The §3.1 dependency honored by scoped evaluation: $x/name inside the
+	// $y block vanishes when $y has no bindings.
+	doc := xmltree.MustParse("x.xml", `<site>
+	  <item><name>i1</name><bid><amount>10</amount></bid></item>
+	  <item><name>i2</name></item>
+	</site>`)
+	got, err := EvaluateString(
+		`for $x in doc("x.xml")//item return <res>{
+		   for $y in $x/bid return <b>{$x/name/text(), $y/amount/text()}</b>}</res>`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<res><b>i110</b></res><res/>`
+	if got != want {
+		t.Fatalf("got  %q\nwant %q", got, want)
+	}
+}
+
+func TestEvaluateValueJoinAcrossGroups(t *testing.T) {
+	doc := xmltree.MustParse("b.xml", `<bib>
+	  <book><title>T1</title><author>Smith</author></book>
+	  <book><title>T2</title><author>Jones</author></book>
+	  <review><who>Smith</who><note>great</note></review>
+	</bib>`)
+	got, err := EvaluateString(
+		`for $x in doc("b.xml")//book, $r in doc("b.xml")//review
+		 where $x/author = $r/who
+		 return <m>{$x/title/text()}</m>`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<m>T1</m>` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEvaluateTextPredicateInPath(t *testing.T) {
+	got, err := EvaluateString(`doc("bib.xml")//book[title = "The Syntactic Web"]/author`, bib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<author>Tom Lerners-Bee</author>` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`doc("bib.xml")//book/title`,
+		`for $x in doc("bib.xml")//book where $x/year = "1999" return <r>{$x/title}</r>`,
+	}
+	for _, src := range srcs {
+		e := MustParse(src)
+		again, err := Parse(String(e))
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", String(e), err)
+		}
+		if String(e) != String(again) {
+			t.Fatalf("round trip: %q vs %q", String(e), String(again))
+		}
+	}
+}
+
+func TestSequenceAndCloneAndStrings(t *testing.T) {
+	e := MustParse(`doc("a.xml")//x, doc("a.xml")//y`)
+	seq, ok := e.(*Sequence)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("sequence: %T", e)
+	}
+	if got := String(seq); got != `doc("a.xml")//x, doc("a.xml")//y` {
+		t.Fatalf("sequence string: %q", got)
+	}
+	p := seq.Items[0].(*PathExpr)
+	c := p.Clone()
+	c.Steps[0].Label = "changed"
+	if p.Steps[0].Label != "x" {
+		t.Fatal("clone must be deep")
+	}
+	// Cond with path right-hand side renders.
+	f := MustParse(`for $a in doc("d")//p, $b in doc("d")//q where $a/k = $b/k return $a/k/text()`).(*FLWR)
+	if got := String(f); !strings.Contains(got, "$a/k = $b/k") {
+		t.Fatalf("cond string: %q", got)
+	}
+}
+
+func TestEvaluateSequenceQuery(t *testing.T) {
+	doc := xmltree.MustParse("s.xml", `<r><x>1</x><y>2</y></r>`)
+	got, err := EvaluateString(`doc("s.xml")//x, doc("s.xml")//y`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<x>1</x><y>2</y>` {
+		t.Fatalf("sequence result: %q", got)
+	}
+}
+
+func TestEvaluateInequalityJoin(t *testing.T) {
+	doc := xmltree.MustParse("j.xml", `<r><a><v>1</v></a><a><v>5</v></a><b><w>3</w></b></r>`)
+	got, err := EvaluateString(
+		`for $x in doc("j.xml")//a, $y in doc("j.xml")//b where $x/v < $y/w return <m>{$x/v/text()}</m>`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<m>1</m>` {
+		t.Fatalf("inequality join: %q", got)
+	}
+}
+
+func TestParseBareNumberLiteral(t *testing.T) {
+	f := MustParse(`for $x in doc("d")//a where $x/v >= 40 return $x/v/text()`).(*FLWR)
+	if f.Where[0].Const != "40" || f.Where[0].Op != ">=" {
+		t.Fatalf("bare literal: %+v", f.Where[0])
+	}
+}
+
+func TestExistencePredicate(t *testing.T) {
+	doc := xmltree.MustParse("e.xml", `<r><a><flag/><v>yes</v></a><a><v>no</v></a></r>`)
+	got, err := EvaluateString(`doc("e.xml")//a[flag]/v`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<v>yes</v>` {
+		t.Fatalf("existence predicate: %q", got)
+	}
+}
+
+func TestDeepQualifierPath(t *testing.T) {
+	doc := xmltree.MustParse("d.xml", `<r><a><b><c>k</c></b><v>hit</v></a><a><v>miss</v></a></r>`)
+	got, err := EvaluateString(`doc("d.xml")//a[b/c = "k"]/v`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<v>hit</v>` {
+		t.Fatalf("deep qualifier: %q", got)
+	}
+}
+
+func TestReturnVariableContent(t *testing.T) {
+	doc := xmltree.MustParse("v.xml", `<r><a><x>1</x></a></r>`)
+	got, err := EvaluateString(`for $x in doc("v.xml")//a return <w>{$x}</w>`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<w><a><x>1</x></a></w>` {
+		t.Fatalf("variable content: %q", got)
+	}
+	got2, err := EvaluateString(`for $x in doc("v.xml")//a return <w>{$x/text()}</w>`, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != `<w>1</w>` {
+		t.Fatalf("variable text: %q", got2)
+	}
+}
+
+func TestExtractionDescribe(t *testing.T) {
+	ex, err := Extract(MustParse(
+		`for $x in doc("x.xml")//item return <res>{
+		   for $y in $x/bid return <b>{$x/name/text()}</b>}</res>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ex.Describe()
+	for _, want := range []string{"pattern 1", "over x.xml", "compensation", "template: <res>"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestAlgebraicTranslationRendering(t *testing.T) {
+	// A simple path query becomes a structural-join chain over tag-derived
+	// relations (the full(q) shape of §3.3.1).
+	out, err := Algebraic(MustParse(`doc("bib.xml")//book[year = "1999"]/title`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"e_book", "e_title", "e_year", "⋈≺", "⋉≺", `σ[val="1999"]`, "xml_templ"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+	// The Figure 3.3 shapes: nested blocks yield nest-outer joins, separate
+	// variables a cartesian product.
+	out2, err := Algebraic(MustParse(
+		`for $x in doc("a.xml")//a, $y in doc("b.xml")//b where $x/k = $y/k return <r>{$x//c}</r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{" × ", "σ[", "⟕ⁿ≺≺", "xml_templ[<r>"} {
+		if !strings.Contains(out2, want) {
+			t.Fatalf("missing %q in %s", want, out2)
+		}
+	}
+}
