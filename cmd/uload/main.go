@@ -47,6 +47,7 @@ func main() {
 		printSum   = flag.Bool("summary", false, "print the path summary")
 		store      = flag.String("store", "", "register a storage scheme: tag, path, node, edge, hybrid")
 		noFallback = flag.Bool("no-fallback", false, "fail when no rewriting exists (pure physical independence mode)")
+		timeout    = flag.Duration("timeout", 0, "per-query timeout (e.g. 500ms, 10s); 0 = unlimited")
 	)
 	var views viewFlags
 	flag.Var(&views, "view", "register a view as name=XAM (repeatable)")
@@ -62,6 +63,7 @@ func main() {
 		e = engine.New()
 	}
 	e.FallbackToBase = !*noFallback
+	e.QueryTimeout = *timeout
 
 	var doc *xmltree.Document
 	switch {
@@ -153,8 +155,18 @@ func main() {
 	out, rep, err := e.Query(*query)
 	fatal(err)
 	fmt.Print(rep)
+	warnDegraded(rep)
 	fmt.Println("result:")
 	fmt.Println(out)
+}
+
+// warnDegraded surfaces fallback-cascade activity on stderr so scripts see
+// it even when the report goes to a pipe.
+func warnDegraded(rep *engine.Report) {
+	if rep.Degraded() {
+		fmt.Fprintf(os.Stderr, "uload: warning: query answered in degraded mode (%d plan failure(s); see report)\n",
+			len(rep.Degradations))
+	}
 }
 
 // runREPL reads one query per line from stdin, planning and executing each.
@@ -189,6 +201,7 @@ func runREPL(e *engine.Engine, explainOnly bool) {
 			continue
 		}
 		fmt.Print(rep)
+		warnDegraded(rep)
 		fmt.Println(out)
 	}
 }

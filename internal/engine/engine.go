@@ -9,10 +9,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"xamdb/internal/algebra"
+	"xamdb/internal/physical"
 	"xamdb/internal/rewrite"
 	"xamdb/internal/storage"
 	"xamdb/internal/summary"
@@ -23,11 +27,12 @@ import (
 
 // docState groups what the engine knows about one document.
 type docState struct {
-	doc      *xmltree.Document
-	summary  *summary.Summary
-	views    []*rewrite.View
-	env      rewrite.Env
-	rewriter *rewrite.Rewriter // rebuilt lazily when views change
+	doc       *xmltree.Document
+	summary   *summary.Summary
+	views     []*rewrite.View
+	viewNames map[string]bool // registered view/module names, for dup rejection
+	env       rewrite.Env
+	rewriter  *rewrite.Rewriter // rebuilt lazily when views change
 }
 
 // Engine is the query processor.
@@ -40,7 +45,11 @@ type Engine struct {
 	// operators (StackTree joins over sorted inputs) instead of the
 	// materialized logical evaluator.
 	UsePhysical bool
-	Opts        rewrite.Options
+	// QueryTimeout bounds each Query/QueryContext call; 0 means no limit.
+	// It composes with any deadline already on the caller's context (the
+	// earlier one wins).
+	QueryTimeout time.Duration
+	Opts         rewrite.Options
 }
 
 // New creates an empty engine that falls back to base evaluation. The
@@ -67,9 +76,10 @@ func (e *Engine) LoadDocument(name, content string) error {
 // AddDocument registers an already-parsed document.
 func (e *Engine) AddDocument(doc *xmltree.Document) {
 	e.docs[doc.Name] = &docState{
-		doc:     doc,
-		summary: summary.Build(doc),
-		env:     rewrite.Env{},
+		doc:       doc,
+		summary:   summary.Build(doc),
+		viewNames: map[string]bool{},
+		env:       rewrite.Env{},
 	}
 }
 
@@ -99,6 +109,9 @@ func (e *Engine) state(doc string) (*docState, error) {
 
 // RegisterView materializes a XAM over the document and makes it available
 // to the optimizer. Changing the storage = changing the registered XAM set.
+// A name already registered for the document is rejected: silently
+// shadowing an extent in the environment would make the optimizer execute
+// one view's plan over another view's tuples.
 func (e *Engine) RegisterView(doc, name, pat string) error {
 	st, err := e.state(doc)
 	if err != nil {
@@ -108,18 +121,34 @@ func (e *Engine) RegisterView(doc, name, pat string) error {
 	if err != nil {
 		return err
 	}
+	if st.viewNames[name] {
+		return fmt.Errorf("engine: duplicate view %q for document %q", name, doc)
+	}
 	st.views = append(st.views, &rewrite.View{Name: name, Pattern: p})
+	st.viewNames[name] = true
 	st.rewriter = nil
 	return nil
 }
 
-// RegisterStore adds every module of a storage scheme as a view.
+// RegisterStore adds every module of a storage scheme as a view. Module
+// names must not collide with already-registered views or modules of the
+// same document; on collision nothing is registered.
 func (e *Engine) RegisterStore(doc string, store *storage.Store) error {
 	st, err := e.state(doc)
 	if err != nil {
 		return err
 	}
-	st.views = append(st.views, store.Views()...)
+	views := store.Views()
+	for _, v := range views {
+		if st.viewNames[v.Name] {
+			return fmt.Errorf("engine: duplicate view %q (module of store %q) for document %q",
+				v.Name, store.Name, doc)
+		}
+	}
+	st.views = append(st.views, views...)
+	for _, v := range views {
+		st.viewNames[v.Name] = true
+	}
 	for name, rel := range store.Env() {
 		st.env[name] = rel
 	}
@@ -145,16 +174,37 @@ func (e *Engine) rewriterFor(st *docState) (*rewrite.Rewriter, rewrite.Env, erro
 	return st.rewriter, st.env, nil
 }
 
+// Degradation records one step down the fallback cascade: a plan that
+// failed at execution time and what the engine did about it.
+type Degradation struct {
+	Pattern int    // index into Report.Patterns
+	Plan    string // the plan that failed
+	Err     string // why it failed
+}
+
 // Report describes how a query was answered.
 type Report struct {
 	Patterns []string // extracted query patterns
 	Plans    []string // chosen plan per pattern ("base scan" for fallback)
+	// Degradations lists every plan that failed at execution time and was
+	// replaced by the next-best rewriting or the base scan. Empty for a
+	// cleanly-answered query.
+	Degradations []Degradation
 }
+
+// Degraded reports whether any pattern was answered by a fallback after
+// its preferred plan failed.
+func (r *Report) Degraded() bool { return len(r.Degradations) > 0 }
 
 func (r *Report) String() string {
 	var sb strings.Builder
 	for i := range r.Patterns {
 		fmt.Fprintf(&sb, "pattern %d: %s\n  plan: %s\n", i+1, r.Patterns[i], r.Plans[i])
+		for _, d := range r.Degradations {
+			if d.Pattern == i {
+				fmt.Fprintf(&sb, "  degraded: plan %s failed: %s\n", d.Plan, d.Err)
+			}
+		}
 	}
 	return sb.String()
 }
@@ -162,6 +212,18 @@ func (r *Report) String() string {
 // Query parses, plans and executes an XQuery, returning the serialized XML
 // result and the planning report.
 func (e *Engine) Query(src string) (string, *Report, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context: cancellation and deadlines abort
+// planning and execution (physical plans stop at their next cancellation
+// checkpoint). A non-zero QueryTimeout is applied on top of ctx.
+func (e *Engine) QueryContext(ctx context.Context, src string) (string, *Report, error) {
+	if e.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.QueryTimeout)
+		defer cancel()
+	}
 	q, err := xquery.Parse(src)
 	if err != nil {
 		return "", nil, err
@@ -173,12 +235,15 @@ func (e *Engine) Query(src string) (string, *Report, error) {
 	report := &Report{}
 	var combined *algebra.Relation
 	for i, pat := range ex.Patterns {
+		if err := ctx.Err(); err != nil {
+			return "", nil, err
+		}
 		report.Patterns = append(report.Patterns, pat.String())
 		st, err := e.state(ex.DocNames[i])
 		if err != nil {
 			return "", nil, err
 		}
-		rel, planDesc, err := e.answerPattern(st, pat)
+		rel, planDesc, err := e.answerPattern(ctx, st, i, pat, report)
 		if err != nil {
 			return "", nil, err
 		}
@@ -202,42 +267,95 @@ func (e *Engine) Query(src string) (string, *Report, error) {
 	return algebra.SerializeNodes(nodes), report, nil
 }
 
-// answerPattern rewrites one query pattern over the document's views, or
-// falls back to base evaluation.
-func (e *Engine) answerPattern(st *docState, pat *xam.Pattern) (*algebra.Relation, string, error) {
+// ctxErr reports whether err carries a context cancellation: those abort
+// the query instead of triggering the fallback cascade.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// answerPattern rewrites one query pattern over the document's views, and
+// walks the fallback cascade on execution failure: next-best rewriting →
+// base scan. Every step down is recorded in report.Degradations. Only
+// context cancellation and base-scan failure abort the query.
+func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pat *xam.Pattern, report *Report) (*algebra.Relation, string, error) {
+	degrade := func(plan string, err error) {
+		report.Degradations = append(report.Degradations,
+			Degradation{Pattern: patIdx, Plan: plan, Err: err.Error()})
+	}
 	if len(st.views) > 0 {
 		rw, env, err := e.rewriterFor(st)
 		if err != nil {
-			return nil, "", err
-		}
-		plans, err := rw.Rewrite(pat)
-		if err != nil {
-			return nil, "", err
-		}
-		if len(plans) > 0 {
-			var rel *algebra.Relation
-			if e.UsePhysical {
-				rel, err = rewrite.ExecutePhysical(plans[0].Plan, env)
-				if err == nil {
-					rel, err = renamePhysical(rel, plans[0])
-				}
-			} else {
-				rel, err = plans[0].Execute(env)
-			}
+			// A failed view materialization leaves the rewritings unusable;
+			// fall through to the base scan (the document itself is intact).
+			degrade("(view materialization)", err)
+		} else {
+			plans, err := rw.Rewrite(pat)
 			if err != nil {
-				return nil, "", err
+				degrade("(rewriting search)", err)
 			}
-			return rel, plans[0].Plan.String(), nil
+			for _, plan := range plans {
+				rel, err := e.execPlan(ctx, plan, env)
+				if err == nil {
+					return rel, plan.Plan.String(), nil
+				}
+				if ctxErr(err) || ctx.Err() != nil {
+					return nil, "", err
+				}
+				degrade(plan.Plan.String(), err)
+			}
 		}
 	}
 	if !e.FallbackToBase {
 		return nil, "", fmt.Errorf("engine: no rewriting for pattern %s", pat)
 	}
-	rel, err := pat.Eval(st.doc)
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	rel, err := evalBase(pat, st.doc)
 	if err != nil {
 		return nil, "", err
 	}
 	return rel, "base scan (direct evaluation)", nil
+}
+
+// execPlan executes one rewriting with panics recovered into errors, so an
+// operator bug in a plan degrades to the next plan instead of killing the
+// process. Cancellation panics keep their context error.
+func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewrite.Env) (rel *algebra.Relation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if c, ok := p.(*physical.Cancelled); ok {
+				rel, err = nil, c.Err
+				return
+			}
+			rel, err = nil, fmt.Errorf("engine: plan execution panic: %v", p)
+		}
+	}()
+	if e.UsePhysical {
+		rel, err = rewrite.ExecutePhysicalContext(ctx, plan.Plan, env)
+		if err == nil {
+			rel, err = renamePhysical(rel, plan)
+		}
+		return rel, err
+	}
+	// The logical evaluator is materialized end-to-end; check the context
+	// at the boundary rather than per tuple.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return plan.Execute(env)
+}
+
+// evalBase runs direct evaluation with panics recovered into errors: the
+// base scan is the cascade's floor, so its failure must surface as a
+// query error, never a crash.
+func evalBase(pat *xam.Pattern, doc *xmltree.Document) (rel *algebra.Relation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rel, err = nil, fmt.Errorf("engine: base evaluation panic: %v", p)
+		}
+	}()
+	return pat.Eval(doc)
 }
 
 // renamePhysical aligns a physically-executed plan's output with the query
@@ -275,6 +393,17 @@ func applyJoin(r *algebra.Relation, j xquery.ValueJoin) (*algebra.Relation, erro
 
 // Explain plans a query without executing it.
 func (e *Engine) Explain(src string) (*Report, error) {
+	return e.ExplainContext(context.Background(), src)
+}
+
+// ExplainContext is Explain under a context; the plan search for each
+// pattern starts only while the context is live.
+func (e *Engine) ExplainContext(ctx context.Context, src string) (*Report, error) {
+	if e.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.QueryTimeout)
+		defer cancel()
+	}
 	q, err := xquery.Parse(src)
 	if err != nil {
 		return nil, err
@@ -285,6 +414,9 @@ func (e *Engine) Explain(src string) (*Report, error) {
 	}
 	report := &Report{}
 	for i, pat := range ex.Patterns {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		report.Patterns = append(report.Patterns, pat.String())
 		st, err := e.state(ex.DocNames[i])
 		if err != nil {

@@ -72,14 +72,35 @@ func Load(r io.Reader) (*Engine, error) {
 	return e, nil
 }
 
-// SaveFile / LoadFile persist the catalog on disk.
+// SaveFile / LoadFile persist the catalog on disk. SaveFile writes through
+// a temp file + rename so a crash mid-save never leaves a torn catalog.
 func (e *Engine) SaveFile(path string) error {
-	f, err := os.Create(path)
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return e.Save(f)
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := e.Save(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // committed: the deferred cleanup must not remove it
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // LoadFile loads a catalog file.
@@ -94,12 +115,7 @@ func LoadFile(path string) (*Engine, error) {
 
 // SaveStoreFile materializes a named storage scheme of a document and writes
 // it next to the catalog (module extents included), using the storage
-// package's binary format.
+// package's checksummed binary format and atomic temp-file + rename write.
 func SaveStoreFile(dir string, st *storage.Store) error {
-	f, err := os.Create(filepath.Join(dir, st.Name+".store"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return storage.SaveStore(f, st)
+	return storage.SaveStoreFile(filepath.Join(dir, st.Name+".store"), st)
 }

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/faultinject"
+	"xamdb/internal/storage"
+)
+
+const titlesXML = `<title>Data on the Web</title><title>The Syntactic Web</title>`
+
+// planView pulls the view name out of a plan rendering like "scan(v1)".
+func planView(t *testing.T, plan string, candidates ...string) string {
+	t.Helper()
+	for _, c := range candidates {
+		if strings.Contains(plan, c) {
+			return c
+		}
+	}
+	t.Fatalf("plan %q names none of %v", plan, candidates)
+	return ""
+}
+
+// TestFallbackToNextBestRewriting kills the extent of the chosen plan's
+// view and checks the query is still answered — by the other view, with
+// the degradation on record (acceptance (a), first cascade step).
+func TestFallbackToNextBestRewriting(t *testing.T) {
+	e := newEngine(t)
+	for _, v := range []string{"v1", "v2"} {
+		if err := e.RegisterView("bib.xml", v, `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := planView(t, rep.Plans[0], "v1", "v2")
+	other := map[string]string{"v1": "v2", "v2": "v1"}[chosen]
+	delete(e.docs["bib.xml"].env, chosen)
+
+	got, rep2, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != titlesXML {
+		t.Fatalf("degraded result wrong: %q", got)
+	}
+	if !strings.Contains(rep2.Plans[0], other) {
+		t.Fatalf("want next-best rewriting over %s, got plan %s", other, rep2.Plans[0])
+	}
+	if !rep2.Degraded() || !strings.Contains(rep2.Degradations[0].Plan, chosen) {
+		t.Fatalf("degradation of %s not recorded: %+v", chosen, rep2.Degradations)
+	}
+	if !strings.Contains(rep2.String(), "degraded") {
+		t.Fatalf("report rendering must surface the degradation:\n%s", rep2)
+	}
+}
+
+// TestFallbackToBaseScan kills every extent and checks the cascade bottoms
+// out at direct evaluation with the right answer (acceptance (a), floor).
+func TestFallbackToBaseScan(t *testing.T) {
+	for _, physical := range []bool{false, true} {
+		e := newEngine(t)
+		e.UsePhysical = physical
+		if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+			t.Fatal(err)
+		}
+		for name := range e.docs["bib.xml"].env {
+			delete(e.docs["bib.xml"].env, name)
+		}
+		got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+		if err != nil {
+			t.Fatalf("physical=%v: %v", physical, err)
+		}
+		if got != titlesXML {
+			t.Fatalf("physical=%v: degraded result wrong: %q", physical, got)
+		}
+		if !strings.Contains(rep.Plans[0], "base scan") || !rep.Degraded() {
+			t.Fatalf("physical=%v: want recorded fallback to base scan, got %s", physical, rep)
+		}
+	}
+}
+
+// TestShapeMismatchDegrades poisons an extent with a wrong-schema relation:
+// the plan fails at execution and the query degrades instead of erroring.
+func TestShapeMismatchDegrades(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	bogus := algebra.NewRelation(&algebra.Schema{Attrs: []algebra.Attr{{Name: "wrong"}}})
+	bogus.Add(algebra.Tuple{algebra.S("junk")})
+	e.docs["bib.xml"].env["vt"] = bogus
+	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != titlesXML || !rep.Degraded() {
+		t.Fatalf("want degraded-but-correct answer, got %q, report %s", got, rep)
+	}
+}
+
+// TestOperatorPanicRecovered injects a panic at the physical scan site and
+// a nil extent into the logical path: both are recovered into degradations,
+// never propagated (acceptance (b)).
+func TestOperatorPanicRecovered(t *testing.T) {
+	t.Run("injected", func(t *testing.T) {
+		e := newEngine(t)
+		e.UsePhysical = true
+		if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Arm("rewrite.compile.scan", faultinject.Fault{PanicWith: "iterator bug"})
+		t.Cleanup(faultinject.Reset)
+		got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != titlesXML {
+			t.Fatalf("result after recovered panic: %q", got)
+		}
+		if !rep.Degraded() || !strings.Contains(rep.Degradations[0].Err, "iterator bug") {
+			t.Fatalf("panic must be recorded as a degradation: %+v", rep.Degradations)
+		}
+	})
+	t.Run("nil extent", func(t *testing.T) {
+		e := newEngine(t)
+		if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+			t.Fatal(err)
+		}
+		e.docs["bib.xml"].env["vt"] = nil
+		got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != titlesXML || !rep.Degraded() {
+			t.Fatalf("want degraded-but-correct answer, got %q, report %s", got, rep)
+		}
+	})
+}
+
+// TestNoFallbackSurfacesPlanFailure: with FallbackToBase off, a failed
+// cascade must error rather than silently answer from the document.
+func TestNoFallbackSurfacesPlanFailure(t *testing.T) {
+	e := newEngine(t)
+	e.FallbackToBase = false
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	delete(e.docs["bib.xml"].env, "vt")
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err == nil {
+		t.Fatal("exhausted cascade without fallback must error")
+	}
+}
+
+// TestQueryContextExpired checks an already-dead context aborts the query
+// with the context's error and without touching the cascade (acceptance (c)).
+func TestQueryContextExpired(t *testing.T) {
+	for _, physical := range []bool{false, true} {
+		e := newEngine(t)
+		e.UsePhysical = physical
+		if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, _, err := e.QueryContext(ctx, `doc("bib.xml")//book/title`)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("physical=%v: want DeadlineExceeded, got %v", physical, err)
+		}
+	}
+}
+
+// TestQueryTimeoutField checks the per-engine timeout knob produces a
+// deadline error on its own.
+func TestQueryTimeoutField(t *testing.T) {
+	e := newEngine(t)
+	e.QueryTimeout = time.Nanosecond
+	_, _, err := e.Query(`doc("bib.xml")//book/title`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from QueryTimeout, got %v", err)
+	}
+	e.QueryTimeout = time.Minute
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatalf("roomy timeout must not fire: %v", err)
+	}
+}
+
+// TestCancellationDoesNotDegrade: a cancelled physical plan must abort the
+// query, not fall back to a base scan that would burn the remaining budget.
+func TestCancellationDoesNotDegrade(t *testing.T) {
+	e := newEngine(t)
+	e.UsePhysical = true
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the rewriter under a live context so planning succeeds first.
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, rep, err := e.QueryContext(ctx, `doc("bib.xml")//book/title`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v (out=%q, rep=%v)", err, out, rep)
+	}
+}
+
+func TestRegisterViewDuplicateRejected(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "v", `// book{id}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterView("bib.xml", "v", `// author{id}`); err == nil {
+		t.Fatal("duplicate view name must be rejected")
+	}
+	// Same name on a different document stays legal.
+	if err := e.LoadDocument("other.xml", `<a><b/></a>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterView("other.xml", "v", `// b{id}`); err != nil {
+		t.Fatalf("same view name on another document must be fine: %v", err)
+	}
+}
+
+func TestRegisterStoreDuplicateRejected(t *testing.T) {
+	e := newEngine(t)
+	st, err := storage.TagPartitioned(e.Document("bib.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterStore("bib.xml", st); err != nil {
+		t.Fatal(err)
+	}
+	before := len(e.docs["bib.xml"].views)
+	if err := e.RegisterStore("bib.xml", st); err == nil {
+		t.Fatal("re-registering the same store must be rejected")
+	}
+	if got := len(e.docs["bib.xml"].views); got != before {
+		t.Fatalf("rejected store must register nothing: %d views, want %d", got, before)
+	}
+}

@@ -1,0 +1,226 @@
+// Package faultinject provides controlled failure injection for resilience
+// testing: error-injecting io.Reader/io.Writer wrappers, a panic-injecting
+// physical iterator wrapper, and a process-wide registry of named fault
+// sites that production code consults through Check. With no site armed,
+// Check is a single atomic load, so the hooks are safe to leave in hot
+// paths; tests arm sites to prove that every failure path degrades instead
+// of crashing.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/physical"
+)
+
+// ErrInjected is the default error returned by armed sites and wrappers.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault describes what happens when an armed site triggers.
+type Fault struct {
+	// Err is returned by Check when the site triggers. Defaults to
+	// ErrInjected when nil (and PanicWith is nil).
+	Err error
+	// PanicWith, if non-nil, makes the site panic with this value instead
+	// of returning an error — modeling operator bugs rather than I/O
+	// failures.
+	PanicWith any
+	// SkipFirst suppresses the fault for the first N hits of the site, so
+	// a failure can be placed mid-stream ("fail on the 3rd read").
+	SkipFirst int
+	// Prob triggers the fault with this probability per hit (after
+	// SkipFirst); 0 or ≥1 means always. The registry's rng is seeded
+	// deterministically (see Seed).
+	Prob float64
+}
+
+type armedSite struct {
+	fault Fault
+	hits  int
+}
+
+var (
+	anyArmed atomic.Bool
+	mu       sync.Mutex
+	sites    map[string]*armedSite
+	rng      = rand.New(rand.NewSource(1))
+)
+
+// Arm registers a fault at a named site. Arming replaces any previous fault
+// at the same site and resets its hit counter.
+func Arm(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = map[string]*armedSite{}
+	}
+	sites[site] = &armedSite{fault: f}
+	anyArmed.Store(true)
+}
+
+// Disarm removes the fault at a site, if any.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, site)
+	anyArmed.Store(len(sites) > 0)
+}
+
+// Reset disarms every site and reseeds the rng.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = nil
+	rng = rand.New(rand.NewSource(1))
+	anyArmed.Store(false)
+}
+
+// Seed reseeds the probability rng for reproducible probabilistic faults.
+func Seed(seed int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	rng = rand.New(rand.NewSource(seed))
+}
+
+// Hits reports how many times a site has been consulted since it was armed.
+func Hits(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := sites[site]; ok {
+		return s.hits
+	}
+	return 0
+}
+
+// Check is the production-side hook: it returns nil (fast, one atomic load)
+// unless the named site is armed, in which case it returns the armed error
+// or panics with the armed value according to the Fault.
+func Check(site string) error {
+	if !anyArmed.Load() {
+		return nil
+	}
+	mu.Lock()
+	s, ok := sites[site]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	s.hits++
+	if s.hits <= s.fault.SkipFirst {
+		mu.Unlock()
+		return nil
+	}
+	if p := s.fault.Prob; p > 0 && p < 1 && rng.Float64() >= p {
+		mu.Unlock()
+		return nil
+	}
+	f := s.fault
+	mu.Unlock()
+	if f.PanicWith != nil {
+		panic(f.PanicWith)
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	return fmt.Errorf("%w at site %q", ErrInjected, site)
+}
+
+// Reader wraps an io.Reader and injects Err after FailAfter bytes have been
+// read (0 = fail on the first read). A zero Err injects ErrInjected.
+type Reader struct {
+	R         io.Reader
+	FailAfter int64
+	Err       error
+	read      int64
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.read >= r.FailAfter {
+		return 0, r.err()
+	}
+	if max := r.FailAfter - r.read; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := r.R.Read(p)
+	r.read += int64(n)
+	if err == nil && r.read >= r.FailAfter {
+		err = r.err()
+	}
+	return n, err
+}
+
+func (r *Reader) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Writer wraps an io.Writer and injects Err after FailAfter bytes have been
+// written (0 = fail on the first write). A zero Err injects ErrInjected.
+type Writer struct {
+	W         io.Writer
+	FailAfter int64
+	Err       error
+	written   int64
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.written >= w.FailAfter {
+		return 0, w.err()
+	}
+	short := false
+	if max := w.FailAfter - w.written; int64(len(p)) > max {
+		p = p[:max]
+		short = true
+	}
+	n, err := w.W.Write(p)
+	w.written += int64(n)
+	if err == nil && short {
+		err = w.err()
+	}
+	return n, err
+}
+
+func (w *Writer) err() error {
+	if w.Err != nil {
+		return w.Err
+	}
+	return ErrInjected
+}
+
+// PanicIterator wraps a physical iterator and panics on the (After+1)-th
+// Next call, modeling an operator bug surfacing mid-execution.
+type PanicIterator struct {
+	In    physical.Iterator
+	After int
+	// Msg is the panic value; defaults to ErrInjected.
+	Msg any
+	n   int
+}
+
+// Schema implements physical.Iterator.
+func (p *PanicIterator) Schema() *algebra.Schema { return p.In.Schema() }
+
+// Order implements physical.Iterator.
+func (p *PanicIterator) Order() algebra.OrderDesc { return p.In.Order() }
+
+// Next implements physical.Iterator.
+func (p *PanicIterator) Next() (algebra.Tuple, bool) {
+	if p.n >= p.After {
+		if p.Msg != nil {
+			panic(p.Msg)
+		}
+		panic(ErrInjected)
+	}
+	p.n++
+	return p.In.Next()
+}

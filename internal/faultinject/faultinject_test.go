@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/physical"
+)
+
+func TestCheckUnarmed(t *testing.T) {
+	Reset()
+	if err := Check("nowhere"); err != nil {
+		t.Fatalf("unarmed site must be silent, got %v", err)
+	}
+}
+
+func TestCheckArmDisarm(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("s", Fault{})
+	err := Check("s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed site must inject, got %v", err)
+	}
+	if Hits("s") != 1 {
+		t.Fatalf("hits = %d, want 1", Hits("s"))
+	}
+	Disarm("s")
+	if err := Check("s"); err != nil {
+		t.Fatalf("disarmed site must be silent, got %v", err)
+	}
+}
+
+func TestCheckSkipFirst(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	custom := errors.New("boom")
+	Arm("s", Fault{Err: custom, SkipFirst: 2})
+	for i := 0; i < 2; i++ {
+		if err := Check("s"); err != nil {
+			t.Fatalf("hit %d must be skipped, got %v", i+1, err)
+		}
+	}
+	if err := Check("s"); !errors.Is(err, custom) {
+		t.Fatalf("hit 3 must fail with the armed error, got %v", err)
+	}
+}
+
+func TestCheckProbability(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Seed(42)
+	Arm("s", Fault{Prob: 0.5})
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if Check("s") != nil {
+			fired++
+		}
+	}
+	if fired < 400 || fired > 600 {
+		t.Fatalf("p=0.5 fired %d/1000 times", fired)
+	}
+}
+
+func TestCheckPanic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("s", Fault{PanicWith: "injected panic"})
+	defer func() {
+		if p := recover(); p != "injected panic" {
+			t.Fatalf("recovered %v", p)
+		}
+	}()
+	Check("s")
+	t.Fatal("Check must panic")
+}
+
+func TestReaderFailsAtOffset(t *testing.T) {
+	src := strings.Repeat("x", 100)
+	r := &Reader{R: strings.NewReader(src), FailAfter: 37}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if len(got) > 37 {
+		t.Fatalf("read %d bytes past the fault offset", len(got))
+	}
+}
+
+func TestWriterFailsAtOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAfter: 10}
+	n, err := w.Write(make([]byte, 64))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 10 || buf.Len() != 10 {
+		t.Fatalf("wrote %d (buffered %d), want exactly 10", n, buf.Len())
+	}
+	if _, err := w.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("subsequent writes must keep failing, got %v", err)
+	}
+}
+
+func TestPanicIterator(t *testing.T) {
+	rel := algebra.NewRelation(&algebra.Schema{Attrs: []algebra.Attr{{Name: "a"}}})
+	for i := 0; i < 5; i++ {
+		rel.Add(algebra.Tuple{algebra.I(int64(i))})
+	}
+	it := &PanicIterator{In: physical.NewScan(rel, nil), After: 3}
+	for i := 0; i < 3; i++ {
+		if _, ok := it.Next(); !ok {
+			t.Fatalf("tuple %d must flow through", i)
+		}
+	}
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("4th Next must panic")
+		}
+	}()
+	it.Next()
+}

@@ -1,0 +1,85 @@
+package physical
+
+import (
+	"context"
+
+	"xamdb/internal/algebra"
+)
+
+// The pull-based Iterator interface has no error channel, so cancellation
+// travels as a typed panic: Checkpoint iterators placed at plan leaves test
+// the context every checkpointInterval tuples and panic with *Cancelled;
+// DrainContext recovers it at the plan root and converts it back into the
+// context's error. Blocking operators (Sort, HashJoin build, StackTree)
+// materialize by pulling their inputs, so leaf checkpoints bound how long
+// any operator can run past a deadline.
+
+// checkpointInterval is how many Next calls pass between context checks.
+// Small enough to abort within microseconds of a deadline, large enough
+// that the per-tuple cost is a counter increment.
+const checkpointInterval = 64
+
+// Cancelled is the panic value used to unwind an iterator tree when its
+// context expires; DrainContext recovers it.
+type Cancelled struct{ Err error }
+
+func (c *Cancelled) Error() string { return "physical: cancelled: " + c.Err.Error() }
+
+// Checkpoint wraps an iterator with periodic context checks (a cancellation
+// checkpoint). The first Next call always checks, so an already-expired
+// context aborts before any work.
+type Checkpoint struct {
+	in  Iterator
+	ctx context.Context
+	n   int
+}
+
+// NewCheckpoint builds a cancellation checkpoint over in.
+func NewCheckpoint(ctx context.Context, in Iterator) *Checkpoint {
+	return &Checkpoint{in: in, ctx: ctx}
+}
+
+// Schema implements Iterator.
+func (c *Checkpoint) Schema() *algebra.Schema { return c.in.Schema() }
+
+// Order implements Iterator; checkpointing preserves order.
+func (c *Checkpoint) Order() algebra.OrderDesc { return c.in.Order() }
+
+// Next implements Iterator.
+func (c *Checkpoint) Next() (algebra.Tuple, bool) {
+	if c.n%checkpointInterval == 0 {
+		if err := c.ctx.Err(); err != nil {
+			panic(&Cancelled{Err: err})
+		}
+	}
+	c.n++
+	return c.in.Next()
+}
+
+// DrainContext materializes an iterator into a relation, honoring the
+// context both in its own loop and by recovering *Cancelled panics raised
+// by Checkpoint iterators deeper in the tree.
+func DrainContext(ctx context.Context, it Iterator) (rel *algebra.Relation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if c, ok := p.(*Cancelled); ok {
+				rel, err = nil, c.Err
+				return
+			}
+			panic(p)
+		}
+	}()
+	out := algebra.NewRelation(it.Schema())
+	for n := 0; ; n++ {
+		if n%checkpointInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		t, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out.Add(t)
+	}
+}

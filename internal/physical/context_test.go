@@ -1,0 +1,69 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xamdb/internal/algebra"
+)
+
+func intRelation(n int) *algebra.Relation {
+	rel := algebra.NewRelation(&algebra.Schema{Attrs: []algebra.Attr{{Name: "a"}}})
+	for i := 0; i < n; i++ {
+		rel.Add(algebra.Tuple{algebra.I(int64(i))})
+	}
+	return rel
+}
+
+func TestCheckpointExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	it := NewCheckpoint(ctx, NewScan(intRelation(10), nil))
+	_, err := DrainContext(context.Background(), it)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from the checkpoint, got %v", err)
+	}
+}
+
+func TestDrainContextExpired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DrainContext(ctx, NewScan(intRelation(10), nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}
+
+func TestCheckpointCancelMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	// Cancel from inside the stream after ~2 checkpoint intervals.
+	in := NewFilter(NewCheckpoint(ctx, NewScan(intRelation(100000), nil)), func(algebra.Tuple) bool {
+		n++
+		if n == 2*checkpointInterval {
+			cancel()
+		}
+		return true
+	})
+	rel, err := DrainContext(context.Background(), in)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v (rel=%v)", err, rel)
+	}
+	if n > 3*checkpointInterval {
+		t.Fatalf("kept pulling %d tuples after cancellation", n)
+	}
+}
+
+func TestCheckpointLiveContextPassesThrough(t *testing.T) {
+	it := NewCheckpoint(context.Background(), NewScan(intRelation(10), nil))
+	rel, err := DrainContext(context.Background(), it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 10 {
+		t.Fatalf("got %d tuples, want 10", rel.Len())
+	}
+}

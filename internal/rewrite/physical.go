@@ -1,10 +1,12 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"xamdb/internal/algebra"
+	"xamdb/internal/faultinject"
 	"xamdb/internal/physical"
 	"xamdb/internal/value"
 	"xamdb/internal/xam"
@@ -18,25 +20,36 @@ import (
 // tests); benchmarks compare the two (the structural-join family is why the
 // paper's physical layer exists).
 func ExecutePhysical(p Plan, env Env) (*algebra.Relation, error) {
-	it, err := compile(p, env)
+	return ExecutePhysicalContext(context.Background(), p, env)
+}
+
+// ExecutePhysicalContext is ExecutePhysical under a context: every view scan
+// is wrapped in a cancellation checkpoint and every materialization point
+// honors the context, so an expired deadline aborts the plan with the
+// context's error instead of running to completion.
+func ExecutePhysicalContext(ctx context.Context, p Plan, env Env) (*algebra.Relation, error) {
+	it, err := compile(ctx, p, env)
 	if err != nil {
 		return nil, err
 	}
-	return physical.Drain(it), nil
+	return physical.DrainContext(ctx, it)
 }
 
 // compile turns a logical plan into an iterator tree.
-func compile(p Plan, env Env) (physical.Iterator, error) {
+func compile(ctx context.Context, p Plan, env Env) (physical.Iterator, error) {
 	switch pl := p.(type) {
 	case *ScanPlan:
+		if err := faultinject.Check("rewrite.compile.scan"); err != nil {
+			return nil, err
+		}
 		rel, ok := env[pl.View.Name]
 		if !ok {
 			return nil, fmt.Errorf("rewrite: no extent for view %q", pl.View.Name)
 		}
-		return physical.NewScan(rel, nil), nil
+		return physical.NewCheckpoint(ctx, physical.NewScan(rel, nil)), nil
 
 	case *ProjectPlan:
-		in, err := compile(pl.In, env)
+		in, err := compile(ctx, pl.In, env)
 		if err != nil {
 			return nil, err
 		}
@@ -46,18 +59,22 @@ func compile(p Plan, env Env) (physical.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		rel := algebra.Distinct(physical.Drain(proj))
+		drained, err := physical.DrainContext(ctx, proj)
+		if err != nil {
+			return nil, err
+		}
+		rel := algebra.Distinct(drained)
 		return physical.NewScan(rel, proj.Order()), nil
 
 	case *SelectTagPlan:
-		in, err := compile(pl.In, env)
+		in, err := compile(ctx, pl.In, env)
 		if err != nil {
 			return nil, err
 		}
 		return physical.NewSelect(in, algebra.Pred{Path: pl.Node + ".Tag", Op: algebra.Eq, Const: algebra.S(pl.Label)})
 
 	case *SelectValPlan:
-		in, err := compile(pl.In, env)
+		in, err := compile(ctx, pl.In, env)
 		if err != nil {
 			return nil, err
 		}
@@ -71,11 +88,11 @@ func compile(p Plan, env Env) (physical.Iterator, error) {
 		}), nil
 
 	case *StructJoinPlan:
-		outer, err := compile(pl.Outer, env)
+		outer, err := compile(ctx, pl.Outer, env)
 		if err != nil {
 			return nil, err
 		}
-		inner, err := compile(pl.Inner, env)
+		inner, err := compile(ctx, pl.Inner, env)
 		if err != nil {
 			return nil, err
 		}
@@ -89,11 +106,11 @@ func compile(p Plan, env Env) (physical.Iterator, error) {
 		return physical.NewStackTreeDesc(outerSorted, innerSorted, pl.OuterNode+".ID", pl.InnerNode+".ID", axis)
 
 	case *FusePlan:
-		left, err := compile(pl.Left, env)
+		left, err := compile(ctx, pl.Left, env)
 		if err != nil {
 			return nil, err
 		}
-		right, err := compile(pl.Right, env)
+		right, err := compile(ctx, pl.Right, env)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +120,10 @@ func compile(p Plan, env Env) (physical.Iterator, error) {
 		}
 		// Drop the duplicated key and rename the fused columns, matching the
 		// logical FusePlan output.
-		rel := physical.Drain(hj)
+		rel, err := physical.DrainContext(ctx, hj)
+		if err != nil {
+			return nil, err
+		}
 		shaped, err := fuseShape(rel, pl, left.Schema(), right.Schema())
 		if err != nil {
 			return nil, err
@@ -120,11 +140,14 @@ func compile(p Plan, env Env) (physical.Iterator, error) {
 	case *UnionPlan:
 		var acc *algebra.Relation
 		for _, part := range pl.Parts {
-			it, err := compile(part, env)
+			it, err := compile(ctx, part, env)
 			if err != nil {
 				return nil, err
 			}
-			rel := physical.Drain(it)
+			rel, err := physical.DrainContext(ctx, it)
+			if err != nil {
+				return nil, err
+			}
 			if acc == nil {
 				acc = rel
 				continue
@@ -142,11 +165,14 @@ func compile(p Plan, env Env) (physical.Iterator, error) {
 		return physical.NewScan(acc, nil), nil
 
 	case *RenamePlan:
-		in, err := compile(pl.In, env)
+		in, err := compile(ctx, pl.In, env)
 		if err != nil {
 			return nil, err
 		}
-		rel := physical.Drain(in)
+		rel, err := physical.DrainContext(ctx, in)
+		if err != nil {
+			return nil, err
+		}
 		out := algebra.NewRelation(renameSchema(rel.Schema, pl.Suffix))
 		out.Tuples = rel.Tuples
 		return physical.NewScan(out, nil), nil

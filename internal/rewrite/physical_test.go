@@ -1,7 +1,10 @@
 package rewrite
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"xamdb/internal/xam"
 )
@@ -86,5 +89,24 @@ func TestPhysicalUnionAndDerive(t *testing.T) {
 	}
 	if !logical.EqualAsSet(phys) {
 		t.Fatal("derive physical differs")
+	}
+}
+
+func TestExecutePhysicalContextExpired(t *testing.T) {
+	rw, _, env := setup(t,
+		`<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{"v": `// book{id s}(/ title{id s, val})`},
+		Options{})
+	plans, err := rw.Rewrite(xam.MustParse(`// book{id s}(/ title{id s, val})`))
+	if err != nil || len(plans) == 0 {
+		t.Fatalf("rewrite: %v (%d plans)", err, len(plans))
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := ExecutePhysicalContext(ctx, plans[0].Plan, env); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if rel, err := ExecutePhysicalContext(context.Background(), plans[0].Plan, env); err != nil || rel.Len() == 0 {
+		t.Fatalf("live context must execute: %v (%v)", err, rel)
 	}
 }

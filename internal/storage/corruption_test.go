@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xamdb/internal/faultinject"
+	"xamdb/internal/xmltree"
+)
+
+func mustStoreBytes(t *testing.T) (*Store, []byte) {
+	t.Helper()
+	doc := xmltree.MustParse("bib.xml", bibXML)
+	st, err := TagPartitioned(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StoreBytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, b
+}
+
+// loadNoPanic runs LoadStoreBytes converting any panic into a test failure,
+// so the corruption sweep reports the offending offset instead of crashing.
+func loadNoPanic(t *testing.T, label string, b []byte) (s *Store, err error) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("%s: LoadStoreBytes panicked: %v", label, p)
+		}
+	}()
+	return LoadStoreBytes(b)
+}
+
+// TestLoadStoreCorruptionSweep flips every byte of a saved store and
+// truncates it at every length: no mutation may panic or load silently —
+// the CRC (or the framing checks before it) must reject each one.
+func TestLoadStoreCorruptionSweep(t *testing.T) {
+	_, b := mustStoreBytes(t)
+	if _, err := loadNoPanic(t, "pristine", b); err != nil {
+		t.Fatalf("pristine bytes must load: %v", err)
+	}
+	for i := range b {
+		for _, mask := range []byte{0xff, 0x01} {
+			c := append([]byte(nil), b...)
+			c[i] ^= mask
+			if _, err := loadNoPanic(t, "flip", c); err == nil {
+				t.Fatalf("flipping byte %d with %#x loaded silently", i, mask)
+			}
+		}
+	}
+	for n := 0; n < len(b); n++ {
+		if _, err := loadNoPanic(t, "truncate", b[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes loaded silently", n)
+		}
+	}
+}
+
+func TestLoadStoreLegacyFormatDetected(t *testing.T) {
+	// A pre-framing store was a raw gob stream; any non-magic prefix must
+	// produce the clear "not a xamdb store" error, not a gob error.
+	_, err := LoadStoreBytes([]byte("\x0c\xff\x81\x02legacy gob-ish bytes........."))
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("legacy bytes must be rejected with a bad-magic error, got %v", err)
+	}
+}
+
+func TestLoadStoreUnsupportedVersion(t *testing.T) {
+	_, b := mustStoreBytes(t)
+	c := append([]byte(nil), b...)
+	c[len(storeMagic)] = 99
+	_, err := LoadStoreBytes(c)
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future version must be rejected clearly, got %v", err)
+	}
+}
+
+func TestLoadStoreTruncationErrorHasOffset(t *testing.T) {
+	_, b := mustStoreBytes(t)
+	_, err := LoadStoreBytes(b[:storeHeaderSize+5])
+	if err == nil || !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("truncation error must carry a byte offset, got %v", err)
+	}
+}
+
+func TestLoadStoreEmptyInput(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, []byte("X")} {
+		if _, err := LoadStoreBytes(b); err == nil {
+			t.Fatalf("%d-byte input must error", len(b))
+		}
+	}
+}
+
+func TestFromPersistedValueKindRange(t *testing.T) {
+	_, err := fromPersistedValue(persistedValue{Kind: 200})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range kind must be a corruption error, got %v", err)
+	}
+}
+
+func TestSaveStoreFileAtomic(t *testing.T) {
+	st, _ := mustStoreBytes(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.store")
+	if err := SaveStoreFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != st.Name || len(again.Modules) != len(st.Modules) {
+		t.Fatalf("round trip shape: %q/%d vs %q/%d",
+			again.Name, len(again.Modules), st.Name, len(st.Modules))
+	}
+	// A failing save must leave neither a damaged target nor temp litter.
+	faultinject.Arm("storage.save", faultinject.Fault{})
+	t.Cleanup(faultinject.Reset)
+	if err := SaveStoreFile(path, st); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected save fault must surface, got %v", err)
+	}
+	if _, err := LoadStoreFile(path); err != nil {
+		t.Fatalf("failed save must not damage the existing file: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %d entries in %s", len(entries), dir)
+	}
+}
+
+func TestSaveStoreWriteFailureMidStream(t *testing.T) {
+	st, b := mustStoreBytes(t)
+	for _, after := range []int64{0, 3, int64(storeHeaderSize), int64(len(b) - 2)} {
+		var buf bytes.Buffer
+		w := &faultinject.Writer{W: &buf, FailAfter: after}
+		if err := SaveStore(w, st); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("write failing after %d bytes must surface, got %v", after, err)
+		}
+	}
+}
+
+func TestLoadStoreReadFailureMidStream(t *testing.T) {
+	_, b := mustStoreBytes(t)
+	for _, after := range []int64{0, 3, int64(storeHeaderSize), int64(len(b) - 2)} {
+		r := &faultinject.Reader{R: bytes.NewReader(b), FailAfter: after}
+		if _, err := LoadStore(r); err == nil {
+			t.Fatalf("read failing after %d bytes must error", after)
+		}
+	}
+}
+
+func TestLoadStoreInjectedSiteFault(t *testing.T) {
+	_, b := mustStoreBytes(t)
+	faultinject.Arm("storage.load", faultinject.Fault{})
+	t.Cleanup(faultinject.Reset)
+	if _, err := LoadStoreBytes(b); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed storage.load site must inject, got %v", err)
+	}
+	faultinject.Reset()
+	if _, err := LoadStoreBytes(b); err != nil {
+		t.Fatalf("after reset the load must succeed: %v", err)
+	}
+}

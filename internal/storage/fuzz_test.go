@@ -1,0 +1,37 @@
+package storage
+
+import (
+	"testing"
+
+	"xamdb/internal/xmltree"
+)
+
+// FuzzLoadStoreBytes asserts the loader's total-safety contract: arbitrary
+// bytes never panic, and a successful load yields a well-formed store.
+func FuzzLoadStoreBytes(f *testing.F) {
+	doc := xmltree.MustParse("bib.xml", bibXML)
+	if st, err := TagPartitioned(doc); err == nil {
+		if b, err := StoreBytes(st); err == nil {
+			f.Add(b)
+			f.Add(b[:len(b)/2])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("XAMSTORE"))
+	f.Add([]byte("XAMSTORE\x01\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("not a store at all"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := LoadStoreBytes(b)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil store with nil error")
+		}
+		for _, m := range s.Modules {
+			if m == nil || m.Pattern == nil || m.Data == nil {
+				t.Fatalf("loaded store has an incomplete module: %+v", m)
+			}
+		}
+	})
+}

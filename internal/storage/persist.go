@@ -2,11 +2,16 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"xamdb/internal/algebra"
+	"xamdb/internal/faultinject"
 	"xamdb/internal/xam"
 	"xamdb/internal/xmltree"
 )
@@ -15,6 +20,28 @@ import (
 // process. This file serializes stores to disk-ready bytes — relations via
 // gob, XAMs via their textual syntax (always reparseable), documents via
 // their XML serialization.
+//
+// On-disk framing (format version 1):
+//
+//	offset 0   8 bytes  magic "XAMSTORE"
+//	offset 8   1 byte   format version (currently 1)
+//	offset 9   8 bytes  big-endian payload length
+//	offset 17  n bytes  payload: gob(store name), gob([]persistedModule)
+//	offset 17+n 4 bytes big-endian CRC32-Castagnoli of the payload
+//
+// The checksum is verified before any byte of the payload is decoded, so
+// silently-truncated or bit-flipped files are rejected up front instead of
+// being half-deserialized. Files written before the framing existed (raw
+// gob) are detected by the missing magic and rejected with a clear error.
+
+const (
+	storeMagic   = "XAMSTORE"
+	storeVersion = 1
+	// storeHeaderSize is magic + version byte + payload length.
+	storeHeaderSize = len(storeMagic) + 1 + 8
+)
+
+var storeCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // persistedModule is the on-wire form of a Module.
 type persistedModule struct {
@@ -129,6 +156,10 @@ func fromPersistedRelation(p persistedRelation) (*algebra.Relation, error) {
 }
 
 func fromPersistedValue(pv persistedValue) (algebra.Value, error) {
+	if pv.Kind > uint8(algebra.Rel) {
+		return algebra.Value{}, fmt.Errorf("storage: corrupt value: kind %d out of range [0,%d]",
+			pv.Kind, uint8(algebra.Rel))
+	}
 	v := algebra.Value{Kind: algebra.Kind(pv.Kind), Str: pv.Str, Int: pv.Int, Float: pv.Float,
 		ID: xmltree.NodeID{Pre: pv.Pre, Post: pv.Post, Depth: pv.Depth}, Dewey: pv.Dewey}
 	if v.Kind == algebra.Rel {
@@ -144,8 +175,11 @@ func fromPersistedValue(pv persistedValue) (algebra.Value, error) {
 	return v, nil
 }
 
-// SaveStore serializes the store.
+// SaveStore serializes the store with the versioned, checksummed framing.
 func SaveStore(w io.Writer, s *Store) error {
+	if err := faultinject.Check("storage.save"); err != nil {
+		return fmt.Errorf("storage: save: %w", err)
+	}
 	mods := make([]persistedModule, len(s.Modules))
 	for i, m := range s.Modules {
 		mods[i] = persistedModule{
@@ -154,26 +188,94 @@ func SaveStore(w io.Writer, s *Store) error {
 			Data:    toPersistedRelation(m.Data),
 		}
 	}
-	enc := gob.NewEncoder(w)
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
 	if err := enc.Encode(s.Name); err != nil {
 		return fmt.Errorf("storage: save: %w", err)
 	}
 	if err := enc.Encode(mods); err != nil {
 		return fmt.Errorf("storage: save: %w", err)
 	}
+	header := make([]byte, storeHeaderSize)
+	copy(header, storeMagic)
+	header[len(storeMagic)] = storeVersion
+	binary.BigEndian.PutUint64(header[len(storeMagic)+1:], uint64(payload.Len()))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("storage: save header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("storage: save payload: %w", err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), storeCRCTable))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("storage: save checksum: %w", err)
+	}
 	return nil
 }
 
-// LoadStore deserializes a store written by SaveStore.
+// offsetReader counts consumed bytes so decode errors can say where in the
+// file they happened.
+type offsetReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (o *offsetReader) Read(p []byte) (int, error) {
+	n, err := o.r.Read(p)
+	o.off += int64(n)
+	return n, err
+}
+
+// LoadStore deserializes a store written by SaveStore, verifying the
+// framing and checksum before decoding a single payload byte. Errors carry
+// the byte offset at which the file stopped making sense.
 func LoadStore(r io.Reader) (*Store, error) {
-	dec := gob.NewDecoder(r)
+	if err := faultinject.Check("storage.load"); err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	header := make([]byte, storeHeaderSize)
+	if n, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("storage: load: truncated header at byte offset %d (want %d bytes): %w",
+			n, storeHeaderSize, err)
+	}
+	if string(header[:len(storeMagic)]) != storeMagic {
+		return nil, fmt.Errorf("storage: load: bad magic %q at byte offset 0: not a xamdb store "+
+			"(or a legacy pre-versioned store; re-save it with this build)", header[:len(storeMagic)])
+	}
+	if v := header[len(storeMagic)]; v != storeVersion {
+		return nil, fmt.Errorf("storage: load: unsupported store format version %d at byte offset %d "+
+			"(this build reads version %d)", v, len(storeMagic), storeVersion)
+	}
+	length := binary.BigEndian.Uint64(header[len(storeMagic)+1:])
+	// CopyN grows the buffer incrementally, so a corrupted length field
+	// cannot force a giant allocation before the short read is noticed.
+	var payload bytes.Buffer
+	if _, err := io.CopyN(&payload, r, int64(length)); err != nil {
+		return nil, fmt.Errorf("storage: load: truncated payload at byte offset %d (want %d payload bytes): %w",
+			storeHeaderSize+payload.Len(), length, err)
+	}
+	var crcBytes [4]byte
+	if _, err := io.ReadFull(r, crcBytes[:]); err != nil {
+		return nil, fmt.Errorf("storage: load: truncated checksum at byte offset %d: %w",
+			storeHeaderSize+payload.Len(), err)
+	}
+	stored := binary.BigEndian.Uint32(crcBytes[:])
+	if computed := crc32.Checksum(payload.Bytes(), storeCRCTable); computed != stored {
+		return nil, fmt.Errorf("storage: load: checksum mismatch (stored %08x, computed %08x): store is corrupt",
+			stored, computed)
+	}
+	or := &offsetReader{r: &payload}
+	dec := gob.NewDecoder(or)
 	s := &Store{}
 	if err := dec.Decode(&s.Name); err != nil {
-		return nil, fmt.Errorf("storage: load: %w", err)
+		return nil, fmt.Errorf("storage: load: decode error at byte offset %d: %w",
+			int64(storeHeaderSize)+or.off, err)
 	}
 	var mods []persistedModule
 	if err := dec.Decode(&mods); err != nil {
-		return nil, fmt.Errorf("storage: load: %w", err)
+		return nil, fmt.Errorf("storage: load: decode error at byte offset %d: %w",
+			int64(storeHeaderSize)+or.off, err)
 	}
 	for _, pm := range mods {
 		pat, err := xam.Parse(pm.Pattern)
@@ -187,6 +289,50 @@ func LoadStore(r io.Reader) (*Store, error) {
 		s.Modules = append(s.Modules, &Module{Name: pm.Name, Pattern: pat, Data: data})
 	}
 	return s, nil
+}
+
+// SaveStoreFile writes the store to path atomically: the bytes go to a
+// temp file in the same directory, are fsynced, and only then renamed over
+// path — a crash mid-save never leaves a half-written store behind.
+func SaveStoreFile(path string, s *Store) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: save %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := SaveStore(tmp, s); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("storage: save %s: sync: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: save %s: close: %w", path, err)
+	}
+	name := tmp.Name()
+	tmp = nil // committed: the deferred cleanup must not remove it
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("storage: save %s: rename: %w", path, err)
+	}
+	return nil
+}
+
+// LoadStoreFile reads a store written by SaveStoreFile (or any SaveStore
+// output on disk).
+func LoadStoreFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadStore(f)
 }
 
 // StoreBytes is SaveStore into a fresh buffer.

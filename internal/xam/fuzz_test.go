@@ -1,0 +1,40 @@
+package xam
+
+import "testing"
+
+// FuzzXAMParse asserts the parser's total-safety contract on arbitrary
+// input: no panic, and any accepted pattern renders to text that parses
+// again (String is the persistence format for XAMs, so a print/parse
+// asymmetry would corrupt saved catalogs).
+func FuzzXAMParse(f *testing.F) {
+	for _, seed := range []string{
+		`// book{id s}(/ title{id s, val})`,
+		`// a{id p}(/(nj) b{id s, val})`,
+		`// *{id, tag}(// *{id, tag, val})`,
+		`// book(/ title{cont})`,
+		`/ bib(// book{id}(/ author{val}, / title{val}))`,
+		`// item{id s, val [. >= "10"]}`,
+		``,
+		`((((`,
+		`// `,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil pattern with nil error")
+		}
+		rendered := p.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but its rendering %q fails to reparse: %v", src, rendered, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("rendering is not a fixpoint: %q -> %q", rendered, got)
+		}
+	})
+}
