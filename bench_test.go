@@ -5,6 +5,7 @@
 package xamdb_test
 
 import (
+	"context"
 	"testing"
 
 	"xamdb/internal/bench"
@@ -240,7 +241,7 @@ func ftoa(f float64) string {
 // Execution-layer ablation (§1.2.3): StackTree physical joins vs naive
 // materialized nested-loops on the same plan.
 func BenchmarkExecutionLogicalVsPhysical(b *testing.B) {
-	rows, err := bench.ExecutionAblation([]int{10})
+	rows, err := bench.ExecutionAblation(context.Background(), []int{10})
 	if err != nil {
 		b.Fatal(err)
 	}

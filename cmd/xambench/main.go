@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"xamdb/internal/bench"
 )
@@ -29,6 +31,11 @@ func main() {
 	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	// ^C aborts the sweep at the next cancellation checkpoint instead of
+	// letting the current plan run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -138,7 +145,7 @@ func main() {
 	})
 
 	run("execution", func() error {
-		rows, err := bench.ExecutionAblation([]int{2, 5, 10, 20})
+		rows, err := bench.ExecutionAblation(ctx, []int{2, 5, 10, 20})
 		if err != nil {
 			return err
 		}

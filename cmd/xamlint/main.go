@@ -1,0 +1,127 @@
+// Command xamlint is the multichecker for the engine's invariant suite
+// (see internal/lint): it type-checks the module's packages with no
+// toolchain subprocesses or network access and applies every analyzer.
+//
+//	go run ./cmd/xamlint ./...                # whole module (CI gate)
+//	go run ./cmd/xamlint ./internal/storage   # one package
+//	go run ./cmd/xamlint -run errwrap ./...   # one analyzer
+//	go run ./cmd/xamlint -list                # describe the suite
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+// Suppressions require a reason: //xamlint:allow name(reason).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xamdb/internal/lint"
+	"xamdb/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := lint.Analyzers()
+	if *run != "" {
+		suite = nil
+		for _, name := range strings.Split(*run, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "xamlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fail(err)
+	}
+	var dirs []string
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "...":
+			ds, err := loader.ModuleDirs()
+			if err != nil {
+				fail(err)
+			}
+			dirs = append(dirs, ds...)
+		case strings.HasSuffix(p, "/..."):
+			ds, err := loader.ModuleDirs()
+			if err != nil {
+				fail(err)
+			}
+			root := strings.TrimSuffix(p, "/...")
+			for _, d := range ds {
+				rel, err := relToModule(loader, d)
+				if err != nil {
+					fail(err)
+				}
+				if rel == strings.TrimPrefix(root, "./") || strings.HasPrefix(rel, strings.TrimPrefix(root, "./")+"/") {
+					dirs = append(dirs, d)
+				}
+			}
+		default:
+			dirs = append(dirs, p)
+		}
+	}
+
+	bad := 0
+	for _, dir := range dirs {
+		path, err := loader.PathForDir(dir)
+		if err != nil {
+			fail(err)
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		diags, err := analysis.Run(loader.Fset, pkg, suite)
+		if err != nil {
+			fail(err)
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+		bad += len(diags)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "xamlint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func relToModule(l *analysis.Loader, dir string) (string, error) {
+	path, err := l.PathForDir(dir)
+	if err != nil {
+		return "", err
+	}
+	if path == l.ModulePath {
+		return ".", nil
+	}
+	return strings.TrimPrefix(path, l.ModulePath+"/"), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xamlint:", err)
+	os.Exit(2)
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -334,10 +335,16 @@ type ExecRow struct {
 
 // ExecutionAblation measures the §1.2.3 motivation for the physical layer:
 // the StackTree structural-join family against naive nested-loops evaluation
-// of the same plan, as the document grows.
-func ExecutionAblation(scales []int) ([]ExecRow, error) {
+// of the same plan, as the document grows. The context bounds the sweep:
+// physical execution aborts at its next cancellation checkpoint, and each
+// scale starts only while the context is live — an interrupted benchmark
+// run stops within one plan instead of finishing the matrix.
+func ExecutionAblation(ctx context.Context, scales []int) ([]ExecRow, error) {
 	var out []ExecRow
 	for _, sc := range scales {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		doc := datagen.XMark(sc, sc*4, sc*3)
 		sum := summaryOf(doc)
 		views := []*rewrite.View{
@@ -366,7 +373,7 @@ func ExecutionAblation(scales []int) ([]ExecRow, error) {
 		lt := time.Since(start)
 
 		start = time.Now()
-		physical, err := rewrite.ExecutePhysical(plan, env)
+		physical, err := rewrite.ExecutePhysicalContext(ctx, plan, env)
 		if err != nil {
 			return nil, err
 		}

@@ -328,6 +328,13 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 				rel, err = nil, c.Err
 				return
 			}
+			// Keep recovered error values in the chain so the cascade's
+			// callers can errors.Is/As on them (e.g. faultinject.ErrInjected
+			// in resilience tests, sentinel errors from operators).
+			if perr, ok := p.(error); ok {
+				rel, err = nil, fmt.Errorf("engine: plan execution panic: %w", perr)
+				return
+			}
 			rel, err = nil, fmt.Errorf("engine: plan execution panic: %v", p)
 		}
 	}()
@@ -352,6 +359,10 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 func evalBase(pat *xam.Pattern, doc *xmltree.Document) (rel *algebra.Relation, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			if perr, ok := p.(error); ok {
+				rel, err = nil, fmt.Errorf("engine: base evaluation panic: %w", perr)
+				return
+			}
 			rel, err = nil, fmt.Errorf("engine: base evaluation panic: %v", p)
 		}
 	}()

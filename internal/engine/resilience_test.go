@@ -9,6 +9,7 @@ import (
 
 	"xamdb/internal/algebra"
 	"xamdb/internal/faultinject"
+	"xamdb/internal/rewrite"
 	"xamdb/internal/storage"
 )
 
@@ -122,7 +123,7 @@ func TestOperatorPanicRecovered(t *testing.T) {
 		if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
 			t.Fatal(err)
 		}
-		faultinject.Arm("rewrite.compile.scan", faultinject.Fault{PanicWith: "iterator bug"})
+		faultinject.Arm(rewrite.SiteCompileScan, faultinject.Fault{PanicWith: "iterator bug"})
 		t.Cleanup(faultinject.Reset)
 		got, rep, err := e.Query(`doc("bib.xml")//book/title`)
 		if err != nil {

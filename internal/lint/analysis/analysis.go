@@ -1,0 +1,182 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library's go/ast and go/types. The container this repo grows in has no
+// module proxy access, so instead of depending on x/tools we reimplement
+// the small surface the xamlint suite needs: an Analyzer runs over one
+// type-checked package (a Pass) and reports position-anchored Diagnostics.
+//
+// Findings can be suppressed — sparingly, and with a mandatory reason —
+// by a directive comment on the offending line or the line above:
+//
+//	//xamlint:allow nopanic(cancellation protocol, recovered by DrainContext)
+//
+// A directive without a reason is itself reported, so suppressions stay
+// auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow-directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run performs the check, reporting findings through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked, non-test package through an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ImportedObject resolves a package-level object in a package imported by
+// the pass's package (or in the package itself, when paths match). Returns
+// nil when the package is not imported or lacks the name — analyzers use
+// this to no-op on packages that cannot violate their invariant.
+func (p *Pass) ImportedObject(pkgPath, name string) types.Object {
+	if p.Pkg.Path() == pkgPath {
+		return p.Pkg.Scope().Lookup(name)
+	}
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == pkgPath {
+			return imp.Scope().Lookup(name)
+		}
+	}
+	return nil
+}
+
+// directiveRe matches "xamlint:allow name" with an optional "(reason)".
+var directiveRe = regexp.MustCompile(`^\s*xamlint:allow\s+([a-z][a-z0-9_,\s]*?)\s*(\(([^)]*)\))?\s*$`)
+
+type directive struct {
+	line      int
+	analyzers []string
+	hasReason bool
+	pos       token.Pos
+}
+
+// collectDirectives scans a file's comments for xamlint:allow directives.
+func collectDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			m := directiveRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			var names []string
+			for _, n := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				if n != "" {
+					names = append(names, n)
+				}
+			}
+			out = append(out, directive{
+				line:      fset.Position(c.Pos()).Line,
+				analyzers: names,
+				hasReason: strings.TrimSpace(m[3]) != "",
+				pos:       c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// Run applies analyzers to a loaded package and returns the surviving
+// diagnostics sorted by position. Findings matched by a well-formed
+// allow-directive are dropped; malformed directives (missing reason)
+// are reported under the reserved analyzer name "xamlint".
+func Run(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	// Suppression: map file -> line -> allowed analyzer names.
+	allowed := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		file := fset.Position(f.Pos()).Filename
+		for _, d := range collectDirectives(fset, f) {
+			if !d.hasReason {
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "xamlint",
+					Message:  "xamlint:allow directive needs a reason: //xamlint:allow name(reason)",
+				})
+				continue
+			}
+			if allowed[file] == nil {
+				allowed[file] = map[int]map[string]bool{}
+			}
+			if allowed[file][d.line] == nil {
+				allowed[file][d.line] = map[string]bool{}
+			}
+			for _, n := range d.analyzers {
+				allowed[file][d.line][n] = true
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		lines := allowed[pos.Filename]
+		if lines != nil && (lines[pos.Line][d.Analyzer] || lines[pos.Line-1][d.Analyzer]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestLoader seeds dir with a go.mod so it forms its own module.
+func newTestLoader(t *testing.T, dir string) *Loader {
+	t.Helper()
+	writeFile(t, dir, "go.mod", "module tmp\n\ngo 1.22\n")
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func inspectReturns(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			pass.Reportf(ret.Pos(), "return found")
+		}
+		return true
+	})
+}
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *directivesOnly) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, &directivesOnly{ds: collectDirectives(fset, f)}
+}
+
+type directivesOnly struct{ ds []directive }
+
+func TestCollectDirectives(t *testing.T) {
+	src := `package p
+
+func a() {
+	//xamlint:allow nopanic(protocol panic, recovered upstream)
+	_ = 1
+	//xamlint:allow nopanic, errwrap(two analyzers, one reason)
+	_ = 2
+	//xamlint:allow nopanic
+	_ = 3
+	// xamlint is great (not a directive)
+}
+`
+	_, got := parseOne(t, src)
+	if len(got.ds) != 3 {
+		t.Fatalf("want 3 directives, got %d: %+v", len(got.ds), got.ds)
+	}
+	if !got.ds[0].hasReason || len(got.ds[0].analyzers) != 1 || got.ds[0].analyzers[0] != "nopanic" {
+		t.Errorf("directive 0 parsed wrong: %+v", got.ds[0])
+	}
+	if !got.ds[1].hasReason || len(got.ds[1].analyzers) != 2 {
+		t.Errorf("directive 1 must name two analyzers with a reason: %+v", got.ds[1])
+	}
+	if got.ds[2].hasReason {
+		t.Errorf("directive 2 has no reason and must say so: %+v", got.ds[2])
+	}
+}
+
+// TestDirectiveReasonRequired checks end-to-end that a reasonless
+// allow-directive does not suppress and is itself reported, while a
+// reasoned one suppresses findings on its own and the following line.
+func TestDirectiveReasonRequired(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func bad() string { //xamlint:allow testcheck
+	return "x"
+}
+
+func good() string {
+	//xamlint:allow testcheck(demonstrating suppression)
+	return "y"
+}
+`
+	writeFile(t, dir, "p.go", src)
+	loader := newTestLoader(t, dir)
+	pkg, err := loader.LoadDir(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := &Analyzer{
+		Name: "testcheck",
+		Doc:  "flags every return statement for directive testing",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				inspectReturns(pass, f)
+			}
+			return nil
+		},
+	}
+	diags, err := Run(loader.Fset, pkg, []*Analyzer{check})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Analyzer+": "+d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (unsuppressed finding + malformed directive), got %d:\n%s", len(diags), joined)
+	}
+	if !strings.Contains(joined, "needs a reason") {
+		t.Errorf("reasonless directive must be reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "testcheck: return found") {
+		t.Errorf("finding under a reasonless directive must survive:\n%s", joined)
+	}
+	if strings.Count(joined, "return found") != 1 {
+		t.Errorf("reasoned directive must suppress the second finding:\n%s", joined)
+	}
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysis"
+)
+
+func TestSmokeLoad(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("xamdb/internal/storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loaded %s with %d files, scope has %d names", pkg.Path, len(pkg.Files), len(pkg.Types.Scope().Names()))
+	pkg2, err := l.Load("xamdb/internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pkg2
+}

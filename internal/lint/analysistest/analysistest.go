@@ -1,0 +1,117 @@
+// Package analysistest runs a lint analyzer over fixture packages and
+// checks its diagnostics against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest (which the
+// offline build cannot depend on).
+//
+// An expectation is a trailing comment of the form
+//
+//	physical.Drain(it) // want "use physical.DrainContext"
+//
+// where each quoted string is a regular expression that must match one
+// diagnostic reported on that line. Lines without a want-comment must
+// produce no diagnostics. Fixtures live under <testdata>/src/<pkg>/ and
+// may import real module packages (e.g. xamdb/internal/physical).
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"xamdb/internal/lint/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, reporting mismatches between diagnostics and want-comments
+// through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		pkg, err := loader.LoadDir(dir, pkgName)
+		if err != nil {
+			t.Errorf("analysistest: load %s: %v", pkgName, err)
+			continue
+		}
+		diags, err := analysis.Run(loader.Fset, pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analysistest: run %s on %s: %v", a.Name, pkgName, err)
+			continue
+		}
+		checkPackage(t, loader.Fset, pkg, diags)
+	}
+}
+
+func checkPackage(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	// file -> line -> pending expectations.
+	wants := map[string]map[int][]*expectation{}
+	for _, f := range pkg.Files {
+		collectWants(fset, f, wants)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		exps := wants[pos.Filename][pos.Line]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, e.raw)
+				}
+			}
+		}
+	}
+}
+
+func collectWants(fset *token.FileSet, f *ast.File, wants map[string]map[int][]*expectation) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+				pat := strings.ReplaceAll(q[1], `\"`, `"`)
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					// Surface the broken pattern as an unmatchable expectation.
+					re = regexp.MustCompile(regexp.QuoteMeta("BAD WANT REGEXP: " + pat))
+				}
+				if wants[pos.Filename] == nil {
+					wants[pos.Filename] = map[int][]*expectation{}
+				}
+				wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line],
+					&expectation{re: re, raw: q[1]})
+			}
+		}
+	}
+}

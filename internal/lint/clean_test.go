@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/lint/analysis"
+)
+
+// TestRepoClean runs the whole analyzer suite over every package of the
+// module and fails on any diagnostic, making the enforced invariants part
+// of the tier-1 `go test ./...` gate — a contract regression fails the
+// build before it can fail at runtime.
+func TestRepoClean(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.ModuleDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := Analyzers()
+	total := 0
+	for _, dir := range dirs {
+		path, err := loader.PathForDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := analysis.Run(loader.Fset, pkg, suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			t.Errorf("%s:%d:%d: %s: %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+		total += len(diags)
+	}
+	if total == 0 {
+		t.Logf("suite clean over %d packages: %s", len(dirs), names(suite))
+	}
+}
+
+func names(as []*analysis.Analyzer) string {
+	var ns []string
+	for _, a := range as {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}

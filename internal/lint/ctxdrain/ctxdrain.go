@@ -1,0 +1,184 @@
+// Package ctxdrain defines an analyzer enforcing the engine's cancellation
+// contract (PR 1): wherever a context.Context is in scope, physical
+// iterators must be drained through physical.DrainContext (or polled with
+// ctx.Err checks), never through the raw physical.Drain or a bare
+// for-Next loop — those run to completion after the deadline has passed,
+// which is exactly the bug class the Checkpoint/DrainContext protocol
+// exists to prevent.
+package ctxdrain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xamdb/internal/lint/analysis"
+)
+
+const (
+	physicalPath = "xamdb/internal/physical"
+	rewritePath  = "xamdb/internal/rewrite"
+)
+
+// Analyzer reports context-blind drains: physical.Drain calls,
+// rewrite.ExecutePhysical calls, and bare Next loops over
+// physical.Iterator values, in any function with a context.Context in
+// scope. The physical package itself (which implements the protocol) is
+// exempt.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdrain",
+	Doc:  "with a context.Context in scope, drain physical iterators via DrainContext/Checkpoint, not Drain or bare Next loops",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == physicalPath {
+		return nil
+	}
+	ctxObj := pass.ImportedObject("context", "Context")
+	if ctxObj == nil {
+		return nil // no context in the package, nothing can be in scope
+	}
+	var iterIface *types.Interface
+	if obj := pass.ImportedObject(physicalPath, "Iterator"); obj != nil {
+		iterIface, _ = obj.Type().Underlying().(*types.Interface)
+	}
+	for _, f := range pass.Files {
+		w := &walker{pass: pass, iter: iterIface}
+		w.walk(f)
+	}
+	return nil
+}
+
+// walker tracks the set of context.Context parameters of the enclosing
+// function stack while visiting a file.
+type walker struct {
+	pass *analysis.Pass
+	iter *types.Interface
+	ctxs []types.Object // in-scope context parameters, outermost first
+}
+
+func (w *walker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			w.enter(n.Type, n.Body)
+			return false
+		case *ast.FuncLit:
+			w.enter(n.Type, n.Body)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n)
+		case *ast.ForStmt:
+			w.checkLoop(n, n.Body, n.Cond, n.Post)
+		case *ast.RangeStmt:
+			w.checkLoop(n, n.Body, nil, nil)
+		}
+		return true
+	})
+}
+
+// enter pushes a function's context parameters and walks its body.
+func (w *walker) enter(ft *ast.FuncType, body *ast.BlockStmt) {
+	n := len(w.ctxs)
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			t := w.pass.TypesInfo.Types[field.Type].Type
+			if !analysis.NamedType(t, "context", "Context") {
+				continue
+			}
+			if len(field.Names) == 0 {
+				// Unnamed context parameter: in scope but unreferencable;
+				// a sentinel object still arms the checks.
+				w.ctxs = append(w.ctxs, types.NewParam(field.Pos(), w.pass.Pkg, "_", t))
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := w.pass.TypesInfo.Defs[name]; obj != nil {
+					w.ctxs = append(w.ctxs, obj)
+				}
+			}
+		}
+	}
+	w.walk(body)
+	w.ctxs = w.ctxs[:n]
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	if len(w.ctxs) == 0 {
+		return
+	}
+	obj := analysis.Callee(w.pass.TypesInfo, call)
+	switch {
+	case analysis.IsFunc(obj, physicalPath, "Drain"):
+		w.pass.Reportf(call.Pos(),
+			"physical.Drain ignores the in-scope context; use physical.DrainContext(ctx, it)")
+	case analysis.IsFunc(obj, rewritePath, "ExecutePhysical"):
+		w.pass.Reportf(call.Pos(),
+			"rewrite.ExecutePhysical ignores the in-scope context; use rewrite.ExecutePhysicalContext(ctx, plan, env)")
+	}
+}
+
+// checkLoop flags a loop that pulls Next() from a physical.Iterator while
+// never consulting the in-scope context. Loops over *physical.Checkpoint
+// are exempt: the checkpoint polls the context itself.
+func (w *walker) checkLoop(loop ast.Node, parts ...ast.Node) {
+	if len(w.ctxs) == 0 || w.iter == nil {
+		return
+	}
+	drains := false
+	safe := false
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		ast.Inspect(part, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				// Nested loops are checked on their own; function literals
+				// run on their own schedule.
+				return false
+			case *ast.Ident:
+				if obj := w.pass.TypesInfo.Uses[n]; obj != nil {
+					for _, c := range w.ctxs {
+						if obj == c {
+							safe = true // the loop consults ctx somehow
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Next" && len(n.Args) == 0 {
+					recv := w.pass.TypesInfo.Types[sel.X].Type
+					if recv == nil {
+						return true
+					}
+					if analysis.NamedType(deref(recv), physicalPath, "Checkpoint") {
+						safe = true // checkpoints poll the context per Next
+						return true
+					}
+					if types.Implements(recv, w.iter) ||
+						types.Implements(types.NewPointer(recv), w.iter) {
+						drains = true
+					}
+				}
+				if analysis.IsFunc(analysis.Callee(w.pass.TypesInfo, n), physicalPath, "DrainContext") {
+					safe = true
+				}
+			}
+			return true
+		})
+	}
+	if drains && !safe {
+		w.pass.Reportf(loop.Pos(),
+			"loop drains a physical.Iterator without consulting the in-scope context; use physical.DrainContext or check ctx.Err() in the loop")
+	}
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,12 @@
+package ctxdrain_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/ctxdrain"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxdrain.Analyzer, "ctxdrain_a")
+}

@@ -1,0 +1,148 @@
+// Package errwrap defines an analyzer enforcing %w error wrapping: a
+// fmt.Errorf call that formats an error value must use the %w verb, so
+// errors.Is / errors.As keep working across package boundaries — the
+// persistence and fallback-cascade paths match on sentinel errors
+// (context.DeadlineExceeded, faultinject.ErrInjected, storage corruption
+// sentinels) and silently stop degrading gracefully when a %v wrap breaks
+// the chain.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xamdb/internal/lint/analysis"
+)
+
+// Analyzer reports fmt.Errorf calls that format an error argument with a
+// verb other than %w, and error arguments flattened through err.Error().
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must wrap it with %w so errors.Is/errors.As see the chain",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !analysis.IsFunc(analysis.Callee(pass.TypesInfo, call), "fmt", "Errorf") {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true // dynamic format string; nothing to verify
+			}
+			format, err := formatValue(lit)
+			if err {
+				return true
+			}
+			uses, ok := parseVerbs(format)
+			if !ok {
+				return true // explicit argument indexes; stay conservative
+			}
+			for _, u := range uses {
+				i := 1 + u.argIndex
+				if i >= len(call.Args) {
+					continue // malformed call; go vet's department
+				}
+				arg := call.Args[i]
+				t := pass.TypesInfo.Types[arg].Type
+				switch {
+				case u.verb == 'w':
+					// Correct wrapping.
+				case t != nil && analysis.ImplementsError(t):
+					pass.Reportf(arg.Pos(),
+						"error formatted with %%%c loses the error chain; use %%w", u.verb)
+				case flattensError(pass.TypesInfo, arg):
+					pass.Reportf(arg.Pos(),
+						"err.Error() flattens the error chain; pass the error itself with %%w")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flattensError reports whether arg is a call to the Error() method of an
+// error value.
+func flattensError(info *types.Info, arg ast.Expr) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	recv := info.Types[sel.X].Type
+	return recv != nil && analysis.ImplementsError(recv)
+}
+
+// formatValue unquotes a string literal; err is true when it is not a
+// plain string literal.
+func formatValue(lit *ast.BasicLit) (string, bool) {
+	if lit.Kind != token.STRING {
+		return "", true
+	}
+	s := lit.Value
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '`') {
+		return s[1 : len(s)-1], false
+	}
+	return "", true
+}
+
+type verbUse struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs extracts the argument-consuming verbs of a format string in
+// order. Returns ok=false for formats with explicit argument indexes
+// ("%[2]v"), which the analyzer does not model.
+func parseVerbs(format string) ([]verbUse, bool) {
+	var uses []verbUse
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(rs) && rs[i] == '%' {
+			continue
+		}
+		// flags, width, precision; '*' consumes an argument.
+		for i < len(rs) {
+			c := rs[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '#' || c == '0' || c == '-' || c == ' ' || c == '+' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(rs) {
+			break
+		}
+		uses = append(uses, verbUse{verb: rs[i], argIndex: arg})
+		arg++
+	}
+	return uses, true
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/errwrap"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", errwrap.Analyzer, "errwrap_a")
+}

@@ -1,0 +1,71 @@
+// Package faultsite defines an analyzer for the faultinject site registry
+// (PR 1): every site name passed to faultinject.Check / Arm / Disarm /
+// Hits must be a package-level named string constant. Inline literals
+// drift — a test arming "storage.save" keeps passing after the production
+// site is renamed, silently injecting nothing — and make the registry
+// ungreppable. With named constants, the full site inventory is
+// `grep -rn 'Site[A-Z]' internal/`.
+package faultsite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xamdb/internal/lint/analysis"
+)
+
+const faultinjectPath = "xamdb/internal/faultinject"
+
+// Analyzer reports fault-site arguments that are not package-level named
+// constants.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultsite",
+	Doc:  "faultinject site names must be package-level named constants, not inline string literals",
+	Run:  run,
+}
+
+var siteFuncs = map[string]bool{"Check": true, "Arm": true, "Disarm": true, "Hits": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == faultinjectPath {
+		return nil // the registry implementation handles raw strings by design
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := analysis.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || !siteFuncs[fn.Name()] || fn.Pkg() == nil || fn.Pkg().Path() != faultinjectPath {
+				return true
+			}
+			site := ast.Unparen(call.Args[0])
+			if !isPackageConst(pass.TypesInfo, site) {
+				pass.Reportf(site.Pos(),
+					"fault site passed to faultinject.%s must be a package-level named string constant (inline values drift out of the site registry)", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPackageConst reports whether e names a constant declared at some
+// package's top level.
+func isPackageConst(info *types.Info, e ast.Expr) bool {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	return c.Parent() == c.Pkg().Scope()
+}

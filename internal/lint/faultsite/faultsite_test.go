@@ -1,0 +1,12 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/faultsite"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", faultsite.Analyzer, "faultsite_a")
+}

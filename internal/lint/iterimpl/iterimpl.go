@@ -1,0 +1,160 @@
+// Package iterimpl defines an analyzer for physical.Iterator
+// implementations and structural-join construction. Two invariants:
+//
+//  1. A type implementing physical.Iterator must declare Schema, Order and
+//     Next on receivers of the same kind (all pointer or all value). A
+//     split method set means copies of the iterator share or lose
+//     per-iteration state depending on which method is called — the bug
+//     surfaces as duplicated or dropped tuples, never as a compile error.
+//
+//  2. StackTree structural joins require inputs sorted by the join
+//     attribute, and the optimizer verifies this through order
+//     descriptors. Feeding a NewStackTree* constructor a scan with a nil
+//     or empty algebra.OrderDesc declares "no known order" and is always
+//     either a latent runtime error or a lie about sortedness; the order
+//     must be declared at the scan.
+package iterimpl
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xamdb/internal/lint/analysis"
+)
+
+const (
+	physicalPath = "xamdb/internal/physical"
+	algebraPath  = "xamdb/internal/algebra"
+)
+
+// Analyzer reports Iterator implementations with mixed receiver kinds and
+// StackTree constructors fed order-less scans.
+var Analyzer = &analysis.Analyzer{
+	Name: "iterimpl",
+	Doc:  "physical.Iterator methods must share one receiver kind; StackTree inputs must declare their order",
+	Run:  run,
+}
+
+var iterMethods = []string{"Schema", "Order", "Next"}
+
+func run(pass *analysis.Pass) error {
+	iterObj := pass.ImportedObject(physicalPath, "Iterator")
+	if iterObj == nil {
+		return nil // cannot implement or construct without the package
+	}
+	iface, ok := iterObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	checkImplementations(pass, iface)
+	checkConstructors(pass)
+	return nil
+}
+
+// checkImplementations enforces receiver-kind consistency on every named
+// type of the package whose pointer (or value) satisfies Iterator.
+func checkImplementations(pass *analysis.Pass, iface *types.Interface) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.IsInterface(named) {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		var ptrRecv, valRecv []string
+		for _, m := range iterMethods {
+			fn := ownMethod(named, m)
+			if fn == nil {
+				continue // promoted from an embedded iterator; its own type is checked
+			}
+			if _, isPtr := fn.Type().(*types.Signature).Recv().Type().(*types.Pointer); isPtr {
+				ptrRecv = append(ptrRecv, m)
+			} else {
+				valRecv = append(valRecv, m)
+			}
+		}
+		if len(ptrRecv) > 0 && len(valRecv) > 0 {
+			pass.Reportf(tn.Pos(),
+				"%s implements physical.Iterator with mixed receivers: %s on pointer, %s on value; per-iteration state is lost on copies",
+				name, strings.Join(ptrRecv, "/"), strings.Join(valRecv, "/"))
+		}
+	}
+}
+
+// ownMethod returns the method declared directly on named (not promoted
+// from an embedded field), or nil.
+func ownMethod(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// checkConstructors flags NewStackTree* calls whose input scans declare no
+// order.
+func checkConstructors(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := analysis.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || !strings.HasPrefix(fn.Name(), "NewStackTree") {
+				return true
+			}
+			if fn.Pkg() == nil || fn.Pkg().Path() != physicalPath {
+				return true
+			}
+			for _, arg := range call.Args {
+				checkInput(pass, arg)
+			}
+			return true
+		})
+	}
+}
+
+// checkInput inspects one constructor argument for order-less scans and
+// bare empty OrderDesc literals.
+func checkInput(pass *analysis.Pass, arg ast.Expr) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		if analysis.IsFunc(analysis.Callee(pass.TypesInfo, e), physicalPath, "NewScan") && len(e.Args) == 2 {
+			if orderless(pass, e.Args[1]) {
+				pass.Reportf(e.Args[1].Pos(),
+					"structural-join input scan declares no order; StackTree requires inputs sorted by the join attribute (pass the algebra.OrderDesc the data satisfies, or sort first)")
+			}
+		}
+	case *ast.CompositeLit:
+		if orderless(pass, e) {
+			pass.Reportf(e.Pos(),
+				"empty algebra.OrderDesc passed to a structural join; declare the order the input satisfies")
+		}
+	}
+}
+
+// orderless reports whether e is nil or an empty algebra.OrderDesc
+// composite literal.
+func orderless(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if ok && tv.IsNil() {
+		return true
+	}
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok || len(lit.Elts) > 0 {
+		return false
+	}
+	return analysis.NamedType(pass.TypesInfo.Types[lit].Type, algebraPath, "OrderDesc")
+}

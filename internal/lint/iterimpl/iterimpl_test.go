@@ -1,0 +1,12 @@
+package iterimpl_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/iterimpl"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", iterimpl.Analyzer, "iterimpl_a")
+}

@@ -1,0 +1,40 @@
+// Package lint assembles the xamlint analyzer suite: compile-time
+// enforcement of the engine's runtime contracts (cancellation,
+// error-chain preservation, iterator/order discipline, fault-site
+// registry hygiene, no-panic library surfaces). The suite runs three
+// ways, all equivalent:
+//
+//	go run ./cmd/xamlint ./...   (locally and as a required CI step)
+//	go test ./internal/lint      (TestRepoClean, part of tier-1 tests)
+//	per-analyzer analysistest fixtures under internal/lint/testdata
+package lint
+
+import (
+	"xamdb/internal/lint/analysis"
+	"xamdb/internal/lint/ctxdrain"
+	"xamdb/internal/lint/errwrap"
+	"xamdb/internal/lint/faultsite"
+	"xamdb/internal/lint/iterimpl"
+	"xamdb/internal/lint/nopanic"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxdrain.Analyzer,
+		errwrap.Analyzer,
+		faultsite.Analyzer,
+		iterimpl.Analyzer,
+		nopanic.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

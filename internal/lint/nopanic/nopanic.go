@@ -1,0 +1,113 @@
+// Package nopanic defines an analyzer keeping panics out of library code:
+// packages under internal/ must return errors on data-dependent failure
+// paths instead of panicking, so that one bad document, query or store
+// cannot take down a process serving many. Three idioms remain legal:
+//
+//   - constant-argument panics (panic("unreachable")) — invariant
+//     assertions, not data-dependent failures;
+//   - exported Must* helpers (MustParse), where the caller explicitly
+//     opts into panic-on-error;
+//   - re-raises inside a function that calls recover() — the
+//     recover-filter-repanic pattern used by DrainContext.
+//
+// Command packages (cmd/, examples/) and the faultinject package (whose
+// purpose is injecting panics) are out of scope. Anything else needs an
+// explicit, reasoned //xamlint:allow nopanic(...) directive.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xamdb/internal/lint/analysis"
+)
+
+// Analyzer reports data-dependent panics in library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "library packages must return errors, not panic, on data-dependent paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if exemptPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Must") {
+				continue // conventional panic-on-error wrapper
+			}
+			check(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func exemptPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return path == "xamdb/internal/faultinject"
+}
+
+// check walks one function body. Panics are reported unless the argument
+// is a compile-time constant or the innermost enclosing function also
+// calls recover (the re-raise pattern).
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	reraise := callsRecover(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			check(pass, n.Body) // own recover scope
+			return false
+		case *ast.CallExpr:
+			if !isBuiltin(pass.TypesInfo, n, "panic") || len(n.Args) != 1 {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok && tv.Value != nil {
+				return true // constant argument: invariant assertion
+			}
+			if reraise {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"data-dependent panic in library code; return an error (or document an invariant with a constant panic message)")
+		}
+		return true
+	})
+}
+
+// callsRecover reports whether the function body calls recover() outside
+// of nested function literals.
+func callsRecover(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isBuiltin(pass.TypesInfo, n, "recover") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/nopanic"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", nopanic.Analyzer, "nopanic_a")
+}

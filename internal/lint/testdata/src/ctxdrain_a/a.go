@@ -1,0 +1,80 @@
+// Fixture for the ctxdrain analyzer: context-blind drains must be
+// reported wherever a context.Context is in scope.
+package ctxdrain_a
+
+import (
+	"context"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/physical"
+	"xamdb/internal/rewrite"
+)
+
+func drainRaw(ctx context.Context, it physical.Iterator) *algebra.Relation {
+	return physical.Drain(it) // want "use physical.DrainContext"
+}
+
+func drainOK(ctx context.Context, it physical.Iterator) (*algebra.Relation, error) {
+	return physical.DrainContext(ctx, it)
+}
+
+func noCtx(it physical.Iterator) *algebra.Relation {
+	return physical.Drain(it) // no context in scope: allowed
+}
+
+func execRaw(ctx context.Context, p rewrite.Plan, env rewrite.Env) (*algebra.Relation, error) {
+	return rewrite.ExecutePhysical(p, env) // want "use rewrite.ExecutePhysicalContext"
+}
+
+func execOK(ctx context.Context, p rewrite.Plan, env rewrite.Env) (*algebra.Relation, error) {
+	return rewrite.ExecutePhysicalContext(ctx, p, env)
+}
+
+func rawLoop(ctx context.Context, it physical.Iterator) int {
+	n := 0
+	for { // want "without consulting the in-scope context"
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func politeLoop(ctx context.Context, it physical.Iterator) (int, error) {
+	n := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		_, ok := it.Next()
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+func checkpointLoop(ctx context.Context, it physical.Iterator) int {
+	cp := physical.NewCheckpoint(ctx, it)
+	n := 0
+	for {
+		_, ok := cp.Next() // checkpoint polls the context itself: allowed
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func closure(ctx context.Context, it physical.Iterator) func() *algebra.Relation {
+	return func() *algebra.Relation {
+		return physical.Drain(it) // want "use physical.DrainContext"
+	}
+}
+
+func unnamedCtx(_ context.Context, it physical.Iterator) *algebra.Relation {
+	return physical.Drain(it) // want "use physical.DrainContext"
+}

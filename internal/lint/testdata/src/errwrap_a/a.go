@@ -1,0 +1,54 @@
+// Fixture for the errwrap analyzer: fmt.Errorf must wrap error arguments
+// with %w.
+package errwrap_a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return fmt.Sprintf("code %d", e.code) }
+
+func wrapV(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want "loses the error chain"
+}
+
+func wrapS(path string, err error) error {
+	return fmt.Errorf("save %s: %s", path, err) // want "loses the error chain"
+}
+
+func wrapConcrete(e *codeError) error {
+	return fmt.Errorf("upstream: %v", e) // want "loses the error chain"
+}
+
+func flatten(err error) error {
+	return fmt.Errorf("save: %s", err.Error()) // want "flattens the error chain"
+}
+
+func wrapOK(path string, err error) error {
+	return fmt.Errorf("save %s: %w", path, err)
+}
+
+func doubleWrapOK(a, b error) error {
+	return fmt.Errorf("both failed: %w / %w", a, b)
+}
+
+func notError(n int) error {
+	return fmt.Errorf("bad count %v (max %s)", n, "ten")
+}
+
+func starWidth(err error) error {
+	return fmt.Errorf("%*d failed: %v", 3, 7, err) // want "loses the error chain"
+}
+
+func dynamicFormat(f string, err error) error {
+	return fmt.Errorf(f, err) // unverifiable format: allowed
+}
+
+var errSentinel = errors.New("sentinel")
+
+func mixed(path string) error {
+	return fmt.Errorf("open %q: %w", path, errSentinel)
+}

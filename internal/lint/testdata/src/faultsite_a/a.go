@@ -1,0 +1,35 @@
+// Fixture for the faultsite analyzer: fault-site names must be
+// package-level named constants.
+package faultsite_a
+
+import "xamdb/internal/faultinject"
+
+// SiteLoad is a registered fault site; exported so tests elsewhere can arm
+// the same name the production check consults.
+const SiteLoad = "faultsite_a.load"
+
+const siteLocal = "faultsite_a.local" // unexported package-level is fine too
+
+func checks() error {
+	if err := faultinject.Check("faultsite_a.inline"); err != nil { // want "package-level named string constant"
+		return err
+	}
+	if err := faultinject.Check(SiteLoad); err != nil {
+		return err
+	}
+	return faultinject.Check(siteLocal)
+}
+
+func arm() {
+	faultinject.Arm("inline.site", faultinject.Fault{}) // want "package-level named string constant"
+	faultinject.Arm(SiteLoad, faultinject.Fault{})
+}
+
+func localConst() {
+	const site = "local.const"
+	faultinject.Disarm(site) // want "package-level named string constant"
+}
+
+func dynamic(name string) int {
+	return faultinject.Hits("pre." + name) // want "package-level named string constant"
+}

@@ -1,0 +1,70 @@
+// Fixture for the iterimpl analyzer: Iterator implementations must use
+// receiver-consistent methods, and StackTree inputs must declare orders.
+package iterimpl_a
+
+import (
+	"xamdb/internal/algebra"
+	"xamdb/internal/physical"
+)
+
+// mixed loses its cursor when copied: Next advances a pointer receiver
+// while Schema/Order are value methods.
+type mixed struct { // want "mixed receivers"
+	rel *algebra.Relation
+	pos int
+}
+
+func (m mixed) Schema() *algebra.Schema  { return m.rel.Schema }
+func (m mixed) Order() algebra.OrderDesc { return nil }
+func (m *mixed) Next() (algebra.Tuple, bool) {
+	if m.pos >= m.rel.Len() {
+		return nil, false
+	}
+	t := m.rel.Tuples[m.pos]
+	m.pos++
+	return t, true
+}
+
+// consistent is fine: all three methods on the pointer.
+type consistent struct {
+	rel *algebra.Relation
+	pos int
+}
+
+func (c *consistent) Schema() *algebra.Schema  { return c.rel.Schema }
+func (c *consistent) Order() algebra.OrderDesc { return nil }
+func (c *consistent) Next() (algebra.Tuple, bool) {
+	if c.pos >= c.rel.Len() {
+		return nil, false
+	}
+	t := c.rel.Tuples[c.pos]
+	c.pos++
+	return t, true
+}
+
+// wrapper embeds an iterator; promoted methods are not its problem.
+type wrapper struct {
+	physical.Iterator
+	label string
+}
+
+func badJoin(anc, desc *algebra.Relation) {
+	_, _ = physical.NewStackTreeDesc(
+		physical.NewScan(anc, nil), // want "declares no order"
+		physical.NewScan(desc, algebra.OrderDesc{}), // want "declares no order"
+		"A.ID", "D.ID", physical.DescendantAxis)
+}
+
+func badAncJoin(anc, desc *algebra.Relation) {
+	_, _ = physical.NewStackTreeAnc(
+		physical.NewScan(anc, nil), // want "declares no order"
+		physical.NewScan(desc, algebra.OrderDesc{"D.ID"}),
+		"A.ID", "D.ID", physical.DescendantAxis)
+}
+
+func goodJoin(anc, desc *algebra.Relation) {
+	_, _ = physical.NewStackTreeDesc(
+		physical.NewScan(anc, algebra.OrderDesc{"A.ID"}),
+		physical.NewScan(desc, algebra.OrderDesc{"D.ID"}),
+		"A.ID", "D.ID", physical.DescendantAxis)
+}

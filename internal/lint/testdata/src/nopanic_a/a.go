@@ -1,0 +1,62 @@
+// Fixture for the nopanic analyzer: library code returns errors; panics
+// are reserved for constant invariant assertions, Must* wrappers,
+// re-raises under recover, and reasoned suppressions.
+package nopanic_a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBoom = errors.New("boom")
+
+func parse(s string) error {
+	if s == "" {
+		panic("parse: empty input precondition") // constant assertion: allowed
+	}
+	if len(s) > 10 {
+		panic(fmt.Sprintf("too long: %s", s)) // want "data-dependent panic"
+	}
+	if s == "boom" {
+		panic(errBoom) // want "data-dependent panic"
+	}
+	return nil
+}
+
+// MustParse is the conventional panic-on-error opt-in wrapper: allowed.
+func MustParse(s string) string {
+	if err := parse(s); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// mustParse hides a panic behind an unexported helper: still a violation.
+func mustParse(s string) string {
+	if err := parse(s); err != nil {
+		panic(err) // want "data-dependent panic"
+	}
+	return s
+}
+
+// reraise recovers, filters, and re-panics: the DrainContext pattern,
+// allowed.
+func reraise(f func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			panic(p)
+		}
+	}()
+	f()
+	return nil
+}
+
+// suppressed carries a reasoned allow-directive: allowed, auditable.
+func suppressed() {
+	//xamlint:allow nopanic(fixture: demonstrates reasoned suppression)
+	panic(errBoom)
+}

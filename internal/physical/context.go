@@ -49,6 +49,7 @@ func (c *Checkpoint) Order() algebra.OrderDesc { return c.in.Order() }
 func (c *Checkpoint) Next() (algebra.Tuple, bool) {
 	if c.n%checkpointInterval == 0 {
 		if err := c.ctx.Err(); err != nil {
+			//xamlint:allow nopanic(cancellation protocol: typed panic unwinds the iterator tree and is recovered by DrainContext)
 			panic(&Cancelled{Err: err})
 		}
 	}

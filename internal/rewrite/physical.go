@@ -12,6 +12,12 @@ import (
 	"xamdb/internal/xam"
 )
 
+// SiteCompileScan is the registered fault-injection site failing plan
+// compilation at the first view scan (see internal/faultinject and the
+// faultsite analyzer); exported so resilience tests arm exactly the name
+// the production check consults.
+const SiteCompileScan = "rewrite.compile.scan"
+
 // ExecutePhysical compiles the plan into the §1.2.3 physical operators —
 // StackTreeDesc/StackTreeAnc structural joins over sorted inputs, hash joins
 // for ID fusions, streaming selections and projections — and drains the
@@ -39,7 +45,7 @@ func ExecutePhysicalContext(ctx context.Context, p Plan, env Env) (*algebra.Rela
 func compile(ctx context.Context, p Plan, env Env) (physical.Iterator, error) {
 	switch pl := p.(type) {
 	case *ScanPlan:
-		if err := faultinject.Check("rewrite.compile.scan"); err != nil {
+		if err := faultinject.Check(SiteCompileScan); err != nil {
 			return nil, err
 		}
 		rel, ok := env[pl.View.Name]

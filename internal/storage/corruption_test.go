@@ -120,7 +120,7 @@ func TestSaveStoreFileAtomic(t *testing.T) {
 			again.Name, len(again.Modules), st.Name, len(st.Modules))
 	}
 	// A failing save must leave neither a damaged target nor temp litter.
-	faultinject.Arm("storage.save", faultinject.Fault{})
+	faultinject.Arm(SiteSave, faultinject.Fault{})
 	t.Cleanup(faultinject.Reset)
 	if err := SaveStoreFile(path, st); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("injected save fault must surface, got %v", err)
@@ -160,7 +160,7 @@ func TestLoadStoreReadFailureMidStream(t *testing.T) {
 
 func TestLoadStoreInjectedSiteFault(t *testing.T) {
 	_, b := mustStoreBytes(t)
-	faultinject.Arm("storage.load", faultinject.Fault{})
+	faultinject.Arm(SiteLoad, faultinject.Fault{})
 	t.Cleanup(faultinject.Reset)
 	if _, err := LoadStoreBytes(b); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("armed storage.load site must inject, got %v", err)

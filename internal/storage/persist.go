@@ -41,6 +41,16 @@ const (
 	storeHeaderSize = len(storeMagic) + 1 + 8
 )
 
+// Registered fault-injection sites (see internal/faultinject and the
+// faultsite analyzer): exported so resilience tests arm exactly the names
+// the production checks consult.
+const (
+	// SiteSave fails SaveStore before any byte is written.
+	SiteSave = "storage.save"
+	// SiteLoad fails LoadStore before any byte is read.
+	SiteLoad = "storage.load"
+)
+
 var storeCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // persistedModule is the on-wire form of a Module.
@@ -177,7 +187,7 @@ func fromPersistedValue(pv persistedValue) (algebra.Value, error) {
 
 // SaveStore serializes the store with the versioned, checksummed framing.
 func SaveStore(w io.Writer, s *Store) error {
-	if err := faultinject.Check("storage.save"); err != nil {
+	if err := faultinject.Check(SiteSave); err != nil {
 		return fmt.Errorf("storage: save: %w", err)
 	}
 	mods := make([]persistedModule, len(s.Modules))
@@ -231,7 +241,7 @@ func (o *offsetReader) Read(p []byte) (int, error) {
 // framing and checksum before decoding a single payload byte. Errors carry
 // the byte offset at which the file stopped making sense.
 func LoadStore(r io.Reader) (*Store, error) {
-	if err := faultinject.Check("storage.load"); err != nil {
+	if err := faultinject.Check(SiteLoad); err != nil {
 		return nil, fmt.Errorf("storage: load: %w", err)
 	}
 	header := make([]byte, storeHeaderSize)

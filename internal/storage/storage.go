@@ -110,14 +110,6 @@ func buildModule(doc *xmltree.Document, name, pat string) (*Module, error) {
 	return &Module{Name: name, Pattern: p, Data: data}, nil
 }
 
-func mustModule(doc *xmltree.Document, name, pat string) *Module {
-	m, err := buildModule(doc, name, pat)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // elementTags returns the document's distinct element tags, sorted.
 func elementTags(doc *xmltree.Document) []string {
 	set := map[string]bool{}
