@@ -10,6 +10,8 @@
 //	uload -dataset dblp -store tag -explain \
 //	    -query 'for $x in doc("dblp.xml")//article where $x/year = "1999" return <r>{$x/title}</r>'
 //	uload -file bib.xml -view 'v1=// book{id s}(/ title{id s, val})' -query '...'
+//	uload -file bib.xml -analyze -query 'doc("bib.xml")//book/title'   # EXPLAIN ANALYZE
+//	uload -file bib.xml -trace -query '...'                            # span tree as JSON
 package main
 
 import (
@@ -44,6 +46,9 @@ func main() {
 		scale      = flag.Int("scale", 5, "dataset scale factor")
 		query      = flag.String("query", "", "XQuery to run")
 		explain    = flag.Bool("explain", false, "plan only, do not execute")
+		analyze    = flag.Bool("analyze", false, "execute and print the per-operator tree (EXPLAIN ANALYZE)")
+		trace      = flag.Bool("trace", false, "print the query's span trace as JSON")
+		metrics    = flag.Bool("metrics", false, "print the engine metrics snapshot before exiting")
 		printSum   = flag.Bool("summary", false, "print the path summary")
 		store      = flag.String("store", "", "register a storage scheme: tag, path, node, edge, hybrid")
 		noFallback = flag.Bool("no-fallback", false, "fail when no rewriting exists (pure physical independence mode)")
@@ -139,11 +144,13 @@ func main() {
 	}
 
 	if *repl {
-		runREPL(e, *explain)
+		runREPL(e, *explain, *analyze, *trace)
+		printMetrics(e, *metrics)
 		return
 	}
 
 	if *query == "" {
+		printMetrics(e, *metrics)
 		return
 	}
 	if *explain {
@@ -152,12 +159,45 @@ func main() {
 		fmt.Print(rep)
 		return
 	}
-	out, rep, err := e.Query(*query)
+	var (
+		out string
+		rep *engine.Report
+		err error
+	)
+	if *analyze {
+		out, rep, err = e.Analyze(*query)
+	} else {
+		out, rep, err = e.Query(*query)
+	}
+	if err != nil && rep != nil {
+		// Even a failed query carries a partial report; surface it so the
+		// user sees how far the pipeline got.
+		fmt.Fprint(os.Stderr, rep)
+	}
 	fatal(err)
-	fmt.Print(rep)
+	if *analyze {
+		fmt.Print(rep.AnalyzeString()) // includes the pattern/plan lines
+	} else {
+		fmt.Print(rep)
+	}
+	if *trace && rep.Trace != nil {
+		data, err := rep.Trace.JSON()
+		fatal(err)
+		fmt.Println(string(data))
+	}
 	warnDegraded(rep)
 	fmt.Println("result:")
 	fmt.Println(out)
+	printMetrics(e, *metrics)
+}
+
+// printMetrics dumps the engine's metrics registry when -metrics is set.
+func printMetrics(e *engine.Engine, enabled bool) {
+	if !enabled {
+		return
+	}
+	fmt.Println("metrics:")
+	fmt.Print(e.Metrics.Snapshot())
 }
 
 // warnDegraded surfaces fallback-cascade activity on stderr so scripts see
@@ -170,7 +210,7 @@ func warnDegraded(rep *engine.Report) {
 }
 
 // runREPL reads one query per line from stdin, planning and executing each.
-func runREPL(e *engine.Engine, explainOnly bool) {
+func runREPL(e *engine.Engine, explainOnly, analyze, trace bool) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println(`enter XQuery per line ("quit" to exit):`)
@@ -195,12 +235,30 @@ func runREPL(e *engine.Engine, explainOnly bool) {
 			fmt.Print(rep)
 			continue
 		}
-		out, rep, err := e.Query(line)
+		var (
+			out string
+			rep *engine.Report
+			err error
+		)
+		if analyze {
+			out, rep, err = e.Analyze(line)
+		} else {
+			out, rep, err = e.Query(line)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
-		fmt.Print(rep)
+		if analyze {
+			fmt.Print(rep.AnalyzeString()) // includes the pattern/plan lines
+		} else {
+			fmt.Print(rep)
+		}
+		if trace && rep.Trace != nil {
+			if data, err := rep.Trace.JSON(); err == nil {
+				fmt.Println(string(data))
+			}
+		}
 		warnDegraded(rep)
 		fmt.Println(out)
 	}

@@ -12,7 +12,12 @@
 //	xambench -exp execution          # §1.2.3 StackTree vs nested loops
 //	xambench -exp minimize           # §4.5 minimization by S-contraction
 //	xambench -exp extraction         # Chapter 3 pattern extraction
+//	xambench -exp observability      # query-path latency/throughput + metrics JSON
 //	xambench -exp all                # everything
+//
+// The observability experiment writes its full report (per-query latencies,
+// EXPLAIN ANALYZE tree, trace, metrics snapshot) to the file named by -json
+// (default BENCH_observability.json).
 package main
 
 import (
@@ -26,10 +31,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, all")
+	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, all")
 	sumName := flag.String("summary", "xmark", "summary for synthetic containment: xmark or dblp")
 	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonPath := flag.String("json", "BENCH_observability.json", "output file for the observability report")
+	iters := flag.Int("iters", 3, "observability: repetitions per query")
+	workers := flag.Int("workers", 4, "observability: concurrent goroutines")
 	flag.Parse()
 
 	// ^C aborts the sweep at the next cancellation checkpoint instead of
@@ -153,6 +161,34 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("%7d %12s %12s %8d\n", r.Items, r.Logical, r.Physical, r.Tuples)
 		}
+		return nil
+	})
+
+	run("observability", func() error {
+		rep, err := bench.QueryObservability(ctx, bench.ObsConfig{Iters: *iters, Goroutines: *workers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset=%s store=%s\n", rep.Dataset, rep.Store)
+		fmt.Printf("%-70s %10s %10s %10s\n", "query", "avg", "min", "max")
+		for _, r := range rep.Queries {
+			q := r.Query
+			if len(q) > 68 {
+				q = q[:65] + "..."
+			}
+			fmt.Printf("%-70s %8.2fµs %8.2fµs %8.2fµs\n", q,
+				float64(r.AvgNS)/1e3, float64(r.MinNS)/1e3, float64(r.MaxNS)/1e3)
+		}
+		c := rep.Concurrency
+		fmt.Printf("concurrent: %d goroutines, %d queries in %.2fms → %.0f qps\n",
+			c.Goroutines, c.Queries, float64(c.ElapsedNS)/1e6, c.QPS)
+		if rep.Analyze != nil {
+			fmt.Printf("explain analyze (%s):\n%s", rep.Queries[0].Query, rep.Analyze.String())
+		}
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
 		return nil
 	})
 

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"xamdb/internal/engine"
+	"xamdb/internal/obs"
+	"xamdb/internal/physical"
+	"xamdb/internal/storage"
+)
+
+// ObsConfig sizes the observability benchmark. The zero value is the CI
+// smoke configuration.
+type ObsConfig struct {
+	Iters      int // repetitions per query (default 3)
+	Goroutines int // concurrent workers for the throughput section (default 4)
+}
+
+func (c ObsConfig) withDefaults() ObsConfig {
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	if c.Goroutines <= 0 {
+		c.Goroutines = 4
+	}
+	return c
+}
+
+// ObsQueryRow is one workload query's latency summary in the BENCH JSON.
+type ObsQueryRow struct {
+	Query string `json:"query"`
+	Plan  string `json:"plan"`
+	Iters int    `json:"iters"`
+	AvgNS int64  `json:"avg_ns"`
+	MinNS int64  `json:"min_ns"`
+	MaxNS int64  `json:"max_ns"`
+}
+
+// ObsConcurrency is the concurrent-throughput section of the BENCH JSON.
+type ObsConcurrency struct {
+	Goroutines int     `json:"goroutines"`
+	Queries    int     `json:"queries"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	QPS        float64 `json:"qps"`
+}
+
+// ObsReport is the xambench observability export — the engine's bench JSON
+// trajectory (BENCH_*.json): per-query latencies, one EXPLAIN ANALYZE
+// operator tree, one query trace, a concurrent-throughput measurement, and
+// the full engine metrics snapshot. Schema documented in DESIGN.md
+// "Observability".
+type ObsReport struct {
+	Experiment  string            `json:"experiment"`
+	Dataset     string            `json:"dataset"`
+	Store       string            `json:"store"`
+	Queries     []ObsQueryRow     `json:"queries"`
+	Analyze     *physical.OpStats `json:"explain_analyze"`
+	Trace       json.RawMessage   `json:"trace"`
+	Concurrency ObsConcurrency    `json:"concurrency"`
+	Metrics     *obs.Snapshot     `json:"metrics"`
+}
+
+// obsWorkload is the query mix driven over the DBLP stand-in.
+var obsWorkload = []string{
+	`doc("dblp.xml")//article/title`,
+	`doc("dblp.xml")//article/author`,
+	`for $x in doc("dblp.xml")//article where $x/year = "1999" return <r>{$x/title}</r>`,
+	`doc("dblp.xml")//book/title`,
+}
+
+// obsViews are content-bearing XAMs answering the workload's title/author
+// lookups by rewriting; the tag-partitioned store's {id, val} modules cannot
+// serve the serialized-content ({cont}) attribute those patterns ask for, so
+// without these every workload query would take the base-scan path and the
+// benchmark would never exercise the rewrite/materialize/execute spans.
+var obsViews = map[string]string{
+	"v_article_title":  `// article(/ title{cont})`,
+	"v_article_author": `// article(/ author{cont})`,
+	"v_book_title":     `// book(/ title{cont})`,
+}
+
+// QueryObservability measures the engine's query path end to end: it loads
+// the DBLP dataset with a tag-partitioned store plus the content views, runs
+// the workload repeatedly (recording per-query latency and the chosen
+// plans), captures one EXPLAIN ANALYZE tree and one trace, then drives the
+// workload from cfg.Goroutines workers for the throughput row, and finally
+// snapshots the engine metrics registry.
+func QueryObservability(ctx context.Context, cfg ObsConfig) (*ObsReport, error) {
+	cfg = cfg.withDefaults()
+	d := DBLPDataset()
+	e := engine.New()
+	e.AddDocument(d.Doc)
+	st, err := storage.TagPartitioned(d.Doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.RegisterStore(d.Doc.Name, st); err != nil {
+		return nil, err
+	}
+	for name, pat := range obsViews {
+		if err := e.RegisterView(d.Doc.Name, name, pat); err != nil {
+			return nil, err
+		}
+	}
+	rep := &ObsReport{
+		Experiment: "observability",
+		Dataset:    d.Name,
+		Store:      st.Name,
+	}
+
+	for _, q := range obsWorkload {
+		row := ObsQueryRow{Query: q, Iters: cfg.Iters, MinNS: int64(^uint64(0) >> 1)}
+		var sum int64
+		for i := 0; i < cfg.Iters; i++ {
+			start := time.Now()
+			_, qrep, err := e.QueryContext(ctx, q)
+			lat := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("bench: query %q: %w", q, err)
+			}
+			sum += lat
+			if lat < row.MinNS {
+				row.MinNS = lat
+			}
+			if lat > row.MaxNS {
+				row.MaxNS = lat
+			}
+			if i == 0 && len(qrep.Plans) > 0 {
+				row.Plan = qrep.Plans[0]
+			}
+		}
+		row.AvgNS = sum / int64(cfg.Iters)
+		rep.Queries = append(rep.Queries, row)
+	}
+
+	// One EXPLAIN ANALYZE tree and one trace for the first workload query.
+	_, arep, err := e.AnalyzeContext(ctx, obsWorkload[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(arep.Ops) > 0 {
+		rep.Analyze = arep.Ops[0]
+	}
+	if arep.Trace != nil {
+		data, err := arep.Trace.JSON()
+		if err != nil {
+			return nil, err
+		}
+		rep.Trace = data
+	}
+
+	// Concurrent throughput: every worker runs the whole workload Iters
+	// times against the shared engine.
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.Goroutines)
+	total := cfg.Goroutines * cfg.Iters * len(obsWorkload)
+	start := time.Now()
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.Iters; i++ {
+				for _, q := range obsWorkload {
+					if _, _, err := e.QueryContext(ctx, q); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return nil, fmt.Errorf("bench: concurrent workload: %w", err)
+	}
+	elapsed := time.Since(start)
+	rep.Concurrency = ObsConcurrency{
+		Goroutines: cfg.Goroutines,
+		Queries:    total,
+		ElapsedNS:  elapsed.Nanoseconds(),
+		QPS:        float64(total) / elapsed.Seconds(),
+	}
+	rep.Metrics = e.Metrics.Snapshot()
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_*.json format).
+func (r *ObsReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQueryObservability is the smoke test for the BENCH JSON export: the
+// report must cover every workload query, carry an operator tree and trace,
+// include the engine metrics snapshot, and round-trip through WriteJSON.
+func TestQueryObservability(t *testing.T) {
+	rep, err := QueryObservability(context.Background(), ObsConfig{Iters: 1, Goroutines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != len(obsWorkload) {
+		t.Fatalf("got %d query rows, want %d", len(rep.Queries), len(obsWorkload))
+	}
+	for _, r := range rep.Queries {
+		if r.AvgNS <= 0 || r.MinNS > r.MaxNS {
+			t.Fatalf("latency row out of order: %+v", r)
+		}
+	}
+	if rep.Analyze == nil || rep.Analyze.Rows == 0 {
+		t.Fatalf("report must carry a non-empty EXPLAIN ANALYZE tree: %+v", rep.Analyze)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("report must carry a trace")
+	}
+	if rep.Concurrency.Queries == 0 || rep.Concurrency.QPS <= 0 {
+		t.Fatalf("concurrency section empty: %+v", rep.Concurrency)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["engine.queries"] == 0 {
+		t.Fatalf("metrics snapshot must record queries: %+v", rep.Metrics)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_observability.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("BENCH JSON must round-trip: %v", err)
+	}
+	if back.Experiment != "observability" || len(back.Queries) != len(rep.Queries) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

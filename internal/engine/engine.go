@@ -6,6 +6,14 @@
 // and executes the chosen plans — achieving physical data independence:
 // changing the storage means changing the registered XAM set, never the
 // engine.
+//
+// The engine is goroutine-safe: QueryContext / ExplainContext / Analyze may
+// run concurrently with each other and with view registration. The
+// configuration fields (FallbackToBase, UsePhysical, QueryTimeout, Opts,
+// Metrics) must be set before the engine starts serving concurrent traffic.
+// Every query is measured through the internal/obs observability layer:
+// engine-level counters and latency histograms in Metrics, and a per-query
+// trace span tree attached to the Report.
 package engine
 
 import (
@@ -13,9 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"xamdb/internal/algebra"
+	"xamdb/internal/obs"
 	"xamdb/internal/physical"
 	"xamdb/internal/rewrite"
 	"xamdb/internal/storage"
@@ -25,19 +35,47 @@ import (
 	"xamdb/internal/xquery"
 )
 
-// docState groups what the engine knows about one document.
+// docState groups what the engine knows about one document. doc and summary
+// are immutable after registration; mu guards the view set and the lazily
+// built rewriter / materialized extents.
 type docState struct {
-	doc       *xmltree.Document
-	summary   *summary.Summary
+	doc     *xmltree.Document
+	summary *summary.Summary
+
+	mu        sync.RWMutex
 	views     []*rewrite.View
 	viewNames map[string]bool // registered view/module names, for dup rejection
 	env       rewrite.Env
 	rewriter  *rewrite.Rewriter // rebuilt lazily when views change
+	// materialized marks that the rewriter's view extents have been merged
+	// into env. It is set only after a successful Materialize, so a failed
+	// materialization is retried on the next query instead of leaving later
+	// queries to execute over an environment with no extents.
+	materialized bool
+}
+
+func (st *docState) hasViews() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.views) > 0
+}
+
+// plannerLocked returns the rewriter, building it if the view set changed.
+// Building is pure planning state — no document access, no extent
+// materialization — so Explain stays read-only and cheap. Callers hold mu.
+func (st *docState) plannerLocked(opts rewrite.Options) *rewrite.Rewriter {
+	if st.rewriter == nil {
+		st.rewriter = rewrite.NewRewriter(st.summary, st.views, opts)
+		st.materialized = false
+	}
+	return st.rewriter
 }
 
 // Engine is the query processor.
 type Engine struct {
+	mu   sync.RWMutex
 	docs map[string]*docState
+
 	// FallbackToBase lets queries run by direct evaluation when no
 	// rewriting exists (equivalent to registering the trivial node store).
 	FallbackToBase bool
@@ -50,6 +88,10 @@ type Engine struct {
 	// earlier one wins).
 	QueryTimeout time.Duration
 	Opts         rewrite.Options
+	// Metrics receives the engine's counters and latency histograms (see
+	// DESIGN.md "Observability" for the metric names). New wires a fresh
+	// registry; nil falls back to the process-wide obs.Default().
+	Metrics *obs.Registry
 }
 
 // New creates an empty engine that falls back to base evaluation. The
@@ -60,7 +102,15 @@ func New() *Engine {
 		docs:           map[string]*docState{},
 		FallbackToBase: true,
 		Opts:           rewrite.Options{MaxPlans: 3},
+		Metrics:        obs.NewRegistry(),
 	}
+}
+
+func (e *Engine) metrics() *obs.Registry {
+	if e.Metrics != nil {
+		return e.Metrics
+	}
+	return obs.Default()
 }
 
 // LoadDocument parses and registers a document, building its summary.
@@ -75,6 +125,8 @@ func (e *Engine) LoadDocument(name, content string) error {
 
 // AddDocument registers an already-parsed document.
 func (e *Engine) AddDocument(doc *xmltree.Document) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.docs[doc.Name] = &docState{
 		doc:       doc,
 		summary:   summary.Build(doc),
@@ -85,6 +137,8 @@ func (e *Engine) AddDocument(doc *xmltree.Document) {
 
 // Document returns a registered document, or nil.
 func (e *Engine) Document(name string) *xmltree.Document {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if st, ok := e.docs[name]; ok {
 		return st.doc
 	}
@@ -93,6 +147,8 @@ func (e *Engine) Document(name string) *xmltree.Document {
 
 // Summary returns a document's path summary, or nil.
 func (e *Engine) Summary(name string) *summary.Summary {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if st, ok := e.docs[name]; ok {
 		return st.summary
 	}
@@ -100,6 +156,8 @@ func (e *Engine) Summary(name string) *summary.Summary {
 }
 
 func (e *Engine) state(doc string) (*docState, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	st, ok := e.docs[doc]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown document %q", doc)
@@ -121,12 +179,15 @@ func (e *Engine) RegisterView(doc, name, pat string) error {
 	if err != nil {
 		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.viewNames[name] {
 		return fmt.Errorf("engine: duplicate view %q for document %q", name, doc)
 	}
 	st.views = append(st.views, &rewrite.View{Name: name, Pattern: p})
 	st.viewNames[name] = true
 	st.rewriter = nil
+	st.materialized = false
 	return nil
 }
 
@@ -139,6 +200,8 @@ func (e *Engine) RegisterStore(doc string, store *storage.Store) error {
 		return err
 	}
 	views := store.Views()
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for _, v := range views {
 		if st.viewNames[v.Name] {
 			return fmt.Errorf("engine: duplicate view %q (module of store %q) for document %q",
@@ -153,15 +216,32 @@ func (e *Engine) RegisterStore(doc string, store *storage.Store) error {
 		st.env[name] = rel
 	}
 	st.rewriter = nil
+	st.materialized = false
 	return nil
 }
 
-// rewriterFor returns (building if needed) the document's rewriter and env.
+// plannerFor returns (building if needed) the document's rewriter without
+// materializing any extent — the read-only planning half of rewriterFor,
+// which is all Explain needs.
+func (e *Engine) plannerFor(st *docState) *rewrite.Rewriter {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.plannerLocked(e.Opts)
+}
+
+// rewriterFor returns the document's rewriter and a snapshot of its
+// execution environment, materializing view extents on first use. The
+// materialized flag is set only on success, so a failed materialization
+// degrades this query and is retried on the next one — it is never cached
+// as a rewriter whose views have no extents.
 func (e *Engine) rewriterFor(st *docState) (*rewrite.Rewriter, rewrite.Env, error) {
-	if st.rewriter == nil {
-		st.rewriter = rewrite.NewRewriter(st.summary, st.views, e.Opts)
-		// Materialize any views that have no extent yet.
-		env, err := st.rewriter.Materialize(st.doc)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rw := st.plannerLocked(e.Opts)
+	if !st.materialized {
+		start := time.Now()
+		env, err := rw.Materialize(st.doc)
+		e.metrics().Histogram("engine.materialize_ns").Since(start)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -170,8 +250,15 @@ func (e *Engine) rewriterFor(st *docState) (*rewrite.Rewriter, rewrite.Env, erro
 				st.env[name] = rel
 			}
 		}
+		st.materialized = true
 	}
-	return st.rewriter, st.env, nil
+	// Snapshot the env so plan execution reads it without holding the lock
+	// while a concurrent RegisterStore mutates the live map.
+	env := make(rewrite.Env, len(st.env))
+	for name, rel := range st.env {
+		env[name] = rel
+	}
+	return rw, env, nil
 }
 
 // Degradation records one step down the fallback cascade: a plan that
@@ -190,19 +277,53 @@ type Report struct {
 	// replaced by the next-best rewriting or the base scan. Empty for a
 	// cleanly-answered query.
 	Degradations []Degradation
+	// Trace is the query's span tree (parse → extract → per-pattern
+	// materialize/rewrite/execute), attached by QueryContext.
+	Trace *obs.Trace
+	// Ops holds one EXPLAIN ANALYZE operator tree per pattern, populated
+	// only by Analyze/AnalyzeContext.
+	Ops []*physical.OpStats
 }
 
 // Degraded reports whether any pattern was answered by a fallback after
 // its preferred plan failed.
 func (r *Report) Degraded() bool { return len(r.Degradations) > 0 }
 
+// String renders the report. It tolerates partial reports (a pattern
+// recorded but its plan not yet chosen when the query failed), so the
+// telemetry of an aborted query is still printable.
 func (r *Report) String() string {
 	var sb strings.Builder
 	for i := range r.Patterns {
-		fmt.Fprintf(&sb, "pattern %d: %s\n  plan: %s\n", i+1, r.Patterns[i], r.Plans[i])
+		plan := "(none: query did not complete)"
+		if i < len(r.Plans) {
+			plan = r.Plans[i]
+		}
+		fmt.Fprintf(&sb, "pattern %d: %s\n  plan: %s\n", i+1, r.Patterns[i], plan)
 		for _, d := range r.Degradations {
 			if d.Pattern == i {
 				fmt.Fprintf(&sb, "  degraded: plan %s failed: %s\n", d.Plan, d.Err)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// AnalyzeString renders the EXPLAIN ANALYZE view: per pattern, the chosen
+// plan and its operator tree annotated with rows, timings and checkpoint
+// polls. Patterns without an operator tree (not run under Analyze) fall
+// back to the plain report line.
+func (r *Report) AnalyzeString() string {
+	var sb strings.Builder
+	for i := range r.Patterns {
+		plan := "(none: query did not complete)"
+		if i < len(r.Plans) {
+			plan = r.Plans[i]
+		}
+		fmt.Fprintf(&sb, "pattern %d: %s\n  plan: %s\n", i+1, r.Patterns[i], plan)
+		if i < len(r.Ops) && r.Ops[i] != nil {
+			for _, line := range strings.Split(strings.TrimRight(r.Ops[i].String(), "\n"), "\n") {
+				fmt.Fprintf(&sb, "  %s\n", line)
 			}
 		}
 	}
@@ -217,52 +338,100 @@ func (e *Engine) Query(src string) (string, *Report, error) {
 
 // QueryContext is Query under a context: cancellation and deadlines abort
 // planning and execution (physical plans stop at their next cancellation
-// checkpoint). A non-zero QueryTimeout is applied on top of ctx.
+// checkpoint). A non-zero QueryTimeout is applied on top of ctx. On error
+// the partial *Report gathered so far is returned alongside it, so
+// degradation telemetry is never discarded.
 func (e *Engine) QueryContext(ctx context.Context, src string) (string, *Report, error) {
+	return e.run(ctx, src, false)
+}
+
+// Analyze is Query with per-operator instrumentation (EXPLAIN ANALYZE):
+// rewritten plans execute through the physical engine wrapped in
+// physical.Instrument nodes, and Report.Ops carries one operator tree per
+// pattern, annotated with rows, time and checkpoint polls.
+func (e *Engine) Analyze(src string) (string, *Report, error) {
+	return e.AnalyzeContext(context.Background(), src)
+}
+
+// AnalyzeContext is Analyze under a context.
+func (e *Engine) AnalyzeContext(ctx context.Context, src string) (string, *Report, error) {
+	return e.run(ctx, src, true)
+}
+
+// run is the shared query path of QueryContext and AnalyzeContext.
+func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string, report *Report, err error) {
+	m := e.metrics()
+	m.Counter("engine.queries").Inc()
+	m.Gauge("engine.inflight").Add(1)
+	start := time.Now()
+	tr := obs.NewTrace("query")
+	report = &Report{Trace: tr}
+	defer func() {
+		tr.End()
+		m.Gauge("engine.inflight").Add(-1)
+		m.Histogram("engine.query_ns").Since(start)
+		m.Histogram("engine.fallback_depth").Observe(int64(len(report.Degradations)))
+		if report.Degraded() {
+			m.Counter("engine.queries_degraded").Inc()
+		}
+		if err != nil {
+			m.Counter("engine.query_errors").Inc()
+		}
+	}()
 	if e.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.QueryTimeout)
 		defer cancel()
 	}
+	span := tr.StartSpan(nil, "parse")
 	q, err := xquery.Parse(src)
+	span.End()
 	if err != nil {
-		return "", nil, err
+		return "", report, err
 	}
+	span = tr.StartSpan(nil, "extract")
 	ex, err := xquery.Extract(q)
+	span.End()
 	if err != nil {
-		return "", nil, err
+		return "", report, err
 	}
-	report := &Report{}
 	var combined *algebra.Relation
 	for i, pat := range ex.Patterns {
 		if err := ctx.Err(); err != nil {
-			return "", nil, err
+			return "", report, err
 		}
 		report.Patterns = append(report.Patterns, pat.String())
 		st, err := e.state(ex.DocNames[i])
 		if err != nil {
-			return "", nil, err
+			return "", report, err
 		}
-		rel, planDesc, err := e.answerPattern(ctx, st, i, pat, report)
+		pspan := tr.StartSpan(nil, fmt.Sprintf("pattern[%d]", i))
+		rel, planDesc, ops, err := e.answerPattern(ctx, st, i, pat, report, tr, pspan, analyze)
+		pspan.End()
 		if err != nil {
-			return "", nil, err
+			return "", report, err
 		}
 		report.Plans = append(report.Plans, planDesc)
+		if analyze {
+			report.Ops = append(report.Ops, ops)
+		}
 		if combined == nil {
 			combined = rel
 		} else {
 			combined = algebra.Product(combined, rel)
 		}
 	}
+	span = tr.StartSpan(nil, "serialize")
+	defer span.End()
 	for _, j := range ex.Joins {
 		combined, err = applyJoin(combined, j)
 		if err != nil {
-			return "", nil, err
+			return "", report, err
 		}
 	}
 	nodes, err := algebra.XMLize(combined, ex.Template)
 	if err != nil {
-		return "", nil, err
+		return "", report, err
 	}
 	return algebra.SerializeNodes(nodes), report, nil
 }
@@ -275,53 +444,84 @@ func ctxErr(err error) bool {
 
 // answerPattern rewrites one query pattern over the document's views, and
 // walks the fallback cascade on execution failure: next-best rewriting →
-// base scan. Every step down is recorded in report.Degradations. Only
-// context cancellation and base-scan failure abort the query.
-func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pat *xam.Pattern, report *Report) (*algebra.Relation, string, error) {
+// base scan. Every step down is recorded in report.Degradations and in the
+// engine's metrics. Only context cancellation and base-scan failure abort
+// the query.
+func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pat *xam.Pattern, report *Report, tr *obs.Trace, pspan *obs.Span, analyze bool) (*algebra.Relation, string, *physical.OpStats, error) {
+	m := e.metrics()
 	degrade := func(plan string, err error) {
+		m.Counter("engine.degradations").Inc()
 		report.Degradations = append(report.Degradations,
 			Degradation{Pattern: patIdx, Plan: plan, Err: err.Error()})
 	}
-	if len(st.views) > 0 {
+	if st.hasViews() {
+		mspan := tr.StartSpan(pspan, "materialize")
 		rw, env, err := e.rewriterFor(st)
+		mspan.End()
 		if err != nil {
 			// A failed view materialization leaves the rewritings unusable;
 			// fall through to the base scan (the document itself is intact).
 			degrade("(view materialization)", err)
 		} else {
+			rspan := tr.StartSpan(pspan, "rewrite")
+			rwStart := time.Now()
 			plans, err := rw.Rewrite(pat)
+			m.Histogram("engine.rewrite_ns").Since(rwStart)
+			rspan.End()
 			if err != nil {
 				degrade("(rewriting search)", err)
 			}
 			for _, plan := range plans {
-				rel, err := e.execPlan(ctx, plan, env)
+				m.Counter("engine.plans_tried").Inc()
+				espan := tr.StartSpan(pspan, "execute")
+				exStart := time.Now()
+				rel, ops, err := e.execPlan(ctx, plan, env, analyze)
+				m.Histogram("engine.execute_ns").Since(exStart)
+				espan.End()
 				if err == nil {
-					return rel, plan.Plan.String(), nil
+					return rel, plan.Plan.String(), ops, nil
 				}
 				if ctxErr(err) || ctx.Err() != nil {
-					return nil, "", err
+					return nil, "", nil, err
 				}
 				degrade(plan.Plan.String(), err)
 			}
 		}
 	}
 	if !e.FallbackToBase {
-		return nil, "", fmt.Errorf("engine: no rewriting for pattern %s", pat)
+		return nil, "", nil, fmt.Errorf("engine: no rewriting for pattern %s", pat)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
+	m.Counter("engine.base_scans").Inc()
+	bspan := tr.StartSpan(pspan, "execute")
+	exStart := time.Now()
 	rel, err := evalBase(pat, st.doc)
+	exTime := time.Since(exStart)
+	m.Histogram("engine.execute_ns").ObserveDuration(exTime)
+	bspan.End()
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	return rel, "base scan (direct evaluation)", nil
+	var ops *physical.OpStats
+	if analyze {
+		ops = &physical.OpStats{
+			Label:     "base scan (direct evaluation)",
+			Rows:      int64(rel.Len()),
+			NextCalls: int64(rel.Len()),
+			Time:      exTime,
+		}
+	}
+	return rel, "base scan (direct evaluation)", ops, nil
 }
 
 // execPlan executes one rewriting with panics recovered into errors, so an
 // operator bug in a plan degrades to the next plan instead of killing the
-// process. Cancellation panics keep their context error.
-func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewrite.Env) (rel *algebra.Relation, err error) {
+// process. Cancellation panics keep their context error. With analyze set,
+// the plan runs through the instrumented physical path and the operator
+// stats tree is returned.
+func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewrite.Env, analyze bool) (rel *algebra.Relation, ops *physical.OpStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if c, ok := p.(*physical.Cancelled); ok {
@@ -338,19 +538,27 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 			rel, err = nil, fmt.Errorf("engine: plan execution panic: %v", p)
 		}
 	}()
+	if analyze {
+		rel, ops, err = rewrite.ExecutePhysicalAnalyzeContext(ctx, plan.Plan, env)
+		if err == nil {
+			rel, err = renamePhysical(rel, plan)
+		}
+		return rel, ops, err
+	}
 	if e.UsePhysical {
 		rel, err = rewrite.ExecutePhysicalContext(ctx, plan.Plan, env)
 		if err == nil {
 			rel, err = renamePhysical(rel, plan)
 		}
-		return rel, err
+		return rel, nil, err
 	}
 	// The logical evaluator is materialized end-to-end; check the context
 	// at the boundary rather than per tuple.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return plan.Execute(env)
+	rel, err = plan.Execute(env)
+	return rel, nil, err
 }
 
 // evalBase runs direct evaluation with panics recovered into errors: the
@@ -402,7 +610,9 @@ func applyJoin(r *algebra.Relation, j xquery.ValueJoin) (*algebra.Relation, erro
 	return out, nil
 }
 
-// Explain plans a query without executing it.
+// Explain plans a query without executing it — and without materializing
+// anything: plan search runs over the views' patterns and the path summary
+// only, so Explain on a cold catalog is read-only and cheap.
 func (e *Engine) Explain(src string) (*Report, error) {
 	return e.ExplainContext(context.Background(), src)
 }
@@ -434,11 +644,8 @@ func (e *Engine) ExplainContext(ctx context.Context, src string) (*Report, error
 			return nil, err
 		}
 		desc := "base scan (direct evaluation)"
-		if len(st.views) > 0 {
-			rw, _, err := e.rewriterFor(st)
-			if err != nil {
-				return nil, err
-			}
+		if st.hasViews() {
+			rw := e.plannerFor(st)
 			plans, err := rw.Rewrite(pat)
 			if err != nil {
 				return nil, err

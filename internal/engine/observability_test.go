@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xamdb/internal/faultinject"
+	"xamdb/internal/rewrite"
+)
+
+// TestMaterializeFailureRetried is the regression test for the rewriterFor
+// bug: a failed materialization must degrade the query AND be retried on
+// the next one — never cached as a rewriter whose views have no extents.
+func TestMaterializeFailureRetried(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(rewrite.SiteMaterializeView, faultinject.Fault{})
+	t.Cleanup(faultinject.Reset)
+
+	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != titlesXML {
+		t.Fatalf("degraded result wrong: %q", got)
+	}
+	if !rep.Degraded() || !strings.Contains(rep.Degradations[0].Plan, "materialization") {
+		t.Fatalf("materialization failure must be recorded as a degradation: %+v", rep.Degradations)
+	}
+	if e.docs["bib.xml"].materialized {
+		t.Fatal("failed materialization must not mark the doc state materialized")
+	}
+
+	// Heal the fault: the next query must retry materialization and answer
+	// from the view, not silently keep degrading to the base scan forever.
+	faultinject.Reset()
+	got, rep, err = e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != titlesXML {
+		t.Fatalf("healed result wrong: %q", got)
+	}
+	if rep.Degraded() {
+		t.Fatalf("healed query must not degrade: %+v", rep.Degradations)
+	}
+	if !strings.Contains(rep.Plans[0], "vt") {
+		t.Fatalf("healed query must use the view's plan, got %s", rep.Plans[0])
+	}
+}
+
+// TestPartialReportTolerated is the regression test for the Report.String
+// panic: a pattern recorded without its plan (query aborted mid-way) must
+// render, and QueryContext must hand the partial report back with the error.
+func TestPartialReportTolerated(t *testing.T) {
+	partial := &Report{Patterns: []string{"p1", "p2"}, Plans: []string{"scan(v)"}}
+	s := partial.String()
+	if !strings.Contains(s, "scan(v)") || !strings.Contains(s, "did not complete") {
+		t.Fatalf("partial report rendering wrong:\n%s", s)
+	}
+
+	e := newEngine(t)
+	e.FallbackToBase = false // no views, no fallback: the pattern cannot be answered
+	out, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err == nil {
+		t.Fatalf("query must fail, got %q", out)
+	}
+	if rep == nil {
+		t.Fatal("failed query must still return the partial report")
+	}
+	if len(rep.Patterns) != 1 || len(rep.Plans) != 0 {
+		t.Fatalf("partial report shape: patterns=%d plans=%d", len(rep.Patterns), len(rep.Plans))
+	}
+	if s := rep.String(); !strings.Contains(s, "pattern 1") {
+		t.Fatalf("partial report must render:\n%s", s)
+	}
+}
+
+// TestExplainDoesNotMaterialize is the regression test for the Explain
+// promise: planning "without executing" must not evaluate view extents over
+// the document.
+func TestExplainDoesNotMaterialize(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	// Arm the materialization fault: if Explain materialized, it would fail.
+	faultinject.Arm(rewrite.SiteMaterializeView, faultinject.Fault{})
+	t.Cleanup(faultinject.Reset)
+	rep, err := e.Explain(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatalf("explain must be read-only and unaffected by materialization faults: %v", err)
+	}
+	if !strings.Contains(rep.Plans[0], "vt") {
+		t.Fatalf("explain must still find the view plan: %s", rep.Plans[0])
+	}
+	st := e.docs["bib.xml"]
+	if st.materialized || len(st.env) != 0 {
+		t.Fatalf("explain must not materialize: materialized=%v env=%d", st.materialized, len(st.env))
+	}
+	if faultinject.Hits(rewrite.SiteMaterializeView) != 0 {
+		t.Fatal("explain must never reach the materialization path")
+	}
+}
+
+// TestDegradationMetricsMatchReport asserts the engine's counters agree
+// with the report's degradation telemetry after injected plan failures.
+func TestDegradationMetricsMatchReport(t *testing.T) {
+	e := newEngine(t)
+	for _, v := range []string{"v1", "v2"} {
+		if err := e.RegisterView("bib.xml", v, `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	// Kill both extents: the next query degrades twice, down to the base scan.
+	for name := range e.docs["bib.xml"].env {
+		delete(e.docs["bib.xml"].env, name)
+	}
+	_, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded() {
+		t.Fatal("query over empty extents must degrade")
+	}
+	snap := e.Metrics.Snapshot()
+	if got := snap.Counters["engine.degradations"]; got != int64(len(rep.Degradations)) {
+		t.Fatalf("engine.degradations = %d, want %d (report)", got, len(rep.Degradations))
+	}
+	if got := snap.Counters["engine.queries"]; got != 2 {
+		t.Fatalf("engine.queries = %d, want 2", got)
+	}
+	if got := snap.Counters["engine.queries_degraded"]; got != 1 {
+		t.Fatalf("engine.queries_degraded = %d, want 1", got)
+	}
+	if got := snap.Counters["engine.base_scans"]; got != 1 {
+		t.Fatalf("engine.base_scans = %d, want 1", got)
+	}
+	fd := snap.Histograms["engine.fallback_depth"]
+	if fd.Count != 2 || fd.MaxNS != int64(len(rep.Degradations)) {
+		t.Fatalf("fallback_depth histogram: %+v, want count=2 max=%d", fd, len(rep.Degradations))
+	}
+	if snap.Histograms["engine.query_ns"].Count != 2 {
+		t.Fatalf("query latency histogram must record both queries: %+v", snap.Histograms["engine.query_ns"])
+	}
+}
+
+// TestTraceAttached checks every query carries a span tree covering the
+// phases of the pipeline.
+func TestTraceAttached(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil {
+		t.Fatal("report must carry a trace")
+	}
+	s := rep.Trace.String()
+	for _, phase := range []string{"parse", "extract", "pattern[0]", "materialize", "rewrite", "execute"} {
+		if !strings.Contains(s, phase) {
+			t.Fatalf("trace missing %q span:\n%s", phase, s)
+		}
+	}
+	if _, err := rep.Trace.JSON(); err != nil {
+		t.Fatalf("trace JSON export: %v", err)
+	}
+}
+
+// TestAnalyzeOperatorTree checks EXPLAIN ANALYZE: the result matches plain
+// execution and the report carries an operator tree with rows and timings.
+func TestAnalyzeOperatorTree(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := e.Analyze(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("analyze result differs: %q vs %q", got, want)
+	}
+	if len(rep.Ops) != 1 || rep.Ops[0] == nil {
+		t.Fatalf("analyze must attach one operator tree per pattern: %+v", rep.Ops)
+	}
+	if rep.Ops[0].TotalRows() == 0 {
+		t.Fatalf("root operator must report rows: %+v", rep.Ops[0])
+	}
+	s := rep.AnalyzeString()
+	if !strings.Contains(s, "rows=") || !strings.Contains(s, "time=") || !strings.Contains(s, "scan(vt") {
+		t.Fatalf("analyze rendering must annotate operators with rows/time:\n%s", s)
+	}
+	// The base-scan fallback also reports a (synthetic) operator node.
+	e2 := newEngine(t)
+	_, rep2, err := e2.Analyze(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Ops) != 1 || rep2.Ops[0] == nil || rep2.Ops[0].Rows == 0 {
+		t.Fatalf("base-scan analyze must still report rows: %+v", rep2.Ops)
+	}
+}
+
+// TestConcurrentQueriesAndRegistration is the -race stress test: many
+// goroutines issue queries while views are registered mid-flight and
+// another goroutine plans with Explain. Correctness bar: no data race, no
+// error, every result identical.
+func TestConcurrentQueriesAndRegistration(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "v0", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 20
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker+perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				got, _, err := e.QueryContext(context.Background(), `doc("bib.xml")//book/title`)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != titlesXML {
+					errc <- fmt.Errorf("concurrent result wrong: %q", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // mutate the view set mid-flight
+		defer wg.Done()
+		for i := 0; i < perWorker; i++ {
+			if err := e.RegisterView("bib.xml", fmt.Sprintf("vx%d", i), `// book(/ author{cont})`); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // plan concurrently with execution and registration
+		defer wg.Done()
+		for i := 0; i < perWorker; i++ {
+			if _, err := e.ExplainContext(context.Background(), `doc("bib.xml")//book/title`); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := e.Metrics.Snapshot().Counters["engine.queries"]; got != workers*perWorker {
+		t.Fatalf("engine.queries = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// BenchmarkConcurrentQueries drives QueryContext from GOMAXPROCS goroutines
+// over a view-backed catalog — the concurrency baseline the ROADMAP's perf
+// targets are measured against.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	e := New()
+	if err := e.LoadDocument("bib.xml", bibXML); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		b.Fatal(err) // warm the rewriter and extents
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := e.QueryContext(context.Background(), `doc("bib.xml")//book/title`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -31,14 +31,18 @@ type catalogView struct {
 
 // Save writes the engine's catalog (documents and registered view XAMs).
 func (e *Engine) Save(w io.Writer) error {
+	e.mu.RLock()
 	var cat catalog
 	for name, st := range e.docs {
 		cd := catalogDoc{Name: name, XML: st.doc.Serialize()}
+		st.mu.RLock()
 		for _, v := range st.views {
 			cd.Views = append(cd.Views, catalogView{Name: v.Name, Pattern: v.Pattern.String()})
 		}
+		st.mu.RUnlock()
 		cat.Docs = append(cat.Docs, cd)
 	}
+	e.mu.RUnlock()
 	// Stable order for reproducible files.
 	for i := 1; i < len(cat.Docs); i++ {
 		for j := i; j > 0 && cat.Docs[j].Name < cat.Docs[j-1].Name; j-- {

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from many
+// goroutines; run under -race this is the goroutine-safety proof.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Gauge("g").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+// TestHistogramStats checks count/sum/min/max and that quantile upper
+// bounds bracket the observations.
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 3 {
+		t.Fatalf("p50 upper bound %d outside [2,3]", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("p100 = %d, want max 1000", q)
+	}
+	s := r.Snapshot()
+	st := s.Histograms["lat"]
+	if st.MinNS != 1 || st.MaxNS != 1000 || st.Count != 5 {
+		t.Fatalf("snapshot stats: %+v", st)
+	}
+}
+
+// TestHistogramConcurrent checks concurrent observation totals.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Histogram("h").Observe(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Histogram("h").Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestSnapshotJSON checks the JSON export round-trips and names every
+// metric kind.
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.queries").Add(3)
+	r.Gauge("inflight").Set(1)
+	r.Histogram("engine.query_ns").Observe(1500)
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, data)
+	}
+	if back.Counters["engine.queries"] != 3 {
+		t.Fatalf("counter lost in round-trip: %+v", back.Counters)
+	}
+	if back.Histograms["engine.query_ns"].Count != 1 {
+		t.Fatalf("histogram lost in round-trip: %+v", back.Histograms)
+	}
+	if !strings.Contains(r.Snapshot().String(), "engine.queries") {
+		t.Fatal("String rendering must name the metrics")
+	}
+}
+
+// TestTraceSpans checks span nesting, offsets and the JSON schema.
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("query")
+	parse := tr.StartSpan(nil, "parse")
+	time.Sleep(time.Millisecond)
+	parse.End()
+	pat := tr.StartSpan(nil, "pattern[0]")
+	exec := tr.StartSpan(pat, "execute")
+	exec.End()
+	pat.End()
+	tr.End()
+
+	if len(tr.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tr.Root.Children))
+	}
+	if parse.Duration < time.Millisecond {
+		t.Fatalf("parse span duration %v too short", parse.Duration)
+	}
+	if pat.Children[0] != exec {
+		t.Fatal("execute span must nest under its pattern span")
+	}
+	if exec.Start < parse.Start {
+		t.Fatal("span offsets must be monotone in start order")
+	}
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root Span
+	if err := json.Unmarshal(data, &root); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v\n%s", err, data)
+	}
+	if root.Name != "query" || len(root.Children) != 2 {
+		t.Fatalf("decoded trace shape wrong: %+v", root)
+	}
+	if !strings.Contains(tr.String(), "pattern[0]") {
+		t.Fatal("trace rendering must name the spans")
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a query (parse, extract, rewrite, materialize,
+// execute …). Start is the offset from the trace origin so a JSON trace is
+// self-contained without absolute timestamps.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"dur_ns"`
+	Children []*Span       `json:"children,omitempty"`
+
+	tr    *Trace
+	begun time.Time
+}
+
+// Trace is a tree of spans rooted at the whole query. Span creation and
+// completion are guarded by one mutex — traces are cheap (a handful of
+// spans per query), so contention is not a concern.
+type Trace struct {
+	mu     sync.Mutex
+	origin time.Time
+	Root   *Span
+}
+
+// NewTrace starts a trace whose root span is already running.
+func NewTrace(name string) *Trace {
+	now := time.Now()
+	t := &Trace{origin: now}
+	t.Root = &Span{Name: name, tr: t, begun: now}
+	return t
+}
+
+// StartSpan opens a child span under parent (the root when parent is nil).
+func (t *Trace) StartSpan(parent *Span, name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if parent == nil {
+		parent = t.Root
+	}
+	s := &Span{Name: name, Start: time.Since(t.origin), tr: t, begun: time.Now()}
+	parent.Children = append(parent.Children, s)
+	return s
+}
+
+// End closes the span, fixing its duration. Safe to call once per span.
+func (s *Span) End() {
+	if s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.Duration = time.Since(s.begun)
+}
+
+// End closes the root span.
+func (t *Trace) End() { t.Root.End() }
+
+// JSON renders the trace as indented JSON (schema: nested spans with
+// name/start_ns/dur_ns/children; see DESIGN.md "Observability").
+func (t *Trace) JSON() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return json.MarshalIndent(t.Root, "", "  ")
+}
+
+// String renders the span tree with durations for terminals.
+func (t *Trace) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	renderSpan(&sb, t.Root, 0)
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s *Span, depth int) {
+	fmt.Fprintf(sb, "%s%s  %s\n", strings.Repeat("  ", depth), s.Name, s.Duration.Round(time.Microsecond))
+	for _, c := range s.Children {
+		renderSpan(sb, c, depth+1)
+	}
+}

@@ -29,9 +29,10 @@ func (c *Cancelled) Error() string { return "physical: cancelled: " + c.Err.Erro
 // checkpoint). The first Next call always checks, so an already-expired
 // context aborts before any work.
 type Checkpoint struct {
-	in  Iterator
-	ctx context.Context
-	n   int
+	in    Iterator
+	ctx   context.Context
+	n     int
+	polls int
 }
 
 // NewCheckpoint builds a cancellation checkpoint over in.
@@ -45,9 +46,14 @@ func (c *Checkpoint) Schema() *algebra.Schema { return c.in.Schema() }
 // Order implements Iterator; checkpointing preserves order.
 func (c *Checkpoint) Order() algebra.OrderDesc { return c.in.Order() }
 
+// Polls reports how many context checks have run — surfaced by EXPLAIN
+// ANALYZE so cancellation responsiveness is visible per plan leaf.
+func (c *Checkpoint) Polls() int { return c.polls }
+
 // Next implements Iterator.
 func (c *Checkpoint) Next() (algebra.Tuple, bool) {
 	if c.n%checkpointInterval == 0 {
+		c.polls++
 		if err := c.ctx.Err(); err != nil {
 			//xamlint:allow nopanic(cancellation protocol: typed panic unwinds the iterator tree and is recovered by DrainContext)
 			panic(&Cancelled{Err: err})

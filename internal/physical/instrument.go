@@ -1,0 +1,107 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xamdb/internal/algebra"
+)
+
+// OpStats is one node of an EXPLAIN ANALYZE operator tree: rows produced,
+// Next calls served, time spent (inclusive of children — the wall time the
+// operator's subtree was pulled through this node), and, for checkpointed
+// leaves, how many cancellation polls ran. It is plain data, marshalable to
+// JSON for the bench export.
+type OpStats struct {
+	Label       string        `json:"label"`
+	Rows        int64         `json:"rows"`
+	NextCalls   int64         `json:"next_calls"`
+	Time        time.Duration `json:"time_ns"`
+	Checkpoints int64         `json:"checkpoints,omitempty"`
+	Children    []*OpStats    `json:"children,omitempty"`
+}
+
+// AddChild appends a child stats node (ignoring nils, so uninstrumented
+// subtrees compose silently).
+func (s *OpStats) AddChild(c *OpStats) {
+	if c != nil {
+		s.Children = append(s.Children, c)
+	}
+}
+
+// TotalRows returns the rows produced by this node (the root of a plan's
+// tree reports the plan's output cardinality).
+func (s *OpStats) TotalRows() int64 { return s.Rows }
+
+// String renders the annotated operator tree, one operator per line:
+//
+//	label  rows=N time=1.2ms next=K [ckpt=M]
+//	  child …
+func (s *OpStats) String() string {
+	var sb strings.Builder
+	s.render(&sb, 0)
+	return sb.String()
+}
+
+func (s *OpStats) render(sb *strings.Builder, depth int) {
+	fmt.Fprintf(sb, "%s%s  rows=%d time=%s next=%d",
+		strings.Repeat("  ", depth), s.Label, s.Rows, s.Time.Round(time.Microsecond), s.NextCalls)
+	if s.Checkpoints > 0 {
+		fmt.Fprintf(sb, " ckpt=%d", s.Checkpoints)
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children {
+		c.render(sb, depth+1)
+	}
+}
+
+// Instrument wraps an iterator and records rows out, Next calls and
+// cumulative Next time into an OpStats node. Wrapping a *Checkpoint also
+// mirrors its cancellation-poll count. Instrumentation is pay-as-you-go:
+// plans compiled without it carry no wrappers at all.
+type Instrument struct {
+	in    Iterator
+	stats *OpStats
+	ck    *Checkpoint
+}
+
+// NewInstrument wraps in with a fresh stats node labeled label.
+func NewInstrument(label string, in Iterator) *Instrument {
+	return InstrumentWith(&OpStats{Label: label}, in)
+}
+
+// InstrumentWith wraps in, accumulating into an existing stats node — used
+// when a plan node materializes (drain + rescan) but must report as one
+// operator.
+func InstrumentWith(stats *OpStats, in Iterator) *Instrument {
+	ins := &Instrument{in: in, stats: stats}
+	if ck, ok := in.(*Checkpoint); ok {
+		ins.ck = ck
+	}
+	return ins
+}
+
+// Stats returns the node this wrapper accumulates into.
+func (i *Instrument) Stats() *OpStats { return i.stats }
+
+// Schema implements Iterator.
+func (i *Instrument) Schema() *algebra.Schema { return i.in.Schema() }
+
+// Order implements Iterator; instrumentation preserves order.
+func (i *Instrument) Order() algebra.OrderDesc { return i.in.Order() }
+
+// Next implements Iterator.
+func (i *Instrument) Next() (algebra.Tuple, bool) {
+	start := time.Now()
+	t, ok := i.in.Next()
+	i.stats.Time += time.Since(start)
+	i.stats.NextCalls++
+	if ok {
+		i.stats.Rows++
+	}
+	if i.ck != nil {
+		i.stats.Checkpoints = int64(i.ck.Polls())
+	}
+	return t, ok
+}

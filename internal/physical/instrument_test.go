@@ -1,0 +1,71 @@
+package physical
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"xamdb/internal/algebra"
+)
+
+func instrRel(n int) *algebra.Relation {
+	rel := algebra.NewRelation(&algebra.Schema{Attrs: []algebra.Attr{{Name: "a.Val"}}})
+	for i := 0; i < n; i++ {
+		rel.Add(algebra.Tuple{algebra.S("x")})
+	}
+	return rel
+}
+
+// TestInstrumentCounts checks rows/next accounting and that the wrapper is
+// transparent to the tuples flowing through.
+func TestInstrumentCounts(t *testing.T) {
+	rel := instrRel(7)
+	ins := NewInstrument("scan(v)", NewScan(rel, nil))
+	out := Drain(ins)
+	if out.Len() != 7 {
+		t.Fatalf("instrumented drain lost tuples: %d", out.Len())
+	}
+	st := ins.Stats()
+	if st.Rows != 7 {
+		t.Fatalf("rows = %d, want 7", st.Rows)
+	}
+	if st.NextCalls != 8 { // 7 tuples + 1 exhausted call
+		t.Fatalf("next calls = %d, want 8", st.NextCalls)
+	}
+	if st.Label != "scan(v)" {
+		t.Fatalf("label = %q", st.Label)
+	}
+}
+
+// TestInstrumentCheckpointPolls checks the wrapper mirrors a wrapped
+// checkpoint's cancellation-poll count.
+func TestInstrumentCheckpointPolls(t *testing.T) {
+	rel := instrRel(200) // > checkpointInterval, so at least 2 polls
+	ins := NewInstrument("scan", NewCheckpoint(context.Background(), NewScan(rel, nil)))
+	if _, err := DrainContext(context.Background(), ins); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Stats().Checkpoints < 2 {
+		t.Fatalf("checkpoint polls = %d, want ≥ 2", ins.Stats().Checkpoints)
+	}
+}
+
+// TestOpStatsTreeRendering checks the annotated tree format: nesting,
+// rows and timings on every line.
+func TestOpStatsTreeRendering(t *testing.T) {
+	child := &OpStats{Label: "scan(v1)", Rows: 3}
+	root := &OpStats{Label: "π[a.Val]", Rows: 2}
+	root.AddChild(child)
+	root.AddChild(nil) // nil children must compose silently
+	if len(root.Children) != 1 {
+		t.Fatalf("nil child must be ignored: %d", len(root.Children))
+	}
+	s := root.String()
+	if !strings.Contains(s, "π[a.Val]  rows=2") || !strings.Contains(s, "  scan(v1)  rows=3") {
+		t.Fatalf("tree rendering wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  ") {
+		t.Fatalf("child must render indented under parent:\n%s", s)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"xamdb/internal/algebra"
 	"xamdb/internal/faultinject"
@@ -34,125 +36,227 @@ func ExecutePhysical(p Plan, env Env) (*algebra.Relation, error) {
 // honors the context, so an expired deadline aborts the plan with the
 // context's error instead of running to completion.
 func ExecutePhysicalContext(ctx context.Context, p Plan, env Env) (*algebra.Relation, error) {
-	it, err := compile(ctx, p, env)
+	it, _, err := compile(ctx, p, env, false)
 	if err != nil {
 		return nil, err
 	}
 	return physical.DrainContext(ctx, it)
 }
 
-// compile turns a logical plan into an iterator tree.
-func compile(ctx context.Context, p Plan, env Env) (physical.Iterator, error) {
+// ExecutePhysicalAnalyzeContext is ExecutePhysicalContext with every plan
+// node wrapped in a physical.Instrument: the returned OpStats tree mirrors
+// the plan and reports rows, Next calls, inclusive time and checkpoint
+// polls per operator — the EXPLAIN ANALYZE data source. On execution error
+// the partially-filled stats tree is still returned for diagnosis.
+func ExecutePhysicalAnalyzeContext(ctx context.Context, p Plan, env Env) (*algebra.Relation, *physical.OpStats, error) {
+	it, stats, err := compile(ctx, p, env, true)
+	if err != nil {
+		return nil, stats, err
+	}
+	rel, err := physical.DrainContext(ctx, it)
+	return rel, stats, err
+}
+
+// compile turns a logical plan into an iterator tree. With instr set, every
+// plan node is wrapped in an Instrument whose OpStats are linked into a
+// tree mirroring the plan; materializing nodes (π⁰, fuse, union, rename)
+// attribute their drain time to their own node and keep counting rows as
+// the materialized relation is rescanned.
+func compile(ctx context.Context, p Plan, env Env, instr bool) (physical.Iterator, *physical.OpStats, error) {
+	// wrap instruments a finished node; a no-op when instrumentation is off.
+	wrap := func(label string, it physical.Iterator, children ...*physical.OpStats) (physical.Iterator, *physical.OpStats) {
+		if !instr {
+			return it, nil
+		}
+		ins := physical.NewInstrument(label, it)
+		for _, c := range children {
+			ins.Stats().AddChild(c)
+		}
+		return ins, ins.Stats()
+	}
 	switch pl := p.(type) {
 	case *ScanPlan:
 		if err := faultinject.Check(SiteCompileScan); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rel, ok := env[pl.View.Name]
 		if !ok {
-			return nil, fmt.Errorf("rewrite: no extent for view %q", pl.View.Name)
+			return nil, nil, fmt.Errorf("rewrite: no extent for view %q", pl.View.Name)
 		}
-		return physical.NewCheckpoint(ctx, physical.NewScan(rel, nil)), nil
+		it, st := wrap("scan("+pl.View.Name+")", physical.NewCheckpoint(ctx, physical.NewScan(rel, nil)))
+		return it, st, nil
 
 	case *ProjectPlan:
-		in, err := compile(ctx, pl.In, env)
+		in, cst, err := compile(ctx, pl.In, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, cst, err
 		}
 		// π⁰ semantics: dedup after projection (materializing; projections
 		// sit at plan roots).
 		proj, err := physical.NewProject(in, pl.Attrs...)
 		if err != nil {
-			return nil, err
+			return nil, cst, err
 		}
+		if !instr {
+			drained, err := physical.DrainContext(ctx, proj)
+			if err != nil {
+				return nil, nil, err
+			}
+			return physical.NewScan(algebra.Distinct(drained), proj.Order()), nil, nil
+		}
+		st := &physical.OpStats{Label: "π⁰[" + strings.Join(pl.Attrs, ",") + "]"}
+		st.AddChild(cst)
+		start := time.Now()
 		drained, err := physical.DrainContext(ctx, proj)
+		st.Time += time.Since(start)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		rel := algebra.Distinct(drained)
-		return physical.NewScan(rel, proj.Order()), nil
+		return physical.InstrumentWith(st, physical.NewScan(rel, proj.Order())), st, nil
 
 	case *SelectTagPlan:
-		in, err := compile(ctx, pl.In, env)
+		in, cst, err := compile(ctx, pl.In, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, cst, err
 		}
-		return physical.NewSelect(in, algebra.Pred{Path: pl.Node + ".Tag", Op: algebra.Eq, Const: algebra.S(pl.Label)})
+		sel, err := physical.NewSelect(in, algebra.Pred{Path: pl.Node + ".Tag", Op: algebra.Eq, Const: algebra.S(pl.Label)})
+		if err != nil {
+			return nil, cst, err
+		}
+		it, st := wrap(fmt.Sprintf("σ[%s.Tag=%s]", pl.Node, pl.Label), sel, cst)
+		return it, st, nil
 
 	case *SelectValPlan:
-		in, err := compile(ctx, pl.In, env)
+		in, cst, err := compile(ctx, pl.In, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, cst, err
 		}
 		col := in.Schema().Index(pl.Node + ".Val")
 		if col < 0 {
-			return nil, fmt.Errorf("rewrite: select-val: no column %s.Val", pl.Node)
+			return nil, cst, fmt.Errorf("rewrite: select-val: no column %s.Val", pl.Node)
 		}
 		f := pl.Formula
-		return physical.NewFilter(in, func(t algebra.Tuple) bool {
+		filter := physical.NewFilter(in, func(t algebra.Tuple) bool {
 			return !t[col].IsNull() && f.Holds(value.Str(t[col].AsString()))
-		}), nil
+		})
+		it, st := wrap(fmt.Sprintf("σ[φ(%s.Val)]", pl.Node), filter, cst)
+		return it, st, nil
 
 	case *StructJoinPlan:
-		outer, err := compile(ctx, pl.Outer, env)
+		outer, ost, err := compile(ctx, pl.Outer, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, ost, err
 		}
-		inner, err := compile(ctx, pl.Inner, env)
+		inner, ist, err := compile(ctx, pl.Inner, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, ist, err
 		}
 		// StackTree joins need both inputs sorted by the join IDs.
-		outerSorted := physical.NewSort(outer, pl.OuterNode+".ID")
-		innerSorted := physical.NewSort(inner, pl.InnerNode+".ID")
+		var outerSorted, innerSorted physical.Iterator = physical.NewSort(outer, pl.OuterNode+".ID"),
+			physical.NewSort(inner, pl.InnerNode+".ID")
+		if instr {
+			oIns := physical.NewInstrument("sort["+pl.OuterNode+".ID]", outerSorted)
+			oIns.Stats().AddChild(ost)
+			iIns := physical.NewInstrument("sort["+pl.InnerNode+".ID]", innerSorted)
+			iIns.Stats().AddChild(ist)
+			outerSorted, ost = oIns, oIns.Stats()
+			innerSorted, ist = iIns, iIns.Stats()
+		}
 		axis := physical.DescendantAxis
+		axisName := "desc"
 		if pl.Axis == xam.Child {
 			axis = physical.ChildAxis
+			axisName = "child"
 		}
-		return physical.NewStackTreeDesc(outerSorted, innerSorted, pl.OuterNode+".ID", pl.InnerNode+".ID", axis)
+		join, err := physical.NewStackTreeDesc(outerSorted, innerSorted, pl.OuterNode+".ID", pl.InnerNode+".ID", axis)
+		if err != nil {
+			return nil, nil, err
+		}
+		it, st := wrap(fmt.Sprintf("stacktree[%s ≺%s %s]", pl.OuterNode, axisName, pl.InnerNode), join, ost, ist)
+		return it, st, nil
 
 	case *FusePlan:
-		left, err := compile(ctx, pl.Left, env)
+		left, lst, err := compile(ctx, pl.Left, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, lst, err
 		}
-		right, err := compile(ctx, pl.Right, env)
+		right, rst, err := compile(ctx, pl.Right, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, rst, err
 		}
 		hj, err := physical.NewHashJoin(left, right, pl.LeftNode+".ID", pl.RightNode+".ID", false)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Drop the duplicated key and rename the fused columns, matching the
 		// logical FusePlan output.
+		var st *physical.OpStats
+		var start time.Time
+		if instr {
+			st = &physical.OpStats{Label: fmt.Sprintf("fuse[%s=%s]", pl.LeftNode, pl.RightNode)}
+			st.AddChild(lst)
+			st.AddChild(rst)
+			start = time.Now()
+		}
 		rel, err := physical.DrainContext(ctx, hj)
+		if instr {
+			st.Time += time.Since(start)
+		}
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		shaped, err := fuseShape(rel, pl, left.Schema(), right.Schema())
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		return physical.NewScan(shaped, nil), nil
+		if !instr {
+			return physical.NewScan(shaped, nil), nil, nil
+		}
+		return physical.InstrumentWith(st, physical.NewScan(shaped, nil)), st, nil
 
 	case *DeriveParentPlan:
+		var start time.Time
+		if instr {
+			start = time.Now()
+		}
 		rel, err := pl.Execute(env) // derivation is a per-tuple map; reuse
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return physical.NewScan(rel, nil), nil
+		if !instr {
+			return physical.NewScan(rel, nil), nil, nil
+		}
+		st := &physical.OpStats{
+			Label: fmt.Sprintf("derive-parent[%s→%s]", pl.ChildNode, pl.ParentNode),
+			Time:  time.Since(start),
+		}
+		return physical.InstrumentWith(st, physical.NewScan(rel, nil)), st, nil
 
 	case *UnionPlan:
+		var st *physical.OpStats
+		if instr {
+			st = &physical.OpStats{Label: "∪"}
+		}
 		var acc *algebra.Relation
 		for _, part := range pl.Parts {
-			it, err := compile(ctx, part, env)
+			it, pst, err := compile(ctx, part, env, instr)
 			if err != nil {
-				return nil, err
+				return nil, st, err
+			}
+			if instr {
+				st.AddChild(pst)
+			}
+			var start time.Time
+			if instr {
+				start = time.Now()
 			}
 			rel, err := physical.DrainContext(ctx, it)
+			if instr {
+				st.Time += time.Since(start)
+			}
 			if err != nil {
-				return nil, err
+				return nil, st, err
 			}
 			if acc == nil {
 				acc = rel
@@ -162,28 +266,44 @@ func compile(ctx context.Context, p Plan, env Env) (physical.Iterator, error) {
 			aligned.Tuples = rel.Tuples
 			acc, err = algebra.Union(acc, aligned)
 			if err != nil {
-				return nil, err
+				return nil, st, err
 			}
 		}
 		if acc == nil {
-			return nil, fmt.Errorf("rewrite: empty union plan")
+			return nil, st, fmt.Errorf("rewrite: empty union plan")
 		}
-		return physical.NewScan(acc, nil), nil
+		if !instr {
+			return physical.NewScan(acc, nil), nil, nil
+		}
+		return physical.InstrumentWith(st, physical.NewScan(acc, nil)), st, nil
 
 	case *RenamePlan:
-		in, err := compile(ctx, pl.In, env)
+		in, cst, err := compile(ctx, pl.In, env, instr)
 		if err != nil {
-			return nil, err
+			return nil, cst, err
+		}
+		var st *physical.OpStats
+		var start time.Time
+		if instr {
+			st = &physical.OpStats{Label: "ρ[" + pl.Suffix + "]"}
+			st.AddChild(cst)
+			start = time.Now()
 		}
 		rel, err := physical.DrainContext(ctx, in)
+		if instr {
+			st.Time += time.Since(start)
+		}
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		out := algebra.NewRelation(renameSchema(rel.Schema, pl.Suffix))
 		out.Tuples = rel.Tuples
-		return physical.NewScan(out, nil), nil
+		if !instr {
+			return physical.NewScan(out, nil), nil, nil
+		}
+		return physical.InstrumentWith(st, physical.NewScan(out, nil)), st, nil
 	}
-	return nil, fmt.Errorf("rewrite: cannot compile %T", p)
+	return nil, nil, fmt.Errorf("rewrite: cannot compile %T", p)
 }
 
 // fuseShape reproduces FusePlan's output shaping on a drained hash join.

@@ -3,9 +3,11 @@ package rewrite
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
+	"xamdb/internal/physical"
 	"xamdb/internal/xam"
 )
 
@@ -108,5 +110,96 @@ func TestExecutePhysicalContextExpired(t *testing.T) {
 	}
 	if rel, err := ExecutePhysicalContext(context.Background(), plans[0].Plan, env); err != nil || rel.Len() == 0 {
 		t.Fatalf("live context must execute: %v (%v)", err, rel)
+	}
+}
+
+// TestAnalyzeMatchesPhysical: the instrumented execution path must return
+// the same relation as the plain one on every plan kind, with an OpStats
+// tree whose root reports the output cardinality.
+func TestAnalyzeMatchesPhysical(t *testing.T) {
+	rw, _, env := setup(t,
+		`<bib><book year="1999"><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{
+			"books":  `// book{id s}`,
+			"titles": `// title{id s, val}`,
+			"main":   `// *{id s, tag, val}`,
+		},
+		Options{})
+	for _, q := range []string{
+		`// book{id s}(/ title{id s, val})`,
+		`// title{id s, val}`,
+		`// book(/ title{val})`,
+	} {
+		plans, err := rw.Rewrite(xam.MustParse(q))
+		if err != nil || len(plans) == 0 {
+			t.Fatalf("rewrite %s: %v (%d plans)", q, err, len(plans))
+		}
+		for _, p := range plans {
+			plain, err := ExecutePhysical(p.Plan, env)
+			if err != nil {
+				t.Fatalf("%s plain: %v", p.Plan, err)
+			}
+			instr, stats, err := ExecutePhysicalAnalyzeContext(context.Background(), p.Plan, env)
+			if err != nil {
+				t.Fatalf("%s instrumented: %v", p.Plan, err)
+			}
+			if !plain.EqualAsSet(instr) {
+				t.Fatalf("plan %s: instrumented result differs\nplain: %s\ninstr: %s", p.Plan, plain, instr)
+			}
+			if stats == nil {
+				t.Fatalf("plan %s: no stats tree", p.Plan)
+			}
+			if stats.Rows != int64(instr.Len()) {
+				t.Fatalf("plan %s: root rows %d, relation %d", p.Plan, stats.Rows, instr.Len())
+			}
+		}
+	}
+}
+
+// TestAnalyzeStatsTreeShape checks the stats tree mirrors a joined plan:
+// a structural join node with sorted scan leaves, checkpoint polls on the
+// leaves, and inclusive timings.
+func TestAnalyzeStatsTreeShape(t *testing.T) {
+	rw, _, env := setup(t,
+		`<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{
+			"books":  `// book{id s}`,
+			"titles": `// title{id s, val}`,
+		},
+		Options{DisableUnions: true})
+	plans, err := rw.Rewrite(xam.MustParse(`// book{id s}(/ title{id s, val})`))
+	if err != nil || len(plans) == 0 {
+		t.Fatalf("rewrite: %v (%d plans)", err, len(plans))
+	}
+	var joined *Rewriting
+	for _, p := range plans {
+		if _, ok := p.Plan.(*ProjectPlan); ok {
+			joined = p
+			break
+		}
+	}
+	if joined == nil {
+		joined = plans[0]
+	}
+	_, stats, err := ExecutePhysicalAnalyzeContext(context.Background(), joined.Plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := stats.String()
+	if !strings.Contains(rendered, "scan(") || !strings.Contains(rendered, "rows=") {
+		t.Fatalf("stats tree must name scans and rows:\n%s", rendered)
+	}
+	// Every scan leaf sits under a checkpoint; polls must be recorded.
+	var polls int64
+	var walk func(s *physical.OpStats)
+	walk = func(s *physical.OpStats) {
+		polls += s.Checkpoints
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(stats)
+	if polls == 0 {
+		t.Fatalf("no checkpoint polls recorded anywhere in the tree:\n%s", rendered)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"xamdb/internal/algebra"
 	"xamdb/internal/containment"
+	"xamdb/internal/faultinject"
 	"xamdb/internal/summary"
 	"xamdb/internal/value"
 	"xamdb/internal/xam"
@@ -535,6 +536,12 @@ func (r *Rewriter) unionCover(checker *containment.Checker, parts []*fitted) (Pl
 	return nil, nil
 }
 
+// SiteMaterializeView is the registered fault-injection site failing view
+// materialization (see internal/faultinject); resilience tests arm it to
+// prove a failed materialization degrades the query and is retried, never
+// cached as an empty environment.
+const SiteMaterializeView = "rewrite.materialize.view"
+
 // Materialize evaluates every registered view over the document, producing
 // the execution environment for rewritten plans. Patterns with required
 // attributes (indexes) are skipped — they need bindings at lookup time.
@@ -543,6 +550,9 @@ func (r *Rewriter) Materialize(doc *xmltree.Document) (Env, error) {
 	for _, v := range r.Views {
 		if v.Pattern.HasRequired() {
 			continue
+		}
+		if err := faultinject.Check(SiteMaterializeView); err != nil {
+			return nil, err
 		}
 		rel, err := v.Pattern.Eval(doc)
 		if err != nil {
