@@ -52,6 +52,7 @@ func main() {
 		printSum   = flag.Bool("summary", false, "print the path summary")
 		store      = flag.String("store", "", "register a storage scheme: tag, path, node, edge, hybrid")
 		noFallback = flag.Bool("no-fallback", false, "fail when no rewriting exists (pure physical independence mode)")
+		noCache    = flag.Bool("nocache", false, "disable the rewriting cache: replan every query (for debugging and cold-path timing)")
 		timeout    = flag.Duration("timeout", 0, "per-query timeout (e.g. 500ms, 10s); 0 = unlimited")
 	)
 	var views viewFlags
@@ -69,6 +70,7 @@ func main() {
 	}
 	e.FallbackToBase = !*noFallback
 	e.QueryTimeout = *timeout
+	e.Options.DisablePlanCache = *noCache
 
 	var doc *xmltree.Document
 	switch {

@@ -13,11 +13,13 @@
 //	xambench -exp minimize           # §4.5 minimization by S-contraction
 //	xambench -exp extraction         # Chapter 3 pattern extraction
 //	xambench -exp observability      # query-path latency/throughput + metrics JSON
+//	xambench -exp plancache          # warm-path planning: cache, lazy extents, scaling
 //	xambench -exp all                # everything
 //
-// The observability experiment writes its full report (per-query latencies,
-// EXPLAIN ANALYZE tree, trace, metrics snapshot) to the file named by -json
-// (default BENCH_observability.json).
+// The observability and plancache experiments write their full reports
+// (latencies, traces, sweeps, metrics snapshot) to the file named by -json;
+// the default is per-experiment (BENCH_observability.json /
+// BENCH_plancache.json).
 package main
 
 import (
@@ -31,14 +33,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, all")
+	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, all")
 	sumName := flag.String("summary", "xmark", "summary for synthetic containment: xmark or dblp")
 	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
-	jsonPath := flag.String("json", "BENCH_observability.json", "output file for the observability report")
-	iters := flag.Int("iters", 3, "observability: repetitions per query")
+	jsonPath := flag.String("json", "", "output file for the observability/plancache report (default BENCH_<experiment>.json)")
+	iters := flag.Int("iters", 3, "observability/plancache: repetitions per query")
 	workers := flag.Int("workers", 4, "observability: concurrent goroutines")
 	flag.Parse()
+
+	// The JSON reports default to one file per experiment so `-exp all`
+	// does not overwrite one report with the other.
+	jsonFor := func(experiment string) string {
+		if *jsonPath != "" {
+			return *jsonPath
+		}
+		return "BENCH_" + experiment + ".json"
+	}
 
 	// ^C aborts the sweep at the next cancellation checkpoint instead of
 	// letting the current plan run to completion.
@@ -185,10 +196,43 @@ func main() {
 		if rep.Analyze != nil {
 			fmt.Printf("explain analyze (%s):\n%s", rep.Queries[0].Query, rep.Analyze.String())
 		}
-		if err := rep.WriteJSON(*jsonPath); err != nil {
+		out := jsonFor("observability")
+		if err := rep.WriteJSON(out); err != nil {
 			return err
 		}
-		fmt.Printf("report written to %s\n", *jsonPath)
+		fmt.Printf("report written to %s\n", out)
+		return nil
+	})
+
+	run("plancache", func() error {
+		rep, err := bench.PlanCache(ctx, bench.PlanCacheConfig{Iters: *iters})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset=%s store=%s\n", rep.Dataset, rep.Store)
+		fmt.Printf("%-70s %10s %10s\n", "query", "cold", "warm p50")
+		for _, r := range rep.Queries {
+			q := r.Query
+			if len(q) > 68 {
+				q = q[:65] + "..."
+			}
+			fmt.Printf("%-70s %8.2fµs %8.2fµs\n", q,
+				float64(r.ColdNS)/1e3, float64(r.WarmP50NS)/1e3)
+		}
+		fmt.Printf("warm p50 / execute p50 = %.2fx\n", rep.WarmVsExecuteP50)
+		for _, row := range rep.Throughput {
+			fmt.Printf("throughput: %d workers → %.0f qps (%.2fx linear)\n",
+				row.Workers, row.QPS, row.Scaling)
+		}
+		for _, row := range rep.FirstQuery {
+			fmt.Printf("first query with %d views: %.2fµs (%d view(s) materialized)\n",
+				row.Views, float64(row.FirstQueryNS)/1e3, row.ViewsMaterialized)
+		}
+		out := jsonFor("plancache")
+		if err := rep.WriteJSON(out); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
 		return nil
 	})
 

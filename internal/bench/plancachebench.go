@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"xamdb/internal/engine"
+	"xamdb/internal/obs"
+	"xamdb/internal/storage"
+)
+
+// PlanCacheConfig sizes the plan-cache benchmark. The zero value is the CI
+// smoke configuration.
+type PlanCacheConfig struct {
+	Iters   int   // warm repetitions per query (default 20)
+	Workers []int // throughput sweep sizes (default 1, 2, 4, 8)
+}
+
+func (c PlanCacheConfig) withDefaults() PlanCacheConfig {
+	if c.Iters <= 0 {
+		c.Iters = 20
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	return c
+}
+
+// PlanCacheQueryRow is one workload query's cold-vs-warm comparison: the
+// first run pays the containment search (and any lazy materialization), the
+// warm runs are served from the rewriting cache.
+type PlanCacheQueryRow struct {
+	Query     string `json:"query"`
+	Plan      string `json:"plan"`
+	ColdNS    int64  `json:"cold_ns"`
+	WarmIters int    `json:"warm_iters"`
+	WarmP50NS int64  `json:"warm_p50_ns"`
+	WarmMinNS int64  `json:"warm_min_ns"`
+}
+
+// PlanCacheThroughputRow is one point of the worker sweep over the warm
+// workload. Scaling is QPS relative to linear extrapolation from the first
+// row's per-worker QPS, capped at the machine's parallelism — on a P-core
+// box, w workers can at best run min(w, P) queries at once, so 1.0 means
+// "as linear as this hardware allows" (the report carries GOMAXPROCS so
+// the cap is visible).
+type PlanCacheThroughputRow struct {
+	Workers   int     `json:"workers"`
+	Queries   int     `json:"queries"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	QPS       float64 `json:"qps"`
+	Scaling   float64 `json:"scaling_vs_linear"`
+}
+
+// PlanCacheFirstQueryRow is one point of the lazy-materialization sweep: a
+// cold engine with k registered views answers one query; with lazy extents
+// the latency stays flat as k grows, because only the referenced view is
+// materialized.
+type PlanCacheFirstQueryRow struct {
+	Views             int   `json:"views"`
+	FirstQueryNS      int64 `json:"first_query_ns"`
+	ViewsMaterialized int64 `json:"views_materialized"`
+}
+
+// PlanCacheReport is the xambench plan-cache export (BENCH_plancache.json):
+// cold-vs-warm latency per workload query, the warm-path overhead relative
+// to pure execution, throughput scaling across workers, the first-query
+// sweep over growing view counts, and the engine metrics snapshot.
+type PlanCacheReport struct {
+	Experiment string              `json:"experiment"`
+	Dataset    string              `json:"dataset"`
+	Store      string              `json:"store"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Queries    []PlanCacheQueryRow `json:"queries"`
+	// WarmVsExecuteP50 is the warm end-to-end p50 over all workload queries
+	// divided by the engine.execute_ns p50 — how close a cached-plan query
+	// gets to paying only for execution (1.0 = planning is free).
+	WarmVsExecuteP50 float64                  `json:"warm_vs_execute_p50"`
+	Throughput       []PlanCacheThroughputRow `json:"throughput"`
+	FirstQuery       []PlanCacheFirstQueryRow `json:"first_query_by_views"`
+	Metrics          *obs.Snapshot            `json:"metrics"`
+}
+
+// firstQueryViews are distinct content views over the DBLP summary used by
+// the lazy-materialization sweep; each query matches exactly one of them.
+var firstQueryViews = [][2]string{
+	{"v_article_title", `// article(/ title{cont})`},
+	{"v_article_author", `// article(/ author{cont})`},
+	{"v_article_year", `// article(/ year{cont})`},
+	{"v_article_journal", `// article(/ journal{cont})`},
+	{"v_inproc_title", `// inproceedings(/ title{cont})`},
+	{"v_inproc_author", `// inproceedings(/ author{cont})`},
+	{"v_book_title", `// book(/ title{cont})`},
+	{"v_www_title", `// www(/ title{cont})`},
+}
+
+func p50(ns []int64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sorted := append([]int64{}, ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)-1)/2]
+}
+
+// newPlanCacheEngine assembles the benchmark catalog: the DBLP stand-in
+// with a tag-partitioned store plus the content views (same setup as the
+// observability benchmark, so the two reports are comparable).
+func newPlanCacheEngine(d Dataset) (*engine.Engine, *storage.Store, error) {
+	e := engine.New()
+	e.AddDocument(d.Doc)
+	st, err := storage.TagPartitioned(d.Doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.RegisterStore(d.Doc.Name, st); err != nil {
+		return nil, nil, err
+	}
+	for name, pat := range obsViews {
+		if err := e.RegisterView(d.Doc.Name, name, pat); err != nil {
+			return nil, nil, err
+		}
+	}
+	return e, st, nil
+}
+
+// PlanCache measures the warm planning path: cold-vs-warm latency per
+// workload query (the warm runs hit the rewriting cache), throughput
+// scaling across the worker sweep, and the first-query-latency sweep over
+// growing view counts that demonstrates lazy per-view materialization.
+func PlanCache(ctx context.Context, cfg PlanCacheConfig) (*PlanCacheReport, error) {
+	cfg = cfg.withDefaults()
+	d := DBLPDataset()
+	e, st, err := newPlanCacheEngine(d)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PlanCacheReport{
+		Experiment: "plancache",
+		Dataset:    d.Name,
+		Store:      st.Name,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	var warmAll []int64
+	for _, q := range obsWorkload {
+		row := PlanCacheQueryRow{Query: q, WarmIters: cfg.Iters}
+		start := time.Now()
+		_, qrep, err := e.QueryContext(ctx, q)
+		row.ColdNS = time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("bench: cold query %q: %w", q, err)
+		}
+		if len(qrep.Plans) > 0 {
+			row.Plan = qrep.Plans[0]
+		}
+		warm := make([]int64, 0, cfg.Iters)
+		for i := 0; i < cfg.Iters; i++ {
+			start := time.Now()
+			if _, _, err := e.QueryContext(ctx, q); err != nil {
+				return nil, fmt.Errorf("bench: warm query %q: %w", q, err)
+			}
+			warm = append(warm, time.Since(start).Nanoseconds())
+		}
+		row.WarmP50NS = p50(warm)
+		row.WarmMinNS = warm[0]
+		for _, ns := range warm {
+			if ns < row.WarmMinNS {
+				row.WarmMinNS = ns
+			}
+		}
+		warmAll = append(warmAll, warm...)
+		rep.Queries = append(rep.Queries, row)
+	}
+	if execP50 := e.Metrics.Snapshot().Histograms["engine.execute_ns"].P50NS; execP50 > 0 {
+		rep.WarmVsExecuteP50 = float64(p50(warmAll)) / float64(execP50)
+	}
+
+	// Throughput sweep over the warm engine: every worker loops the whole
+	// workload Iters times; read-only queries plan lock-free off the shared
+	// snapshot, so throughput should scale near-linearly.
+	var base float64
+	for _, workers := range cfg.Workers {
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		total := workers * cfg.Iters * len(obsWorkload)
+		start := time.Now()
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < cfg.Iters; i++ {
+					for _, q := range obsWorkload {
+						if _, _, err := e.QueryContext(ctx, q); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		if err := <-errc; err != nil {
+			return nil, fmt.Errorf("bench: throughput sweep (%d workers): %w", workers, err)
+		}
+		elapsed := time.Since(start)
+		row := PlanCacheThroughputRow{
+			Workers:   workers,
+			Queries:   total,
+			ElapsedNS: elapsed.Nanoseconds(),
+			QPS:       float64(total) / elapsed.Seconds(),
+		}
+		if base == 0 {
+			base = row.QPS / float64(min(workers, rep.GoMaxProcs))
+		}
+		row.Scaling = row.QPS / (base * float64(min(workers, rep.GoMaxProcs)))
+		rep.Throughput = append(rep.Throughput, row)
+	}
+
+	// First-query sweep: a cold engine with k registered views answers one
+	// query. Lazy extents keep the latency flat in k — only the view the
+	// chosen plan references is materialized.
+	for k := 1; k <= len(firstQueryViews); k *= 2 {
+		ek := engine.New()
+		ek.AddDocument(d.Doc)
+		for _, v := range firstQueryViews[:k] {
+			if err := ek.RegisterView(d.Doc.Name, v[0], v[1]); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		if _, _, err := ek.QueryContext(ctx, obsWorkload[0]); err != nil {
+			return nil, fmt.Errorf("bench: first-query sweep (k=%d): %w", k, err)
+		}
+		rep.FirstQuery = append(rep.FirstQuery, PlanCacheFirstQueryRow{
+			Views:             k,
+			FirstQueryNS:      time.Since(start).Nanoseconds(),
+			ViewsMaterialized: ek.Metrics.Snapshot().Counters["engine.views_materialized"],
+		})
+	}
+
+	rep.Metrics = e.Metrics.Snapshot()
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_*.json format).
+func (r *PlanCacheReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

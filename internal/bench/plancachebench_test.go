@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPlanCache is the smoke test for the plan-cache BENCH export: the
+// report must cover every workload query, show the cache actually hitting
+// on the warm runs, demonstrate lazy materialization in the first-query
+// sweep, and round-trip through WriteJSON.
+func TestPlanCache(t *testing.T) {
+	rep, err := PlanCache(context.Background(), PlanCacheConfig{Iters: 2, Workers: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != len(obsWorkload) {
+		t.Fatalf("got %d query rows, want %d", len(rep.Queries), len(obsWorkload))
+	}
+	for _, r := range rep.Queries {
+		if r.ColdNS <= 0 || r.WarmP50NS <= 0 || r.WarmMinNS > r.WarmP50NS {
+			t.Fatalf("latency row inconsistent: %+v", r)
+		}
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["engine.plan_cache_hits"] == 0 {
+		t.Fatalf("warm workload must hit the plan cache: %+v", rep.Metrics)
+	}
+	if len(rep.Throughput) != 2 || rep.Throughput[0].Workers != 1 || rep.Throughput[0].QPS <= 0 {
+		t.Fatalf("throughput sweep wrong: %+v", rep.Throughput)
+	}
+	if len(rep.FirstQuery) == 0 {
+		t.Fatal("first-query sweep missing")
+	}
+	for _, r := range rep.FirstQuery {
+		if r.ViewsMaterialized != 1 {
+			t.Fatalf("lazy engine must materialize exactly one view at any catalog size: %+v", r)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_plancache.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PlanCacheReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("BENCH JSON must round-trip: %v", err)
+	}
+	if back.Experiment != "plancache" || len(back.Queries) != len(rep.Queries) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

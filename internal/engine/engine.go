@@ -8,12 +8,20 @@
 // engine.
 //
 // The engine is goroutine-safe: QueryContext / ExplainContext / Analyze may
-// run concurrently with each other and with view registration. The
-// configuration fields (FallbackToBase, UsePhysical, QueryTimeout, Opts,
-// Metrics) must be set before the engine starts serving concurrent traffic.
-// Every query is measured through the internal/obs observability layer:
-// engine-level counters and latency histograms in Metrics, and a per-query
-// trace span tree attached to the Report.
+// run concurrently with each other and with view registration. Planning
+// state is copy-on-write: each query atomically loads an immutable planEnv
+// snapshot (view set, rewriter, plan cache, extent table), so read-only
+// workloads plan lock-free; only RegisterView / RegisterStore / DropView
+// take the per-document write lock and publish a fresh snapshot with a
+// bumped epoch. Compiled rewritings are cached per snapshot (LRU, keyed by
+// the pattern's canonical print), and view extents materialize lazily, one
+// view at a time, only when a chosen plan references them.
+//
+// The configuration fields (FallbackToBase, UsePhysical, QueryTimeout,
+// Opts, Options, Metrics) must be set before the engine starts serving
+// concurrent traffic. Every query is measured through the internal/obs
+// observability layer: engine-level counters and latency histograms in
+// Metrics, and a per-query trace span tree attached to the Report.
 package engine
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xamdb/internal/algebra"
@@ -36,40 +45,134 @@ import (
 )
 
 // docState groups what the engine knows about one document. doc and summary
-// are immutable after registration; mu guards the view set and the lazily
-// built rewriter / materialized extents.
+// are immutable after registration; the planning state (views, rewriter,
+// plan cache, extents) lives in an immutable planEnv snapshot reached
+// through an atomic pointer. mu serializes writers (view registration and
+// removal); readers never take it.
 type docState struct {
 	doc     *xmltree.Document
 	summary *summary.Summary
 
-	mu        sync.RWMutex
+	mu sync.Mutex // serializes snapshot publication, never held by queries
+	pe atomic.Pointer[planEnv]
+}
+
+// plan returns the current planning snapshot (lock-free).
+func (st *docState) plan() *planEnv { return st.pe.Load() }
+
+// planEnv is one immutable planning snapshot of a document: the registered
+// view set, the store-supplied extents, the lazily-built rewriter, the
+// rewriting cache and the per-view extent table. Registration publishes a
+// fresh snapshot with epoch+1; in-flight queries keep using the snapshot
+// they loaded, so a query never observes a half-updated view catalog and a
+// cached rewriting can never outlive its view set (the cache dies with the
+// snapshot — the (pattern, epoch) cache key of DESIGN.md is implicit).
+type planEnv struct {
+	epoch     uint64
+	summary   *summary.Summary
 	views     []*rewrite.View
-	viewNames map[string]bool // registered view/module names, for dup rejection
-	env       rewrite.Env
-	rewriter  *rewrite.Rewriter // rebuilt lazily when views change
-	// materialized marks that the rewriter's view extents have been merged
-	// into env. It is set only after a successful Materialize, so a failed
-	// materialization is retried on the next query instead of leaving later
-	// queries to execute over an environment with no extents.
-	materialized bool
+	viewNames map[string]bool
+	// baseEnv holds extents supplied by RegisterStore (already materialized
+	// by the storage layer). Immutable.
+	baseEnv rewrite.Env
+	// extents holds one lazily-materialized extent slot per view that needs
+	// evaluation over the document (views not covered by baseEnv and not
+	// R-marked index patterns). The map itself is immutable; each slot
+	// carries its own lock. Slots whose view (name, pattern) survived a
+	// re-registration are carried over, so bumping the epoch does not throw
+	// away already-built extents.
+	extents map[string]*viewExtent
+	// cache memoizes compiled rewritings per canonical pattern print; nil
+	// when the plan cache is disabled.
+	cache *planCache
+
+	rwOnce   sync.Once
+	rewriter *rewrite.Rewriter
 }
 
-func (st *docState) hasViews() bool {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.views) > 0
-}
-
-// plannerLocked returns the rewriter, building it if the view set changed.
+// planner returns the snapshot's rewriter, building it on first use.
 // Building is pure planning state — no document access, no extent
-// materialization — so Explain stays read-only and cheap. Callers hold mu.
-func (st *docState) plannerLocked(opts rewrite.Options) *rewrite.Rewriter {
-	if st.rewriter == nil {
-		st.rewriter = rewrite.NewRewriter(st.summary, st.views, opts)
-		st.materialized = false
-	}
-	return st.rewriter
+// materialization — so Explain stays read-only and cheap.
+func (pe *planEnv) planner(opts rewrite.Options) *rewrite.Rewriter {
+	pe.rwOnce.Do(func() {
+		pe.rewriter = rewrite.NewRewriter(pe.summary, pe.views, opts)
+	})
+	return pe.rewriter
 }
+
+// viewExtent is the lazily-built extent of one view. built distinguishes
+// "not yet materialized" (retry on next use) from a materialized slot, so a
+// failed materialization degrades only the queries that needed the view and
+// is retried the next time a plan references it.
+type viewExtent struct {
+	patternKey string // identity for carry-over across snapshots
+
+	mu    sync.Mutex
+	built bool
+	rel   *algebra.Relation
+}
+
+// get returns the extent, materializing it on first use. A nil relation
+// with built set means the slot was poisoned (tests) or the view has no
+// standalone extent; the caller omits it from the execution env.
+func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts rewrite.Options, m *engineMetrics) (*algebra.Relation, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.built {
+		return x.rel, nil
+	}
+	start := time.Now()
+	rel, err := pe.planner(opts).MaterializeView(doc, name)
+	if err != nil {
+		return nil, err
+	}
+	m.materializeNS.Since(start)
+	m.viewsMaterialized.Inc()
+	x.built = true
+	x.rel = rel
+	return rel, nil
+}
+
+// envFor assembles the execution environment for one plan: store-supplied
+// extents straight from the snapshot, view extents materialized lazily. It
+// returns the name of the view whose materialization failed, if any, so the
+// degradation names the culprit.
+func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite.Options, m *engineMetrics) (rewrite.Env, string, error) {
+	refs := rewrite.ViewRefs(plan)
+	env := make(rewrite.Env, len(refs))
+	for _, name := range refs {
+		if rel, ok := pe.baseEnv[name]; ok {
+			env[name] = rel
+			continue
+		}
+		x, ok := pe.extents[name]
+		if !ok {
+			continue // index view or unknown: the plan degrades at execution
+		}
+		rel, err := x.get(pe, doc, name, opts, m)
+		if err != nil {
+			return nil, name, err
+		}
+		if rel != nil {
+			env[name] = rel
+		}
+	}
+	return env, "", nil
+}
+
+// Options configures the engine's warm-path planning machinery.
+type Options struct {
+	// PlanCacheSize bounds the per-document LRU of compiled rewritings
+	// (entries, not bytes); 0 means DefaultPlanCacheSize.
+	PlanCacheSize int
+	// DisablePlanCache bypasses the rewriting cache entirely — every query
+	// redoes the containment search (degraded/debug runs; uload -nocache).
+	DisablePlanCache bool
+}
+
+// DefaultPlanCacheSize is the per-document rewriting-cache bound applied
+// when Options.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 256
 
 // Engine is the query processor.
 type Engine struct {
@@ -88,10 +191,59 @@ type Engine struct {
 	// earlier one wins).
 	QueryTimeout time.Duration
 	Opts         rewrite.Options
+	// Options tunes the planning warm path (plan cache size / bypass).
+	Options Options
 	// Metrics receives the engine's counters and latency histograms (see
 	// DESIGN.md "Observability" for the metric names). New wires a fresh
 	// registry; nil falls back to the process-wide obs.Default().
 	Metrics *obs.Registry
+
+	ms atomic.Pointer[engineMetrics]
+}
+
+// engineMetrics caches the engine's hot metric handles so the per-query
+// path does one atomic load instead of a dozen mutex-guarded registry
+// lookups (which serialize under concurrent load).
+type engineMetrics struct {
+	reg               *obs.Registry
+	queries           *obs.Counter
+	queryErrors       *obs.Counter
+	queriesDegraded   *obs.Counter
+	degradations      *obs.Counter
+	plansTried        *obs.Counter
+	baseScans         *obs.Counter
+	cacheHits         *obs.Counter
+	cacheMisses       *obs.Counter
+	cacheEvictions    *obs.Counter
+	viewsMaterialized *obs.Counter
+	inflight          *obs.Gauge
+	queryNS           *obs.Histogram
+	rewriteNS         *obs.Histogram
+	materializeNS     *obs.Histogram
+	executeNS         *obs.Histogram
+	fallbackDepth     *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg:               reg,
+		queries:           reg.Counter("engine.queries"),
+		queryErrors:       reg.Counter("engine.query_errors"),
+		queriesDegraded:   reg.Counter("engine.queries_degraded"),
+		degradations:      reg.Counter("engine.degradations"),
+		plansTried:        reg.Counter("engine.plans_tried"),
+		baseScans:         reg.Counter("engine.base_scans"),
+		cacheHits:         reg.Counter("engine.plan_cache_hits"),
+		cacheMisses:       reg.Counter("engine.plan_cache_misses"),
+		cacheEvictions:    reg.Counter("engine.plan_cache_evictions"),
+		viewsMaterialized: reg.Counter("engine.views_materialized"),
+		inflight:          reg.Gauge("engine.inflight"),
+		queryNS:           reg.Histogram("engine.query_ns"),
+		rewriteNS:         reg.Histogram("engine.rewrite_ns"),
+		materializeNS:     reg.Histogram("engine.materialize_ns"),
+		executeNS:         reg.Histogram("engine.execute_ns"),
+		fallbackDepth:     reg.Histogram("engine.fallback_depth"),
+	}
 }
 
 // New creates an empty engine that falls back to base evaluation. The
@@ -113,6 +265,31 @@ func (e *Engine) metrics() *obs.Registry {
 	return obs.Default()
 }
 
+// m returns the cached metric handles, rebuilding them if the registry was
+// swapped (a pre-serving configuration step).
+func (e *Engine) m() *engineMetrics {
+	reg := e.metrics()
+	if ms := e.ms.Load(); ms != nil && ms.reg == reg {
+		return ms
+	}
+	ms := newEngineMetrics(reg)
+	e.ms.Store(ms)
+	return ms
+}
+
+// newPlanCacheFor sizes a fresh rewriting cache from the engine options;
+// nil when caching is disabled.
+func (e *Engine) newPlanCacheFor() *planCache {
+	if e.Options.DisablePlanCache {
+		return nil
+	}
+	size := e.Options.PlanCacheSize
+	if size <= 0 {
+		size = DefaultPlanCacheSize
+	}
+	return newPlanCache(size)
+}
+
 // LoadDocument parses and registers a document, building its summary.
 func (e *Engine) LoadDocument(name, content string) error {
 	doc, err := xmltree.Parse(name, content)
@@ -125,14 +302,17 @@ func (e *Engine) LoadDocument(name, content string) error {
 
 // AddDocument registers an already-parsed document.
 func (e *Engine) AddDocument(doc *xmltree.Document) {
+	st := &docState{doc: doc, summary: summary.Build(doc)}
+	st.pe.Store(&planEnv{
+		summary:   st.summary,
+		viewNames: map[string]bool{},
+		baseEnv:   rewrite.Env{},
+		extents:   map[string]*viewExtent{},
+		cache:     e.newPlanCacheFor(),
+	})
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.docs[doc.Name] = &docState{
-		doc:       doc,
-		summary:   summary.Build(doc),
-		viewNames: map[string]bool{},
-		env:       rewrite.Env{},
-	}
+	e.docs[doc.Name] = st
 }
 
 // Document returns a registered document, or nil.
@@ -165,11 +345,43 @@ func (e *Engine) state(doc string) (*docState, error) {
 	return st, nil
 }
 
-// RegisterView materializes a XAM over the document and makes it available
-// to the optimizer. Changing the storage = changing the registered XAM set.
-// A name already registered for the document is rejected: silently
-// shadowing an extent in the environment would make the optimizer execute
-// one view's plan over another view's tuples.
+// publishLocked builds and installs the next planning snapshot from the
+// given view catalog and store env, carrying over already-built extents for
+// views whose (name, pattern) identity is unchanged. Callers hold st.mu.
+func (st *docState) publishLocked(e *Engine, views []*rewrite.View, names map[string]bool, baseEnv rewrite.Env) {
+	old := st.pe.Load()
+	next := &planEnv{
+		epoch:     old.epoch + 1,
+		summary:   st.summary,
+		views:     views,
+		viewNames: names,
+		baseEnv:   baseEnv,
+		extents:   make(map[string]*viewExtent, len(views)),
+		cache:     e.newPlanCacheFor(),
+	}
+	for _, v := range views {
+		if _, fromStore := baseEnv[v.Name]; fromStore {
+			continue // extent supplied by the storage layer
+		}
+		if v.Pattern.HasRequired() {
+			continue // index view: no standalone extent
+		}
+		key := v.Pattern.String()
+		if prev, ok := old.extents[v.Name]; ok && prev.patternKey == key {
+			next.extents[v.Name] = prev
+			continue
+		}
+		next.extents[v.Name] = &viewExtent{patternKey: key}
+	}
+	st.pe.Store(next)
+}
+
+// RegisterView makes a XAM available to the optimizer for the document; its
+// extent materializes lazily the first time a chosen plan references it.
+// Changing the storage = changing the registered XAM set. A name already
+// registered for the document is rejected: silently shadowing an extent in
+// the environment would make the optimizer execute one view's plan over
+// another view's tuples.
 func (e *Engine) RegisterView(doc, name, pat string) error {
 	st, err := e.state(doc)
 	if err != nil {
@@ -181,84 +393,142 @@ func (e *Engine) RegisterView(doc, name, pat string) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.viewNames[name] {
+	cur := st.pe.Load()
+	if cur.viewNames[name] {
 		return fmt.Errorf("engine: duplicate view %q for document %q", name, doc)
 	}
-	st.views = append(st.views, &rewrite.View{Name: name, Pattern: p})
-	st.viewNames[name] = true
-	st.rewriter = nil
-	st.materialized = false
+	views := append(append([]*rewrite.View{}, cur.views...), &rewrite.View{Name: name, Pattern: p})
+	names := make(map[string]bool, len(cur.viewNames)+1)
+	for n := range cur.viewNames {
+		names[n] = true
+	}
+	names[name] = true
+	st.publishLocked(e, views, names, cur.baseEnv)
 	return nil
 }
 
-// RegisterStore adds every module of a storage scheme as a view. Module
-// names must not collide with already-registered views or modules of the
-// same document; on collision nothing is registered.
+// RegisterStore adds every module of a storage scheme as a view, with the
+// store's pre-materialized extents. Module names must not collide with
+// already-registered views or modules of the same document; on collision
+// nothing is registered.
 func (e *Engine) RegisterStore(doc string, store *storage.Store) error {
 	st, err := e.state(doc)
 	if err != nil {
 		return err
 	}
-	views := store.Views()
+	storeViews := store.Views()
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	for _, v := range views {
-		if st.viewNames[v.Name] {
+	cur := st.pe.Load()
+	for _, v := range storeViews {
+		if cur.viewNames[v.Name] {
 			return fmt.Errorf("engine: duplicate view %q (module of store %q) for document %q",
 				v.Name, store.Name, doc)
 		}
 	}
-	st.views = append(st.views, views...)
-	for _, v := range views {
-		st.viewNames[v.Name] = true
+	views := append(append([]*rewrite.View{}, cur.views...), storeViews...)
+	names := make(map[string]bool, len(cur.viewNames)+len(storeViews))
+	for n := range cur.viewNames {
+		names[n] = true
+	}
+	baseEnv := make(rewrite.Env, len(cur.baseEnv)+len(storeViews))
+	for n, rel := range cur.baseEnv {
+		baseEnv[n] = rel
+	}
+	for _, v := range storeViews {
+		names[v.Name] = true
 	}
 	for name, rel := range store.Env() {
-		st.env[name] = rel
+		baseEnv[name] = rel
 	}
-	st.rewriter = nil
-	st.materialized = false
+	st.publishLocked(e, views, names, baseEnv)
 	return nil
 }
 
-// plannerFor returns (building if needed) the document's rewriter without
-// materializing any extent — the read-only planning half of rewriterFor,
-// which is all Explain needs.
-func (e *Engine) plannerFor(st *docState) *rewrite.Rewriter {
+// DropView removes a view (or store module) from the document's catalog and
+// publishes a fresh planning snapshot, so no later query can plan over it —
+// cached rewritings die with the superseded snapshot.
+func (e *Engine) DropView(doc, name string) error {
+	st, err := e.state(doc)
+	if err != nil {
+		return err
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.plannerLocked(e.Opts)
-}
-
-// rewriterFor returns the document's rewriter and a snapshot of its
-// execution environment, materializing view extents on first use. The
-// materialized flag is set only on success, so a failed materialization
-// degrades this query and is retried on the next one — it is never cached
-// as a rewriter whose views have no extents.
-func (e *Engine) rewriterFor(st *docState) (*rewrite.Rewriter, rewrite.Env, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	rw := st.plannerLocked(e.Opts)
-	if !st.materialized {
-		start := time.Now()
-		env, err := rw.Materialize(st.doc)
-		e.metrics().Histogram("engine.materialize_ns").Since(start)
-		if err != nil {
-			return nil, nil, err
+	cur := st.pe.Load()
+	if !cur.viewNames[name] {
+		return fmt.Errorf("engine: unknown view %q for document %q", name, doc)
+	}
+	views := make([]*rewrite.View, 0, len(cur.views)-1)
+	for _, v := range cur.views {
+		if v.Name != name {
+			views = append(views, v)
 		}
-		for name, rel := range env {
-			if _, have := st.env[name]; !have {
-				st.env[name] = rel
+	}
+	names := make(map[string]bool, len(cur.viewNames)-1)
+	for n := range cur.viewNames {
+		if n != name {
+			names[n] = true
+		}
+	}
+	baseEnv := cur.baseEnv
+	if _, ok := baseEnv[name]; ok {
+		baseEnv = make(rewrite.Env, len(cur.baseEnv)-1)
+		for n, rel := range cur.baseEnv {
+			if n != name {
+				baseEnv[n] = rel
 			}
 		}
-		st.materialized = true
 	}
-	// Snapshot the env so plan execution reads it without holding the lock
-	// while a concurrent RegisterStore mutates the live map.
-	env := make(rewrite.Env, len(st.env))
-	for name, rel := range st.env {
-		env[name] = rel
+	st.publishLocked(e, views, names, baseEnv)
+	return nil
+}
+
+// compileRewritings returns the pattern's rewritings over the snapshot's
+// views, consulting the plan cache first: on a hit the containment search
+// is skipped entirely. tr may be nil (Explain records no trace).
+func (e *Engine) compileRewritings(pe *planEnv, pat *xam.Pattern, tr *obs.Trace, pspan *obs.Span) ([]*rewrite.Rewriting, error) {
+	m := e.m()
+	cache := pe.cache
+	if cache != nil && e.Options.DisablePlanCache {
+		cache = nil
 	}
-	return rw, env, nil
+	var key string
+	if cache != nil {
+		var cspan *obs.Span
+		if tr != nil {
+			cspan = tr.StartSpan(pspan, "cache")
+		}
+		key = pat.CacheKey()
+		plans, hit := cache.get(key)
+		if cspan != nil {
+			cspan.End()
+		}
+		if hit {
+			m.cacheHits.Inc()
+			return plans, nil
+		}
+		m.cacheMisses.Inc()
+	}
+	var rspan *obs.Span
+	if tr != nil {
+		rspan = tr.StartSpan(pspan, "rewrite")
+	}
+	start := time.Now()
+	plans, err := pe.planner(e.Opts).Rewrite(pat)
+	m.rewriteNS.Since(start)
+	if rspan != nil {
+		rspan.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		if cache.put(key, plans) {
+			m.cacheEvictions.Inc()
+		}
+	}
+	return plans, nil
 }
 
 // Degradation records one step down the fallback cascade: a plan that
@@ -278,7 +548,7 @@ type Report struct {
 	// cleanly-answered query.
 	Degradations []Degradation
 	// Trace is the query's span tree (parse → extract → per-pattern
-	// materialize/rewrite/execute), attached by QueryContext.
+	// cache/rewrite/materialize/execute), attached by QueryContext.
 	Trace *obs.Trace
 	// Ops holds one EXPLAIN ANALYZE operator tree per pattern, populated
 	// only by Analyze/AnalyzeContext.
@@ -360,22 +630,22 @@ func (e *Engine) AnalyzeContext(ctx context.Context, src string) (string, *Repor
 
 // run is the shared query path of QueryContext and AnalyzeContext.
 func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string, report *Report, err error) {
-	m := e.metrics()
-	m.Counter("engine.queries").Inc()
-	m.Gauge("engine.inflight").Add(1)
+	m := e.m()
+	m.queries.Inc()
+	m.inflight.Add(1)
 	start := time.Now()
 	tr := obs.NewTrace("query")
 	report = &Report{Trace: tr}
 	defer func() {
 		tr.End()
-		m.Gauge("engine.inflight").Add(-1)
-		m.Histogram("engine.query_ns").Since(start)
-		m.Histogram("engine.fallback_depth").Observe(int64(len(report.Degradations)))
+		m.inflight.Add(-1)
+		m.queryNS.Since(start)
+		m.fallbackDepth.Observe(int64(len(report.Degradations)))
 		if report.Degraded() {
-			m.Counter("engine.queries_degraded").Inc()
+			m.queriesDegraded.Inc()
 		}
 		if err != nil {
-			m.Counter("engine.query_errors").Inc()
+			m.queryErrors.Inc()
 		}
 	}()
 	if e.QueryTimeout > 0 {
@@ -442,50 +712,56 @@ func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// answerPattern rewrites one query pattern over the document's views, and
-// walks the fallback cascade on execution failure: next-best rewriting →
-// base scan. Every step down is recorded in report.Degradations and in the
-// engine's metrics. Only context cancellation and base-scan failure abort
-// the query.
+// answerPattern rewrites one query pattern over the document's current
+// planning snapshot, and walks the fallback cascade on plan failure:
+// next-best rewriting → base scan. Extents materialize lazily per plan —
+// only the views a plan actually references are built, so failed or
+// unreferenced views cost nothing. Every step down is recorded in
+// report.Degradations and in the engine's metrics. Only context
+// cancellation and base-scan failure abort the query.
 func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pat *xam.Pattern, report *Report, tr *obs.Trace, pspan *obs.Span, analyze bool) (*algebra.Relation, string, *physical.OpStats, error) {
-	m := e.metrics()
+	m := e.m()
 	degrade := func(plan string, err error) {
-		m.Counter("engine.degradations").Inc()
+		m.degradations.Inc()
 		report.Degradations = append(report.Degradations,
 			Degradation{Pattern: patIdx, Plan: plan, Err: err.Error()})
 	}
-	if st.hasViews() {
-		mspan := tr.StartSpan(pspan, "materialize")
-		rw, env, err := e.rewriterFor(st)
-		mspan.End()
+	pe := st.plan()
+	if len(pe.views) > 0 {
+		plans, err := e.compileRewritings(pe, pat, tr, pspan)
 		if err != nil {
-			// A failed view materialization leaves the rewritings unusable;
-			// fall through to the base scan (the document itself is intact).
-			degrade("(view materialization)", err)
-		} else {
-			rspan := tr.StartSpan(pspan, "rewrite")
-			rwStart := time.Now()
-			plans, err := rw.Rewrite(pat)
-			m.Histogram("engine.rewrite_ns").Since(rwStart)
-			rspan.End()
-			if err != nil {
-				degrade("(rewriting search)", err)
+			degrade("(rewriting search)", err)
+		}
+		for _, plan := range plans {
+			if err := ctx.Err(); err != nil {
+				return nil, "", nil, err
 			}
-			for _, plan := range plans {
-				m.Counter("engine.plans_tried").Inc()
-				espan := tr.StartSpan(pspan, "execute")
-				exStart := time.Now()
-				rel, ops, err := e.execPlan(ctx, plan, env, analyze)
-				m.Histogram("engine.execute_ns").Since(exStart)
-				espan.End()
-				if err == nil {
-					return rel, plan.Plan.String(), ops, nil
-				}
-				if ctxErr(err) || ctx.Err() != nil {
+			m.plansTried.Inc()
+			mspan := tr.StartSpan(pspan, "materialize")
+			env, failedView, err := pe.envFor(st.doc, plan.Plan, e.Opts, m)
+			mspan.End()
+			if err != nil {
+				if ctxErr(err) {
 					return nil, "", nil, err
 				}
-				degrade(plan.Plan.String(), err)
+				// A failed view materialization kills only the plans that
+				// reference the view; the next rewriting may avoid it, and
+				// the slot stays unbuilt, so it is retried next time.
+				degrade("(view materialization: "+failedView+")", err)
+				continue
 			}
+			espan := tr.StartSpan(pspan, "execute")
+			exStart := time.Now()
+			rel, ops, err := e.execPlan(ctx, plan, env, analyze)
+			m.executeNS.Since(exStart)
+			espan.End()
+			if err == nil {
+				return rel, plan.Plan.String(), ops, nil
+			}
+			if ctxErr(err) || ctx.Err() != nil {
+				return nil, "", nil, err
+			}
+			degrade(plan.Plan.String(), err)
 		}
 	}
 	if !e.FallbackToBase {
@@ -494,12 +770,12 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 	if err := ctx.Err(); err != nil {
 		return nil, "", nil, err
 	}
-	m.Counter("engine.base_scans").Inc()
+	m.baseScans.Inc()
 	bspan := tr.StartSpan(pspan, "execute")
 	exStart := time.Now()
 	rel, err := evalBase(pat, st.doc)
 	exTime := time.Since(exStart)
-	m.Histogram("engine.execute_ns").ObserveDuration(exTime)
+	m.executeNS.ObserveDuration(exTime)
 	bspan.End()
 	if err != nil {
 		return nil, "", nil, err
@@ -612,7 +888,9 @@ func applyJoin(r *algebra.Relation, j xquery.ValueJoin) (*algebra.Relation, erro
 
 // Explain plans a query without executing it — and without materializing
 // anything: plan search runs over the views' patterns and the path summary
-// only, so Explain on a cold catalog is read-only and cheap.
+// only, so Explain on a cold catalog is read-only and cheap. It shares the
+// rewriting cache with the query path, so a warm Explain skips the
+// containment search too.
 func (e *Engine) Explain(src string) (*Report, error) {
 	return e.ExplainContext(context.Background(), src)
 }
@@ -644,9 +922,9 @@ func (e *Engine) ExplainContext(ctx context.Context, src string) (*Report, error
 			return nil, err
 		}
 		desc := "base scan (direct evaluation)"
-		if st.hasViews() {
-			rw := e.plannerFor(st)
-			plans, err := rw.Rewrite(pat)
+		pe := st.plan()
+		if len(pe.views) > 0 {
+			plans, err := e.compileRewritings(pe, pat, nil, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"xamdb/internal/algebra"
+)
+
+// extentSlotForTest returns the lazy-extent slot of one view in the
+// document's current planning snapshot.
+func extentSlotForTest(t *testing.T, e *Engine, doc, name string) *viewExtent {
+	t.Helper()
+	st, err := e.state(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := st.plan().extents[name]
+	if !ok {
+		t.Fatalf("no extent slot for view %q of %q", name, doc)
+	}
+	return x
+}
+
+// killExtentForTest empties a view's extent slot (built, no relation): the
+// next plan referencing the view finds no extent and degrades — the
+// post-refactor equivalent of deleting the env entry.
+func killExtentForTest(t *testing.T, e *Engine, doc, name string) {
+	t.Helper()
+	poisonExtentForTest(t, e, doc, name, nil)
+}
+
+// poisonExtentForTest force-installs rel as a view's materialized extent.
+func poisonExtentForTest(t *testing.T, e *Engine, doc, name string, rel *algebra.Relation) {
+	t.Helper()
+	x := extentSlotForTest(t, e, doc, name)
+	x.mu.Lock()
+	x.built = true
+	x.rel = rel
+	x.mu.Unlock()
+}
+
+// extentBuiltForTest reports whether a view's extent has materialized.
+func extentBuiltForTest(t *testing.T, e *Engine, doc, name string) bool {
+	t.Helper()
+	x := extentSlotForTest(t, e, doc, name)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.built
+}
+
+// builtExtentCountForTest counts materialized extents in the document's
+// current snapshot.
+func builtExtentCountForTest(t *testing.T, e *Engine, doc string) int {
+	t.Helper()
+	st, err := e.state(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, x := range st.plan().extents {
+		x.mu.Lock()
+		if x.built {
+			n++
+		}
+		x.mu.Unlock()
+	}
+	return n
+}
+
+// viewCountForTest returns how many views the document's snapshot holds.
+func viewCountForTest(t *testing.T, e *Engine, doc string) int {
+	t.Helper()
+	st, err := e.state(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(st.plan().views)
+}
+
+// snapshotForTest returns the document's current planning snapshot.
+func snapshotForTest(t *testing.T, e *Engine, doc string) *planEnv {
+	t.Helper()
+	st, err := e.state(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.plan()
+}

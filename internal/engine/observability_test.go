@@ -32,8 +32,8 @@ func TestMaterializeFailureRetried(t *testing.T) {
 	if !rep.Degraded() || !strings.Contains(rep.Degradations[0].Plan, "materialization") {
 		t.Fatalf("materialization failure must be recorded as a degradation: %+v", rep.Degradations)
 	}
-	if e.docs["bib.xml"].materialized {
-		t.Fatal("failed materialization must not mark the doc state materialized")
+	if extentBuiltForTest(t, e, "bib.xml", "vt") {
+		t.Fatal("failed materialization must not mark the view's extent built")
 	}
 
 	// Heal the fault: the next query must retry materialization and answer
@@ -99,9 +99,8 @@ func TestExplainDoesNotMaterialize(t *testing.T) {
 	if !strings.Contains(rep.Plans[0], "vt") {
 		t.Fatalf("explain must still find the view plan: %s", rep.Plans[0])
 	}
-	st := e.docs["bib.xml"]
-	if st.materialized || len(st.env) != 0 {
-		t.Fatalf("explain must not materialize: materialized=%v env=%d", st.materialized, len(st.env))
+	if n := builtExtentCountForTest(t, e, "bib.xml"); n != 0 {
+		t.Fatalf("explain must not materialize: %d extents built", n)
 	}
 	if faultinject.Hits(rewrite.SiteMaterializeView) != 0 {
 		t.Fatal("explain must never reach the materialization path")
@@ -121,9 +120,8 @@ func TestDegradationMetricsMatchReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kill both extents: the next query degrades twice, down to the base scan.
-	for name := range e.docs["bib.xml"].env {
-		delete(e.docs["bib.xml"].env, name)
-	}
+	killExtentForTest(t, e, "bib.xml", "v1")
+	killExtentForTest(t, e, "bib.xml", "v2")
 	_, rep, err := e.Query(`doc("bib.xml")//book/title`)
 	if err != nil {
 		t.Fatal(err)

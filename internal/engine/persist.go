@@ -35,11 +35,9 @@ func (e *Engine) Save(w io.Writer) error {
 	var cat catalog
 	for name, st := range e.docs {
 		cd := catalogDoc{Name: name, XML: st.doc.Serialize()}
-		st.mu.RLock()
-		for _, v := range st.views {
+		for _, v := range st.plan().views {
 			cd.Views = append(cd.Views, catalogView{Name: v.Name, Pattern: v.Pattern.String()})
 		}
-		st.mu.RUnlock()
 		cat.Docs = append(cat.Docs, cd)
 	}
 	e.mu.RUnlock()

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"xamdb/internal/rewrite"
+)
+
+// planCache is a bounded LRU of compiled rewritings, keyed by the query
+// pattern's canonical print (xam.Pattern.CacheKey). One cache lives inside
+// each planEnv snapshot, so view-set changes invalidate it wholesale: the
+// registration path publishes a fresh snapshot with a fresh (empty) cache,
+// and a stale rewriting can never be served against a newer view catalog.
+//
+// Cached values are the rewriter's output slices; they are treated as
+// immutable by every consumer (the engine only reads plans and executes
+// them against per-query environments), so a hit returns the shared slice
+// without copying.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type planCacheEntry struct {
+	key   string
+	plans []*rewrite.Rewriting
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{
+		cap:   capacity,
+		items: make(map[string]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get returns the cached rewritings for key and whether they were present,
+// promoting the entry to most-recently-used.
+func (c *planCache) get(key string) ([]*rewrite.Rewriting, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planCacheEntry).plans, true
+}
+
+// put stores the rewritings for key and reports whether an older entry was
+// evicted to make room. Re-putting an existing key refreshes it in place.
+func (c *planCache) put(key string, plans []*rewrite.Rewriting) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planCacheEntry).plans = plans
+		c.order.MoveToFront(el)
+		return false
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*planCacheEntry).key)
+			evicted = true
+		}
+	}
+	c.items[key] = c.order.PushFront(&planCacheEntry{key: key, plans: plans})
+	return evicted
+}
+
+// len returns the number of cached entries.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xamdb/internal/faultinject"
+	"xamdb/internal/rewrite"
+)
+
+// TestPlanCacheWarmHit: the second identical query must be served from the
+// rewriting cache — no second containment search — and the trace must show
+// the cache consultation.
+func TestPlanCacheWarmHit(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != titlesXML || !strings.Contains(rep.Plans[0], "vt") {
+		t.Fatalf("warm query answer wrong: %q plan %s", got, rep.Plans[0])
+	}
+	if !strings.Contains(rep.Trace.String(), "cache") {
+		t.Fatalf("warm query trace must contain the cache span:\n%s", rep.Trace)
+	}
+	snap := e.Metrics.Snapshot()
+	if snap.Counters["engine.plan_cache_hits"] != 1 || snap.Counters["engine.plan_cache_misses"] != 1 {
+		t.Fatalf("want 1 hit / 1 miss, got hits=%d misses=%d",
+			snap.Counters["engine.plan_cache_hits"], snap.Counters["engine.plan_cache_misses"])
+	}
+	if n := snap.Histograms["engine.rewrite_ns"].Count; n != 1 {
+		t.Fatalf("warm query must skip the containment search: rewrite_ns count=%d, want 1", n)
+	}
+	// Explain shares the cache with the query path.
+	if _, err := e.Explain(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics.Snapshot().Counters["engine.plan_cache_hits"]; got != 2 {
+		t.Fatalf("explain must hit the shared cache: hits=%d, want 2", got)
+	}
+}
+
+// TestPlanCacheInvalidatedByRegistration: registering or dropping a view
+// publishes a new snapshot (epoch+1) with a fresh cache, so the next query
+// replans instead of reusing a rewriting compiled over the old view set.
+func TestPlanCacheInvalidatedByRegistration(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "v1", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	epoch0 := snapshotForTest(t, e, "bib.xml").epoch
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterView("bib.xml", "v2", `// book(/ author{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	if epoch := snapshotForTest(t, e, "bib.xml").epoch; epoch != epoch0+1 {
+		t.Fatalf("registration must bump the epoch: %d -> %d", epoch0, epoch)
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Metrics.Snapshot()
+	if snap.Counters["engine.plan_cache_misses"] != 2 || snap.Counters["engine.plan_cache_hits"] != 0 {
+		t.Fatalf("registration must invalidate the cache: hits=%d misses=%d",
+			snap.Counters["engine.plan_cache_hits"], snap.Counters["engine.plan_cache_misses"])
+	}
+}
+
+// TestDropViewInvalidatesPlans: after DropView, a query that was answered
+// from the view must replan — the cached rewriting referencing the dropped
+// view must never be served.
+func TestDropViewInvalidatesPlans(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Plans[0], "vt") {
+		t.Fatalf("warm-up must use the view: %s", rep.Plans[0])
+	}
+	if err := e.DropView("bib.xml", "vt"); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != titlesXML {
+		t.Fatalf("post-drop answer wrong: %q", got)
+	}
+	if strings.Contains(rep.Plans[0], "vt") || rep.Degraded() {
+		t.Fatalf("dropped view must not appear in any served plan: %s (degradations %v)",
+			rep.Plans[0], rep.Degradations)
+	}
+	if err := e.DropView("bib.xml", "vt"); err == nil {
+		t.Fatal("dropping an unknown view must error")
+	}
+}
+
+// TestPlanCacheDisabled: with the cache off every query replans and the
+// cache counters stay silent.
+func TestPlanCacheDisabled(t *testing.T) {
+	e := newEngine(t)
+	e.Options.DisablePlanCache = true
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil || got != titlesXML {
+			t.Fatalf("query %d: %q, %v", i, got, err)
+		}
+	}
+	snap := e.Metrics.Snapshot()
+	if snap.Counters["engine.plan_cache_hits"] != 0 || snap.Counters["engine.plan_cache_misses"] != 0 {
+		t.Fatalf("disabled cache must not count: hits=%d misses=%d",
+			snap.Counters["engine.plan_cache_hits"], snap.Counters["engine.plan_cache_misses"])
+	}
+	if n := snap.Histograms["engine.rewrite_ns"].Count; n != 3 {
+		t.Fatalf("disabled cache must replan every query: rewrite_ns count=%d, want 3", n)
+	}
+}
+
+// TestPlanCacheEviction: a capacity-1 cache thrashing between two patterns
+// must evict (and count it) while still answering correctly.
+func TestPlanCacheEviction(t *testing.T) {
+	e := newEngine(t)
+	e.Options.PlanCacheSize = 1
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{`doc("bib.xml")//book/title`, `doc("bib.xml")//book/author`, `doc("bib.xml")//book/title`}
+	for _, q := range queries {
+		if _, _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.Metrics.Snapshot()
+	if snap.Counters["engine.plan_cache_evictions"] < 2 {
+		t.Fatalf("capacity-1 cache must evict on each alternation: evictions=%d",
+			snap.Counters["engine.plan_cache_evictions"])
+	}
+	if snap.Counters["engine.plan_cache_misses"] != 3 {
+		t.Fatalf("every alternating query must miss: misses=%d", snap.Counters["engine.plan_cache_misses"])
+	}
+}
+
+// TestPlanCacheLRU unit-tests the LRU policy directly: a get promotes the
+// entry, so the least-recently-used one is evicted first.
+func TestPlanCacheLRU(t *testing.T) {
+	c := newPlanCache(2)
+	a, b := []*rewrite.Rewriting{}, []*rewrite.Rewriting{nil}
+	if c.put("a", a) || c.put("b", b) {
+		t.Fatal("filling to capacity must not evict")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a must be cached")
+	}
+	if !c.put("c", nil) {
+		t.Fatal("overflow must evict")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b was least recently used and must be gone")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was promoted by get and must survive")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c was just inserted and must be cached")
+	}
+	if c.put("a", b) {
+		t.Fatal("refreshing an existing key must not evict")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len=%d, want 2", c.len())
+	}
+}
+
+// TestLazyMaterializationOnlyReferencedViews is the lazy-extent regression
+// test: with several registered views, a query must materialize only the
+// view its chosen plan references. The SkipFirst=1 fault proves it — the
+// single referenced view passes the fault check, and any eager second
+// materialization would fail the query.
+func TestLazyMaterializationOnlyReferencedViews(t *testing.T) {
+	e := newEngine(t)
+	views := map[string]string{
+		"v_title":  `// book(/ title{cont})`,
+		"v_author": `// book(/ author{cont})`,
+		"v_book":   `// book{id}`,
+		"v_year":   `// book(/ year{cont})`,
+	}
+	for name, pat := range views {
+		if err := e.RegisterView("bib.xml", name, pat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Arm(rewrite.SiteMaterializeView, faultinject.Fault{SkipFirst: 1})
+	t.Cleanup(faultinject.Reset)
+
+	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != titlesXML || !strings.Contains(rep.Plans[0], "v_title") {
+		t.Fatalf("answer wrong: %q plan %s", got, rep.Plans[0])
+	}
+	if rep.Degraded() {
+		t.Fatalf("a fault on the second materialization must never fire on a lazy engine: %+v",
+			rep.Degradations)
+	}
+	if hits := faultinject.Hits(rewrite.SiteMaterializeView); hits != 1 {
+		t.Fatalf("exactly one view must materialize, got %d fault-site consultations", hits)
+	}
+	snap := e.Metrics.Snapshot()
+	if n := snap.Counters["engine.views_materialized"]; n != 1 {
+		t.Fatalf("engine.views_materialized = %d, want 1", n)
+	}
+	if n := snap.Histograms["engine.materialize_ns"].Count; n != 1 {
+		t.Fatalf("materialize_ns must record one build, got %d", n)
+	}
+	if !extentBuiltForTest(t, e, "bib.xml", "v_title") {
+		t.Fatal("the referenced view's extent must be built")
+	}
+	for _, name := range []string{"v_author", "v_year"} {
+		if extentBuiltForTest(t, e, "bib.xml", name) {
+			t.Fatalf("unreferenced view %s must stay unmaterialized", name)
+		}
+	}
+}
+
+// TestExtentCarryOverAcrossRegistration: registering an unrelated view must
+// not throw away extents already built for surviving views.
+func TestExtentCarryOverAcrossRegistration(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterView("bib.xml", "va", `// book(/ author{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	if !extentBuiltForTest(t, e, "bib.xml", "vt") {
+		t.Fatal("vt's built extent must survive the registration of va")
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Metrics.Snapshot().Counters["engine.views_materialized"]; n != 1 {
+		t.Fatalf("carry-over must avoid rematerialization: views_materialized=%d, want 1", n)
+	}
+}
+
+// TestConcurrentRegistrationInvalidation is the -race stress test for the
+// copy-on-write snapshot discipline: queries race against RegisterView and
+// DropView of a view matching the same pattern, and every answer must equal
+// the cold-engine result (physical data independence: the view set never
+// changes what a query returns). A stale cached rewriting served across an
+// epoch bump would surface as a degradation burst or a wrong answer.
+func TestConcurrentRegistrationInvalidation(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "v0", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker, churns = 8, 25, 40
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker+churns)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				got, _, err := e.QueryContext(context.Background(), `doc("bib.xml")//book/title`)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != titlesXML {
+					errc <- fmt.Errorf("answer changed under churn: %q", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // churn a view over the same pattern the queries use
+		defer wg.Done()
+		for i := 0; i < churns; i++ {
+			if err := e.RegisterView("bib.xml", "vchurn", `// book(/ title{cont})`); err != nil {
+				errc <- err
+				return
+			}
+			if err := e.DropView("bib.xml", "vchurn"); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// Deterministic staleness check on the settled engine: vchurn is gone,
+	// so no plan may reference it, warm or cold.
+	for i := 0; i < 2; i++ {
+		_, rep, err := e.Query(`doc("bib.xml")//book/title`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(rep.Plans[0], "vchurn") {
+			t.Fatalf("stale rewriting served after DropView: %s", rep.Plans[0])
+		}
+	}
+}

@@ -43,7 +43,7 @@ func TestFallbackToNextBestRewriting(t *testing.T) {
 	}
 	chosen := planView(t, rep.Plans[0], "v1", "v2")
 	other := map[string]string{"v1": "v2", "v2": "v1"}[chosen]
-	delete(e.docs["bib.xml"].env, chosen)
+	killExtentForTest(t, e, "bib.xml", chosen)
 
 	got, rep2, err := e.Query(`doc("bib.xml")//book/title`)
 	if err != nil {
@@ -75,9 +75,7 @@ func TestFallbackToBaseScan(t *testing.T) {
 		if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
 			t.Fatal(err)
 		}
-		for name := range e.docs["bib.xml"].env {
-			delete(e.docs["bib.xml"].env, name)
-		}
+		killExtentForTest(t, e, "bib.xml", "vt")
 		got, rep, err := e.Query(`doc("bib.xml")//book/title`)
 		if err != nil {
 			t.Fatalf("physical=%v: %v", physical, err)
@@ -103,7 +101,7 @@ func TestShapeMismatchDegrades(t *testing.T) {
 	}
 	bogus := algebra.NewRelation(&algebra.Schema{Attrs: []algebra.Attr{{Name: "wrong"}}})
 	bogus.Add(algebra.Tuple{algebra.S("junk")})
-	e.docs["bib.xml"].env["vt"] = bogus
+	poisonExtentForTest(t, e, "bib.xml", "vt", bogus)
 	got, rep, err := e.Query(`doc("bib.xml")//book/title`)
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +142,7 @@ func TestOperatorPanicRecovered(t *testing.T) {
 		if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
 			t.Fatal(err)
 		}
-		e.docs["bib.xml"].env["vt"] = nil
+		killExtentForTest(t, e, "bib.xml", "vt")
 		got, rep, err := e.Query(`doc("bib.xml")//book/title`)
 		if err != nil {
 			t.Fatal(err)
@@ -166,7 +164,7 @@ func TestNoFallbackSurfacesPlanFailure(t *testing.T) {
 	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
 		t.Fatal(err)
 	}
-	delete(e.docs["bib.xml"].env, "vt")
+	killExtentForTest(t, e, "bib.xml", "vt")
 	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err == nil {
 		t.Fatal("exhausted cascade without fallback must error")
 	}
@@ -251,11 +249,11 @@ func TestRegisterStoreDuplicateRejected(t *testing.T) {
 	if err := e.RegisterStore("bib.xml", st); err != nil {
 		t.Fatal(err)
 	}
-	before := len(e.docs["bib.xml"].views)
+	before := viewCountForTest(t, e, "bib.xml")
 	if err := e.RegisterStore("bib.xml", st); err == nil {
 		t.Fatal("re-registering the same store must be rejected")
 	}
-	if got := len(e.docs["bib.xml"].views); got != before {
+	if got := viewCountForTest(t, e, "bib.xml"); got != before {
 		t.Fatalf("rejected store must register nothing: %d views, want %d", got, before)
 	}
 }

@@ -43,14 +43,44 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// histBuckets is the number of power-of-two histogram buckets; bucket i
-// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) ≤ v < 2^i
-// (bucket 0 holds v == 0). 64 buckets cover the full int64 range.
-const histBuckets = 65
+// Histogram bucketing is HDR-style: exponential power-of-two ranges, each
+// split into 4 linear sub-buckets by the two bits after the leading one, so
+// a quantile's bucket upper bound overestimates the true value by at most
+// 25% (the pure power-of-two scheme was off by up to 2×). Values 0–3 get
+// exact buckets; value v ≥ 4 with most-significant bit m (v ∈ [2^m, 2^(m+1)))
+// lands in sub-bucket (v >> (m-2)) & 3 of range m. m runs 2…63, hence
+// 4 + 62*4 buckets cover the full non-negative int64 range.
+const histBuckets = 4 + 62*4
+
+// histBucketIndex maps an observation to its bucket.
+func histBucketIndex(v int64) int {
+	if v < 4 {
+		return int(v)
+	}
+	m := bits.Len64(uint64(v)) - 1
+	sub := int((uint64(v) >> uint(m-2)) & 3)
+	return 4 + (m-2)*4 + sub
+}
+
+// histBucketUpper is the largest value mapped to bucket i (the quantile
+// upper bound), saturating at MaxInt64 for the top range.
+func histBucketUpper(i int) int64 {
+	if i < 4 {
+		return int64(i)
+	}
+	m := uint((i-4)/4 + 2)
+	sub := uint64((i-4)%4) + 1
+	u := uint64(1)<<m + sub<<(m-2) - 1
+	if u > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(u)
+}
 
 // Histogram records int64 observations (by convention nanoseconds for
-// latencies) into exponential power-of-two buckets. All operations are
-// atomic; Observe is wait-free except for the min/max CAS loops.
+// latencies) into exponential buckets with 4 linear sub-buckets per power
+// of two (see histBucketIndex). All operations are atomic; Observe is
+// wait-free except for the min/max CAS loops.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
@@ -74,7 +104,7 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 	atomicMin(&h.min, v)
 	atomicMax(&h.max, v)
-	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.buckets[histBucketIndex(v)].Add(1)
 }
 
 // ObserveDuration records a duration in nanoseconds.
@@ -90,7 +120,8 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1): the top of
-// the power-of-two bucket the quantile falls into. 0 when empty.
+// the sub-bucket the quantile falls into, at most 25% above the true value
+// (and clamped to the observed max). 0 when empty.
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -104,10 +135,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for i := 0; i < histBuckets; i++ {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
-			if i == 0 {
-				return 0
-			}
-			hi := int64(1)<<uint(i) - 1 // top value of bucket i
+			hi := histBucketUpper(i)
 			if m := h.max.Load(); hi > m {
 				hi = m
 			}

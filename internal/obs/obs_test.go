@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -55,6 +56,33 @@ func TestHistogramStats(t *testing.T) {
 	st := s.Histograms["lat"]
 	if st.MinNS != 1 || st.MaxNS != 1000 || st.Count != 5 {
 		t.Fatalf("snapshot stats: %+v", st)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the sub-bucket bound: the quantile
+// upper estimate must stay within 25% of the true value across the range
+// (the pure power-of-two buckets were off by up to 2×).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	for _, v := range []int64{1, 3, 4, 5, 7, 9, 100, 999, 12345, 1 << 20, 1<<40 + 17} {
+		h := newHistogram()
+		h.Observe(v)
+		q := h.Quantile(0.99)
+		if q < v || float64(q) > float64(v)*1.25 {
+			t.Fatalf("Observe(%d): quantile bound %d outside [v, 1.25v]", v, q)
+		}
+	}
+	// Bucket index/upper stay consistent across the whole int64 range,
+	// including the saturating top bucket.
+	for _, v := range []int64{0, 1, 2, 3, 4, 63, 64, 65, 1<<62 + 1, math.MaxInt64} {
+		i := histBucketIndex(v)
+		if up := histBucketUpper(i); up < v {
+			t.Fatalf("bucket upper %d below member value %d (bucket %d)", up, v, i)
+		}
+		if i > 0 {
+			if lowUp := histBucketUpper(i - 1); lowUp >= v {
+				t.Fatalf("value %d should not fit bucket %d (upper %d)", v, i-1, lowUp)
+			}
+		}
 	}
 }
 

@@ -37,6 +37,47 @@ type Plan interface {
 	String() string
 }
 
+// ViewRefs lists the names of the views a plan scans, deduplicated, in
+// first-reference order. The engine materializes exactly these extents
+// before executing the plan, so a plan's cost never includes building
+// extents it does not read.
+func ViewRefs(p Plan) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Plan)
+	walk = func(p Plan) {
+		switch p := p.(type) {
+		case *ScanPlan:
+			if !seen[p.View.Name] {
+				seen[p.View.Name] = true
+				out = append(out, p.View.Name)
+			}
+		case *ProjectPlan:
+			walk(p.In)
+		case *StructJoinPlan:
+			walk(p.Outer)
+			walk(p.Inner)
+		case *FusePlan:
+			walk(p.Left)
+			walk(p.Right)
+		case *DeriveParentPlan:
+			walk(p.In)
+		case *UnionPlan:
+			for _, part := range p.Parts {
+				walk(part)
+			}
+		case *SelectTagPlan:
+			walk(p.In)
+		case *SelectValPlan:
+			walk(p.In)
+		case *RenamePlan:
+			walk(p.In)
+		}
+	}
+	walk(p)
+	return out
+}
+
 // ScanPlan reads one view.
 type ScanPlan struct {
 	View *View

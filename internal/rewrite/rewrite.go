@@ -548,19 +548,34 @@ const SiteMaterializeView = "rewrite.materialize.view"
 func (r *Rewriter) Materialize(doc *xmltree.Document) (Env, error) {
 	env := Env{}
 	for _, v := range r.Views {
-		if v.Pattern.HasRequired() {
-			continue
-		}
-		if err := faultinject.Check(SiteMaterializeView); err != nil {
-			return nil, err
-		}
-		rel, err := v.Pattern.Eval(doc)
+		rel, err := r.MaterializeView(doc, v.Name)
 		if err != nil {
 			return nil, err
 		}
-		env[v.Name] = rel
+		if rel != nil {
+			env[v.Name] = rel
+		}
 	}
 	return env, nil
+}
+
+// MaterializeView evaluates one registered view's extent over the document.
+// Index views (patterns with required attributes) return a nil relation and
+// no error: they need bindings at lookup time and have no standalone extent.
+func (r *Rewriter) MaterializeView(doc *xmltree.Document, name string) (*algebra.Relation, error) {
+	for _, v := range r.Views {
+		if v.Name != name {
+			continue
+		}
+		if v.Pattern.HasRequired() {
+			return nil, nil
+		}
+		if err := faultinject.Check(SiteMaterializeView); err != nil {
+			return nil, fmt.Errorf("rewrite: materialize view %q: %w", name, err)
+		}
+		return v.Pattern.Eval(doc)
+	}
+	return nil, fmt.Errorf("rewrite: unknown view %q", name)
 }
 
 // relevantViews keeps the views whose stored nodes can map to summary paths

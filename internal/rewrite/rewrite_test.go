@@ -340,3 +340,67 @@ func TestValueSelectionOnWideView(t *testing.T) {
 		t.Fatalf("results differ:\n%s\nvs\n%s", got, want)
 	}
 }
+
+// TestViewRefs checks the plan walker the engine's lazy materialization
+// relies on: it must name exactly the views a plan scans, across join and
+// union shapes, without duplicates.
+func TestViewRefs(t *testing.T) {
+	rw, _, _ := setup(t,
+		`<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`,
+		map[string]string{
+			"books":  `// book{id s}`,
+			"titles": `// title{id s, val}`,
+		},
+		Options{})
+	r := bestPlan(t, rw, `// book{id s}(/ title{id s, val})`)
+	refs := ViewRefs(r.Plan)
+	if len(refs) != 2 {
+		t.Fatalf("join plan %s must reference both views, got %v", r.Plan, refs)
+	}
+	got := map[string]bool{}
+	for _, name := range refs {
+		if got[name] {
+			t.Fatalf("duplicate ref %q in %v", name, refs)
+		}
+		got[name] = true
+	}
+	if !got["books"] || !got["titles"] {
+		t.Fatalf("refs = %v, want books and titles", refs)
+	}
+
+	rwu, _, _ := setup(t,
+		`<a><x><b>1</b></x><y><b>2</b></y></a>`,
+		map[string]string{
+			"vx": `// x(/ b{id s, val})`,
+			"vy": `// y(/ b{id s, val})`,
+		},
+		Options{})
+	ru := bestPlan(t, rwu, `// b{id s, val}`)
+	urefs := ViewRefs(ru.Plan)
+	if len(urefs) != 2 {
+		t.Fatalf("union plan %s must reference both views, got %v", ru.Plan, urefs)
+	}
+}
+
+// TestMaterializeView checks the single-view entry point the engine's lazy
+// extents use: known views evaluate, R-marked index views have no standalone
+// extent, unknown names error.
+func TestMaterializeView(t *testing.T) {
+	doc := xmltree.MustParse("t.xml", `<bib><book><title>T</title></book></bib>`)
+	s := summary.Build(doc)
+	rw := NewRewriter(s, []*View{
+		{Name: "v", Pattern: xam.MustParse(`// book{id s, cont}`)},
+		{Name: "idx", Pattern: xam.MustParse(`// title{id R, val}`)},
+	}, Options{})
+	rel, err := rw.MaterializeView(doc, "v")
+	if err != nil || rel == nil || rel.Len() != 1 {
+		t.Fatalf("MaterializeView(v) = %v, %v", rel, err)
+	}
+	rel, err = rw.MaterializeView(doc, "idx")
+	if err != nil || rel != nil {
+		t.Fatalf("index view must have no standalone extent, got %v, %v", rel, err)
+	}
+	if _, err := rw.MaterializeView(doc, "nope"); err == nil {
+		t.Fatal("unknown view must error")
+	}
+}

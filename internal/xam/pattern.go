@@ -313,6 +313,86 @@ func (p *Pattern) NodeByName(name string) *Node {
 	return nil
 }
 
+// CacheKey renders the pattern as a canonical cache key. Unlike String —
+// which elides auto-assigned node names ("e1", "e2", …) for readability —
+// the key includes every node name, so two patterns share a key only if a
+// plan compiled for one also has the right output schema for the other
+// (attribute names derive from node names). Value predicates print their
+// normalized formula rather than the source annotation text, so
+// syntactically different spellings of the same predicate share a key.
+func (p *Pattern) CacheKey() string {
+	var sb strings.Builder
+	if p.Ordered {
+		sb.WriteString("o|")
+	}
+	for i, e := range p.Top {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		writeKeyEdge(&sb, e)
+	}
+	return sb.String()
+}
+
+func writeKeyEdge(sb *strings.Builder, e *Edge) {
+	sb.WriteString(e.Axis.String())
+	if e.Sem != SemJoin {
+		fmt.Fprintf(sb, "(%s)", e.Sem)
+	}
+	writeKeyNode(sb, e.Child)
+}
+
+func writeKeyNode(sb *strings.Builder, n *Node) {
+	sb.WriteString(n.Name)
+	sb.WriteByte(':')
+	sb.WriteString(n.Label)
+	sb.WriteByte('{')
+	if n.IDSpec != NoID {
+		sb.WriteString("id ")
+		sb.WriteString(n.IDSpec.String())
+		if n.IDRequired {
+			sb.WriteByte('R')
+		}
+		sb.WriteByte(';')
+	}
+	if n.StoreTag {
+		sb.WriteString("tag")
+		if n.TagRequired {
+			sb.WriteByte('R')
+		}
+		sb.WriteByte(';')
+	}
+	if n.StoreVal {
+		sb.WriteString("val")
+		if n.ValRequired {
+			sb.WriteByte('R')
+		}
+		sb.WriteByte(';')
+	}
+	if n.HasValuePred {
+		sb.WriteString("φ=")
+		sb.WriteString(n.ValuePred.String())
+		sb.WriteByte(';')
+	}
+	if n.StoreCont {
+		sb.WriteString("cont;")
+	}
+	if n.Ret {
+		sb.WriteString("ret;")
+	}
+	sb.WriteByte('}')
+	if len(n.Edges) > 0 {
+		sb.WriteByte('(')
+		for i, e := range n.Edges {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeKeyEdge(sb, e)
+		}
+		sb.WriteByte(')')
+	}
+}
+
 // String renders the pattern in the textual XAM syntax accepted by Parse.
 func (p *Pattern) String() string {
 	var sb strings.Builder

@@ -438,3 +438,43 @@ func TestEnumStringsAndPredicates(t *testing.T) {
 		t.Fatal("returns/size")
 	}
 }
+
+// TestCacheKeyCanonical checks the plan-cache key contract: equal patterns
+// share a key, and patterns that differ anywhere a compiled plan could
+// diverge — structure, annotations, order, or node names (which determine
+// output schemas) — must not.
+func TestCacheKeyCanonical(t *testing.T) {
+	if a, b := MustParse(`// book(/ title{cont})`), MustParse(`// book(/ title{cont})`); a.CacheKey() != b.CacheKey() {
+		t.Fatalf("equal patterns must share a key: %q vs %q", a.CacheKey(), b.CacheKey())
+	}
+	distinct := []string{
+		`// book(/ title{cont})`,
+		`// book(/ author{cont})`,
+		`/ book(/ title{cont})`,
+		`// book(/(nj) title{cont})`,
+		`// book(/ title{val})`,
+		`// book(/ title{val R})`,
+		`ordered // book(/ title{cont})`,
+		`// book{id}(/ title{cont})`,
+		`// book(/ title{val=5})`,
+	}
+	keys := map[string]string{}
+	for _, src := range distinct {
+		k := MustParse(src).CacheKey()
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("patterns %q and %q share cache key %q", prev, src, k)
+		}
+		keys[k] = src
+	}
+	// Node names feed output schemas, so same-print patterns with different
+	// names must not collide (String elides auto-assigned e* names; the key
+	// must not).
+	a, c := MustParse(`// book(/ title{cont})`), MustParse(`// book(/ title{cont})`)
+	c.Nodes()[0].Name = "ex9"
+	if a.String() != c.String() {
+		t.Fatalf("test premise broken: prints differ %q vs %q", a, c)
+	}
+	if a.CacheKey() == c.CacheKey() {
+		t.Fatal("same print, different node names must not share a cache key")
+	}
+}
