@@ -16,13 +16,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"xamdb/internal/datagen"
 	"xamdb/internal/engine"
+	"xamdb/internal/obs"
+	"xamdb/internal/serve"
 	"xamdb/internal/storage"
 	"xamdb/internal/xmltree"
 )
@@ -54,6 +59,9 @@ func main() {
 		noFallback = flag.Bool("no-fallback", false, "fail when no rewriting exists (pure physical independence mode)")
 		noCache    = flag.Bool("nocache", false, "disable the rewriting cache: replan every query (for debugging and cold-path timing)")
 		timeout    = flag.Duration("timeout", 0, "per-query timeout (e.g. 500ms, 10s); 0 = unlimited")
+		serveAddr  = flag.String("serve", "", "serve monitoring endpoints (/metrics, /debug/*, pprof) on this address until interrupted")
+		slow       = flag.Duration("slow", engine.DefaultSlowQueryThreshold, "slow-query threshold: queries at or above it retain full traces in the query log (0 disables)")
+		qlogCap    = flag.Int("querylog", engine.DefaultQueryLogSize, "query-log ring capacity (records retained for /debug/queries)")
 	)
 	var views viewFlags
 	flag.Var(&views, "view", "register a view as name=XAM (repeatable)")
@@ -71,6 +79,9 @@ func main() {
 	e.FallbackToBase = !*noFallback
 	e.QueryTimeout = *timeout
 	e.Options.DisablePlanCache = *noCache
+	if *qlogCap != engine.DefaultQueryLogSize || *slow != engine.DefaultSlowQueryThreshold {
+		e.QueryLog = obs.NewQueryLog(*qlogCap, *slow)
+	}
 
 	var doc *xmltree.Document
 	switch {
@@ -145,18 +156,26 @@ func main() {
 		fmt.Printf("saved catalog to %s\n", *save)
 	}
 
+	// The monitoring server comes up before any query runs so the REPL (or
+	// a long -query) can be scraped live; main blocks on it at the end.
+	srvDone := startServe(e, *serveAddr)
+
 	if *repl {
 		runREPL(e, *explain, *analyze, *trace)
-		printMetrics(e, *metrics)
-		return
+	} else if *query != "" {
+		runQuery(e, *query, *explain, *analyze, *trace)
 	}
+	printMetrics(e, *metrics)
+	if srvDone != nil {
+		fatal(<-srvDone)
+	}
+}
 
-	if *query == "" {
-		printMetrics(e, *metrics)
-		return
-	}
-	if *explain {
-		rep, err := e.Explain(*query)
+// runQuery plans (and, unless explainOnly, executes) one query, printing
+// the report, optional trace and result.
+func runQuery(e *engine.Engine, query string, explainOnly, analyze, trace bool) {
+	if explainOnly {
+		rep, err := e.Explain(query)
 		fatal(err)
 		fmt.Print(rep)
 		return
@@ -166,10 +185,10 @@ func main() {
 		rep *engine.Report
 		err error
 	)
-	if *analyze {
-		out, rep, err = e.Analyze(*query)
+	if analyze {
+		out, rep, err = e.Analyze(query)
 	} else {
-		out, rep, err = e.Query(*query)
+		out, rep, err = e.Query(query)
 	}
 	if err != nil && rep != nil {
 		// Even a failed query carries a partial report; surface it so the
@@ -177,12 +196,12 @@ func main() {
 		fmt.Fprint(os.Stderr, rep)
 	}
 	fatal(err)
-	if *analyze {
+	if analyze {
 		fmt.Print(rep.AnalyzeString()) // includes the pattern/plan lines
 	} else {
 		fmt.Print(rep)
 	}
-	if *trace && rep.Trace != nil {
+	if trace && rep.Trace != nil {
 		data, err := rep.Trace.JSON()
 		fatal(err)
 		fmt.Println(string(data))
@@ -190,7 +209,25 @@ func main() {
 	warnDegraded(rep)
 	fmt.Println("result:")
 	fmt.Println(out)
-	printMetrics(e, *metrics)
+}
+
+// startServe binds the monitoring HTTP server (when -serve is set) and
+// runs it in the background until SIGINT/SIGTERM; the returned channel
+// yields Serve's result (nil on graceful shutdown), or nil when disabled.
+func startServe(e *engine.Engine, addr string) <-chan error {
+	if addr == "" {
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	srv := serve.New(e)
+	fatal(srv.Listen(addr))
+	fmt.Printf("serving monitoring endpoints on http://%s (/metrics, /debug/queries, /debug/catalog, /debug/plancache, /healthz, /readyz, /debug/pprof)\n", srv.Addr())
+	done := make(chan error, 1)
+	go func() {
+		defer stop()
+		done <- srv.Serve(ctx)
+	}()
+	return done
 }
 
 // printMetrics dumps the engine's metrics registry when -metrics is set.

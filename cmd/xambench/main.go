@@ -193,6 +193,10 @@ func main() {
 		c := rep.Concurrency
 		fmt.Printf("concurrent: %d goroutines, %d queries in %.2fms → %.0f qps\n",
 			c.Goroutines, c.Queries, float64(c.ElapsedNS)/1e6, c.QPS)
+		if o := rep.Overhead; o != nil {
+			fmt.Printf("query-log overhead: warm p50 %.2fµs monitored vs %.2fµs baseline over %d samples → %+.2f%%\n",
+				float64(o.MonitoredP50NS)/1e3, float64(o.BaselineP50NS)/1e3, o.Samples, o.OverheadPct)
+		}
 		if rep.Analyze != nil {
 			fmt.Printf("explain analyze (%s):\n%s", rep.Queries[0].Query, rep.Analyze.String())
 		}

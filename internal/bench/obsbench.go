@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -49,11 +51,22 @@ type ObsConcurrency struct {
 	QPS        float64 `json:"qps"`
 }
 
+// ObsOverhead quantifies the monitoring tax: warm p50 latency of the same
+// query on an engine with the query log disabled versus one with the query
+// log enabled while a background scraper renders the Prometheus exposition.
+// The acceptance bar for the serving layer is OverheadPct <= 5.
+type ObsOverhead struct {
+	Samples        int     `json:"samples"`
+	BaselineP50NS  int64   `json:"baseline_p50_ns"`
+	MonitoredP50NS int64   `json:"monitored_p50_ns"`
+	OverheadPct    float64 `json:"overhead_pct"`
+}
+
 // ObsReport is the xambench observability export — the engine's bench JSON
 // trajectory (BENCH_*.json): per-query latencies, one EXPLAIN ANALYZE
-// operator tree, one query trace, a concurrent-throughput measurement, and
-// the full engine metrics snapshot. Schema documented in DESIGN.md
-// "Observability".
+// operator tree, one query trace, a concurrent-throughput measurement, the
+// query-log/scrape overhead comparison, and the full engine metrics
+// snapshot. Schema documented in DESIGN.md "Observability".
 type ObsReport struct {
 	Experiment  string            `json:"experiment"`
 	Dataset     string            `json:"dataset"`
@@ -62,6 +75,7 @@ type ObsReport struct {
 	Analyze     *physical.OpStats `json:"explain_analyze"`
 	Trace       json.RawMessage   `json:"trace"`
 	Concurrency ObsConcurrency    `json:"concurrency"`
+	Overhead    *ObsOverhead      `json:"overhead"`
 	Metrics     *obs.Snapshot     `json:"metrics"`
 }
 
@@ -92,25 +106,14 @@ var obsViews = map[string]string{
 // snapshots the engine metrics registry.
 func QueryObservability(ctx context.Context, cfg ObsConfig) (*ObsReport, error) {
 	cfg = cfg.withDefaults()
-	d := DBLPDataset()
-	e := engine.New()
-	e.AddDocument(d.Doc)
-	st, err := storage.TagPartitioned(d.Doc)
+	e, dataset, store, err := newObsEngine()
 	if err != nil {
 		return nil, err
 	}
-	if err := e.RegisterStore(d.Doc.Name, st); err != nil {
-		return nil, err
-	}
-	for name, pat := range obsViews {
-		if err := e.RegisterView(d.Doc.Name, name, pat); err != nil {
-			return nil, err
-		}
-	}
 	rep := &ObsReport{
 		Experiment: "observability",
-		Dataset:    d.Name,
-		Store:      st.Name,
+		Dataset:    dataset,
+		Store:      store,
 	}
 
 	for _, q := range obsWorkload {
@@ -186,8 +189,103 @@ func QueryObservability(ctx context.Context, cfg ObsConfig) (*ObsReport, error) 
 		ElapsedNS:  elapsed.Nanoseconds(),
 		QPS:        float64(total) / elapsed.Seconds(),
 	}
+	rep.Overhead, err = measureOverhead(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
 	rep.Metrics = e.Metrics.Snapshot()
 	return rep, nil
+}
+
+// newObsEngine builds the benchmark fixture: the DBLP stand-in over a
+// tag-partitioned store plus the content views.
+func newObsEngine() (*engine.Engine, string, string, error) {
+	d := DBLPDataset()
+	e := engine.New()
+	e.AddDocument(d.Doc)
+	st, err := storage.TagPartitioned(d.Doc)
+	if err != nil {
+		return nil, "", "", err
+	}
+	if err := e.RegisterStore(d.Doc.Name, st); err != nil {
+		return nil, "", "", err
+	}
+	for name, pat := range obsViews {
+		if err := e.RegisterView(d.Doc.Name, name, pat); err != nil {
+			return nil, "", "", err
+		}
+	}
+	return e, d.Name, st.Name, nil
+}
+
+// measureOverhead compares warm p50 latencies of the first workload query on
+// two fresh engines: a baseline with the query log disabled, and a monitored
+// one with the default query log plus a background scraper that repeatedly
+// syncs the state gauges and renders the Prometheus exposition — the worst
+// realistic monitoring pressure a live deployment sees.
+func measureOverhead(ctx context.Context, cfg ObsConfig) (*ObsOverhead, error) {
+	samples := cfg.Iters * 200
+	q := obsWorkload[0]
+	p50 := func(e *engine.Engine) (int64, error) {
+		for i := 0; i < 5; i++ { // warm: materialize views, fill the plan cache
+			if _, _, err := e.QueryContext(ctx, q); err != nil {
+				return 0, err
+			}
+		}
+		lats := make([]int64, samples)
+		for i := range lats {
+			start := time.Now()
+			if _, _, err := e.QueryContext(ctx, q); err != nil {
+				return 0, err
+			}
+			lats[i] = time.Since(start).Nanoseconds()
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)/2], nil
+	}
+
+	base, _, _, err := newObsEngine()
+	if err != nil {
+		return nil, err
+	}
+	base.QueryLog = nil
+	baseP50, err := p50(base)
+	if err != nil {
+		return nil, fmt.Errorf("bench: overhead baseline: %w", err)
+	}
+
+	mon, _, _, err := newObsEngine()
+	if err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	var swg sync.WaitGroup
+	swg.Add(1)
+	go func() {
+		defer swg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mon.SyncStateGauges()
+			_ = mon.Registry().Snapshot().WriteProm(io.Discard)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	monP50, err := p50(mon)
+	close(stop)
+	swg.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("bench: overhead monitored: %w", err)
+	}
+
+	oh := &ObsOverhead{Samples: samples, BaselineP50NS: baseP50, MonitoredP50NS: monP50}
+	if baseP50 > 0 {
+		oh.OverheadPct = 100 * float64(monP50-baseP50) / float64(baseP50)
+	}
+	return oh, nil
 }
 
 // WriteJSON writes the report as indented JSON (the BENCH_*.json format).

@@ -33,6 +33,9 @@ func TestQueryObservability(t *testing.T) {
 	if rep.Concurrency.Queries == 0 || rep.Concurrency.QPS <= 0 {
 		t.Fatalf("concurrency section empty: %+v", rep.Concurrency)
 	}
+	if o := rep.Overhead; o == nil || o.Samples == 0 || o.BaselineP50NS <= 0 || o.MonitoredP50NS <= 0 {
+		t.Fatalf("overhead section empty: %+v", rep.Overhead)
+	}
 	if rep.Metrics == nil || rep.Metrics.Counters["engine.queries"] == 0 {
 		t.Fatalf("metrics snapshot must record queries: %+v", rep.Metrics)
 	}

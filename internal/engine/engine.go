@@ -100,36 +100,54 @@ func (pe *planEnv) planner(opts rewrite.Options) *rewrite.Rewriter {
 	return pe.rewriter
 }
 
-// viewExtent is the lazily-built extent of one view. built distinguishes
-// "not yet materialized" (retry on next use) from a materialized slot, so a
-// failed materialization degrades only the queries that needed the view and
-// is retried the next time a plan references it.
+// Extent materialization states, readable lock-free by monitoring surfaces
+// (SyncStateGauges, Catalog) while a build holds the slot mutex.
+const (
+	xsUnbuilt int32 = iota
+	xsBuilt
+	xsFailed // last materialization attempt failed; retried on next use
+)
+
+// viewExtent is the lazily-built extent of one view. The state
+// distinguishes "not yet materialized" (retry on next use) from a
+// materialized slot, so a failed materialization degrades only the queries
+// that needed the view and is retried the next time a plan references it;
+// a failed slot additionally reports xsFailed so the gauges and /debug/
+// catalog can attribute degradations to the culprit view.
 type viewExtent struct {
 	patternKey string // identity for carry-over across snapshots
 
 	mu    sync.Mutex
-	built bool
-	rel   *algebra.Relation
+	rel   *algebra.Relation // valid only in state xsBuilt; guarded by mu
+	state atomic.Int32      // written under mu, read lock-free by monitors
 }
 
-// get returns the extent, materializing it on first use. A nil relation
-// with built set means the slot was poisoned (tests) or the view has no
-// standalone extent; the caller omits it from the execution env.
-func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts rewrite.Options, m *engineMetrics) (*algebra.Relation, error) {
+// get returns the extent, materializing it on first use. A nil relation in
+// the built state means the slot was poisoned (tests) or the view has no
+// standalone extent; the caller omits it from the execution env. Cold
+// builds open a trace span named after the view, so cold-start spikes are
+// attributable in the span tree and in the per-view counters.
+func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts rewrite.Options, m *engineMetrics, tr *obs.Trace, parent *obs.Span) (*algebra.Relation, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	if x.built {
+	if x.state.Load() == xsBuilt {
 		return x.rel, nil
+	}
+	if tr != nil {
+		span := tr.StartSpan(parent, "materialize("+name+")")
+		defer span.End()
 	}
 	start := time.Now()
 	rel, err := pe.planner(opts).MaterializeView(doc, name)
 	if err != nil {
+		x.state.Store(xsFailed)
 		return nil, err
 	}
 	m.materializeNS.Since(start)
 	m.viewsMaterialized.Inc()
-	x.built = true
+	m.reg.Counter(MetricViewMaterializedPrefix + name).Inc()
 	x.rel = rel
+	x.state.Store(xsBuilt)
 	return rel, nil
 }
 
@@ -137,7 +155,7 @@ func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts r
 // extents straight from the snapshot, view extents materialized lazily. It
 // returns the name of the view whose materialization failed, if any, so the
 // degradation names the culprit.
-func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite.Options, m *engineMetrics) (rewrite.Env, string, error) {
+func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite.Options, m *engineMetrics, tr *obs.Trace, pspan *obs.Span) (rewrite.Env, string, error) {
 	refs := rewrite.ViewRefs(plan)
 	env := make(rewrite.Env, len(refs))
 	for _, name := range refs {
@@ -149,7 +167,7 @@ func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite
 		if !ok {
 			continue // index view or unknown: the plan degrades at execution
 		}
-		rel, err := x.get(pe, doc, name, opts, m)
+		rel, err := x.get(pe, doc, name, opts, m, tr, pspan)
 		if err != nil {
 			return nil, name, err
 		}
@@ -197,54 +215,31 @@ type Engine struct {
 	// DESIGN.md "Observability" for the metric names). New wires a fresh
 	// registry; nil falls back to the process-wide obs.Default().
 	Metrics *obs.Registry
+	// QueryLog receives one structured record per query — successful,
+	// degraded or failed. New installs a DefaultQueryLogSize-entry log with
+	// DefaultSlowQueryThreshold; nil disables logging. Queries crossing the
+	// slow threshold retain their full trace (and, once their fingerprint
+	// recurs, EXPLAIN ANALYZE operator stats) in the record.
+	QueryLog *obs.QueryLog
 
 	ms atomic.Pointer[engineMetrics]
+
+	// slowFPs collects the fingerprints of queries that crossed the slow
+	// threshold; their next runs execute instrumented so the query log can
+	// retain operator stats. Bounded by maxSlowFingerprints.
+	slowFPs     sync.Map // fingerprint → struct{}
+	slowFPCount atomic.Int64
 }
 
-// engineMetrics caches the engine's hot metric handles so the per-query
-// path does one atomic load instead of a dozen mutex-guarded registry
-// lookups (which serialize under concurrent load).
-type engineMetrics struct {
-	reg               *obs.Registry
-	queries           *obs.Counter
-	queryErrors       *obs.Counter
-	queriesDegraded   *obs.Counter
-	degradations      *obs.Counter
-	plansTried        *obs.Counter
-	baseScans         *obs.Counter
-	cacheHits         *obs.Counter
-	cacheMisses       *obs.Counter
-	cacheEvictions    *obs.Counter
-	viewsMaterialized *obs.Counter
-	inflight          *obs.Gauge
-	queryNS           *obs.Histogram
-	rewriteNS         *obs.Histogram
-	materializeNS     *obs.Histogram
-	executeNS         *obs.Histogram
-	fallbackDepth     *obs.Histogram
-}
+// DefaultQueryLogSize is the query-log ring capacity New installs.
+const DefaultQueryLogSize = 512
 
-func newEngineMetrics(reg *obs.Registry) *engineMetrics {
-	return &engineMetrics{
-		reg:               reg,
-		queries:           reg.Counter("engine.queries"),
-		queryErrors:       reg.Counter("engine.query_errors"),
-		queriesDegraded:   reg.Counter("engine.queries_degraded"),
-		degradations:      reg.Counter("engine.degradations"),
-		plansTried:        reg.Counter("engine.plans_tried"),
-		baseScans:         reg.Counter("engine.base_scans"),
-		cacheHits:         reg.Counter("engine.plan_cache_hits"),
-		cacheMisses:       reg.Counter("engine.plan_cache_misses"),
-		cacheEvictions:    reg.Counter("engine.plan_cache_evictions"),
-		viewsMaterialized: reg.Counter("engine.views_materialized"),
-		inflight:          reg.Gauge("engine.inflight"),
-		queryNS:           reg.Histogram("engine.query_ns"),
-		rewriteNS:         reg.Histogram("engine.rewrite_ns"),
-		materializeNS:     reg.Histogram("engine.materialize_ns"),
-		executeNS:         reg.Histogram("engine.execute_ns"),
-		fallbackDepth:     reg.Histogram("engine.fallback_depth"),
-	}
-}
+// DefaultSlowQueryThreshold is the slow-query threshold New installs.
+const DefaultSlowQueryThreshold = 100 * time.Millisecond
+
+// maxSlowFingerprints bounds the auto-instrument set so an adversarial
+// workload of unique slow queries cannot grow it without limit.
+const maxSlowFingerprints = 128
 
 // New creates an empty engine that falls back to base evaluation. The
 // optimizer stops after a handful of plans per pattern; raise Opts.MaxPlans
@@ -255,6 +250,7 @@ func New() *Engine {
 		FallbackToBase: true,
 		Opts:           rewrite.Options{MaxPlans: 3},
 		Metrics:        obs.NewRegistry(),
+		QueryLog:       obs.NewQueryLog(DefaultQueryLogSize, DefaultSlowQueryThreshold),
 	}
 }
 
@@ -486,8 +482,10 @@ func (e *Engine) DropView(doc, name string) error {
 
 // compileRewritings returns the pattern's rewritings over the snapshot's
 // views, consulting the plan cache first: on a hit the containment search
-// is skipped entirely. tr may be nil (Explain records no trace).
-func (e *Engine) compileRewritings(pe *planEnv, pat *xam.Pattern, tr *obs.Trace, pspan *obs.Span) ([]*rewrite.Rewriting, error) {
+// is skipped entirely. tr may be nil (Explain records no trace); cache
+// outcomes are tallied both in the engine counters and on the report, so
+// the query log can record per-query hit/miss figures.
+func (e *Engine) compileRewritings(pe *planEnv, pat *xam.Pattern, report *Report, tr *obs.Trace, pspan *obs.Span) ([]*rewrite.Rewriting, error) {
 	m := e.m()
 	cache := pe.cache
 	if cache != nil && e.Options.DisablePlanCache {
@@ -506,9 +504,11 @@ func (e *Engine) compileRewritings(pe *planEnv, pat *xam.Pattern, tr *obs.Trace,
 		}
 		if hit {
 			m.cacheHits.Inc()
+			report.PlanCacheHits++
 			return plans, nil
 		}
 		m.cacheMisses.Inc()
+		report.PlanCacheMisses++
 	}
 	var rspan *obs.Span
 	if tr != nil {
@@ -548,11 +548,17 @@ type Report struct {
 	// cleanly-answered query.
 	Degradations []Degradation
 	// Trace is the query's span tree (parse → extract → per-pattern
-	// cache/rewrite/materialize/execute), attached by QueryContext.
+	// cache/rewrite/materialize(view)/execute), attached by QueryContext.
 	Trace *obs.Trace
 	// Ops holds one EXPLAIN ANALYZE operator tree per pattern, populated
-	// only by Analyze/AnalyzeContext.
+	// by Analyze/AnalyzeContext — and by QueryContext for queries whose
+	// fingerprint previously crossed the slow-query threshold (slow-query
+	// capture instruments recurrences so the log retains operator stats).
 	Ops []*physical.OpStats
+	// PlanCacheHits / PlanCacheMisses count this query's rewriting-cache
+	// outcomes across its patterns.
+	PlanCacheHits   int
+	PlanCacheMisses int
 }
 
 // Degraded reports whether any pattern was answered by a fallback after
@@ -636,10 +642,13 @@ func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string,
 	start := time.Now()
 	tr := obs.NewTrace("query")
 	report = &Report{Trace: tr}
+	fp := fingerprintSource(src) // refined to the pattern fingerprint below
+	var rowsOut int64
 	defer func() {
 		tr.End()
+		dur := time.Since(start)
 		m.inflight.Add(-1)
-		m.queryNS.Since(start)
+		m.queryNS.ObserveDuration(dur)
 		m.fallbackDepth.Observe(int64(len(report.Degradations)))
 		if report.Degraded() {
 			m.queriesDegraded.Inc()
@@ -647,6 +656,7 @@ func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string,
 		if err != nil {
 			m.queryErrors.Inc()
 		}
+		e.logQuery(src, fp, start, dur, report, rowsOut, err)
 	}()
 	if e.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -664,6 +674,13 @@ func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string,
 	span.End()
 	if err != nil {
 		return "", report, err
+	}
+	fp = fingerprintPatterns(ex.Patterns)
+	if !analyze && e.instrumentSlow(fp) {
+		// Slow-query capture: this fingerprint crossed the threshold
+		// before, so run instrumented and let the log retain operator
+		// stats for the recurrence.
+		analyze = true
 	}
 	var combined *algebra.Relation
 	for i, pat := range ex.Patterns {
@@ -703,6 +720,7 @@ func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string,
 	if err != nil {
 		return "", report, err
 	}
+	rowsOut = int64(len(nodes))
 	return algebra.SerializeNodes(nodes), report, nil
 }
 
@@ -728,7 +746,7 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 	}
 	pe := st.plan()
 	if len(pe.views) > 0 {
-		plans, err := e.compileRewritings(pe, pat, tr, pspan)
+		plans, err := e.compileRewritings(pe, pat, report, tr, pspan)
 		if err != nil {
 			degrade("(rewriting search)", err)
 		}
@@ -738,7 +756,7 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 			}
 			m.plansTried.Inc()
 			mspan := tr.StartSpan(pspan, "materialize")
-			env, failedView, err := pe.envFor(st.doc, plan.Plan, e.Opts, m)
+			env, failedView, err := pe.envFor(st.doc, plan.Plan, e.Opts, m, tr, mspan)
 			mspan.End()
 			if err != nil {
 				if ctxErr(err) {
@@ -924,7 +942,7 @@ func (e *Engine) ExplainContext(ctx context.Context, src string) (*Report, error
 		desc := "base scan (direct evaluation)"
 		pe := st.plan()
 		if len(pe.views) > 0 {
-			plans, err := e.compileRewritings(pe, pat, nil, nil)
+			plans, err := e.compileRewritings(pe, pat, report, nil, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -34,18 +34,15 @@ func poisonExtentForTest(t *testing.T, e *Engine, doc, name string, rel *algebra
 	t.Helper()
 	x := extentSlotForTest(t, e, doc, name)
 	x.mu.Lock()
-	x.built = true
 	x.rel = rel
+	x.state.Store(xsBuilt)
 	x.mu.Unlock()
 }
 
 // extentBuiltForTest reports whether a view's extent has materialized.
 func extentBuiltForTest(t *testing.T, e *Engine, doc, name string) bool {
 	t.Helper()
-	x := extentSlotForTest(t, e, doc, name)
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.built
+	return extentSlotForTest(t, e, doc, name).state.Load() == xsBuilt
 }
 
 // builtExtentCountForTest counts materialized extents in the document's
@@ -58,11 +55,9 @@ func builtExtentCountForTest(t *testing.T, e *Engine, doc string) int {
 	}
 	n := 0
 	for _, x := range st.plan().extents {
-		x.mu.Lock()
-		if x.built {
+		if x.state.Load() == xsBuilt {
 			n++
 		}
-		x.mu.Unlock()
 	}
 	return n
 }

@@ -1,0 +1,127 @@
+// Introspection views of the engine's planning state, consumed by the
+// monitoring surface (internal/serve's /debug/catalog and /debug/plancache)
+// and by uload. Everything here reads the copy-on-write planning snapshots
+// lock-free — a scrape never blocks a query.
+package engine
+
+import (
+	"sort"
+)
+
+// ExtentState describes how one view's extent is currently backed.
+type ExtentState string
+
+const (
+	// ExtentStore: pre-materialized by the storage layer at registration.
+	ExtentStore ExtentState = "store"
+	// ExtentIndex: R-marked index pattern with no standalone extent.
+	ExtentIndex ExtentState = "index"
+	// ExtentUnbuilt: lazily materialized, not yet referenced by a plan.
+	ExtentUnbuilt ExtentState = "unbuilt"
+	// ExtentBuilt: materialized and serving plans.
+	ExtentBuilt ExtentState = "built"
+	// ExtentFailed: the last materialization attempt failed; the build is
+	// retried the next time a chosen plan references the view.
+	ExtentFailed ExtentState = "failed"
+)
+
+// CatalogView is one registered view (or store module) of a document.
+type CatalogView struct {
+	Name    string      `json:"name"`
+	Pattern string      `json:"pattern"`
+	Extent  ExtentState `json:"extent"`
+}
+
+// CatalogDoc is the monitoring view of one registered document: its size,
+// planning epoch and view catalog with per-view extent state.
+type CatalogDoc struct {
+	Doc          string        `json:"doc"`
+	Nodes        int           `json:"nodes"`
+	SummaryPaths int           `json:"summary_paths"`
+	Epoch        uint64        `json:"epoch"`
+	Views        []CatalogView `json:"views"`
+}
+
+// Catalog returns every registered document with its current planning
+// snapshot's view catalog, sorted by document and view name.
+func (e *Engine) Catalog() []CatalogDoc {
+	e.mu.RLock()
+	states := make(map[string]*docState, len(e.docs))
+	for name, st := range e.docs {
+		states[name] = st
+	}
+	e.mu.RUnlock()
+
+	out := make([]CatalogDoc, 0, len(states))
+	for name, st := range states {
+		pe := st.plan()
+		doc := CatalogDoc{
+			Doc:          name,
+			Nodes:        st.doc.Size(),
+			SummaryPaths: st.summary.Size(),
+			Epoch:        pe.epoch,
+			Views:        make([]CatalogView, 0, len(pe.views)),
+		}
+		for _, v := range pe.views {
+			cv := CatalogView{Name: v.Name, Pattern: v.Pattern.String()}
+			switch x, lazy := pe.extents[v.Name]; {
+			case lazy:
+				switch x.state.Load() {
+				case xsBuilt:
+					cv.Extent = ExtentBuilt
+				case xsFailed:
+					cv.Extent = ExtentFailed
+				default:
+					cv.Extent = ExtentUnbuilt
+				}
+			default:
+				if _, fromStore := pe.baseEnv[v.Name]; fromStore {
+					cv.Extent = ExtentStore
+				} else {
+					cv.Extent = ExtentIndex
+				}
+			}
+			doc.Views = append(doc.Views, cv)
+		}
+		sort.Slice(doc.Views, func(i, j int) bool { return doc.Views[i].Name < doc.Views[j].Name })
+		out = append(out, doc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// PlanCacheStat is the monitoring view of one document's rewriting cache.
+type PlanCacheStat struct {
+	Doc      string `json:"doc"`
+	Epoch    uint64 `json:"epoch"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Disabled bool   `json:"disabled,omitempty"`
+}
+
+// PlanCacheStats returns per-document rewriting-cache occupancy, sorted by
+// document name. Hit/miss/eviction totals live in the metrics registry
+// (MetricPlanCacheHits etc.).
+func (e *Engine) PlanCacheStats() []PlanCacheStat {
+	e.mu.RLock()
+	states := make(map[string]*docState, len(e.docs))
+	for name, st := range e.docs {
+		states[name] = st
+	}
+	e.mu.RUnlock()
+
+	out := make([]PlanCacheStat, 0, len(states))
+	for name, st := range states {
+		pe := st.plan()
+		stat := PlanCacheStat{Doc: name, Epoch: pe.epoch}
+		if pe.cache == nil || e.Options.DisablePlanCache {
+			stat.Disabled = true
+		} else {
+			stat.Entries = pe.cache.len()
+			stat.Capacity = pe.cache.cap
+		}
+		out = append(out, stat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"xamdb/internal/obs"
+	"xamdb/internal/xam"
+)
+
+// maxLoggedQueryLen bounds the query text retained per log record; the
+// fingerprint identifies the query exactly even when the text is cut.
+const maxLoggedQueryLen = 256
+
+// fingerprintPatterns derives the query's fingerprint from its extracted
+// patterns' canonical cache keys (xam.Pattern.CacheKey), so syntactic
+// variants of the same access pattern share a fingerprint — the identity
+// the slow-query capture and the log's aggregation views key on.
+func fingerprintPatterns(pats []*xam.Pattern) string {
+	h := fnv.New64a()
+	for _, p := range pats {
+		_, _ = io.WriteString(h, p.CacheKey())
+		_, _ = h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fingerprintSource hashes the raw query text — the fallback identity for
+// queries that fail before pattern extraction.
+func fingerprintSource(src string) string {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, src)
+	return fmt.Sprintf("src-%016x", h.Sum64())
+}
+
+// instrumentSlow reports whether the fingerprint previously crossed the
+// slow-query threshold, in which case the query runs instrumented so its
+// log record retains EXPLAIN ANALYZE operator stats.
+func (e *Engine) instrumentSlow(fp string) bool {
+	if e.QueryLog.SlowThreshold() <= 0 {
+		return false
+	}
+	_, ok := e.slowFPs.Load(fp)
+	return ok
+}
+
+// noteSlowFingerprint marks a fingerprint for instrumentation on its next
+// run. The set is bounded; once full, new slow fingerprints are only
+// captured with their trace.
+func (e *Engine) noteSlowFingerprint(fp string) {
+	if e.slowFPCount.Load() >= maxSlowFingerprints {
+		return
+	}
+	if _, loaded := e.slowFPs.LoadOrStore(fp, struct{}{}); !loaded {
+		e.slowFPCount.Add(1)
+	}
+}
+
+// logQuery appends one record to the engine's query log — every query
+// lands here, successful, degraded or failed. Slow queries additionally
+// retain the full trace JSON and, when the run was instrumented, the
+// EXPLAIN ANALYZE operator trees; their fingerprint is noted so the next
+// recurrence runs instrumented.
+func (e *Engine) logQuery(src, fp string, start time.Time, dur time.Duration, rep *Report, rowsOut int64, qerr error) {
+	lg := e.QueryLog
+	if lg == nil {
+		return
+	}
+	query := src
+	if len(query) > maxLoggedQueryLen {
+		query = query[:maxLoggedQueryLen] + "…"
+	}
+	rec := obs.QueryRecord{
+		TimeUnixNS:  start.UnixNano(),
+		Fingerprint: fp,
+		Query:       query,
+		Plans:       rep.Plans,
+		CacheHits:   rep.PlanCacheHits,
+		CacheMisses: rep.PlanCacheMisses,
+		Degraded:    len(rep.Degradations),
+		RowsOut:     rowsOut,
+		DurationNS:  int64(dur),
+	}
+	if qerr != nil {
+		rec.Error = qerr.Error()
+	}
+	if rep.Trace != nil {
+		if totals := rep.Trace.PhaseTotals(); len(totals) > 0 {
+			rec.PhasesNS = make(map[string]int64, len(totals))
+			for name, d := range totals {
+				rec.PhasesNS[name] = int64(d)
+			}
+		}
+	}
+	if lg.IsSlow(dur) {
+		e.noteSlowFingerprint(fp)
+		if rep.Trace != nil {
+			if data, err := rep.Trace.JSON(); err == nil {
+				rec.Trace = data
+			}
+		}
+		if len(rep.Ops) > 0 {
+			if data, err := json.Marshal(rep.Ops); err == nil {
+				rec.Ops = data
+			}
+		}
+	}
+	lg.Record(rec)
+}

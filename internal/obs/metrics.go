@@ -224,16 +224,28 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// HistogramStats is the exported summary of one histogram.
+// HistBucket is one non-empty histogram bucket: the largest value the
+// bucket admits and how many observations landed in it. Counts are
+// per-bucket, not cumulative — the Prometheus writer accumulates them into
+// the exposition's `le` series.
+type HistBucket struct {
+	UpperNS int64
+	Count   int64
+}
+
+// HistogramStats is the exported summary of one histogram. Buckets is
+// excluded from JSON so the bench export format stays stable; it feeds the
+// Prometheus exposition only.
 type HistogramStats struct {
-	Count int64   `json:"count"`
-	SumNS int64   `json:"sum_ns"`
-	MinNS int64   `json:"min_ns"`
-	MaxNS int64   `json:"max_ns"`
-	Mean  float64 `json:"mean_ns"`
-	P50NS int64   `json:"p50_ns"`
-	P95NS int64   `json:"p95_ns"`
-	P99NS int64   `json:"p99_ns"`
+	Count   int64        `json:"count"`
+	SumNS   int64        `json:"sum_ns"`
+	MinNS   int64        `json:"min_ns"`
+	MaxNS   int64        `json:"max_ns"`
+	Mean    float64      `json:"mean_ns"`
+	P50NS   int64        `json:"p50_ns"`
+	P95NS   int64        `json:"p95_ns"`
+	P99NS   int64        `json:"p99_ns"`
+	Buckets []HistBucket `json:"-"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry,
@@ -271,6 +283,11 @@ func (r *Registry) Snapshot() *Snapshot {
 			st.MinNS = h.min.Load()
 			st.MaxNS = h.max.Load()
 			st.Mean = float64(st.SumNS) / float64(st.Count)
+			for i := 0; i < histBuckets; i++ {
+				if n := h.buckets[i].Load(); n > 0 {
+					st.Buckets = append(st.Buckets, HistBucket{UpperNS: histBucketUpper(i), Count: n})
+				}
+			}
 		}
 		s.Histograms[name] = st
 	}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as a
+// `histogram` family with cumulative `le` buckets plus a companion
+// `<name>_summary` family carrying the p50/p95/p99 quantile upper bounds.
+// Registry names are sanitized to valid Prometheus identifiers
+// (SanitizeMetricName); when two raw names collide after sanitization —
+// or a name collides with a histogram's derived `_bucket`/`_sum`/`_count`
+// series — later families are deterministically suffixed `_2`, `_3`, …,
+// so the exposition never emits two samples with the same identity.
+// Families appear counters-first, then gauges, then histograms, each
+// sorted by raw name, so the output is byte-stable for a given snapshot.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	var sb strings.Builder
+	used := map[string]bool{}
+	// claim reserves base and every base+suffix name, bumping to
+	// `base_2`, `base_3`, … until the whole family is collision-free.
+	claim := func(base string, suffixes ...string) string {
+		name := base
+		for n := 2; ; n++ {
+			free := !used[name]
+			for _, suf := range suffixes {
+				if used[name+suf] {
+					free = false
+					break
+				}
+			}
+			if free {
+				break
+			}
+			name = fmt.Sprintf("%s_%d", base, n)
+		}
+		used[name] = true
+		for _, suf := range suffixes {
+			used[name+suf] = true
+		}
+		return name
+	}
+
+	for _, raw := range sortedKeys(s.Counters) {
+		n := claim(SanitizeMetricName(raw))
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[raw])
+	}
+	for _, raw := range sortedKeys(s.Gauges) {
+		n := claim(SanitizeMetricName(raw))
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[raw])
+	}
+	var hists []string
+	for raw := range s.Histograms {
+		hists = append(hists, raw)
+	}
+	sort.Strings(hists)
+	for _, raw := range hists {
+		h := s.Histograms[raw]
+		n := claim(SanitizeMetricName(raw),
+			"_bucket", "_sum", "_count", "_summary", "_summary_sum", "_summary_count")
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(&sb, "%s_bucket{le=\"%d\"} %d\n", n, b.UpperNS, cum)
+		}
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&sb, "%s_sum %d\n%s_count %d\n", n, h.SumNS, n, h.Count)
+		q := n + "_summary"
+		fmt.Fprintf(&sb, "# TYPE %s summary\n", q)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.5\"} %d\n", q, h.P50NS)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.95\"} %d\n", q, h.P95NS)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.99\"} %d\n", q, h.P99NS)
+		fmt.Fprintf(&sb, "%s_sum %d\n%s_count %d\n", q, h.SumNS, q, h.Count)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SanitizeMetricName maps an arbitrary registry name onto the Prometheus
+// identifier grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune becomes
+// '_', a leading digit gets a '_' prefix, and the empty name becomes "_".
+func SanitizeMetricName(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9'):
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out == "" {
+		return "_"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPromExpositionGolden pins the Prometheus text exposition byte for
+// byte: family order (counters, gauges, histograms; each name-sorted),
+// sanitized identifiers, cumulative le buckets, and the companion
+// quantile summary.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.queries").Add(3)
+	r.Counter("engine.base_scans").Inc()
+	r.Gauge("engine.inflight").Set(1)
+	h := r.Histogram("engine.query_ns")
+	h.Observe(1)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE engine_base_scans counter
+engine_base_scans 1
+# TYPE engine_queries counter
+engine_queries 3
+# TYPE engine_inflight gauge
+engine_inflight 1
+# TYPE engine_query_ns histogram
+engine_query_ns_bucket{le="1"} 1
+engine_query_ns_bucket{le="2"} 2
+engine_query_ns_bucket{le="+Inf"} 2
+engine_query_ns_sum 3
+engine_query_ns_count 2
+# TYPE engine_query_ns_summary summary
+engine_query_ns_summary{quantile="0.5"} 1
+engine_query_ns_summary{quantile="0.95"} 2
+engine_query_ns_summary{quantile="0.99"} 2
+engine_query_ns_summary_sum 3
+engine_query_ns_summary_count 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSanitizeMetricName covers the identifier grammar edge cases.
+func TestSanitizeMetricName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"engine.query_ns", "engine_query_ns"},
+		{"engine.view_materialized.v-1", "engine_view_materialized_v_1"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"ok:name", "ok:name"},
+		{"sp ace/slash", "sp_ace_slash"},
+	} {
+		if got := SanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// promSampleRe matches one exposition sample line: name, optional label
+// set, value.
+var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? -?\d+$`)
+
+// checkNoDuplicateSamples asserts every non-comment line of an exposition
+// is grammatical and that no two samples share a metric identity
+// (name + label set).
+func checkNoDuplicateSamples(t *testing.T, exposition string) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(exposition, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line does not match the exposition grammar: %q", line)
+		}
+		id := m[1] + m[2]
+		if seen[id] {
+			t.Fatalf("duplicate sample identity %q in exposition:\n%s", id, exposition)
+		}
+		seen[id] = true
+	}
+}
+
+// FuzzPromNoDuplicateLines feeds adversarial metric names — including ones
+// that collide after sanitization or with a histogram's derived series —
+// and asserts Snapshot→WriteProm never emits two samples with the same
+// identity and never emits an ungrammatical line.
+func FuzzPromNoDuplicateLines(f *testing.F) {
+	f.Add("engine.queries", "engine_queries", "engine.query_ns")
+	f.Add("a.b", "a_b", "a_b_sum")
+	f.Add("", " ", "9")
+	f.Add("h", "h_count", "h_bucket")
+	f.Add("x", "x", "x")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		r := NewRegistry()
+		r.Counter(a).Inc()
+		r.Counter(b).Add(2)
+		r.Gauge(a).Set(7)
+		r.Gauge(c).Set(-1)
+		r.Histogram(c).Observe(5)
+		r.Histogram(a).Observe(123456)
+		var sb strings.Builder
+		if err := r.Snapshot().WriteProm(&sb); err != nil {
+			t.Fatal(err)
+		}
+		checkNoDuplicateSamples(t, sb.String())
+	})
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// QueryRecord is one structured entry of the query log. Counters and sizes
+// are always present so the JSONL schema is stable; heavyweight fields
+// (trace, operator stats) are attached only for slow queries and omitted
+// otherwise. Trace and Ops are pre-marshaled by the producer so this
+// package stays free of engine dependencies.
+type QueryRecord struct {
+	Seq         uint64           `json:"seq"`
+	TimeUnixNS  int64            `json:"time_unix_ns"`
+	Fingerprint string           `json:"fingerprint"`
+	Query       string           `json:"query"`
+	Plans       []string         `json:"plans,omitempty"`
+	CacheHits   int              `json:"cache_hits"`
+	CacheMisses int              `json:"cache_misses"`
+	Degraded    int              `json:"degraded"`
+	RowsOut     int64            `json:"rows_out"`
+	DurationNS  int64            `json:"duration_ns"`
+	PhasesNS    map[string]int64 `json:"phases_ns,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Slow        bool             `json:"slow,omitempty"`
+	Trace       json.RawMessage  `json:"trace,omitempty"`
+	Ops         json.RawMessage  `json:"ops,omitempty"`
+}
+
+// QueryLog is a bounded, goroutine-safe ring buffer of QueryRecords: the
+// engine appends one record per query (successful, degraded or failed) and
+// monitoring surfaces read recency-, latency- and error-ordered views of
+// the retained window. All methods are nil-safe so a disabled log (nil)
+// costs nothing at the call sites.
+type QueryLog struct {
+	mu   sync.Mutex
+	cap  int
+	slow time.Duration
+	seq  uint64
+	buf  []QueryRecord // ring; buf[next] is the oldest once full
+	next int           // next write position
+	n    int           // records retained (≤ cap)
+}
+
+// NewQueryLog creates a log retaining up to capacity records (minimum 1).
+// Queries lasting at least slowThreshold are marked slow; 0 disables slow
+// marking.
+func NewQueryLog(capacity int, slowThreshold time.Duration) *QueryLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &QueryLog{cap: capacity, slow: slowThreshold, buf: make([]QueryRecord, capacity)}
+}
+
+// SlowThreshold returns the configured slow-query threshold (0 when the
+// log is nil or slow marking is off).
+func (l *QueryLog) SlowThreshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.slow
+}
+
+// IsSlow reports whether a query of duration d crosses the slow threshold.
+func (l *QueryLog) IsSlow(d time.Duration) bool {
+	return l != nil && l.slow > 0 && d >= l.slow
+}
+
+// Record appends one record, assigning its sequence number and slow flag
+// and evicting the oldest retained record when the ring is full.
+func (l *QueryLog) Record(rec QueryRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	rec.Seq = l.seq
+	rec.Slow = l.slow > 0 && rec.DurationNS >= int64(l.slow)
+	l.buf[l.next] = rec
+	l.next = (l.next + 1) % l.cap
+	if l.n < l.cap {
+		l.n++
+	}
+}
+
+// Len returns how many records are retained.
+func (l *QueryLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// newestFirst copies the retained records newest-first, filtered by keep
+// (nil keeps all), up to limit (≤0 means all). Callers hold l.mu.
+func (l *QueryLog) newestFirst(limit int, keep func(*QueryRecord) bool) []QueryRecord {
+	out := []QueryRecord{}
+	for i := 1; i <= l.n; i++ {
+		rec := &l.buf[(l.next-i+l.cap*2)%l.cap]
+		if keep != nil && !keep(rec) {
+			continue
+		}
+		out = append(out, *rec)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// Recent returns up to n retained records, newest first (n ≤ 0: all).
+func (l *QueryLog) Recent(n int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.newestFirst(n, nil)
+}
+
+// Slow returns up to n retained slow records, newest first (n ≤ 0: all).
+func (l *QueryLog) Slow(n int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.newestFirst(n, func(r *QueryRecord) bool { return r.Slow })
+}
+
+// Errors returns the error tail: up to n retained records that ended in an
+// error, newest first (n ≤ 0: all).
+func (l *QueryLog) Errors(n int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.newestFirst(n, func(r *QueryRecord) bool { return r.Error != "" })
+}
+
+// TopK returns the k slowest retained records, longest first (ties broken
+// newest first; k ≤ 0: all retained, sorted).
+func (l *QueryLog) TopK(k int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	all := l.newestFirst(0, nil)
+	l.mu.Unlock()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurationNS > all[j].DurationNS })
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// WriteJSONL streams the retained records oldest-first as one JSON object
+// per line — the query log's export format (schema: QueryRecord).
+func (l *QueryLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	newest := l.newestFirst(0, nil)
+	l.mu.Unlock()
+	for i := len(newest) - 1; i >= 0; i-- {
+		data, err := json.Marshal(&newest[i])
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueryLogGoldenJSONL pins the JSONL export schema: field names and
+// which fields stay present (counters) versus omitted when empty (plans,
+// error, trace). Monitoring consumers parse these names.
+func TestQueryLogGoldenJSONL(t *testing.T) {
+	l := NewQueryLog(8, 100*time.Millisecond)
+	l.Record(QueryRecord{
+		TimeUnixNS:  1000,
+		Fingerprint: "deadbeef00000000",
+		Query:       `doc("bib.xml")//book/title`,
+		Plans:       []string{"scan(vt)"},
+		CacheHits:   1,
+		RowsOut:     2,
+		DurationNS:  500,
+	})
+	l.Record(QueryRecord{
+		TimeUnixNS:  2000,
+		Fingerprint: "feedface00000000",
+		Query:       "bad query",
+		CacheMisses: 1,
+		DurationNS:  int64(200 * time.Millisecond),
+		Error:       "parse error",
+		Trace:       json.RawMessage(`{"name":"query"}`),
+	})
+	var sb strings.Builder
+	if err := l.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":1,"time_unix_ns":1000,"fingerprint":"deadbeef00000000","query":"doc(\"bib.xml\")//book/title","plans":["scan(vt)"],"cache_hits":1,"cache_misses":0,"degraded":0,"rows_out":2,"duration_ns":500}
+{"seq":2,"time_unix_ns":2000,"fingerprint":"feedface00000000","query":"bad query","cache_hits":0,"cache_misses":1,"degraded":0,"rows_out":0,"duration_ns":200000000,"error":"parse error","slow":true,"trace":{"name":"query"}}
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("JSONL schema drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestQueryLogRingAndViews exercises the bounded ring and the monitoring
+// views: recency order, eviction of the oldest, slow filtering, the error
+// tail and top-K by latency.
+func TestQueryLogRingAndViews(t *testing.T) {
+	l := NewQueryLog(4, 50)
+	for i := 1; i <= 10; i++ {
+		rec := QueryRecord{TimeUnixNS: int64(i), DurationNS: int64(i * 10)}
+		if i%3 == 0 {
+			rec.Error = "boom"
+		}
+		l.Record(rec)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", l.Len())
+	}
+	recent := l.Recent(0)
+	if len(recent) != 4 || recent[0].Seq != 10 || recent[3].Seq != 7 {
+		t.Fatalf("Recent must be newest-first over the retained window: %+v", recent)
+	}
+	if two := l.Recent(2); len(two) != 2 || two[0].Seq != 10 {
+		t.Fatalf("Recent(2) wrong: %+v", two)
+	}
+	slow := l.Slow(0)
+	if len(slow) != 4 { // durations 70..100 all ≥ threshold 50
+		t.Fatalf("Slow view must mark threshold-crossers: %+v", slow)
+	}
+	errs := l.Errors(0)
+	if len(errs) != 1 || errs[0].Seq != 9 {
+		t.Fatalf("error tail must keep only failed queries, newest first: %+v", errs)
+	}
+	top := l.TopK(2)
+	if len(top) != 2 || top[0].DurationNS != 100 || top[1].DurationNS != 90 {
+		t.Fatalf("TopK must order by latency descending: %+v", top)
+	}
+
+	// A nil log is inert at every call site.
+	var nilLog *QueryLog
+	nilLog.Record(QueryRecord{})
+	if nilLog.Len() != 0 || nilLog.Recent(1) != nil || nilLog.IsSlow(time.Hour) {
+		t.Fatal("nil QueryLog must be a no-op")
+	}
+}
+
+// TestQueryLogConcurrent hammers the log from many goroutines while
+// readers drain every view; run under -race this is the safety proof.
+func TestQueryLogConcurrent(t *testing.T) {
+	l := NewQueryLog(64, 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Record(QueryRecord{DurationNS: int64(w*1000 + i)})
+				if i%16 == 0 {
+					l.Recent(8)
+					l.TopK(4)
+					l.Errors(4)
+					l.Slow(4)
+					var sb strings.Builder
+					if err := l.WriteJSONL(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", l.Len())
+	}
+}

@@ -71,6 +71,31 @@ func (t *Trace) JSON() ([]byte, error) {
 	return json.MarshalIndent(t.Root, "", "  ")
 }
 
+// PhaseTotals sums span durations by name across the whole tree (the root
+// excluded — it spans the query end to end). Parameterized spans such as
+// "materialize(v_title)" aggregate under their base name, so the totals
+// line up with the engine's per-phase histograms.
+func (t *Trace) PhaseTotals() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	totals := map[string]time.Duration{}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		name := s.Name
+		if i := strings.IndexAny(name, "(["); i > 0 {
+			name = name[:i]
+		}
+		totals[name] += s.Duration
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, c := range t.Root.Children {
+		walk(c)
+	}
+	return totals
+}
+
 // String renders the span tree with durations for terminals.
 func (t *Trace) String() string {
 	t.mu.Lock()

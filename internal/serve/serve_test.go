@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xamdb/internal/engine"
+	"xamdb/internal/obs"
+)
+
+const bibXML = `<bib>
+  <book year="1999">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+  </book>
+  <book year="2002">
+    <title>The Syntactic Web</title>
+    <author>Tom Lerners-Bee</author>
+  </book>
+</bib>`
+
+// newEngine builds an engine with one document and one content view.
+func newEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New()
+	if err := e.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestEndpoints drives every monitoring endpoint over a warm engine and
+// checks the load-bearing content of each response.
+func TestEndpoints(t *testing.T) {
+	e := newEngine(t)
+	// Threshold of 1ns marks everything slow; running the same query twice
+	// makes the second run instrumented (slow-query capture), so its
+	// record carries both the trace and the operator stats.
+	e.QueryLog = obs.NewQueryLog(32, time.Nanosecond)
+	for i := 0; i < 2; i++ {
+		if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := e.Query(`doc("`); err == nil {
+		t.Fatal("parse error expected")
+	}
+	ts := httptest.NewServer(New(e).Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE engine_queries counter",
+		"engine_queries 3",
+		"engine_query_ns_bucket{le=",
+		"engine_plan_cache_size 1",
+		"engine_view_extents_built 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts, "/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/queries status %d", code)
+	}
+	var qr struct {
+		SlowThresholdNS int64             `json:"slow_threshold_ns"`
+		Recent          []obs.QueryRecord `json:"recent"`
+		Slow            []obs.QueryRecord `json:"slow"`
+		Top             []obs.QueryRecord `json:"top"`
+		Errors          []obs.QueryRecord `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatalf("/debug/queries JSON: %v\n%s", err, body)
+	}
+	if qr.SlowThresholdNS != 1 || len(qr.Recent) != 3 || len(qr.Top) != 3 {
+		t.Fatalf("query views wrong: thr=%d recent=%d top=%d", qr.SlowThresholdNS, len(qr.Recent), len(qr.Top))
+	}
+	if len(qr.Errors) != 1 || !strings.Contains(qr.Errors[0].Error, "parse") {
+		t.Fatalf("error tail must carry the failed query: %+v", qr.Errors)
+	}
+	// The second (instrumented) run of the slow query retains trace + ops.
+	second := qr.Slow[1] // newest-first: [0]=failed parse, [1]=2nd title query
+	if len(second.Trace) == 0 {
+		t.Fatalf("slow query must retain its trace: %+v", second)
+	}
+	if len(second.Ops) == 0 {
+		t.Fatalf("recurring slow query must retain operator stats: %+v", second)
+	}
+	if !strings.Contains(string(second.Ops), "rows") {
+		t.Fatalf("operator stats must carry row counts: %s", second.Ops)
+	}
+
+	code, body = get(t, ts, "/debug/queries?format=jsonl")
+	if code != http.StatusOK || len(strings.Split(strings.TrimSpace(body), "\n")) != 3 {
+		t.Fatalf("JSONL export wrong (status %d):\n%s", code, body)
+	}
+
+	code, body = get(t, ts, "/debug/catalog")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/catalog status %d", code)
+	}
+	var cat struct {
+		Docs []engine.CatalogDoc `json:"docs"`
+	}
+	if err := json.Unmarshal([]byte(body), &cat); err != nil {
+		t.Fatalf("/debug/catalog JSON: %v\n%s", err, body)
+	}
+	if len(cat.Docs) != 1 || cat.Docs[0].Doc != "bib.xml" || cat.Docs[0].Epoch != 1 {
+		t.Fatalf("catalog wrong: %+v", cat.Docs)
+	}
+	if len(cat.Docs[0].Views) != 1 || cat.Docs[0].Views[0].Extent != engine.ExtentBuilt {
+		t.Fatalf("view extent state must be visible: %+v", cat.Docs[0].Views)
+	}
+
+	code, body = get(t, ts, "/debug/plancache")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/plancache status %d", code)
+	}
+	var pc struct {
+		Docs     []engine.PlanCacheStat `json:"docs"`
+		Hits     int64                  `json:"hits"`
+		Misses   int64                  `json:"misses"`
+		HitRatio float64                `json:"hit_ratio"`
+	}
+	if err := json.Unmarshal([]byte(body), &pc); err != nil {
+		t.Fatalf("/debug/plancache JSON: %v\n%s", err, body)
+	}
+	if len(pc.Docs) != 1 || pc.Docs[0].Entries != 1 || pc.Hits != 1 || pc.Misses != 1 || pc.HitRatio != 0.5 {
+		t.Fatalf("plan cache stats wrong: %+v hits=%d misses=%d ratio=%v", pc.Docs, pc.Hits, pc.Misses, pc.HitRatio)
+	}
+
+	if code, body = get(t, ts, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, _ = get(t, ts, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz: %d", code)
+	}
+	if code, _ = get(t, ts, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+// TestReadyzHoldsTrafficWithoutDocuments checks the readiness probe fails
+// until a document is registered.
+func TestReadyzHoldsTrafficWithoutDocuments(t *testing.T) {
+	e := engine.New()
+	ts := httptest.NewServer(New(e).Handler())
+	defer ts.Close()
+	if code, _ := get(t, ts, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz on empty engine: %d, want 503", code)
+	}
+	if err := e.LoadDocument("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, ts, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after registration: %d, want 200", code)
+	}
+}
+
+// TestServeGracefulShutdown binds a real listener, scrapes it, cancels the
+// context and checks Serve returns cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	s := New(newEngine(t))
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx) }()
+
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over real listener: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown must return nil: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}
+
+// TestConcurrentScrapeWhileQuerying is the -race proof for the monitoring
+// surface: workers hammer the engine with queries and registrations while
+// scrapers hit every endpoint.
+func TestConcurrentScrapeWhileQuerying(t *testing.T) {
+	e := newEngine(t)
+	e.QueryLog = obs.NewQueryLog(64, time.Nanosecond)
+	ts := httptest.NewServer(New(e).Handler())
+	defer ts.Close()
+
+	const workers, iters = 4, 25
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*2+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, _, err := e.QueryContext(context.Background(), `doc("bib.xml")//book/title`); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, path := range []string{"/metrics", "/debug/queries", "/debug/catalog", "/debug/plancache", "/readyz"} {
+					resp, err := ts.Client().Get(ts.URL + path)
+					if err != nil {
+						errc <- err
+						return
+					}
+					_, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errc <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("%s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // churn the catalog mid-scrape
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := e.RegisterView("bib.xml", fmt.Sprintf("vx%d", i), `// book(/ author{cont})`); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := e.Registry().Snapshot().Counters[engine.MetricQueries]; got != workers*iters {
+		t.Fatalf("engine.queries = %d, want %d", got, workers*iters)
+	}
+}
