@@ -23,7 +23,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"xamdb/internal/admission"
 	"xamdb/internal/datagen"
 	"xamdb/internal/engine"
 	"xamdb/internal/obs"
@@ -59,9 +61,22 @@ func main() {
 		noFallback = flag.Bool("no-fallback", false, "fail when no rewriting exists (pure physical independence mode)")
 		noCache    = flag.Bool("nocache", false, "disable the rewriting cache: replan every query (for debugging and cold-path timing)")
 		timeout    = flag.Duration("timeout", 0, "per-query timeout (e.g. 500ms, 10s); 0 = unlimited")
-		serveAddr  = flag.String("serve", "", "serve monitoring endpoints (/metrics, /debug/*, pprof) on this address until interrupted")
+		serveAddr  = flag.String("serve", "", "serve the query path (POST /query) and monitoring endpoints (/metrics, /debug/*, pprof) on this address until interrupted")
 		slow       = flag.Duration("slow", engine.DefaultSlowQueryThreshold, "slow-query threshold: queries at or above it retain full traces in the query log (0 disables)")
 		qlogCap    = flag.Int("querylog", engine.DefaultQueryLogSize, "query-log ring capacity (records retained for /debug/queries)")
+
+		// Admission-control knobs for -serve (see DESIGN.md "Admission
+		// control"): pool size, queue bound, per-query deadlines and quotas,
+		// and the graceful-drain deadline applied on SIGINT/SIGTERM.
+		workers      = flag.Int("workers", 0, "-serve: concurrent query workers (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "-serve: admission queue depth (0 = 4x workers); beyond it requests are shed with 429")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "-serve: max queue wait before a request is shed")
+		deadline     = flag.Duration("deadline", 30*time.Second, "-serve: default per-query deadline")
+		maxDeadline  = flag.Duration("max-deadline", 0, "-serve: ceiling for client timeout_ms hints (0 = 2x deadline)")
+		maxRows      = flag.Int64("max-rows", 0, "-serve: per-query rows-out quota (0 = unlimited)")
+		maxExtentB   = flag.Int64("max-extent-bytes", 0, "-serve: per-query decoded-extent-bytes quota (0 = unlimited)")
+		maxTuples    = flag.Int64("max-tuples", 0, "-serve: per-query tuple work quota (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "-serve: graceful-drain deadline on shutdown; hung queries are killed past it")
 	)
 	var views viewFlags
 	flag.Var(&views, "view", "register a view as name=XAM (repeatable)")
@@ -156,9 +171,20 @@ func main() {
 		fmt.Printf("saved catalog to %s\n", *save)
 	}
 
-	// The monitoring server comes up before any query runs so the REPL (or
-	// a long -query) can be scraped live; main blocks on it at the end.
-	srvDone := startServe(e, *serveAddr)
+	// The serving front end comes up before any query runs so the REPL (or
+	// a long -query) can be queried and scraped live; main blocks on it at
+	// the end.
+	srvDone := startServe(e, *serveAddr, admission.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		QueueTimeout:    *queueTimeout,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxRowsOut:      *maxRows,
+		MaxExtentBytes:  *maxExtentB,
+		MaxTuples:       *maxTuples,
+		DrainTimeout:    *drainTimeout,
+	})
 
 	if *repl {
 		runREPL(e, *explain, *analyze, *trace)
@@ -211,17 +237,21 @@ func runQuery(e *engine.Engine, query string, explainOnly, analyze, trace bool) 
 	fmt.Println(out)
 }
 
-// startServe binds the monitoring HTTP server (when -serve is set) and
-// runs it in the background until SIGINT/SIGTERM; the returned channel
+// startServe binds the HTTP front end (when -serve is set) — the
+// admission-controlled query path plus monitoring — and runs it in the
+// background until SIGINT/SIGTERM, at which point the admission controller
+// drains (in-flight queries finish, new ones get 503, hung ones are killed
+// at the drain deadline) before the server exits. The returned channel
 // yields Serve's result (nil on graceful shutdown), or nil when disabled.
-func startServe(e *engine.Engine, addr string) <-chan error {
+func startServe(e *engine.Engine, addr string, cfg admission.Config) <-chan error {
 	if addr == "" {
 		return nil
 	}
+	cfg.Metrics = e.Metrics
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	srv := serve.New(e)
+	srv := serve.NewWithQuery(e, admission.New(cfg))
 	fatal(srv.Listen(addr))
-	fmt.Printf("serving monitoring endpoints on http://%s (/metrics, /debug/queries, /debug/catalog, /debug/plancache, /healthz, /readyz, /debug/pprof)\n", srv.Addr())
+	fmt.Printf("serving on http://%s (POST /query; /metrics, /debug/queries, /debug/catalog, /debug/plancache, /debug/admission, /healthz, /readyz, /debug/pprof)\n", srv.Addr())
 	done := make(chan error, 1)
 	go func() {
 		defer stop()

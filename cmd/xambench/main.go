@@ -14,6 +14,7 @@
 //	xambench -exp extraction         # Chapter 3 pattern extraction
 //	xambench -exp observability      # query-path latency/throughput + metrics JSON
 //	xambench -exp plancache          # warm-path planning: cache, lazy extents, scaling
+//	xambench -exp admission          # admission control at saturation: shedding, accounting, bounded p99
 //	xambench -exp all                # everything
 //
 // The observability and plancache experiments write their full reports
@@ -28,12 +29,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"xamdb/internal/bench"
 )
 
+// timeNS renders a nanosecond count as a duration string.
+func timeNS(ns int64) time.Duration { return time.Duration(ns) }
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, all")
+	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, admission, all")
 	sumName := flag.String("summary", "xmark", "summary for synthetic containment: xmark or dblp")
 	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -238,6 +243,32 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", out)
 		return nil
+	})
+
+	run("admission", func() error {
+		rep, err := bench.AdmissionLoad(ctx, bench.AdmissionConfig{})
+		out := jsonFor("admission")
+		if rep != nil {
+			if werr := rep.WriteJSON(out); werr != nil && err == nil {
+				err = werr
+			}
+			fmt.Printf("pool: %d workers, queue %d (timeout %s)\n",
+				rep.Workers, rep.QueueDepth, timeNS(rep.QueueTimeoutNS))
+			fmt.Printf("closed loop: %d clients → %.0f qps served (%d served, %d shed)\n",
+				rep.Closed.Clients, rep.Closed.QPS, rep.Closed.Served, rep.Closed.Shed)
+			fmt.Printf("open loop: offered %.0f qps for %s → statuses %v\n",
+				rep.Open.OfferedQPS, timeNS(rep.Open.ElapsedNS), rep.Open.Statuses)
+			fmt.Printf("accounting: submitted=%d accounted=%d (served=%d shed-full=%d shed-timeout=%d)\n",
+				rep.Stats.Submitted, rep.Stats.Accounted(), rep.Stats.Served,
+				rep.Stats.ShedQueueFull, rep.Stats.ShedQueueTimeout)
+			fmt.Printf("queue wait p99: %s (bound 2x queue timeout); goroutines %d → %d\n",
+				timeNS(rep.WaitP99NS), rep.GoroutinesBefore, rep.GoroutinesAfter)
+			for _, f := range rep.Failures {
+				fmt.Printf("FAIL: %s\n", f)
+			}
+			fmt.Printf("report written to %s\n", out)
+		}
+		return err
 	})
 
 	run("extraction", func() error {

@@ -1,0 +1,576 @@
+// Package admission is the production query path's front door: a bounded
+// FIFO admission queue feeding a fixed worker pool, per-query deadlines
+// (server default clamped against client hints), per-query resource quotas
+// (rows out, decoded-extent bytes, tuple work — enforced through the
+// physical.Budget / Checkpoint plumbing), and explicit overload shedding.
+// Every submitted request ends in exactly one accounted outcome — served,
+// errored, quota-killed, cancelled, or shed with a cause — never silently
+// dropped; Stats reconciles exactly against a load generator's counts
+// (xambench -exp admission holds that invariant at saturation).
+//
+// Graceful drain: Drain stops admission (new requests shed with
+// OutcomeShedDraining), lets queued and in-flight queries finish within the
+// drain deadline, then kills stragglers through their contexts and rejects
+// whatever is still queued. serve.Server wires Drain into its shutdown
+// path, so SIGTERM on uload -serve finishes in-flight queries, 503s new
+// ones, and exits within the deadline.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xamdb/internal/faultinject"
+	"xamdb/internal/obs"
+	"xamdb/internal/physical"
+)
+
+// Fault sites on the admission path (armed by resilience tests): a fault at
+// SiteEnqueue sheds the request as queue-full backpressure, a fault at
+// SiteDispatch surfaces as a worker-side error (panics included — a
+// panicking worker completes its task as errored and keeps its pool slot),
+// and a fault at SiteQuota kills the query as quota-exceeded.
+const (
+	SiteEnqueue  = "admission.enqueue"
+	SiteDispatch = "admission.dispatch"
+	SiteQuota    = "admission.quota"
+)
+
+// Metric names exported through the engine's registry (Prometheus-visible
+// via /metrics once serve wires the controller to the engine's registry).
+const (
+	MetricQueueDepth       = "admission.queue_depth"
+	MetricInflight         = "admission.inflight"
+	MetricWaitNS           = "admission.wait_ns"
+	MetricSubmitted        = "admission.submitted"
+	MetricServed           = "admission.served"
+	MetricErrored          = "admission.errored"
+	MetricQuotaKilled      = "admission.quota_killed"
+	MetricDeadline         = "admission.deadline"
+	MetricCancelled        = "admission.cancelled"
+	MetricShedQueueFull    = "admission.shed.queue_full"
+	MetricShedQueueTimeout = "admission.shed.queue_timeout"
+	MetricShedDraining     = "admission.shed.draining"
+)
+
+// ErrDrainTimeout is returned by Drain when the deadline expired before the
+// queue and the in-flight set quiesced (stragglers were killed or rejected).
+var ErrDrainTimeout = errors.New("admission: drain deadline exceeded")
+
+// Outcome classifies how one submitted request ended. Every request gets
+// exactly one.
+type Outcome int
+
+const (
+	// OutcomeServed: the work ran and returned nil.
+	OutcomeServed Outcome = iota
+	// OutcomeErrored: the work ran and returned a non-quota error (or
+	// panicked; the panic is recovered into the error).
+	OutcomeErrored
+	// OutcomeQuotaKilled: the work was killed by a resource quota (rows
+	// out, extent bytes, tuple work).
+	OutcomeQuotaKilled
+	// OutcomeDeadline: the work was killed by its wall-clock deadline.
+	OutcomeDeadline
+	// OutcomeCancelled: the caller's context died (in queue or mid-run), or
+	// a forced drain killed the query.
+	OutcomeCancelled
+	// OutcomeShedQueueFull: rejected at submission, admission queue full.
+	OutcomeShedQueueFull
+	// OutcomeShedQueueTimeout: dequeued after waiting longer than the queue
+	// timeout; shed instead of run.
+	OutcomeShedQueueTimeout
+	// OutcomeShedDraining: rejected because the controller is draining.
+	OutcomeShedDraining
+)
+
+// Shed reports whether the outcome is a load-shedding rejection (the work
+// never ran).
+func (o Outcome) Shed() bool {
+	return o == OutcomeShedQueueFull || o == OutcomeShedQueueTimeout || o == OutcomeShedDraining
+}
+
+// String returns the outcome's stable wire name (query log, bench JSON).
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeServed:
+		return "served"
+	case OutcomeErrored:
+		return "error"
+	case OutcomeQuotaKilled:
+		return "quota_killed"
+	case OutcomeDeadline:
+		return "deadline"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomeShedQueueFull:
+		return "shed:queue_full"
+	case OutcomeShedQueueTimeout:
+		return "shed:queue_timeout"
+	case OutcomeShedDraining:
+		return "shed:draining"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Config sizes the controller. The zero value gets sensible defaults from
+// withDefaults (workers = GOMAXPROCS, queue = 4×workers, 1s queue timeout,
+// 30s default deadline, 60s max, 10s drain).
+type Config struct {
+	// Workers is the number of concurrently executing queries.
+	Workers int
+	// QueueDepth bounds the FIFO admission queue; a submission finding the
+	// queue full is shed immediately with OutcomeShedQueueFull.
+	QueueDepth int
+	// QueueTimeout sheds requests that waited in the queue longer than
+	// this before a worker picked them up (0 disables).
+	QueueTimeout time.Duration
+	// DefaultDeadline is the per-query wall-clock bound applied when the
+	// client sends no hint (0 = none).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client deadline hints (and the default); 0 means
+	// hints are clamped to DefaultDeadline if that is set, else unbounded.
+	MaxDeadline time.Duration
+	// MaxRowsOut / MaxExtentBytes / MaxTuples are the per-query resource
+	// quotas handed to physical.NewBudget; 0 = unlimited.
+	MaxRowsOut     int64
+	MaxExtentBytes int64
+	MaxTuples      int64
+	// DrainTimeout bounds Drain (and serve's shutdown path).
+	DrainTimeout time.Duration
+	// Metrics receives the admission counters/gauges/histograms; nil falls
+	// back to obs.Default().
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 2 * c.DefaultDeadline
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	return c
+}
+
+// Result is the accounting record Do returns for one request.
+type Result struct {
+	// Outcome is the request's single accounted outcome.
+	Outcome Outcome
+	// Err carries the work's error (execution/quota/deadline) or the shed
+	// reason; nil only for OutcomeServed.
+	Err error
+	// QueueWait is the time spent in the admission queue.
+	QueueWait time.Duration
+	// Ran reports whether the work function was invoked — false for sheds
+	// and queue-side cancellations, whose callers must do their own logging
+	// (the engine never saw the query).
+	Ran bool
+}
+
+// Stats is a point-in-time accounting snapshot. When the controller is
+// idle, Submitted equals the sum of the outcome counters: no request is
+// ever unaccounted.
+type Stats struct {
+	Submitted        int64 `json:"submitted"`
+	Served           int64 `json:"served"`
+	Errored          int64 `json:"errored"`
+	QuotaKilled      int64 `json:"quota_killed"`
+	Deadline         int64 `json:"deadline"`
+	Cancelled        int64 `json:"cancelled"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedQueueTimeout int64 `json:"shed_queue_timeout"`
+	ShedDraining     int64 `json:"shed_draining"`
+	Queued           int64 `json:"queued"`
+	Inflight         int64 `json:"inflight"`
+	Draining         bool  `json:"draining"`
+}
+
+// Accounted sums the outcome counters — at quiescence it must equal
+// Submitted.
+func (s Stats) Accounted() int64 {
+	return s.Served + s.Errored + s.QuotaKilled + s.Deadline + s.Cancelled +
+		s.ShedQueueFull + s.ShedQueueTimeout + s.ShedDraining
+}
+
+// task is one queued request.
+type task struct {
+	ctx      context.Context
+	hint     time.Duration
+	fn       func(context.Context) error
+	enqueued time.Time
+	done     chan Result
+}
+
+// Controller is the admission controller. Create with New (which starts the
+// workers), submit with Do, stop with Drain.
+type Controller struct {
+	cfg   Config
+	queue chan *task
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// mu guards closed: once set, nothing may enqueue, so the drain sweep
+	// observes a complete queue.
+	mu     sync.Mutex
+	closed bool
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainErr  error
+
+	// killCtx is cancelled (with ErrDrainTimeout cause) when a drain
+	// deadline forces in-flight queries to die at their next checkpoint.
+	killCtx  context.Context
+	killFunc context.CancelCauseFunc
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	submitted        atomic.Int64
+	served           atomic.Int64
+	errored          atomic.Int64
+	quotaKilled      atomic.Int64
+	deadline         atomic.Int64
+	cancelled        atomic.Int64
+	shedQueueFull    atomic.Int64
+	shedQueueTimeout atomic.Int64
+	shedDraining     atomic.Int64
+
+	mQueueDepth *obs.Gauge
+	mInflight   *obs.Gauge
+	mWaitNS     *obs.Histogram
+	mOutcomes   map[Outcome]*obs.Counter
+	mSubmitted  *obs.Counter
+}
+
+// New builds a controller and starts its worker pool.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:   cfg,
+		queue: make(chan *task, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+	}
+	c.killCtx, c.killFunc = context.WithCancelCause(context.Background())
+	reg := cfg.Metrics
+	c.mQueueDepth = reg.Gauge(MetricQueueDepth)
+	c.mInflight = reg.Gauge(MetricInflight)
+	c.mWaitNS = reg.Histogram(MetricWaitNS)
+	c.mSubmitted = reg.Counter(MetricSubmitted)
+	c.mOutcomes = map[Outcome]*obs.Counter{
+		OutcomeServed:           reg.Counter(MetricServed),
+		OutcomeErrored:          reg.Counter(MetricErrored),
+		OutcomeQuotaKilled:      reg.Counter(MetricQuotaKilled),
+		OutcomeDeadline:         reg.Counter(MetricDeadline),
+		OutcomeCancelled:        reg.Counter(MetricCancelled),
+		OutcomeShedQueueFull:    reg.Counter(MetricShedQueueFull),
+		OutcomeShedQueueTimeout: reg.Counter(MetricShedQueueTimeout),
+		OutcomeShedDraining:     reg.Counter(MetricShedDraining),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		c.wg.Add(1)
+		go c.worker()
+	}
+	return c
+}
+
+// Config returns the controller's effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Draining reports whether drain has started.
+func (c *Controller) Draining() bool { return c.draining.Load() }
+
+// RetryAfter suggests a client backoff: the queue timeout for transient
+// sheds, the drain timeout while draining — always at least one second, in
+// whole seconds (the Retry-After header grammar).
+func (c *Controller) RetryAfter() int {
+	d := c.cfg.QueueTimeout
+	if c.draining.Load() {
+		d = c.cfg.DrainTimeout
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Stats snapshots the accounting counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Submitted:        c.submitted.Load(),
+		Served:           c.served.Load(),
+		Errored:          c.errored.Load(),
+		QuotaKilled:      c.quotaKilled.Load(),
+		Deadline:         c.deadline.Load(),
+		Cancelled:        c.cancelled.Load(),
+		ShedQueueFull:    c.shedQueueFull.Load(),
+		ShedQueueTimeout: c.shedQueueTimeout.Load(),
+		ShedDraining:     c.shedDraining.Load(),
+		Queued:           c.queued.Load(),
+		Inflight:         c.inflight.Load(),
+		Draining:         c.draining.Load(),
+	}
+}
+
+// account tallies one outcome in the atomics and the metrics registry.
+func (c *Controller) account(o Outcome) {
+	switch o {
+	case OutcomeServed:
+		c.served.Add(1)
+	case OutcomeErrored:
+		c.errored.Add(1)
+	case OutcomeQuotaKilled:
+		c.quotaKilled.Add(1)
+	case OutcomeDeadline:
+		c.deadline.Add(1)
+	case OutcomeCancelled:
+		c.cancelled.Add(1)
+	case OutcomeShedQueueFull:
+		c.shedQueueFull.Add(1)
+	case OutcomeShedQueueTimeout:
+		c.shedQueueTimeout.Add(1)
+	case OutcomeShedDraining:
+		c.shedDraining.Add(1)
+	}
+	if m := c.mOutcomes[o]; m != nil {
+		m.Inc()
+	}
+}
+
+// Do submits one request: fn runs on a pool worker under a context carrying
+// the per-query deadline (DefaultDeadline, overridden by a positive client
+// hint, both clamped to MaxDeadline) and the resource-quota budget. Do
+// blocks until the request reaches its single outcome — served, errored,
+// killed, cancelled or shed — and returns the accounting Result. hint ≤ 0
+// means no client hint.
+func (c *Controller) Do(ctx context.Context, hint time.Duration, fn func(context.Context) error) Result {
+	c.submitted.Add(1)
+	c.mSubmitted.Inc()
+	shed := func(o Outcome, err error) Result {
+		c.account(o)
+		return Result{Outcome: o, Err: err}
+	}
+	if c.draining.Load() {
+		return shed(OutcomeShedDraining, errors.New("admission: draining"))
+	}
+	// An injected enqueue fault models backpressure from a failing queue:
+	// the request is shed as queue-full, never half-admitted.
+	if err := faultinject.Check(SiteEnqueue); err != nil {
+		return shed(OutcomeShedQueueFull, fmt.Errorf("admission: enqueue: %w", err))
+	}
+	t := &task{ctx: ctx, hint: hint, fn: fn, enqueued: time.Now(), done: make(chan Result, 1)}
+	c.mu.Lock()
+	if c.closed || c.draining.Load() {
+		c.mu.Unlock()
+		return shed(OutcomeShedDraining, errors.New("admission: draining"))
+	}
+	select {
+	case c.queue <- t:
+		c.queued.Add(1)
+		c.mQueueDepth.Add(1)
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+		return shed(OutcomeShedQueueFull, errors.New("admission: queue full"))
+	}
+	// Every enqueued task is completed exactly once — by a worker or by the
+	// drain sweep — so this receive always returns.
+	return <-t.done
+}
+
+// worker pulls tasks until the controller quits.
+func (c *Controller) worker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case t := <-c.queue:
+			c.dispatch(t)
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// dispatch runs one dequeued task to its single outcome.
+func (c *Controller) dispatch(t *task) {
+	wait := time.Since(t.enqueued)
+	c.queued.Add(-1)
+	c.mQueueDepth.Add(-1)
+	c.mWaitNS.ObserveDuration(wait)
+	finish := func(o Outcome, err error, ran bool) {
+		c.account(o)
+		t.done <- Result{Outcome: o, Err: err, QueueWait: wait, Ran: ran}
+	}
+	if err := t.ctx.Err(); err != nil {
+		finish(OutcomeCancelled, err, false)
+		return
+	}
+	if c.cfg.QueueTimeout > 0 && wait > c.cfg.QueueTimeout {
+		finish(OutcomeShedQueueTimeout, fmt.Errorf("admission: queued %v, limit %v", wait, c.cfg.QueueTimeout), false)
+		return
+	}
+	c.inflight.Add(1)
+	c.mInflight.Add(1)
+	outcome, err := c.run(t)
+	c.inflight.Add(-1)
+	c.mInflight.Add(-1)
+	finish(outcome, err, true)
+}
+
+// deadlineFor resolves the effective per-query deadline from the server
+// default and the client hint.
+func (c *Controller) deadlineFor(hint time.Duration) time.Duration {
+	d := c.cfg.DefaultDeadline
+	if hint > 0 {
+		d = hint
+	}
+	if c.cfg.MaxDeadline > 0 && d > c.cfg.MaxDeadline {
+		d = c.cfg.MaxDeadline
+	}
+	return d
+}
+
+// run executes one admitted query under its deadline and budget, with
+// panics recovered so a worker bug costs one request, not a pool slot (or
+// the process). The returned outcome classifies the error.
+func (c *Controller) run(t *task) (outcome Outcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			outcome = OutcomeErrored
+			if perr, ok := p.(error); ok {
+				err = fmt.Errorf("admission: query panic: %w", perr)
+			} else {
+				err = fmt.Errorf("admission: query panic: %v", p)
+			}
+		}
+	}()
+	if err := faultinject.Check(SiteDispatch); err != nil {
+		return OutcomeErrored, fmt.Errorf("admission: dispatch: %w", err)
+	}
+
+	qctx, cancel := context.WithCancelCause(t.ctx)
+	defer cancel(nil)
+	// A forced drain kills in-flight queries through the shared kill
+	// context; the per-query cancel propagates it to the checkpoints.
+	stop := context.AfterFunc(c.killCtx, func() { cancel(context.Cause(c.killCtx)) })
+	defer stop()
+
+	if d := c.deadlineFor(t.hint); d > 0 {
+		var cancelD context.CancelFunc
+		qctx, cancelD = context.WithTimeout(qctx, d)
+		defer cancelD()
+	}
+
+	if err := faultinject.Check(SiteQuota); err != nil {
+		return OutcomeQuotaKilled, fmt.Errorf("%w: %w", physical.ErrQuotaExceeded, err)
+	}
+	if c.cfg.MaxRowsOut > 0 || c.cfg.MaxExtentBytes > 0 || c.cfg.MaxTuples > 0 {
+		b := physical.NewBudget(physical.BudgetLimits{
+			MaxRowsOut:     c.cfg.MaxRowsOut,
+			MaxExtentBytes: c.cfg.MaxExtentBytes,
+			MaxTuples:      c.cfg.MaxTuples,
+		}, cancel)
+		qctx = physical.WithBudget(qctx, b)
+	}
+
+	err = t.fn(qctx)
+	switch {
+	case err == nil:
+		return OutcomeServed, nil
+	case errors.Is(err, physical.ErrQuotaExceeded) || errors.Is(context.Cause(qctx), physical.ErrQuotaExceeded):
+		return OutcomeQuotaKilled, err
+	case t.ctx.Err() != nil || errors.Is(context.Cause(qctx), ErrDrainTimeout):
+		// The caller went away, or a forced drain killed us.
+		return OutcomeCancelled, err
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeDeadline, err
+	default:
+		return OutcomeErrored, err
+	}
+}
+
+// Drain shuts the controller down gracefully: it stops admitting (new
+// submissions shed with OutcomeShedDraining), waits for the queue and the
+// in-flight set to empty, and — if the deadline expires first — kills
+// in-flight queries through their contexts and rejects whatever is still
+// queued, so every admitted request still reaches an outcome. Idempotent;
+// returns ErrDrainTimeout when the deadline forced the drain.
+func (c *Controller) Drain(timeout time.Duration) error {
+	c.drainOnce.Do(func() { c.drainErr = c.drain(timeout) })
+	return c.drainErr
+}
+
+func (c *Controller) drain(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = c.cfg.DrainTimeout
+	}
+	c.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	forced := false
+	for c.queued.Load() > 0 || c.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			forced = true
+			c.killFunc(ErrDrainTimeout)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Final phase: no new enqueues can land once closed is set (Do checks
+	// it under the same mutex), so sweeping the queue sees every remaining
+	// task. Workers still racing the sweep are fine — each task completes
+	// exactly once, via a worker (killed context → fast cancel) or here.
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	close(c.quit)
+	for {
+		select {
+		case t := <-c.queue:
+			c.queued.Add(-1)
+			c.mQueueDepth.Add(-1)
+			c.account(OutcomeShedDraining)
+			t.done <- Result{Outcome: OutcomeShedDraining, Err: errors.New("admission: draining"), QueueWait: time.Since(t.enqueued)}
+		default:
+			goto swept
+		}
+	}
+swept:
+	// Wait for the workers; on a clean drain they are already idle. After a
+	// forced drain they finish their current (context-killed) query first.
+	workersDone := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+	case <-time.After(timeout):
+		forced = true
+	}
+	if forced {
+		return ErrDrainTimeout
+	}
+	return nil
+}

@@ -1,0 +1,547 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xamdb/internal/faultinject"
+	"xamdb/internal/obs"
+	"xamdb/internal/physical"
+)
+
+// testConfig returns a small controller config with quick timeouts and a
+// private metrics registry so tests do not pollute the default registry.
+func testConfig() Config {
+	return Config{
+		Workers:         2,
+		QueueDepth:      4,
+		QueueTimeout:    200 * time.Millisecond,
+		DefaultDeadline: time.Second,
+		MaxDeadline:     2 * time.Second,
+		DrainTimeout:    time.Second,
+		Metrics:         obs.NewRegistry(),
+	}
+}
+
+// TestPoolBoundsConcurrency checks that at most Workers queries execute at
+// once, whatever the offered load.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 2
+	cfg.QueueDepth = 32
+	cfg.QueueTimeout = 5 * time.Second
+	c := New(cfg)
+	defer c.Drain(time.Second)
+
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do(context.Background(), 0, func(ctx context.Context) error {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("pool must bound concurrency at 2, saw %d", p)
+	}
+	if s := c.Stats(); s.Served != 16 {
+		t.Fatalf("all 16 must be served, got %+v", s)
+	}
+}
+
+// TestQueueFullSheds checks that a submission finding the queue full is
+// rejected immediately with OutcomeShedQueueFull.
+func TestQueueFullSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.QueueTimeout = 5 * time.Second
+	c := New(cfg)
+	defer c.Drain(time.Second)
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), 0, func(ctx context.Context) error {
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started
+	// Fill the one queue slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), 0, func(ctx context.Context) error { return nil })
+	}()
+	// Wait until the queued task is visible, then the next must shed.
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued task never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res := c.Do(context.Background(), 0, func(ctx context.Context) error { return nil })
+	if res.Outcome != OutcomeShedQueueFull || res.Ran {
+		t.Fatalf("want queue-full shed without running, got %+v", res)
+	}
+	close(block)
+	wg.Wait()
+	if s := c.Stats(); s.ShedQueueFull != 1 || s.Served != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestQueueTimeoutSheds checks that a request stuck in the queue past the
+// queue timeout is shed rather than run.
+func TestQueueTimeoutSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 4
+	cfg.QueueTimeout = 20 * time.Millisecond
+	c := New(cfg)
+	defer c.Drain(time.Second)
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), 0, func(ctx context.Context) error {
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started
+	res := make(chan Result, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res <- c.Do(context.Background(), 0, func(ctx context.Context) error { return nil })
+	}()
+	time.Sleep(60 * time.Millisecond) // exceed the queue timeout
+	close(block)
+	r := <-res
+	if r.Outcome != OutcomeShedQueueTimeout || r.Ran {
+		t.Fatalf("want queue-timeout shed, got %+v", r)
+	}
+	wg.Wait()
+}
+
+// TestCancelWhileQueued checks that a caller abandoning a queued request
+// accounts it as cancelled without running it.
+func TestCancelWhileQueued(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 4
+	cfg.QueueTimeout = 5 * time.Second
+	c := New(cfg)
+	defer c.Drain(time.Second)
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), 0, func(ctx context.Context) error {
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan Result, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res <- c.Do(ctx, 0, func(ctx context.Context) error { return nil })
+	}()
+	for c.Stats().Queued < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(block)
+	r := <-res
+	if r.Outcome != OutcomeCancelled || r.Ran {
+		t.Fatalf("want cancelled without running, got %+v", r)
+	}
+	wg.Wait()
+}
+
+// TestWorkerPanicKeepsSlot checks the tentpole resilience property: a query
+// that panics is accounted as errored, the pool slot survives, the process
+// does not crash, and the goroutine count stays flat.
+func TestWorkerPanicKeepsSlot(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1 // one slot: if a panic leaked it, the next query would hang
+	c := New(cfg)
+	defer c.Drain(time.Second)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		res := c.Do(context.Background(), 0, func(ctx context.Context) error {
+			//xamlint:allow nopanic(deliberate panic: test proves the pool recovers worker panics)
+			panic(fmt.Sprintf("boom %d", i))
+		})
+		if res.Outcome != OutcomeErrored || res.Err == nil {
+			t.Fatalf("panic must account as errored, got %+v", res)
+		}
+	}
+	// The single slot must still serve.
+	res := c.Do(context.Background(), 0, func(ctx context.Context) error { return nil })
+	if res.Outcome != OutcomeServed {
+		t.Fatalf("slot leaked after panics: %+v", res)
+	}
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before+3 {
+		t.Fatalf("goroutines grew %d -> %d after panics", before, after)
+	}
+	if s := c.Stats(); s.Errored != 8 || s.Served != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestDeadlineHintClamped checks deadline resolution: no hint uses the
+// default, a hint overrides it, and hints are clamped to MaxDeadline.
+func TestDeadlineHintClamped(t *testing.T) {
+	cfg := testConfig()
+	cfg.DefaultDeadline = time.Second
+	cfg.MaxDeadline = 2 * time.Second
+	c := New(cfg)
+	defer c.Drain(time.Second)
+
+	remaining := func(hint time.Duration) time.Duration {
+		var d time.Duration
+		c.Do(context.Background(), hint, func(ctx context.Context) error {
+			dl, ok := ctx.Deadline()
+			if !ok {
+				t.Error("query context must carry a deadline")
+				return nil
+			}
+			d = time.Until(dl)
+			return nil
+		})
+		return d
+	}
+	if d := remaining(0); d > time.Second || d < 500*time.Millisecond {
+		t.Fatalf("default deadline: remaining %v", d)
+	}
+	if d := remaining(100 * time.Millisecond); d > 100*time.Millisecond {
+		t.Fatalf("hint must shorten the deadline: remaining %v", d)
+	}
+	if d := remaining(time.Hour); d > 2*time.Second {
+		t.Fatalf("hint must be clamped to MaxDeadline: remaining %v", d)
+	}
+}
+
+// TestDeadlineOutcome checks an expired per-query deadline accounts as
+// OutcomeDeadline.
+func TestDeadlineOutcome(t *testing.T) {
+	c := New(testConfig())
+	defer c.Drain(time.Second)
+
+	res := c.Do(context.Background(), 10*time.Millisecond, func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if res.Outcome != OutcomeDeadline || !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline outcome, got %+v", res)
+	}
+}
+
+// TestQuotaOutcome checks that a query tripping its budget accounts as
+// quota-killed, not errored, and that the budget actually reaches the query
+// context.
+func TestQuotaOutcome(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxTuples = 64
+	c := New(cfg)
+	defer c.Drain(time.Second)
+
+	res := c.Do(context.Background(), 0, func(ctx context.Context) error {
+		b := physical.BudgetFrom(ctx)
+		if b == nil {
+			return errors.New("no budget on query context")
+		}
+		return b.ChargeTuples(1000)
+	})
+	if res.Outcome != OutcomeQuotaKilled || !errors.Is(res.Err, physical.ErrQuotaExceeded) {
+		t.Fatalf("want quota kill, got %+v", res)
+	}
+	if s := c.Stats(); s.QuotaKilled != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestFaultSites arms each admission fault site in turn and checks the
+// failure is shaped into the right outcome.
+func TestFaultSites(t *testing.T) {
+	defer faultinject.Reset()
+
+	c := New(testConfig())
+	defer c.Drain(time.Second)
+	ok := func(ctx context.Context) error { return nil }
+
+	faultinject.Arm(SiteEnqueue, faultinject.Fault{})
+	if res := c.Do(context.Background(), 0, ok); res.Outcome != OutcomeShedQueueFull || res.Ran {
+		t.Fatalf("enqueue fault must shed: %+v", res)
+	}
+	faultinject.Disarm(SiteEnqueue)
+
+	faultinject.Arm(SiteDispatch, faultinject.Fault{})
+	if res := c.Do(context.Background(), 0, ok); res.Outcome != OutcomeErrored {
+		t.Fatalf("dispatch fault must error: %+v", res)
+	}
+	faultinject.Disarm(SiteDispatch)
+
+	// A dispatch-site panic models a worker bug: recovered, accounted, slot
+	// kept.
+	faultinject.Arm(SiteDispatch, faultinject.Fault{PanicWith: "dispatch bug"})
+	if res := c.Do(context.Background(), 0, ok); res.Outcome != OutcomeErrored {
+		t.Fatalf("dispatch panic must account as errored: %+v", res)
+	}
+	faultinject.Disarm(SiteDispatch)
+
+	faultinject.Arm(SiteQuota, faultinject.Fault{})
+	res := c.Do(context.Background(), 0, ok)
+	if res.Outcome != OutcomeQuotaKilled || !errors.Is(res.Err, physical.ErrQuotaExceeded) {
+		t.Fatalf("quota fault must quota-kill: %+v", res)
+	}
+	faultinject.Disarm(SiteQuota)
+
+	if res := c.Do(context.Background(), 0, ok); res.Outcome != OutcomeServed {
+		t.Fatalf("pool must still serve after faults: %+v", res)
+	}
+}
+
+// TestDrainClean checks a drain with idle workers returns nil, subsequent
+// submissions shed as draining, and in-flight work completes.
+func TestDrainClean(t *testing.T) {
+	c := New(testConfig())
+	release := make(chan struct{})
+	started := make(chan struct{})
+	res := make(chan Result, 1)
+	go func() {
+		res <- c.Do(context.Background(), 0, func(ctx context.Context) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() { done <- c.Drain(time.Second) }()
+	// While draining, new submissions are shed.
+	deadline := time.Now().Add(time.Second)
+	for !c.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r := c.Do(context.Background(), 0, func(ctx context.Context) error { return nil }); r.Outcome != OutcomeShedDraining {
+		t.Fatalf("during drain new work must shed: %+v", r)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("clean drain must return nil, got %v", err)
+	}
+	if r := <-res; r.Outcome != OutcomeServed {
+		t.Fatalf("in-flight query must finish during drain: %+v", r)
+	}
+}
+
+// TestDrainDeadlineForces checks that a drain whose deadline expires kills
+// in-flight queries through their contexts and still accounts them.
+func TestDrainDeadlineForces(t *testing.T) {
+	c := New(testConfig())
+	started := make(chan struct{})
+	res := make(chan Result, 1)
+	go func() {
+		res <- c.Do(context.Background(), 0, func(ctx context.Context) error {
+			close(started)
+			<-ctx.Done() // a well-behaved query: blocks until killed
+			return context.Cause(ctx)
+		})
+	}()
+	<-started
+	t0 := time.Now()
+	err := c.Drain(50 * time.Millisecond)
+	if !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("forced drain must report ErrDrainTimeout, got %v", err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Fatalf("drain must be bounded, took %v", el)
+	}
+	r := <-res
+	if r.Outcome != OutcomeCancelled || !errors.Is(r.Err, ErrDrainTimeout) {
+		t.Fatalf("killed query must account as cancelled with the drain cause: %+v", r)
+	}
+	s := c.Stats()
+	if s.Submitted != s.Accounted() {
+		t.Fatalf("unaccounted requests after forced drain: %+v", s)
+	}
+}
+
+// TestAccountingReconciles hammers the controller with concurrent mixed
+// work — fast, slow, panicking, cancelled — then drains and checks the
+// invariant: every submitted request has exactly one outcome.
+func TestAccountingReconciles(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.QueueDepth = 8
+	cfg.QueueTimeout = 30 * time.Millisecond
+	c := New(cfg)
+
+	const n = 400
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			if i%7 == 0 {
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*time.Millisecond)
+				defer cancel()
+			}
+			c.Do(ctx, 0, func(ctx context.Context) error {
+				switch i % 5 {
+				case 0:
+					time.Sleep(time.Duration(i%4) * time.Millisecond)
+					return nil
+				case 1:
+					return errors.New("synthetic failure")
+				case 2:
+					//xamlint:allow nopanic(deliberate panic: accounting must absorb worker bugs)
+					panic("synthetic panic")
+				default:
+					return nil
+				}
+			})
+		}(i)
+	}
+	wg.Wait()
+	if err := c.Drain(time.Second); err != nil {
+		t.Fatalf("drain after quiescence must be clean: %v", err)
+	}
+	s := c.Stats()
+	if s.Submitted != n {
+		t.Fatalf("submitted %d, want %d", s.Submitted, n)
+	}
+	if s.Accounted() != s.Submitted {
+		t.Fatalf("unaccounted requests: submitted=%d accounted=%d (%+v)", s.Submitted, s.Accounted(), s)
+	}
+	if s.Queued != 0 || s.Inflight != 0 {
+		t.Fatalf("residual work after drain: %+v", s)
+	}
+}
+
+// TestSubmitDuringDrainNeverHangs races submissions against a drain and
+// checks every Do returns and is accounted — the enqueue-vs-sweep mutex
+// closes the window where a task could be queued and never completed.
+func TestSubmitDuringDrainNeverHangs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 2
+	cfg.QueueDepth = 4
+	c := New(cfg)
+
+	const n = 200
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			c.Do(context.Background(), 0, func(ctx context.Context) error {
+				time.Sleep(100 * time.Microsecond)
+				return nil
+			})
+		}()
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	_ = c.Drain(2 * time.Second)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("a Do call hung across drain")
+	}
+	s := c.Stats()
+	if s.Submitted != n || s.Accounted() != n {
+		t.Fatalf("reconciliation failed: %+v (accounted %d)", s, s.Accounted())
+	}
+}
+
+// TestRetryAfter checks the backoff suggestion is ≥ 1s and grows while
+// draining.
+func TestRetryAfter(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueTimeout = 100 * time.Millisecond
+	cfg.DrainTimeout = 3 * time.Second
+	c := New(cfg)
+	if got := c.RetryAfter(); got != 1 {
+		t.Fatalf("sub-second queue timeout must round up to 1, got %d", got)
+	}
+	c.Drain(10 * time.Millisecond)
+	if got := c.RetryAfter(); got != 3 {
+		t.Fatalf("draining retry-after must reflect the drain timeout, got %d", got)
+	}
+}
+
+// TestOutcomeStrings pins the wire names used by the query log and bench
+// JSON.
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeServed:           "served",
+		OutcomeErrored:          "error",
+		OutcomeQuotaKilled:      "quota_killed",
+		OutcomeDeadline:         "deadline",
+		OutcomeCancelled:        "cancelled",
+		OutcomeShedQueueFull:    "shed:queue_full",
+		OutcomeShedQueueTimeout: "shed:queue_timeout",
+		OutcomeShedDraining:     "shed:draining",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Fatalf("outcome %d: got %q want %q", int(o), o.String(), s)
+		}
+	}
+	if !OutcomeShedQueueFull.Shed() || OutcomeServed.Shed() {
+		t.Fatal("Shed classification wrong")
+	}
+}

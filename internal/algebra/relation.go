@@ -3,6 +3,7 @@ package algebra
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Attr describes one attribute of a (possibly nested) schema. A collection
@@ -170,6 +171,11 @@ func (t Tuple) String() string {
 type Relation struct {
 	Schema *Schema
 	Tuples []Tuple
+
+	// estBytes caches EstimatedBytes. Extents are immutable once built, so
+	// a computed estimate stays valid; concurrent first calls may both
+	// compute, the atomic keeps the cache race-free.
+	estBytes atomic.Int64
 }
 
 // NewRelation builds an empty relation over the schema.
@@ -183,6 +189,42 @@ func (r *Relation) Add(ts ...Tuple) *Relation {
 
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
+
+// EstimatedBytes estimates the relation's decoded in-memory size: per-value
+// struct overhead plus string payloads, Dewey vectors and nested
+// collections, recursively. The estimate feeds per-query extent-byte quotas
+// — it must be cheap and stable, not exact. Computed once and cached
+// (relations used as extents are immutable after materialization); callers
+// that mutate a relation afterwards must not rely on the estimate.
+func (r *Relation) EstimatedBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	if v := r.estBytes.Load(); v > 0 {
+		return v
+	}
+	n := int64(64) // Relation + Schema headers
+	for _, t := range r.Tuples {
+		n += tupleBytes(t)
+	}
+	r.estBytes.Store(n)
+	return n
+}
+
+// tupleBytes estimates one tuple's decoded size.
+func tupleBytes(t Tuple) int64 {
+	const valueOverhead = 64 // Value struct + slice header amortization
+	n := int64(24)           // tuple slice header
+	for _, v := range t {
+		n += valueOverhead
+		n += int64(len(v.Str))
+		n += int64(len(v.Dewey)) * 4
+		if v.Rel != nil {
+			n += v.Rel.EstimatedBytes()
+		}
+	}
+	return n
+}
 
 // Equal reports ordered deep equality of two relations.
 func (r *Relation) Equal(o *Relation) bool {

@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xamdb/internal/admission"
+	"xamdb/internal/obs"
+	"xamdb/internal/serve"
+)
+
+// AdmissionConfig sizes the admission-control load experiment. The zero
+// value is the CI smoke configuration: a deliberately tiny pool so the open
+// loop saturates it in well under a second.
+type AdmissionConfig struct {
+	Workers        int           // query workers (default 2)
+	QueueDepth     int           // admission queue bound (default 2×workers)
+	QueueTimeout   time.Duration // shed threshold for queue waits (default 100ms)
+	ClosedClients  int           // closed-loop clients for the capacity probe (default 8)
+	ClosedDuration time.Duration // closed-loop measurement window (default 400ms)
+	OpenDuration   time.Duration // open-loop window past saturation (default 600ms)
+	RateMultiple   float64       // open-loop offered rate as a multiple of measured capacity (default 2.5)
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.ClosedClients <= 0 {
+		c.ClosedClients = 8
+	}
+	if c.ClosedDuration <= 0 {
+		c.ClosedDuration = 400 * time.Millisecond
+	}
+	if c.OpenDuration <= 0 {
+		c.OpenDuration = 600 * time.Millisecond
+	}
+	if c.RateMultiple <= 1 {
+		c.RateMultiple = 2.5
+	}
+	return c
+}
+
+// AdmissionClosedLoop is the capacity-probe section of the report: N
+// back-to-back clients, no pacing — the server runs at its natural rate.
+type AdmissionClosedLoop struct {
+	Clients   int     `json:"clients"`
+	Served    int64   `json:"served"`
+	Shed      int64   `json:"shed"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	QPS       float64 `json:"qps"`
+}
+
+// AdmissionOpenLoop is the past-saturation section: arrivals at a fixed
+// offered rate regardless of completions, the regime where an unbounded
+// server melts and a bounded one sheds.
+type AdmissionOpenLoop struct {
+	OfferedQPS float64          `json:"offered_qps"`
+	Sent       int64            `json:"sent"`
+	Statuses   map[string]int64 `json:"statuses"`
+	ElapsedNS  int64            `json:"elapsed_ns"`
+}
+
+// AdmissionReport is the xambench admission export (BENCH_admission.json).
+// Failures lists every violated invariant; an empty list is the pass
+// condition the CI load-smoke step gates on.
+type AdmissionReport struct {
+	Experiment       string              `json:"experiment"`
+	Workers          int                 `json:"workers"`
+	QueueDepth       int                 `json:"queue_depth"`
+	QueueTimeoutNS   int64               `json:"queue_timeout_ns"`
+	Closed           AdmissionClosedLoop `json:"closed_loop"`
+	Open             AdmissionOpenLoop   `json:"open_loop"`
+	WaitP99NS        int64               `json:"wait_p99_ns"`
+	Stats            admission.Stats     `json:"stats"`
+	ClientTotal      int64               `json:"client_total"`
+	GoroutinesBefore int                 `json:"goroutines_before"`
+	GoroutinesAfter  int                 `json:"goroutines_after"`
+	Failures         []string            `json:"failures"`
+}
+
+// admissionQuery is the workload: a view-answered title scan, heavy enough
+// to queue under load, light enough for a sub-second experiment.
+const admissionQuery = `{"query":"doc(\"dblp.xml\")//article/title"}`
+
+// AdmissionLoad drives the full serving stack — HTTP, admission queue,
+// worker pool, engine — first closed-loop to measure capacity, then
+// open-loop past saturation, and verifies the robustness invariants:
+//
+//   - accounting: every client request has exactly one admission outcome
+//     (client total == submitted == accounted), nothing silently dropped;
+//   - shedding: every response is 200 or 429, and every 429 carries
+//     Retry-After — overload is explicit, not an error soup;
+//   - bounded queueing: p99 queue wait stays within 2× the shed threshold;
+//   - stability: the goroutine count is flat after the storm.
+//
+// Violations land in Report.Failures and are returned as an error.
+func AdmissionLoad(ctx context.Context, cfg AdmissionConfig) (*AdmissionReport, error) {
+	cfg = cfg.withDefaults()
+	e, _, _, err := newObsEngine()
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	ctrl := admission.New(admission.Config{
+		Workers:         cfg.Workers,
+		QueueDepth:      cfg.QueueDepth,
+		QueueTimeout:    cfg.QueueTimeout,
+		DefaultDeadline: 10 * time.Second,
+		DrainTimeout:    5 * time.Second,
+		Metrics:         reg,
+	})
+	ts := httptest.NewServer(serve.NewWithQuery(e, ctrl).Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Timeout = 30 * time.Second
+
+	rep := &AdmissionReport{
+		Experiment:     "admission",
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		QueueTimeoutNS: int64(cfg.QueueTimeout),
+	}
+
+	// Warm the engine (materialize views, fill the plan cache) so the
+	// capacity probe measures the steady state, not cold starts.
+	for i := 0; i < 3; i++ {
+		code, err := postOnce(client, ts.URL)
+		if err != nil {
+			return nil, fmt.Errorf("bench: admission warmup: %w", err)
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("bench: admission warmup: unexpected status %d", code)
+		}
+	}
+	rep.GoroutinesBefore = runtime.NumGoroutine()
+
+	var statuses sync.Map // status code → *atomic.Int64
+	tally := func(code int) {
+		v, _ := statuses.LoadOrStore(code, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+	var sent, served, shed, transportErrs atomic.Int64
+	var missingRetryAfter atomic.Int64
+	doOne := func() {
+		sent.Add(1)
+		resp, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(admissionQuery))
+		if err != nil {
+			transportErrs.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		tally(resp.StatusCode)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			served.Add(1)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			shed.Add(1)
+			if resp.Header.Get("Retry-After") == "" {
+				missingRetryAfter.Add(1)
+			}
+		}
+	}
+
+	// Closed loop: clients issue back-to-back until the window closes.
+	closedStart := time.Now()
+	closedStop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.ClosedClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-closedStop:
+					return
+				case <-ctx.Done():
+					return
+				default:
+					doOne()
+				}
+			}
+		}()
+	}
+	time.Sleep(cfg.ClosedDuration)
+	close(closedStop)
+	wg.Wait()
+	closedElapsed := time.Since(closedStart)
+	rep.Closed = AdmissionClosedLoop{
+		Clients:   cfg.ClosedClients,
+		Served:    served.Load(),
+		Shed:      shed.Load(),
+		ElapsedNS: closedElapsed.Nanoseconds(),
+		QPS:       float64(served.Load()) / closedElapsed.Seconds(),
+	}
+
+	// Open loop: fixed arrival rate at a multiple of measured capacity —
+	// past saturation by construction. Rate is clamped so CI boxes with
+	// very fast or very slow engines stay in a sane envelope.
+	offered := rep.Closed.QPS * cfg.RateMultiple
+	if offered < 100 {
+		offered = 100
+	}
+	if offered > 8000 {
+		// Client-side ceiling: past ~8k arrivals/s the ticker and dialer
+		// become the bottleneck before the server does.
+		offered = 8000
+	}
+	openSentBase := sent.Load()
+	interval := time.Duration(float64(time.Second) / offered)
+	openStart := time.Now()
+	ticker := time.NewTicker(interval)
+	for time.Since(openStart) < cfg.OpenDuration && ctx.Err() == nil {
+		<-ticker.C
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doOne()
+		}()
+	}
+	ticker.Stop()
+	wg.Wait()
+	openElapsed := time.Since(openStart)
+	rep.Open = AdmissionOpenLoop{
+		OfferedQPS: offered,
+		Sent:       sent.Load() - openSentBase,
+		Statuses:   map[string]int64{},
+		ElapsedNS:  openElapsed.Nanoseconds(),
+	}
+	statuses.Range(func(k, v any) bool {
+		rep.Open.Statuses[fmt.Sprintf("%d", k.(int))] = v.(*atomic.Int64).Load()
+		return true
+	})
+
+	// Quiesce, then snapshot the accounting and stability figures.
+	client.CloseIdleConnections()
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	rep.GoroutinesAfter = runtime.NumGoroutine()
+	rep.WaitP99NS = reg.Histogram(admission.MetricWaitNS).Quantile(0.99)
+	rep.Stats = ctrl.Stats()
+	rep.ClientTotal = sent.Load() - transportErrs.Load() + 3 // +3 warmup requests
+
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	if n := transportErrs.Load(); n > 0 {
+		fail("%d transport errors (requests lost before the server)", n)
+	}
+	if rep.Stats.Submitted != rep.Stats.Accounted() {
+		fail("unaccounted requests: submitted=%d accounted=%d", rep.Stats.Submitted, rep.Stats.Accounted())
+	}
+	if rep.ClientTotal != rep.Stats.Submitted {
+		fail("client/server mismatch: client saw %d responses, server admitted %d", rep.ClientTotal, rep.Stats.Submitted)
+	}
+	for code := range rep.Open.Statuses {
+		if code != "200" && code != "429" && code != "503" {
+			fail("unexpected status %s under load", code)
+		}
+	}
+	if n := missingRetryAfter.Load(); n > 0 {
+		fail("%d shed responses missing Retry-After", n)
+	}
+	if limit := 2*int64(cfg.QueueTimeout) + int64(100*time.Millisecond); rep.WaitP99NS > limit {
+		fail("queue wait p99 %v exceeds bound %v", time.Duration(rep.WaitP99NS), time.Duration(limit))
+	}
+	if rep.GoroutinesAfter > rep.GoroutinesBefore+32 {
+		fail("goroutines grew %d → %d across the storm", rep.GoroutinesBefore, rep.GoroutinesAfter)
+	}
+	if rep.Stats.Served == 0 {
+		fail("nothing served — the load never reached the engine")
+	}
+	// When the offered rate genuinely exceeded capacity, overload must have
+	// been shed explicitly (the clamped rate may stay under capacity on a
+	// very fast box; then the assertion does not apply).
+	if offered >= 1.5*rep.Closed.QPS && rep.Stats.ShedQueueFull+rep.Stats.ShedQueueTimeout == 0 {
+		fail("offered %.0f qps over %.0f qps capacity but nothing was shed", offered, rep.Closed.QPS)
+	}
+
+	if err := ctrl.Drain(5 * time.Second); err != nil {
+		fail("post-load drain: %v", err)
+	}
+	if len(rep.Failures) > 0 {
+		return rep, fmt.Errorf("bench: admission invariants violated: %s", strings.Join(rep.Failures, "; "))
+	}
+	return rep, nil
+}
+
+// postOnce issues one workload request and returns its status code.
+func postOnce(client *http.Client, base string) (int, error) {
+	resp, err := client.Post(base+"/query", "application/json", strings.NewReader(admissionQuery))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_*.json format).
+func (r *AdmissionReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

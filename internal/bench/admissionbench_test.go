@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestAdmissionLoad is the smoke test for the admission experiment: a short
+// run must reconcile exactly, shed explicitly, and round-trip its JSON.
+func TestAdmissionLoad(t *testing.T) {
+	rep, err := AdmissionLoad(context.Background(), AdmissionConfig{
+		ClosedClients:  4,
+		ClosedDuration: 150 * time.Millisecond,
+		OpenDuration:   250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("invariants: %v (failures %v)", err, rep.Failures)
+	}
+	if rep.Stats.Submitted == 0 || rep.Stats.Submitted != rep.Stats.Accounted() {
+		t.Fatalf("accounting: %+v", rep.Stats)
+	}
+	if rep.Closed.QPS <= 0 || rep.Open.Sent == 0 {
+		t.Fatalf("load sections empty: closed=%+v open=%+v", rep.Closed, rep.Open)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures: %v", rep.Failures)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_admission.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AdmissionReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "admission" || back.Stats.Submitted != rep.Stats.Submitted {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

@@ -155,25 +155,32 @@ func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts r
 // extents straight from the snapshot, view extents materialized lazily. It
 // returns the name of the view whose materialization failed, if any, so the
 // degradation names the culprit.
-func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite.Options, m *engineMetrics, tr *obs.Trace, pspan *obs.Span) (rewrite.Env, string, error) {
+// Each extent placed in the env is charged against the query's budget (when
+// one rides the context), so a plan touching more decoded bytes than its
+// quota allows is killed before execution pulls a single tuple.
+func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite.Options, budget *physical.Budget, m *engineMetrics, tr *obs.Trace, pspan *obs.Span) (rewrite.Env, string, error) {
 	refs := rewrite.ViewRefs(plan)
 	env := make(rewrite.Env, len(refs))
 	for _, name := range refs {
-		if rel, ok := pe.baseEnv[name]; ok {
-			env[name] = rel
-			continue
-		}
-		x, ok := pe.extents[name]
+		rel, ok := pe.baseEnv[name]
 		if !ok {
-			continue // index view or unknown: the plan degrades at execution
+			x, xok := pe.extents[name]
+			if !xok {
+				continue // index view or unknown: the plan degrades at execution
+			}
+			var err error
+			rel, err = x.get(pe, doc, name, opts, m, tr, pspan)
+			if err != nil {
+				return nil, name, err
+			}
+			if rel == nil {
+				continue
+			}
 		}
-		rel, err := x.get(pe, doc, name, opts, m, tr, pspan)
-		if err != nil {
+		if err := budget.ChargeExtentBytes(rel.EstimatedBytes()); err != nil {
 			return nil, name, err
 		}
-		if rel != nil {
-			env[name] = rel
-		}
+		env[name] = rel
 	}
 	return env, "", nil
 }
@@ -721,6 +728,11 @@ func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string,
 		return "", report, err
 	}
 	rowsOut = int64(len(nodes))
+	// The rows-out quota is checked before serialization: an over-quota
+	// result is discarded, never partially streamed.
+	if err := physical.BudgetFrom(ctx).CheckRowsOut(rowsOut); err != nil {
+		return "", report, err
+	}
 	return algebra.SerializeNodes(nodes), report, nil
 }
 
@@ -728,6 +740,15 @@ func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string,
 // the query instead of triggering the fallback cascade.
 func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// abortErr reports whether err must abort the query outright: context
+// cancellation, or a per-query quota kill. A quota-killed plan must never
+// degrade to the next rewriting or the base scan — the query has exhausted
+// its resource envelope, and retrying it cheaper-but-slower would spend even
+// more.
+func abortErr(err error) bool {
+	return ctxErr(err) || errors.Is(err, physical.ErrQuotaExceeded)
 }
 
 // answerPattern rewrites one query pattern over the document's current
@@ -739,6 +760,7 @@ func ctxErr(err error) bool {
 // cancellation and base-scan failure abort the query.
 func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pat *xam.Pattern, report *Report, tr *obs.Trace, pspan *obs.Span, analyze bool) (*algebra.Relation, string, *physical.OpStats, error) {
 	m := e.m()
+	budget := physical.BudgetFrom(ctx)
 	degrade := func(plan string, err error) {
 		m.degradations.Inc()
 		report.Degradations = append(report.Degradations,
@@ -756,10 +778,10 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 			}
 			m.plansTried.Inc()
 			mspan := tr.StartSpan(pspan, "materialize")
-			env, failedView, err := pe.envFor(st.doc, plan.Plan, e.Opts, m, tr, mspan)
+			env, failedView, err := pe.envFor(st.doc, plan.Plan, e.Opts, budget, m, tr, mspan)
 			mspan.End()
 			if err != nil {
-				if ctxErr(err) {
+				if abortErr(err) {
 					return nil, "", nil, err
 				}
 				// A failed view materialization kills only the plans that
@@ -776,7 +798,7 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 			if err == nil {
 				return rel, plan.Plan.String(), ops, nil
 			}
-			if ctxErr(err) || ctx.Err() != nil {
+			if abortErr(err) || ctx.Err() != nil {
 				return nil, "", nil, err
 			}
 			degrade(plan.Plan.String(), err)

@@ -1,13 +1,16 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"time"
 
 	"xamdb/internal/obs"
+	"xamdb/internal/physical"
 	"xamdb/internal/xam"
 )
 
@@ -59,6 +62,23 @@ func (e *Engine) noteSlowFingerprint(fp string) {
 	}
 }
 
+// queryOutcome classifies how a query ended, matching the admission layer's
+// wire names so the query log is joinable with the admission counters.
+func queryOutcome(qerr error) string {
+	switch {
+	case qerr == nil:
+		return "served"
+	case errors.Is(qerr, physical.ErrQuotaExceeded):
+		return "quota_killed"
+	case errors.Is(qerr, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(qerr, context.Canceled):
+		return "cancelled"
+	default:
+		return "error"
+	}
+}
+
 // logQuery appends one record to the engine's query log — every query
 // lands here, successful, degraded or failed. Slow queries additionally
 // retain the full trace JSON and, when the run was instrumented, the
@@ -83,6 +103,7 @@ func (e *Engine) logQuery(src, fp string, start time.Time, dur time.Duration, re
 		Degraded:    len(rep.Degradations),
 		RowsOut:     rowsOut,
 		DurationNS:  int64(dur),
+		Outcome:     queryOutcome(qerr),
 	}
 	if qerr != nil {
 		rec.Error = qerr.Error()

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"xamdb/internal/physical"
+)
+
+// budgetCtx attaches a fresh budget with the given limits to a cancellable
+// context, mirroring what the admission layer does per query.
+func budgetCtx(limits physical.BudgetLimits) context.Context {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	b := physical.NewBudget(limits, cancel)
+	return physical.WithBudget(ctx, b)
+}
+
+// TestRowsOutQuotaKillsQuery checks the rows-out quota aborts the query with
+// a quota error instead of returning an oversized result.
+func TestRowsOutQuotaKillsQuery(t *testing.T) {
+	e := newEngine(t)
+	ctx := budgetCtx(physical.BudgetLimits{MaxRowsOut: 1})
+	out, _, err := e.QueryContext(ctx, `doc("bib.xml")//book/title`)
+	if !errors.Is(err, physical.ErrQuotaExceeded) {
+		t.Fatalf("want quota kill, got out=%q err=%v", out, err)
+	}
+	if out != "" {
+		t.Fatalf("over-quota result must not be returned: %q", out)
+	}
+}
+
+// TestRowsOutQuotaUnderLimitPasses checks a result within quota is served.
+func TestRowsOutQuotaUnderLimitPasses(t *testing.T) {
+	e := newEngine(t)
+	ctx := budgetCtx(physical.BudgetLimits{MaxRowsOut: 10})
+	out, _, err := e.QueryContext(ctx, `doc("bib.xml")//book/title`)
+	if err != nil || out == "" {
+		t.Fatalf("within-quota query must serve: out=%q err=%v", out, err)
+	}
+}
+
+// TestExtentBytesQuotaAbortsNotDegrades checks the core cascade interaction:
+// a plan killed by the extent-byte quota must abort the query, never fall
+// back to the base scan (which would spend more resources, not fewer).
+func TestExtentBytesQuotaAbortsNotDegrades(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vtitles", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	ctx := budgetCtx(physical.BudgetLimits{MaxExtentBytes: 1})
+	out, rep, err := e.QueryContext(ctx, `doc("bib.xml")//book/title`)
+	if !errors.Is(err, physical.ErrQuotaExceeded) {
+		t.Fatalf("want quota kill, got out=%q err=%v", out, err)
+	}
+	for _, d := range rep.Degradations {
+		if strings.Contains(d.Err, "quota") {
+			t.Fatalf("quota kill must not enter the fallback cascade: %+v", rep.Degradations)
+		}
+	}
+}
+
+// TestTupleQuotaKillsPhysicalPlan checks the checkpoint-level work quota
+// kills a physically-executed plan mid-flight.
+func TestTupleQuotaKillsPhysicalPlan(t *testing.T) {
+	e := newEngine(t)
+	e.UsePhysical = true
+	if err := e.RegisterView("bib.xml", "vtitles", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	// Generous extent bytes, but a tuple budget of 1: the first checkpoint
+	// interval (64 tuples) overshoots it.
+	ctx := budgetCtx(physical.BudgetLimits{MaxTuples: 1})
+	_, _, err := e.QueryContext(ctx, `doc("bib.xml")//book/title`)
+	if !errors.Is(err, physical.ErrQuotaExceeded) {
+		t.Fatalf("want tuple-quota kill, got %v", err)
+	}
+}
+
+// TestNoBudgetUnlimited checks queries without a budget are unaffected.
+func TestNoBudgetUnlimited(t *testing.T) {
+	e := newEngine(t)
+	out, _, err := e.Query(`doc("bib.xml")//book/title`)
+	if err != nil || out == "" {
+		t.Fatalf("budget-free query must serve: out=%q err=%v", out, err)
+	}
+}
+
+// TestQueryLogOutcomes checks the query log classifies served, errored and
+// quota-killed queries with the admission wire names.
+func TestQueryLogOutcomes(t *testing.T) {
+	e := newEngine(t)
+
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(`doc("nope.xml")//x`); err == nil {
+		t.Fatal("unknown document must error")
+	}
+	ctx := budgetCtx(physical.BudgetLimits{MaxRowsOut: 1})
+	if _, _, err := e.QueryContext(ctx, `doc("bib.xml")//book/title`); err == nil {
+		t.Fatal("quota query must fail")
+	}
+
+	recent := e.QueryLog.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("want 3 records, got %d", len(recent))
+	}
+	// Recent is newest-first.
+	if recent[0].Outcome != "quota_killed" {
+		t.Fatalf("quota outcome: %q", recent[0].Outcome)
+	}
+	if recent[1].Outcome != "error" {
+		t.Fatalf("error outcome: %q", recent[1].Outcome)
+	}
+	if recent[2].Outcome != "served" {
+		t.Fatalf("served outcome: %q", recent[2].Outcome)
+	}
+}

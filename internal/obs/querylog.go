@@ -24,6 +24,10 @@ type QueryRecord struct {
 	Degraded    int              `json:"degraded"`
 	RowsOut     int64            `json:"rows_out"`
 	DurationNS  int64            `json:"duration_ns"`
+	// Outcome classifies how the query ended: "served", "error",
+	// "quota_killed", "deadline", "cancelled", or a "shed:*" reason for
+	// requests rejected by admission control before reaching the engine.
+	Outcome string `json:"outcome,omitempty"`
 	PhasesNS    map[string]int64 `json:"phases_ns,omitempty"`
 	Error       string           `json:"error,omitempty"`
 	Slow        bool             `json:"slow,omitempty"`

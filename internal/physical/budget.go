@@ -1,0 +1,120 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Per-query resource quotas ride the context as a *Budget: the admission
+// layer creates one per admitted query, the engine charges decoded-extent
+// bytes and output rows against it, and Checkpoint iterators charge the
+// tuples they pull — so a query that exceeds its envelope is killed at the
+// next cancellation checkpoint, exactly like a deadline, instead of running
+// to completion and being discarded.
+
+// ErrQuotaExceeded is wrapped by every quota-kill error; callers use
+// errors.Is to tell a quota kill from a plan failure (quota kills abort the
+// query, they never trigger the fallback cascade).
+var ErrQuotaExceeded = errors.New("physical: per-query quota exceeded")
+
+// BudgetLimits bounds one query's resource envelope. Zero means unlimited.
+type BudgetLimits struct {
+	// MaxRowsOut caps the rows serialized to the client (checked by the
+	// engine when the result is assembled).
+	MaxRowsOut int64
+	// MaxExtentBytes caps the estimated decoded bytes of the extents a
+	// query's plans touch (charged by the engine per referenced extent).
+	MaxExtentBytes int64
+	// MaxTuples caps the tuples pulled through cancellation checkpoints —
+	// a work bound on intermediate results, charged in checkpointInterval
+	// granules, so a plan with runaway intermediates dies mid-flight.
+	MaxTuples int64
+}
+
+// Budget tracks one query's consumption against its limits. All charge
+// methods are goroutine-safe and nil-receiver-safe (a nil budget admits
+// everything), so call sites need no guards. When a limit trips, the
+// budget's cancel-cause (if any) fires with the quota error: every
+// checkpoint in the plan sees the cancelled context, so the whole iterator
+// tree unwinds even where the violating operator never charges again.
+type Budget struct {
+	limits BudgetLimits
+	tuples atomic.Int64
+	bytes  atomic.Int64
+	cancel context.CancelCauseFunc
+}
+
+// NewBudget builds a budget over the limits; cancel may be nil (enforcement
+// then relies on the charging call sites alone).
+func NewBudget(limits BudgetLimits, cancel context.CancelCauseFunc) *Budget {
+	return &Budget{limits: limits, cancel: cancel}
+}
+
+// Limits returns the budget's configured limits.
+func (b *Budget) Limits() BudgetLimits {
+	if b == nil {
+		return BudgetLimits{}
+	}
+	return b.limits
+}
+
+// exceed builds the quota error and cancels the query's context with it.
+func (b *Budget) exceed(what string, used, limit int64) error {
+	err := fmt.Errorf("%w: %s %d over limit %d", ErrQuotaExceeded, what, used, limit)
+	if b.cancel != nil {
+		b.cancel(err)
+	}
+	return err
+}
+
+// ChargeTuples adds n pulled tuples; non-nil means the work quota tripped.
+func (b *Budget) ChargeTuples(n int64) error {
+	if b == nil || b.limits.MaxTuples <= 0 {
+		return nil
+	}
+	if used := b.tuples.Add(n); used > b.limits.MaxTuples {
+		return b.exceed("tuples", used, b.limits.MaxTuples)
+	}
+	return nil
+}
+
+// ChargeExtentBytes adds the estimated decoded size of one extent the query
+// references; non-nil means the memory quota tripped.
+func (b *Budget) ChargeExtentBytes(n int64) error {
+	if b == nil || b.limits.MaxExtentBytes <= 0 {
+		return nil
+	}
+	if used := b.bytes.Add(n); used > b.limits.MaxExtentBytes {
+		return b.exceed("extent bytes", used, b.limits.MaxExtentBytes)
+	}
+	return nil
+}
+
+// CheckRowsOut validates the final result cardinality against the rows-out
+// quota (absolute, not cumulative).
+func (b *Budget) CheckRowsOut(n int64) error {
+	if b == nil || b.limits.MaxRowsOut <= 0 {
+		return nil
+	}
+	if n > b.limits.MaxRowsOut {
+		return b.exceed("rows out", n, b.limits.MaxRowsOut)
+	}
+	return nil
+}
+
+// budgetKey is the context key Budget rides under.
+type budgetKey struct{}
+
+// WithBudget attaches the budget to the context; the engine and Checkpoint
+// iterators pick it up with BudgetFrom.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFrom returns the context's budget, or nil.
+func BudgetFrom(ctx context.Context) *Budget {
+	b, _ := ctx.Value(budgetKey{}).(*Budget)
+	return b
+}

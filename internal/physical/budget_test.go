@@ -1,0 +1,114 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xamdb/internal/algebra"
+)
+
+// budgetRel builds a flat single-attribute relation of n string tuples.
+func budgetRel(n int) *algebra.Relation {
+	rel := algebra.NewRelation(algebra.NewSchema("a"))
+	for i := 0; i < n; i++ {
+		rel.Add(algebra.Tuple{algebra.S("x")})
+	}
+	return rel
+}
+
+// TestBudgetNilSafe checks that a nil budget admits everything, so call
+// sites need no guards.
+func TestBudgetNilSafe(t *testing.T) {
+	var b *Budget
+	if err := b.ChargeTuples(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ChargeExtentBytes(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckRowsOut(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBudgetLimits exercises each quota dimension independently.
+func TestBudgetLimits(t *testing.T) {
+	b := NewBudget(BudgetLimits{MaxRowsOut: 10, MaxExtentBytes: 100, MaxTuples: 5}, nil)
+	if err := b.CheckRowsOut(10); err != nil {
+		t.Fatalf("rows at limit must pass: %v", err)
+	}
+	if err := b.CheckRowsOut(11); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("rows over limit: got %v", err)
+	}
+	if err := b.ChargeExtentBytes(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ChargeExtentBytes(60); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("cumulative bytes over limit: got %v", err)
+	}
+	if err := b.ChargeTuples(6); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("tuples over limit: got %v", err)
+	}
+}
+
+// TestBudgetCancelsContext checks that tripping any quota cancels the
+// query's context with the quota error as cause, so every checkpoint in the
+// plan sees the kill.
+func TestBudgetCancelsContext(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	b := NewBudget(BudgetLimits{MaxExtentBytes: 1}, cancel)
+	err := b.ChargeExtentBytes(2)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("got %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context must be cancelled after a quota trip")
+	}
+	if !errors.Is(context.Cause(ctx), ErrQuotaExceeded) {
+		t.Fatalf("cause must carry the quota error, got %v", context.Cause(ctx))
+	}
+}
+
+// TestCheckpointEnforcesTupleQuota drains a plan whose tuple quota is far
+// below its cardinality and checks the drain dies with the quota error
+// instead of materializing everything.
+func TestCheckpointEnforcesTupleQuota(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	b := NewBudget(BudgetLimits{MaxTuples: 100}, cancel)
+	ctx = WithBudget(ctx, b)
+
+	it := NewCheckpoint(ctx, NewScan(budgetRel(100000), nil))
+	rel, err := DrainContext(ctx, it)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("drain must die on the tuple quota, got rel=%v err=%v", rel, err)
+	}
+}
+
+// TestCheckpointNoBudgetUnlimited checks plans without a budget drain fully.
+func TestCheckpointNoBudgetUnlimited(t *testing.T) {
+	ctx := context.Background()
+	it := NewCheckpoint(ctx, NewScan(budgetRel(1000), nil))
+	rel, err := DrainContext(ctx, it)
+	if err != nil || rel.Len() != 1000 {
+		t.Fatalf("got len=%d err=%v", rel.Len(), err)
+	}
+}
+
+// TestEstimatedBytesStable checks the estimate is positive, cached, and
+// grows with cardinality.
+func TestEstimatedBytesStable(t *testing.T) {
+	small, big := budgetRel(10), budgetRel(1000)
+	s1 := small.EstimatedBytes()
+	if s1 <= 0 {
+		t.Fatalf("estimate must be positive, got %d", s1)
+	}
+	if s2 := small.EstimatedBytes(); s2 != s1 {
+		t.Fatalf("estimate must be stable: %d then %d", s1, s2)
+	}
+	if big.EstimatedBytes() <= s1 {
+		t.Fatalf("bigger relation must estimate bigger: %d vs %d", big.EstimatedBytes(), s1)
+	}
+}

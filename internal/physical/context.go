@@ -27,17 +27,20 @@ func (c *Cancelled) Error() string { return "physical: cancelled: " + c.Err.Erro
 
 // Checkpoint wraps an iterator with periodic context checks (a cancellation
 // checkpoint). The first Next call always checks, so an already-expired
-// context aborts before any work.
+// context aborts before any work. When the context carries a *Budget, each
+// poll also charges the interval's tuples against the work quota, so quota
+// kills unwind through the same panic protocol as deadlines.
 type Checkpoint struct {
-	in    Iterator
-	ctx   context.Context
-	n     int
-	polls int
+	in     Iterator
+	ctx    context.Context
+	budget *Budget
+	n      int
+	polls  int
 }
 
 // NewCheckpoint builds a cancellation checkpoint over in.
 func NewCheckpoint(ctx context.Context, in Iterator) *Checkpoint {
-	return &Checkpoint{in: in, ctx: ctx}
+	return &Checkpoint{in: in, ctx: ctx, budget: BudgetFrom(ctx)}
 }
 
 // Schema implements Iterator.
@@ -56,6 +59,13 @@ func (c *Checkpoint) Next() (algebra.Tuple, bool) {
 		c.polls++
 		if err := c.ctx.Err(); err != nil {
 			//xamlint:allow nopanic(cancellation protocol: typed panic unwinds the iterator tree and is recovered by DrainContext)
+			panic(&Cancelled{Err: err})
+		}
+		// Tuple quota is charged one interval at a time: granular enough to
+		// kill runaway plans within 64 tuples, cheap enough to sit on the
+		// per-tuple path.
+		if err := c.budget.ChargeTuples(checkpointInterval); err != nil {
+			//xamlint:allow nopanic(cancellation protocol: quota kill unwinds like a deadline and is recovered by DrainContext)
 			panic(&Cancelled{Err: err})
 		}
 	}

@@ -1,9 +1,10 @@
-// Package serve is the engine's live monitoring surface: an HTTP server
-// exposing Prometheus metrics, the structured query log, catalog and
-// plan-cache introspection, health probes and pprof over a running
-// engine, so a long-lived process can be scraped, alerted on and profiled
-// under load (CLI: uload -serve). See DESIGN.md "Serving & monitoring"
-// for the endpoint table and response schemas.
+// Package serve is the engine's HTTP front end: the production query path
+// (POST /query, admission-controlled) plus the live monitoring surface —
+// Prometheus metrics, the structured query log, catalog and plan-cache
+// introspection, admission statistics, health probes and pprof over a
+// running engine, so a long-lived process can be queried, scraped, alerted
+// on and profiled under load (CLI: uload -serve). See DESIGN.md "Serving &
+// monitoring" for the endpoint table and response schemas.
 package serve
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strconv"
 	"time"
 
+	"xamdb/internal/admission"
 	"xamdb/internal/engine"
 	"xamdb/internal/obs"
 )
@@ -24,34 +26,86 @@ import (
 // (e.g. a running pprof profile) after its context is cancelled.
 const ShutdownTimeout = 5 * time.Second
 
-// Server exposes one engine's observability over HTTP. Create with New,
-// bind with Listen, then run Serve until the context is cancelled.
+// MaxQueryBodyBytes caps the POST /query request body; larger bodies are
+// rejected with 413 before any parsing.
+const MaxQueryBodyBytes = 1 << 20
+
+// maxLogParam caps the ?n / ?k query-log view sizes, so a hostile or
+// fat-fingered parameter cannot make one scrape copy the entire retained
+// window many times over.
+const maxLogParam = 1000
+
+// Embedded http.Server hardening: slowloris-resistant header/body reads, a
+// write ceiling generous enough for 30s pprof profiles and max-deadline
+// queries, bounded idle keep-alives and header size.
+const (
+	readHeaderTimeout = 10 * time.Second
+	readTimeout       = 30 * time.Second
+	idleTimeout       = 2 * time.Minute
+	minWriteTimeout   = 2 * time.Minute
+	maxHeaderBytes    = 1 << 20
+)
+
+// Server exposes one engine's query path and observability over HTTP.
+// Create with New (monitoring only) or NewWithQuery (adds the
+// admission-controlled POST /query path), bind with Listen, then run Serve
+// until the context is cancelled.
 type Server struct {
 	e    *engine.Engine
+	ctrl *admission.Controller
 	http *http.Server
 	ln   net.Listener
 }
 
-// New builds a server over the engine. The handler is safe for concurrent
-// use alongside live queries and view registrations: every endpoint reads
-// copy-on-write snapshots or goroutine-safe registries.
+// New builds a monitoring-only server over the engine (no /query path).
+// The handler is safe for concurrent use alongside live queries and view
+// registrations: every endpoint reads copy-on-write snapshots or
+// goroutine-safe registries.
 func New(e *engine.Engine) *Server {
-	s := &Server{e: e}
-	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return NewWithQuery(e, nil)
+}
+
+// NewWithQuery builds a server with the production query path: POST /query
+// runs engine queries through the admission controller (bounded worker
+// pool, FIFO queue, per-query deadlines and quotas, overload shedding),
+// and /debug/admission exposes its accounting. A nil controller serves
+// monitoring only, with /query answering 503.
+func NewWithQuery(e *engine.Engine, ctrl *admission.Controller) *Server {
+	s := &Server{e: e, ctrl: ctrl}
+	wt := minWriteTimeout
+	if ctrl != nil {
+		// The write timeout must outlast the longest admitted query: queue
+		// wait + clamped deadline + serialization slack.
+		if d := ctrl.Config().MaxDeadline + ctrl.Config().QueueTimeout + 30*time.Second; d > wt {
+			wt = d
+		}
+	}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      wt,
+		IdleTimeout:       idleTimeout,
+		MaxHeaderBytes:    maxHeaderBytes,
+	}
 	return s
 }
 
-// Handler returns the monitoring mux:
+// Handler returns the serving mux:
 //
+//	/query            POST: admission-controlled query execution (JSON)
 //	/metrics          Prometheus text exposition (engine registry)
 //	/debug/queries    query log: recent, slow, top-K by latency, error tail
 //	/debug/catalog    documents, views, extent states, planning epochs
 //	/debug/plancache  rewriting-cache occupancy and hit/miss totals
+//	/debug/admission  admission-control accounting and configuration
 //	/healthz          liveness (always 200)
 //	/readyz           readiness (200 once a document is registered)
 //	/debug/pprof/...  net/http/pprof profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/debug/admission", s.handleAdmission)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleQueries)
 	mux.HandleFunc("/debug/catalog", s.handleCatalog)
@@ -89,8 +143,13 @@ func (s *Server) Addr() string {
 }
 
 // Serve accepts connections on the bound listener until ctx is cancelled,
-// then shuts down gracefully — in-flight scrapes drain within
-// ShutdownTimeout. Returns nil on a clean context-driven shutdown.
+// then shuts down gracefully: the admission controller drains first —
+// while the listener still accepts, so new /query requests get an explicit
+// 503 instead of a connection refusal — finishing in-flight queries within
+// the controller's drain deadline; then the HTTP server itself shuts down
+// and in-flight scrapes finish within ShutdownTimeout. Returns nil on a
+// clean context-driven shutdown (a forced query kill at the drain deadline
+// surfaces as an error, but shutdown still completes).
 func (s *Server) Serve(ctx context.Context) error {
 	if s.ln == nil {
 		return fmt.Errorf("serve: Serve called before Listen")
@@ -99,12 +158,19 @@ func (s *Server) Serve(ctx context.Context) error {
 	go func() { errc <- s.http.Serve(s.ln) }()
 	select {
 	case <-ctx.Done():
+		var drainErr error
+		if s.ctrl != nil {
+			drainErr = s.ctrl.Drain(s.ctrl.Config().DrainTimeout)
+		}
 		shCtx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
 		defer cancel()
 		err := s.http.Shutdown(shCtx)
 		<-errc // http.Serve has returned ErrServerClosed
 		if err != nil {
 			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		if drainErr != nil {
+			return fmt.Errorf("serve: drain: %w", drainErr)
 		}
 		return nil
 	case err := <-errc:
@@ -208,15 +274,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // queryInt parses an integer query parameter, falling back to def when
-// absent or malformed.
+// absent or malformed and clamping to [1, maxLogParam] — a hostile ?n can
+// neither dump unbounded views (n ≤ 0 means "all" in the log API) nor
+// request absurd copies.
 func queryInt(r *http.Request, name string, def int) int {
 	v := r.URL.Query().Get(name)
-	if v == "" {
-		return def
-	}
 	n, err := strconv.Atoi(v)
-	if err != nil {
-		return def
+	if v == "" || err != nil {
+		n = def
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxLogParam {
+		n = maxLogParam
 	}
 	return n
 }
