@@ -5,13 +5,19 @@
 //	go run ./cmd/xamlint ./...                # whole module (CI gate)
 //	go run ./cmd/xamlint ./internal/storage   # one package
 //	go run ./cmd/xamlint -run errwrap ./...   # one analyzer
+//	go run ./cmd/xamlint -json ./...          # machine-readable findings
+//	go run ./cmd/xamlint -allows ./...        # audit every allow directive
 //	go run ./cmd/xamlint -list                # describe the suite
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
-// Suppressions require a reason: //xamlint:allow name(reason).
+// Suppressions require a reason: //xamlint:allow name(reason). The -allows
+// audit lists every directive in the tree with its file, line and reason,
+// and exits 1 if any directive is missing a reason — a suppression whose
+// justification has rotted away is a finding in its own right.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,14 +27,33 @@ import (
 	"xamdb/internal/lint/analysis"
 )
 
+// finding is the JSON shape of one diagnostic (-json mode).
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// allowEntry is the JSON shape of one allow directive (-allows -json).
+type allowEntry struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	allows := flag.Bool("allows", false, "audit allow directives instead of running analyzers; exit 1 on reasonless directives")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -84,7 +109,12 @@ func main() {
 		}
 	}
 
+	if *allows {
+		os.Exit(auditAllows(loader, dirs, *jsonOut))
+	}
+
 	bad := 0
+	report := []finding{}
 	for _, dir := range dirs {
 		path, err := loader.PathForDir(dir)
 		if err != nil {
@@ -100,13 +130,75 @@ func main() {
 		}
 		for _, d := range diags {
 			pos := loader.Fset.Position(d.Pos)
-			fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+			if *jsonOut {
+				report = append(report, finding{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				})
+			} else {
+				fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+			}
 		}
 		bad += len(diags)
+	}
+	if *jsonOut {
+		emitJSON(report)
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "xamlint: %d finding(s)\n", bad)
 		os.Exit(1)
+	}
+}
+
+// auditAllows lists every //xamlint:allow directive under dirs and returns
+// the process exit code: 1 if any directive lacks a reason, else 0.
+func auditAllows(loader *analysis.Loader, dirs []string, jsonOut bool) int {
+	entries := []allowEntry{}
+	reasonless := 0
+	for _, dir := range dirs {
+		path, err := loader.PathForDir(dir)
+		if err != nil {
+			fail(err)
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		for _, f := range pkg.Files {
+			for _, a := range analysis.Allows(loader.Fset, f) {
+				entries = append(entries, allowEntry{
+					File: a.Pos.Filename, Line: a.Pos.Line,
+					Analyzers: a.Analyzers, Reason: a.Reason,
+				})
+				if a.Reason == "" {
+					reasonless++
+				}
+			}
+		}
+	}
+	if jsonOut {
+		emitJSON(entries)
+	} else {
+		for _, e := range entries {
+			reason := e.Reason
+			if reason == "" {
+				reason = "<MISSING REASON>"
+			}
+			fmt.Printf("%s:%d: allow %s: %s\n", e.File, e.Line, strings.Join(e.Analyzers, ","), reason)
+		}
+		fmt.Fprintf(os.Stderr, "xamlint: %d allow directive(s), %d without a reason\n", len(entries), reasonless)
+	}
+	if reasonless > 0 {
+		return 1
+	}
+	return 0
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
 	}
 }
 

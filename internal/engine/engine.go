@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"xamdb/internal/algebra"
+	"xamdb/internal/faultinject"
 	"xamdb/internal/obs"
 	"xamdb/internal/physical"
 	"xamdb/internal/rewrite"
@@ -276,6 +277,9 @@ func (e *Engine) m() *engineMetrics {
 		return ms
 	}
 	ms := newEngineMetrics(reg)
+	// Racing rebuilds converge: every store for the same registry carries
+	// equivalent handles, and registry swaps are a pre-serving config step.
+	//xamlint:allow snapshot(idempotent rebuild; racing stores publish equivalent handle sets for the same registry)
 	e.ms.Store(ms)
 	return ms
 }
@@ -487,12 +491,20 @@ func (e *Engine) DropView(doc, name string) error {
 	return nil
 }
 
+// SiteRewrite is the fault-injection site consulted before the rewriting
+// search; arming it models planner failures (including quota kills that
+// must abort the query rather than degrade it).
+const SiteRewrite = "engine.rewrite"
+
 // compileRewritings returns the pattern's rewritings over the snapshot's
 // views, consulting the plan cache first: on a hit the containment search
 // is skipped entirely. tr may be nil (Explain records no trace); cache
 // outcomes are tallied both in the engine counters and on the report, so
 // the query log can record per-query hit/miss figures.
 func (e *Engine) compileRewritings(pe *planEnv, pat *xam.Pattern, report *Report, tr *obs.Trace, pspan *obs.Span) ([]*rewrite.Rewriting, error) {
+	if err := faultinject.Check(SiteRewrite); err != nil {
+		return nil, err
+	}
 	m := e.m()
 	cache := pe.cache
 	if cache != nil && e.Options.DisablePlanCache {
@@ -770,6 +782,9 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 	if len(pe.views) > 0 {
 		plans, err := e.compileRewritings(pe, pat, report, tr, pspan)
 		if err != nil {
+			if abortErr(err) {
+				return nil, "", nil, err
+			}
 			degrade("(rewriting search)", err)
 		}
 		for _, plan := range plans {

@@ -3,12 +3,14 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"xamdb/internal/algebra"
 	"xamdb/internal/faultinject"
+	"xamdb/internal/physical"
 	"xamdb/internal/rewrite"
 	"xamdb/internal/storage"
 )
@@ -256,4 +258,41 @@ func TestRegisterStoreDuplicateRejected(t *testing.T) {
 	if got := viewCountForTest(t, e, "bib.xml"); got != before {
 		t.Fatalf("rejected store must register nothing: %d views, want %d", got, before)
 	}
+}
+
+// TestQuotaKillAbortsNotDegrades: a quota-exceeded error out of the
+// rewriting search must abort the query, never enter the fallback cascade
+// — degrading would spend more of a budget that is already exhausted
+// (budgetcharge rule 2 regression). A generic planner failure at the same
+// site still degrades to the base scan.
+func TestQuotaKillAbortsNotDegrades(t *testing.T) {
+	t.Run("quota error aborts", func(t *testing.T) {
+		e := newEngine(t)
+		if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Arm(SiteRewrite, faultinject.Fault{
+			Err: fmt.Errorf("rewriting search: %w", physical.ErrQuotaExceeded),
+		})
+		t.Cleanup(faultinject.Reset)
+		_, rep, err := e.Query(`doc("bib.xml")//book/title`)
+		if !errors.Is(err, physical.ErrQuotaExceeded) {
+			t.Fatalf("quota-killed query must abort with ErrQuotaExceeded, got err=%v rep=%v", err, rep)
+		}
+	})
+	t.Run("generic planner failure degrades", func(t *testing.T) {
+		e := newEngine(t)
+		if err := e.RegisterView("bib.xml", "vt", `// book(/ title{cont})`); err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Arm(SiteRewrite, faultinject.Fault{Err: errors.New("planner exploded")})
+		t.Cleanup(faultinject.Reset)
+		got, rep, err := e.Query(`doc("bib.xml")//book/title`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != titlesXML || !rep.Degraded() {
+			t.Fatalf("generic planner failure must degrade to the base scan: got %q, report %s", got, rep)
+		}
+	})
 }

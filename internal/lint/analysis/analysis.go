@@ -79,8 +79,31 @@ var directiveRe = regexp.MustCompile(`^\s*xamlint:allow\s+([a-z][a-z0-9_,\s]*?)\
 type directive struct {
 	line      int
 	analyzers []string
+	reason    string
 	hasReason bool
 	pos       token.Pos
+}
+
+// Allow is one xamlint:allow directive, exported for audit tooling
+// (cmd/xamlint -allows).
+type Allow struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string // empty for malformed (reasonless) directives
+}
+
+// Allows returns every xamlint:allow directive in a parsed file, with
+// position and reason, whether well-formed or not.
+func Allows(fset *token.FileSet, f *ast.File) []Allow {
+	var out []Allow
+	for _, d := range collectDirectives(fset, f) {
+		out = append(out, Allow{
+			Pos:       fset.Position(d.pos),
+			Analyzers: d.analyzers,
+			Reason:    d.reason,
+		})
+	}
+	return out
 }
 
 // collectDirectives scans a file's comments for xamlint:allow directives.
@@ -101,10 +124,12 @@ func collectDirectives(fset *token.FileSet, f *ast.File) []directive {
 					names = append(names, n)
 				}
 			}
+			reason := strings.TrimSpace(m[3])
 			out = append(out, directive{
 				line:      fset.Position(c.Pos()).Line,
 				analyzers: names,
-				hasReason: strings.TrimSpace(m[3]) != "",
+				reason:    reason,
+				hasReason: reason != "",
 				pos:       c.Pos(),
 			})
 		}

@@ -1,0 +1,478 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file grows the per-file AST walkers of the original suite into a
+// small intraprocedural dataflow layer: BuildCFG decomposes one function
+// body into basic blocks of atomic nodes (simple statements and the
+// condition expressions of if/for/switch), and flow.go runs a generic
+// forward may/must analysis over the result. The concurrency- and
+// protocol-shaped analyzers (lockorder, snapshot, budgetcharge,
+// httpstatus) are clients.
+
+// CFG is the control-flow graph of one function body. Blocks hold only
+// atomic nodes — simple statements and branch-condition expressions —
+// never compound statements, so a dataflow transfer function can treat
+// each node as a single program point. Every function exit (return,
+// terminal panic, falling off the end) has an edge to the synthetic Exit
+// block, which holds no nodes.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // all blocks, Entry first, Exit last
+
+	// Defers lists every defer statement of the body in source order
+	// (including defers inside loops or branches). Deferred calls run at
+	// function exit; clients that model them (e.g. lockorder's
+	// balanced-unlock check) consult this list rather than the blocks.
+	Defers []*ast.DeferStmt
+
+	// NonBlocking marks channel-operation nodes that cannot block: the
+	// communication clauses of a select that has a default case.
+	NonBlocking map[ast.Node]bool
+}
+
+// Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// loopCtx is the break/continue target pair of one enclosing loop,
+// switch or select (continueTo is nil for switch/select).
+type loopCtx struct {
+	breakTo    *Block
+	continueTo *Block
+	label      string
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	cur   *Block // nil while the current point is unreachable
+	loops []*loopCtx
+
+	// pending label context: set by a LabeledStmt so the construct it
+	// labels registers itself as that label's break/continue target.
+	pendingLabel string
+
+	labels map[string]*Block // label name -> entry block (goto target)
+	gotos  map[string][]*Block
+}
+
+// BuildCFG builds the control-flow graph of one function body. The body
+// of a nested function literal is NOT expanded into the enclosing graph —
+// literals run on their own schedule and get their own CFG; a FuncLit
+// appearing inside a node is just part of that node's expression (the
+// Inspect helper skips literal bodies for exactly this reason).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{NonBlocking: map[ast.Node]bool{}},
+		labels: map[string]*Block{},
+		gotos:  map[string][]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = &Block{}
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	for name, srcs := range b.gotos {
+		if dst, ok := b.labels[name]; ok {
+			for _, src := range srcs {
+				b.edge(src, dst)
+			}
+		}
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends an atomic node to the current block, starting a fresh
+// (unreachable, pred-less) block when the current point is dead — so the
+// nodes of unreachable code still exist in the graph, but no dataflow
+// fact ever reaches them.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// pushLoop registers break/continue targets, consuming the pending label.
+func (b *cfgBuilder) pushLoop(breakTo, continueTo *Block) {
+	b.loops = append(b.loops, &loopCtx{breakTo: breakTo, continueTo: continueTo, label: b.pendingLabel})
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if label == "" || b.loops[i].label == label {
+			return b.loops[i].breakTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) continueTarget(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].continueTo != nil && (label == "" || b.loops[i].label == label) {
+			return b.loops[i].continueTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is both a goto target and (if it labels a loop or
+		// switch) a break/continue name. Start a fresh block so the goto
+		// edge has a clean entry point.
+		entry := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, entry)
+		}
+		b.cur = entry
+		b.labels[s.Label.Name] = entry
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		} else {
+			elseEnd = cond
+		}
+		after := b.newBlock()
+		if thenEnd != nil {
+			b.edge(thenEnd, after)
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		condEnd := b.cur // cond may grow the head block; keep its end
+		body := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.edge(condEnd, body)
+		if s.Cond != nil {
+			b.edge(condEnd, after)
+		}
+		b.pushLoop(after, post)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.popLoop()
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		// The RangeStmt itself is the head node (range expression plus
+		// per-iteration key/value binding); Inspect visits only its
+		// header parts, never the body, which is decomposed below.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		b.pushLoop(after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := b.newBlock()
+			b.edge(head, branch)
+			b.cur = branch
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+				if hasDefault {
+					b.cfg.NonBlocking[cc.Comm] = true
+				}
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if t := b.breakTarget(label); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case "continue":
+			if t := b.continueTarget(label); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case "goto":
+			if b.cur != nil {
+				b.gotos[label] = append(b.gotos[label], b.cur)
+			}
+			b.cur = nil
+		case "fallthrough":
+			// Handled by switchClauses via the fallthrough edge; the
+			// statement itself carries no dataflow content.
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, IncDecStmt, DeclStmt, SendStmt, GoStmt, ...
+		b.add(s)
+	}
+}
+
+// switchClauses builds the branch structure shared by expression and type
+// switches, including fallthrough edges between consecutive case bodies.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, _ *Block) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.pushLoop(after, nil)
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	ends := make([]*Block, len(clauses))
+	falls := make([]bool, len(clauses))
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		branch := b.newBlock()
+		bodies[i] = branch
+		b.edge(head, branch)
+		b.cur = branch
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				falls[i] = true
+			}
+			b.stmt(st)
+		}
+		ends[i] = b.cur
+		if b.cur != nil && !falls[i] {
+			b.edge(b.cur, after)
+		}
+	}
+	for i := range clauses {
+		if falls[i] && ends[i] != nil && i+1 < len(bodies) {
+			b.edge(ends[i], bodies[i+1])
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+// isTerminalCall reports whether e is a call that never returns — a bare
+// panic, or os.Exit-style terminators recognized by name.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fn.Sel.Name == "Exit") ||
+				(pkg.Name == "runtime" && fn.Sel.Name == "Goexit")
+		}
+	}
+	return false
+}
+
+// Inspect walks the expressions of one CFG node, skipping the bodies of
+// nested function literals (they execute on their own schedule and have
+// their own CFG) and, for a RangeStmt head node, visiting only the header
+// parts (key, value, range expression) — the loop body is decomposed into
+// its own blocks.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if r.Key != nil {
+			Inspect(r.Key, fn)
+		}
+		if r.Value != nil {
+			Inspect(r.Value, fn)
+		}
+		Inspect(r.X, fn)
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// FuncInfo identifies one analyzable function body: a declaration or a
+// function literal.
+type FuncInfo struct {
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Body *ast.BlockStmt
+}
+
+// Name returns a best-effort display name for diagnostics.
+func (fi *FuncInfo) Name() string {
+	if fi.Decl != nil {
+		return fi.Decl.Name.Name
+	}
+	return "func literal"
+}
+
+// Functions yields every function body of a file — declarations and
+// (nested) function literals — so flow-based analyzers can build one CFG
+// per body.
+func Functions(f *ast.File, visit func(*FuncInfo)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(&FuncInfo{Decl: n, Body: n.Body})
+			}
+		case *ast.FuncLit:
+			visit(&FuncInfo{Lit: n, Body: n.Body})
+		}
+		return true
+	})
+}

@@ -1,0 +1,362 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses `body` as the body of func f and returns its CFG.
+func parseFunc(t *testing.T, body string) (*CFG, *ast.File) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return BuildCFG(fd.Body), f
+}
+
+// reachable returns the blocks reachable from Entry.
+func reachable(cfg *CFG) map[*Block]bool {
+	seen := map[*Block]bool{cfg.Entry: true}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg, _ := parseFunc(t, "x := 1\ny := 2\n_ = x\n_ = y")
+	if len(cfg.Entry.Nodes) != 4 {
+		t.Fatalf("entry nodes = %d, want 4", len(cfg.Entry.Nodes))
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Fatalf("entry should flow straight to exit")
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	x := 0
+	if x > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	_ = x`)
+	// Exit must be reachable, and the after-if block must have two preds.
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatalf("exit unreachable")
+	}
+	var after *Block
+	for _, b := range cfg.Blocks {
+		if len(b.Preds) == 2 && b != cfg.Exit {
+			after = b
+		}
+	}
+	if after == nil {
+		t.Fatalf("no join block with two preds")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	x := 0
+	if x > 0 {
+		return
+	}
+	x = 2
+	_ = x`)
+	// Both the return path and the fallthrough path reach Exit.
+	if got := len(cfg.Exit.Preds); got != 2 {
+		t.Fatalf("exit preds = %d, want 2 (return + fallthrough)", got)
+	}
+}
+
+func TestCFGReturnMakesCodeUnreachable(t *testing.T) {
+	cfg, _ := parseFunc(t, "return\nx := 1\n_ = x")
+	r := reachable(cfg)
+	// The trailing statements live in a block no dataflow fact reaches.
+	var dead bool
+	for _, b := range cfg.Blocks {
+		if len(b.Nodes) > 0 && !r[b] {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Fatalf("expected an unreachable block holding the dead code")
+	}
+}
+
+func TestCFGPanicIsTerminal(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	x := 0
+	if x > 0 {
+		panic("boom")
+	}
+	_ = x`)
+	// The panic block must edge to Exit and not into the after-if block.
+	var panicBlk *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isTerminalCall(es.X) {
+				panicBlk = b
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatalf("panic node not found")
+	}
+	if len(panicBlk.Succs) != 1 || panicBlk.Succs[0] != cfg.Exit {
+		t.Fatalf("panic block should flow only to exit, got %d succs", len(panicBlk.Succs))
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			break
+		}
+		if i == 3 {
+			continue
+		}
+		_ = i
+	}
+	done := true
+	_ = done`)
+	r := reachable(cfg)
+	if !r[cfg.Exit] {
+		t.Fatalf("exit unreachable through loop")
+	}
+	// The loop head must be part of a cycle: some reachable block has a
+	// back edge to an earlier block.
+	var back bool
+	for _, b := range cfg.Blocks {
+		if !r[b] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("no back edge found for loop")
+	}
+}
+
+func TestCFGRangeHeadNode(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	xs := []int{1, 2}
+	for _, v := range xs {
+		_ = v
+	}`)
+	var head *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("range head node missing")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head succs = %d, want 2 (body + after)", len(head.Succs))
+	}
+	// Inspect on the head node must not descend into the body.
+	rs := head.Nodes[len(head.Nodes)-1]
+	Inspect(rs, func(n ast.Node) bool {
+		if _, ok := n.(*ast.BlockStmt); ok {
+			t.Fatalf("Inspect descended into range body")
+		}
+		return true
+	})
+}
+
+func TestCFGSwitchFallthroughAndDefault(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	default:
+		x = 30
+	}
+	_ = x`)
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatalf("exit unreachable")
+	}
+	// With a default present, the switch head must NOT edge straight to
+	// the after block: every path goes through a case.
+	// Count: find block holding the tag expr; its succ count should be 3.
+	var head *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if id, ok := n.(ast.Expr); ok {
+				_ = id
+			}
+		}
+		if len(b.Succs) == 3 {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("switch head with 3 branch succs not found")
+	}
+}
+
+func TestCFGSelectDefaultNonBlocking(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	}`)
+	var marked, unmarked int
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				if cfg.NonBlocking[n] {
+					marked++
+				}
+			}
+		}
+	}
+	for n := range cfg.NonBlocking {
+		_ = n
+		unmarked++
+	}
+	if unmarked != 1 {
+		t.Fatalf("NonBlocking size = %d, want exactly the one default-select comm", unmarked)
+	}
+	if marked != 1 {
+		t.Fatalf("the default-select comm clause should be marked non-blocking")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	mu := 0
+	defer func() { _ = mu }()
+	for i := 0; i < 3; i++ {
+		defer func() { _ = i }()
+	}`)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	_ = i`)
+	r := reachable(cfg)
+	if !r[cfg.Exit] {
+		t.Fatalf("exit unreachable")
+	}
+	var back bool
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("goto produced no back edge")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				break outer
+			}
+		}
+	}
+	x := 1
+	_ = x`)
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatalf("exit unreachable with labeled break")
+	}
+}
+
+func TestInspectSkipsFuncLit(t *testing.T) {
+	_, f := parseFunc(t, `
+	g := func() { inner() }
+	_ = g`)
+	fd := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	var sawInner bool
+	Inspect(fd.Body.List[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "inner" {
+			sawInner = true
+		}
+		return true
+	})
+	if sawInner {
+		t.Fatalf("Inspect descended into function literal body")
+	}
+}
+
+func TestFunctionsYieldsDeclsAndLits(t *testing.T) {
+	src := `package p
+
+func a() {}
+
+func b() {
+	c := func() {
+		d := func() {}
+		_ = d
+	}
+	_ = c
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decls, lits int
+	Functions(f, func(fi *FuncInfo) {
+		if fi.Decl != nil {
+			decls++
+		}
+		if fi.Lit != nil {
+			lits++
+		}
+	})
+	if decls != 2 || lits != 2 {
+		t.Fatalf("decls=%d lits=%d, want 2 and 2", decls, lits)
+	}
+}

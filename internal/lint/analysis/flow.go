@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Flow is a generic forward dataflow analysis over a CFG, iterated to
+// fixpoint with a worklist. The client supplies the lattice through three
+// functions:
+//
+//   - Transfer computes the fact after a node from the fact before it.
+//     Facts must be treated as immutable — return a copy when changing.
+//   - Join merges facts where control flow merges. Union joins give a
+//     MAY analysis ("holds on some path"), intersection joins a MUST
+//     analysis ("holds on every path").
+//   - Equal detects the fixpoint.
+//
+// Only blocks reachable from Entry are analyzed; unreachable code gets no
+// facts and is skipped by Before.
+type Flow[T any] struct {
+	CFG      *CFG
+	Entry    T // fact at function entry
+	Transfer func(fact T, n ast.Node) T
+	Join     func(a, b T) T
+	Equal    func(a, b T) bool
+}
+
+// Run iterates to fixpoint and returns the fact at the entry of every
+// reachable block. The fact at CFG.Exit's entry is the merged
+// end-of-function fact.
+func (f *Flow[T]) Run() map[*Block]T {
+	in := map[*Block]T{f.CFG.Entry: f.Entry}
+	seen := map[*Block]bool{f.CFG.Entry: true}
+	work := []*Block{f.CFG.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		fact := in[blk]
+		for _, n := range blk.Nodes {
+			fact = f.Transfer(fact, n)
+		}
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				in[s] = fact
+				work = append(work, s)
+				continue
+			}
+			merged := f.Join(in[s], fact)
+			if !f.Equal(merged, in[s]) {
+				in[s] = merged
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// Before replays the transfer function through every reachable block of a
+// finished Run, calling visit with the fact in force immediately before
+// each node — the hook analyzers use to check a node against the dataflow
+// state reaching it.
+func (f *Flow[T]) Before(in map[*Block]T, visit func(fact T, n ast.Node)) {
+	for _, blk := range f.CFG.Blocks {
+		fact, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			visit(fact, n)
+			fact = f.Transfer(fact, n)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// assignFlow builds a gen-only analysis over simple assignments: the fact
+// is the set of identifier names assigned so far. union=true gives a MAY
+// analysis, union=false a MUST analysis.
+func assignFlow(cfg *CFG, union bool) *Flow[map[string]bool] {
+	return &Flow[map[string]bool]{
+		CFG:   cfg,
+		Entry: map[string]bool{},
+		Transfer: func(fact map[string]bool, n ast.Node) map[string]bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return fact
+			}
+			out := make(map[string]bool, len(fact)+1)
+			for k := range fact {
+				out[k] = true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					out[id.Name] = true
+				}
+			}
+			return out
+		},
+		Join: func(a, b map[string]bool) map[string]bool {
+			out := map[string]bool{}
+			if union {
+				for k := range a {
+					out[k] = true
+				}
+				for k := range b {
+					out[k] = true
+				}
+				return out
+			}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+func atExit(t *testing.T, body string, union bool) map[string]bool {
+	t.Helper()
+	cfg, _ := parseFunc(t, body)
+	f := assignFlow(cfg, union)
+	in := f.Run()
+	return in[cfg.Exit]
+}
+
+func TestFlowMayVsMustAcrossBranch(t *testing.T) {
+	body := `
+	c := true
+	if c {
+		a := 1
+		_ = a
+	} else {
+		b := 2
+		_ = b
+	}`
+	may := atExit(t, body, true)
+	if !may["a"] || !may["b"] {
+		t.Fatalf("may analysis should see both branch assignments, got %v", may)
+	}
+	must := atExit(t, body, false)
+	if must["a"] || must["b"] {
+		t.Fatalf("must analysis should drop branch-only assignments, got %v", must)
+	}
+	if !must["c"] {
+		t.Fatalf("must analysis should keep the dominating assignment, got %v", must)
+	}
+}
+
+func TestFlowMustThroughBothBranches(t *testing.T) {
+	must := atExit(t, `
+	c := true
+	if c {
+		x := 1
+		_ = x
+	} else {
+		x := 2
+		_ = x
+	}`, false)
+	if !must["x"] {
+		t.Fatalf("x assigned on every path, must analysis lost it: %v", must)
+	}
+}
+
+func TestFlowLoopFixpoint(t *testing.T) {
+	// The loop body may never run: a must analysis cannot claim y, a may
+	// analysis can.
+	body := `
+	n := 3
+	for i := 0; i < n; i++ {
+		y := i
+		_ = y
+	}`
+	if may := atExit(t, body, true); !may["y"] {
+		t.Fatalf("may analysis should reach y through the loop, got %v", may)
+	}
+	if must := atExit(t, body, false); must["y"] {
+		t.Fatalf("must analysis should not claim loop-body assignment, got %v", must)
+	}
+}
+
+func TestFlowPanicIsAnExitPath(t *testing.T) {
+	// A panic is a function exit: the exit fact merges it, so a must
+	// analysis keeps only what held on BOTH the panic path and the normal
+	// path — the semantics a lock-balance check wants (a lock held at a
+	// panic site without a deferred unlock is leaked). Facts after the
+	// branch, by contrast, see only the surviving path.
+	body := `
+	c := true
+	if c {
+		bad := 1
+		_ = bad
+		panic("no")
+	}
+	good := 2
+	_ = good`
+	must := atExit(t, body, false)
+	if must["bad"] || must["good"] {
+		t.Fatalf("exit fact should hold only the dominating assignment, got %v", must)
+	}
+	if !must["c"] {
+		t.Fatalf("dominating assignment lost at exit: %v", must)
+	}
+	// The fact before `good := 2` is untouched by the panic path.
+	cfg, _ := parseFunc(t, body)
+	f := assignFlow(cfg, false)
+	in := f.Run()
+	var checked bool
+	f.Before(in, func(fact map[string]bool, n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "good" {
+			checked = true
+			if fact["bad"] {
+				t.Fatalf("panic-path assignment leaked past the branch: %v", fact)
+			}
+			if !fact["c"] {
+				t.Fatalf("dominating assignment missing before good: %v", fact)
+			}
+		}
+	})
+	if !checked {
+		t.Fatalf("never visited the good assignment")
+	}
+}
+
+func TestFlowUnreachableCodeGetsNoFacts(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	return
+	z := 1
+	_ = z`)
+	f := assignFlow(cfg, true)
+	in := f.Run()
+	visited := 0
+	f.Before(in, func(fact map[string]bool, n ast.Node) {
+		visited++
+		if fact["z"] {
+			t.Fatalf("fact from unreachable code observed")
+		}
+	})
+	// Only the return statement is reachable.
+	if visited != 1 {
+		t.Fatalf("Before visited %d nodes, want 1 (the return)", visited)
+	}
+}
+
+func TestFlowBeforeSeesFactBeforeNode(t *testing.T) {
+	cfg, _ := parseFunc(t, `
+	a := 1
+	b := 2
+	_ = a
+	_ = b`)
+	f := assignFlow(cfg, true)
+	in := f.Run()
+	var checked bool
+	f.Before(in, func(fact map[string]bool, n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "b" {
+			checked = true
+			if !fact["a"] {
+				t.Fatalf("fact before `b := 2` should include a, got %v", fact)
+			}
+			if fact["b"] {
+				t.Fatalf("fact before `b := 2` should not yet include b")
+			}
+		}
+	})
+	if !checked {
+		t.Fatalf("never visited the b assignment")
+	}
+}
+
+func TestFlowSelectBranches(t *testing.T) {
+	// Each select arm is a branch; may sees both arms' assignments, must
+	// sees neither (plus default means arms may be skipped entirely).
+	body := `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		a := v
+		_ = a
+	default:
+		b := 1
+		_ = b
+	}`
+	may := atExit(t, body, true)
+	if !may["a"] || !may["b"] {
+		t.Fatalf("may should see both select arms, got %v", may)
+	}
+	must := atExit(t, body, false)
+	if must["a"] || must["b"] {
+		t.Fatalf("must should drop arm-only assignments, got %v", must)
+	}
+}

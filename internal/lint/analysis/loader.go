@@ -155,6 +155,7 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Implicits:  map[ast.Node]types.Object{},
 		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
 	}
 	var typeErrs []error
 	conf := types.Config{

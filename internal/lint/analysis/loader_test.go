@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"go/types"
+	"strings"
 	"testing"
 
 	"xamdb/internal/lint/analysis"
@@ -21,4 +23,75 @@ func TestSmokeLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = pkg2
+}
+
+// TestLoadEdgeCases drives the loader over the shapes that break naive
+// source importers: a multi-file package, generic declarations with
+// cross-file instantiation, method values, and defers inside loops.
+func TestLoadEdgeCases(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("../testdata/src/loaderedge_a", "loaderedge_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pkg.Files) != 2 {
+		t.Fatalf("multi-file package: loaded %d files, want 2", len(pkg.Files))
+	}
+
+	// Generics: Map keeps its type parameters, and the cross-file call in
+	// Pairs records a concrete instantiation.
+	mapObj, ok := pkg.Types.Scope().Lookup("Map").(*types.Func)
+	if !ok || mapObj.Type().(*types.Signature).TypeParams().Len() != 2 {
+		t.Fatalf("generic Map lost its type parameters: %v", mapObj)
+	}
+	instantiated := false
+	for id, inst := range pkg.Info.Instances {
+		if id.Name == "Map" && inst.Type != nil && strings.Contains(inst.Type.String(), "Pair") {
+			instantiated = true
+		}
+	}
+	if !instantiated {
+		t.Fatal("cross-file generic call left no Pair instantiation in Info.Instances")
+	}
+
+	// Method values: binding c.inc produces a receiver-free func() — the
+	// selection must be recorded as a method value, not a field access.
+	methodValue := false
+	for sel, s := range pkg.Info.Selections {
+		if sel.Sel.Name == "inc" && s.Kind() == types.MethodVal {
+			methodValue = true
+		}
+	}
+	if !methodValue {
+		t.Fatal("method value c.inc not recorded as a MethodVal selection")
+	}
+
+	// Defer in a loop: the CFG collects the DeferStmt even though it is
+	// nested in a range body.
+	var checked bool
+	for _, f := range pkg.Files {
+		analysis.Functions(f, func(fi *analysis.FuncInfo) {
+			if fi.Name() != "DeferInLoop" {
+				return
+			}
+			checked = true
+			cfg := analysis.BuildCFG(fi.Body)
+			if len(cfg.Defers) != 1 {
+				t.Fatalf("DeferInLoop: %d defers collected, want 1", len(cfg.Defers))
+			}
+		})
+	}
+	if !checked {
+		t.Fatal("DeferInLoop not found in fixture")
+	}
+
+	// Every fixture function must survive CFG construction and an empty
+	// analyzer run (directive parsing, block ordering).
+	if _, err := analysis.Run(l.Fset, pkg, nil); err != nil {
+		t.Fatalf("empty analyzer run over edge-case package: %v", err)
+	}
 }

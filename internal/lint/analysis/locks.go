@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lock identity and held-lock dataflow shared by the concurrency
+// analyzers (lockorder, snapshot). A lock is identified by where it
+// lives, not by instance: every `e.mu` with e of type engine.Engine maps
+// to the one key "xamdb/internal/engine.Engine.mu". That folds all
+// instances of a type together — exactly what an acquisition-order policy
+// wants, and conservative enough for balance checks.
+
+// LockKey names one mutex: "pkgpath.Type.field" for a struct field,
+// "pkgpath.name" for a package-level var, "local:name@offset" for a
+// function-local mutex.
+type LockKey string
+
+// LockInfo describes one held lock: the kind of hold and where it was
+// acquired (for diagnostics).
+type LockInfo struct {
+	Read bool
+	Pos  token.Pos
+}
+
+// LockSet is a dataflow fact: the set of locks held at a program point.
+// Treated as immutable by the flow framework; transfer copies on write.
+type LockSet map[LockKey]LockInfo
+
+func (s LockSet) clone() LockSet {
+	out := make(LockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// MutexOp is one Lock/Unlock event found inside a CFG node.
+type MutexOp struct {
+	Key     LockKey
+	Read    bool // RLock/RUnlock
+	Release bool // Unlock/RUnlock
+	Call    *ast.CallExpr
+}
+
+var mutexMethods = map[string]struct{ read, release bool }{
+	"Lock":    {false, false},
+	"RLock":   {true, false},
+	"Unlock":  {false, true},
+	"RUnlock": {true, true},
+}
+
+// MutexOps scans one CFG node for sync.Mutex / sync.RWMutex operations
+// (skipping nested function literals).
+func MutexOps(info *types.Info, n ast.Node) []MutexOp {
+	var out []MutexOp
+	Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := mutexMethods[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		fn, ok := Callee(info, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		out = append(out, MutexOp{
+			Key:     lockKeyFor(info, sel.X),
+			Read:    kind.read,
+			Release: kind.release,
+			Call:    call,
+		})
+		return true
+	})
+	return out
+}
+
+// lockKeyFor derives the stable identity of the mutex expression x (the
+// receiver of a Lock/Unlock call).
+func lockKeyFor(info *types.Info, x ast.Expr) LockKey {
+	x = unwrapAddrDeref(x)
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		// e.mu → owner type of e + field name.
+		base := derefType(info.Types[ast.Unparen(x.X)].Type)
+		if named, ok := types.Unalias(base).(*types.Named); ok && named.Obj().Pkg() != nil {
+			return LockKey(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name)
+		}
+		return LockKey(fmt.Sprintf("expr.%s@%d", x.Sel.Name, x.Pos()))
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return LockKey("local:" + x.Name)
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return LockKey(obj.Pkg().Path() + "." + obj.Name())
+		}
+		return LockKey(fmt.Sprintf("local:%s@%d", obj.Name(), obj.Pos()))
+	}
+	return LockKey(fmt.Sprintf("expr@%d", x.Pos()))
+}
+
+// unwrapAddrDeref strips parens, & and * so (&s.mu).Lock() and
+// (*pmu).Lock() resolve like s.mu.Lock() and pmu.Lock().
+func unwrapAddrDeref(x ast.Expr) ast.Expr {
+	for {
+		switch e := x.(type) {
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				x = e.X
+				continue
+			}
+			return x
+		default:
+			return x
+		}
+	}
+}
+
+func deredup(a, b LockInfo) LockInfo { return a } // keep the first-seen info
+
+// LockFlow builds the held-locks analysis over one CFG. With must set,
+// joins intersect (a lock is held only if held on every path); otherwise
+// joins union (held on some path). Defers do not release — a deferred
+// Unlock keeps the lock held to function exit by design; clients consult
+// CFG.Defers (see DeferredUnlocks) for balance checks.
+func LockFlow(info *types.Info, cfg *CFG, must bool) *Flow[LockSet] {
+	join := func(a, b LockSet) LockSet {
+		out := LockSet{}
+		if must {
+			for k, v := range a {
+				if w, ok := b[k]; ok {
+					out[k] = deredup(v, w)
+				}
+			}
+			return out
+		}
+		for k, v := range a {
+			out[k] = v
+		}
+		for k, v := range b {
+			if w, ok := out[k]; ok {
+				out[k] = deredup(w, v)
+				continue
+			}
+			out[k] = v
+		}
+		return out
+	}
+	return &Flow[LockSet]{
+		CFG:   cfg,
+		Entry: LockSet{},
+		Transfer: func(fact LockSet, n ast.Node) LockSet {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return fact // deferred ops run at function exit, not here
+			}
+			ops := MutexOps(info, n)
+			if len(ops) == 0 {
+				return fact
+			}
+			out := fact.clone()
+			for _, op := range ops {
+				if op.Release {
+					delete(out, op.Key)
+				} else {
+					out[op.Key] = LockInfo{Read: op.Read, Pos: op.Call.Pos()}
+				}
+			}
+			return out
+		},
+		Join: join,
+		Equal: func(a, b LockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				w, ok := b[k]
+				if !ok || v.Read != w.Read {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// DeferredUnlocks collects the lock keys released by defer statements
+// anywhere in the CFG — the set a balance check subtracts from the locks
+// still held at function exit.
+func DeferredUnlocks(info *types.Info, cfg *CFG) map[LockKey]bool {
+	out := map[LockKey]bool{}
+	for _, d := range cfg.Defers {
+		for _, op := range MutexOps(info, d.Call) {
+			if op.Release {
+				out[op.Key] = true
+			}
+		}
+	}
+	return out
+}

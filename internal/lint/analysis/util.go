@@ -38,6 +38,17 @@ func ImplementsError(t types.Type) bool {
 	return t != nil && types.Implements(t, errorType)
 }
 
+// derefType strips one level of pointer indirection, if any.
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
 // NamedType reports whether t (after unaliasing) is the named type
 // pkgPath.name.
 func NamedType(t types.Type, pkgPath, name string) bool {

@@ -1,0 +1,144 @@
+// Package atomicfield defines an analyzer for the classic mixed-access
+// race: a variable or struct field that is accessed through the legacy
+// sync/atomic functions (atomic.AddInt64(&x.n, 1), atomic.LoadInt64,
+// ...) anywhere in a package must never be read or written plainly
+// elsewhere in that package — the plain access races with the atomic
+// ones, and the race detector only catches it when both sides actually
+// collide under test.
+//
+// The analyzer collects every field and package-level variable whose
+// address is passed to a sync/atomic function, then reports every other
+// plain use of those objects. Composite-literal keys are exempt: they
+// initialize a value that is not yet shared (and the typed atomics —
+// atomic.Int64, atomic.Pointer[T] — make the whole class unrepresentable;
+// this analyzer exists to keep the legacy style from creeping back in
+// mixed form).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xamdb/internal/lint/analysis"
+)
+
+// Analyzer reports plain accesses to variables that are elsewhere
+// accessed through sync/atomic functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic functions must never be read or written plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: objects whose address flows into a sync/atomic call, and
+	// the exact selector/ident nodes inside those calls (exempt later).
+	atomicUse := map[types.Object]token.Pos{}
+	inAtomicArg := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isLegacyAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(u.X)
+				var obj types.Object
+				switch t := target.(type) {
+				case *ast.SelectorExpr:
+					obj = info.Uses[t.Sel]
+				case *ast.Ident:
+					obj = info.Uses[t]
+				}
+				v, ok := obj.(*types.Var)
+				if !ok {
+					continue
+				}
+				if !v.IsField() && !isPackageLevel(v) {
+					continue // a local: unshareable without also flagging the alias
+				}
+				if _, seen := atomicUse[v]; !seen {
+					atomicUse[v] = call.Pos()
+				}
+				inAtomicArg[target] = true
+			}
+			return true
+		})
+	}
+	if len(atomicUse) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those objects is a plain access.
+	for _, f := range pass.Files {
+		handledSel := map[*ast.Ident]bool{}
+		litKeys := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							litKeys[id] = true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				handledSel[n.Sel] = true
+				if inAtomicArg[n] {
+					return true
+				}
+				report(pass, info.Uses[n.Sel], atomicUse, n.Pos())
+			case *ast.Ident:
+				if handledSel[n] || litKeys[n] || inAtomicArg[n] {
+					return true
+				}
+				report(pass, info.Uses[n], atomicUse, n.Pos())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, obj types.Object, atomicUse map[types.Object]token.Pos, pos token.Pos) {
+	first, ok := atomicUse[obj]
+	if !ok {
+		return
+	}
+	pass.Reportf(pos,
+		"plain access to %s, which is accessed with sync/atomic at %s; mixed access races — use the atomic functions (or a typed atomic) everywhere",
+		obj.Name(), pass.Fset.Position(first))
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+var atomicPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+// isLegacyAtomicCall matches top-level sync/atomic functions (not the
+// typed atomics' methods).
+func isLegacyAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := analysis.Callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, p := range atomicPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}

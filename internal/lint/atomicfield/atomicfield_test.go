@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/atomicfield"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", atomicfield.Analyzer, "atomicfield_a")
+}

@@ -1,0 +1,271 @@
+// Package budgetcharge defines an analyzer for the per-query quota
+// protocol (PR 6). Two rules:
+//
+//  1. Every physical.Iterator Next implementation must be covered by the
+//     quota machinery. Operators that pull an upstream iterator anywhere
+//     in Next are covered by construction — the compiler wraps every
+//     scan in a Checkpoint, so tuples flowing up the chain are charged at
+//     the leaf. A LEAF Next (one that never pulls an upstream) yields
+//     tuples out of thin air; it must itself charge or check a
+//     physical.Budget (ChargeTuples, ChargeExtentBytes, CheckRowsOut) or
+//     build a Checkpoint, or carry a reasoned allow-directive explaining
+//     why every construction site wraps it.
+//
+//  2. ErrQuotaExceeded never flows into the fallback cascade. A call to
+//     a degrade hook (the engine's convention: a local closure or
+//     function named "degrade") with an error argument is only legal
+//     when that error has been vetted by abortErr on every path to the
+//     call — otherwise a quota-killed plan would fall back to a cheaper
+//     rewriting and spend even more of a budget that is already
+//     exhausted. Checked with a must dataflow analysis over the CFG:
+//     evaluating abortErr(err) adds err to the vetted set, any
+//     reassignment of err removes it.
+package budgetcharge
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xamdb/internal/lint/analysis"
+)
+
+const physicalPath = "xamdb/internal/physical"
+
+// Analyzer reports uncovered leaf iterators and unvetted errors entering
+// the fallback cascade.
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetcharge",
+	Doc:  "leaf Iterator.Next implementations must charge a physical.Budget; ErrQuotaExceeded must never reach the fallback cascade",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	var iterIface *types.Interface
+	if obj := pass.ImportedObject(physicalPath, "Iterator"); obj != nil {
+		iterIface, _ = obj.Type().Underlying().(*types.Interface)
+	}
+	if iterIface != nil {
+		// Methods grouped by receiver type: judging one type's Next also
+		// scans its sibling methods, so operators that decompose the pull
+		// into helpers (the stackTree run/advance shape) stay covered.
+		methods := map[*types.TypeName][]*ast.FuncDecl{}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				if tn := recvTypeName(pass.TypesInfo, fd); tn != nil {
+					methods[tn] = append(methods[tn], fd)
+				}
+			}
+		}
+		for tn, decls := range methods {
+			for _, fd := range decls {
+				if fd.Name.Name == "Next" {
+					checkNextImpl(pass, iterIface, tn, fd, methods[tn])
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		analysis.Functions(f, func(fi *analysis.FuncInfo) {
+			checkCascade(pass, fi)
+		})
+	}
+	return nil
+}
+
+// recvTypeName resolves the named type of a method's receiver.
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// checkNextImpl applies rule 1 to one Next declaration, consulting every
+// method of the receiver type for pulls and charges.
+func checkNextImpl(pass *analysis.Pass, iter *types.Interface, tn *types.TypeName, next *ast.FuncDecl, siblings []*ast.FuncDecl) {
+	recv := tn.Type()
+	if !types.Implements(recv, iter) && !types.Implements(types.NewPointer(recv), iter) {
+		return
+	}
+	pulls, charges := false, false
+	for _, fd := range siblings {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Next" && len(call.Args) == 0 {
+				if t := pass.TypesInfo.Types[sel.X].Type; t != nil && !types.Identical(t, recv) && !types.Identical(t, types.NewPointer(recv)) {
+					if types.Implements(t, iter) || types.Implements(types.NewPointer(t), iter) {
+						pulls = true
+					}
+				}
+			}
+			obj := analysis.Callee(pass.TypesInfo, call)
+			if isBudgetCharge(obj) || analysis.IsFunc(obj, physicalPath, "NewCheckpoint") {
+				charges = true
+			}
+			return true
+		})
+	}
+	if !pulls && !charges {
+		pass.Reportf(next.Pos(),
+			"leaf Iterator.Next yields tuples without pulling an upstream or charging a physical.Budget; quota kills cannot reach it — charge the budget or document why every construction site wraps it in a Checkpoint")
+	}
+}
+
+// isBudgetCharge matches the charging methods of physical.Budget.
+func isBudgetCharge(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != physicalPath {
+		return false
+	}
+	if !strings.HasPrefix(fn.Name(), "Charge") && !strings.HasPrefix(fn.Name(), "Check") {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Budget"
+}
+
+// checkCascade applies rule 2 to one function body: every error-typed
+// identifier handed to a degrade hook must be abortErr-vetted on every
+// path reaching the call.
+func checkCascade(pass *analysis.Pass, fi *analysis.FuncInfo) {
+	info := pass.TypesInfo
+
+	// Cheap pre-scan: nothing to do without a degrade call.
+	hasDegrade := false
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isNamedCall(call, "degrade") {
+			hasDegrade = true
+		}
+		return !hasDegrade
+	})
+	if !hasDegrade {
+		return
+	}
+
+	cfg := analysis.BuildCFG(fi.Body)
+	type vetSet = map[types.Object]bool
+	flow := &analysis.Flow[vetSet]{
+		CFG:   cfg,
+		Entry: vetSet{},
+		Transfer: func(fact vetSet, n ast.Node) vetSet {
+			out := fact
+			cloned := false
+			mutate := func() {
+				if !cloned {
+					cloned = true
+					c := make(vetSet, len(fact)+1)
+					for k, v := range fact {
+						c[k] = v
+					}
+					out = c
+				}
+			}
+			analysis.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					if isNamedCall(m, "abortErr") && len(m.Args) == 1 {
+						if obj := identObj(info, m.Args[0]); obj != nil {
+							mutate()
+							out[obj] = true
+						}
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range m.Lhs {
+						if obj := identObj(info, lhs); obj != nil && out[obj] {
+							mutate()
+							delete(out, obj)
+						}
+					}
+				}
+				return true
+			})
+			return out
+		},
+		Join: func(a, b vetSet) vetSet {
+			out := vetSet{}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b vetSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	flow.Before(flow.Run(), func(fact vetSet, n ast.Node) {
+		analysis.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !isNamedCall(call, "degrade") {
+				return true
+			}
+			for _, arg := range call.Args {
+				obj := identObj(info, arg)
+				if obj == nil || !analysis.ImplementsError(obj.Type()) {
+					continue
+				}
+				if !fact[obj] {
+					pass.Reportf(call.Pos(),
+						"%s flows into the fallback cascade without an abortErr guard; a quota-killed plan must abort, not degrade", obj.Name())
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isNamedCall reports a call to a plain identifier with the given name —
+// the engine's degrade/abortErr hooks are locals or package functions,
+// matched by the protocol's naming convention.
+func isNamedCall(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

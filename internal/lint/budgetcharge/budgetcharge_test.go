@@ -1,0 +1,12 @@
+package budgetcharge_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/budgetcharge"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", budgetcharge.Analyzer, "budgetcharge_a")
+}

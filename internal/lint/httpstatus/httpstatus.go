@@ -1,0 +1,300 @@
+// Package httpstatus defines a dataflow analyzer for the HTTP surface's
+// status discipline (PR 6): handlers only write statuses from the
+// documented map, and any path that can produce 429 (shed) or 503
+// (draining/not ready) must arrange a Retry-After header — overload is a
+// documented, machine-actionable signal, not an error soup.
+//
+// Statuses reaching w.WriteHeader or http.Error must be provable
+// constants: either literal/named constants at the call, or locals only
+// ever assigned constants (the handleQuery `status` switch shape). The
+// analyzer runs a may dataflow analysis that tracks the possible constant
+// values of int locals, plus whether a Header().Set("Retry-After", ...)
+// call exists on some path into the write. A write whose value cannot be
+// proven, or that includes a status outside the documented map, or that
+// may send 429/503 without any Retry-After path, is reported.
+package httpstatus
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xamdb/internal/lint/analysis"
+)
+
+// Analyzer reports undocumented, unprovable, or Retry-After-less status
+// writes.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpstatus",
+	Doc:  "handlers write only documented HTTP statuses; 429/503 paths must set Retry-After",
+	Run:  run,
+}
+
+// allowedStatuses is the documented response map of the serve package:
+// 200 OK, 400 bad request, 405 method, 413 body too large, 422 query
+// failed, 429 shed, 499 client closed, 500 internal, 503
+// draining/not-ready, 504 deadline.
+var allowedStatuses = map[int64]bool{
+	200: true, 400: true, 405: true, 413: true, 422: true,
+	429: true, 499: true, 500: true, 503: true, 504: true,
+}
+
+// codes is the may-set of constant values one int local can hold; any
+// marks a value the analysis cannot bound.
+type codes struct {
+	any  bool
+	vals map[int64]bool
+}
+
+type fact struct {
+	vars       map[types.Object]codes
+	retryAfter bool // Header().Set("Retry-After", ...) on some path
+}
+
+func run(pass *analysis.Pass) error {
+	rwObj := pass.ImportedObject("net/http", "ResponseWriter")
+	if rwObj == nil {
+		return nil // package has no HTTP surface
+	}
+	rwIface, _ := rwObj.Type().Underlying().(*types.Interface)
+	if rwIface == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.Functions(f, func(fi *analysis.FuncInfo) {
+			checkFunc(pass, rwIface, fi)
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, rwIface *types.Interface, fi *analysis.FuncInfo) {
+	// Cheap pre-scan: only analyze functions that write a status.
+	found := false
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && statusArg(pass.TypesInfo, rwIface, call) != nil {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	cfg := analysis.BuildCFG(fi.Body)
+	flow := &analysis.Flow[fact]{
+		CFG:   cfg,
+		Entry: fact{vars: map[types.Object]codes{}},
+		Transfer: func(f fact, n ast.Node) fact {
+			return transfer(pass.TypesInfo, f, n)
+		},
+		Join:  join,
+		Equal: equal,
+	}
+	flow.Before(flow.Run(), func(f fact, n ast.Node) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return
+		}
+		analysis.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg := statusArg(pass.TypesInfo, rwIface, call)
+			if arg == nil {
+				return true
+			}
+			cs := valuesOf(pass.TypesInfo, f, arg)
+			switch {
+			case cs.any:
+				pass.Reportf(call.Pos(),
+					"status is not provably a constant from the documented map; assign only documented constants to it")
+			default:
+				var bad []string
+				needsRetry := false
+				for v := range cs.vals {
+					if !allowedStatuses[v] {
+						bad = append(bad, strconv.FormatInt(v, 10))
+					}
+					if v == 429 || v == 503 {
+						needsRetry = true
+					}
+				}
+				if len(bad) > 0 {
+					sort.Strings(bad)
+					pass.Reportf(call.Pos(),
+						"status %s is outside the documented map (200,400,405,413,422,429,499,500,503,504)", strings.Join(bad, ","))
+				}
+				if needsRetry && !f.retryAfter {
+					pass.Reportf(call.Pos(),
+						"429/503 response without a Retry-After header on any path; overload must carry a machine-actionable backoff")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// statusArg returns the status expression of a w.WriteHeader(code) or
+// http.Error(w, msg, code) call, or nil.
+func statusArg(info *types.Info, rwIface *types.Interface, call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+		if t := info.Types[sel.X].Type; t != nil {
+			if types.Implements(t, rwIface) || types.Implements(types.NewPointer(t), rwIface) {
+				return call.Args[0]
+			}
+		}
+	}
+	if analysis.IsFunc(analysis.Callee(info, call), "net/http", "Error") && len(call.Args) == 3 {
+		return call.Args[2]
+	}
+	return nil
+}
+
+// isRetryAfterSet matches Header().Set/Add("Retry-After", ...).
+func isRetryAfterSet(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Set" && sel.Sel.Name != "Add") || len(call.Args) != 2 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.EqualFold(constant.StringVal(tv.Value), "Retry-After")
+}
+
+func transfer(info *types.Info, f fact, n ast.Node) fact {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return f
+	}
+	out := f
+	cloned := false
+	mutate := func() {
+		if !cloned {
+			cloned = true
+			vars := make(map[types.Object]codes, len(f.vars)+1)
+			for k, v := range f.vars {
+				vars[k] = v
+			}
+			out = fact{vars: vars, retryAfter: out.retryAfter}
+		}
+	}
+	analysis.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if isRetryAfterSet(info, m) && !out.retryAfter {
+				mutate()
+				out.retryAfter = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || !isIntLike(obj.Type()) {
+					continue
+				}
+				c := codes{any: true}
+				if len(m.Rhs) == len(m.Lhs) && (m.Tok == token.ASSIGN || m.Tok == token.DEFINE) {
+					if tv, ok := info.Types[m.Rhs[i]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+						if v, exact := constant.Int64Val(tv.Value); exact {
+							c = codes{vals: map[int64]bool{v: true}}
+						}
+					}
+				}
+				mutate()
+				out.vars[obj] = c
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+				obj := info.Uses[id]
+				if obj != nil && isIntLike(obj.Type()) {
+					mutate()
+					out.vars[obj] = codes{any: true}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isIntLike(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// valuesOf bounds the possible values of the status expression.
+func valuesOf(info *types.Info, f fact, e ast.Expr) codes {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			return codes{vals: map[int64]bool{v: true}}
+		}
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			if c, ok := f.vars[obj]; ok {
+				return c
+			}
+		}
+	}
+	return codes{any: true}
+}
+
+func join(a, b fact) fact {
+	vars := make(map[types.Object]codes, len(a.vars))
+	for k, v := range a.vars {
+		vars[k] = v
+	}
+	for k, v := range b.vars {
+		w, ok := vars[k]
+		if !ok {
+			vars[k] = v
+			continue
+		}
+		vars[k] = joinCodes(w, v)
+	}
+	return fact{vars: vars, retryAfter: a.retryAfter || b.retryAfter}
+}
+
+func joinCodes(a, b codes) codes {
+	if a.any || b.any {
+		return codes{any: true}
+	}
+	vals := make(map[int64]bool, len(a.vals)+len(b.vals))
+	for v := range a.vals {
+		vals[v] = true
+	}
+	for v := range b.vals {
+		vals[v] = true
+	}
+	return codes{vals: vals}
+}
+
+func equal(a, b fact) bool {
+	if a.retryAfter != b.retryAfter || len(a.vars) != len(b.vars) {
+		return false
+	}
+	for k, v := range a.vars {
+		w, ok := b.vars[k]
+		if !ok || v.any != w.any || len(v.vals) != len(w.vals) {
+			return false
+		}
+		for x := range v.vals {
+			if !w.vals[x] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package httpstatus_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/httpstatus"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", httpstatus.Analyzer, "httpstatus_a")
+}

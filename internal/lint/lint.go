@@ -1,8 +1,10 @@
 // Package lint assembles the xamlint analyzer suite: compile-time
 // enforcement of the engine's runtime contracts (cancellation,
 // error-chain preservation, iterator/order discipline, fault-site
-// registry hygiene, no-panic library surfaces). The suite runs three
-// ways, all equivalent:
+// registry hygiene, no-panic library surfaces) and — since the dataflow
+// layer landed — its concurrency protocols (lock order, snapshot
+// immutability, atomic-access hygiene, quota charging, HTTP status
+// discipline). The suite runs three ways, all equivalent:
 //
 //	go run ./cmd/xamlint ./...   (locally and as a required CI step)
 //	go test ./internal/lint      (TestRepoClean, part of tier-1 tests)
@@ -11,21 +13,31 @@ package lint
 
 import (
 	"xamdb/internal/lint/analysis"
+	"xamdb/internal/lint/atomicfield"
+	"xamdb/internal/lint/budgetcharge"
 	"xamdb/internal/lint/ctxdrain"
 	"xamdb/internal/lint/errwrap"
 	"xamdb/internal/lint/faultsite"
+	"xamdb/internal/lint/httpstatus"
 	"xamdb/internal/lint/iterimpl"
+	"xamdb/internal/lint/lockorder"
 	"xamdb/internal/lint/nopanic"
+	"xamdb/internal/lint/snapshot"
 )
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		budgetcharge.Analyzer,
 		ctxdrain.Analyzer,
 		errwrap.Analyzer,
 		faultsite.Analyzer,
+		httpstatus.Analyzer,
 		iterimpl.Analyzer,
+		lockorder.Analyzer,
 		nopanic.Analyzer,
+		snapshot.Analyzer,
 	}
 }
 

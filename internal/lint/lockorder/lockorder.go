@@ -1,0 +1,207 @@
+// Package lockorder defines a dataflow analyzer for the engine's locking
+// protocol (PRs 4–6). Three rules, all checked per function over the CFG
+// with a may-held lock analysis (analysis.LockFlow):
+//
+//  1. Acquisition order. Engine.mu is the coarse registry lock and
+//     docState.mu the per-document publication lock; the documented order
+//     is Engine.mu before docState.mu. Acquiring a lock of an earlier
+//     level while one of a later level may be held is an inversion and is
+//     reported. Levels are matched by type and field name ("Engine.mu",
+//     "docState.mu") so the rule also binds fixture and future packages
+//     that copy the shape.
+//
+//  2. Balance. A lock acquired in a function must be released on every
+//     path out of it — by a deferred unlock, or by explicit unlocks
+//     dominating every return. A lock still (possibly) held at function
+//     exit with no deferred unlock for it is reported at the acquisition
+//     site. Acquiring a lock that may already be held is likewise
+//     reported (self-deadlock for plain mutexes).
+//
+//  3. No blocking under a lock. While a lock may be held, the function
+//     must not perform channel operations (send, receive, range over a
+//     channel, blocking select arms) or call the admission controller's
+//     blocking entry points (Controller.Do, Controller.Drain) — those
+//     can block indefinitely and extend the critical section without
+//     bound. Select communications with a default case cannot block and
+//     are exempt (the admission controller's reserve-under-lock uses
+//     exactly this shape).
+//
+// Functions whose name ends in "Locked" follow the repo convention that
+// the caller holds the lock; they are still checked (the analysis simply
+// starts from an empty held set, so their internal acquisitions obey the
+// same rules).
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xamdb/internal/lint/analysis"
+)
+
+const admissionPath = "xamdb/internal/admission"
+
+// Analyzer reports lock-order inversions, unbalanced or double
+// acquisitions, and blocking operations performed under a lock.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce Engine.mu→docState.mu order, balanced unlocks on every path, and no blocking ops under a lock",
+	Run:  run,
+}
+
+// lockLevels orders the named locks of the engine's protocol. Lower
+// levels are acquired first; keys are ".Type.field" suffixes of
+// analysis.LockKey. Locks outside the table are unordered (only rules 2
+// and 3 apply to them).
+var lockLevels = []string{
+	".Engine.mu",   // level 0: engine registry lock
+	".docState.mu", // level 1: per-document publication lock
+}
+
+func levelOf(k analysis.LockKey) int {
+	for i, suffix := range lockLevels {
+		if strings.HasSuffix(string(k), suffix) {
+			return i
+		}
+	}
+	return -1
+}
+
+// shortKey trims the package path off a LockKey for diagnostics.
+func shortKey(k analysis.LockKey) string {
+	s := string(k)
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.Index(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.Functions(f, func(fi *analysis.FuncInfo) {
+			checkFunc(pass, fi)
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fi *analysis.FuncInfo) {
+	cfg := analysis.BuildCFG(fi.Body)
+	flow := analysis.LockFlow(pass.TypesInfo, cfg, false /* may */)
+	in := flow.Run()
+
+	flow.Before(in, func(held analysis.LockSet, n ast.Node) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // deferred unlocks run at exit; DeferredUnlocks models them
+		}
+		for _, op := range analysis.MutexOps(pass.TypesInfo, n) {
+			if op.Release {
+				if _, ok := held[op.Key]; !ok {
+					pass.Reportf(op.Call.Pos(),
+						"unlock of %s which is not held on any path here", shortKey(op.Key))
+				}
+				continue
+			}
+			if _, ok := held[op.Key]; ok {
+				pass.Reportf(op.Call.Pos(),
+					"%s may already be held here; second acquisition self-deadlocks", shortKey(op.Key))
+			}
+			lv := levelOf(op.Key)
+			if lv < 0 {
+				continue
+			}
+			for k := range held {
+				if hl := levelOf(k); hl > lv {
+					pass.Reportf(op.Call.Pos(),
+						"lock order inversion: acquiring %s while %s may be held (documented order: %s before %s)",
+						shortKey(op.Key), shortKey(k), shortKey(op.Key), shortKey(k))
+				}
+			}
+		}
+		if len(held) > 0 {
+			checkBlocking(pass, cfg, held, n)
+		}
+	})
+
+	// Balance: locks that may still be held at function exit, net of
+	// deferred unlocks, were acquired without a release on some path.
+	deferred := analysis.DeferredUnlocks(pass.TypesInfo, cfg)
+	for k, info := range in[cfg.Exit] {
+		if deferred[k] {
+			continue
+		}
+		pass.Reportf(info.Pos,
+			"%s may still be held at function exit; unlock on every path or defer the unlock", shortKey(k))
+	}
+}
+
+// checkBlocking reports channel operations and admission-controller calls
+// performed while a lock may be held.
+func checkBlocking(pass *analysis.Pass, cfg *analysis.CFG, held analysis.LockSet, n ast.Node) {
+	if cfg.NonBlocking[n] {
+		return // comm clause of a select with a default: cannot block
+	}
+	report := func(pos ast.Node, what string) {
+		var any analysis.LockKey
+		for k := range held {
+			any = k
+			break
+		}
+		pass.Reportf(pos.Pos(), "%s while %s may be held; blocking under a lock extends the critical section unboundedly",
+			what, shortKey(any))
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if t := pass.TypesInfo.Types[rs.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				report(rs, "range over channel")
+			}
+		}
+		return
+	}
+	analysis.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			report(m, "channel send")
+		case *ast.UnaryExpr:
+			if m.Op.String() == "<-" {
+				report(m, "channel receive")
+			}
+		case *ast.CallExpr:
+			obj := analysis.Callee(pass.TypesInfo, m)
+			if isBlockingAdmissionCall(obj) {
+				report(m, "admission."+obj.Name()+" call")
+			}
+		}
+		return true
+	})
+}
+
+// isBlockingAdmissionCall matches the admission controller's blocking
+// entry points: Controller.Do (queues and waits for the query to run) and
+// Controller.Drain (waits for in-flight work).
+func isBlockingAdmissionCall(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Name() != "Do" && fn.Name() != "Drain" {
+		return false
+	}
+	if fn.Pkg().Path() != admissionPath {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Controller"
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/lockorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockorder.Analyzer, "lockorder_a")
+}

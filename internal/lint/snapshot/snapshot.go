@@ -1,0 +1,292 @@
+// Package snapshot defines a dataflow analyzer for the copy-on-write
+// snapshot protocol (PR 4): values published through an
+// atomic.Pointer[T] are immutable once published. Readers call Load and
+// must treat the result as frozen; writers build a fresh value and
+// publish it with Store under the owner's mutex.
+//
+// Three rules, checked per function with a may-taint analysis that tracks
+// which locals are LOADED (came out of an atomic.Pointer.Load) and which
+// are FRESH (built here via a composite literal or new):
+//
+//  1. No writes through a loaded snapshot: an assignment, compound
+//     assignment or ++/-- whose target is reachable from a LOADED local
+//     mutates state that concurrent readers share without locks.
+//
+//  2. No re-publication of a loaded snapshot: Store(x) where x is LOADED
+//     republishes an aliased value — mutations to it (even later ones)
+//     would be visible to readers of both generations.
+//
+//  3. Publication is locked: Store on an atomic.Pointer field of a
+//     shared value must happen while a mutex may be held, or inside a
+//     function following the *Locked naming convention (caller holds the
+//     lock). Stores whose base value is itself FRESH are exempt — they
+//     initialize a not-yet-published value (the AddDocument pattern).
+//
+// Writes inside nested function literals are analyzed against the
+// literal's own dataflow, so a lazy-init closure passed to sync.Once.Do
+// (the planEnv.rwOnce pattern) is not charged to the enclosing function.
+package snapshot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xamdb/internal/lint/analysis"
+)
+
+// Analyzer reports mutations of atomic.Pointer snapshots and unlocked or
+// aliased publications.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshot",
+	Doc:  "atomic.Pointer payloads are immutable after Load; publish fresh values via Store under the owner's lock",
+	Run:  run,
+}
+
+type taint int
+
+const (
+	tFresh taint = iota + 1
+	tLoaded
+)
+
+type taintMap map[types.Object]taint
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.Functions(f, func(fi *analysis.FuncInfo) {
+			checkFunc(pass, fi)
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fi *analysis.FuncInfo) {
+	cfg := analysis.BuildCFG(fi.Body)
+
+	// Held locks at each node (rule 3 consults them).
+	lockFlow := analysis.LockFlow(pass.TypesInfo, cfg, false)
+	heldAt := map[ast.Node]analysis.LockSet{}
+	lockFlow.Before(lockFlow.Run(), func(held analysis.LockSet, n ast.Node) {
+		heldAt[n] = held
+	})
+
+	flow := &analysis.Flow[taintMap]{
+		CFG:      cfg,
+		Entry:    taintMap{},
+		Transfer: func(fact taintMap, n ast.Node) taintMap { return transfer(pass.TypesInfo, fact, n) },
+		Join: func(a, b taintMap) taintMap {
+			out := taintMap{}
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				if w, ok := out[k]; ok && w != v {
+					out[k] = tLoaded // conflicting paths: assume shared
+					continue
+				}
+				out[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b taintMap) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	flow.Before(flow.Run(), func(fact taintMap, n ast.Node) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return
+		}
+		check(pass, fi, fact, heldAt[n], n)
+	})
+}
+
+// transfer updates taints for the assignments inside one node.
+func transfer(info *types.Info, fact taintMap, n ast.Node) taintMap {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return fact
+	}
+	out := fact
+	cloned := false
+	set := func(obj types.Object, t taint) {
+		if !cloned {
+			cloned = true
+			c := make(taintMap, len(out)+1)
+			for k, v := range out {
+				c[k] = v
+			}
+			out = c
+		}
+		if t == 0 {
+			delete(out, obj)
+		} else {
+			out[obj] = t
+		}
+	}
+	analysis.Inspect(n, func(m ast.Node) bool {
+		as, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			// A 1:1 (or n:n) assignment transfers the rhs taint; tuple
+			// assignments from one call kill it (conservative).
+			var t taint
+			if len(as.Rhs) == len(as.Lhs) {
+				t = taintOf(info, as.Rhs[i])
+			}
+			set(obj, t)
+		}
+		return true
+	})
+	return out
+}
+
+// taintOf classifies one rhs expression: the result of an
+// atomic.Pointer.Load is LOADED, a composite literal / &literal / new(T)
+// is FRESH, everything else is untainted.
+func taintOf(info *types.Info, e ast.Expr) taint {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if isPointerMethod(info, e, "Load") {
+			return tLoaded
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return tFresh
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return tFresh
+			}
+		}
+	case *ast.CompositeLit:
+		return tFresh
+	}
+	return 0
+}
+
+// isPointerMethod reports whether call is a method call named name on a
+// sync/atomic.Pointer[T] receiver.
+func isPointerMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return analysis.NamedType(t, "sync/atomic", "Pointer")
+}
+
+// baseIdent walks to the leftmost identifier of a selector/index chain.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func taintOfBase(info *types.Info, fact taintMap, e ast.Expr) taint {
+	id := baseIdent(e)
+	if id == nil {
+		return 0
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return 0
+	}
+	return fact[obj]
+}
+
+func check(pass *analysis.Pass, fi *analysis.FuncInfo, fact taintMap, held analysis.LockSet, n ast.Node) {
+	info := pass.TypesInfo
+	analysis.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					continue // rebinding a local, not writing through it
+				}
+				if taintOfBase(info, fact, lhs) == tLoaded {
+					pass.Reportf(lhs.Pos(),
+						"write through a snapshot loaded from an atomic.Pointer; snapshots are immutable — build a fresh value and Store it")
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, ok := ast.Unparen(m.X).(*ast.Ident); !ok {
+				if taintOfBase(info, fact, m.X) == tLoaded {
+					pass.Reportf(m.X.Pos(),
+						"write through a snapshot loaded from an atomic.Pointer; snapshots are immutable — build a fresh value and Store it")
+				}
+			}
+		case *ast.CallExpr:
+			if !isPointerMethod(info, m, "Store") {
+				return true
+			}
+			if len(m.Args) == 1 {
+				if id, ok := ast.Unparen(m.Args[0]).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && fact[obj] == tLoaded {
+						pass.Reportf(m.Pos(),
+							"Store of a value loaded from an atomic.Pointer re-publishes an aliased snapshot; build a fresh value instead")
+					}
+				}
+			}
+			// Rule 3: locked publication, unless the base value is fresh
+			// (initialization before publication) or the function follows
+			// the *Locked convention.
+			sel := ast.Unparen(m.Fun).(*ast.SelectorExpr)
+			if taintOfBase(info, fact, sel.X) == tFresh {
+				return true
+			}
+			if strings.HasSuffix(fi.Name(), "Locked") {
+				return true
+			}
+			if len(held) == 0 {
+				pass.Reportf(m.Pos(),
+					"atomic.Pointer Store outside a locked publish path; hold the owner's mutex or publish from a *Locked function")
+			}
+		}
+		return true
+	})
+}

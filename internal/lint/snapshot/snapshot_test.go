@@ -1,0 +1,12 @@
+package snapshot_test
+
+import (
+	"testing"
+
+	"xamdb/internal/lint/analysistest"
+	"xamdb/internal/lint/snapshot"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "../testdata", snapshot.Analyzer, "snapshot_a")
+}

@@ -1,0 +1,72 @@
+// Fixture for the atomicfield analyzer: mixed atomic/plain access to the
+// same field or package variable is a race.
+package atomicfield_a
+
+import "sync/atomic"
+
+type counter struct {
+	n int64 // accessed atomically below: every other access must be too
+	m int64 // never atomic: plain access is fine
+}
+
+func bump(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func atomicRead(c *counter) int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func plainWrite(c *counter) {
+	c.n = 0 // want "mixed access races"
+}
+
+func plainRead(c *counter) int64 {
+	return c.n // want "mixed access races"
+}
+
+func aliasedWrite(c *counter) {
+	p := &c.n // want "mixed access races"
+	*p = 1
+}
+
+func plainOther(c *counter) {
+	c.m = 2 // m is never touched atomically
+}
+
+// Composite-literal keys initialize a value nobody shares yet.
+func fresh() *counter {
+	return &counter{n: 0, m: 0}
+}
+
+var total int64
+
+func addTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+func readTotal() int64 {
+	return total // want "mixed access races"
+}
+
+func casTotal(old, new int64) bool {
+	return atomic.CompareAndSwapInt64(&total, old, new)
+}
+
+// A suppressed plain read: the snapshot is taken after all writers have
+// been joined, which the analyzer cannot see.
+func finalTotal() int64 {
+	//xamlint:allow atomicfield(fixture: read after writer join, no concurrency remains)
+	return total
+}
+
+// Typed atomics are type-safe: no legacy functions involved, nothing to
+// report even though reads and writes mix freely with method calls.
+type typed struct {
+	v atomic.Int64
+}
+
+func typedUse(t *typed) int64 {
+	t.v.Store(3)
+	return t.v.Load()
+}

@@ -1,0 +1,170 @@
+// Fixture for the budgetcharge analyzer: leaf Next implementations must
+// charge the budget, and errors entering the fallback cascade must be
+// abortErr-vetted.
+package budgetcharge_a
+
+import (
+	"context"
+	"errors"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/physical"
+)
+
+// leafBad yields tuples from a buffer without ever pulling an upstream
+// or charging a budget: quota kills can never reach it.
+type leafBad struct {
+	rows []algebra.Tuple
+	pos  int
+}
+
+func (l *leafBad) Schema() *algebra.Schema      { return nil }
+func (l *leafBad) Order() (o algebra.OrderDesc) { return }
+
+func (l *leafBad) Next() (algebra.Tuple, bool) { // want "leaf Iterator.Next"
+	if l.pos >= len(l.rows) {
+		return nil, false
+	}
+	t := l.rows[l.pos]
+	l.pos++
+	return t, true
+}
+
+// leafCharged is a leaf too, but it charges the budget per tuple.
+type leafCharged struct {
+	rows []algebra.Tuple
+	pos  int
+	b    *physical.Budget
+}
+
+func (l *leafCharged) Schema() *algebra.Schema      { return nil }
+func (l *leafCharged) Order() (o algebra.OrderDesc) { return }
+
+func (l *leafCharged) Next() (algebra.Tuple, bool) {
+	if l.pos >= len(l.rows) {
+		return nil, false
+	}
+	if err := l.b.ChargeTuples(1); err != nil {
+		return nil, false
+	}
+	t := l.rows[l.pos]
+	l.pos++
+	return t, true
+}
+
+// wrapper pulls an upstream iterator: the checkpoint at the chain's leaf
+// charges for it, so it needs no budget of its own.
+type wrapper struct {
+	in physical.Iterator
+}
+
+func (w *wrapper) Schema() *algebra.Schema      { return w.in.Schema() }
+func (w *wrapper) Order() (o algebra.OrderDesc) { return w.in.Order() }
+
+func (w *wrapper) Next() (algebra.Tuple, bool) {
+	return w.in.Next()
+}
+
+// checkpointed builds its own checkpoint over a relation: covered.
+type checkpointed struct {
+	ctx context.Context
+	rel *algebra.Relation
+	cp  *physical.Checkpoint
+}
+
+func (c *checkpointed) Schema() *algebra.Schema      { return c.rel.Schema }
+func (c *checkpointed) Order() (o algebra.OrderDesc) { return }
+
+func (c *checkpointed) Next() (t algebra.Tuple, ok bool) {
+	if c.cp == nil {
+		c.cp = physical.NewCheckpoint(c.ctx, physical.NewScan(c.rel, nil))
+	}
+	return c.cp.Next()
+}
+
+// leafAllowed is a leaf whose every construction site wraps it in a
+// Checkpoint; the directive records that argument.
+type leafAllowed struct {
+	rows []algebra.Tuple
+	pos  int
+}
+
+func (l *leafAllowed) Schema() *algebra.Schema      { return nil }
+func (l *leafAllowed) Order() (o algebra.OrderDesc) { return }
+
+//xamlint:allow budgetcharge(fixture: wrapped in NewCheckpoint at every construction site)
+func (l *leafAllowed) Next() (algebra.Tuple, bool) {
+	if l.pos >= len(l.rows) {
+		return nil, false
+	}
+	t := l.rows[l.pos]
+	l.pos++
+	return t, true
+}
+
+// notAnIterator has a Next that does not implement physical.Iterator:
+// out of scope.
+type notAnIterator struct{ n int }
+
+func (x *notAnIterator) Next() int {
+	x.n++
+	return x.n
+}
+
+// --- fallback cascade rules ---
+
+var errPlan = errors.New("plan failed")
+
+func abortErr(err error) bool {
+	return errors.Is(err, physical.ErrQuotaExceeded)
+}
+
+func degrade(plan string, err error) { _ = plan; _ = err }
+
+func cascadeGuarded(err error) {
+	if err != nil {
+		if abortErr(err) {
+			return
+		}
+		degrade("p1", err)
+	}
+}
+
+func cascadeGuardedOr(ctx context.Context, err error) {
+	if abortErr(err) || ctx.Err() != nil {
+		return
+	}
+	degrade("p2", err)
+}
+
+func cascadeUnguarded(err error) {
+	if err != nil {
+		degrade("p3", err) // want "without an abortErr guard"
+	}
+}
+
+func cascadeReassigned(err error) {
+	if abortErr(err) {
+		return
+	}
+	err = errPlan
+	degrade("p4", err) // want "without an abortErr guard"
+}
+
+func cascadeOneBranchOnly(err error, cond bool) {
+	if cond {
+		if abortErr(err) {
+			return
+		}
+	}
+	degrade("p5", err) // want "without an abortErr guard"
+}
+
+func cascadeSuppressed(err error) {
+	//xamlint:allow budgetcharge(fixture: err proven non-quota by construction above)
+	degrade("p6", err)
+}
+
+func cascadeNonError() {
+	degrade("p7", nil) // no error identifier: nothing to vet
+}

@@ -1,0 +1,92 @@
+// Fixture for the httpstatus analyzer: only documented statuses, and
+// 429/503 paths must arrange Retry-After.
+package httpstatus_a
+
+import "net/http"
+
+func constOK(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+}
+
+func constUndocumented(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTeapot) // want "outside the documented map"
+}
+
+func httpErrorOK(w http.ResponseWriter) {
+	http.Error(w, "bad body", http.StatusBadRequest)
+}
+
+func httpErrorUndocumented(w http.ResponseWriter) {
+	http.Error(w, "gone", http.StatusGone) // want "outside the documented map"
+}
+
+// The handleQuery shape: a status local assigned only documented
+// constants, Retry-After set on the paths that need it.
+func switchShape(w http.ResponseWriter, outcome int, retryAfter string) {
+	status := http.StatusOK
+	switch outcome {
+	case 1:
+		status = http.StatusUnprocessableEntity
+	case 2:
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfter)
+	case 3:
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfter)
+	default:
+		status = http.StatusInternalServerError
+	}
+	w.WriteHeader(status)
+}
+
+func switchShapeUndocumented(w http.ResponseWriter, outcome int) {
+	status := http.StatusOK
+	if outcome > 0 {
+		status = http.StatusNotImplemented
+	}
+	w.WriteHeader(status) // want "outside the documented map"
+}
+
+func unprovable(w http.ResponseWriter, status int) {
+	w.WriteHeader(status) // want "not provably a constant"
+}
+
+func unprovableArith(w http.ResponseWriter, n int) {
+	status := http.StatusOK
+	status += n
+	w.WriteHeader(status) // want "not provably a constant"
+}
+
+func shedNoRetryAfter(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTooManyRequests) // want "without a Retry-After header"
+}
+
+func drainingNoRetryAfter(w http.ResponseWriter) {
+	http.Error(w, "draining", http.StatusServiceUnavailable) // want "without a Retry-After header"
+}
+
+func shedWithRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "60")
+	w.WriteHeader(http.StatusTooManyRequests)
+}
+
+// Retry-After on one path into the write suffices: the write is shared
+// with paths that send non-backoff statuses.
+func conditionalRetryAfter(w http.ResponseWriter, shed bool, retryAfter string) {
+	status := http.StatusOK
+	if shed {
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	w.WriteHeader(status)
+}
+
+func suppressed(w http.ResponseWriter) {
+	//xamlint:allow httpstatus(fixture: internal debug surface, clients are humans with curl)
+	w.WriteHeader(http.StatusTeapot)
+}
+
+// Not a status write at all: other WriteHeader-free handlers are skipped.
+func plain(w http.ResponseWriter) {
+	_, _ = w.Write([]byte("ok"))
+}

@@ -1,0 +1,46 @@
+// Fixture for loader edge cases: generics, method values, and deferred
+// cleanups inside loops — shapes the source importer and CFG builder
+// must survive without losing type information.
+package loaderedge_a
+
+// Pair is a generic type instantiated from the package's other file.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Map is a generic function; calls to it must leave instances in the
+// type info so analyzers can resolve the concrete signatures.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+// MethodValue binds a method value — the call site has no selector, an
+// easy crash for naive callee resolution.
+func MethodValue() int {
+	c := &counter{}
+	f := c.inc
+	f()
+	return c.n
+}
+
+// DeferInLoop stacks a deferred cleanup per iteration; the CFG must
+// collect the defer even though it executes more than once.
+func DeferInLoop(closers []func() error) (err error) {
+	for _, close := range closers {
+		defer func(cl func() error) {
+			if e := cl(); e != nil && err == nil {
+				err = e
+			}
+		}(close)
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+package loaderedge_a
+
+// Second file of the package: cross-file generic instantiation must
+// type-check when the loader parses and checks all files together.
+func Pairs() []Pair[string, int] {
+	keys := []string{"a", "bb"}
+	return Map(keys, func(k string) Pair[string, int] {
+		return Pair[string, int]{Key: k, Val: len(k)}
+	})
+}

@@ -1,0 +1,182 @@
+// Fixture for the lockorder analyzer: acquisition order, balance on
+// every path, and no blocking operations under a lock.
+package lockorder_a
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"xamdb/internal/admission"
+)
+
+// Engine and docState replicate the shape of the engine's locking
+// protocol; the analyzer orders the locks by type and field name.
+type Engine struct {
+	mu   sync.RWMutex
+	docs map[string]*docState
+}
+
+type docState struct {
+	mu  sync.Mutex
+	gen int
+}
+
+func orderOK(e *Engine, st *docState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gen++
+}
+
+func orderInverted(e *Engine, st *docState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e.mu.Lock() // want "lock order inversion"
+	defer e.mu.Unlock()
+}
+
+func orderInvertedRead(e *Engine, st *docState) {
+	st.mu.Lock()
+	e.mu.RLock() // want "lock order inversion"
+	e.mu.RUnlock()
+	st.mu.Unlock()
+}
+
+func sequentialNotNested(e *Engine, st *docState) {
+	st.mu.Lock()
+	st.mu.Unlock()
+	e.mu.Lock() // released before acquiring: no inversion
+	e.mu.Unlock()
+}
+
+func balancedDefer(st *docState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gen++
+}
+
+func balancedExplicit(st *docState, cond bool) int {
+	st.mu.Lock()
+	if cond {
+		st.mu.Unlock()
+		return 0
+	}
+	g := st.gen
+	st.mu.Unlock()
+	return g
+}
+
+func leakOnOnePath(st *docState, cond bool) int { // early return leaks the lock
+	st.mu.Lock() // want "may still be held at function exit"
+	if cond {
+		return 0
+	}
+	g := st.gen
+	st.mu.Unlock()
+	return g
+}
+
+func doubleAcquire(st *docState) {
+	st.mu.Lock() // first acquisition is fine
+	st.mu.Lock() // want "may already be held"
+	st.mu.Unlock()
+	// The held-set does not count recursive acquisitions, so the second
+	// unlock releases a lock the model no longer tracks.
+	st.mu.Unlock() // want "not held on any path"
+}
+
+func unlockNotHeld(st *docState) {
+	st.mu.Unlock() // want "not held on any path"
+}
+
+func sendUnderLock(st *docState, ch chan int) {
+	st.mu.Lock()
+	ch <- st.gen // want "channel send while"
+	st.mu.Unlock()
+}
+
+func recvUnderLock(st *docState, ch chan int) {
+	st.mu.Lock()
+	st.gen = <-ch // want "channel receive while"
+	st.mu.Unlock()
+}
+
+func rangeChanUnderLock(st *docState, ch chan int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for v := range ch { // want "range over channel while"
+		st.gen += v
+	}
+}
+
+func selectBlockingUnderLock(st *docState, ch chan int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	select {
+	case v := <-ch: // want "channel receive while"
+		st.gen = v
+	}
+}
+
+// The admission controller's reserve-under-lock shape: a select with a
+// default case cannot block, so sending under the lock is fine.
+func selectDefaultUnderLock(st *docState, ch chan int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	select {
+	case ch <- st.gen:
+		return true
+	default:
+		return false
+	}
+}
+
+func sendAfterUnlock(st *docState, ch chan int) {
+	st.mu.Lock()
+	g := st.gen
+	st.mu.Unlock()
+	ch <- g // lock released: fine
+}
+
+func admissionUnderLock(st *docState, c *admission.Controller, ctx context.Context) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c.Do(ctx, time.Second, func(context.Context) error { return nil }) // want "admission.Do call while"
+}
+
+func admissionUnlocked(st *docState, c *admission.Controller, ctx context.Context) {
+	st.mu.Lock()
+	st.gen++
+	st.mu.Unlock()
+	c.Do(ctx, time.Second, func(context.Context) error { return nil })
+}
+
+// A suppressed violation: the directive must carry a reason and names the
+// analyzer, so the finding on the next line is dropped.
+func suppressed(st *docState, ch chan int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	//xamlint:allow lockorder(fixture: documented handoff, receiver is never concurrent here)
+	ch <- st.gen
+}
+
+// Locks inside a loop body, released before the back edge: balanced.
+func lockPerIteration(st *docState, n int) {
+	for i := 0; i < n; i++ {
+		st.mu.Lock()
+		st.gen++
+		st.mu.Unlock()
+	}
+}
+
+// A function literal gets its own CFG: the goroutine's lock use is
+// checked independently and does not leak into the enclosing function.
+func spawn(st *docState) {
+	go func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		st.gen++
+	}()
+}

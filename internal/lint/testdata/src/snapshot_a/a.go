@@ -1,0 +1,105 @@
+// Fixture for the snapshot analyzer: atomic.Pointer payloads are
+// immutable after Load; publication Stores fresh values under a lock.
+package snapshot_a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type env struct {
+	gen  int
+	tags []string
+}
+
+type holder struct {
+	mu sync.Mutex
+	pe atomic.Pointer[env]
+}
+
+func readOK(h *holder) int {
+	e := h.pe.Load()
+	return e.gen // reading a snapshot is the whole point
+}
+
+func mutateLoaded(h *holder) {
+	e := h.pe.Load()
+	e.gen = 7 // want "snapshots are immutable"
+}
+
+func mutateLoadedIncDec(h *holder) {
+	e := h.pe.Load()
+	e.gen++ // want "snapshots are immutable"
+}
+
+func mutateLoadedElement(h *holder) {
+	e := h.pe.Load()
+	e.tags[0] = "x" // want "snapshots are immutable"
+}
+
+func mutateLoadedBranch(h *holder, cond bool) {
+	e := &env{}
+	if cond {
+		e = h.pe.Load()
+	}
+	e.gen = 1 // want "snapshots are immutable"
+}
+
+func rebindThenMutate(h *holder) {
+	e := h.pe.Load()
+	e = &env{gen: e.gen + 1}
+	e.gen = 2 // rebound to a fresh value: fine
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pe.Store(e)
+}
+
+func republish(h *holder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.pe.Load()
+	h.pe.Store(e) // want "re-publishes an aliased snapshot"
+}
+
+func publishUnlocked(h *holder) {
+	h.pe.Store(&env{}) // want "outside a locked publish path"
+}
+
+func publishUnderLock(h *holder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pe.Store(&env{gen: 1})
+}
+
+// The repo convention: a *Locked suffix promises the caller holds the
+// owner's mutex.
+func (h *holder) publishLocked(gen int) {
+	old := h.pe.Load()
+	next := &env{gen: gen, tags: old.tags}
+	h.pe.Store(next)
+}
+
+// Initializing a fresh, not-yet-published holder needs no lock (the
+// AddDocument pattern).
+func build() *holder {
+	h := &holder{}
+	h.pe.Store(&env{})
+	return h
+}
+
+// A suppressed violation: reasoned directives drop the finding.
+func rebuildCache(h *holder) {
+	//xamlint:allow snapshot(fixture: idempotent rebuild, racing stores converge)
+	h.pe.Store(&env{})
+}
+
+// A closure gets its own dataflow: the literal never Loads, so its write
+// to the captured pointer is not charged against the enclosing Load (the
+// sync.Once lazy-init pattern).
+func lazyInit(h *holder, once *sync.Once) int {
+	e := h.pe.Load()
+	once.Do(func() {
+		e.gen = 42
+	})
+	return e.gen
+}

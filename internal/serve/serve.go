@@ -259,6 +259,7 @@ func (s *Server) handlePlanCache(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if len(s.e.Catalog()) == 0 {
+		w.Header().Set("Retry-After", "5")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "no documents registered")
 		return

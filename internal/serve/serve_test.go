@@ -177,8 +177,16 @@ func TestReadyzHoldsTrafficWithoutDocuments(t *testing.T) {
 	e := engine.New()
 	ts := httptest.NewServer(New(e).Handler())
 	defer ts.Close()
-	if code, _ := get(t, ts, "/readyz"); code != http.StatusServiceUnavailable {
-		t.Fatalf("/readyz on empty engine: %d, want 503", code)
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz on empty engine: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/readyz 503 must carry Retry-After so probes back off")
 	}
 	if err := e.LoadDocument("bib.xml", bibXML); err != nil {
 		t.Fatal(err)
