@@ -15,6 +15,7 @@
 //	xambench -exp observability      # query-path latency/throughput + metrics JSON
 //	xambench -exp plancache          # warm-path planning: cache, lazy extents, scaling
 //	xambench -exp admission          # admission control at saturation: shedding, accounting, bounded p99
+//	xambench -exp predicates         # §5 predicate absorption: selectivity sweep, base scan vs fused σ-scan
 //	xambench -exp all                # everything
 //
 // The observability and plancache experiments write their full reports
@@ -38,12 +39,13 @@ import (
 func timeNS(ns int64) time.Duration { return time.Duration(ns) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, admission, all")
+	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, admission, predicates, all")
 	sumName := flag.String("summary", "xmark", "summary for synthetic containment: xmark or dblp")
 	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonPath := flag.String("json", "", "output file for the observability/plancache report (default BENCH_<experiment>.json)")
-	iters := flag.Int("iters", 3, "observability/plancache: repetitions per query")
+	iters := flag.Int("iters", 3, "observability/plancache/predicates: repetitions per query")
+	items := flag.Int("items", 0, "predicates: items in the synthetic document (0 = default 100000)")
 	workers := flag.Int("workers", 4, "observability: concurrent goroutines")
 	flag.Parse()
 
@@ -269,6 +271,29 @@ func main() {
 			fmt.Printf("report written to %s\n", out)
 		}
 		return err
+	})
+
+	run("predicates", func() error {
+		rep, err := bench.PredicateSweep(ctx, bench.PredConfig{Items: *items, Iters: *iters})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset=%s items=%d\n", rep.Dataset, rep.Items)
+		fmt.Printf("%12s %9s %12s %12s %9s\n", "selectivity", "rows", "base p50", "absorbed", "speedup")
+		for _, r := range rep.Rows {
+			fmt.Printf("%11.3f%% %9d %10.2fms %10.2fms %8.1fx\n",
+				r.SelectivityPct, r.MatchRows,
+				float64(r.BaseP50NS)/1e6, float64(r.AbsorbedP50NS)/1e6, r.Speedup)
+		}
+		fmt.Printf("absorbing engine: base_scans=%d pred_absorbed=%d pred_residual=%d\n",
+			rep.BaseScans, rep.PredAbsorbed, rep.PredResidual)
+		fmt.Printf("plan: %s\n", rep.Rows[0].Plan)
+		out := jsonFor("predicates")
+		if err := rep.WriteJSON(out); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+		return nil
 	})
 
 	run("extraction", func() error {

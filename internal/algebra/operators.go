@@ -3,6 +3,7 @@ package algebra
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Cmp is a predicate comparator (§1.2.2): value comparisons plus the
@@ -179,12 +180,13 @@ func Project(r *Relation, dedup bool, names ...string) (*Relation, error) {
 		outSchema.Attrs = append(outSchema.Attrs, r.Schema.Attrs[j])
 	}
 	out := NewRelation(outSchema)
+	var seen dedupSet
 	for _, t := range r.Tuples {
 		nt := make(Tuple, len(cols))
 		for i, j := range cols {
 			nt[i] = t[j]
 		}
-		if dedup && containsTuple(out.Tuples, nt) {
+		if dedup && !seen.insert(nt) {
 			continue
 		}
 		out.Add(nt)
@@ -192,8 +194,31 @@ func Project(r *Relation, dedup bool, names ...string) (*Relation, error) {
 	return out, nil
 }
 
-func containsTuple(ts []Tuple, t Tuple) bool {
-	for _, u := range ts {
+// Distinct removes duplicate tuples preserving first occurrence order.
+func Distinct(r *Relation) *Relation {
+	out := NewRelation(r.Schema)
+	var seen dedupSet
+	for _, t := range r.Tuples {
+		if seen.insert(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// dedupSet eliminates duplicate tuples in near-linear time: tuples are
+// bucketed by a canonical fingerprint and collisions are confirmed with
+// Tuple.Equal, so the result is exactly the quadratic scan's — π° and
+// Distinct sit on every projected rewriting's output, where a linear scan
+// per tuple dominated selective-predicate plans.
+type dedupSet struct {
+	buckets map[string][]Tuple
+}
+
+func (d *dedupSet) contains(t Tuple) bool {
+	var sb strings.Builder
+	tupleKey(&sb, t)
+	for _, u := range d.buckets[sb.String()] {
 		if u.Equal(t) {
 			return true
 		}
@@ -201,15 +226,40 @@ func containsTuple(ts []Tuple, t Tuple) bool {
 	return false
 }
 
-// Distinct removes duplicate tuples preserving first occurrence order.
-func Distinct(r *Relation) *Relation {
-	out := NewRelation(r.Schema)
-	for _, t := range r.Tuples {
-		if !containsTuple(out.Tuples, t) {
-			out.Add(t)
+func (d *dedupSet) insert(t Tuple) bool {
+	if d.buckets == nil {
+		d.buckets = map[string][]Tuple{}
+	}
+	var sb strings.Builder
+	tupleKey(&sb, t)
+	k := sb.String()
+	for _, u := range d.buckets[k] {
+		if u.Equal(t) {
+			return false
 		}
 	}
-	return out
+	d.buckets[k] = append(d.buckets[k], t)
+	return true
+}
+
+// tupleKey renders a fingerprint under which equal tuples collide: the kind
+// tag plus a length-prefixed canonical rendering per value, recursing into
+// nested collections.
+func tupleKey(sb *strings.Builder, t Tuple) {
+	for _, v := range t {
+		sb.WriteByte(byte('0' + v.Kind))
+		if v.Kind == Rel && v.Rel != nil {
+			sb.WriteByte('[')
+			for _, it := range v.Rel.Tuples {
+				tupleKey(sb, it)
+				sb.WriteByte(';')
+			}
+			sb.WriteByte(']')
+			continue
+		}
+		s := v.AsString()
+		fmt.Fprintf(sb, "%d:%s", len(s), s)
+	}
 }
 
 // Product implements the cartesian product ×.
@@ -240,8 +290,12 @@ func Difference(r, s *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("algebra: difference: schema mismatch")
 	}
 	out := NewRelation(r.Schema)
+	var exclude dedupSet
+	for _, t := range s.Tuples {
+		exclude.insert(t)
+	}
 	for _, t := range r.Tuples {
-		if !containsTuple(s.Tuples, t) {
+		if !exclude.contains(t) {
 			out.Add(t)
 		}
 	}

@@ -1,0 +1,106 @@
+package algebra
+
+import (
+	"fmt"
+
+	"xamdb/internal/value"
+)
+
+// SelectFormula is the logical residual-selection operator σ_φ of predicate
+// absorption: it keeps the tuples whose named top-level attribute satisfies
+// a §4.1 interval-union formula. Null never satisfies a formula (an absent
+// value has no point in the ordered domain).
+func SelectFormula(r *Relation, attr string, f value.Formula) (*Relation, error) {
+	col := r.Schema.Index(attr)
+	if col < 0 {
+		return nil, fmt.Errorf("algebra: select-formula: no attribute %q", attr)
+	}
+	out := NewRelation(r.Schema)
+	for _, t := range r.Tuples {
+		v := t[col]
+		if v.Kind != Null && f.Holds(value.Str(v.AsString())) {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+// Reshape restructures r to the target schema by attribute name, descending
+// into nested collections: every target attribute must name an attribute of
+// the source schema with the same shape (atomic for atomic, collection for
+// collection), and collection attributes are reshaped recursively to the
+// target's inner schema. It is the nested generalization of Project —
+// projection inside collections without unnesting — used to erase view
+// annotations that live inside a nest edge.
+func Reshape(r *Relation, target *Schema) (*Relation, error) {
+	plan, err := reshapePlan(r.Schema, target)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(target)
+	for _, t := range r.Tuples {
+		rt, err := plan.apply(t)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(rt)
+	}
+	return out, nil
+}
+
+// reshaper is a compiled source→target mapping: one source column index per
+// target attribute, with a nested reshaper for collection attributes.
+type reshaper struct {
+	target *Schema
+	cols   []int
+	nested []*reshaper // aligned with cols; nil for atomic attributes
+}
+
+func reshapePlan(src, target *Schema) (*reshaper, error) {
+	rs := &reshaper{target: target}
+	for _, a := range target.Attrs {
+		j := src.Index(a.Name)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: reshape: no attribute %q in %s", a.Name, src)
+		}
+		sa := src.Attrs[j]
+		if (sa.Nested == nil) != (a.Nested == nil) {
+			return nil, fmt.Errorf("algebra: reshape: attribute %q changes shape", a.Name)
+		}
+		rs.cols = append(rs.cols, j)
+		if a.Nested == nil {
+			rs.nested = append(rs.nested, nil)
+			continue
+		}
+		inner, err := reshapePlan(sa.Nested, a.Nested)
+		if err != nil {
+			return nil, err
+		}
+		rs.nested = append(rs.nested, inner)
+	}
+	return rs, nil
+}
+
+func (rs *reshaper) apply(t Tuple) (Tuple, error) {
+	out := make(Tuple, len(rs.cols))
+	for i, j := range rs.cols {
+		v := t[j]
+		if rs.nested[i] == nil || v.Kind == Null {
+			out[i] = v
+			continue
+		}
+		if v.Kind != Rel {
+			return nil, fmt.Errorf("algebra: reshape: attribute %q is not a collection", rs.target.Attrs[i].Name)
+		}
+		inner := NewRelation(rs.nested[i].target)
+		for _, it := range v.Rel.Tuples {
+			rt, err := rs.nested[i].apply(it)
+			if err != nil {
+				return nil, err
+			}
+			inner.Add(rt)
+		}
+		out[i] = RelV(inner)
+	}
+	return out, nil
+}

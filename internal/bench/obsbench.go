@@ -92,10 +92,16 @@ var obsWorkload = []string{
 // serve the serialized-content ({cont}) attribute those patterns ask for, so
 // without these every workload query would take the base-scan path and the
 // benchmark would never exercise the rewrite/materialize/execute spans.
+// The article views carry structural IDs and v_article_year stores the year
+// value, so the predicate query (year = "1999") is answered by absorbing the
+// predicate into a view selection and nest-joining titles — the whole
+// workload runs with engine.base_scans == 0 (asserted by the bench test).
 var obsViews = map[string]string{
-	"v_article_title":  `// article(/ title{cont})`,
-	"v_article_author": `// article(/ author{cont})`,
+	"v_article_title":  `// article{id s}(/ title{cont})`,
+	"v_article_author": `// article{id s}(/ author{cont})`,
 	"v_book_title":     `// book(/ title{cont})`,
+	"v_article_year":   `// article{id s}(/ year{id s, val})`,
+	"v_title":          `// title{id s, cont}`,
 }
 
 // QueryObservability measures the engine's query path end to end: it loads

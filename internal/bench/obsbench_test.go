@@ -39,6 +39,15 @@ func TestQueryObservability(t *testing.T) {
 	if rep.Metrics == nil || rep.Metrics.Counters["engine.queries"] == 0 {
 		t.Fatalf("metrics snapshot must record queries: %+v", rep.Metrics)
 	}
+	// Predicate absorption: every workload query — including the value-
+	// predicate FLWOR — must be answered from the views, never the base
+	// document, and the predicate query must be counted as absorbed.
+	if n := rep.Metrics.Counters["engine.base_scans"]; n != 0 {
+		t.Fatalf("engine.base_scans = %d, want 0 (plans: %+v)", n, rep.Queries)
+	}
+	if rep.Metrics.Counters["engine.pred_absorbed"] == 0 {
+		t.Fatal("the predicate query must be accounted as absorbed")
+	}
 
 	path := filepath.Join(t.TempDir(), "BENCH_observability.json")
 	if err := rep.WriteJSON(path); err != nil {

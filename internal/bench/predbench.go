@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"xamdb/internal/datagen"
+	"xamdb/internal/engine"
+)
+
+// PredConfig sizes the predicate-absorption benchmark. The zero value is the
+// CI smoke configuration.
+type PredConfig struct {
+	Items int // items in the synthetic document (default 100000)
+	Iters int // measured repetitions per selectivity point (default 3)
+}
+
+func (c PredConfig) withDefaults() PredConfig {
+	if c.Items <= 0 {
+		c.Items = 100_000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	return c
+}
+
+// PredRow is one selectivity point of the sweep: the same range-predicate
+// query answered by direct base evaluation versus the predicate-absorbing
+// view plan (σ_φ fused into the view scan).
+type PredRow struct {
+	SelectivityPct float64 `json:"selectivity_pct"`
+	MatchRows      int     `json:"match_rows"`
+	Query          string  `json:"query"`
+	Plan           string  `json:"plan"` // the absorbing engine's chosen plan
+	BaseP50NS      int64   `json:"base_p50_ns"`
+	AbsorbedP50NS  int64   `json:"absorbed_p50_ns"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// PredReport is the xambench predicates export (BENCH_predicates.json): the
+// selectivity sweep plus the absorbing engine's absorption counters — the
+// zero-base-scan proof rides in BaseScans.
+type PredReport struct {
+	Experiment   string    `json:"experiment"`
+	Dataset      string    `json:"dataset"`
+	Items        int       `json:"items"`
+	Rows         []PredRow `json:"rows"`
+	BaseScans    int64     `json:"engine_base_scans"`
+	PredAbsorbed int64     `json:"engine_pred_absorbed"`
+	PredResidual int64     `json:"engine_pred_residual"`
+}
+
+// predView stores each item's num value and payload content side by side:
+// wide enough that any range predicate on num is absorbed into a residual
+// selection over this one extent, with no join at all.
+const predView = `// item(/ num{val}, / payload{cont})`
+
+// predSelectivities are the swept match fractions, 0.001% through 50%.
+var predSelectivities = []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 0.5}
+
+// PredicateSweep measures predicate absorption end to end: a range predicate
+// of dialed selectivity over the serial-items document, answered by (a) a
+// view-less engine that must base-scan and (b) an engine whose value-storing
+// view absorbs the predicate into a fused filtered scan. Both engines are
+// warmed first (extents materialized, plan cache filled), so the comparison
+// is the steady-state query path.
+func PredicateSweep(ctx context.Context, cfg PredConfig) (*PredReport, error) {
+	cfg = cfg.withDefaults()
+	doc := datagen.SerialItems(cfg.Items)
+
+	baseEng := engine.New()
+	baseEng.AddDocument(doc)
+
+	absEng := engine.New()
+	absEng.UsePhysical = true
+	absEng.AddDocument(doc)
+	if err := absEng.RegisterView(doc.Name, "v_item", predView); err != nil {
+		return nil, err
+	}
+
+	rep := &PredReport{Experiment: "predicates", Dataset: doc.Name, Items: cfg.Items}
+	for _, sel := range predSelectivities {
+		k := int(sel * float64(cfg.Items))
+		if k < 1 {
+			k = 1
+		}
+		q := fmt.Sprintf(`doc(%q)//item[num < %q]/payload`, doc.Name, fmt.Sprint(k))
+		row := PredRow{
+			SelectivityPct: 100 * float64(k) / float64(cfg.Items),
+			MatchRows:      k,
+			Query:          q,
+		}
+
+		basP50, err := warmP50(ctx, baseEng, q, cfg.Iters, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: predicates base %q: %w", q, err)
+		}
+		row.BaseP50NS = basP50
+		absP50, err := warmP50(ctx, absEng, q, cfg.Iters, &row.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("bench: predicates absorbed %q: %w", q, err)
+		}
+		row.AbsorbedP50NS = absP50
+		if absP50 > 0 {
+			row.Speedup = float64(basP50) / float64(absP50)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	snap := absEng.Metrics.Snapshot()
+	rep.BaseScans = snap.Counters[engine.MetricBaseScans]
+	rep.PredAbsorbed = snap.Counters[engine.MetricPredAbsorbed]
+	rep.PredResidual = snap.Counters[engine.MetricPredResidual]
+	return rep, nil
+}
+
+// warmP50 warms the engine on q (materializing extents and filling the plan
+// cache), then reports the p50 of iters*3 measured runs. With planOut set,
+// the first run's chosen plan is recorded.
+func warmP50(ctx context.Context, e *engine.Engine, q string, iters int, planOut *string) (int64, error) {
+	for i := 0; i < 2; i++ {
+		_, qrep, err := e.QueryContext(ctx, q)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 && planOut != nil && len(qrep.Plans) > 0 {
+			*planOut = qrep.Plans[0]
+		}
+	}
+	samples := iters * 3
+	lats := make([]int64, samples)
+	for i := range lats {
+		start := time.Now()
+		if _, _, err := e.QueryContext(ctx, q); err != nil {
+			return 0, err
+		}
+		lats[i] = time.Since(start).Nanoseconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2], nil
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_*.json format).
+func (r *PredReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPredicateSweep is the acceptance test of predicate absorption: the
+// absorbing engine must never touch the base document, the residual
+// selection must be accounted, and at selective points (≤1%) the absorbed
+// plan must be at least 10x faster than base evaluation.
+func TestPredicateSweep(t *testing.T) {
+	rep, err := PredicateSweep(context.Background(), PredConfig{Items: 50_000, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(predSelectivities) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(predSelectivities))
+	}
+	if rep.BaseScans != 0 {
+		t.Fatalf("engine.base_scans = %d, want 0 (plans: %+v)", rep.BaseScans, rep.Rows)
+	}
+	if rep.PredAbsorbed == 0 || rep.PredResidual == 0 {
+		t.Fatalf("absorption counters empty: absorbed=%d residual=%d",
+			rep.PredAbsorbed, rep.PredResidual)
+	}
+	// Race instrumentation taxes the per-tuple residual filter much harder
+	// than the traversal-bound base path; the 10x bar applies to plain runs.
+	minSpeedup := 10.0
+	if raceEnabled {
+		minSpeedup = 3.0
+	}
+	for _, r := range rep.Rows {
+		if r.Plan == "" || r.BaseP50NS <= 0 || r.AbsorbedP50NS <= 0 {
+			t.Fatalf("incomplete row: %+v", r)
+		}
+		if r.SelectivityPct <= 1 && r.Speedup < minSpeedup {
+			t.Errorf("selectivity %.3f%%: speedup %.1fx < %.0fx (base %dns, absorbed %dns)",
+				r.SelectivityPct, r.Speedup, minSpeedup, r.BaseP50NS, r.AbsorbedP50NS)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_predicates.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PredReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("BENCH JSON must round-trip: %v", err)
+	}
+	if back.Experiment != "predicates" || len(back.Rows) != len(rep.Rows) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

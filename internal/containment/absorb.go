@@ -1,0 +1,61 @@
+package containment
+
+import (
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+// Absorption is the compensation record for matching a query node carrying
+// predicate φq against a view node decorated with φv (§4.4.2 applied to
+// decorated patterns). The match is sound whenever φq ⇒ φv: every document
+// node the query wants is guaranteed to be in the view's extent. Residual
+// is the selection the rewriting must still apply on the view side —
+// φq itself, since on rows already known to satisfy φv, σ_{φq} computes
+// exactly φv ∧ φq = φq. Exact marks φv ⇒ φq too, in which case the view
+// stores no extra rows and no residual selection is needed at all.
+type Absorption struct {
+	Query    value.Formula // φq, the query node's predicate
+	View     value.Formula // φv, the view node's decoration (T when bare)
+	Residual value.Formula // selection to push onto the view-extent scan
+	Exact    bool          // φv ≡ φq: the scan alone is already correct
+}
+
+// AbsorbPredicate decides whether a query predicate φq can be absorbed by a
+// view node decorated with φv, and if so returns the compensation record.
+// ok is false when φq ⇏ φv: the view may be missing rows the query needs,
+// so no selection on the view can recover them.
+func AbsorbPredicate(q, v value.Formula) (Absorption, bool) {
+	if !q.Implies(v) {
+		return Absorption{}, false
+	}
+	return Absorption{
+		Query:    q,
+		View:     v,
+		Residual: q,
+		Exact:    v.Implies(q),
+	}, true
+}
+
+// AbsorbNode is AbsorbPredicate lifted to pattern nodes: the view node's
+// decoration defaults to T (a bare value-storing node keeps every row).
+// Absorption additionally requires the view node to expose the value —
+// either it stores Val (the residual can be evaluated on the extent) or it
+// carries a decoration already implied (Exact, nothing to evaluate).
+func AbsorbNode(qn, vn *xam.Node) (Absorption, bool) {
+	if !qn.HasValuePred {
+		return Absorption{}, false
+	}
+	view := value.True()
+	if vn.HasValuePred {
+		view = vn.ValuePred
+	}
+	a, ok := AbsorbPredicate(qn.ValuePred, view)
+	if !ok {
+		return Absorption{}, false
+	}
+	if !a.Exact && !vn.StoreVal {
+		// A residual selection needs the stored value to filter on.
+		return Absorption{}, false
+	}
+	return a, true
+}

@@ -1,0 +1,64 @@
+package containment
+
+import (
+	"testing"
+
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+func TestAbsorbPredicate(t *testing.T) {
+	eq := value.Eq(value.Num(1999))
+	rng := value.Ge(value.Num(1990)).And(value.Le(value.Num(2005)))
+
+	// Equality into a bare (T-decorated) view node: residual = φq.
+	a, ok := AbsorbPredicate(eq, value.True())
+	if !ok || a.Exact || !a.Residual.Equal(eq) {
+		t.Fatalf("eq into T: %+v ok=%v", a, ok)
+	}
+	// Range into a wider range: absorbable with residual.
+	a, ok = AbsorbPredicate(eq, rng)
+	if !ok || a.Exact || !a.Residual.Equal(eq) {
+		t.Fatalf("eq into range: %+v ok=%v", a, ok)
+	}
+	// Exact match: no residual work needed.
+	a, ok = AbsorbPredicate(rng, rng)
+	if !ok || !a.Exact {
+		t.Fatalf("range into itself: %+v ok=%v", a, ok)
+	}
+	// Conjunction: φq = range ∧ ≠2000 still implies the range.
+	conj := rng.And(value.Ne(value.Num(2000)))
+	a, ok = AbsorbPredicate(conj, rng)
+	if !ok || a.Exact || !a.Residual.Equal(conj) {
+		t.Fatalf("conjunction into range: %+v ok=%v", a, ok)
+	}
+	// Non-implied: the view is missing rows; no selection can recover them.
+	if _, ok := AbsorbPredicate(rng, eq); ok {
+		t.Fatal("wider query predicate must not absorb into a narrower view")
+	}
+}
+
+func TestAbsorbNode(t *testing.T) {
+	qn := &xam.Node{Name: "q", Label: "year", ValuePred: value.Eq(value.Num(1999)), HasValuePred: true}
+	bare := &xam.Node{Name: "v", Label: "year", StoreVal: true}
+	if _, ok := AbsorbNode(qn, bare); !ok {
+		t.Fatal("predicate must absorb into a bare value-storing node")
+	}
+	// Decorated but value-less view node: only an exact decoration works,
+	// since a residual selection has nothing to filter on.
+	decorated := &xam.Node{Name: "v", Label: "year",
+		ValuePred: value.Ge(value.Num(1990)), HasValuePred: true}
+	if _, ok := AbsorbNode(qn, decorated); ok {
+		t.Fatal("residual selection requires a stored value")
+	}
+	exact := &xam.Node{Name: "v", Label: "year",
+		ValuePred: value.Eq(value.Num(1999)), HasValuePred: true}
+	a, ok := AbsorbNode(qn, exact)
+	if !ok || !a.Exact {
+		t.Fatalf("exact decoration needs no stored value: %+v ok=%v", a, ok)
+	}
+	// No query predicate → nothing to absorb.
+	if _, ok := AbsorbNode(&xam.Node{Name: "q"}, bare); ok {
+		t.Fatal("predicate-free query node must not absorb")
+	}
+}

@@ -161,6 +161,13 @@ func forcedGuaranteed(e *xam.Edge, from *summary.Node) bool {
 // match exists.
 func canMatch(t *CanonTree, e *xam.Edge, ctx *CTNode) bool {
 	for _, cand := range realCandidates(t, ctx, e) {
+		// A predicate-decorated pattern node cannot match a tree node whose
+		// formula contradicts the predicate: no valuation consistent with
+		// the entry satisfies both, so that candidate never yields a match
+		// and must not block the ⊥ assignment.
+		if e.Child.HasValuePred && cand.HasFormula && e.Child.ValuePred.And(cand.Formula).IsFalse() {
+			continue
+		}
 		ok := true
 		for _, ce := range e.Child.Edges {
 			if ce.Sem.Optional() {

@@ -391,6 +391,26 @@ func SwissProt(entries int) *xmltree.Document {
 	return xmltree.NewDocument("swissprot.xml", root)
 }
 
+// SerialItems generates the predicate-selectivity stand-in: n items whose
+// <num> child holds the serial 0..n-1, so a range predicate num < k selects
+// exactly k items (selectivity k/n is dialed directly). Each item also
+// carries a payload plus filler children, so base evaluation pays realistic
+// per-item navigation cost that a value-storing view avoids.
+func SerialItems(n int) *xmltree.Document {
+	g := newGen(29)
+	root := el("items")
+	for i := 0; i < n; i++ {
+		item := el("item",
+			el("num", txt(fmt.Sprint(i))),
+			el("payload", txt(g.text(3))),
+			el("kind", txt(g.word())),
+			el("note", txt(g.text(2))),
+			el("source", txt(g.word())))
+		root.Children = append(root.Children, item)
+	}
+	return xmltree.NewDocument("items.xml", root)
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

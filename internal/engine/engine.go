@@ -748,6 +748,17 @@ func (e *Engine) run(ctx context.Context, src string, analyze bool) (out string,
 	return algebra.SerializeNodes(nodes), report, nil
 }
 
+// patternHasValuePred reports whether any node of the query pattern carries
+// a value predicate — the precondition for predicate-absorption accounting.
+func patternHasValuePred(pat *xam.Pattern) bool {
+	for _, n := range pat.Nodes() {
+		if n.HasValuePred {
+			return true
+		}
+	}
+	return false
+}
+
 // ctxErr reports whether err carries a context cancellation: those abort
 // the query instead of triggering the fallback cascade.
 func ctxErr(err error) bool {
@@ -811,6 +822,15 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 			m.executeNS.Since(exStart)
 			espan.End()
 			if err == nil {
+				// Predicate absorption accounting: a decorated query answered
+				// from views absorbed its predicates into the view scans;
+				// each σ_φ in the winning plan is a residual selection.
+				if patternHasValuePred(pat) {
+					m.predAbsorbed.Inc()
+				}
+				if n := rewrite.CountResidualSelections(plan.Plan); n > 0 {
+					m.predResidual.Add(int64(n))
+				}
 				return rel, plan.Plan.String(), ops, nil
 			}
 			if abortErr(err) || ctx.Err() != nil {
@@ -909,15 +929,11 @@ func evalBase(pat *xam.Pattern, doc *xmltree.Document) (rel *algebra.Relation, e
 }
 
 // renamePhysical aligns a physically-executed plan's output with the query
-// pattern's schema, as Rewriting.Execute does for the logical path.
+// pattern's schema, as Rewriting.Execute does for the logical path —
+// including nested collection schemas, which carry their own attribute
+// names inside each tuple.
 func renamePhysical(rel *algebra.Relation, rw *rewrite.Rewriting) (*algebra.Relation, error) {
-	want := rw.Query.Schema()
-	if len(rel.Schema.Attrs) != len(want.Attrs) {
-		return nil, fmt.Errorf("engine: physical output shape mismatch: %s vs %s", rel.Schema, want)
-	}
-	out := algebra.NewRelation(want)
-	out.Tuples = rel.Tuples
-	return out, nil
+	return rw.AlignSchema(rel)
 }
 
 func applyJoin(r *algebra.Relation, j xquery.ValueJoin) (*algebra.Relation, error) {

@@ -15,6 +15,8 @@ const (
 	MetricDegradations       = "engine.degradations"
 	MetricPlansTried         = "engine.plans_tried"
 	MetricBaseScans          = "engine.base_scans"
+	MetricPredAbsorbed       = "engine.pred_absorbed"
+	MetricPredResidual       = "engine.pred_residual"
 	MetricPlanCacheHits      = "engine.plan_cache_hits"
 	MetricPlanCacheMisses    = "engine.plan_cache_misses"
 	MetricPlanCacheEvictions = "engine.plan_cache_evictions"
@@ -50,6 +52,8 @@ type engineMetrics struct {
 	degradations      *obs.Counter
 	plansTried        *obs.Counter
 	baseScans         *obs.Counter
+	predAbsorbed      *obs.Counter
+	predResidual      *obs.Counter
 	cacheHits         *obs.Counter
 	cacheMisses       *obs.Counter
 	cacheEvictions    *obs.Counter
@@ -61,10 +65,10 @@ type engineMetrics struct {
 	executeNS         *obs.Histogram
 	fallbackDepth     *obs.Histogram
 
-	planCacheSize *obs.Gauge
-	extentsBuilt  *obs.Gauge
+	planCacheSize  *obs.Gauge
+	extentsBuilt   *obs.Gauge
 	extentsUnbuilt *obs.Gauge
-	extentsFailed *obs.Gauge
+	extentsFailed  *obs.Gauge
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -76,6 +80,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		degradations:      reg.Counter(MetricDegradations),
 		plansTried:        reg.Counter(MetricPlansTried),
 		baseScans:         reg.Counter(MetricBaseScans),
+		predAbsorbed:      reg.Counter(MetricPredAbsorbed),
+		predResidual:      reg.Counter(MetricPredResidual),
 		cacheHits:         reg.Counter(MetricPlanCacheHits),
 		cacheMisses:       reg.Counter(MetricPlanCacheMisses),
 		cacheEvictions:    reg.Counter(MetricPlanCacheEvictions),

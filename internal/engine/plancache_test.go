@@ -49,6 +49,62 @@ func TestPlanCacheWarmHit(t *testing.T) {
 	}
 }
 
+// TestPlanCachePredicateKeySoundness is the cache-key soundness regression
+// test for absorbed predicates: two queries identical except for the
+// predicate constant must get distinct cache entries (the key includes the
+// normalized φ), so the warm cache never serves the first constant's
+// rewriting — with its baked-in residual selection — for the second. Both
+// must still be answered from the value-storing view, never the base.
+func TestPlanCachePredicateKeySoundness(t *testing.T) {
+	e := New()
+	const predBib = `<bib>
+  <book><title>Data on the Web</title><year>1999</year></book>
+  <book><title>The Syntactic Web</title><year>2002</year></book>
+</bib>`
+	if err := e.LoadDocument("pbib.xml", predBib); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterView("pbib.xml", "vy", `// book(/ title{cont}, / year{val})`); err != nil {
+		t.Fatal(err)
+	}
+	got99, rep99, err := e.Query(`doc("pbib.xml")//book[year = "1999"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got02, rep02, err := e.Query(`doc("pbib.xml")//book[year = "2002"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got99 != `<title>Data on the Web</title>` || got02 != `<title>The Syntactic Web</title>` {
+		t.Fatalf("predicate constants must select distinct rows:\n1999: %q\n2002: %q", got99, got02)
+	}
+	for i, rep := range []*Report{rep99, rep02} {
+		if !strings.Contains(rep.Plans[0], "vy") {
+			t.Fatalf("query %d must be answered from the view, got plan %s", i, rep.Plans[0])
+		}
+	}
+	snap := e.Metrics.Snapshot()
+	if snap.Counters["engine.base_scans"] != 0 {
+		t.Fatalf("absorbed predicates must not base-scan: base_scans=%d", snap.Counters["engine.base_scans"])
+	}
+	if snap.Counters["engine.plan_cache_hits"] != 0 || snap.Counters["engine.plan_cache_misses"] != 2 {
+		t.Fatalf("distinct φ must yield distinct keys: hits=%d misses=%d",
+			snap.Counters["engine.plan_cache_hits"], snap.Counters["engine.plan_cache_misses"])
+	}
+	// Re-running the first constant is a genuine warm hit and must still
+	// return the 1999 rows, not the most recently cached rewriting.
+	again, _, err := e.Query(`doc("pbib.xml")//book[year = "1999"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got99 {
+		t.Fatalf("warm re-run changed the answer: %q vs %q", again, got99)
+	}
+	if hits := e.Metrics.Snapshot().Counters["engine.plan_cache_hits"]; hits != 1 {
+		t.Fatalf("identical predicate must hit the cache: hits=%d, want 1", hits)
+	}
+}
+
 // TestPlanCacheInvalidatedByRegistration: registering or dropping a view
 // publishes a new snapshot (epoch+1) with a fresh cache, so the next query
 // replans instead of reusing a rewriting compiled over the old view set.

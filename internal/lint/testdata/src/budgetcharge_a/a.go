@@ -9,6 +9,7 @@ import (
 
 	"xamdb/internal/algebra"
 	"xamdb/internal/physical"
+	"xamdb/internal/value"
 )
 
 // leafBad yields tuples from a buffer without ever pulling an upstream
@@ -100,6 +101,63 @@ func (l *leafAllowed) Next() (algebra.Tuple, bool) {
 	t := l.rows[l.pos]
 	l.pos++
 	return t, true
+}
+
+// filterLeafBad mirrors a fused residual-selection leaf (σ_φ over an extent)
+// that filters without the quota protocol: it examines arbitrarily many
+// tuples between emissions, yet never charges the budget — for a selective
+// formula a quota kill could be deferred across the whole extent.
+type filterLeafBad struct {
+	rel *algebra.Relation
+	col int
+	f   value.Formula
+	pos int
+}
+
+func (l *filterLeafBad) Schema() *algebra.Schema      { return l.rel.Schema }
+func (l *filterLeafBad) Order() (o algebra.OrderDesc) { return }
+
+func (l *filterLeafBad) Next() (algebra.Tuple, bool) { // want "leaf Iterator.Next"
+	for l.pos < l.rel.Len() {
+		t := l.rel.Tuples[l.pos]
+		l.pos++
+		if l.f.Holds(value.Str(t[l.col].AsString())) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// filterLeafCharged is the same fused filter carrying the protocol itself:
+// it charges one batch of examined tuples at a time, so quota kills stay
+// responsive even when nothing satisfies the formula for long stretches.
+type filterLeafCharged struct {
+	rel      *algebra.Relation
+	b        *physical.Budget
+	col      int
+	f        value.Formula
+	pos      int
+	examined int
+}
+
+func (l *filterLeafCharged) Schema() *algebra.Schema      { return l.rel.Schema }
+func (l *filterLeafCharged) Order() (o algebra.OrderDesc) { return }
+
+func (l *filterLeafCharged) Next() (algebra.Tuple, bool) {
+	for l.pos < l.rel.Len() {
+		if l.examined%64 == 0 {
+			if err := l.b.ChargeTuples(64); err != nil {
+				return nil, false
+			}
+		}
+		t := l.rel.Tuples[l.pos]
+		l.pos++
+		l.examined++
+		if l.f.Holds(value.Str(t[l.col].AsString())) {
+			return t, true
+		}
+	}
+	return nil, false
 }
 
 // notAnIterator has a Next that does not implement physical.Iterator:

@@ -27,6 +27,15 @@ type Config struct {
 	Values   int     // distinct predicate constants (default 10)
 	Returns  int     // number of return nodes, annotated {id} (default 1)
 	MaxDepth int     // summary descent bound per edge (default 4)
+
+	// PredValues, when non-empty, replaces the default 0..Values-1 constant
+	// pool — point it at values the target document actually contains so
+	// generated predicates select non-empty results.
+	PredValues []value.Atom
+	// PredRange draws the comparator uniformly from {=, !=, <, <=, >, >=}
+	// instead of always =, so workloads exercise interval absorption, not
+	// just point lookups.
+	PredRange bool
 }
 
 func (c Config) withDefaults() Config {
@@ -101,9 +110,21 @@ func Generate(s *summary.Summary, cfg Config, rng *rand.Rand) *xam.Pattern {
 		}
 		if rng.Float64() < cfg.PPred {
 			c := value.Num(float64(rng.Intn(cfg.Values)))
-			n.ValuePred = value.Eq(c)
+			if len(cfg.PredValues) > 0 {
+				c = cfg.PredValues[rng.Intn(len(cfg.PredValues))]
+			}
+			op := "="
+			if cfg.PredRange {
+				ops := []string{"=", "!=", "<", "<=", ">", ">="}
+				op = ops[rng.Intn(len(ops))]
+			}
+			f, err := value.FromComparison(op, c)
+			if err != nil {
+				panic("patgen: comparator pool out of sync with value.FromComparison")
+			}
+			n.ValuePred = f
 			n.HasValuePred = true
-			n.PredSrc = []string{fmt.Sprintf("val=%s", c)}
+			n.PredSrc = []string{fmt.Sprintf("val%s%s", op, c)}
 		}
 		sem := xam.SemJoin
 		if rng.Float64() < cfg.POpt && cur.parent != nil {

@@ -19,7 +19,10 @@ type OpStats struct {
 	NextCalls   int64         `json:"next_calls"`
 	Time        time.Duration `json:"time_ns"`
 	Checkpoints int64         `json:"checkpoints,omitempty"`
-	Children    []*OpStats    `json:"children,omitempty"`
+	// Examined counts input tuples a residual selection inspected; with
+	// Rows it exposes the filter's selectivity in EXPLAIN ANALYZE.
+	Examined int64      `json:"examined,omitempty"`
+	Children []*OpStats `json:"children,omitempty"`
 }
 
 // AddChild appends a child stats node (ignoring nils, so uninstrumented
@@ -50,6 +53,9 @@ func (s *OpStats) render(sb *strings.Builder, depth int) {
 	if s.Checkpoints > 0 {
 		fmt.Fprintf(sb, " ckpt=%d", s.Checkpoints)
 	}
+	if s.Examined > 0 {
+		fmt.Fprintf(sb, " exam=%d", s.Examined)
+	}
 	sb.WriteByte('\n')
 	for _, c := range s.Children {
 		c.render(sb, depth+1)
@@ -64,6 +70,7 @@ type Instrument struct {
 	in    Iterator
 	stats *OpStats
 	ck    *Checkpoint
+	fs    *FormulaSelect
 }
 
 // NewInstrument wraps in with a fresh stats node labeled label.
@@ -78,6 +85,9 @@ func InstrumentWith(stats *OpStats, in Iterator) *Instrument {
 	ins := &Instrument{in: in, stats: stats}
 	if ck, ok := in.(*Checkpoint); ok {
 		ins.ck = ck
+	}
+	if fs, ok := in.(*FormulaSelect); ok {
+		ins.fs = fs
 	}
 	return ins
 }
@@ -102,6 +112,10 @@ func (i *Instrument) Next() (algebra.Tuple, bool) {
 	}
 	if i.ck != nil {
 		i.stats.Checkpoints = int64(i.ck.Polls())
+	}
+	if i.fs != nil {
+		i.stats.Checkpoints = int64(i.fs.Polls())
+		i.stats.Examined = i.fs.Examined()
 	}
 	return t, ok
 }

@@ -1,0 +1,115 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/value"
+)
+
+func selectFixture(n int) *algebra.Relation {
+	rel := algebra.NewRelation(&algebra.Schema{Attrs: []algebra.Attr{{Name: "n.Val"}, {Name: "n.ID"}}})
+	for i := 0; i < n; i++ {
+		rel.Add(algebra.Tuple{algebra.S(fmt.Sprint(i)), algebra.S(fmt.Sprintf("id%d", i))})
+	}
+	return rel
+}
+
+func TestFormulaSelectFilters(t *testing.T) {
+	rel := selectFixture(100)
+	f := value.Lt(value.Num(10))
+	fs, err := NewFormulaSelect(context.Background(), rel, algebra.OrderDesc{"n.ID"}, "n.Val", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Drain(fs)
+	if out.Len() != 10 {
+		t.Fatalf("want 10 rows, got %d", out.Len())
+	}
+	if fs.Examined() != 100 {
+		t.Fatalf("want 100 examined, got %d", fs.Examined())
+	}
+	if len(fs.Order()) != 1 || fs.Order()[0] != "n.ID" {
+		t.Fatalf("order not preserved: %v", fs.Order())
+	}
+}
+
+func TestFormulaSelectMissingAttr(t *testing.T) {
+	if _, err := NewFormulaSelect(context.Background(), selectFixture(1), nil, "nope", value.True()); err == nil {
+		t.Fatal("missing attribute must error")
+	}
+}
+
+func TestFormulaSelectSkipsNull(t *testing.T) {
+	rel := algebra.NewRelation(&algebra.Schema{Attrs: []algebra.Attr{{Name: "n.Val"}}})
+	rel.Add(algebra.Tuple{algebra.NullValue})
+	rel.Add(algebra.Tuple{algebra.S("5")})
+	fs, err := NewFormulaSelect(context.Background(), rel, nil, "n.Val", value.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Drain(fs); out.Len() != 1 {
+		t.Fatalf("null must not satisfy any formula; got %d rows", out.Len())
+	}
+}
+
+// The residual selection must stay responsive even when it emits nothing:
+// an expired context aborts mid-extent through the Cancelled panic.
+func TestFormulaSelectCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rel := selectFixture(10_000)
+	fs, err := NewFormulaSelect(ctx, rel, nil, "n.Val", value.False())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := DrainContext(context.Background(), fs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from the select's own context, got %v", err)
+	}
+}
+
+// Examined tuples are charged against the tuple quota in checkpoint-sized
+// granules, so a selective filter over a big extent still trips the budget.
+func TestFormulaSelectChargesBudget(t *testing.T) {
+	b := NewBudget(BudgetLimits{MaxTuples: 256}, nil)
+	ctx := WithBudget(context.Background(), b)
+	rel := selectFixture(10_000)
+	fs, err := NewFormulaSelect(ctx, rel, nil, "n.Val", value.False())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DrainContext(context.Background(), fs)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("want ErrQuotaExceeded, got %v", err)
+	}
+	if fs.Examined() >= 10_000 {
+		t.Fatal("quota kill must abort before the whole extent is examined")
+	}
+	if fs.Polls() == 0 {
+		t.Fatal("polls must be counted")
+	}
+}
+
+// EXPLAIN ANALYZE surfaces examined counts and polls through Instrument.
+func TestFormulaSelectInstrumented(t *testing.T) {
+	rel := selectFixture(128)
+	fs, err := NewFormulaSelect(context.Background(), rel, nil, "n.Val", value.Lt(value.Num(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := NewInstrument("σ[φ(n.Val)]·scan", fs)
+	out := Drain(ins)
+	st := ins.Stats()
+	if out.Len() != 2 || st.Rows != 2 {
+		t.Fatalf("rows: out=%d stats=%d", out.Len(), st.Rows)
+	}
+	if st.Examined != 128 {
+		t.Fatalf("examined: %d", st.Examined)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("polls must surface as checkpoints")
+	}
+}

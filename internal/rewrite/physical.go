@@ -91,6 +91,35 @@ func compile(ctx context.Context, p Plan, env Env, instr bool) (physical.Iterato
 		if err != nil {
 			return nil, cst, err
 		}
+		if pl.Nested {
+			// Reshape to the projected pattern's schema (projection inside
+			// collections), then dedup — the nested π°.
+			pat := pl.Pattern()
+			if pat == nil {
+				return nil, cst, fmt.Errorf("rewrite: nested projection has no pattern")
+			}
+			var st *physical.OpStats
+			var start time.Time
+			if instr {
+				st = &physical.OpStats{Label: "π⁰ⁿ[" + strings.Join(pl.Attrs, ",") + "]"}
+				st.AddChild(cst)
+				start = time.Now()
+			}
+			drained, err := physical.DrainContext(ctx, in)
+			if err != nil {
+				return nil, st, err
+			}
+			shaped, err := algebra.Reshape(drained, pat.Schema())
+			if err != nil {
+				return nil, st, err
+			}
+			rel := algebra.Distinct(shaped)
+			if instr {
+				st.Time += time.Since(start)
+				return physical.InstrumentWith(st, physical.NewScan(rel, nil)), st, nil
+			}
+			return physical.NewScan(rel, nil), nil, nil
+		}
 		// π⁰ semantics: dedup after projection (materializing; projections
 		// sit at plan roots).
 		proj, err := physical.NewProject(in, pl.Attrs...)
@@ -128,6 +157,24 @@ func compile(ctx context.Context, p Plan, env Env, instr bool) (physical.Iterato
 		return it, st, nil
 
 	case *SelectValPlan:
+		if scan, ok := pl.In.(*ScanPlan); ok {
+			// Residual selection directly over a view extent: fuse scan and
+			// filter into one FormulaSelect leaf. The leaf carries its own
+			// cancellation/quota checkpointing, so no Checkpoint wrapper.
+			if err := faultinject.Check(SiteCompileScan); err != nil {
+				return nil, nil, err
+			}
+			rel, ok := env[scan.View.Name]
+			if !ok {
+				return nil, nil, fmt.Errorf("rewrite: no extent for view %q", scan.View.Name)
+			}
+			fs, err := physical.NewFormulaSelect(ctx, rel, nil, pl.Node+".Val", pl.Formula)
+			if err != nil {
+				return nil, nil, err
+			}
+			it, st := wrap(fmt.Sprintf("σ[φ(%s.Val)]·scan(%s)", pl.Node, scan.View.Name), fs)
+			return it, st, nil
+		}
 		in, cst, err := compile(ctx, pl.In, env, instr)
 		if err != nil {
 			return nil, cst, err
@@ -175,6 +222,56 @@ func compile(ctx context.Context, p Plan, env Env, instr bool) (physical.Iterato
 		}
 		it, st := wrap(fmt.Sprintf("stacktree[%s ≺%s %s]", pl.OuterNode, axisName, pl.InnerNode), join, ost, ist)
 		return it, st, nil
+
+	case *NestJoinPlan:
+		outer, ost, err := compile(ctx, pl.Outer, env, instr)
+		if err != nil {
+			return nil, ost, err
+		}
+		inner, ist, err := compile(ctx, pl.Inner, env, instr)
+		if err != nil {
+			return nil, ist, err
+		}
+		sem := "nj"
+		mode := algebra.NestJoin
+		if pl.OuterSem {
+			sem = "no"
+			mode = algebra.NestOuterJoin
+		}
+		op := algebra.Ancestor
+		if pl.Axis == xam.Child {
+			op = algebra.Parent
+		}
+		// Nest joins group matches into collections — materialize both sides
+		// and reuse the logical operator (grouping needs the full match set
+		// per outer tuple anyway).
+		var st *physical.OpStats
+		var start time.Time
+		if instr {
+			st = &physical.OpStats{Label: fmt.Sprintf("nestjoin·%s[%s≺%s]", sem, pl.OuterNode, pl.InnerNode)}
+			st.AddChild(ost)
+			st.AddChild(ist)
+			start = time.Now()
+		}
+		orel, err := physical.DrainContext(ctx, outer)
+		if err != nil {
+			return nil, st, err
+		}
+		irel, err := physical.DrainContext(ctx, inner)
+		if err != nil {
+			return nil, st, err
+		}
+		joined, err := algebra.Join(orel, irel,
+			algebra.JoinPred{Left: pl.OuterNode + ".ID", Op: op, Right: pl.InnerNode + ".ID"},
+			mode, pl.InnerNode)
+		if err != nil {
+			return nil, st, err
+		}
+		if !instr {
+			return physical.NewScan(joined, nil), nil, nil
+		}
+		st.Time += time.Since(start)
+		return physical.InstrumentWith(st, physical.NewScan(joined, nil)), st, nil
 
 	case *FusePlan:
 		left, lst, err := compile(ctx, pl.Left, env, instr)

@@ -57,6 +57,9 @@ func ViewRefs(p Plan) []string {
 		case *StructJoinPlan:
 			walk(p.Outer)
 			walk(p.Inner)
+		case *NestJoinPlan:
+			walk(p.Outer)
+			walk(p.Inner)
 		case *FusePlan:
 			walk(p.Left)
 			walk(p.Right)
@@ -76,6 +79,44 @@ func ViewRefs(p Plan) []string {
 	}
 	walk(p)
 	return out
+}
+
+// CountResidualSelections reports how many residual value selections (σ_φ)
+// a plan applies — the plan-level signal of predicate absorption, surfaced
+// by the engine as the pred_residual metric.
+func CountResidualSelections(p Plan) int {
+	n := 0
+	var walk func(Plan)
+	walk = func(p Plan) {
+		switch p := p.(type) {
+		case *SelectValPlan:
+			n++
+			walk(p.In)
+		case *ProjectPlan:
+			walk(p.In)
+		case *StructJoinPlan:
+			walk(p.Outer)
+			walk(p.Inner)
+		case *NestJoinPlan:
+			walk(p.Outer)
+			walk(p.Inner)
+		case *FusePlan:
+			walk(p.Left)
+			walk(p.Right)
+		case *DeriveParentPlan:
+			walk(p.In)
+		case *UnionPlan:
+			for _, part := range p.Parts {
+				walk(part)
+			}
+		case *SelectTagPlan:
+			walk(p.In)
+		case *RenamePlan:
+			walk(p.In)
+		}
+	}
+	walk(p)
+	return n
 }
 
 // ScanPlan reads one view.
@@ -101,10 +142,14 @@ func (p *ScanPlan) Execute(env Env) (*algebra.Relation, error) {
 func (p *ScanPlan) String() string { return "scan(" + p.View.Name + ")" }
 
 // ProjectPlan keeps only the listed attributes (named after pattern nodes,
-// e.g. "e1.ID").
+// e.g. "e1.ID"). With Nested set, attributes may live inside nest-edge
+// collections: execution then reshapes to the projected pattern's schema
+// (projection inside collections, without unnesting) instead of a top-level
+// column projection.
 type ProjectPlan struct {
-	In    Plan
-	Attrs []string
+	In     Plan
+	Attrs  []string
+	Nested bool
 }
 
 // Pattern implements Plan: annotations outside the kept attributes are
@@ -143,6 +188,19 @@ func (p *ProjectPlan) Execute(env Env) (*algebra.Relation, error) {
 	r, err := p.In.Execute(env)
 	if err != nil {
 		return nil, err
+	}
+	if p.Nested {
+		// π° inside collections: reshape to the projected pattern's schema
+		// (attribute order and nesting follow the pattern), then dedup.
+		pat := p.Pattern()
+		if pat == nil {
+			return nil, fmt.Errorf("rewrite: nested projection has no pattern")
+		}
+		shaped, err := algebra.Reshape(r, pat.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Distinct(shaped), nil
 	}
 	return algebra.Project(r, true, p.Attrs...)
 }
@@ -205,6 +263,80 @@ func (p *StructJoinPlan) Execute(env Env) (*algebra.Relation, error) {
 
 func (p *StructJoinPlan) String() string {
 	return fmt.Sprintf("(%s ⋈[%s.ID%s%s.ID] %s)", p.Outer, p.OuterNode,
+		map[xam.Axis]string{xam.Child: "≺", xam.Descendant: "≺≺"}[p.Axis], p.InnerNode, p.Inner)
+}
+
+// NestJoinPlan is the nest-join counterpart of StructJoinPlan: it joins on
+// the same structural predicate but groups each outer tuple's matches into a
+// nested collection named after the inner pattern's top node — the plan-side
+// image of an nj/no edge, needed to answer FLWOR queries whose return clause
+// nests (`return <r>{$x/title}</r>`). With OuterSem set, outer tuples without
+// matches survive with an empty collection (no); otherwise they are dropped
+// (nj). Its equivalent pattern grafts the inner pattern under the outer node
+// with the corresponding nest-edge semantics.
+type NestJoinPlan struct {
+	Outer     Plan
+	Inner     Plan
+	OuterNode string // node name in outer pattern
+	InnerNode string // top node name in inner pattern
+	Axis      xam.Axis
+	OuterSem  bool // true = nest outerjoin (no), false = nest join (nj)
+}
+
+// Pattern implements Plan.
+func (p *NestJoinPlan) Pattern() *xam.Pattern {
+	outer := p.Outer.Pattern()
+	inner := p.Inner.Pattern()
+	if outer == nil || inner == nil || len(inner.Top) != 1 {
+		return nil
+	}
+	anchor := outer.NodeByName(p.OuterNode)
+	top := inner.Top[0].Child
+	if anchor == nil || top.Name != p.InnerNode {
+		return nil
+	}
+	sem := xam.SemNest
+	if p.OuterSem {
+		sem = xam.SemNestOuter
+	}
+	e := &xam.Edge{Axis: p.Axis, Sem: sem, Child: top}
+	top.Parent = anchor
+	anchor.Edges = append(anchor.Edges, e)
+	return outer
+}
+
+// Cost implements Plan.
+func (p *NestJoinPlan) Cost() int { return p.Outer.Cost() + p.Inner.Cost() + 1 }
+
+// Execute implements Plan.
+func (p *NestJoinPlan) Execute(env Env) (*algebra.Relation, error) {
+	outer, err := p.Outer.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := p.Inner.Execute(env)
+	if err != nil {
+		return nil, err
+	}
+	op := algebra.Ancestor
+	if p.Axis == xam.Child {
+		op = algebra.Parent
+	}
+	mode := algebra.NestJoin
+	if p.OuterSem {
+		mode = algebra.NestOuterJoin
+	}
+	return algebra.Join(outer, inner,
+		algebra.JoinPred{Left: p.OuterNode + ".ID", Op: op, Right: p.InnerNode + ".ID"},
+		mode, p.InnerNode)
+}
+
+func (p *NestJoinPlan) String() string {
+	sem := "nj"
+	if p.OuterSem {
+		sem = "no"
+	}
+	return fmt.Sprintf("(%s ⋈%s[%s.ID%s%s.ID] %s)", p.Outer, sem, p.OuterNode,
 		map[xam.Axis]string{xam.Child: "≺", xam.Descendant: "≺≺"}[p.Axis], p.InnerNode, p.Inner)
 }
 
@@ -525,8 +657,15 @@ func (p *SelectValPlan) Pattern() *xam.Pattern {
 	return pat
 }
 
-// Cost implements Plan.
-func (p *SelectValPlan) Cost() int { return p.In.Cost() + 1 }
+// Cost implements Plan: a selection directly over a view scan is free — it
+// compiles to a scan fused with the residual filter (physical.FormulaSelect),
+// so pushed-down selections rank ahead of selections stacked on joins.
+func (p *SelectValPlan) Cost() int {
+	if _, ok := p.In.(*ScanPlan); ok {
+		return p.In.Cost()
+	}
+	return p.In.Cost() + 1
+}
 
 // Execute implements Plan.
 func (p *SelectValPlan) Execute(env Env) (*algebra.Relation, error) {

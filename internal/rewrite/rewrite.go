@@ -71,21 +71,52 @@ func (rw *Rewriting) Execute(env Env) (*algebra.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	want := rw.Query.Schema()
-	renamed, err := renameTo(r, want)
-	if err != nil {
-		return nil, err
-	}
-	return renamed, nil
+	return rw.AlignSchema(r)
 }
 
-// renameTo renames rel's schema to target if the shapes agree.
+// AlignSchema renames a plan-output relation to the query pattern's schema
+// (positionally — equivalence guarantees isomorphic shapes), recursing into
+// nested collections. The physical execution path produces relations in the
+// plan's candidate-attribute naming and uses this for the same final rename
+// the logical Execute applies.
+func (rw *Rewriting) AlignSchema(rel *algebra.Relation) (*algebra.Relation, error) {
+	return renameTo(rel, rw.Query.Schema())
+}
+
+// renameTo renames rel's schema to target if the shapes agree. Nested
+// collection values carry their own schema inside each tuple, so collections
+// are renamed recursively — otherwise template paths would not resolve
+// inside them.
 func renameTo(rel *algebra.Relation, target *algebra.Schema) (*algebra.Relation, error) {
 	if len(rel.Schema.Attrs) != len(target.Attrs) {
 		return nil, fmt.Errorf("rewrite: output shape mismatch: %s vs %s", rel.Schema, target)
 	}
 	out := algebra.NewRelation(target)
-	out.Tuples = rel.Tuples
+	nested := false
+	for _, a := range target.Attrs {
+		if a.Nested != nil {
+			nested = true
+			break
+		}
+	}
+	if !nested {
+		out.Tuples = rel.Tuples
+		return out, nil
+	}
+	for _, t := range rel.Tuples {
+		nt := t.Clone()
+		for i, a := range target.Attrs {
+			if a.Nested == nil || nt[i].Kind != algebra.Rel {
+				continue
+			}
+			inner, err := renameTo(nt[i].Rel, a.Nested)
+			if err != nil {
+				return nil, err
+			}
+			nt[i] = algebra.RelV(inner)
+		}
+		out.Add(nt)
+	}
 	return out, nil
 }
 
@@ -128,13 +159,20 @@ func (r *Rewriter) Rewrite(q *xam.Pattern) ([]*Rewriting, error) {
 			pool = append(pool, derivePlans(&ScanPlan{View: v})...)
 		}
 	}
+	// Predicate absorption pushes residual selections onto the view scans
+	// before composition: σ_φ over a scan compiles to a fused filtered scan,
+	// so joins downstream run over the already-filtered extent instead of
+	// filtering after the join.
+	pool = append(pool, r.selectionVariants(pool, q, maxCands)...)
+	pool = dedupPlans(pool)
+	nestSems := queryNestSems(q)
 	base := append([]Plan{}, pool...)
 	frontier := base
 	for depth := 1; depth <= r.Opts.MaxJoinDepth && len(frontier) > 0 && len(pool) < maxCands; depth++ {
 		var next []Plan
 		for _, left := range frontier {
 			for _, right := range base {
-				next = append(next, composePlans(left, right)...)
+				next = append(next, composePlans(left, right, nestSems)...)
 				if len(pool)+len(next) >= maxCands {
 					break
 				}
@@ -283,8 +321,15 @@ func (r *Rewriter) fits(p Plan, q *xam.Pattern, needs []need, flatOK bool) []*fi
 		}
 		if ok {
 			if !flatOK {
-				// Nested patterns execute in schema order already.
-				return []*fitted{{plan: p, pattern: pat}}
+				// Exact nested fit: reshape to the pattern's schema order —
+				// composed nest joins append collections after the outer
+				// columns, which need not match pattern pre-order.
+				var attrs []string
+				for _, n := range rets {
+					attrs = append(attrs, nodeAttrs(pat, n)...)
+				}
+				proj := &ProjectPlan{In: p, Attrs: attrs, Nested: true}
+				return []*fitted{{plan: proj, pattern: proj.Pattern()}}
 			}
 			// Flat exact fit: order the columns by pattern pre-order so the
 			// output aligns with the query schema (composed plans append
@@ -298,7 +343,7 @@ func (r *Rewriter) fits(p Plan, q *xam.Pattern, needs []need, flatOK bool) []*fi
 		}
 	}
 	if !flatOK {
-		return nil
+		return r.nestedFits(p, pat, q)
 	}
 	// Nested collections hide data the projection cannot reach.
 	for _, n := range pat.Nodes() {
@@ -368,6 +413,158 @@ func nodeAttrs(pat *xam.Pattern, n *xam.Node) []string {
 	return attrs
 }
 
+// shapeUnit is one element of a pattern's return shape in schema order:
+// either the stored attributes of one node (flat; coll is false) or a
+// nest-edge collection (sub holds the subtree's shape, possibly empty).
+type shapeUnit struct {
+	node *xam.Node
+	nd   need // flat units: the node's stored attributes (nestDepth unused)
+	coll bool
+	sem  xam.EdgeSem // collection units: the nest edge's semantics
+	sub  []shapeUnit
+}
+
+// returnShape lists a pattern's return shape, mirroring Pattern.Schema: s
+// edges contribute nothing, j/o edges splice the child's units flat, nj/no
+// edges contribute one collection unit.
+func returnShape(pat *xam.Pattern) []shapeUnit {
+	var walkNode func(n *xam.Node) []shapeUnit
+	walkEdges := func(edges []*xam.Edge) []shapeUnit {
+		var units []shapeUnit
+		for _, e := range edges {
+			switch {
+			case e.Sem == xam.SemSemi:
+			case e.Sem.Nested():
+				units = append(units, shapeUnit{node: e.Child, coll: true, sem: e.Sem, sub: walkNode(e.Child)})
+			default:
+				units = append(units, walkNode(e.Child)...)
+			}
+		}
+		return units
+	}
+	walkNode = func(n *xam.Node) []shapeUnit {
+		var units []shapeUnit
+		if n.StoresAnything() {
+			units = append(units, shapeUnit{node: n, nd: need{
+				id: n.IDSpec != xam.NoID, tag: n.StoreTag, val: n.StoreVal, cont: n.StoreCont,
+			}})
+		}
+		return append(units, walkEdges(n.Edges)...)
+	}
+	return walkEdges(pat.Top)
+}
+
+// nestedFits matches a nested query's return shape against the candidate's:
+// the shape-level generalization of the flat monotone assignment, erasing
+// unneeded attributes inside collections via a reshaping projection.
+func (r *Rewriter) nestedFits(p Plan, pat, q *xam.Pattern) []*fitted {
+	const maxAssignments = 6
+	keeps := matchShape(returnShape(q), returnShape(pat), maxAssignments)
+	var out []*fitted
+	for _, keep := range keeps {
+		proj := &ProjectPlan{In: p, Attrs: keep, Nested: true}
+		if fp := proj.Pattern(); fp != nil {
+			out = append(out, &fitted{plan: proj, pattern: fp})
+		}
+	}
+	return out
+}
+
+// matchShape aligns the query's return shape against a candidate's,
+// producing up to limit keep-attribute lists. Flat candidate units may be
+// skipped (projected away); collection units may not — a nest edge always
+// contributes a schema attribute, even when its subtree stores nothing — so
+// collections must match one-to-one, in order, with the same edge semantics,
+// and their subtrees match recursively.
+func matchShape(qs, cs []shapeUnit, limit int) [][]string {
+	if limit <= 0 {
+		return nil
+	}
+	if len(qs) == 0 {
+		for _, cu := range cs {
+			if cu.coll {
+				return nil
+			}
+		}
+		return [][]string{nil}
+	}
+	qu := qs[0]
+	var out [][]string
+	for j := 0; j < len(cs); j++ {
+		cu := cs[j]
+		if cu.coll {
+			if !qu.coll || qu.sem != cu.sem {
+				return out // an unmatched candidate collection blocks the scan
+			}
+			inners := matchShape(qu.sub, cu.sub, limit-len(out))
+			if len(inners) == 0 {
+				return out
+			}
+			rests := matchShape(qs[1:], cs[j+1:], limit-len(out))
+			for _, in := range inners {
+				for _, rest := range rests {
+					out = append(out, concatKeep(in, rest))
+					if len(out) >= limit {
+						return out
+					}
+				}
+			}
+			return out
+		}
+		if qu.coll {
+			continue // project this flat candidate unit away
+		}
+		nd, have := qu.nd, cu.nd
+		if (nd.id && !have.id) || (nd.tag && !have.tag) || (nd.val && !have.val) || (nd.cont && !have.cont) {
+			continue
+		}
+		var add []string
+		if nd.id {
+			add = append(add, cu.node.Name+".ID")
+		}
+		if nd.tag {
+			add = append(add, cu.node.Name+".Tag")
+		}
+		if nd.val {
+			add = append(add, cu.node.Name+".Val")
+		}
+		if nd.cont {
+			add = append(add, cu.node.Name+".Cont")
+		}
+		for _, rest := range matchShape(qs[1:], cs[j+1:], limit-len(out)) {
+			out = append(out, concatKeep(add, rest))
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func concatKeep(a, b []string) []string {
+	return append(append([]string{}, a...), b...)
+}
+
+// queryNestSems lists the nest-edge semantics (nj, no) the query uses, so
+// plan composition only proposes nest joins that can appear in an equivalent
+// pattern.
+func queryNestSems(q *xam.Pattern) []xam.EdgeSem {
+	seen := map[xam.EdgeSem]bool{}
+	var out []xam.EdgeSem
+	var walk func(edges []*xam.Edge)
+	walk = func(edges []*xam.Edge) {
+		for _, e := range edges {
+			if e.Sem.Nested() && !seen[e.Sem] {
+				seen[e.Sem] = true
+				out = append(out, e.Sem)
+			}
+			walk(e.Child.Edges)
+		}
+	}
+	walk(q.Top)
+	return out
+}
+
 // selectionVariants proposes σ(Tag=…) and σ(φ(Val)) augmentations of pooled
 // plans, guided by the query's constant labels and value predicates. Each
 // selection set is generated once (selections apply to nodes in pre-order).
@@ -412,8 +609,18 @@ func (r *Rewriter) selectionVariants(pool []Plan, q *xam.Pattern, maxCands int) 
 						rec(j+1, next)
 					}
 				}
-				if n.StoreVal && !n.HasValuePred {
+				if n.StoreVal {
 					for _, pi := range preds {
+						if n.HasValuePred {
+							// Absorption (φq ⇒ φv): the decorated view keeps
+							// every row φq selects, so σ_φq is a sound
+							// residual; if the decoration is already exact
+							// the bare plan needs no selection at all.
+							a, ok := containment.AbsorbPredicate(pi.f, n.ValuePred)
+							if !ok || a.Exact {
+								continue
+							}
+						}
 						next := &SelectValPlan{In: cur, Node: n.Name, Formula: pi.f, Src: pi.src}
 						out = append(out, next)
 						rec(j+1, next)
@@ -449,8 +656,9 @@ func derivePlans(p Plan) []Plan {
 	return out
 }
 
-// composePlans proposes structural joins and fusions between two plans.
-func composePlans(left, right Plan) []Plan {
+// composePlans proposes structural joins, fusions, and — when the query
+// pattern itself nests (nestSems non-empty) — nest joins between two plans.
+func composePlans(left, right Plan, nestSems []xam.EdgeSem) []Plan {
 	lp, rp := left.Pattern(), right.Pattern()
 	if lp == nil || rp == nil || len(rp.Top) != 1 {
 		return nil
@@ -490,6 +698,13 @@ func composePlans(left, right Plan) []Plan {
 				j := &StructJoinPlan{Outer: left, Inner: right, OuterNode: ln.Name, InnerNode: rTop.Name, Axis: axis}
 				if j.Pattern() != nil {
 					out = append(out, j)
+				}
+				for _, sem := range nestSems {
+					nj := &NestJoinPlan{Outer: left, Inner: right, OuterNode: ln.Name, InnerNode: rTop.Name,
+						Axis: axis, OuterSem: sem == xam.SemNestOuter}
+					if nj.Pattern() != nil {
+						out = append(out, nj)
+					}
 				}
 			}
 		}

@@ -243,6 +243,58 @@ func TestValuePredicateViewOnlyForMatchingQueries(t *testing.T) {
 	}
 }
 
+// TestNestedFitFromFlatViews is the FLWOR-shaped rewrite: a query with a
+// semijoin predicate branch and a nest-outer return collection, answered
+// from two flat ID-bearing views via absorption (σφ fused onto the year
+// view) and a nest-outer structural join rebuilding the collection.
+func TestNestedFitFromFlatViews(t *testing.T) {
+	rw, doc, env := setup(t,
+		`<bib>
+		  <article><year>1999</year><title>A</title></article>
+		  <article><year>1999</year><title>B</title><title>B2</title></article>
+		  <article><year>2002</year><title>C</title></article>
+		  <article><year>1999</year></article>
+		</bib>`,
+		map[string]string{
+			"v_ay": `// article{id s}(/ year{id s, val})`,
+			"v_t":  `// title{id s, cont}`,
+		},
+		Options{MaxPlans: 3})
+	q := `// article{id s}(/(s) year{val="1999"}, /(no) title{cont})`
+	r := bestPlan(t, rw, q)
+	plan := r.Plan.String()
+	if !strings.Contains(plan, "σ[φ(") || !strings.Contains(plan, "scan(v_ay)") || !strings.Contains(plan, "⋈no") {
+		t.Fatalf("want absorbed selection + nest-outer join over the views, got %s", plan)
+	}
+	want, err := xam.MustParse(q).Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Execute(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Fatalf("logical execution differs:\n%s\nvs\n%s", got, want)
+	}
+	prel, err := ExecutePhysical(r.Plan, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned, err := r.AlignSchema(prel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aligned.EqualAsSet(want) {
+		t.Fatalf("physical execution differs:\n%s\nvs\n%s", aligned, want)
+	}
+	// Three matching articles, including the title-less one (nest-outer
+	// keeps its empty collection); σφ must have excluded the 2002 article.
+	if got.Len() != 3 {
+		t.Fatalf("rows: %d, want 3\n%s", got.Len(), got)
+	}
+}
+
 func TestFusionRewriting(t *testing.T) {
 	// Two views over the same nodes, each storing half the attributes;
 	// fusing on node identity recovers both.

@@ -6,6 +6,8 @@ import (
 	"xamdb/internal/datagen"
 	"xamdb/internal/patgen"
 	"xamdb/internal/summary"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
 	"xamdb/internal/xmltree"
 )
 
@@ -58,5 +60,83 @@ func TestRewritingSoundOnRandomWorkload(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRewritingSoundOnPredicateWorkload is the predicate-absorption variant
+// of the cross-validation workload: views and queries both carry random
+// range predicates drawn from constants the document actually contains
+// (DBLP years), so the planner must decide absorption per pair — φq ⇒ φv
+// admits the view with a residual σφq, anything else must be rejected — and
+// every surviving plan must still reproduce direct evaluation exactly.
+func TestRewritingSoundOnPredicateWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation workload skipped in -short mode")
+	}
+	doc := datagen.DBLP(30)
+	s := summary.Build(doc)
+	years := make([]value.Atom, 0, 15)
+	for y := 1990; y < 2005; y++ {
+		years = append(years, value.Num(float64(y)))
+	}
+	cfg := patgen.Config{
+		Nodes: 3, Returns: 2, PPred: 0.2, POpt: -1,
+		PredValues: years, PredRange: true,
+	}
+	viewPats := patgen.GenerateSet(s, cfg, 10, 7)
+	var views []*View
+	for i, p := range viewPats {
+		// Store id+val on every view node so any absorbable query predicate
+		// finds a stored value to run its residual selection against.
+		for _, n := range p.Nodes() {
+			n.IDSpec = xam.StructID
+			n.StoreVal = true
+		}
+		views = append(views, &View{Name: "v" + string(rune('a'+i)), Pattern: p})
+	}
+	rw := NewRewriter(s, views, Options{MaxPlans: 3, MaxJoinDepth: 1})
+	env, err := rw.Materialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := cfg
+	qcfg.Returns = 1
+	qcfg.PPred = 0.6
+	queries := patgen.GenerateSet(s, qcfg, 12, 99)
+	var residuals, planned int
+	for _, q := range queries {
+		for _, n := range q.ReturnNodes() {
+			n.StoreVal = true
+		}
+		plans, err := rw.Rewrite(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.Eval(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range plans {
+			planned++
+			residuals += CountResidualSelections(p.Plan)
+			got, err := p.Execute(env)
+			if err != nil {
+				t.Fatalf("query %s, plan %s: %v", q, p.Plan, err)
+			}
+			if !got.EqualAsSet(want) {
+				t.Fatalf("unsound plan for %s:\n  plan %s\n  got  %s\n  want %s",
+					q, p.Plan, got, want)
+			}
+		}
+	}
+	// The workload must actually exercise absorption: with these seeds some
+	// query predicate lands on a value-storing view node and survives as a
+	// residual selection. A zero here means the gate silently rejects all
+	// absorbable pairs — exactly the regression this test exists to catch.
+	if planned == 0 {
+		t.Fatal("predicate workload produced no view-based plans at all")
+	}
+	if residuals == 0 {
+		t.Fatal("predicate workload produced no residual selections: absorption path not exercised")
 	}
 }

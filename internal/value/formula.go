@@ -8,6 +8,7 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -25,12 +26,45 @@ type Atom struct {
 // Num builds a numeric atom.
 func Num(f float64) Atom { return Atom{IsNum: true, Num: f} }
 
-// Str builds a string atom (numeric strings become numeric atoms).
+// Str builds a string atom (numeric strings become numeric atoms). NaN and
+// ±Inf parse successfully but violate the total order Compare promises —
+// NaN in particular compares neither less, greater, nor equal, which would
+// corrupt interval normalization — so non-finite parses stay strings.
 func Str(s string) Atom {
-	if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+	if f, ok := fastInt(s); ok {
+		return Num(f)
+	}
+	if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
 		return Num(f)
 	}
 	return Atom{Str: s}
+}
+
+// fastInt recognizes plain decimal integers (optional sign, ≤15 digits, so
+// the float64 conversion is exact) without the strconv machinery — residual
+// selections call Str once per scanned extent row, and ParseFloat dominated
+// that loop.
+func fastInt(s string) (float64, bool) {
+	i, neg := 0, false
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	if i == len(s) || len(s)-i > 15 {
+		return 0, false
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		d := s[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		n = n*10 + int64(d)
+	}
+	if neg {
+		n = -n
+	}
+	return float64(n), true
 }
 
 // Compare totally orders atoms.

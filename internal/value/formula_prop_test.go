@@ -1,0 +1,176 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Regression: strconv.ParseFloat accepts "NaN" and "Inf" spellings, and the
+// resulting non-finite numeric atoms break the total order (NaN compares
+// neither less, greater, nor equal, so Compare returned 0 against every
+// number, silently corrupting interval normalization). Non-finite parses
+// must stay string atoms.
+func TestStrNonFiniteStaysString(t *testing.T) {
+	for _, s := range []string{"NaN", "nan", "Inf", "inf", "+Inf", "-Inf", "Infinity", "-infinity", " NaN "} {
+		a := Str(s)
+		if a.IsNum {
+			t.Errorf("Str(%q) must be a string atom, got number %v", s, a.Num)
+		}
+		if a.Compare(a) != 0 {
+			t.Errorf("Str(%q) must equal itself", s)
+		}
+	}
+	// Finite spellings still coerce.
+	for _, s := range []string{"1e308", "-4.5", "0"} {
+		if a := Str(s); !a.IsNum {
+			t.Errorf("Str(%q) must stay numeric", s)
+		}
+	}
+	// The concrete corruption: before the fix, a NaN atom compared equal to
+	// everything, so v = "NaN" absorbed unrelated points during normalize.
+	f := Eq(Str("NaN")).Or(Eq(Num(3)))
+	if f.Holds(Num(5)) || f.Holds(Str("NbN")) {
+		t.Fatalf("v=\"NaN\" ∨ v=3 must not cover other points: %s", f)
+	}
+	if !f.Holds(Str("NaN")) || !f.Holds(Num(3)) {
+		t.Fatalf("v=\"NaN\" ∨ v=3 must cover its own points: %s", f)
+	}
+	if Num(3).Compare(Str("NaN")) != -1 {
+		t.Fatal("numbers must order before the NaN string atom")
+	}
+	if Num(math.Inf(1)).Compare(Num(1)) != 1 {
+		t.Fatal("explicit Num(+Inf) still orders above finite numbers")
+	}
+}
+
+// mixedAtom samples both sides of the number/string boundary, including
+// the NaN spelling that used to corrupt ordering.
+func mixedAtom(rng *rand.Rand) Atom {
+	if rng.Intn(2) == 0 {
+		return Num(float64(rng.Intn(10)))
+	}
+	return Str([]string{"", "NaN", "a", "m", "z"}[rng.Intn(5)])
+}
+
+// randFormulaMixed is randFormula over mixed numeric/string atoms.
+func randFormulaMixed(rng *rand.Rand, depth int) Formula {
+	if depth == 0 {
+		c := mixedAtom(rng)
+		switch rng.Intn(6) {
+		case 0:
+			return Eq(c)
+		case 1:
+			return Ne(c)
+		case 2:
+			return Lt(c)
+		case 3:
+			return Le(c)
+		case 4:
+			return Gt(c)
+		default:
+			return Ge(c)
+		}
+	}
+	a := randFormulaMixed(rng, depth-1)
+	b := randFormulaMixed(rng, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return a.And(b)
+	case 1:
+		return a.Or(b)
+	default:
+		return a.Not()
+	}
+}
+
+// checkDisjoint asserts the representation invariant: every interval
+// non-empty, intervals strictly ordered by lower bound, and no two
+// consecutive intervals adjacent or overlapping (they would have merged).
+func checkDisjoint(t *testing.T, f Formula, op string) {
+	t.Helper()
+	for i, iv := range f.ivs {
+		if iv.empty() {
+			t.Fatalf("%s: interval %d of %s is empty", op, i, f)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := f.ivs[i-1]
+		if cmpLo(prev, iv) >= 0 {
+			t.Fatalf("%s: intervals out of order in %s", op, f)
+		}
+		if adjacentOrOverlap(prev, iv) {
+			t.Fatalf("%s: unmerged adjacency between %s and %s in %s", op, prev, iv, f)
+		}
+	}
+}
+
+// Property: the disjoint-sorted-interval invariant survives every operation,
+// over mixed numeric/string formulas.
+func TestOpsPreserveDisjointInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		a := randFormulaMixed(rng, 2)
+		b := randFormulaMixed(rng, 2)
+		checkDisjoint(t, a, "gen")
+		checkDisjoint(t, a.And(b), "and")
+		checkDisjoint(t, a.Or(b), "or")
+		checkDisjoint(t, a.Not(), "not")
+		checkDisjoint(t, a.And(a.Not()), "contradiction")
+	}
+}
+
+// Property: f ∧ ¬f ≡ ⊥, f ∨ ¬f ≡ ⊤, and the weakening law f ⇒ f ∨ g, for
+// random mixed formulas.
+func TestContradictionAndWeakening(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		f := randFormulaMixed(rng, 2)
+		g := randFormulaMixed(rng, 2)
+		if !f.And(f.Not()).IsFalse() {
+			t.Fatalf("f ∧ ¬f must be F for %s", f)
+		}
+		if !f.Or(f.Not()).IsTrue() {
+			t.Fatalf("f ∨ ¬f must be T for %s", f)
+		}
+		if !f.Implies(f.Or(g)) {
+			t.Fatalf("f ⇏ f∨g for f=%s g=%s", f, g)
+		}
+		if !f.And(g).Implies(f) {
+			t.Fatalf("f∧g ⇏ f for f=%s g=%s", f, g)
+		}
+		if !f.Not().Not().Equal(f) {
+			t.Fatalf("¬¬f ≠ f for %s", f)
+		}
+	}
+}
+
+// Boundary cases where intervals span the number/string divide: every
+// number precedes every string in the domain order.
+func TestMixedAtomBoundaries(t *testing.T) {
+	// v < "a" covers all numbers and low strings.
+	lt := Lt(Str("a"))
+	if !lt.Holds(Num(1e300)) || !lt.Holds(Str("NaN")) || lt.Holds(Str("b")) {
+		t.Fatalf("v<\"a\": %s", lt)
+	}
+	// v ≥ 0 covers every string.
+	ge := Ge(Num(0))
+	if !ge.Holds(Str("")) || !ge.Holds(Str("zzz")) || ge.Holds(Num(-1)) {
+		t.Fatalf("v≥0: %s", ge)
+	}
+	// ¬(v ≤ 5) keeps strings.
+	not := Le(Num(5)).Not()
+	if !not.Holds(Str("x")) || !not.Holds(Num(6)) || not.Holds(Num(5)) {
+		t.Fatalf("¬(v≤5): %s", not)
+	}
+	// An interval crossing the divide holds points on both sides.
+	span := Gt(Num(10)).And(Lt(Str("b")))
+	if !span.Holds(Num(11)) || !span.Holds(Str("a")) || span.Holds(Num(10)) || span.Holds(Str("c")) {
+		t.Fatalf("(10,\"b\"): %s", span)
+	}
+	// Complement across the divide is exact.
+	if !span.Or(span.Not()).IsTrue() {
+		t.Fatal("span ∨ ¬span must be T")
+	}
+}

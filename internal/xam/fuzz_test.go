@@ -14,6 +14,9 @@ func FuzzXAMParse(f *testing.F) {
 		`// book(/ title{cont})`,
 		`/ bib(// book{id}(/ author{val}, / title{val}))`,
 		`// item{id s, val [. >= "10"]}`,
+		`// book{id s}(/ year{id s, val>=1990, val<2000})`,
+		`// item{val!="x y"}(/ payload{cont})`,
+		`// a{val<3}(/(no) b{id s, val})`,
 		``,
 		`((((`,
 		`// `,

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"xamdb/internal/value"
 	"xamdb/internal/xam"
 	"xamdb/internal/xmltree"
 )
@@ -130,6 +131,58 @@ func TestExtractSingleGroup(t *testing.T) {
 	}
 	if semi != 1 || nest != 1 {
 		t.Fatalf("edge kinds: semi=%d nest=%d in %s", semi, nest, p)
+	}
+}
+
+// TestExtractRangePredicateFormula checks that comparison predicates reach
+// the extracted pattern as normalized value.Formula decorations — the form
+// the rewriter's absorption check consumes. Conjunctive comparisons on the
+// same path stay on separate existential branches (∃num≥10 ∧ ∃num<20 is not
+// ∃num∈[10,20) when num is multi-valued), each carrying its own interval.
+func TestExtractRangePredicateFormula(t *testing.T) {
+	e := MustParse(`for $x in doc("items.xml")//item where $x/num >= "10" and $x/num < "20" return <r>{$x/payload}</r>`)
+	ex, err := Extract(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Patterns) != 1 {
+		t.Fatalf("patterns: %d", len(ex.Patterns))
+	}
+	var nums []*xam.Node
+	for _, n := range ex.Patterns[0].Nodes() {
+		if n.Label == "num" {
+			nums = append(nums, n)
+		}
+	}
+	if len(nums) != 2 {
+		t.Fatalf("want one existential branch per conjunct: %s", ex.Patterns[0])
+	}
+	for _, want := range []value.Formula{value.Ge(value.Num(10)), value.Lt(value.Num(20))} {
+		found := false
+		for _, n := range nums {
+			if n.HasValuePred && n.ValuePred.Equal(want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no branch carries %s: %s", want, ex.Patterns[0])
+		}
+	}
+
+	// The path-qualifier spelling of a single bound extracts the same way.
+	pe := MustParse(`doc("items.xml")//item[num < "20"]/payload`)
+	ex2, err := Extract(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num2 *xam.Node
+	for _, n := range ex2.Patterns[0].Nodes() {
+		if n.Label == "num" {
+			num2 = n
+		}
+	}
+	if num2 == nil || !num2.HasValuePred || !num2.ValuePred.Equal(value.Lt(value.Num(20))) {
+		t.Fatalf("path qualifier must extract as a formula: %s", ex2.Patterns[0])
 	}
 }
 
