@@ -60,6 +60,7 @@ func main() {
 		store      = flag.String("store", "", "register a storage scheme: tag, path, node, edge, hybrid")
 		noFallback = flag.Bool("no-fallback", false, "fail when no rewriting exists (pure physical independence mode)")
 		noCache    = flag.Bool("nocache", false, "disable the rewriting cache: replan every query (for debugging and cold-path timing)")
+		noBatch    = flag.Bool("nobatch", false, "disable vectorized batch execution: physical plans run through the row iterators (row-vs-batch ablations)")
 		timeout    = flag.Duration("timeout", 0, "per-query timeout (e.g. 500ms, 10s); 0 = unlimited")
 		serveAddr  = flag.String("serve", "", "serve the query path (POST /query) and monitoring endpoints (/metrics, /debug/*, pprof) on this address until interrupted")
 		slow       = flag.Duration("slow", engine.DefaultSlowQueryThreshold, "slow-query threshold: queries at or above it retain full traces in the query log (0 disables)")
@@ -94,6 +95,12 @@ func main() {
 	e.FallbackToBase = !*noFallback
 	e.QueryTimeout = *timeout
 	e.Options.DisablePlanCache = *noCache
+	// Rewritten plans execute through the physical operators — vectorized
+	// batches by default, the row iterators under -nobatch. The quota and
+	// checkpoint protocols live on this path; the logical evaluator remains
+	// reachable only through the library boundary.
+	e.UsePhysical = true
+	e.UseBatch = !*noBatch
 	if *qlogCap != engine.DefaultQueryLogSize || *slow != engine.DefaultSlowQueryThreshold {
 		e.QueryLog = obs.NewQueryLog(*qlogCap, *slow)
 	}

@@ -16,6 +16,7 @@
 //	xambench -exp plancache          # warm-path planning: cache, lazy extents, scaling
 //	xambench -exp admission          # admission control at saturation: shedding, accounting, bounded p99
 //	xambench -exp predicates         # §5 predicate absorption: selectivity sweep, base scan vs fused σ-scan
+//	xambench -exp vectorized         # row-vs-batch execution ablation over columnar extents
 //	xambench -exp all                # everything
 //
 // The observability and plancache experiments write their full reports
@@ -39,13 +40,13 @@ import (
 func timeNS(ns int64) time.Duration { return time.Duration(ns) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, admission, predicates, all")
+	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, admission, predicates, vectorized, all")
 	sumName := flag.String("summary", "xmark", "summary for synthetic containment: xmark or dblp")
 	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonPath := flag.String("json", "", "output file for the observability/plancache report (default BENCH_<experiment>.json)")
 	iters := flag.Int("iters", 3, "observability/plancache/predicates: repetitions per query")
-	items := flag.Int("items", 0, "predicates: items in the synthetic document (0 = default 100000)")
+	items := flag.Int("items", 0, "predicates/vectorized: items in the synthetic document (0 = default 100000)")
 	workers := flag.Int("workers", 4, "observability: concurrent goroutines")
 	flag.Parse()
 
@@ -289,6 +290,32 @@ func main() {
 			rep.BaseScans, rep.PredAbsorbed, rep.PredResidual)
 		fmt.Printf("plan: %s\n", rep.Rows[0].Plan)
 		out := jsonFor("predicates")
+		if err := rep.WriteJSON(out); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+		return nil
+	})
+
+	run("vectorized", func() error {
+		rep, err := bench.VectorizedAblation(ctx, bench.VectorConfig{Items: *items, Iters: *iters})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset=%s items=%d\n", rep.Dataset, rep.Items)
+		fmt.Printf("%-55s %12s %12s %9s\n", "query", "row exec", "batch exec", "speedup")
+		for _, r := range rep.Rows {
+			q := r.Query
+			if len(q) > 53 {
+				q = q[:50] + "..."
+			}
+			fmt.Printf("%-55s %10.2fms %10.2fms %8.1fx\n", q,
+				float64(r.RowExecP50NS)/1e6, float64(r.BatchP50NS)/1e6, r.Speedup)
+		}
+		fmt.Printf("speedup p50: %.1fx; batch engine: batches=%d fallbacks=%d\n",
+			rep.SpeedupP50, rep.Batches, rep.BatchFallbacks)
+		fmt.Printf("plan: %s\n", rep.Rows[0].Plan)
+		out := jsonFor("vectorized")
 		if err := rep.WriteJSON(out); err != nil {
 			return err
 		}

@@ -1,0 +1,134 @@
+package algebra
+
+import (
+	"sync/atomic"
+
+	"xamdb/internal/value"
+)
+
+// Columns is the column-major view of a relation: one []Value per top-level
+// attribute, all of length NRows. It is the backing the batch execution
+// path scans — a batch of tuples is a window over these vectors plus a
+// selection, no per-tuple materialization. A Columns is immutable once
+// published (extents are immutable after materialization), so it can be
+// shared across concurrent queries.
+type Columns struct {
+	Schema *Schema
+	Cols   [][]Value
+	NRows  int
+
+	// atoms lazily caches each column's values parsed into formula atoms
+	// (value.Str over AsString) — the per-row parse a vectorized σ_φ would
+	// otherwise redo on every query over the same extent. One slot per
+	// column; racing first computations store equivalent slices.
+	atoms []atomic.Pointer[[]value.Atom]
+	// nulls caches, per column, the ascending row indexes holding ⊥ —
+	// usually empty, letting a filter kernel skip per-row kind checks.
+	nulls []atomic.Pointer[[]int32]
+}
+
+// NewColumns builds a Columns over pre-built column vectors. All columns
+// must have length nrows; the storage layer decodes extents straight into
+// this shape.
+func NewColumns(schema *Schema, cols [][]Value, nrows int) *Columns {
+	return &Columns{Schema: schema, Cols: cols, NRows: nrows,
+		atoms: make([]atomic.Pointer[[]value.Atom], len(cols)),
+		nulls: make([]atomic.Pointer[[]int32], len(cols))}
+}
+
+// Atoms returns column col parsed into formula atoms, computing and caching
+// the parse on first use. Null values map to the zero Atom; callers must
+// consult the value's kind before trusting the atom (the batch filter skips
+// null rows first, matching the row path's null-never-satisfies rule).
+func (c *Columns) Atoms(col int) []value.Atom {
+	if p := c.atoms[col].Load(); p != nil {
+		return *p
+	}
+	vals := c.Cols[col]
+	out := make([]value.Atom, len(vals))
+	var nulls []int32
+	for i := range vals {
+		if vals[i].Kind != Null {
+			out[i] = value.Str(vals[i].AsString())
+		} else {
+			nulls = append(nulls, int32(i))
+		}
+	}
+	// Racing first computations publish equivalent slices; last store wins.
+	//xamlint:allow snapshot(idempotent cache fill: every store publishes a freshly built, equivalent parse of the same immutable column)
+	c.atoms[col].Store(&out)
+	//xamlint:allow snapshot(idempotent cache fill: every store publishes a freshly built, equivalent null index of the same immutable column)
+	c.nulls[col].Store(&nulls)
+	return out
+}
+
+// Nulls returns the ascending row indexes where column col is ⊥ (nil when
+// none), computing and caching the index on first use.
+func (c *Columns) Nulls(col int) []int32 {
+	if p := c.nulls[col].Load(); p != nil {
+		return *p
+	}
+	vals := c.Cols[col]
+	var nulls []int32
+	for i := range vals {
+		if vals[i].Kind == Null {
+			nulls = append(nulls, int32(i))
+		}
+	}
+	//xamlint:allow snapshot(idempotent cache fill: every store publishes a freshly built, equivalent null index of the same immutable column)
+	c.nulls[col].Store(&nulls)
+	return nulls
+}
+
+// Relation materializes the columns back into a row-major relation with a
+// single backing array (one allocation for all tuples), and caches the
+// columns on the result so a batch scan of it is transpose-free.
+func (c *Columns) Relation() *Relation {
+	w := len(c.Cols)
+	rel := NewRelation(c.Schema)
+	if c.NRows == 0 {
+		//xamlint:allow snapshot(publish to a relation still private to this call: rel was just constructed and has not escaped)
+		rel.cols.Store(c)
+		return rel
+	}
+	backing := make([]Value, c.NRows*w)
+	tuples := make([]Tuple, c.NRows)
+	for i := 0; i < c.NRows; i++ {
+		row := backing[i*w : (i+1)*w : (i+1)*w]
+		for j := 0; j < w; j++ {
+			row[j] = c.Cols[j][i]
+		}
+		tuples[i] = row
+	}
+	rel.Tuples = tuples
+	//xamlint:allow snapshot(publish to a relation still private to this call: rel was just constructed and has not escaped)
+	rel.cols.Store(c)
+	return rel
+}
+
+// Columns returns the relation's column-major view, transposing and caching
+// it on first use. Relations used as extents are immutable once built, so
+// the transpose stays valid; racing first calls both compute and publish
+// equivalent views.
+func (r *Relation) Columns() *Columns {
+	if c := r.cols.Load(); c != nil {
+		return c
+	}
+	w := len(r.Schema.Attrs)
+	cols := make([][]Value, w)
+	if n := len(r.Tuples); n > 0 && w > 0 {
+		backing := make([]Value, n*w)
+		for j := 0; j < w; j++ {
+			cols[j] = backing[j*n : (j+1)*n : (j+1)*n]
+		}
+		for i, t := range r.Tuples {
+			for j := 0; j < w && j < len(t); j++ {
+				cols[j][i] = t[j]
+			}
+		}
+	}
+	c := NewColumns(r.Schema, cols, len(r.Tuples))
+	//xamlint:allow snapshot(idempotent cache fill: every store publishes a freshly built, equivalent transpose of the same immutable relation)
+	r.cols.Store(c)
+	return c
+}

@@ -176,6 +176,10 @@ type Relation struct {
 	// a computed estimate stays valid; concurrent first calls may both
 	// compute, the atomic keeps the cache race-free.
 	estBytes atomic.Int64
+
+	// cols caches the column-major view built by Columns() under the same
+	// immutability convention.
+	cols atomic.Pointer[Columns]
 }
 
 // NewRelation builds an empty relation over the schema.

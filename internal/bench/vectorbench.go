@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"xamdb/internal/datagen"
+	"xamdb/internal/engine"
+)
+
+// VectorConfig sizes the row-vs-batch execution ablation. The zero value is
+// the CI smoke configuration.
+type VectorConfig struct {
+	Items int // items in the synthetic document (default 100000)
+	Iters int // measured repetitions per query (default 3)
+}
+
+func (c VectorConfig) withDefaults() VectorConfig {
+	if c.Items <= 0 {
+		c.Items = 100_000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	return c
+}
+
+// VectorRow is one query of the ablation: identical plan shape executed by
+// the row iterators versus the vectorized batch iterators, timed on the
+// execute phase alone (plan cache warm, extents materialized — parse and
+// rewrite excluded).
+type VectorRow struct {
+	Query        string  `json:"query"`
+	Plan         string  `json:"plan"`
+	RowExecP50NS int64   `json:"row_exec_p50_ns"`
+	BatchP50NS   int64   `json:"batch_exec_p50_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// VectorReport is the xambench vectorized export (BENCH_vectorized.json).
+// SpeedupP50 is the median per-query speedup; BatchFallbacks counts batch
+// plans that had to bridge through the row engine — the CI smoke asserts it
+// stays zero on this workload.
+type VectorReport struct {
+	Experiment     string      `json:"experiment"`
+	Dataset        string      `json:"dataset"`
+	Items          int         `json:"items"`
+	Rows           []VectorRow `json:"rows"`
+	SpeedupP50     float64     `json:"speedup_p50"`
+	Batches        int64       `json:"engine_batches"`
+	BatchFallbacks int64       `json:"engine_batch_fallbacks"`
+}
+
+// VectorizedAblation measures the vectorized execution path end to end: the
+// same scan-heavy queries over the serial-items document answered by two
+// physical engines that differ only in UseBatch. Both share the predView
+// value-storing view, so the workload exercises the fused σφ filtered scan,
+// projection, and the structural-join path.
+func VectorizedAblation(ctx context.Context, cfg VectorConfig) (*VectorReport, error) {
+	cfg = cfg.withDefaults()
+	doc := datagen.SerialItems(cfg.Items)
+
+	mkEngine := func(batch bool) (*engine.Engine, error) {
+		e := engine.New()
+		e.UsePhysical = true
+		e.UseBatch = batch
+		e.AddDocument(doc)
+		if err := e.RegisterView(doc.Name, "v_item", predView); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	rowEng, err := mkEngine(false)
+	if err != nil {
+		return nil, err
+	}
+	batchEng, err := mkEngine(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scan-heavy shapes over the one extent: fused filtered scans swept
+	// across selectivities (every query scans all rows; the output size is
+	// what varies) plus the unfiltered scan + projection of everything.
+	queries := []string{
+		fmt.Sprintf(`doc(%q)//item[num < %q]/payload`, doc.Name, fmt.Sprint(cfg.Items/1000)),
+		fmt.Sprintf(`doc(%q)//item[num < %q]/payload`, doc.Name, fmt.Sprint(cfg.Items/100)),
+		fmt.Sprintf(`doc(%q)//item[num < %q]/payload`, doc.Name, fmt.Sprint(cfg.Items/10)),
+		fmt.Sprintf(`doc(%q)//item[num < %q]/payload`, doc.Name, fmt.Sprint(cfg.Items/2)),
+		fmt.Sprintf(`doc(%q)//item/payload`, doc.Name),
+	}
+
+	rep := &VectorReport{Experiment: "vectorized", Dataset: doc.Name, Items: cfg.Items}
+	for _, q := range queries {
+		row := VectorRow{Query: q}
+		rowP50, err := warmExecP50(ctx, rowEng, q, cfg.Iters, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: vectorized row %q: %w", q, err)
+		}
+		row.RowExecP50NS = rowP50
+		batchP50, err := warmExecP50(ctx, batchEng, q, cfg.Iters, &row.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("bench: vectorized batch %q: %w", q, err)
+		}
+		row.BatchP50NS = batchP50
+		if batchP50 > 0 {
+			row.Speedup = float64(rowP50) / float64(batchP50)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	speedups := make([]float64, len(rep.Rows))
+	for i, r := range rep.Rows {
+		speedups[i] = r.Speedup
+	}
+	sort.Float64s(speedups)
+	rep.SpeedupP50 = speedups[len(speedups)/2]
+
+	snap := batchEng.Metrics.Snapshot()
+	rep.Batches = snap.Counters[engine.MetricBatches]
+	rep.BatchFallbacks = snap.Counters[engine.MetricBatchFallbacks]
+	return rep, nil
+}
+
+// warmExecP50 warms the engine on q (materializing extents and filling the
+// plan cache), then reports the p50 of the execute-phase span over iters*3
+// measured runs — isolating iterator throughput from parse/rewrite time.
+func warmExecP50(ctx context.Context, e *engine.Engine, q string, iters int, planOut *string) (int64, error) {
+	for i := 0; i < 2; i++ {
+		_, qrep, err := e.QueryContext(ctx, q)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 && planOut != nil && len(qrep.Plans) > 0 {
+			*planOut = qrep.Plans[0]
+		}
+	}
+	// Collect the garbage the warm-up (and the previously measured engine)
+	// left behind so one engine's allocation debt is not billed to the
+	// other's samples.
+	runtime.GC()
+	samples := iters * 3
+	lats := make([]int64, 0, samples)
+	for i := 0; i < samples; i++ {
+		_, qrep, err := e.QueryContext(ctx, q)
+		if err != nil {
+			return 0, err
+		}
+		d, ok := qrep.Trace.PhaseTotals()["execute"]
+		if !ok {
+			return 0, fmt.Errorf("bench: query %q produced no execute span", q)
+		}
+		lats = append(lats, d.Nanoseconds())
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2], nil
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_*.json format).
+func (r *VectorReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

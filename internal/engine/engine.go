@@ -212,6 +212,11 @@ type Engine struct {
 	// operators (StackTree joins over sorted inputs) instead of the
 	// materialized logical evaluator.
 	UsePhysical bool
+	// UseBatch routes physical execution through the vectorized batch
+	// operators (column-vector batches with row-engine fallback adapters);
+	// it only takes effect together with UsePhysical. New enables it; uload
+	// -nobatch disables it for row-vs-batch ablations.
+	UseBatch bool
 	// QueryTimeout bounds each Query/QueryContext call; 0 means no limit.
 	// It composes with any deadline already on the caller's context (the
 	// earlier one wins).
@@ -256,6 +261,7 @@ func New() *Engine {
 	return &Engine{
 		docs:           map[string]*docState{},
 		FallbackToBase: true,
+		UseBatch:       true,
 		Opts:           rewrite.Options{MaxPlans: 3},
 		Metrics:        obs.NewRegistry(),
 		QueryLog:       obs.NewQueryLog(DefaultQueryLogSize, DefaultSlowQueryThreshold),
@@ -890,14 +896,26 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 		}
 	}()
 	if analyze {
-		rel, ops, err = rewrite.ExecutePhysicalAnalyzeContext(ctx, plan.Plan, env)
+		if e.UsePhysical && e.UseBatch {
+			var info rewrite.BatchExecInfo
+			rel, ops, info, err = rewrite.ExecuteBatchAnalyzeContext(ctx, plan.Plan, env)
+			e.recordBatchExec(info)
+		} else {
+			rel, ops, err = rewrite.ExecutePhysicalAnalyzeContext(ctx, plan.Plan, env)
+		}
 		if err == nil {
 			rel, err = renamePhysical(rel, plan)
 		}
 		return rel, ops, err
 	}
 	if e.UsePhysical {
-		rel, err = rewrite.ExecutePhysicalContext(ctx, plan.Plan, env)
+		if e.UseBatch {
+			var info rewrite.BatchExecInfo
+			rel, info, err = rewrite.ExecuteBatchContext(ctx, plan.Plan, env)
+			e.recordBatchExec(info)
+		} else {
+			rel, err = rewrite.ExecutePhysicalContext(ctx, plan.Plan, env)
+		}
 		if err == nil {
 			rel, err = renamePhysical(rel, plan)
 		}
@@ -910,6 +928,18 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 	}
 	rel, err = plan.Execute(env)
 	return rel, nil, err
+}
+
+// recordBatchExec folds one batch execution's accounting into the engine
+// counters (engine.batches / engine.batch_fallbacks).
+func (e *Engine) recordBatchExec(info rewrite.BatchExecInfo) {
+	m := e.m()
+	if info.Batches > 0 {
+		m.batches.Add(info.Batches)
+	}
+	if info.Fallbacks > 0 {
+		m.batchFallbacks.Add(info.Fallbacks)
+	}
 }
 
 // evalBase runs direct evaluation with panics recovered into errors: the

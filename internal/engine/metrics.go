@@ -27,6 +27,11 @@ const (
 	MetricMaterializeNS      = "engine.materialize_ns"
 	MetricExecuteNS          = "engine.execute_ns"
 	MetricFallbackDepth      = "engine.fallback_depth"
+	// MetricBatches counts batches drained through the vectorized execution
+	// path; MetricBatchFallbacks counts plan nodes that had no batch form
+	// and fell back to the row engine behind a Rebatch adapter.
+	MetricBatches        = "engine.batches"
+	MetricBatchFallbacks = "engine.batch_fallbacks"
 
 	// State gauges, synced from the planning snapshots by SyncStateGauges
 	// (scrape time), not maintained on the query path.
@@ -64,6 +69,8 @@ type engineMetrics struct {
 	materializeNS     *obs.Histogram
 	executeNS         *obs.Histogram
 	fallbackDepth     *obs.Histogram
+	batches           *obs.Counter
+	batchFallbacks    *obs.Counter
 
 	planCacheSize  *obs.Gauge
 	extentsBuilt   *obs.Gauge
@@ -92,6 +99,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		materializeNS:     reg.Histogram(MetricMaterializeNS),
 		executeNS:         reg.Histogram(MetricExecuteNS),
 		fallbackDepth:     reg.Histogram(MetricFallbackDepth),
+		batches:           reg.Counter(MetricBatches),
+		batchFallbacks:    reg.Counter(MetricBatchFallbacks),
 		planCacheSize:     reg.Gauge(MetricPlanCacheSize),
 		extentsBuilt:      reg.Gauge(MetricViewExtentsBuilt),
 		extentsUnbuilt:    reg.Gauge(MetricViewExtentsUnbuilt),

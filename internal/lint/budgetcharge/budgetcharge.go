@@ -1,15 +1,18 @@
 // Package budgetcharge defines an analyzer for the per-query quota
 // protocol (PR 6). Two rules:
 //
-//  1. Every physical.Iterator Next implementation must be covered by the
-//     quota machinery. Operators that pull an upstream iterator anywhere
-//     in Next are covered by construction — the compiler wraps every
-//     scan in a Checkpoint, so tuples flowing up the chain are charged at
-//     the leaf. A LEAF Next (one that never pulls an upstream) yields
+//  1. Every physical.Iterator Next and physical.BatchIterator NextBatch
+//     implementation must be covered by the quota machinery. Operators
+//     that pull an upstream iterator (row or batch) anywhere in their
+//     pull method are covered by construction — the compiler wraps every
+//     scan in a Checkpoint and batch leaves charge per batch, so tuples
+//     flowing up the chain are charged at the leaf. A LEAF pull method
+//     (one that never pulls an upstream of either protocol) yields
 //     tuples out of thin air; it must itself charge or check a
 //     physical.Budget (ChargeTuples, ChargeExtentBytes, CheckRowsOut) or
-//     build a Checkpoint, or carry a reasoned allow-directive explaining
-//     why every construction site wraps it.
+//     build a Checkpoint — directly or through a same-package helper —
+//     or carry a reasoned allow-directive explaining why every
+//     construction site wraps it.
 //
 //  2. ErrQuotaExceeded never flows into the fallback cascade. A call to
 //     a degrade hook (the engine's convention: a local closure or
@@ -36,24 +39,42 @@ const physicalPath = "xamdb/internal/physical"
 // the fallback cascade.
 var Analyzer = &analysis.Analyzer{
 	Name: "budgetcharge",
-	Doc:  "leaf Iterator.Next implementations must charge a physical.Budget; ErrQuotaExceeded must never reach the fallback cascade",
+	Doc:  "leaf Iterator.Next and BatchIterator.NextBatch implementations must charge a physical.Budget; ErrQuotaExceeded must never reach the fallback cascade",
 	Run:  run,
 }
 
+// pullIfaces resolves the row and batch pull protocols once per package.
+type pullIfaces struct {
+	iter  *types.Interface // physical.Iterator (Next)
+	batch *types.Interface // physical.BatchIterator (NextBatch)
+}
+
 func run(pass *analysis.Pass) error {
-	var iterIface *types.Interface
+	var ifaces pullIfaces
 	if obj := pass.ImportedObject(physicalPath, "Iterator"); obj != nil {
-		iterIface, _ = obj.Type().Underlying().(*types.Interface)
+		ifaces.iter, _ = obj.Type().Underlying().(*types.Interface)
 	}
-	if iterIface != nil {
+	if obj := pass.ImportedObject(physicalPath, "BatchIterator"); obj != nil {
+		ifaces.batch, _ = obj.Type().Underlying().(*types.Interface)
+	}
+	if ifaces.iter != nil || ifaces.batch != nil {
 		// Methods grouped by receiver type: judging one type's Next also
 		// scans its sibling methods, so operators that decompose the pull
 		// into helpers (the stackTree run/advance shape) stay covered.
+		// Package-level functions are kept alongside so a charge routed
+		// through a shared helper (the batchCancelCheck shape) is seen too.
 		methods := map[*types.TypeName][]*ast.FuncDecl{}
+		helpers := map[types.Object]*ast.FuncDecl{}
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Recv == nil || fd.Body == nil {
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Recv == nil {
+					if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+						helpers[obj] = fd
+					}
 					continue
 				}
 				if tn := recvTypeName(pass.TypesInfo, fd); tn != nil {
@@ -63,8 +84,15 @@ func run(pass *analysis.Pass) error {
 		}
 		for tn, decls := range methods {
 			for _, fd := range decls {
-				if fd.Name.Name == "Next" {
-					checkNextImpl(pass, iterIface, tn, fd, methods[tn])
+				switch fd.Name.Name {
+				case "Next":
+					if ifaces.iter != nil {
+						checkPullImpl(pass, ifaces, ifaces.iter, "Iterator.Next", tn, fd, methods[tn], helpers)
+					}
+				case "NextBatch":
+					if ifaces.batch != nil {
+						checkPullImpl(pass, ifaces, ifaces.batch, "BatchIterator.NextBatch", tn, fd, methods[tn], helpers)
+					}
 				}
 			}
 		}
@@ -97,24 +125,39 @@ func recvTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
 	return nil
 }
 
-// checkNextImpl applies rule 1 to one Next declaration, consulting every
-// method of the receiver type for pulls and charges.
-func checkNextImpl(pass *analysis.Pass, iter *types.Interface, tn *types.TypeName, next *ast.FuncDecl, siblings []*ast.FuncDecl) {
+// checkPullImpl applies rule 1 to one pull-method declaration (Next or
+// NextBatch), consulting every method of the receiver type — and any
+// package-level helper those methods call — for pulls and charges. A pull
+// of either protocol counts as coverage: row chains are charged at their
+// Checkpoint-wrapped leaf, batch chains at the leaf scan's per-batch
+// charge, and the Rebatch/Unbatch adapters bridge one into the other.
+func checkPullImpl(pass *analysis.Pass, ifaces pullIfaces, self *types.Interface, label string, tn *types.TypeName, decl *ast.FuncDecl, siblings []*ast.FuncDecl, helpers map[types.Object]*ast.FuncDecl) {
 	recv := tn.Type()
-	if !types.Implements(recv, iter) && !types.Implements(types.NewPointer(recv), iter) {
+	if !types.Implements(recv, self) && !types.Implements(types.NewPointer(recv), self) {
 		return
 	}
 	pulls, charges := false, false
-	for _, fd := range siblings {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
+	visited := map[*ast.FuncDecl]bool{}
+	var scan func(body ast.Node)
+	scan = func(body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Next" && len(call.Args) == 0 {
-				if t := pass.TypesInfo.Types[sel.X].Type; t != nil && !types.Identical(t, recv) && !types.Identical(t, types.NewPointer(recv)) {
-					if types.Implements(t, iter) || types.Implements(types.NewPointer(t), iter) {
-						pulls = true
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && len(call.Args) == 0 {
+				var iface *types.Interface
+				switch sel.Sel.Name {
+				case "Next":
+					iface = ifaces.iter
+				case "NextBatch":
+					iface = ifaces.batch
+				}
+				if iface != nil {
+					if t := pass.TypesInfo.Types[sel.X].Type; t != nil && !types.Identical(t, recv) && !types.Identical(t, types.NewPointer(recv)) {
+						if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+							pulls = true
+						}
 					}
 				}
 			}
@@ -122,12 +165,19 @@ func checkNextImpl(pass *analysis.Pass, iter *types.Interface, tn *types.TypeNam
 			if isBudgetCharge(obj) || analysis.IsFunc(obj, physicalPath, "NewCheckpoint") {
 				charges = true
 			}
+			if hd, ok := helpers[obj]; ok && !visited[hd] {
+				visited[hd] = true
+				scan(hd.Body)
+			}
 			return true
 		})
 	}
+	for _, fd := range siblings {
+		scan(fd.Body)
+	}
 	if !pulls && !charges {
-		pass.Reportf(next.Pos(),
-			"leaf Iterator.Next yields tuples without pulling an upstream or charging a physical.Budget; quota kills cannot reach it — charge the budget or document why every construction site wraps it in a Checkpoint")
+		pass.Reportf(decl.Pos(),
+			"leaf %s yields tuples without pulling an upstream or charging a physical.Budget; quota kills cannot reach it — charge the budget or document why every construction site wraps it in a Checkpoint", label)
 	}
 }
 

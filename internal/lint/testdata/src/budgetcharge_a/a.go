@@ -169,6 +169,162 @@ func (x *notAnIterator) Next() int {
 	return x.n
 }
 
+// --- batch pull protocol (BatchIterator.NextBatch) ---
+
+// batchLeafBad slices batches out of a relation's columns without polling
+// or charging: between batches a quota kill can never land.
+type batchLeafBad struct {
+	cols *algebra.Columns
+	pos  int
+}
+
+func (l *batchLeafBad) Schema() *algebra.Schema      { return l.cols.Schema }
+func (l *batchLeafBad) Order() (o algebra.OrderDesc) { return }
+
+func (l *batchLeafBad) NextBatch() (*physical.Batch, bool) { // want "leaf BatchIterator.NextBatch"
+	if l.pos >= l.cols.NRows {
+		return nil, false
+	}
+	n := l.cols.NRows - l.pos
+	if n > physical.BatchSize {
+		n = physical.BatchSize
+	}
+	cols := make([][]algebra.Value, len(l.cols.Cols))
+	for j := range cols {
+		cols[j] = l.cols.Cols[j][l.pos : l.pos+n]
+	}
+	l.pos += n
+	return &physical.Batch{Schema: l.cols.Schema, Cols: cols, N: n}, true
+}
+
+// batchLeafCharged is the same leaf charging the tuple quota per batch
+// window, directly on the budget.
+type batchLeafCharged struct {
+	cols *algebra.Columns
+	b    *physical.Budget
+	pos  int
+}
+
+func (l *batchLeafCharged) Schema() *algebra.Schema      { return l.cols.Schema }
+func (l *batchLeafCharged) Order() (o algebra.OrderDesc) { return }
+
+func (l *batchLeafCharged) NextBatch() (*physical.Batch, bool) {
+	if l.pos >= l.cols.NRows {
+		return nil, false
+	}
+	n := l.cols.NRows - l.pos
+	if n > physical.BatchSize {
+		n = physical.BatchSize
+	}
+	if err := l.b.ChargeTuples(int64(n)); err != nil {
+		return nil, false
+	}
+	cols := make([][]algebra.Value, len(l.cols.Cols))
+	for j := range cols {
+		cols[j] = l.cols.Cols[j][l.pos : l.pos+n]
+	}
+	l.pos += n
+	return &physical.Batch{Schema: l.cols.Schema, Cols: cols, N: n}, true
+}
+
+// chargeWindow is the batchCancelCheck shape: the per-batch charge routed
+// through a shared package-level helper.
+func chargeWindow(b *physical.Budget, n int) bool {
+	return b.ChargeTuples(int64(n)) == nil
+}
+
+// batchLeafHelperCharged charges through chargeWindow: the analyzer must
+// follow same-package helper calls to see the charge.
+type batchLeafHelperCharged struct {
+	cols *algebra.Columns
+	b    *physical.Budget
+	pos  int
+}
+
+func (l *batchLeafHelperCharged) Schema() *algebra.Schema      { return l.cols.Schema }
+func (l *batchLeafHelperCharged) Order() (o algebra.OrderDesc) { return }
+
+func (l *batchLeafHelperCharged) NextBatch() (*physical.Batch, bool) {
+	if l.pos >= l.cols.NRows {
+		return nil, false
+	}
+	n := l.cols.NRows - l.pos
+	if n > physical.BatchSize {
+		n = physical.BatchSize
+	}
+	if !chargeWindow(l.b, n) {
+		return nil, false
+	}
+	cols := make([][]algebra.Value, len(l.cols.Cols))
+	for j := range cols {
+		cols[j] = l.cols.Cols[j][l.pos : l.pos+n]
+	}
+	l.pos += n
+	return &physical.Batch{Schema: l.cols.Schema, Cols: cols, N: n}, true
+}
+
+// batchWrapper pulls an upstream BatchIterator: charged at the chain's
+// leaf scan, so it needs no budget of its own.
+type batchWrapper struct {
+	in physical.BatchIterator
+}
+
+func (w *batchWrapper) Schema() *algebra.Schema      { return w.in.Schema() }
+func (w *batchWrapper) Order() (o algebra.OrderDesc) { return w.in.Order() }
+
+func (w *batchWrapper) NextBatch() (*physical.Batch, bool) {
+	return w.in.NextBatch()
+}
+
+// unbatchLike is a row iterator fed by a batch upstream (the Unbatch
+// adapter shape): the cross-protocol pull is coverage — the batch chain's
+// leaf charges per batch.
+type unbatchLike struct {
+	in  physical.BatchIterator
+	cur *physical.Batch
+	pos int
+}
+
+func (u *unbatchLike) Schema() *algebra.Schema      { return u.in.Schema() }
+func (u *unbatchLike) Order() (o algebra.OrderDesc) { return u.in.Order() }
+
+func (u *unbatchLike) Next() (algebra.Tuple, bool) {
+	for u.cur == nil || u.pos >= u.cur.Rows() {
+		b, ok := u.in.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		u.cur, u.pos = b, 0
+	}
+	t := u.cur.Tuple(u.pos)
+	u.pos++
+	return t, true
+}
+
+// batchLeafAllowed is a batch leaf whose construction sites guarantee
+// coverage; the directive records that argument.
+type batchLeafAllowed struct {
+	cols *algebra.Columns
+	pos  int
+}
+
+func (l *batchLeafAllowed) Schema() *algebra.Schema      { return l.cols.Schema }
+func (l *batchLeafAllowed) Order() (o algebra.OrderDesc) { return }
+
+//xamlint:allow budgetcharge(fixture: every construction site feeds it through a charging BatchScan)
+func (l *batchLeafAllowed) NextBatch() (*physical.Batch, bool) {
+	if l.pos >= l.cols.NRows {
+		return nil, false
+	}
+	n := l.cols.NRows - l.pos
+	cols := make([][]algebra.Value, len(l.cols.Cols))
+	for j := range cols {
+		cols[j] = l.cols.Cols[j][l.pos : l.pos+n]
+	}
+	l.pos += n
+	return &physical.Batch{Schema: l.cols.Schema, Cols: cols, N: n}, true
+}
+
 // --- fallback cascade rules ---
 
 var errPlan = errors.New("plan failed")

@@ -1,0 +1,349 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/value"
+	"xamdb/internal/xmltree"
+)
+
+// randomRel builds a relation of n rows with an ID column (document order),
+// a numeric string Val column, and an Int payload — the shape view extents
+// have.
+func randomRel(seed int64, n int) *algebra.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := algebra.NewRelation(algebra.NewSchema("x.ID", "x.Val", "x.N"))
+	for i := 0; i < n; i++ {
+		rel.Add(algebra.Tuple{
+			algebra.IDV(xmltree.NodeID{Pre: int32(i), Post: int32(n - i), Depth: 2}),
+			algebra.S(fmt.Sprintf("%d", rng.Intn(1000))),
+			algebra.I(int64(rng.Intn(50))),
+		})
+	}
+	return rel
+}
+
+func drainBatches(t *testing.T, it BatchIterator) *algebra.Relation {
+	t.Helper()
+	rel, _, err := DrainBatchesContext(context.Background(), it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestBatchScanRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, BatchSize - 1, BatchSize, BatchSize + 1, 3000} {
+		rel := randomRel(int64(n), n)
+		got := drainBatches(t, NewBatchScan(context.Background(), rel, nil))
+		if !got.Equal(rel) {
+			t.Fatalf("n=%d: batch scan round trip differs", n)
+		}
+	}
+}
+
+func TestBatchFormulaScanMatchesFormulaSelect(t *testing.T) {
+	ctx := context.Background()
+	rel := randomRel(7, 2500)
+	for _, f := range []value.Formula{
+		value.Lt(value.Num(300)),
+		value.Ge(value.Num(500)).And(value.Lt(value.Num(900))),
+		value.Eq(value.Str("42")),
+		value.True(),
+		value.False(),
+	} {
+		fs, err := NewFormulaSelect(ctx, rel, nil, "x.Val", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DrainContext(ctx, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfs, err := NewBatchFormulaScan(ctx, rel, nil, "x.Val", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainBatches(t, bfs)
+		if !got.Equal(want) {
+			t.Fatalf("formula %s: batch %d rows vs row %d rows", f, got.Len(), want.Len())
+		}
+		if bfs.Examined() != int64(rel.Len()) {
+			t.Fatalf("formula %s: examined %d, want %d", f, bfs.Examined(), rel.Len())
+		}
+	}
+	if _, err := NewBatchFormulaScan(ctx, rel, nil, "nope", value.True()); err == nil {
+		t.Fatal("unknown attribute must error")
+	}
+}
+
+func TestBatchSelectProjectReschema(t *testing.T) {
+	ctx := context.Background()
+	rel := randomRel(3, 2100)
+	// Row pipeline: σ[x.N=7] then π[x.ID].
+	sel, err := NewSelect(NewScan(rel, algebra.OrderDesc{"x.ID"}), algebra.Pred{Path: "x.N", Op: algebra.Eq, Const: algebra.I(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := NewProject(sel, "x.ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Drain(proj)
+
+	bsel, err := NewBatchSelect(NewBatchScan(ctx, rel, algebra.OrderDesc{"x.ID"}), algebra.Pred{Path: "x.N", Op: algebra.Eq, Const: algebra.I(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bproj, err := NewBatchProject(bsel, "x.ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainBatches(t, bproj); !got.Equal(want) {
+		t.Fatalf("batch σπ differs: %d vs %d rows", got.Len(), want.Len())
+	}
+	if o := bproj.Order(); len(o) != 1 || o[0] != "x.ID" {
+		t.Fatalf("projection order: %v", o)
+	}
+
+	re, err := NewBatchReschema(NewBatchScan(ctx, rel, nil), algebra.NewSchema("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainBatches(t, re)
+	if got.Schema.Attrs[0].Name != "a" || got.Len() != rel.Len() {
+		t.Fatalf("reschema: %s", got.Schema)
+	}
+	if _, err := NewBatchReschema(NewBatchScan(ctx, rel, nil), algebra.NewSchema("a")); err == nil {
+		t.Fatal("width mismatch must error")
+	}
+	if _, err := NewBatchSelect(NewBatchScan(ctx, rel, nil), algebra.Pred{Path: "zz"}); err == nil {
+		t.Fatal("unknown select attribute must error")
+	}
+	if _, err := NewBatchProject(NewBatchScan(ctx, rel, nil), "zz"); err == nil {
+		t.Fatal("unknown project attribute must error")
+	}
+}
+
+func TestBatchSortMatchesSortOp(t *testing.T) {
+	ctx := context.Background()
+	rel := randomRel(11, 2300)
+	s, err := NewSort(NewScan(rel, nil), "x.N", "x.Val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Drain(s)
+	bs, err := NewBatchSort(NewBatchScan(ctx, rel, nil), "x.N", "x.Val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainBatches(t, bs)
+	// Stable sort over equal keys must agree exactly with the row operator.
+	if !got.Equal(want) {
+		t.Fatal("batch sort differs from SortOp")
+	}
+	if _, err := NewBatchSort(NewBatchScan(ctx, rel, nil), "zz"); err == nil {
+		t.Fatal("unknown sort column must error")
+	}
+}
+
+func TestRebatchUnbatchRoundTrip(t *testing.T) {
+	rel := randomRel(5, 1500)
+	rb := NewRebatch(NewScan(rel, algebra.OrderDesc{"x.ID"}))
+	if o := rb.Order(); len(o) != 1 || o[0] != "x.ID" {
+		t.Fatalf("rebatch order: %v", o)
+	}
+	got := Drain(NewUnbatch(rb))
+	if !got.Equal(rel) {
+		t.Fatal("rebatch→unbatch round trip differs")
+	}
+}
+
+func TestBatchHashJoinMatchesHashJoin(t *testing.T) {
+	ctx := context.Background()
+	l := randomRel(21, 900)
+	r := randomRel(22, 700)
+	for _, outer := range []bool{false, true} {
+		hj, err := NewHashJoin(NewScan(l, nil), NewScan(r, nil), "x.N", "x.N", outer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Drain(hj)
+		bhj, err := NewBatchHashJoin(NewBatchScan(ctx, l, nil), NewBatchScan(ctx, r, nil), "x.N", "x.N", outer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainBatches(t, bhj)
+		if !got.Equal(want) {
+			t.Fatalf("outer=%v: batch hash join differs: %d vs %d rows", outer, got.Len(), want.Len())
+		}
+	}
+	if _, err := NewBatchHashJoin(NewBatchScan(ctx, l, nil), NewBatchScan(ctx, r, nil), "zz", "x.N", false); err == nil {
+		t.Fatal("missing attribute must error")
+	}
+}
+
+func TestBatchStackTreeMatchesRowStackTree(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 5; seed++ {
+		anc, desc, _, _ := buildDocRelations(t, seed, 80)
+		for _, axis := range []Axis{ChildAxis, DescendantAxis} {
+			row, err := NewStackTreeDesc(NewScan(anc, algebra.OrderDesc{"A"}), NewScan(desc, algebra.OrderDesc{"D"}), "A", "D", axis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Drain(row)
+
+			// Pre-sorted batch inputs.
+			bj, err := NewBatchStackTreeDesc(
+				NewBatchScan(ctx, anc, algebra.OrderDesc{"A"}),
+				NewBatchScan(ctx, desc, algebra.OrderDesc{"D"}), "A", "D", axis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainBatches(t, bj)
+			if !got.Equal(want) {
+				t.Fatalf("seed %d axis %v: batch stacktree differs: %d vs %d rows",
+					seed, axis, got.Len(), want.Len())
+			}
+
+			// Through BatchSort inputs (the fused sortedRefs path).
+			oSort, err := NewBatchSort(NewBatchScan(ctx, anc, nil), "A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			iSort, err := NewBatchSort(NewBatchScan(ctx, desc, nil), "D")
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj2, err := NewBatchStackTreeDesc(oSort, iSort, "A", "D", axis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got2 := drainBatches(t, bj2); !got2.Equal(want) {
+				t.Fatalf("seed %d axis %v: sorted-refs stacktree differs", seed, axis)
+			}
+		}
+	}
+}
+
+func TestBatchStackTreeRejectsUnsortedInput(t *testing.T) {
+	ctx := context.Background()
+	r := relOf([]string{"A"}, []algebra.Value{idv(1, 1, 1)})
+	if _, err := NewBatchStackTreeDesc(NewBatchScan(ctx, r, nil), NewBatchScan(ctx, r, algebra.OrderDesc{"A"}), "A", "A", ChildAxis); err == nil {
+		t.Fatal("must reject unsorted ancestor input")
+	}
+	if _, err := NewBatchStackTreeDesc(NewBatchScan(ctx, r, algebra.OrderDesc{"A"}), NewBatchScan(ctx, r, nil), "A", "A", ChildAxis); err == nil {
+		t.Fatal("must reject unsorted descendant input")
+	}
+}
+
+func TestBatchScanHonorsBudgetAndContext(t *testing.T) {
+	rel := randomRel(31, 5000)
+
+	// Tuple quota: the charging scan must abort once the budget is spent.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	b := NewBudget(BudgetLimits{MaxTuples: BatchSize + 1}, cancel)
+	bctx := WithBudget(ctx, b)
+	_, _, err := DrainBatchesContext(bctx, NewBatchScan(bctx, rel, nil))
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("quota kill must surface ErrQuotaExceeded, got %v", err)
+	}
+
+	// The non-charging rescan must NOT consume the tuple quota.
+	ctx2, cancel2 := context.WithCancelCause(context.Background())
+	defer cancel2(nil)
+	b2 := NewBudget(BudgetLimits{MaxTuples: 1}, cancel2)
+	bctx2 := WithBudget(ctx2, b2)
+	if _, _, err := DrainBatchesContext(bctx2, NewBatchRelScan(bctx2, rel, nil)); err != nil {
+		t.Fatalf("rescan must not charge the tuple quota: %v", err)
+	}
+
+	// Context cancellation unwinds through the Cancelled panic protocol.
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	cancel3()
+	if _, _, err := DrainBatchesContext(ctx3, NewBatchScan(ctx3, rel, nil)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context must abort the drain, got %v", err)
+	}
+}
+
+func TestBatchInstrumentCounts(t *testing.T) {
+	ctx := context.Background()
+	rel := randomRel(41, 2500)
+	fs, err := NewBatchFormulaScan(ctx, rel, nil, "x.Val", value.Lt(value.Num(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := NewBatchInstrument("σφ·scan", fs)
+	got := drainBatches(t, ins)
+	st := ins.Stats()
+	if st.Rows != int64(got.Len()) {
+		t.Fatalf("rows %d vs %d", st.Rows, got.Len())
+	}
+	if st.Batches == 0 || st.Batches != st.NextCalls {
+		t.Fatalf("batches=%d next=%d", st.Batches, st.NextCalls)
+	}
+	if st.Examined != int64(rel.Len()) {
+		t.Fatalf("examined %d, want %d", st.Examined, rel.Len())
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("poll count must surface as checkpoints")
+	}
+	if s := st.String(); s == "" {
+		t.Fatal("render")
+	}
+}
+
+// BenchmarkHashJoinProbe measures the row hash join's build+probe loop with
+// the typed joinKey; BenchmarkHashJoinProbeStringKeys replicates the former
+// rendered-string key on the same data, demonstrating the satellite fix's
+// win (one v.String() allocation per build and probe tuple).
+func BenchmarkHashJoinProbe(b *testing.B) {
+	l := randomRel(51, 4000)
+	r := randomRel(52, 4000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hj, err := NewHashJoin(NewScan(l, nil), NewScan(r, nil), "x.ID", "x.ID", true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		Drain(hj)
+	}
+}
+
+func BenchmarkHashJoinProbeStringKeys(b *testing.B) {
+	l := randomRel(51, 4000)
+	r := randomRel(52, 4000)
+	lcol := l.Schema.Index("x.ID")
+	rcol := r.Schema.Index("x.ID")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table := map[string][]algebra.Tuple{}
+		for _, t := range r.Tuples {
+			k := t[rcol].String()
+			table[k] = append(table[k], t)
+		}
+		var out []algebra.Tuple
+		for _, t := range l.Tuples {
+			matches := table[t[lcol].String()]
+			if len(matches) == 0 {
+				pad := make(algebra.Tuple, len(r.Schema.Attrs))
+				for i := range pad {
+					pad[i] = algebra.NullValue
+				}
+				out = append(out, t.Concat(pad))
+				continue
+			}
+			for _, u := range matches {
+				out = append(out, t.Concat(u))
+			}
+		}
+		_ = out
+	}
+}

@@ -1,0 +1,194 @@
+package physical
+
+import (
+	"hash/maphash"
+	"math"
+
+	"xamdb/internal/algebra"
+)
+
+// BatchDistinct removes duplicate rows from a batch stream preserving first
+// occurrence order, the π°/Distinct step of every projected rewriting. Where
+// the row engine fingerprints each tuple into a rendered string key
+// (algebra.Distinct), this operator hashes typed column values directly —
+// no per-row string building — and confirms collisions with Value.Equal, so
+// the output is exactly the row operator's.
+type BatchDistinct struct {
+	in BatchIterator
+	// hashes/refs form an open-addressing table (linear probing, power-of-
+	// two capacity, grown at 3/4 load). Flat pointer-free arrays instead of
+	// a Go map: inserts don't allocate, growth is a rehash of two slices,
+	// and the GC never scans the table.
+	hashes   []uint64
+	refs     []batchRef
+	occupied []bool
+	entries  int
+	kept     []*Batch     // emitted batches retained as equality-check referents
+	seed     maphash.Seed // for string columns: AES-backed, allocation-free
+}
+
+// NewBatchDistinct wraps in with streaming duplicate elimination.
+func NewBatchDistinct(in BatchIterator) *BatchDistinct {
+	return &BatchDistinct{
+		in:       in,
+		hashes:   make([]uint64, 2*BatchSize),
+		refs:     make([]batchRef, 2*BatchSize),
+		occupied: make([]bool, 2*BatchSize),
+		seed:     maphash.MakeSeed(),
+	}
+}
+
+// Schema implements BatchIterator.
+func (d *BatchDistinct) Schema() *algebra.Schema { return d.in.Schema() }
+
+// Order implements BatchIterator: first-occurrence dedup preserves the
+// input order.
+func (d *BatchDistinct) Order() algebra.OrderDesc { return d.in.Order() }
+
+// NextBatch implements BatchIterator.
+func (d *BatchDistinct) NextBatch() (*Batch, bool) {
+	for {
+		b, ok := d.in.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		sel := make([]int, 0, b.Rows())
+		bi := int32(len(d.kept))
+		for i := 0; i < b.Rows(); i++ {
+			r := b.Row(i)
+			if d.insert(d.hashRow(b, r), batchRef{b: bi, r: int32(r)}, b, r) {
+				sel = append(sel, r)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		out := &Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel, N: b.N}
+		// Retain the source batch: the refs just inserted point at its
+		// columns for future equality confirmation.
+		d.kept = append(d.kept, b)
+		return out, true
+	}
+}
+
+// insert probes for row r of b under hash h and claims a slot if no equal
+// row is present. It reports true when the row is new (kept), false for a
+// duplicate.
+func (d *BatchDistinct) insert(h uint64, ref batchRef, b *Batch, r int) bool {
+	mask := uint64(len(d.hashes) - 1)
+	i := h & mask
+	for d.occupied[i] {
+		if d.hashes[i] == h && d.sameRow(d.refs[i], b, r) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	d.hashes[i] = h
+	d.refs[i] = ref
+	d.occupied[i] = true
+	d.entries++
+	if d.entries*4 > len(d.hashes)*3 {
+		d.grow()
+	}
+	return true
+}
+
+// grow doubles the table, reinserting by hash alone — existing entries are
+// pairwise distinct, so no row comparisons are needed.
+func (d *BatchDistinct) grow() {
+	oldH, oldR, oldO := d.hashes, d.refs, d.occupied
+	n := 2 * len(oldH)
+	d.hashes = make([]uint64, n)
+	d.refs = make([]batchRef, n)
+	d.occupied = make([]bool, n)
+	mask := uint64(n - 1)
+	for j, occ := range oldO {
+		if !occ {
+			continue
+		}
+		i := oldH[j] & mask
+		for d.occupied[i] {
+			i = (i + 1) & mask
+		}
+		d.hashes[i] = oldH[j]
+		d.refs[i] = oldR[j]
+		d.occupied[i] = true
+	}
+}
+
+// sameRow compares row r of b against the kept row ref points at. Refs into
+// the batch currently being filtered (not yet appended to kept) resolve to
+// b itself.
+func (d *BatchDistinct) sameRow(ref batchRef, b *Batch, r int) bool {
+	kb := b
+	if int(ref.b) < len(d.kept) {
+		kb = d.kept[ref.b]
+	}
+	for c := range b.Cols {
+		if !b.Cols[c][r].Equal(kb.Cols[c][ref.r]) {
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (d *BatchDistinct) hashRow(b *Batch, r int) uint64 {
+	h := uint64(fnvOffset64)
+	for c := range b.Cols {
+		h = d.hashValue(h, b.Cols[c][r])
+	}
+	return h
+}
+
+func hashByte(h uint64, x byte) uint64 {
+	return (h ^ uint64(x)) * fnvPrime64
+}
+
+// hash64 folds a whole word per multiply instead of FNV's byte-at-a-time
+// loop. Weaker avalanche than true FNV is fine here: hash collisions only
+// cost an extra Equal confirmation, and the Go map re-hashes the key for
+// bucket placement anyway.
+func hash64(h, x uint64) uint64 {
+	return (h ^ x) * fnvPrime64
+}
+
+// hashValue folds v into h such that Equal values hash identically: the kind
+// tag plus the kind's canonical bits, recursing into nested collections.
+func (d *BatchDistinct) hashValue(h uint64, v algebra.Value) uint64 {
+	h = hashByte(h, byte(v.Kind))
+	switch v.Kind {
+	case algebra.Null:
+	case algebra.Int:
+		h = hash64(h, uint64(v.Int))
+	case algebra.Float:
+		h = hash64(h, math.Float64bits(v.Float))
+	case algebra.Str:
+		h = hash64(h, maphash.String(d.seed, v.Str))
+	case algebra.ID:
+		h = hash64(h, uint64(uint32(v.ID.Pre)))
+		h = hash64(h, uint64(uint32(v.ID.Post)))
+		h = hash64(h, uint64(uint32(v.ID.Depth)))
+	case algebra.DeweyID:
+		for _, c := range v.Dewey {
+			h = hash64(h, uint64(uint32(c)))
+		}
+	case algebra.Rel:
+		if v.Rel == nil {
+			return hashByte(h, 0xff)
+		}
+		h = hash64(h, uint64(len(v.Rel.Tuples)))
+		for _, t := range v.Rel.Tuples {
+			for _, cv := range t {
+				h = d.hashValue(h, cv)
+			}
+		}
+	default:
+		h = hash64(h, maphash.String(d.seed, v.Str))
+	}
+	return h
+}

@@ -1,0 +1,72 @@
+package physical
+
+import (
+	"time"
+
+	"xamdb/internal/algebra"
+)
+
+// batchPoller is implemented by self-checkpointing batch leaves that report
+// their cancellation-poll count (BatchScan, BatchFormulaScan).
+type batchPoller interface{ Polls() int }
+
+// batchExaminer is implemented by fused batch filters that report how many
+// rows they inspected (BatchFormulaScan).
+type batchExaminer interface{ Examined() int64 }
+
+// BatchInstrument is Instrument for the batch protocol: it records live
+// rows out, NextBatch calls (as both NextCalls and Batches) and cumulative
+// time into an OpStats node, mirroring poll/examined counters from
+// self-checkpointing batch leaves. Row and batch operators thus share one
+// EXPLAIN ANALYZE tree shape.
+type BatchInstrument struct {
+	in    BatchIterator
+	stats *OpStats
+	bp    batchPoller
+	be    batchExaminer
+}
+
+// NewBatchInstrument wraps in with a fresh stats node labeled label.
+func NewBatchInstrument(label string, in BatchIterator) *BatchInstrument {
+	return BatchInstrumentWith(&OpStats{Label: label}, in)
+}
+
+// BatchInstrumentWith wraps in, accumulating into an existing stats node.
+func BatchInstrumentWith(stats *OpStats, in BatchIterator) *BatchInstrument {
+	ins := &BatchInstrument{in: in, stats: stats}
+	if bp, ok := in.(batchPoller); ok {
+		ins.bp = bp
+	}
+	if be, ok := in.(batchExaminer); ok {
+		ins.be = be
+	}
+	return ins
+}
+
+// Stats returns the node this wrapper accumulates into.
+func (i *BatchInstrument) Stats() *OpStats { return i.stats }
+
+// Schema implements BatchIterator.
+func (i *BatchInstrument) Schema() *algebra.Schema { return i.in.Schema() }
+
+// Order implements BatchIterator; instrumentation preserves order.
+func (i *BatchInstrument) Order() algebra.OrderDesc { return i.in.Order() }
+
+// NextBatch implements BatchIterator.
+func (i *BatchInstrument) NextBatch() (*Batch, bool) {
+	start := time.Now()
+	b, ok := i.in.NextBatch()
+	i.stats.Time += time.Since(start)
+	i.stats.NextCalls++
+	i.stats.Batches++
+	if ok {
+		i.stats.Rows += int64(b.Rows())
+	}
+	if i.bp != nil {
+		i.stats.Checkpoints = int64(i.bp.Polls())
+	}
+	if i.be != nil {
+		i.stats.Examined = i.be.Examined()
+	}
+	return b, ok
+}

@@ -1,0 +1,105 @@
+package physical
+
+import (
+	"fmt"
+
+	"xamdb/internal/algebra"
+)
+
+// BatchHashJoin is the batch form of HashJoin: the right input is drained
+// once into a hash table of row references keyed by the typed joinKey, then
+// each left batch is probed as a unit. Output batches are gathered straight
+// from the source batches' columns — no per-row tuple Concat.
+type BatchHashJoin struct {
+	left, right BatchIterator
+	lcol, rcol  int
+	schema      *algebra.Schema
+	outer       bool
+
+	built    bool
+	rbatches []*Batch
+	table    map[joinKey][]batchRef
+}
+
+// NewBatchHashJoin joins left and right on equality of the given top-level
+// attributes; with outer set, unmatched left rows are padded with ⊥.
+func NewBatchHashJoin(left, right BatchIterator, leftAttr, rightAttr string, outer bool) (*BatchHashJoin, error) {
+	lc := left.Schema().Index(leftAttr)
+	rc := right.Schema().Index(rightAttr)
+	if lc < 0 || rc < 0 {
+		return nil, fmt.Errorf("physical: batch hash join: missing attribute %q/%q", leftAttr, rightAttr)
+	}
+	return &BatchHashJoin{
+		left: left, right: right, lcol: lc, rcol: rc,
+		schema: left.Schema().Concat(right.Schema()),
+		outer:  outer,
+	}, nil
+}
+
+// Schema implements BatchIterator.
+func (h *BatchHashJoin) Schema() *algebra.Schema { return h.schema }
+
+// Order implements BatchIterator: output follows the probe (left) order.
+func (h *BatchHashJoin) Order() algebra.OrderDesc { return h.left.Order() }
+
+func (h *BatchHashJoin) build() {
+	if h.built {
+		return
+	}
+	h.table = map[joinKey][]batchRef{}
+	batches, refs := drainRefs(h.right)
+	h.rbatches = batches
+	for _, ref := range refs {
+		k := makeJoinKey(batches[ref.b].Cols[h.rcol][ref.r])
+		h.table[k] = append(h.table[k], ref)
+	}
+	h.built = true
+}
+
+// NextBatch implements BatchIterator: probes one left batch and emits all
+// its join results as one output batch (sized by the match count, not
+// clamped to BatchSize — downstream operators handle any batch size).
+func (h *BatchHashJoin) NextBatch() (*Batch, bool) {
+	h.build()
+	lw := len(h.left.Schema().Attrs)
+	rw := len(h.right.Schema().Attrs)
+	for {
+		lb, ok := h.left.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		cols := make([][]algebra.Value, lw+rw)
+		n := 0
+		emit := func(lr int, rref *batchRef) {
+			for j := 0; j < lw; j++ {
+				cols[j] = append(cols[j], lb.Cols[j][lr])
+			}
+			for j := 0; j < rw; j++ {
+				if rref != nil {
+					cols[lw+j] = append(cols[lw+j], h.rbatches[rref.b].Cols[j][rref.r])
+				} else {
+					cols[lw+j] = append(cols[lw+j], algebra.NullValue)
+				}
+			}
+			n++
+		}
+		rows := lb.Rows()
+		for i := 0; i < rows; i++ {
+			lr := lb.Row(i)
+			matches := h.table[makeJoinKey(lb.Cols[h.lcol][lr])]
+			if len(matches) == 0 {
+				if h.outer {
+					emit(lr, nil)
+				}
+				continue
+			}
+			for mi := range matches {
+				emit(lr, &matches[mi])
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		return &Batch{Schema: h.schema, Cols: cols, N: n}, true
+	}
+}

@@ -1,0 +1,185 @@
+package physical
+
+import (
+	"fmt"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xmltree"
+)
+
+// BatchStackTree is the batch form of the StackTreeDesc structural join
+// (VariantJoin, descendant output order — the variant the view compiler
+// emits). Both inputs must declare document (pre) order on their join
+// attributes, exactly like the row operator. The join runs over row
+// references: when an input is a BatchSort the sorted reference list is
+// consumed directly (the sort's output gather is skipped entirely);
+// otherwise the input is drained into batches once. The stack holds only
+// (reference, NodeID) pairs, and matched pairs are gathered into compact
+// output batches at emission.
+type BatchStackTree struct {
+	anc, desc  BatchIterator
+	acol, dcol int
+	axis       Axis
+	schema     *algebra.Schema
+	order      algebra.OrderDesc
+
+	ran      bool
+	abatches []*Batch
+	dbatches []*Batch
+	pairs    []stPair
+	emitPos  int
+}
+
+type stPair struct{ a, d batchRef }
+
+// NewBatchStackTreeDesc builds the batch StackTreeDesc join: output ordered
+// by the descendant attribute.
+func NewBatchStackTreeDesc(anc, desc BatchIterator, ancAttr, descAttr string, axis Axis) (*BatchStackTree, error) {
+	ac := anc.Schema().Index(ancAttr)
+	dc := desc.Schema().Index(descAttr)
+	if ac < 0 || dc < 0 {
+		return nil, fmt.Errorf("physical: batch stack-tree join: missing attribute %q/%q", ancAttr, descAttr)
+	}
+	if err := requireBatchOrder(anc, ancAttr); err != nil {
+		return nil, err
+	}
+	if err := requireBatchOrder(desc, descAttr); err != nil {
+		return nil, err
+	}
+	return &BatchStackTree{
+		anc: anc, desc: desc, acol: ac, dcol: dc, axis: axis,
+		schema: anc.Schema().Concat(desc.Schema()),
+		order:  algebra.OrderDesc{descAttr},
+	}, nil
+}
+
+// requireBatchOrder is requireOrder for the batch protocol.
+func requireBatchOrder(it BatchIterator, attr string) error {
+	o := it.Order()
+	if len(o) == 0 || o[0] != attr {
+		return fmt.Errorf("physical: batch stack-tree join requires input ordered by %q, have %v", attr, o)
+	}
+	return nil
+}
+
+// Schema implements BatchIterator.
+func (st *BatchStackTree) Schema() *algebra.Schema { return st.schema }
+
+// Order implements BatchIterator.
+func (st *BatchStackTree) Order() algebra.OrderDesc { return st.order }
+
+// inputRefs materializes one input as (batches, refs), fusing with an
+// upstream BatchSort when possible.
+func inputRefs(in BatchIterator) ([]*Batch, []batchRef) {
+	if s, ok := in.(*BatchSort); ok {
+		return s.sortedRefs()
+	}
+	return drainRefs(in)
+}
+
+func (st *BatchStackTree) matches(a, d xmltree.NodeID) bool {
+	if st.axis == ChildAxis {
+		return a.ParentOf(d)
+	}
+	return a.AncestorOf(d)
+}
+
+// run executes the stack-tree sweep over the reference lists: the same
+// merge of the two pre-ordered streams as stackTree.run, restricted to the
+// VariantJoin/descendant-order case where pairs are appended exactly when a
+// descendant matches the live stack (pop is a no-op). Non-ID join values
+// are skipped, and stack entries with identical IDs stay through
+// popFinished, both matching the row operator.
+func (st *BatchStackTree) run() {
+	if st.ran {
+		return
+	}
+	var aRefs, dRefs []batchRef
+	st.abatches, aRefs = inputRefs(st.anc)
+	st.dbatches, dRefs = inputRefs(st.desc)
+
+	type entry struct {
+		ref batchRef
+		id  xmltree.NodeID
+	}
+	var stack []entry
+	popFinished := func(id xmltree.NodeID) {
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.id.AncestorOf(id) || top.id == id {
+				return
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	ai, di := 0, 0
+	for ai < len(aRefs) || di < len(dRefs) {
+		var aID, dID xmltree.NodeID
+		haveA, haveD := false, false
+		if ai < len(aRefs) {
+			ref := aRefs[ai]
+			v := st.abatches[ref.b].Cols[st.acol][ref.r]
+			if v.Kind != algebra.ID {
+				ai++
+				continue
+			}
+			aID, haveA = v.ID, true
+		}
+		if di < len(dRefs) {
+			ref := dRefs[di]
+			v := st.dbatches[ref.b].Cols[st.dcol][ref.r]
+			if v.Kind != algebra.ID {
+				di++
+				continue
+			}
+			dID, haveD = v.ID, true
+		}
+		if haveA && (!haveD || aID.Pre < dID.Pre) {
+			popFinished(aID)
+			stack = append(stack, entry{ref: aRefs[ai], id: aID})
+			ai++
+		} else if haveD {
+			popFinished(dID)
+			for _, e := range stack {
+				if st.matches(e.id, dID) {
+					st.pairs = append(st.pairs, stPair{a: e.ref, d: dRefs[di]})
+				}
+			}
+			di++
+		}
+	}
+	st.ran = true
+}
+
+// NextBatch implements BatchIterator: gathers the next window of matched
+// pairs into a compact output batch.
+func (st *BatchStackTree) NextBatch() (*Batch, bool) {
+	st.run()
+	if st.emitPos >= len(st.pairs) {
+		return nil, false
+	}
+	end := st.emitPos + BatchSize
+	if end > len(st.pairs) {
+		end = len(st.pairs)
+	}
+	aw := len(st.anc.Schema().Attrs)
+	dw := len(st.desc.Schema().Attrs)
+	bn := end - st.emitPos
+	cols := make([][]algebra.Value, aw+dw)
+	backing := make([]algebra.Value, bn*(aw+dw))
+	for j := 0; j < aw+dw; j++ {
+		cols[j] = backing[j*bn : (j+1)*bn : (j+1)*bn]
+	}
+	for i := 0; i < bn; i++ {
+		p := st.pairs[st.emitPos+i]
+		for j := 0; j < aw; j++ {
+			cols[j][i] = st.abatches[p.a.b].Cols[j][p.a.r]
+		}
+		for j := 0; j < dw; j++ {
+			cols[aw+j][i] = st.dbatches[p.d.b].Cols[j][p.d.r]
+		}
+	}
+	st.emitPos = end
+	return &Batch{Schema: st.schema, Cols: cols, N: bn}, true
+}

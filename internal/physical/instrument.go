@@ -21,7 +21,10 @@ type OpStats struct {
 	Checkpoints int64         `json:"checkpoints,omitempty"`
 	// Examined counts input tuples a residual selection inspected; with
 	// Rows it exposes the filter's selectivity in EXPLAIN ANALYZE.
-	Examined int64      `json:"examined,omitempty"`
+	Examined int64 `json:"examined,omitempty"`
+	// Batches counts NextBatch calls served by a batch operator; row
+	// operators leave it zero.
+	Batches  int64      `json:"batches,omitempty"`
 	Children []*OpStats `json:"children,omitempty"`
 }
 
@@ -55,6 +58,9 @@ func (s *OpStats) render(sb *strings.Builder, depth int) {
 	}
 	if s.Examined > 0 {
 		fmt.Fprintf(sb, " exam=%d", s.Examined)
+	}
+	if s.Batches > 0 {
+		fmt.Fprintf(sb, " batches=%d", s.Batches)
 	}
 	sb.WriteByte('\n')
 	for _, c := range s.Children {

@@ -9,6 +9,7 @@ package physical
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"xamdb/internal/algebra"
@@ -173,14 +174,26 @@ func (p *Projection) Next() (algebra.Tuple, bool) {
 type SortOp struct {
 	in     Iterator
 	by     []string
+	idx    []int
 	sorted []algebra.Tuple
 	pos    int
 	done   bool
 }
 
-// NewSort builds a sort operator.
-func NewSort(in Iterator, by ...string) *SortOp {
-	return &SortOp{in: in, by: by}
+// NewSort builds a sort operator. Sort columns are resolved up front and an
+// unknown column is an error — a sort that silently ignored a missing key
+// would declare an order it does not deliver, and the structural joins
+// downstream trust order descriptors.
+func NewSort(in Iterator, by ...string) (*SortOp, error) {
+	idx := make([]int, len(by))
+	for i, b := range by {
+		j := in.Schema().Index(b)
+		if j < 0 {
+			return nil, fmt.Errorf("physical: sort: no attribute %q", b)
+		}
+		idx[i] = j
+	}
+	return &SortOp{in: in, by: by, idx: idx}, nil
 }
 
 // Schema implements Iterator.
@@ -192,10 +205,6 @@ func (s *SortOp) Order() algebra.OrderDesc { return algebra.OrderDesc(s.by) }
 // Next implements Iterator.
 func (s *SortOp) Next() (algebra.Tuple, bool) {
 	if !s.done {
-		idx := make([]int, len(s.by))
-		for i, b := range s.by {
-			idx[i] = s.in.Schema().Index(b)
-		}
 		for {
 			t, ok := s.in.Next()
 			if !ok {
@@ -204,10 +213,7 @@ func (s *SortOp) Next() (algebra.Tuple, bool) {
 			s.sorted = append(s.sorted, t)
 		}
 		sort.SliceStable(s.sorted, func(i, j int) bool {
-			for _, k := range idx {
-				if k < 0 {
-					continue
-				}
+			for _, k := range s.idx {
 				cmp, ok := s.sorted[i][k].Compare(s.sorted[j][k])
 				if ok && cmp != 0 {
 					return cmp < 0
@@ -231,12 +237,13 @@ type HashJoin struct {
 	left, right Iterator
 	lcol, rcol  int
 	schema      *algebra.Schema
-	table       map[string][]algebra.Tuple
+	table       map[joinKey][]algebra.Tuple
 	built       bool
 	cur         algebra.Tuple
 	matches     []algebra.Tuple
 	mi          int
 	outer       bool
+	pad         algebra.Tuple
 }
 
 // NewHashJoin joins left and right on equality of the given top-level
@@ -247,11 +254,20 @@ func NewHashJoin(left, right Iterator, leftAttr, rightAttr string, outer bool) (
 	if lc < 0 || rc < 0 {
 		return nil, fmt.Errorf("physical: hash join: missing attribute %q/%q", leftAttr, rightAttr)
 	}
-	return &HashJoin{
+	h := &HashJoin{
 		left: left, right: right, lcol: lc, rcol: rc,
 		schema: left.Schema().Concat(right.Schema()),
 		outer:  outer,
-	}, nil
+	}
+	if outer {
+		// One shared, immutable ⊥-pad for every unmatched row — tuples are
+		// immutable by convention, so all outputs can alias it.
+		h.pad = make(algebra.Tuple, len(right.Schema().Attrs))
+		for i := range h.pad {
+			h.pad[i] = algebra.NullValue
+		}
+	}
+	return h, nil
 }
 
 // Schema implements Iterator.
@@ -260,18 +276,44 @@ func (h *HashJoin) Schema() *algebra.Schema { return h.schema }
 // Order implements Iterator: output follows the probe (left) order.
 func (h *HashJoin) Order() algebra.OrderDesc { return h.left.Order() }
 
-func hashKey(v algebra.Value) string { return v.String() }
+// joinKey is the typed, comparable hash-join key. The former string key
+// rendered every build and probe value through Value.String — an allocation
+// per tuple on the join's hottest path. Typed keys hash the common kinds
+// (ID, Int, Float, Str) without rendering; only the rare composite kinds
+// (Dewey, nested relations) still fall back to a rendered string.
+type joinKey struct {
+	kind algebra.Kind
+	a, b int64
+	s    string
+}
+
+func makeJoinKey(v algebra.Value) joinKey {
+	switch v.Kind {
+	case algebra.Int:
+		return joinKey{kind: algebra.Int, a: v.Int}
+	case algebra.Float:
+		return joinKey{kind: algebra.Float, a: int64(math.Float64bits(v.Float))}
+	case algebra.ID:
+		return joinKey{kind: algebra.ID,
+			a: int64(v.ID.Pre)<<32 | int64(uint32(v.ID.Post)), b: int64(v.ID.Depth)}
+	case algebra.Str:
+		return joinKey{kind: algebra.Str, s: v.Str}
+	case algebra.Null:
+		return joinKey{kind: algebra.Null}
+	}
+	return joinKey{kind: v.Kind, s: v.String()}
+}
 
 // Next implements Iterator.
 func (h *HashJoin) Next() (algebra.Tuple, bool) {
 	if !h.built {
-		h.table = map[string][]algebra.Tuple{}
+		h.table = map[joinKey][]algebra.Tuple{}
 		for {
 			t, ok := h.right.Next()
 			if !ok {
 				break
 			}
-			k := hashKey(t[h.rcol])
+			k := makeJoinKey(t[h.rcol])
 			h.table[k] = append(h.table[k], t)
 		}
 		h.built = true
@@ -287,15 +329,11 @@ func (h *HashJoin) Next() (algebra.Tuple, bool) {
 			return nil, false
 		}
 		h.cur = t
-		h.matches = h.table[hashKey(t[h.lcol])]
+		h.matches = h.table[makeJoinKey(t[h.lcol])]
 		h.mi = 0
 		if len(h.matches) == 0 {
 			if h.outer {
-				pad := make(algebra.Tuple, len(h.right.Schema().Attrs))
-				for i := range pad {
-					pad[i] = algebra.NullValue
-				}
-				return t.Concat(pad), true
+				return t.Concat(h.pad), true
 			}
 			continue
 		}

@@ -54,11 +54,25 @@ func TestSortOp(t *testing.T) {
 		[]algebra.Value{algebra.I(3)},
 		[]algebra.Value{algebra.I(1)},
 		[]algebra.Value{algebra.I(2)})
-	got := Drain(NewSort(NewScan(r, nil), "A"))
+	s, err := NewSort(NewScan(r, nil), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(s)
 	for i, want := range []int64{1, 2, 3} {
 		if got.Tuples[i][0].Int != want {
 			t.Fatalf("sorted: %s", got)
 		}
+	}
+}
+
+func TestSortRejectsUnknownColumn(t *testing.T) {
+	r := relOf([]string{"A"}, []algebra.Value{algebra.I(1)})
+	if _, err := NewSort(NewScan(r, nil), "Z"); err == nil {
+		t.Fatal("sort on a missing column must error, not silently skip the key")
+	}
+	if _, err := NewSort(NewScan(r, nil), "A", "Z"); err == nil {
+		t.Fatal("sort with any missing column must error")
 	}
 }
 

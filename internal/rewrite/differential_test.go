@@ -1,0 +1,113 @@
+package rewrite
+
+import (
+	"context"
+	"testing"
+
+	"xamdb/internal/datagen"
+	"xamdb/internal/patgen"
+	"xamdb/internal/summary"
+	"xamdb/internal/value"
+	"xamdb/internal/xam"
+)
+
+// TestBatchEngineMatchesRowEngine is the row/batch differential property
+// test: every plan the rewriter produces for a random patgen workload is
+// executed through the row physical engine and the vectorized batch engine,
+// and the two must agree tuple-for-tuple in order. Both are additionally
+// cross-checked against logical evaluation as sets, so a shared bug that
+// moved both engines in lockstep would still be caught.
+func TestBatchEngineMatchesRowEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential workload skipped in -short mode")
+	}
+	ctx := context.Background()
+	doc := datagen.DBLP(30)
+	s := summary.Build(doc)
+
+	years := make([]value.Atom, 0, 15)
+	for y := 1990; y < 2005; y++ {
+		years = append(years, value.Num(float64(y)))
+	}
+	workloads := []struct {
+		name       string
+		vcfg, qcfg patgen.Config
+		vn, qn     int
+		vs, qs     int64
+	}{
+		{
+			name: "structural",
+			vcfg: patgen.Config{Nodes: 3, Returns: 2, PPred: -1, POpt: -1},
+			qcfg: patgen.Config{Nodes: 3, Returns: 1, PPred: -1, POpt: -1},
+			vn:   6, qn: 8, vs: 21, qs: 33,
+		},
+		{
+			name: "predicate",
+			vcfg: patgen.Config{Nodes: 3, Returns: 2, PPred: 0.2, POpt: -1, PredValues: years, PredRange: true},
+			qcfg: patgen.Config{Nodes: 3, Returns: 1, PPred: 0.6, POpt: -1, PredValues: years, PredRange: true},
+			vn:   10, qn: 12, vs: 7, qs: 99,
+		},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			viewPats := patgen.GenerateSet(s, w.vcfg, w.vn, w.vs)
+			var views []*View
+			for i, p := range viewPats {
+				for _, n := range p.Nodes() {
+					n.IDSpec = xam.StructID
+					n.StoreVal = true
+				}
+				views = append(views, &View{Name: "v" + string(rune('a'+i)), Pattern: p})
+			}
+			rw := NewRewriter(s, views, Options{MaxPlans: 3, MaxJoinDepth: 1})
+			env, err := rw.Materialize(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := patgen.GenerateSet(s, w.qcfg, w.qn, w.qs)
+			var planned int
+			var batches, fallbacks int64
+			for _, q := range queries {
+				for _, n := range q.ReturnNodes() {
+					n.StoreVal = true
+				}
+				plans, err := rw.Rewrite(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range plans {
+					planned++
+					logical, err := p.Plan.Execute(env)
+					if err != nil {
+						t.Fatalf("query %s, plan %s: logical: %v", q, p.Plan, err)
+					}
+					row, err := ExecutePhysicalContext(ctx, p.Plan, env)
+					if err != nil {
+						t.Fatalf("query %s, plan %s: row: %v", q, p.Plan, err)
+					}
+					batch, info, err := ExecuteBatchContext(ctx, p.Plan, env)
+					if err != nil {
+						t.Fatalf("query %s, plan %s: batch: %v", q, p.Plan, err)
+					}
+					batches += info.Batches
+					fallbacks += info.Fallbacks
+					if !batch.Equal(row) {
+						t.Fatalf("batch/row divergence for %s:\n  plan  %s\n  batch %s\n  row   %s",
+							q, p.Plan, batch, row)
+					}
+					if !row.EqualAsSet(logical) {
+						t.Fatalf("row/logical divergence for %s:\n  plan %s\n  row  %s\n  want %s",
+							q, p.Plan, row, logical)
+					}
+				}
+			}
+			if planned == 0 {
+				t.Fatal("workload produced no plans — differential test exercised nothing")
+			}
+			if batches == 0 {
+				t.Fatal("batch engine reported zero batches — vectorized path not exercised")
+			}
+			t.Logf("%s: %d plans, %d batches, %d fallbacks", w.name, planned, batches, fallbacks)
+		})
+	}
+}

@@ -200,8 +200,15 @@ func compile(ctx context.Context, p Plan, env Env, instr bool) (physical.Iterato
 			return nil, ist, err
 		}
 		// StackTree joins need both inputs sorted by the join IDs.
-		var outerSorted, innerSorted physical.Iterator = physical.NewSort(outer, pl.OuterNode+".ID"),
-			physical.NewSort(inner, pl.InnerNode+".ID")
+		oSort, err := physical.NewSort(outer, pl.OuterNode+".ID")
+		if err != nil {
+			return nil, ost, err
+		}
+		iSort, err := physical.NewSort(inner, pl.InnerNode+".ID")
+		if err != nil {
+			return nil, ist, err
+		}
+		var outerSorted, innerSorted physical.Iterator = oSort, iSort
 		if instr {
 			oIns := physical.NewInstrument("sort["+pl.OuterNode+".ID]", outerSorted)
 			oIns.Stats().AddChild(ost)

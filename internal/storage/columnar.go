@@ -1,0 +1,720 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// Format version 2 replaces the gob relation payload with a binary columnar
+// layout: each module's relation is stored as per-attribute typed column
+// arrays — interned string dictionaries, zigzag-varint integers and
+// structural IDs, nested collections as offset-delimited child columns —
+// inside the same XAMSTORE CRC framing. Extents decode straight into
+// scan-ready column vectors (algebra.Columns), so a loaded store feeds the
+// batch execution path without a transpose.
+//
+// Payload v2 layout (after the verified framing):
+//
+//	str(store name)
+//	uvarint(#modules)
+//	per module: str(name)  str(textual XAM)  relation
+//
+//	relation: schema  uvarint(#rows)  column per top-level attribute
+//	schema:   uvarint(#attrs)  per attr: str(name)  byte(nested?)  [schema]
+//
+//	column: byte(encoding)
+//	  encoding 1 (uniform — every non-null value has one kind):
+//	    byte(kind)  byte(has-nulls)  [ceil(n/8) null bitmap, bit set = ⊥]
+//	    then the non-null rows' payloads, packed by kind:
+//	      Str    uvarint(#dict) dict strings, then uvarint(dict idx) per row
+//	      Int    zigzag varint per row
+//	      Float  8-byte big-endian IEEE bits per row
+//	      ID     zigzag varints pre, post, depth per row
+//	      Dewey  uvarint(#components) + zigzag varint components per row
+//	      Rel    shared child schema, uvarint(#children) per row, then the
+//	             concatenated child tuples as columns (recursively)
+//	      Null   nothing (the bitmap carries the whole column)
+//	  encoding 2 (rowwise — mixed kinds or heterogeneous nested schemas):
+//	    per row: byte(kind) + that kind's payload (Rel: a full relation)
+//
+// varints are encoding/binary's; "zigzag" is binary.PutVarint. str is
+// uvarint length + bytes. The decoder is total: every length is bounds-
+// checked against the remaining payload before allocation (an all-null
+// column still costs ceil(n/8) bytes, which bounds row counts by
+// 8·remaining), nesting depth is capped, and no input can make it panic.
+
+const (
+	colEncUniform byte = 1
+	colEncRowwise byte = 2
+
+	// maxNestDepth caps schema/collection recursion so a crafted payload
+	// cannot exhaust the stack.
+	maxNestDepth = 100
+)
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+type colWriter struct {
+	buf     bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (w *colWriter) u64(v uint64) {
+	n := binary.PutUvarint(w.scratch[:], v)
+	w.buf.Write(w.scratch[:n])
+}
+
+func (w *colWriter) i64(v int64) {
+	n := binary.PutVarint(w.scratch[:], v)
+	w.buf.Write(w.scratch[:n])
+}
+
+func (w *colWriter) byte(b byte) { w.buf.WriteByte(b) }
+
+func (w *colWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *colWriter) f64(f float64) {
+	binary.BigEndian.PutUint64(w.scratch[:8], math.Float64bits(f))
+	w.buf.Write(w.scratch[:8])
+}
+
+// encodeStoreV2 renders the whole store as a v2 payload.
+func encodeStoreV2(s *Store) ([]byte, error) {
+	w := &colWriter{}
+	w.str(s.Name)
+	w.u64(uint64(len(s.Modules)))
+	for _, m := range s.Modules {
+		w.str(m.Name)
+		w.str(m.Pattern.String())
+		if err := encodeRelation(w, m.Data, 0); err != nil {
+			return nil, fmt.Errorf("storage: save module %s: %w", m.Name, err)
+		}
+	}
+	return w.buf.Bytes(), nil
+}
+
+func encodeSchema(w *colWriter, s *algebra.Schema, depth int) error {
+	if depth > maxNestDepth {
+		return fmt.Errorf("schema nesting exceeds %d levels", maxNestDepth)
+	}
+	w.u64(uint64(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		w.str(a.Name)
+		if a.Nested != nil {
+			w.byte(1)
+			if err := encodeSchema(w, a.Nested, depth+1); err != nil {
+				return err
+			}
+		} else {
+			w.byte(0)
+		}
+	}
+	return nil
+}
+
+func encodeRelation(w *colWriter, r *algebra.Relation, depth int) error {
+	if depth > maxNestDepth {
+		return fmt.Errorf("collection nesting exceeds %d levels", maxNestDepth)
+	}
+	if err := encodeSchema(w, r.Schema, depth); err != nil {
+		return err
+	}
+	n := r.Len()
+	w.u64(uint64(n))
+	for j := range r.Schema.Attrs {
+		col := make([]algebra.Value, n)
+		for i, t := range r.Tuples {
+			if j < len(t) {
+				col[i] = t[j]
+			}
+		}
+		if err := encodeColumn(w, col, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uniformKind classifies a column: the single non-null kind (Null if the
+// whole column is ⊥), or ok=false when kinds are mixed or nested collections
+// carry heterogeneous schemas — those columns encode rowwise.
+func uniformKind(vals []algebra.Value) (algebra.Kind, bool) {
+	kind := algebra.Null
+	var relSchema *algebra.Schema
+	for i := range vals {
+		v := &vals[i]
+		if v.Kind == algebra.Null {
+			continue
+		}
+		if kind == algebra.Null {
+			kind = v.Kind
+		} else if v.Kind != kind {
+			return 0, false
+		}
+		if v.Kind == algebra.Rel {
+			if v.Rel == nil {
+				return 0, false
+			}
+			if relSchema == nil {
+				relSchema = v.Rel.Schema
+			} else if !relSchema.Equal(v.Rel.Schema) {
+				return 0, false
+			}
+		}
+	}
+	return kind, true
+}
+
+func encodeColumn(w *colWriter, vals []algebra.Value, depth int) error {
+	kind, uniform := uniformKind(vals)
+	if !uniform {
+		w.byte(colEncRowwise)
+		for i := range vals {
+			if err := encodeValueRow(w, vals[i], depth); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	w.byte(colEncUniform)
+	w.byte(byte(kind))
+	hasNulls := kind == algebra.Null && len(vals) > 0
+	for i := range vals {
+		if vals[i].Kind == algebra.Null {
+			hasNulls = true
+			break
+		}
+	}
+	if hasNulls {
+		w.byte(1)
+		bitmap := make([]byte, (len(vals)+7)/8)
+		for i := range vals {
+			if vals[i].Kind == algebra.Null {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		w.buf.Write(bitmap)
+	} else {
+		w.byte(0)
+	}
+
+	switch kind {
+	case algebra.Null:
+		return nil
+	case algebra.Str:
+		dict := map[string]uint64{}
+		var order []string
+		for i := range vals {
+			if vals[i].Kind == algebra.Null {
+				continue
+			}
+			if _, ok := dict[vals[i].Str]; !ok {
+				dict[vals[i].Str] = uint64(len(order))
+				order = append(order, vals[i].Str)
+			}
+		}
+		w.u64(uint64(len(order)))
+		for _, s := range order {
+			w.str(s)
+		}
+		for i := range vals {
+			if vals[i].Kind != algebra.Null {
+				w.u64(dict[vals[i].Str])
+			}
+		}
+	case algebra.Int:
+		for i := range vals {
+			if vals[i].Kind != algebra.Null {
+				w.i64(vals[i].Int)
+			}
+		}
+	case algebra.Float:
+		for i := range vals {
+			if vals[i].Kind != algebra.Null {
+				w.f64(vals[i].Float)
+			}
+		}
+	case algebra.ID:
+		for i := range vals {
+			if vals[i].Kind != algebra.Null {
+				w.i64(int64(vals[i].ID.Pre))
+				w.i64(int64(vals[i].ID.Post))
+				w.i64(int64(vals[i].ID.Depth))
+			}
+		}
+	case algebra.DeweyID:
+		for i := range vals {
+			if vals[i].Kind != algebra.Null {
+				w.u64(uint64(len(vals[i].Dewey)))
+				for _, c := range vals[i].Dewey {
+					w.i64(int64(c))
+				}
+			}
+		}
+	case algebra.Rel:
+		// Offset-delimited child columns: the shared child schema, each
+		// row's child count, then every child tuple of every row
+		// concatenated and encoded as one set of columns.
+		var childSchema *algebra.Schema
+		total := 0
+		for i := range vals {
+			if vals[i].Kind != algebra.Null {
+				childSchema = vals[i].Rel.Schema
+				total += vals[i].Rel.Len()
+			}
+		}
+		if childSchema == nil {
+			childSchema = &algebra.Schema{}
+		}
+		if err := encodeSchema(w, childSchema, depth+1); err != nil {
+			return err
+		}
+		for i := range vals {
+			if vals[i].Kind != algebra.Null {
+				w.u64(uint64(vals[i].Rel.Len()))
+			}
+		}
+		for j := range childSchema.Attrs {
+			col := make([]algebra.Value, 0, total)
+			for i := range vals {
+				if vals[i].Kind == algebra.Null {
+					continue
+				}
+				for _, t := range vals[i].Rel.Tuples {
+					if j < len(t) {
+						col = append(col, t[j])
+					} else {
+						col = append(col, algebra.NullValue)
+					}
+				}
+			}
+			if err := encodeColumn(w, col, depth+1); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unencodable value kind %d", kind)
+	}
+	return nil
+}
+
+func encodeValueRow(w *colWriter, v algebra.Value, depth int) error {
+	if v.Kind > algebra.Rel {
+		return fmt.Errorf("unencodable value kind %d", v.Kind)
+	}
+	w.byte(byte(v.Kind))
+	switch v.Kind {
+	case algebra.Null:
+	case algebra.Str:
+		w.str(v.Str)
+	case algebra.Int:
+		w.i64(v.Int)
+	case algebra.Float:
+		w.f64(v.Float)
+	case algebra.ID:
+		w.i64(int64(v.ID.Pre))
+		w.i64(int64(v.ID.Post))
+		w.i64(int64(v.ID.Depth))
+	case algebra.DeweyID:
+		w.u64(uint64(len(v.Dewey)))
+		for _, c := range v.Dewey {
+			w.i64(int64(c))
+		}
+	case algebra.Rel:
+		rel := v.Rel
+		if rel == nil {
+			rel = algebra.NewRelation(&algebra.Schema{})
+		}
+		return encodeRelation(w, rel, depth+1)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// colReader walks a decoded payload with a sticky error: once any read runs
+// off the end or a count fails validation, every subsequent read is a no-op
+// and the error surfaces at the call site's convenience. All slice
+// allocations are bounded by the remaining payload first.
+type colReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *colReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("byte offset %d: "+format, append([]any{r.off}, args...)...)
+	}
+}
+
+func (r *colReader) remaining() int { return len(r.b) - r.off }
+
+func (r *colReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated or malformed uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *colReader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated or malformed varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *colReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *colReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("truncated: need %d bytes, have %d", n, r.remaining())
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *colReader) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("string length %d exceeds remaining %d bytes", n, r.remaining())
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+func (r *colReader) f64() float64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// count validates a uvarint element count against the remaining payload:
+// every element costs at least minBytes bytes, so larger counts are corrupt
+// and must not drive an allocation.
+func (r *colReader) count(what string, minBytes int) int {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(r.remaining()/minBytes) {
+		r.fail("%s count %d exceeds remaining payload", what, n)
+		return 0
+	}
+	return int(n)
+}
+
+// decodeStoreV2 rebuilds a store from a v2 payload (framing and CRC already
+// verified by LoadStore).
+func decodeStoreV2(payload []byte) (*Store, error) {
+	r := &colReader{b: payload}
+	s := &Store{Name: r.str()}
+	nmod := r.count("module", 2)
+	for i := 0; i < nmod && r.err == nil; i++ {
+		name := r.str()
+		pattern := r.str()
+		rel := decodeRelation(r, 0)
+		if r.err != nil {
+			break
+		}
+		pat, err := xam.Parse(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("storage: load module %s: %w", name, err)
+		}
+		s.Modules = append(s.Modules, &Module{Name: name, Pattern: pat, Data: rel})
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("storage: load: corrupt v2 payload at %w", r.err)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("storage: load: %d trailing payload bytes after store", r.remaining())
+	}
+	return s, nil
+}
+
+func decodeSchema(r *colReader, depth int) *algebra.Schema {
+	if depth > maxNestDepth {
+		r.fail("schema nesting exceeds %d levels", maxNestDepth)
+		return nil
+	}
+	nattrs := r.count("attribute", 2)
+	s := &algebra.Schema{}
+	for i := 0; i < nattrs && r.err == nil; i++ {
+		name := r.str()
+		var nested *algebra.Schema
+		if r.byte() == 1 {
+			nested = decodeSchema(r, depth+1)
+		}
+		s.Attrs = append(s.Attrs, algebra.Attr{Name: name, Nested: nested})
+	}
+	return s
+}
+
+// rowCount validates a relation/collection row count: even an all-null
+// column costs ceil(n/8) bitmap bytes, so n beyond 8·remaining (plus slack
+// for tiny relations) cannot be honest.
+func (r *colReader) rowCount() int {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(8*r.remaining()+64) {
+		r.fail("row count %d exceeds what %d remaining bytes could encode", n, r.remaining())
+		return 0
+	}
+	return int(n)
+}
+
+func decodeRelation(r *colReader, depth int) *algebra.Relation {
+	if depth > maxNestDepth {
+		r.fail("collection nesting exceeds %d levels", maxNestDepth)
+		return nil
+	}
+	schema := decodeSchema(r, depth)
+	n := r.rowCount()
+	if r.err != nil {
+		return nil
+	}
+	cols := make([][]algebra.Value, len(schema.Attrs))
+	for j := range cols {
+		cols[j] = decodeColumn(r, n, depth)
+		if r.err != nil {
+			return nil
+		}
+	}
+	return algebra.NewColumns(schema, cols, n).Relation()
+}
+
+func decodeColumn(r *colReader, n, depth int) []algebra.Value {
+	switch enc := r.byte(); enc {
+	case colEncUniform:
+		return decodeUniformColumn(r, n, depth)
+	case colEncRowwise:
+		vals := make([]algebra.Value, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			vals[i] = decodeValueRow(r, depth)
+		}
+		return vals
+	default:
+		if r.err == nil {
+			r.fail("unknown column encoding %d", enc)
+		}
+		return nil
+	}
+}
+
+func decodeUniformColumn(r *colReader, n, depth int) []algebra.Value {
+	kind := algebra.Kind(r.byte())
+	if r.err != nil {
+		return nil
+	}
+	if kind > algebra.Rel {
+		r.fail("value kind %d out of range [0,%d]", kind, algebra.Rel)
+		return nil
+	}
+	var bitmap []byte
+	if r.byte() == 1 {
+		bitmap = r.take((n + 7) / 8)
+	}
+	if r.err != nil {
+		return nil
+	}
+	isNull := func(i int) bool {
+		return bitmap != nil && bitmap[i/8]&(1<<(i%8)) != 0
+	}
+	vals := make([]algebra.Value, n)
+
+	switch kind {
+	case algebra.Null:
+		return vals
+	case algebra.Str:
+		ndict := r.count("dictionary", 1)
+		dict := make([]string, ndict)
+		for i := range dict {
+			dict[i] = r.str()
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			if isNull(i) {
+				continue
+			}
+			idx := r.u64()
+			if idx >= uint64(len(dict)) {
+				r.fail("dictionary index %d out of range [0,%d)", idx, len(dict))
+				return nil
+			}
+			vals[i] = algebra.S(dict[idx])
+		}
+	case algebra.Int:
+		for i := 0; i < n && r.err == nil; i++ {
+			if !isNull(i) {
+				vals[i] = algebra.I(r.i64())
+			}
+		}
+	case algebra.Float:
+		for i := 0; i < n && r.err == nil; i++ {
+			if !isNull(i) {
+				vals[i] = algebra.F(r.f64())
+			}
+		}
+	case algebra.ID:
+		for i := 0; i < n && r.err == nil; i++ {
+			if !isNull(i) {
+				vals[i] = algebra.IDV(xmltree.NodeID{
+					Pre:   int32(r.i64()),
+					Post:  int32(r.i64()),
+					Depth: int32(r.i64()),
+				})
+			}
+		}
+	case algebra.DeweyID:
+		for i := 0; i < n && r.err == nil; i++ {
+			if isNull(i) {
+				continue
+			}
+			ncomp := r.count("dewey component", 1)
+			d := make(xmltree.Dewey, ncomp)
+			for k := range d {
+				d[k] = int32(r.i64())
+			}
+			vals[i] = algebra.DV(d)
+		}
+	case algebra.Rel:
+		childSchema := decodeSchema(r, depth+1)
+		if r.err != nil {
+			return nil
+		}
+		counts := make([]int, 0, n)
+		total := 0
+		for i := 0; i < n && r.err == nil; i++ {
+			if isNull(i) {
+				continue
+			}
+			c := r.u64()
+			if c > uint64(8*r.remaining()+64) {
+				r.fail("child row count %d exceeds remaining payload", c)
+				return nil
+			}
+			counts = append(counts, int(c))
+			total += int(c)
+			// The concatenated child columns still lie ahead, so the running
+			// total must stay encodable in what remains (all-null columns
+			// cost ceil(total/8) bytes each) — otherwise summed counts could
+			// compound into an allocation far beyond the payload size.
+			if total > 8*r.remaining()+64 {
+				r.fail("summed child row count %d exceeds remaining payload", total)
+				return nil
+			}
+		}
+		if r.err != nil {
+			return nil
+		}
+		ccols := make([][]algebra.Value, len(childSchema.Attrs))
+		for j := range ccols {
+			ccols[j] = decodeColumn(r, total, depth+1)
+			if r.err != nil {
+				return nil
+			}
+		}
+		concat := algebra.NewColumns(childSchema, ccols, total).Relation()
+		pos, ci := 0, 0
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				continue
+			}
+			c := counts[ci]
+			ci++
+			child := algebra.NewRelation(childSchema)
+			child.Tuples = concat.Tuples[pos : pos+c]
+			pos += c
+			vals[i] = algebra.RelV(child)
+		}
+	}
+	return vals
+}
+
+func decodeValueRow(r *colReader, depth int) algebra.Value {
+	kind := algebra.Kind(r.byte())
+	if r.err != nil {
+		return algebra.NullValue
+	}
+	if kind > algebra.Rel {
+		r.fail("value kind %d out of range [0,%d]", kind, algebra.Rel)
+		return algebra.NullValue
+	}
+	switch kind {
+	case algebra.Str:
+		return algebra.S(r.str())
+	case algebra.Int:
+		return algebra.I(r.i64())
+	case algebra.Float:
+		return algebra.F(r.f64())
+	case algebra.ID:
+		return algebra.IDV(xmltree.NodeID{
+			Pre:   int32(r.i64()),
+			Post:  int32(r.i64()),
+			Depth: int32(r.i64()),
+		})
+	case algebra.DeweyID:
+		ncomp := r.count("dewey component", 1)
+		d := make(xmltree.Dewey, ncomp)
+		for k := range d {
+			d[k] = int32(r.i64())
+		}
+		return algebra.DV(d)
+	case algebra.Rel:
+		rel := decodeRelation(r, depth+1)
+		if r.err != nil {
+			return algebra.NullValue
+		}
+		return algebra.RelV(rel)
+	}
+	return algebra.NullValue
+}

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"xamdb/internal/algebra"
+	"xamdb/internal/summary"
+	"xamdb/internal/xam"
+	"xamdb/internal/xmltree"
+)
+
+// trickyStore builds a store whose single module exercises every column
+// shape the v2 codec distinguishes: uniform typed columns with and without
+// nulls, an all-null column, a mixed-kind column (rowwise encoding),
+// homogeneous nested collections (offset-delimited child columns, including
+// an empty child) and heterogeneous nested collections (rowwise fallback).
+func trickyStore(t *testing.T) *Store {
+	t.Helper()
+	childA := algebra.NewSchema("c1", "c2")
+	childB := algebra.NewSchema("other")
+	mkChild := func(s *algebra.Schema, rows ...algebra.Tuple) *algebra.Relation {
+		r := algebra.NewRelation(s)
+		r.Tuples = rows
+		return r
+	}
+	schema := algebra.NewSchema("ints", "strs", "floats", "ids", "dewey", "allnull", "mixed", "nested", "hetero")
+	rel := algebra.NewRelation(schema)
+	rel.Add(
+		algebra.Tuple{
+			algebra.I(42), algebra.S("alpha"), algebra.F(3.5),
+			algebra.IDV(xmltree.NodeID{Pre: 1, Post: 9, Depth: 2}),
+			algebra.DV(xmltree.Dewey{1, 2, 3}), algebra.NullValue,
+			algebra.I(-7),
+			algebra.RelV(mkChild(childA,
+				algebra.Tuple{algebra.I(1), algebra.S("x")},
+				algebra.Tuple{algebra.I(2), algebra.S("y")})),
+			algebra.RelV(mkChild(childA, algebra.Tuple{algebra.I(1), algebra.S("x")})),
+		},
+		algebra.Tuple{
+			algebra.NullValue, algebra.S("alpha"), algebra.F(math.Inf(1)),
+			algebra.NullValue,
+			algebra.DV(xmltree.Dewey{}), algebra.NullValue,
+			algebra.S("now a string"),
+			algebra.RelV(mkChild(childA)), // zero-row child
+			algebra.RelV(mkChild(childB, algebra.Tuple{algebra.S("different schema")})),
+		},
+		algebra.Tuple{
+			algebra.I(-1 << 40), algebra.S(""), algebra.F(math.Copysign(0, -1)),
+			algebra.IDV(xmltree.NodeID{Pre: -3, Post: 0, Depth: 0}),
+			algebra.NullValue, algebra.NullValue,
+			algebra.F(2.25),
+			algebra.RelV(mkChild(childA,
+				algebra.Tuple{algebra.NullValue, algebra.S("y")})),
+			algebra.NullValue,
+		},
+	)
+	pat, err := xam.Parse(`// a{id p}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Store{Name: "tricky", Modules: []*Module{{Name: "m", Pattern: pat, Data: rel}}}
+}
+
+func storesEqual(t *testing.T, label string, got, want *Store) {
+	t.Helper()
+	if got.Name != want.Name || len(got.Modules) != len(want.Modules) {
+		t.Fatalf("%s: shape %q/%d vs %q/%d", label, got.Name, len(got.Modules), want.Name, len(want.Modules))
+	}
+	for i, m := range want.Modules {
+		g := got.Modules[i]
+		if g.Name != m.Name {
+			t.Fatalf("%s: module %d name %q vs %q", label, i, g.Name, m.Name)
+		}
+		if g.Pattern.String() != m.Pattern.String() {
+			t.Fatalf("%s: module %s pattern %q vs %q", label, m.Name, g.Pattern, m.Pattern)
+		}
+		if !g.Data.Equal(m.Data) {
+			t.Fatalf("%s: module %s data differs:\n%s\nvs\n%s", label, m.Name, g.Data, m.Data)
+		}
+	}
+}
+
+func TestColumnarRoundTripTrickyValues(t *testing.T) {
+	st := trickyStore(t)
+	b, err := StoreBytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(storeMagic)] != storeVersionColumnar {
+		t.Fatalf("SaveStore must write version %d, wrote %d", storeVersionColumnar, b[len(storeMagic)])
+	}
+	again, err := LoadStoreBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, "v2 round trip", again, st)
+}
+
+// TestV1StoresLoadEqualToV2 proves backward compatibility: a store saved in
+// the legacy gob format loads into relations Relation-equal to both the
+// original and the v2-columnar load of the same store.
+func TestV1StoresLoadEqualToV2(t *testing.T) {
+	doc := xmltree.MustParse("bib.xml", bibXML)
+	builds := []func() (*Store, error){
+		func() (*Store, error) { return TagPartitioned(doc) },
+		func() (*Store, error) { return PathPartitioned(doc, summary.Build(doc)) },
+		func() (*Store, error) { return Hybrid(doc, summary.Build(doc)) },
+		func() (*Store, error) { return trickyStore(t), nil },
+	}
+	for _, build := range builds {
+		st, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v1 bytes.Buffer
+		if err := saveStoreV1(&v1, st); err != nil {
+			t.Fatal(err)
+		}
+		if v1.Bytes()[len(storeMagic)] != storeVersionGob {
+			t.Fatalf("saveStoreV1 must write version %d", storeVersionGob)
+		}
+		fromV1, err := LoadStoreBytes(v1.Bytes())
+		if err != nil {
+			t.Fatalf("v1 store must keep loading: %v", err)
+		}
+		storesEqual(t, "v1 load", fromV1, st)
+
+		v2, err := StoreBytes(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromV2, err := LoadStoreBytes(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		storesEqual(t, "v1 vs v2 load", fromV1, fromV2)
+	}
+}
+
+// TestColumnarDecodeIsScanReady asserts the load path's contract with the
+// batch engine: a loaded module's relation carries its column-major view
+// already built (no transpose on first scan).
+func TestColumnarDecodeIsScanReady(t *testing.T) {
+	st := trickyStore(t)
+	b, err := StoreBytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadStoreBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := again.Modules[0].Data
+	cols := rel.Columns()
+	if cols.NRows != rel.Len() || len(cols.Cols) != len(rel.Schema.Attrs) {
+		t.Fatalf("columns shape %dx%d vs relation %dx%d",
+			cols.NRows, len(cols.Cols), rel.Len(), len(rel.Schema.Attrs))
+	}
+	for j := range cols.Cols {
+		for i := 0; i < cols.NRows; i++ {
+			if !cols.Cols[j][i].Equal(rel.Tuples[i][j]) {
+				t.Fatalf("column view diverges from tuples at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -35,8 +35,13 @@ import (
 // gob) are detected by the missing magic and rejected with a clear error.
 
 const (
-	storeMagic   = "XAMSTORE"
-	storeVersion = 1
+	storeMagic = "XAMSTORE"
+	// storeVersionGob is format 1: gob-encoded persistedModule payloads.
+	// Still read for backward compatibility; no longer written.
+	storeVersionGob = 1
+	// storeVersionColumnar is format 2: the binary columnar payload of
+	// columnar.go. All new stores are written in this format.
+	storeVersionColumnar = 2
 	// storeHeaderSize is magic + version byte + payload length.
 	storeHeaderSize = len(storeMagic) + 1 + 8
 )
@@ -185,8 +190,24 @@ func fromPersistedValue(pv persistedValue) (algebra.Value, error) {
 	return v, nil
 }
 
-// SaveStore serializes the store with the versioned, checksummed framing.
+// SaveStore serializes the store with the versioned, checksummed framing,
+// using the version-2 binary columnar payload (columnar.go).
 func SaveStore(w io.Writer, s *Store) error {
+	if err := faultinject.Check(SiteSave); err != nil {
+		return fmt.Errorf("storage: save: %w", err)
+	}
+	payload, err := encodeStoreV2(s)
+	if err != nil {
+		return err
+	}
+	return writeFramed(w, storeVersionColumnar, payload)
+}
+
+// saveStoreV1 writes the legacy version-1 gob payload. No production caller
+// remains; it exists so the loader's backward-compatibility path — v1 files
+// must keep loading into relations equal to their v2 counterparts — stays
+// testable without fixture files.
+func saveStoreV1(w io.Writer, s *Store) error {
 	if err := faultinject.Check(SiteSave); err != nil {
 		return fmt.Errorf("storage: save: %w", err)
 	}
@@ -206,18 +227,24 @@ func SaveStore(w io.Writer, s *Store) error {
 	if err := enc.Encode(mods); err != nil {
 		return fmt.Errorf("storage: save: %w", err)
 	}
+	return writeFramed(w, storeVersionGob, payload.Bytes())
+}
+
+// writeFramed writes the XAMSTORE header, payload and CRC32-Castagnoli
+// trailer shared by every format version.
+func writeFramed(w io.Writer, version byte, payload []byte) error {
 	header := make([]byte, storeHeaderSize)
 	copy(header, storeMagic)
-	header[len(storeMagic)] = storeVersion
-	binary.BigEndian.PutUint64(header[len(storeMagic)+1:], uint64(payload.Len()))
+	header[len(storeMagic)] = version
+	binary.BigEndian.PutUint64(header[len(storeMagic)+1:], uint64(len(payload)))
 	if _, err := w.Write(header); err != nil {
 		return fmt.Errorf("storage: save header: %w", err)
 	}
-	if _, err := w.Write(payload.Bytes()); err != nil {
+	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("storage: save payload: %w", err)
 	}
 	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), storeCRCTable))
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload, storeCRCTable))
 	if _, err := w.Write(crc[:]); err != nil {
 		return fmt.Errorf("storage: save checksum: %w", err)
 	}
@@ -253,9 +280,10 @@ func LoadStore(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("storage: load: bad magic %q at byte offset 0: not a xamdb store "+
 			"(or a legacy pre-versioned store; re-save it with this build)", header[:len(storeMagic)])
 	}
-	if v := header[len(storeMagic)]; v != storeVersion {
+	version := header[len(storeMagic)]
+	if version != storeVersionGob && version != storeVersionColumnar {
 		return nil, fmt.Errorf("storage: load: unsupported store format version %d at byte offset %d "+
-			"(this build reads version %d)", v, len(storeMagic), storeVersion)
+			"(this build reads versions %d and %d)", version, len(storeMagic), storeVersionGob, storeVersionColumnar)
 	}
 	length := binary.BigEndian.Uint64(header[len(storeMagic)+1:])
 	// CopyN grows the buffer incrementally, so a corrupted length field
@@ -274,6 +302,9 @@ func LoadStore(r io.Reader) (*Store, error) {
 	if computed := crc32.Checksum(payload.Bytes(), storeCRCTable); computed != stored {
 		return nil, fmt.Errorf("storage: load: checksum mismatch (stored %08x, computed %08x): store is corrupt",
 			stored, computed)
+	}
+	if version == storeVersionColumnar {
+		return decodeStoreV2(payload.Bytes())
 	}
 	or := &offsetReader{r: &payload}
 	dec := gob.NewDecoder(or)

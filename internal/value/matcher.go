@@ -1,0 +1,96 @@
+package value
+
+import "math"
+
+// Matcher compiles the formula into a specialized predicate over atoms.
+// Semantically Matcher()(a) ≡ Holds(a) for every atom; the compiled form
+// exists for the batch execution path, which evaluates one formula against
+// whole column vectors of pre-parsed atoms — there the generic interval
+// walk (Atom copies, Compare calls per interval bound) dominates, while
+// the common single-interval numeric shapes (v < c, c1 ≤ v ≤ c2) reduce
+// to one or two float comparisons per row.
+//
+// Numbers order before strings in the atom domain, so an interval with a
+// numeric (or -∞) lower bound and an unbounded top contains every string;
+// the fast paths therefore apply only to numeric atoms and defer string
+// atoms to the generic Holds.
+func (f Formula) Matcher() func(Atom) bool {
+	if len(f.ivs) == 0 {
+		return func(Atom) bool { return false }
+	}
+	if f.IsTrue() {
+		return func(Atom) bool { return true }
+	}
+	if len(f.ivs) == 1 {
+		iv := f.ivs[0]
+		numericBounds := (iv.LoInf || iv.Lo.IsNum) && (iv.HiInf || iv.Hi.IsNum)
+		if numericBounds {
+			return func(a Atom) bool {
+				if !a.IsNum {
+					return f.Holds(a)
+				}
+				if !iv.LoInf {
+					if a.Num < iv.Lo.Num || (iv.LoOpen && a.Num == iv.Lo.Num) {
+						return false
+					}
+				}
+				if !iv.HiInf {
+					if a.Num > iv.Hi.Num || (iv.HiOpen && a.Num == iv.Hi.Num) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+	}
+	return f.Holds
+}
+
+// MatchColumn appends to sel the indexes of the atoms satisfying f, in
+// ascending order. It is the column-vector form of Matcher: one call per
+// window instead of one closure invocation per row, with the dominant
+// single-interval numeric shape inlined into the loop. Callers are
+// responsible for excluding null rows (a null's zero atom is
+// indistinguishable from the empty string here).
+func (f Formula) MatchColumn(atoms []Atom, sel []int) []int {
+	if len(f.ivs) == 0 {
+		return sel
+	}
+	if f.IsTrue() {
+		for i := range atoms {
+			sel = append(sel, i)
+		}
+		return sel
+	}
+	if len(f.ivs) == 1 {
+		iv := f.ivs[0]
+		if (iv.LoInf || iv.Lo.IsNum) && (iv.HiInf || iv.Hi.IsNum) {
+			lo, hi := math.Inf(-1), math.Inf(1)
+			if !iv.LoInf {
+				lo = iv.Lo.Num
+			}
+			if !iv.HiInf {
+				hi = iv.Hi.Num
+			}
+			for i := range atoms {
+				a := &atoms[i]
+				if a.IsNum {
+					if a.Num < lo || a.Num > hi ||
+						(iv.LoOpen && a.Num == lo) || (iv.HiOpen && a.Num == hi) {
+						continue
+					}
+				} else if !f.Holds(*a) {
+					continue
+				}
+				sel = append(sel, i)
+			}
+			return sel
+		}
+	}
+	for i := range atoms {
+		if f.Holds(atoms[i]) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
