@@ -65,6 +65,8 @@ func main() {
 		serveAddr  = flag.String("serve", "", "serve the query path (POST /query) and monitoring endpoints (/metrics, /debug/*, pprof) on this address until interrupted")
 		slow       = flag.Duration("slow", engine.DefaultSlowQueryThreshold, "slow-query threshold: queries at or above it retain full traces in the query log (0 disables)")
 		qlogCap    = flag.Int("querylog", engine.DefaultQueryLogSize, "query-log ring capacity (records retained for /debug/queries)")
+		workload   = flag.Bool("workload", false, "print the workload observatory tables (fingerprint aggregates, per-view attribution) and the advisor report before exiting")
+		wlTopK     = flag.Int("workload-topk", engine.DefaultWorkloadTopK, "workload observatory capacity: exact fingerprint entries kept before eviction into the overflow bucket (0 disables the observatory)")
 
 		// Admission-control knobs for -serve (see DESIGN.md "Admission
 		// control"): pool size, queue bound, per-query deadlines and quotas,
@@ -103,6 +105,12 @@ func main() {
 	e.UseBatch = !*noBatch
 	if *qlogCap != engine.DefaultQueryLogSize || *slow != engine.DefaultSlowQueryThreshold {
 		e.QueryLog = obs.NewQueryLog(*qlogCap, *slow)
+	}
+	switch {
+	case *wlTopK <= 0:
+		e.Workload = nil
+	case *wlTopK != engine.DefaultWorkloadTopK:
+		e.Workload = obs.NewWorkloadStats(*wlTopK)
 	}
 
 	var doc *xmltree.Document
@@ -199,6 +207,7 @@ func main() {
 		runQuery(e, *query, *explain, *analyze, *trace)
 	}
 	printMetrics(e, *metrics)
+	printWorkload(e, *workload)
 	if srvDone != nil {
 		fatal(<-srvDone)
 	}
@@ -258,7 +267,7 @@ func startServe(e *engine.Engine, addr string, cfg admission.Config) <-chan erro
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	srv := serve.NewWithQuery(e, admission.New(cfg))
 	fatal(srv.Listen(addr))
-	fmt.Printf("serving on http://%s (POST /query; /metrics, /debug/queries, /debug/catalog, /debug/plancache, /debug/admission, /healthz, /readyz, /debug/pprof)\n", srv.Addr())
+	fmt.Printf("serving on http://%s (POST /query; /metrics, /debug/queries, /debug/workload, /debug/advisor, /debug/catalog, /debug/plancache, /debug/admission, /healthz, /readyz, /debug/pprof)\n", srv.Addr())
 	done := make(chan error, 1)
 	go func() {
 		defer stop()
@@ -274,6 +283,21 @@ func printMetrics(e *engine.Engine, enabled bool) {
 	}
 	fmt.Println("metrics:")
 	fmt.Print(e.Metrics.Snapshot())
+}
+
+// printWorkload dumps the workload observatory and the advisor report when
+// -workload is set: the one-shot equivalent of /debug/workload?format=table
+// plus /debug/advisor?format=table.
+func printWorkload(e *engine.Engine, enabled bool) {
+	if !enabled {
+		return
+	}
+	if e.Workload == nil {
+		fmt.Println("workload observatory disabled (-workload-topk 0)")
+		return
+	}
+	fmt.Print(e.Workload.Snapshot().String())
+	fmt.Print(e.Advise(obs.AdvisorOptions{}).String())
 }
 
 // warnDegraded surfaces fallback-cascade activity on stderr so scripts see

@@ -17,6 +17,7 @@
 //	xambench -exp admission          # admission control at saturation: shedding, accounting, bounded p99
 //	xambench -exp predicates         # §5 predicate absorption: selectivity sweep, base scan vs fused σ-scan
 //	xambench -exp vectorized         # row-vs-batch execution ablation over columnar extents
+//	xambench -exp workload           # workload observatory: Zipfian mix, advisor ranking, fold-in overhead
 //	xambench -exp all                # everything
 //
 // The observability and plancache experiments write their full reports
@@ -40,7 +41,7 @@ import (
 func timeNS(ns int64) time.Duration { return time.Duration(ns) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, admission, predicates, vectorized, all")
+	exp := flag.String("exp", "all", "experiment: summaries, xmark-self, synthetic, optional-ablation, rewrite, qep, execution, minimize, extraction, observability, plancache, admission, predicates, vectorized, workload, all")
 	sumName := flag.String("summary", "xmark", "summary for synthetic containment: xmark or dblp")
 	perSet := flag.Int("perset", 20, "synthetic patterns per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -48,6 +49,7 @@ func main() {
 	iters := flag.Int("iters", 3, "observability/plancache/predicates: repetitions per query")
 	items := flag.Int("items", 0, "predicates/vectorized: items in the synthetic document (0 = default 100000)")
 	workers := flag.Int("workers", 4, "observability: concurrent goroutines")
+	queries := flag.Int("queries", 0, "workload: Zipf-distributed query draws (0 = default 3000)")
 	flag.Parse()
 
 	// The JSON reports default to one file per experiment so `-exp all`
@@ -316,6 +318,37 @@ func main() {
 			rep.SpeedupP50, rep.Batches, rep.BatchFallbacks)
 		fmt.Printf("plan: %s\n", rep.Rows[0].Plan)
 		out := jsonFor("vectorized")
+		if err := rep.WriteJSON(out); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+		return nil
+	})
+
+	run("workload", func() error {
+		rep, err := bench.WorkloadObservatory(ctx, bench.WorkloadConfig{Queries: *queries, Iters: *iters})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset=%s store=%s zipf_s=%.1f\n", rep.Dataset, rep.Store, rep.ZipfS)
+		fmt.Printf("%-70s %6s\n", "query (by rank)", "draws")
+		for _, m := range rep.Mix {
+			q := m.Query
+			if len(q) > 68 {
+				q = q[:65] + "..."
+			}
+			fmt.Printf("%-70s %6d\n", q, m.Draws)
+		}
+		fmt.Print(rep.Advisor.String())
+		fmt.Printf("advisor top match: %v (planted %s)\n", rep.AdvisorTopMatch, rep.PlantedQuery)
+		if o := rep.Overhead; o != nil {
+			fmt.Printf("fold-in overhead: warm p50 %.2fµs observed vs %.2fµs baseline over %d samples → %+.2f%% (ok=%v)\n",
+				float64(o.MonitoredP50NS)/1e3, float64(o.BaselineP50NS)/1e3, o.Samples, o.OverheadPct, rep.OverheadOK)
+		}
+		for _, f := range rep.Failures {
+			fmt.Printf("FAIL: %s\n", f)
+		}
+		out := jsonFor("workload")
 		if err := rep.WriteJSON(out); err != nil {
 			return err
 		}

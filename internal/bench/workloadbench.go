@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"xamdb/internal/engine"
+	"xamdb/internal/obs"
+)
+
+// WorkloadConfig sizes the workload-observatory benchmark. The zero value
+// is the CI smoke configuration.
+type WorkloadConfig struct {
+	Queries int // Zipf-distributed query draws (default 3000)
+	Iters   int // overhead sample multiplier (default 3)
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Queries <= 0 {
+		c.Queries = 3000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	return c
+}
+
+// workloadZipfS is the skew of the driven query mix: s≈1.2 concentrates
+// roughly half the draws on rank 0 over a ten-rank vocabulary, the usual
+// shape of a production hot set.
+const workloadZipfS = 1.2
+
+// workloadMix is the rank-ordered query vocabulary the Zipf generator draws
+// from. Rank 0 is the planted pattern: hot, and deliberately NOT covered by
+// any registered view (obsViews has nothing over inproceedings), so every
+// execution base-scans — the advisor must surface it as the top
+// materialization candidate with zero hints. The middle ranks are served by
+// the obsViews content modules; the tail ranks are rare base-scanning
+// lookups that must NOT outrank the planted pattern.
+var workloadMix = []string{
+	`doc("dblp.xml")//inproceedings/booktitle`, // rank 0: planted hot, unserved
+	`doc("dblp.xml")//article/title`,           // served by v_article_title
+	`doc("dblp.xml")//article/author`,          // served by v_article_author
+	`doc("dblp.xml")//book/title`,              // served by v_book_title
+	`for $x in doc("dblp.xml")//article where $x/year = "1999" return <r>{$x/title}</r>`,
+	`doc("dblp.xml")//phdthesis/school`,    // cold tail, base scans
+	`doc("dblp.xml")//mastersthesis/school`, // cold tail, base scans
+	`doc("dblp.xml")//www/url`,              // cold tail, base scans
+	`doc("dblp.xml")//book/publisher`,       // cold tail, base scans
+	`doc("dblp.xml")//article/journal`,      // cold tail, base scans
+}
+
+// workloadColdView is registered but referenced by no winning plan in the
+// mix: the advisor's cold-view list must carry it as "registered but
+// unused".
+const workloadColdView = `// cite{cont}`
+
+// WorkloadMixRow is one vocabulary rank's draw count in the BENCH JSON.
+type WorkloadMixRow struct {
+	Rank  int    `json:"rank"`
+	Query string `json:"query"`
+	Draws int    `json:"draws"`
+}
+
+// WorkloadReport is the xambench workload export (BENCH_workload.json): the
+// Zipfian mix actually driven, the observatory's aggregate snapshot, the
+// advisor's report, and the two pass/fail verdicts CI greps for —
+// advisor_top_match (the planted hot unserved pattern is the #1
+// materialization candidate) and overhead_ok (workload fold-in costs <= 5%
+// of the warm p50). Failures lists every violated expectation; an empty
+// list is the pass condition.
+type WorkloadReport struct {
+	Experiment      string                `json:"experiment"`
+	Dataset         string                `json:"dataset"`
+	Store           string                `json:"store"`
+	Queries         int                   `json:"queries"`
+	ZipfS           float64               `json:"zipf_s"`
+	Mix             []WorkloadMixRow      `json:"mix"`
+	PlantedQuery    string                `json:"planted_query"`
+	Workload        *obs.WorkloadSnapshot `json:"workload"`
+	Advisor         *obs.AdvisorReport    `json:"advisor"`
+	AdvisorTopMatch bool                  `json:"advisor_top_match"`
+	Overhead        *ObsOverhead          `json:"overhead"`
+	OverheadOK      bool                  `json:"overhead_ok"`
+	Failures        []string              `json:"failures"`
+}
+
+// workloadOverheadBarPct is the acceptance bar on the fold-in tax,
+// measured uninstrumented (the CI gate runs through `go run`; the -race
+// test suite tolerates overhead failures, since the detector multiplies
+// mutex costs without slowing the traversal-bound query path to match).
+const workloadOverheadBarPct = 5.0
+
+// WorkloadObservatory drives a Zipf-skewed query mix over the DBLP fixture
+// (the obsViews engine plus one deliberately unused view), then interrogates
+// the observatory the way an operator would: does the aggregate table
+// account every query, does the advisor rank the planted hot unserved
+// pattern first with zero hints, is the cold view called out, and does the
+// fold-in stay under the overhead bar? Expectation violations land in
+// Report.Failures (the report is still returned for inspection); only
+// operational errors return err.
+func WorkloadObservatory(ctx context.Context, cfg WorkloadConfig) (*WorkloadReport, error) {
+	cfg = cfg.withDefaults()
+	e, dataset, store, err := newWorkloadEngine()
+	if err != nil {
+		return nil, err
+	}
+	rep := &WorkloadReport{
+		Experiment:   "workload",
+		Dataset:      dataset,
+		Store:        store,
+		Queries:      cfg.Queries,
+		ZipfS:        workloadZipfS,
+		PlantedQuery: workloadMix[0],
+	}
+
+	// Warm every vocabulary entry first (extents materialized, plan cache
+	// filled), then reset the observatory: cold planning and one-off view
+	// builds belong to startup, and folding them into a short run would let
+	// a single materialization spike outscore the genuinely hot pattern.
+	// The observatory measures the steady-state mix, like the other benches.
+	for _, q := range workloadMix {
+		for i := 0; i < 2; i++ {
+			if _, _, err := e.QueryContext(ctx, q); err != nil {
+				return nil, fmt.Errorf("bench: workload warmup %q: %w", q, err)
+			}
+		}
+	}
+	e.Workload = obs.NewWorkloadStats(engine.DefaultWorkloadTopK)
+
+	// Drive the skewed mix. A fixed seed keeps the draw histogram (and the
+	// report) reproducible; rank 0 is the most frequent by construction.
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, workloadZipfS, 1, uint64(len(workloadMix)-1))
+	draws := make([]int, len(workloadMix))
+	for i := 0; i < cfg.Queries; i++ {
+		rank := int(zipf.Uint64())
+		draws[rank]++
+		if _, _, err := e.QueryContext(ctx, workloadMix[rank]); err != nil {
+			return nil, fmt.Errorf("bench: workload rank %d %q: %w", rank, workloadMix[rank], err)
+		}
+	}
+	for rank, q := range workloadMix {
+		rep.Mix = append(rep.Mix, WorkloadMixRow{Rank: rank, Query: q, Draws: draws[rank]})
+	}
+
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+
+	// The aggregate table must account every draw exactly once.
+	snap := e.Workload.Snapshot()
+	rep.Workload = snap
+	if snap.TotalQueries != int64(cfg.Queries) {
+		fail("observatory accounted %d queries, drove %d", snap.TotalQueries, cfg.Queries)
+	}
+	var hottest int64
+	if len(snap.Fingerprints) > 0 {
+		hottest = snap.Fingerprints[0].Count
+	}
+	if hottest != int64(draws[0]) {
+		fail("hottest fingerprint count %d, want the planted pattern's %d draws", hottest, draws[0])
+	}
+
+	// The advisor, with zero hints, must rank the planted hot unserved
+	// pattern as the #1 materialization candidate and call out the cold view.
+	// MaxColdViews is sized past the tag-partitioned store's per-tag modules
+	// (all honestly "registered but unused" for this content workload) so
+	// the planted v_cite still fits in the name-sorted list.
+	adv := e.Advise(obs.AdvisorOptions{MaxCandidates: 10, MaxColdViews: 64})
+	rep.Advisor = adv
+	if len(adv.Candidates) > 0 && strings.Contains(adv.Candidates[0].Query, "inproceedings/booktitle") {
+		rep.AdvisorTopMatch = true
+	} else {
+		fail("advisor top candidate is not the planted pattern: %+v", adv.Candidates)
+	}
+	coldSeen := false
+	for _, cv := range adv.ColdViews {
+		if cv.View == "v_cite" {
+			coldSeen = true
+		}
+	}
+	if !coldSeen {
+		fail("advisor cold views miss the unused v_cite: %+v", adv.ColdViews)
+	}
+
+	// Fold-in tax: warm p50 of a view-served lookup with the observatory
+	// disabled versus enabled. Same query log on both sides, so the delta
+	// is the Observe() fold-in alone.
+	rep.Overhead, err = measureWorkloadOverhead(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if bar := workloadOverheadBarPct; rep.Overhead.OverheadPct <= bar {
+		rep.OverheadOK = true
+	} else {
+		fail("fold-in overhead %.2f%% exceeds %.0f%% bar (baseline %s, observed %s)",
+			rep.Overhead.OverheadPct, bar,
+			time.Duration(rep.Overhead.BaselineP50NS), time.Duration(rep.Overhead.MonitoredP50NS))
+	}
+	return rep, nil
+}
+
+// newWorkloadEngine is the obsViews fixture plus the planted cold view.
+func newWorkloadEngine() (*engine.Engine, string, string, error) {
+	e, dataset, store, err := newObsEngine()
+	if err != nil {
+		return nil, "", "", err
+	}
+	if err := e.RegisterView("dblp.xml", "v_cite", workloadColdView); err != nil {
+		return nil, "", "", err
+	}
+	return e, dataset, store, nil
+}
+
+// measureWorkloadOverhead compares warm p50 latencies of the rank-1
+// view-served lookup on two fresh engines: observatory off (Workload nil)
+// versus on. Each side takes the best of two measurement rounds so a
+// scheduler hiccup on either side does not masquerade as fold-in cost.
+func measureWorkloadOverhead(ctx context.Context, cfg WorkloadConfig) (*ObsOverhead, error) {
+	samples := cfg.Iters * 200
+	q := workloadMix[1]
+	p50 := func(e *engine.Engine) (int64, error) {
+		for i := 0; i < 5; i++ { // warm: materialize views, fill the plan cache
+			if _, _, err := e.QueryContext(ctx, q); err != nil {
+				return 0, err
+			}
+		}
+		best := int64(0)
+		for round := 0; round < 2; round++ {
+			lats := make([]int64, samples)
+			for i := range lats {
+				start := time.Now()
+				if _, _, err := e.QueryContext(ctx, q); err != nil {
+					return 0, err
+				}
+				lats[i] = time.Since(start).Nanoseconds()
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			if p := lats[len(lats)/2]; round == 0 || p < best {
+				best = p
+			}
+		}
+		return best, nil
+	}
+
+	base, _, _, err := newWorkloadEngine()
+	if err != nil {
+		return nil, err
+	}
+	base.Workload = nil
+	baseP50, err := p50(base)
+	if err != nil {
+		return nil, fmt.Errorf("bench: workload overhead baseline: %w", err)
+	}
+
+	mon, _, _, err := newWorkloadEngine()
+	if err != nil {
+		return nil, err
+	}
+	monP50, err := p50(mon)
+	if err != nil {
+		return nil, fmt.Errorf("bench: workload overhead observed: %w", err)
+	}
+
+	oh := &ObsOverhead{Samples: samples * 2, BaselineP50NS: baseP50, MonitoredP50NS: monP50}
+	if baseP50 > 0 {
+		oh.OverheadPct = 100 * float64(monP50-baseP50) / float64(baseP50)
+	}
+	return oh, nil
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_*.json format).
+func (r *WorkloadReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

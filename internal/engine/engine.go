@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -123,16 +124,18 @@ type viewExtent struct {
 	state atomic.Int32      // written under mu, read lock-free by monitors
 }
 
-// get returns the extent, materializing it on first use. A nil relation in
-// the built state means the slot was poisoned (tests) or the view has no
-// standalone extent; the caller omits it from the execution env. Cold
-// builds open a trace span named after the view, so cold-start spikes are
-// attributable in the span tree and in the per-view counters.
-func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts rewrite.Options, m *engineMetrics, tr *obs.Trace, parent *obs.Span) (*algebra.Relation, error) {
+// get returns the extent, materializing it on first use; buildNS is the
+// build's duration when this call did the work (0 on a warm hit), so the
+// caller can attribute cold-build cost to the query that paid it. A nil
+// relation in the built state means the slot was poisoned (tests) or the
+// view has no standalone extent; the caller omits it from the execution
+// env. Cold builds open a trace span named after the view, so cold-start
+// spikes are attributable in the span tree and in the per-view counters.
+func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts rewrite.Options, m *engineMetrics, tr *obs.Trace, parent *obs.Span) (*algebra.Relation, int64, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.state.Load() == xsBuilt {
-		return x.rel, nil
+		return x.rel, 0, nil
 	}
 	if tr != nil {
 		span := tr.StartSpan(parent, "materialize("+name+")")
@@ -142,24 +145,27 @@ func (x *viewExtent) get(pe *planEnv, doc *xmltree.Document, name string, opts r
 	rel, err := pe.planner(opts).MaterializeView(doc, name)
 	if err != nil {
 		x.state.Store(xsFailed)
-		return nil, err
+		return nil, int64(time.Since(start)), err
 	}
-	m.materializeNS.Since(start)
+	buildNS := int64(time.Since(start))
+	m.materializeNS.Observe(buildNS)
 	m.viewsMaterialized.Inc()
 	m.reg.Counter(MetricViewMaterializedPrefix + name).Inc()
 	x.rel = rel
 	x.state.Store(xsBuilt)
-	return rel, nil
+	return rel, buildNS, nil
 }
 
 // envFor assembles the execution environment for one plan: store-supplied
 // extents straight from the snapshot, view extents materialized lazily. It
 // returns the name of the view whose materialization failed, if any, so the
-// degradation names the culprit.
+// degradation names the culprit. Cold builds are attributed on the report
+// (the query that paid for them), even when the plan later loses — work
+// done is work done.
 // Each extent placed in the env is charged against the query's budget (when
 // one rides the context), so a plan touching more decoded bytes than its
 // quota allows is killed before execution pulls a single tuple.
-func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite.Options, budget *physical.Budget, m *engineMetrics, tr *obs.Trace, pspan *obs.Span) (rewrite.Env, string, error) {
+func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite.Options, budget *physical.Budget, report *Report, m *engineMetrics, tr *obs.Trace, pspan *obs.Span) (rewrite.Env, string, error) {
 	refs := rewrite.ViewRefs(plan)
 	env := make(rewrite.Env, len(refs))
 	for _, name := range refs {
@@ -170,7 +176,11 @@ func (pe *planEnv) envFor(doc *xmltree.Document, plan rewrite.Plan, opts rewrite
 				continue // index view or unknown: the plan degrades at execution
 			}
 			var err error
-			rel, err = x.get(pe, doc, name, opts, m, tr, pspan)
+			var buildNS int64
+			rel, buildNS, err = x.get(pe, doc, name, opts, m, tr, pspan)
+			if buildNS > 0 && report != nil {
+				report.viewUse(name).MaterializeNS += buildNS
+			}
 			if err != nil {
 				return nil, name, err
 			}
@@ -234,6 +244,12 @@ type Engine struct {
 	// slow threshold retain their full trace (and, once their fingerprint
 	// recurs, EXPLAIN ANALYZE operator stats) in the record.
 	QueryLog *obs.QueryLog
+	// Workload is the fingerprint-aggregated workload observatory: every
+	// completed query folds its record into the bounded aggregate table and
+	// the per-view attribution index, feeding /debug/workload and the view
+	// advisor (/debug/advisor). New installs a DefaultWorkloadTopK-entry
+	// table; nil disables aggregation.
+	Workload *obs.WorkloadStats
 
 	ms atomic.Pointer[engineMetrics]
 
@@ -254,6 +270,10 @@ const DefaultSlowQueryThreshold = 100 * time.Millisecond
 // workload of unique slow queries cannot grow it without limit.
 const maxSlowFingerprints = 128
 
+// DefaultWorkloadTopK is the workload observatory's exact-entry bound New
+// installs (top-K fingerprints; the rest aggregate in the overflow bucket).
+const DefaultWorkloadTopK = 128
+
 // New creates an empty engine that falls back to base evaluation. The
 // optimizer stops after a handful of plans per pattern; raise Opts.MaxPlans
 // to explore exhaustively.
@@ -265,6 +285,7 @@ func New() *Engine {
 		Opts:           rewrite.Options{MaxPlans: 3},
 		Metrics:        obs.NewRegistry(),
 		QueryLog:       obs.NewQueryLog(DefaultQueryLogSize, DefaultSlowQueryThreshold),
+		Workload:       obs.NewWorkloadStats(DefaultWorkloadTopK),
 	}
 }
 
@@ -584,6 +605,51 @@ type Report struct {
 	// outcomes across its patterns.
 	PlanCacheHits   int
 	PlanCacheMisses int
+	// BaseScans counts patterns this query answered by direct evaluation
+	// (the fallback cascade's floor) — the signal the view advisor mines
+	// for materialization candidates.
+	BaseScans int
+	// PredAbsorbed marks that at least one decorated pattern was answered
+	// from views (its value predicates absorbed into the view scans);
+	// ResidualSelections counts the σ_φ left above the winning plans.
+	PredAbsorbed       bool
+	ResidualSelections int
+	// Batches / BatchFallbacks count this query's vectorized batches and
+	// row-engine fallback adaptations.
+	Batches        int64
+	BatchFallbacks int64
+
+	// viewUses accumulates per-view attribution (references by winning
+	// plans, extent bytes placed in the env, materialize cost this query
+	// paid) for the workload observatory. Per-query, single-goroutine.
+	viewUses map[string]*obs.ViewUse
+}
+
+// viewUse returns the report's attribution slot for one view.
+func (r *Report) viewUse(name string) *obs.ViewUse {
+	if r.viewUses == nil {
+		r.viewUses = map[string]*obs.ViewUse{}
+	}
+	vu, ok := r.viewUses[name]
+	if !ok {
+		vu = &obs.ViewUse{Name: name}
+		r.viewUses[name] = vu
+	}
+	return vu
+}
+
+// ViewUses returns the per-view attribution collected for this query,
+// sorted by view name (nil when no view was touched).
+func (r *Report) ViewUses() []obs.ViewUse {
+	if len(r.viewUses) == 0 {
+		return nil
+	}
+	out := make([]obs.ViewUse, 0, len(r.viewUses))
+	for _, vu := range r.viewUses {
+		out = append(out, *vu)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Degraded reports whether any pattern was answered by a fallback after
@@ -810,7 +876,7 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 			}
 			m.plansTried.Inc()
 			mspan := tr.StartSpan(pspan, "materialize")
-			env, failedView, err := pe.envFor(st.doc, plan.Plan, e.Opts, budget, m, tr, mspan)
+			env, failedView, err := pe.envFor(st.doc, plan.Plan, e.Opts, budget, report, m, tr, mspan)
 			mspan.End()
 			if err != nil {
 				if abortErr(err) {
@@ -824,7 +890,7 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 			}
 			espan := tr.StartSpan(pspan, "execute")
 			exStart := time.Now()
-			rel, ops, err := e.execPlan(ctx, plan, env, analyze)
+			rel, ops, err := e.execPlan(ctx, plan, env, analyze, report)
 			m.executeNS.Since(exStart)
 			espan.End()
 			if err == nil {
@@ -833,9 +899,18 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 				// each σ_φ in the winning plan is a residual selection.
 				if patternHasValuePred(pat) {
 					m.predAbsorbed.Inc()
+					report.PredAbsorbed = true
 				}
 				if n := rewrite.CountResidualSelections(plan.Plan); n > 0 {
 					m.predResidual.Add(int64(n))
+					report.ResidualSelections += n
+				}
+				// Per-view attribution: the winning plan's referenced extents
+				// served this pattern (bytes as placed in the env).
+				for name, rel := range env {
+					vu := report.viewUse(name)
+					vu.Referenced = true
+					vu.ExtentBytes = rel.EstimatedBytes()
 				}
 				return rel, plan.Plan.String(), ops, nil
 			}
@@ -852,6 +927,7 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 		return nil, "", nil, err
 	}
 	m.baseScans.Inc()
+	report.BaseScans++
 	bspan := tr.StartSpan(pspan, "execute")
 	exStart := time.Now()
 	rel, err := evalBase(pat, st.doc)
@@ -878,7 +954,7 @@ func (e *Engine) answerPattern(ctx context.Context, st *docState, patIdx int, pa
 // process. Cancellation panics keep their context error. With analyze set,
 // the plan runs through the instrumented physical path and the operator
 // stats tree is returned.
-func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewrite.Env, analyze bool) (rel *algebra.Relation, ops *physical.OpStats, err error) {
+func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewrite.Env, analyze bool, report *Report) (rel *algebra.Relation, ops *physical.OpStats, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if c, ok := p.(*physical.Cancelled); ok {
@@ -899,7 +975,7 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 		if e.UsePhysical && e.UseBatch {
 			var info rewrite.BatchExecInfo
 			rel, ops, info, err = rewrite.ExecuteBatchAnalyzeContext(ctx, plan.Plan, env)
-			e.recordBatchExec(info)
+			e.recordBatchExec(info, report)
 		} else {
 			rel, ops, err = rewrite.ExecutePhysicalAnalyzeContext(ctx, plan.Plan, env)
 		}
@@ -912,7 +988,7 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 		if e.UseBatch {
 			var info rewrite.BatchExecInfo
 			rel, info, err = rewrite.ExecuteBatchContext(ctx, plan.Plan, env)
-			e.recordBatchExec(info)
+			e.recordBatchExec(info, report)
 		} else {
 			rel, err = rewrite.ExecutePhysicalContext(ctx, plan.Plan, env)
 		}
@@ -931,14 +1007,17 @@ func (e *Engine) execPlan(ctx context.Context, plan *rewrite.Rewriting, env rewr
 }
 
 // recordBatchExec folds one batch execution's accounting into the engine
-// counters (engine.batches / engine.batch_fallbacks).
-func (e *Engine) recordBatchExec(info rewrite.BatchExecInfo) {
+// counters (engine.batches / engine.batch_fallbacks) and the query's
+// report, so the workload observatory sees per-fingerprint batch figures.
+func (e *Engine) recordBatchExec(info rewrite.BatchExecInfo, report *Report) {
 	m := e.m()
 	if info.Batches > 0 {
 		m.batches.Add(info.Batches)
+		report.Batches += info.Batches
 	}
 	if info.Fallbacks > 0 {
 		m.batchFallbacks.Add(info.Fallbacks)
+		report.BatchFallbacks += info.Fallbacks
 	}
 }
 

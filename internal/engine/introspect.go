@@ -6,6 +6,8 @@ package engine
 
 import (
 	"sort"
+
+	"xamdb/internal/obs"
 )
 
 // ExtentState describes how one view's extent is currently backed.
@@ -88,6 +90,34 @@ func (e *Engine) Catalog() []CatalogDoc {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
 	return out
+}
+
+// RegisteredViews returns the names of every registered view (and store
+// module) across all documents, sorted and deduplicated — the catalog the
+// advisor checks for views that never appear in the workload attribution.
+func (e *Engine) RegisteredViews() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, doc := range e.Catalog() {
+		for _, v := range doc.Views {
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				names = append(names, v.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Advise runs the view advisor over the engine's workload observatory,
+// supplying the registered-view catalog when the options leave it empty.
+// Returns an empty report when the observatory is disabled (nil Workload).
+func (e *Engine) Advise(opts obs.AdvisorOptions) *obs.AdvisorReport {
+	if len(opts.RegisteredViews) == 0 {
+		opts.RegisteredViews = e.RegisteredViews()
+	}
+	return e.Workload.Snapshot().Advise(opts)
 }
 
 // PlanCacheStat is the monitoring view of one document's rewriting cache.

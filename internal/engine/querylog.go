@@ -79,14 +79,16 @@ func queryOutcome(qerr error) string {
 	}
 }
 
-// logQuery appends one record to the engine's query log — every query
-// lands here, successful, degraded or failed. Slow queries additionally
-// retain the full trace JSON and, when the run was instrumented, the
-// EXPLAIN ANALYZE operator trees; their fingerprint is noted so the next
-// recurrence runs instrumented.
+// logQuery appends one record to the engine's query log and folds it into
+// the workload observatory — every query lands here, successful, degraded
+// or failed. Slow queries additionally retain the full trace JSON and,
+// when the run was instrumented, the EXPLAIN ANALYZE operator trees; their
+// fingerprint is noted so the next recurrence runs instrumented. A nil
+// QueryLog disables logging without disabling the workload fold-in (and
+// vice versa for a nil Workload).
 func (e *Engine) logQuery(src, fp string, start time.Time, dur time.Duration, rep *Report, rowsOut int64, qerr error) {
 	lg := e.QueryLog
-	if lg == nil {
+	if lg == nil && e.Workload == nil {
 		return
 	}
 	query := src
@@ -104,6 +106,13 @@ func (e *Engine) logQuery(src, fp string, start time.Time, dur time.Duration, re
 		RowsOut:     rowsOut,
 		DurationNS:  int64(dur),
 		Outcome:     queryOutcome(qerr),
+
+		BaseScans:      rep.BaseScans,
+		PredAbsorbed:   rep.PredAbsorbed,
+		PredResidual:   rep.ResidualSelections,
+		Batches:        rep.Batches,
+		BatchFallbacks: rep.BatchFallbacks,
+		Views:          rep.ViewUses(),
 	}
 	if qerr != nil {
 		rec.Error = qerr.Error()
@@ -116,6 +125,9 @@ func (e *Engine) logQuery(src, fp string, start time.Time, dur time.Duration, re
 			}
 		}
 	}
+	// The workload table aggregates the lean record — before the slow-path
+	// attachments, which are per-record diagnostics, not aggregates.
+	e.Workload.Observe(rec)
 	if lg.IsSlow(dur) {
 		e.noteSlowFingerprint(fp)
 		if rep.Trace != nil {

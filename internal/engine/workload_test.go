@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"xamdb/internal/obs"
+)
+
+// TestWorkloadFoldIn pins the end-to-end observatory wiring: every query
+// (view-served or base-scanned) folds its record into Engine.Workload with
+// per-view attribution, and the advisor ranks the hot base-scanning
+// fingerprint as the top materialization candidate with zero hints.
+func TestWorkloadFoldIn(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vtitles", `// book(/ title{cont})`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Served by the view (first run cold-builds the extent).
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No view covers authors: base scan, repeatedly — the advisor's target.
+	for i := 0; i < 5; i++ {
+		if _, _, err := e.Query(`doc("bib.xml")//book/author`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A failing query still lands in the table.
+	if _, _, err := e.Query(`doc("nope.xml")//a`); err == nil {
+		t.Fatal("expected error for unknown document")
+	}
+
+	s := e.Workload.Snapshot()
+	if s.TotalQueries != 9 {
+		t.Fatalf("total queries = %d, want 9", s.TotalQueries)
+	}
+	byQuery := map[string]obs.FingerprintStats{}
+	for _, f := range s.Fingerprints {
+		byQuery[f.Query] = f
+	}
+	served := byQuery[`doc("bib.xml")//book/title`]
+	if served.Count != 3 || served.BaseScans != 0 {
+		t.Fatalf("served entry = %+v", served)
+	}
+	if len(served.Views) != 1 || served.Views[0] != "vtitles" {
+		t.Fatalf("served views = %v, want [vtitles]", served.Views)
+	}
+	if served.CacheHits != 2 || served.CacheMisses != 1 {
+		t.Errorf("served cache hits=%d misses=%d, want 2/1", served.CacheHits, served.CacheMisses)
+	}
+	if served.PhasesNS["execute"] <= 0 {
+		t.Errorf("served phases = %v, want execute > 0", served.PhasesNS)
+	}
+	scanned := byQuery[`doc("bib.xml")//book/author`]
+	if scanned.Count != 5 || scanned.BaseScans != 5 {
+		t.Fatalf("base-scan entry = %+v", scanned)
+	}
+	failed := byQuery[`doc("nope.xml")//a`]
+	if failed.Errors != 1 || failed.Outcomes["error"] != 1 {
+		t.Fatalf("failed entry = %+v", failed)
+	}
+
+	if len(s.Views) != 1 || s.Views[0].View != "vtitles" {
+		t.Fatalf("view attribution = %+v", s.Views)
+	}
+	v := s.Views[0]
+	if v.Queries != 3 || v.Materializations != 1 {
+		t.Fatalf("vtitles queries=%d builds=%d, want 3/1", v.Queries, v.Materializations)
+	}
+	if v.MaterializeNS <= 0 || v.ExtentBytes <= 0 || v.Rows != 3*2 {
+		t.Errorf("vtitles cost figures = %+v", v)
+	}
+
+	rep := e.Advise(obs.AdvisorOptions{})
+	if len(rep.Candidates) == 0 {
+		t.Fatal("advisor found no candidates")
+	}
+	if got := rep.Candidates[0].Query; got != `doc("bib.xml")//book/author` {
+		t.Fatalf("top candidate = %q, want the base-scanned author query", got)
+	}
+}
+
+// TestWorkloadNilDoesNotBreakQueries pins that disabling either the query
+// log or the observatory (or both) leaves the query path working — and
+// that a nil log alone does not disable the workload fold-in.
+func TestWorkloadNilDoesNotBreakQueries(t *testing.T) {
+	e := newEngine(t)
+	e.QueryLog = nil
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Workload.Snapshot(); s.TotalQueries != 1 {
+		t.Fatalf("workload missed the query with a nil QueryLog: %+v", s)
+	}
+	e.Workload = nil
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if rep := e.Advise(obs.AdvisorOptions{}); len(rep.Candidates) != 0 {
+		t.Fatalf("nil-workload advisor = %+v", rep)
+	}
+}
+
+// TestWorkloadPredicateAccounting pins the per-fingerprint absorbed /
+// residual predicate figures.
+func TestWorkloadPredicateAccounting(t *testing.T) {
+	e := newEngine(t)
+	if err := e.RegisterView("bib.xml", "vta", `// book(/ title{val}, / author{cont})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Query(`doc("bib.xml")//book[title = "Data on the Web"]/author`); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Workload.Snapshot()
+	var f obs.FingerprintStats
+	for _, c := range s.Fingerprints {
+		if strings.Contains(c.Query, "title = ") {
+			f = c
+		}
+	}
+	if f.Count != 1 {
+		t.Fatalf("predicate fingerprint missing: %+v", s.Fingerprints)
+	}
+	if f.PredAbsorbed+f.PredResidual == 0 {
+		t.Fatalf("no predicate accounting on %+v", f)
+	}
+}

@@ -81,6 +81,27 @@ func conditionalRetryAfter(w http.ResponseWriter, shed bool, retryAfter string) 
 	w.WriteHeader(status)
 }
 
+// The guardDraining shape used by the observability endpoints
+// (/debug/workload, /debug/advisor): an early 503 + Retry-After while the
+// admission controller drains, then a plain 200 body.
+func drainGuardShape(w http.ResponseWriter, draining bool, retryAfter string) {
+	if draining {
+		w.Header().Set("Retry-After", retryAfter)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// Same shape but the drain path forgets its Retry-After: still flagged.
+func drainGuardShapeNoRetryAfter(w http.ResponseWriter, draining bool) {
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable) // want "without a Retry-After header"
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
 func suppressed(w http.ResponseWriter) {
 	//xamlint:allow httpstatus(fixture: internal debug surface, clients are humans with curl)
 	w.WriteHeader(http.StatusTeapot)

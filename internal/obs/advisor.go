@@ -1,0 +1,183 @@
+// The view advisor: mines a WorkloadSnapshot into a ranked report of
+// (a) hot fingerprints still paying for base scans or residual selections —
+// candidates for new materialized views — and (b) cold views whose extents
+// cost more to maintain than they serve. The report is the observability
+// half of ROADMAP item 3; a future planner can consume the same structures
+// to register views automatically.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// AdvisorOptions bound and inform a report. RegisteredViews lets the
+// advisor flag catalog views that never appear in the attribution table at
+// all (zero traffic since start) — without it, only views with at least
+// one materialization or reference are considered.
+type AdvisorOptions struct {
+	MaxCandidates   int // ≤0: all
+	MaxColdViews    int // ≤0: all
+	RegisteredViews []string
+}
+
+// Candidate is one recommendation for a new materialized view: a query
+// fingerprint whose chosen plans still hit base scans or leave residual
+// selections, scored by frequency × latency (total time spent, in ns).
+type Candidate struct {
+	Fingerprint string  `json:"fingerprint"`
+	Query       string  `json:"query"`
+	Count       int64   `json:"count"`
+	ScoreNS     int64   `json:"score_ns"` // = Σ latency = count × mean
+	P50NS       int64   `json:"p50_ns"`
+	BaseScans   int64   `json:"base_scans"`
+	Residual    int64   `json:"residual"`
+	Reason      string  `json:"reason"`
+	ScanShare   float64 `json:"scan_share"` // base scans per query
+}
+
+// ColdView is one view flagged as costing more than it serves.
+type ColdView struct {
+	View          string `json:"view"`
+	Queries       int64  `json:"queries"`
+	MaterializeNS int64  `json:"materialize_ns"`
+	// CostPerServeNS is materialize time divided by queries served (the
+	// full materialize cost when the view served nothing).
+	CostPerServeNS int64  `json:"cost_per_serve_ns"`
+	Reason         string `json:"reason"`
+}
+
+// AdvisorReport is the advisor's output, marshalable to JSON (the
+// /debug/advisor schema).
+type AdvisorReport struct {
+	TotalQueries int64       `json:"total_queries"`
+	Candidates   []Candidate `json:"candidates"` // score-descending
+	ColdViews    []ColdView  `json:"cold_views"` // unused first, then cost-descending
+}
+
+// Advise mines the snapshot. Candidates are fingerprints with at least one
+// base scan or residual selection, ranked by ScoreNS = total latency
+// (frequency × mean latency) so a pattern must be both hot and slow to
+// rank; cold views are those serving zero queries, or whose materialize
+// cost per served query exceeds 10× the workload's mean query latency.
+func (s *WorkloadSnapshot) Advise(opts AdvisorOptions) *AdvisorReport {
+	rep := &AdvisorReport{TotalQueries: s.TotalQueries}
+
+	var sumNS, sumN int64
+	for _, f := range s.Fingerprints {
+		sumNS += f.Latency.SumNS
+		sumN += f.Latency.Count
+		if f.BaseScans == 0 && f.PredResidual == 0 {
+			continue
+		}
+		c := Candidate{
+			Fingerprint: f.Fingerprint,
+			Query:       f.Query,
+			Count:       f.Count,
+			ScoreNS:     f.Latency.SumNS,
+			P50NS:       f.Latency.P50NS,
+			BaseScans:   f.BaseScans,
+			Residual:    f.PredResidual,
+		}
+		if f.Count > 0 {
+			c.ScanShare = float64(f.BaseScans) / float64(f.Count)
+		}
+		switch {
+		case f.BaseScans > 0 && f.PredResidual > 0:
+			c.Reason = "base scans + residual selections"
+		case f.BaseScans > 0:
+			c.Reason = "base scans"
+		default:
+			c.Reason = "residual selections"
+		}
+		rep.Candidates = append(rep.Candidates, c)
+	}
+	sort.Slice(rep.Candidates, func(i, j int) bool {
+		if rep.Candidates[i].ScoreNS != rep.Candidates[j].ScoreNS {
+			return rep.Candidates[i].ScoreNS > rep.Candidates[j].ScoreNS
+		}
+		return rep.Candidates[i].Fingerprint < rep.Candidates[j].Fingerprint
+	})
+	if opts.MaxCandidates > 0 && len(rep.Candidates) > opts.MaxCandidates {
+		rep.Candidates = rep.Candidates[:opts.MaxCandidates]
+	}
+
+	var meanNS int64
+	if sumN > 0 {
+		meanNS = sumNS / sumN
+	}
+	attributed := map[string]bool{}
+	var unused, costly []ColdView
+	for _, v := range s.Views {
+		attributed[v.View] = true
+		switch {
+		case v.Queries == 0:
+			unused = append(unused, ColdView{
+				View:           v.View,
+				MaterializeNS:  v.MaterializeNS,
+				CostPerServeNS: v.MaterializeNS,
+				Reason:         "materialized but unused",
+			})
+		case meanNS > 0 && v.MaterializeNS/v.Queries > 10*meanNS:
+			costly = append(costly, ColdView{
+				View:           v.View,
+				Queries:        v.Queries,
+				MaterializeNS:  v.MaterializeNS,
+				CostPerServeNS: v.MaterializeNS / v.Queries,
+				Reason:         "materialize cost exceeds serving benefit",
+			})
+		}
+	}
+	for _, name := range opts.RegisteredViews {
+		if !attributed[name] {
+			unused = append(unused, ColdView{View: name, Reason: "registered but unused"})
+		}
+	}
+	sort.Slice(unused, func(i, j int) bool { return unused[i].View < unused[j].View })
+	sort.Slice(costly, func(i, j int) bool {
+		if costly[i].CostPerServeNS != costly[j].CostPerServeNS {
+			return costly[i].CostPerServeNS > costly[j].CostPerServeNS
+		}
+		return costly[i].View < costly[j].View
+	})
+	rep.ColdViews = append(unused, costly...)
+	if opts.MaxColdViews > 0 && len(rep.ColdViews) > opts.MaxColdViews {
+		rep.ColdViews = rep.ColdViews[:opts.MaxColdViews]
+	}
+	return rep
+}
+
+// String renders the report as terminal tables.
+func (r *AdvisorReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "advisor: %d queries observed, %d view candidates, %d cold views\n",
+		r.TotalQueries, len(r.Candidates), len(r.ColdViews))
+	if len(r.Candidates) > 0 {
+		fmt.Fprintf(&sb, "%-4s %-18s %8s %12s %10s %6s %6s  %-36s %s\n",
+			"rank", "fingerprint", "count", "score", "p50", "base", "resid", "reason", "query")
+		for i, c := range r.Candidates {
+			q := c.Query
+			if len(q) > 48 {
+				q = q[:45] + "..."
+			}
+			fmt.Fprintf(&sb, "%-4d %-18s %8d %12s %10s %6d %6d  %-36s %s\n",
+				i+1, c.Fingerprint, c.Count,
+				time.Duration(c.ScoreNS).Round(time.Microsecond),
+				time.Duration(c.P50NS).Round(time.Microsecond),
+				c.BaseScans, c.Residual, c.Reason, q)
+		}
+	}
+	if len(r.ColdViews) > 0 {
+		fmt.Fprintf(&sb, "%-24s %8s %12s %14s  %s\n",
+			"cold view", "queries", "build-time", "cost/serve", "reason")
+		for _, v := range r.ColdViews {
+			fmt.Fprintf(&sb, "%-24s %8d %12s %14s  %s\n",
+				v.View, v.Queries,
+				time.Duration(v.MaterializeNS).Round(time.Microsecond),
+				time.Duration(v.CostPerServeNS).Round(time.Microsecond), v.Reason)
+		}
+	}
+	return sb.String()
+}

@@ -145,6 +145,49 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// Stats summarizes the histogram into its exported snapshot form (count,
+// sum, min/max, mean, quantile upper bounds and the non-empty buckets) —
+// shared by the registry snapshot and the workload aggregate table.
+func (h *Histogram) Stats() HistogramStats {
+	st := HistogramStats{
+		Count: h.Count(),
+		SumNS: h.Sum(),
+		P50NS: h.Quantile(0.50),
+		P95NS: h.Quantile(0.95),
+		P99NS: h.Quantile(0.99),
+	}
+	if st.Count > 0 {
+		st.MinNS = h.min.Load()
+		st.MaxNS = h.max.Load()
+		st.Mean = float64(st.SumNS) / float64(st.Count)
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				st.Buckets = append(st.Buckets, HistBucket{UpperNS: histBucketUpper(i), Count: n})
+			}
+		}
+	}
+	return st
+}
+
+// Merge folds src's observations into h (bucket-wise, so quantiles stay
+// within the usual 25% bound). Used when a bounded aggregate table retires
+// an entry into its overflow bucket. Not atomic across buckets: callers
+// serialize merges externally.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil || src.count.Load() == 0 {
+		return
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+	atomicMin(&h.min, src.min.Load())
+	atomicMax(&h.max, src.max.Load())
+	for i := 0; i < histBuckets; i++ {
+		if n := src.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
 func atomicMin(a *atomic.Int64, v int64) {
 	for {
 		old := a.Load()
@@ -254,6 +297,10 @@ type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`
 	Gauges     map[string]int64          `json:"gauges,omitempty"`
 	Histograms map[string]HistogramStats `json:"histograms"`
+	// Labeled carries labeled families (e.g. the workload observatory's
+	// per-fingerprint/per-view series) into the Prometheus exposition only;
+	// it is excluded from JSON so the bench export format stays stable.
+	Labeled []LabeledFamily `json:"-"`
 }
 
 // Snapshot copies the registry's current values.
@@ -272,24 +319,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		st := HistogramStats{
-			Count: h.Count(),
-			SumNS: h.Sum(),
-			P50NS: h.Quantile(0.50),
-			P95NS: h.Quantile(0.95),
-			P99NS: h.Quantile(0.99),
-		}
-		if st.Count > 0 {
-			st.MinNS = h.min.Load()
-			st.MaxNS = h.max.Load()
-			st.Mean = float64(st.SumNS) / float64(st.Count)
-			for i := 0; i < histBuckets; i++ {
-				if n := h.buckets[i].Load(); n > 0 {
-					st.Buckets = append(st.Buckets, HistBucket{UpperNS: histBucketUpper(i), Count: n})
-				}
-			}
-		}
-		s.Histograms[name] = st
+		s.Histograms[name] = h.Stats()
 	}
 	return s
 }

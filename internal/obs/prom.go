@@ -16,8 +16,9 @@ import (
 // or a name collides with a histogram's derived `_bucket`/`_sum`/`_count`
 // series — later families are deterministically suffixed `_2`, `_3`, …,
 // so the exposition never emits two samples with the same identity.
-// Families appear counters-first, then gauges, then histograms, each
-// sorted by raw name, so the output is byte-stable for a given snapshot.
+// Families appear counters-first, then gauges, then histograms, then
+// labeled families, each sorted by raw name, so the output is byte-stable
+// for a given snapshot.
 func (s *Snapshot) WriteProm(w io.Writer) error {
 	var sb strings.Builder
 	used := map[string]bool{}
@@ -77,8 +78,70 @@ func (s *Snapshot) WriteProm(w io.Writer) error {
 		fmt.Fprintf(&sb, "%s{quantile=\"0.99\"} %d\n", q, h.P99NS)
 		fmt.Fprintf(&sb, "%s_sum %d\n%s_count %d\n", q, h.SumNS, q, h.Count)
 	}
+	labeled := append([]LabeledFamily{}, s.Labeled...)
+	sort.SliceStable(labeled, func(i, j int) bool { return labeled[i].Name < labeled[j].Name })
+	for _, fam := range labeled {
+		typ := fam.Type
+		if typ != "counter" && typ != "gauge" {
+			typ = "gauge"
+		}
+		key := SanitizeMetricName(fam.LabelKey)
+		n := claim(SanitizeMetricName(fam.Name))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", n, typ)
+		samples := append([]LabeledSample{}, fam.Samples...)
+		sort.SliceStable(samples, func(i, j int) bool { return samples[i].Label < samples[j].Label })
+		seen := map[string]bool{}
+		for _, smp := range samples {
+			if seen[smp.Label] {
+				continue
+			}
+			seen[smp.Label] = true
+			fmt.Fprintf(&sb, "%s{%s=\"%s\"} %d\n", n, key, escapeLabelValue(smp.Label), smp.Value)
+		}
+	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// LabeledSample is one sample of a labeled family: a single label value
+// (the family fixes the key) and the sample's value.
+type LabeledSample struct {
+	Label string
+	Value int64
+}
+
+// LabeledFamily is a metric family whose samples are distinguished by one
+// label (key fixed per family — e.g. `fingerprint` or `view`). The
+// workload observatory exports its top-K fingerprint and per-view series
+// this way (WorkloadStats.PromFamilies); WriteProm emits them after the
+// unlabeled families, with the family name passing through the same
+// reservation-dedup as everything else and samples deduplicated by label
+// value (first wins) and sorted for byte-stable output.
+type LabeledFamily struct {
+	Name     string // registry-style raw name; sanitized on write
+	Type     string // "counter" or "gauge"; anything else renders as gauge
+	LabelKey string
+	Samples  []LabeledSample
+}
+
+// escapeLabelValue escapes a label value per the text exposition format:
+// backslash, double quote and newline must be escaped, everything else
+// passes through.
+func escapeLabelValue(v string) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
 }
 
 // SanitizeMetricName maps an arbitrary registry name onto the Prometheus

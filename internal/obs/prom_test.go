@@ -63,9 +63,57 @@ func TestSanitizeMetricName(t *testing.T) {
 	}
 }
 
+// TestPromLabeledGolden pins the labeled-family section of the exposition:
+// emitted after the unlabeled families, name-sorted, samples label-sorted
+// and deduplicated, label values escaped per the text format.
+func TestPromLabeledGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.queries").Add(3)
+	snap := r.Snapshot()
+	snap.Labeled = []LabeledFamily{
+		{
+			Name: "engine.workload.view.queries", Type: "counter", LabelKey: "view",
+			Samples: []LabeledSample{
+				{Label: "v_b", Value: 2},
+				{Label: "v_a", Value: 9},
+				{Label: "v_b", Value: 99}, // duplicate label: first (post-sort) wins
+				{Label: `odd"v\al{ue}`, Value: 1},
+			},
+		},
+		{
+			Name: "engine.workload.fingerprint.queries", Type: "counter", LabelKey: "fingerprint",
+			Samples: []LabeledSample{{Label: "fp1", Value: 5}},
+		},
+		{
+			Name: "engine.queries", Type: "bogus", LabelKey: "view", // collides with the counter; bad type → gauge
+			Samples: []LabeledSample{{Label: "x", Value: 1}},
+		},
+	}
+	var sb strings.Builder
+	if err := snap.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE engine_queries counter
+engine_queries 3
+# TYPE engine_queries_2 gauge
+engine_queries_2{view="x"} 1
+# TYPE engine_workload_fingerprint_queries counter
+engine_workload_fingerprint_queries{fingerprint="fp1"} 5
+# TYPE engine_workload_view_queries counter
+engine_workload_view_queries{view="odd\"v\\al{ue}"} 1
+engine_workload_view_queries{view="v_a"} 9
+engine_workload_view_queries{view="v_b"} 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("labeled exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	checkNoDuplicateSamples(t, sb.String())
+}
+
 // promSampleRe matches one exposition sample line: name, optional label
-// set, value.
-var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? -?\d+$`)
+// set (label values are quoted strings with \\, \" and \n escapes, so a
+// raw `}` inside a value does not end the set), value.
+var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_:][a-zA-Z0-9_:]*="(?:[^"\\]|\\.)*"\})? -?\d+$`)
 
 // checkNoDuplicateSamples asserts every non-comment line of an exposition
 // is grammatical and that no two samples share a metric identity
@@ -90,16 +138,18 @@ func checkNoDuplicateSamples(t *testing.T, exposition string) {
 }
 
 // FuzzPromNoDuplicateLines feeds adversarial metric names — including ones
-// that collide after sanitization or with a histogram's derived series —
-// and asserts Snapshot→WriteProm never emits two samples with the same
-// identity and never emits an ungrammatical line.
+// that collide after sanitization, with a histogram's derived series, or
+// with a labeled family — plus adversarial label values (quotes,
+// backslashes, newlines, braces), and asserts Snapshot→WriteProm never
+// emits two samples with the same identity and never emits an
+// ungrammatical line.
 func FuzzPromNoDuplicateLines(f *testing.F) {
-	f.Add("engine.queries", "engine_queries", "engine.query_ns")
-	f.Add("a.b", "a_b", "a_b_sum")
-	f.Add("", " ", "9")
-	f.Add("h", "h_count", "h_bucket")
-	f.Add("x", "x", "x")
-	f.Fuzz(func(t *testing.T, a, b, c string) {
+	f.Add("engine.queries", "engine_queries", "engine.query_ns", "fp")
+	f.Add("a.b", "a_b", "a_b_sum", `va"l`)
+	f.Add("", " ", "9", "\n")
+	f.Add("h", "h_count", "h_bucket", `}\`)
+	f.Add("x", "x", "x", "x")
+	f.Fuzz(func(t *testing.T, a, b, c, lbl string) {
 		r := NewRegistry()
 		r.Counter(a).Inc()
 		r.Counter(b).Add(2)
@@ -107,8 +157,19 @@ func FuzzPromNoDuplicateLines(f *testing.F) {
 		r.Gauge(c).Set(-1)
 		r.Histogram(c).Observe(5)
 		r.Histogram(a).Observe(123456)
+		snap := r.Snapshot()
+		snap.Labeled = []LabeledFamily{
+			{Name: a, Type: "counter", LabelKey: b, Samples: []LabeledSample{
+				{Label: lbl, Value: 1},
+				{Label: lbl + "x", Value: 2},
+				{Label: lbl, Value: 3},
+			}},
+			{Name: c, Type: "gauge", LabelKey: "view", Samples: []LabeledSample{
+				{Label: lbl, Value: -4},
+			}},
+		}
 		var sb strings.Builder
-		if err := r.Snapshot().WriteProm(&sb); err != nil {
+		if err := snap.WriteProm(&sb); err != nil {
 			t.Fatal(err)
 		}
 		checkNoDuplicateSamples(t, sb.String())

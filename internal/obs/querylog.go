@@ -27,12 +27,23 @@ type QueryRecord struct {
 	// Outcome classifies how the query ended: "served", "error",
 	// "quota_killed", "deadline", "cancelled", or a "shed:*" reason for
 	// requests rejected by admission control before reaching the engine.
-	Outcome string `json:"outcome,omitempty"`
-	PhasesNS    map[string]int64 `json:"phases_ns,omitempty"`
-	Error       string           `json:"error,omitempty"`
-	Slow        bool             `json:"slow,omitempty"`
-	Trace       json.RawMessage  `json:"trace,omitempty"`
-	Ops         json.RawMessage  `json:"ops,omitempty"`
+	Outcome  string           `json:"outcome,omitempty"`
+	PhasesNS map[string]int64 `json:"phases_ns,omitempty"`
+	// Plan-shape accounting for the workload observatory: base-table scans
+	// the fallback cascade resorted to, whether value predicates were
+	// absorbed into the chosen rewriting, residual selections left above it,
+	// batch vs. row-at-a-time execution counts, and the views the executed
+	// plans touched (see ViewUse).
+	BaseScans      int             `json:"base_scans,omitempty"`
+	PredAbsorbed   bool            `json:"pred_absorbed,omitempty"`
+	PredResidual   int             `json:"pred_residual,omitempty"`
+	Batches        int64           `json:"batches,omitempty"`
+	BatchFallbacks int64           `json:"batch_fallbacks,omitempty"`
+	Views          []ViewUse       `json:"views,omitempty"`
+	Error          string          `json:"error,omitempty"`
+	Slow           bool            `json:"slow,omitempty"`
+	Trace          json.RawMessage `json:"trace,omitempty"`
+	Ops            json.RawMessage `json:"ops,omitempty"`
 }
 
 // QueryLog is a bounded, goroutine-safe ring buffer of QueryRecords: the

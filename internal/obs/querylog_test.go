@@ -86,6 +86,94 @@ func TestQueryLogRingAndViews(t *testing.T) {
 	}
 }
 
+// TestQueryLogViewsUnderConcurrentWriters asserts the monitoring views'
+// contracts while writers are racing: every view stays within its bound,
+// Recent/Slow/Errors stay strictly newest-first (sequence descending),
+// filters admit only matching records, and TopK stays duration-descending.
+// Run under -race this pins both safety and ordering.
+func TestQueryLogViewsUnderConcurrentWriters(t *testing.T) {
+	const slowNS = 500
+	l := NewQueryLog(32, slowNS)
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := QueryRecord{DurationNS: int64((w*7 + i) % 1000)}
+				if i%5 == 0 {
+					rec.Error = "boom"
+				}
+				l.Record(rec)
+			}
+		}(w)
+	}
+
+	newestFirst := func(view string, recs []QueryRecord) {
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Seq >= recs[i-1].Seq {
+				t.Errorf("%s not newest-first: seq %d then %d", view, recs[i-1].Seq, recs[i].Seq)
+			}
+		}
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				if recs := l.Recent(8); len(recs) > 8 {
+					t.Errorf("Recent(8) returned %d records", len(recs))
+				} else {
+					newestFirst("Recent", recs)
+				}
+				slow := l.Slow(8)
+				if len(slow) > 8 {
+					t.Errorf("Slow(8) returned %d records", len(slow))
+				}
+				newestFirst("Slow", slow)
+				for _, rec := range slow {
+					if !rec.Slow || rec.DurationNS < slowNS {
+						t.Errorf("Slow admitted fast record: %+v", rec)
+					}
+				}
+				errs := l.Errors(8)
+				if len(errs) > 8 {
+					t.Errorf("Errors(8) returned %d records", len(errs))
+				}
+				newestFirst("Errors", errs)
+				for _, rec := range errs {
+					if rec.Error == "" {
+						t.Errorf("Errors admitted clean record: %+v", rec)
+					}
+				}
+				top := l.TopK(8)
+				if len(top) > 8 {
+					t.Errorf("TopK(8) returned %d records", len(top))
+				}
+				for j := 1; j < len(top); j++ {
+					if top[j].DurationNS > top[j-1].DurationNS {
+						t.Errorf("TopK not duration-descending: %d then %d",
+							top[j-1].DurationNS, top[j].DurationNS)
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if l.Len() != 32 {
+		t.Fatalf("Len = %d, want capacity 32", l.Len())
+	}
+}
+
 // TestQueryLogConcurrent hammers the log from many goroutines while
 // readers drain every view; run under -race this is the safety proof.
 func TestQueryLogConcurrent(t *testing.T) {

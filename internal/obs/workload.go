@@ -1,0 +1,444 @@
+// The workload observatory (ROADMAP item 3's observability half): a
+// goroutine-safe, bounded-cardinality aggregate table keyed by query
+// fingerprint, folding one QueryRecord per completed (or shed) query into
+// per-fingerprint statistics plus the inverse index — per-view attribution
+// of the queries each materialized view actually served. The advisor
+// (advisor.go) mines both into materialization recommendations.
+//
+// Cardinality is bounded: at most `cap` exact fingerprint entries are
+// retained. When the table is full and a new fingerprint arrives, the
+// entry with the smallest count is retired into a single overflow bucket
+// (its aggregates are merged, never lost) and the slot is reused — hot
+// fingerprints have large counts and are never the minimum, so they stay
+// exact even under an adversarial stream of unique fingerprints. The view
+// table needs no such bound: its cardinality is the registered view
+// catalog, an administrative quantity.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ViewUse is one view's involvement in one query, attached to the query's
+// record by the engine: Referenced marks views the chosen rewritings scan
+// (extent bytes placed in the execution env ride along), MaterializeNS is
+// the extent build this query paid for (0 when the extent was warm).
+type ViewUse struct {
+	Name       string `json:"name"`
+	Referenced bool   `json:"referenced,omitempty"`
+	// ExtentBytes is the estimated decoded size of the view's extent as
+	// placed in the execution environment (the same figure the budget
+	// charges), counted once per referencing query.
+	ExtentBytes   int64 `json:"extent_bytes,omitempty"`
+	MaterializeNS int64 `json:"materialize_ns,omitempty"`
+}
+
+// Bounds on per-entry map growth, so one fingerprint cannot inflate its
+// entry without limit: outcome names beyond the bound fold into "other",
+// view names beyond the bound are dropped (the per-view table still sees
+// them).
+const (
+	maxOutcomesPerEntry = 16
+	maxViewsPerEntry    = 16
+)
+
+// fpEntry is the live (locked) aggregate of one fingerprint.
+type fpEntry struct {
+	fingerprint string
+	query       string // exemplar text, first seen
+	count       int64
+	outcomes    map[string]int64
+	errors      int64
+	degraded    int64
+	shed        int64
+	lat         *Histogram
+	rows        *Histogram
+	phases      map[string]int64
+	cacheHits   int64
+	cacheMisses int64
+	batches     int64
+	fallbacks   int64
+	absorbed    int64
+	residual    int64
+	baseScans   int64
+	views       map[string]bool
+	lastNS      int64
+}
+
+func newFPEntry(fp string) *fpEntry {
+	return &fpEntry{
+		fingerprint: fp,
+		outcomes:    map[string]int64{},
+		lat:         newHistogram(),
+		rows:        newHistogram(),
+		phases:      map[string]int64{},
+		views:       map[string]bool{},
+	}
+}
+
+// viewEntry is the live aggregate of one view's attribution.
+type viewEntry struct {
+	queries          int64
+	rows             int64
+	extentBytes      int64
+	materializations int64
+	materializeNS    int64
+	lastUsedNS       int64
+}
+
+// WorkloadStats is the fingerprint-aggregated workload table. All methods
+// are nil-safe, so a disabled observatory costs nothing at the call sites.
+type WorkloadStats struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]*fpEntry
+	overflow *fpEntry
+	evicted  int64
+	total    int64
+	views    map[string]*viewEntry
+}
+
+// NewWorkloadStats creates a table retaining up to capacity exact
+// fingerprint entries (minimum 1) plus the overflow bucket.
+func NewWorkloadStats(capacity int) *WorkloadStats {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &WorkloadStats{
+		cap:     capacity,
+		entries: make(map[string]*fpEntry, capacity),
+		views:   map[string]*viewEntry{},
+	}
+}
+
+// Observe folds one completed (or shed) query into the table. The record's
+// Fingerprint keys the aggregate; Views carries the per-view attribution.
+func (w *WorkloadStats) Observe(rec QueryRecord) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.total++
+	e := w.entry(rec.Fingerprint)
+	e.count++
+	if e.query == "" {
+		e.query = rec.Query
+	}
+	if rec.TimeUnixNS > e.lastNS {
+		e.lastNS = rec.TimeUnixNS
+	}
+	outcome := rec.Outcome
+	if outcome == "" {
+		outcome = "served"
+	}
+	switch {
+	case strings.HasPrefix(outcome, "shed"):
+		e.shed++
+	case outcome != "served":
+		e.errors++
+	}
+	if _, ok := e.outcomes[outcome]; !ok && len(e.outcomes) >= maxOutcomesPerEntry {
+		outcome = "other"
+	}
+	e.outcomes[outcome]++
+	if rec.Degraded > 0 {
+		e.degraded++
+	}
+	e.lat.Observe(rec.DurationNS)
+	e.rows.Observe(rec.RowsOut)
+	for name, ns := range rec.PhasesNS {
+		e.phases[name] += ns
+	}
+	e.cacheHits += int64(rec.CacheHits)
+	e.cacheMisses += int64(rec.CacheMisses)
+	e.batches += rec.Batches
+	e.fallbacks += rec.BatchFallbacks
+	if rec.PredAbsorbed {
+		e.absorbed++
+	}
+	e.residual += int64(rec.PredResidual)
+	e.baseScans += int64(rec.BaseScans)
+	for _, vu := range rec.Views {
+		if vu.Referenced && (e.views[vu.Name] || len(e.views) < maxViewsPerEntry) {
+			e.views[vu.Name] = true
+		}
+		v, ok := w.views[vu.Name]
+		if !ok {
+			v = &viewEntry{}
+			w.views[vu.Name] = v
+		}
+		if vu.Referenced {
+			v.queries++
+			v.rows += rec.RowsOut
+			v.extentBytes += vu.ExtentBytes
+			if rec.TimeUnixNS > v.lastUsedNS {
+				v.lastUsedNS = rec.TimeUnixNS
+			}
+		}
+		if vu.MaterializeNS > 0 {
+			v.materializations++
+			v.materializeNS += vu.MaterializeNS
+		}
+	}
+}
+
+// entry returns the fingerprint's aggregate, creating it — and, at
+// capacity, retiring the smallest-count entry into the overflow bucket
+// first. Callers hold w.mu.
+func (w *WorkloadStats) entry(fp string) *fpEntry {
+	if e, ok := w.entries[fp]; ok {
+		return e
+	}
+	if len(w.entries) >= w.cap {
+		var min *fpEntry
+		for _, e := range w.entries {
+			if min == nil || e.count < min.count {
+				min = e
+			}
+		}
+		w.retire(min)
+	}
+	e := newFPEntry(fp)
+	w.entries[fp] = e
+	return e
+}
+
+// retire merges an evicted entry into the overflow bucket and frees its
+// slot. Callers hold w.mu.
+func (w *WorkloadStats) retire(e *fpEntry) {
+	if w.overflow == nil {
+		w.overflow = newFPEntry("(overflow)")
+		w.overflow.query = "(evicted fingerprints, aggregated)"
+	}
+	o := w.overflow
+	o.count += e.count
+	o.errors += e.errors
+	o.degraded += e.degraded
+	o.shed += e.shed
+	for name, n := range e.outcomes {
+		if _, ok := o.outcomes[name]; !ok && len(o.outcomes) >= maxOutcomesPerEntry {
+			name = "other"
+		}
+		o.outcomes[name] += n
+	}
+	o.lat.Merge(e.lat)
+	o.rows.Merge(e.rows)
+	for name, ns := range e.phases {
+		o.phases[name] += ns
+	}
+	o.cacheHits += e.cacheHits
+	o.cacheMisses += e.cacheMisses
+	o.batches += e.batches
+	o.fallbacks += e.fallbacks
+	o.absorbed += e.absorbed
+	o.residual += e.residual
+	o.baseScans += e.baseScans
+	if e.lastNS > o.lastNS {
+		o.lastNS = e.lastNS
+	}
+	delete(w.entries, e.fingerprint)
+	w.evicted++
+}
+
+// FingerprintStats is the exported aggregate of one query fingerprint.
+type FingerprintStats struct {
+	Fingerprint string           `json:"fingerprint"`
+	Query       string           `json:"query"`
+	Count       int64            `json:"count"`
+	Outcomes    map[string]int64 `json:"outcomes,omitempty"`
+	Errors      int64            `json:"errors"`
+	Degraded    int64            `json:"degraded"`
+	Shed        int64            `json:"shed"`
+	Latency     HistogramStats   `json:"latency"`
+	Rows        HistogramStats   `json:"rows"`
+	PhasesNS    map[string]int64 `json:"phases_ns,omitempty"`
+	CacheHits   int64            `json:"cache_hits"`
+	CacheMisses int64            `json:"cache_misses"`
+	// CacheHitRatio is hits/(hits+misses) over the fingerprint's plan-cache
+	// lookups (0 when it never consulted the cache).
+	CacheHitRatio  float64  `json:"cache_hit_ratio"`
+	Batches        int64    `json:"batches"`
+	BatchFallbacks int64    `json:"batch_fallbacks"`
+	PredAbsorbed   int64    `json:"pred_absorbed"`
+	PredResidual   int64    `json:"pred_residual"`
+	BaseScans      int64    `json:"base_scans"`
+	Views          []string `json:"views,omitempty"`
+	LastUnixNS     int64    `json:"last_unix_ns,omitempty"`
+}
+
+// ViewStats is the exported per-view attribution: what the view's extent
+// costs and which traffic it serves.
+type ViewStats struct {
+	View             string `json:"view"`
+	Queries          int64  `json:"queries"`
+	Rows             int64  `json:"rows"`
+	ExtentBytes      int64  `json:"extent_bytes"`
+	Materializations int64  `json:"materializations"`
+	MaterializeNS    int64  `json:"materialize_ns"`
+	LastUsedUnixNS   int64  `json:"last_used_unix_ns,omitempty"`
+}
+
+// WorkloadSnapshot is a point-in-time copy of the workload table,
+// marshalable to JSON (the /debug/workload schema).
+type WorkloadSnapshot struct {
+	Capacity     int                `json:"capacity"`
+	TotalQueries int64              `json:"total_queries"`
+	Evictions    int64              `json:"evictions"`
+	Fingerprints []FingerprintStats `json:"fingerprints"` // count-descending
+	Overflow     *FingerprintStats  `json:"overflow,omitempty"`
+	Views        []ViewStats        `json:"views"` // name-sorted
+}
+
+func (e *fpEntry) stats() FingerprintStats {
+	st := FingerprintStats{
+		Fingerprint:    e.fingerprint,
+		Query:          e.query,
+		Count:          e.count,
+		Errors:         e.errors,
+		Degraded:       e.degraded,
+		Shed:           e.shed,
+		Latency:        e.lat.Stats(),
+		Rows:           e.rows.Stats(),
+		CacheHits:      e.cacheHits,
+		CacheMisses:    e.cacheMisses,
+		Batches:        e.batches,
+		BatchFallbacks: e.fallbacks,
+		PredAbsorbed:   e.absorbed,
+		PredResidual:   e.residual,
+		BaseScans:      e.baseScans,
+		LastUnixNS:     e.lastNS,
+	}
+	if total := e.cacheHits + e.cacheMisses; total > 0 {
+		st.CacheHitRatio = float64(e.cacheHits) / float64(total)
+	}
+	if len(e.outcomes) > 0 {
+		st.Outcomes = make(map[string]int64, len(e.outcomes))
+		for k, v := range e.outcomes {
+			st.Outcomes[k] = v
+		}
+	}
+	if len(e.phases) > 0 {
+		st.PhasesNS = make(map[string]int64, len(e.phases))
+		for k, v := range e.phases {
+			st.PhasesNS[k] = v
+		}
+	}
+	for v := range e.views {
+		st.Views = append(st.Views, v)
+	}
+	sort.Strings(st.Views)
+	return st
+}
+
+// Snapshot copies the table: fingerprints sorted count-descending (ties by
+// fingerprint for determinism), views sorted by name.
+func (w *WorkloadStats) Snapshot() *WorkloadSnapshot {
+	if w == nil {
+		return &WorkloadSnapshot{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := &WorkloadSnapshot{
+		Capacity:     w.cap,
+		TotalQueries: w.total,
+		Evictions:    w.evicted,
+		Fingerprints: make([]FingerprintStats, 0, len(w.entries)),
+		Views:        make([]ViewStats, 0, len(w.views)),
+	}
+	for _, e := range w.entries {
+		s.Fingerprints = append(s.Fingerprints, e.stats())
+	}
+	sort.Slice(s.Fingerprints, func(i, j int) bool {
+		if s.Fingerprints[i].Count != s.Fingerprints[j].Count {
+			return s.Fingerprints[i].Count > s.Fingerprints[j].Count
+		}
+		return s.Fingerprints[i].Fingerprint < s.Fingerprints[j].Fingerprint
+	})
+	if w.overflow != nil {
+		o := w.overflow.stats()
+		s.Overflow = &o
+	}
+	for name, v := range w.views {
+		s.Views = append(s.Views, ViewStats{
+			View:             name,
+			Queries:          v.queries,
+			Rows:             v.rows,
+			ExtentBytes:      v.extentBytes,
+			Materializations: v.materializations,
+			MaterializeNS:    v.materializeNS,
+			LastUsedUnixNS:   v.lastUsedNS,
+		})
+	}
+	sort.Slice(s.Views, func(i, j int) bool { return s.Views[i].View < s.Views[j].View })
+	return s
+}
+
+// String renders the snapshot as two terminal tables: the fingerprint
+// aggregates (top to bottom by count) and the per-view attribution.
+func (s *WorkloadSnapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload: %d queries, %d fingerprints (cap %d, %d evicted)\n",
+		s.TotalQueries, len(s.Fingerprints), s.Capacity, s.Evictions)
+	fmt.Fprintf(&sb, "%-18s %8s %8s %10s %10s %6s %6s %6s %6s  %s\n",
+		"fingerprint", "count", "errs", "p50", "p99", "hit%", "base", "resid", "shed", "query")
+	rows := s.Fingerprints
+	if s.Overflow != nil {
+		rows = append(append([]FingerprintStats{}, rows...), *s.Overflow)
+	}
+	for _, f := range rows {
+		q := f.Query
+		if len(q) > 48 {
+			q = q[:45] + "..."
+		}
+		fmt.Fprintf(&sb, "%-18s %8d %8d %10s %10s %5.0f%% %6d %6d %6d  %s\n",
+			f.Fingerprint, f.Count, f.Errors,
+			time.Duration(f.Latency.P50NS).Round(time.Microsecond),
+			time.Duration(f.Latency.P99NS).Round(time.Microsecond),
+			100*f.CacheHitRatio, f.BaseScans, f.PredResidual, f.Shed, q)
+	}
+	if len(s.Views) > 0 {
+		fmt.Fprintf(&sb, "%-24s %8s %10s %12s %8s %12s\n",
+			"view", "queries", "rows", "extent-bytes", "builds", "build-time")
+		for _, v := range s.Views {
+			fmt.Fprintf(&sb, "%-24s %8d %10d %12d %8d %12s\n",
+				v.View, v.Queries, v.Rows, v.ExtentBytes, v.Materializations,
+				time.Duration(v.MaterializeNS).Round(time.Microsecond))
+		}
+	}
+	return sb.String()
+}
+
+// PromFamilies renders the top-k fingerprints (by count) and every
+// attributed view as single-label metric families for the Prometheus
+// exposition (Snapshot.Labeled), so dashboards can plot per-fingerprint
+// and per-view series without scraping the debug endpoints.
+func (w *WorkloadStats) PromFamilies(k int) []LabeledFamily {
+	if w == nil {
+		return nil
+	}
+	s := w.Snapshot()
+	fps := s.Fingerprints
+	if k > 0 && len(fps) > k {
+		fps = fps[:k]
+	}
+	fpQueries := LabeledFamily{Name: "engine.workload.fingerprint.queries", Type: "counter", LabelKey: "fingerprint"}
+	fpP50 := LabeledFamily{Name: "engine.workload.fingerprint.p50_ns", Type: "gauge", LabelKey: "fingerprint"}
+	fpBase := LabeledFamily{Name: "engine.workload.fingerprint.base_scans", Type: "counter", LabelKey: "fingerprint"}
+	for _, f := range fps {
+		fpQueries.Samples = append(fpQueries.Samples, LabeledSample{Label: f.Fingerprint, Value: f.Count})
+		fpP50.Samples = append(fpP50.Samples, LabeledSample{Label: f.Fingerprint, Value: f.Latency.P50NS})
+		fpBase.Samples = append(fpBase.Samples, LabeledSample{Label: f.Fingerprint, Value: f.BaseScans})
+	}
+	vQueries := LabeledFamily{Name: "engine.workload.view.queries", Type: "counter", LabelKey: "view"}
+	vBytes := LabeledFamily{Name: "engine.workload.view.extent_bytes", Type: "counter", LabelKey: "view"}
+	for _, v := range s.Views {
+		vQueries.Samples = append(vQueries.Samples, LabeledSample{Label: v.View, Value: v.Queries})
+		vBytes.Samples = append(vBytes.Samples, LabeledSample{Label: v.View, Value: v.ExtentBytes})
+	}
+	return []LabeledFamily{fpQueries, fpP50, fpBase, vQueries, vBytes}
+}

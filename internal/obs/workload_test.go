@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func obsRecord(fp string, durNS int64, mut ...func(*QueryRecord)) QueryRecord {
+	rec := QueryRecord{
+		Fingerprint: fp,
+		Query:       "q-" + fp,
+		DurationNS:  durNS,
+		RowsOut:     2,
+		TimeUnixNS:  durNS, // monotone enough for last-used assertions
+		Outcome:     "served",
+	}
+	for _, m := range mut {
+		m(&rec)
+	}
+	return rec
+}
+
+func TestWorkloadFoldIn(t *testing.T) {
+	w := NewWorkloadStats(8)
+	w.Observe(obsRecord("fp1", 1000, func(r *QueryRecord) {
+		r.CacheMisses = 1
+		r.PhasesNS = map[string]int64{"rewrite": 100, "execute": 800}
+		r.PredAbsorbed = true
+		r.Batches = 3
+		r.Views = []ViewUse{{Name: "v_a", Referenced: true, ExtentBytes: 64, MaterializeNS: 500}}
+	}))
+	w.Observe(obsRecord("fp1", 3000, func(r *QueryRecord) {
+		r.CacheHits = 1
+		r.PredResidual = 2
+		r.BaseScans = 1
+		r.BatchFallbacks = 1
+		r.Views = []ViewUse{{Name: "v_a", Referenced: true, ExtentBytes: 64}}
+	}))
+	w.Observe(obsRecord("fp1", 2000, func(r *QueryRecord) {
+		r.Outcome = "error"
+		r.Error = "boom"
+		r.Degraded = 1
+	}))
+	w.Observe(obsRecord("fp2", 500, func(r *QueryRecord) {
+		r.Outcome = "shed:queue_full"
+	}))
+
+	s := w.Snapshot()
+	if s.TotalQueries != 4 || len(s.Fingerprints) != 2 {
+		t.Fatalf("got %d queries, %d fingerprints; want 4, 2", s.TotalQueries, len(s.Fingerprints))
+	}
+	f := s.Fingerprints[0] // count-descending: fp1 first
+	if f.Fingerprint != "fp1" || f.Count != 3 {
+		t.Fatalf("top entry = %q count=%d, want fp1 count=3", f.Fingerprint, f.Count)
+	}
+	if f.Query != "q-fp1" {
+		t.Errorf("exemplar query = %q", f.Query)
+	}
+	if f.Errors != 1 || f.Degraded != 1 || f.Shed != 0 {
+		t.Errorf("errors=%d degraded=%d shed=%d, want 1 1 0", f.Errors, f.Degraded, f.Shed)
+	}
+	if f.Outcomes["served"] != 2 || f.Outcomes["error"] != 1 {
+		t.Errorf("outcomes = %v", f.Outcomes)
+	}
+	if f.Latency.Count != 3 || f.Latency.SumNS != 6000 {
+		t.Errorf("latency count=%d sum=%d, want 3 6000", f.Latency.Count, f.Latency.SumNS)
+	}
+	if f.Rows.SumNS != 6 {
+		t.Errorf("rows sum=%d, want 6", f.Rows.SumNS)
+	}
+	if f.PhasesNS["rewrite"] != 100 || f.PhasesNS["execute"] != 800 {
+		t.Errorf("phases = %v", f.PhasesNS)
+	}
+	if f.CacheHits != 1 || f.CacheMisses != 1 || f.CacheHitRatio != 0.5 {
+		t.Errorf("cache hits=%d misses=%d ratio=%v", f.CacheHits, f.CacheMisses, f.CacheHitRatio)
+	}
+	if f.Batches != 3 || f.BatchFallbacks != 1 {
+		t.Errorf("batches=%d fallbacks=%d", f.Batches, f.BatchFallbacks)
+	}
+	if f.PredAbsorbed != 1 || f.PredResidual != 2 || f.BaseScans != 1 {
+		t.Errorf("absorbed=%d residual=%d base=%d", f.PredAbsorbed, f.PredResidual, f.BaseScans)
+	}
+	if len(f.Views) != 1 || f.Views[0] != "v_a" {
+		t.Errorf("views = %v", f.Views)
+	}
+	if s.Fingerprints[1].Shed != 1 {
+		t.Errorf("fp2 shed = %d, want 1", s.Fingerprints[1].Shed)
+	}
+
+	if len(s.Views) != 1 {
+		t.Fatalf("views = %v", s.Views)
+	}
+	v := s.Views[0]
+	if v.View != "v_a" || v.Queries != 2 || v.Rows != 4 || v.ExtentBytes != 128 {
+		t.Errorf("view stats = %+v", v)
+	}
+	if v.Materializations != 1 || v.MaterializeNS != 500 {
+		t.Errorf("materializations=%d ns=%d, want 1 500", v.Materializations, v.MaterializeNS)
+	}
+	if v.LastUsedUnixNS != 3000 {
+		t.Errorf("last used = %d, want 3000", v.LastUsedUnixNS)
+	}
+
+	// The table renderer mentions both sections.
+	str := s.String()
+	if !strings.Contains(str, "fp1") || !strings.Contains(str, "v_a") {
+		t.Errorf("String() missing entries:\n%s", str)
+	}
+}
+
+// TestWorkloadEviction pins the bounded-cardinality behavior: at capacity
+// the minimum-count entry retires into the overflow bucket (aggregates
+// preserved), and hot entries survive an adversarial stream of unique
+// fingerprints.
+func TestWorkloadEviction(t *testing.T) {
+	w := NewWorkloadStats(2)
+	for i := 0; i < 10; i++ {
+		w.Observe(obsRecord("hot", 1000))
+	}
+	for i := 0; i < 50; i++ {
+		w.Observe(obsRecord(fmt.Sprintf("unique-%d", i), 2000))
+	}
+	s := w.Snapshot()
+	if len(s.Fingerprints) != 2 {
+		t.Fatalf("retained %d entries, want 2", len(s.Fingerprints))
+	}
+	if s.Fingerprints[0].Fingerprint != "hot" || s.Fingerprints[0].Count != 10 {
+		t.Fatalf("hot entry evicted: top = %+v", s.Fingerprints[0])
+	}
+	if s.Evictions != 49 {
+		t.Errorf("evictions = %d, want 49", s.Evictions)
+	}
+	if s.Overflow == nil {
+		t.Fatal("no overflow bucket")
+	}
+	// 49 unique singletons retired; none of their observations lost.
+	if s.Overflow.Count != 49 || s.Overflow.Latency.SumNS != 49*2000 {
+		t.Errorf("overflow count=%d sum=%d, want 49 %d", s.Overflow.Count, s.Overflow.Latency.SumNS, 49*2000)
+	}
+	if s.TotalQueries != 60 {
+		t.Errorf("total = %d, want 60", s.TotalQueries)
+	}
+}
+
+// TestWorkloadEntryBounds pins the per-entry map bounds: outcome names
+// beyond the cap fold into "other", view names beyond the cap are dropped
+// from the entry but still attributed in the view table.
+func TestWorkloadEntryBounds(t *testing.T) {
+	w := NewWorkloadStats(4)
+	for i := 0; i < maxOutcomesPerEntry+5; i++ {
+		w.Observe(obsRecord("fp", 100, func(r *QueryRecord) {
+			r.Outcome = fmt.Sprintf("shed:reason-%d", i)
+			r.Views = []ViewUse{{Name: fmt.Sprintf("v%02d", i), Referenced: true}}
+		}))
+	}
+	s := w.Snapshot()
+	f := s.Fingerprints[0]
+	if len(f.Outcomes) > maxOutcomesPerEntry+1 { // +1 for "other"
+		t.Errorf("outcomes unbounded: %d entries", len(f.Outcomes))
+	}
+	if f.Outcomes["other"] == 0 {
+		t.Errorf("no overflow outcome: %v", f.Outcomes)
+	}
+	if len(f.Views) != maxViewsPerEntry {
+		t.Errorf("entry views = %d, want %d", len(f.Views), maxViewsPerEntry)
+	}
+	if len(s.Views) != maxOutcomesPerEntry+5 {
+		t.Errorf("view table = %d entries, want %d", len(s.Views), maxOutcomesPerEntry+5)
+	}
+}
+
+func TestWorkloadNilSafe(t *testing.T) {
+	var w *WorkloadStats
+	w.Observe(obsRecord("fp", 1))
+	if s := w.Snapshot(); s == nil || len(s.Fingerprints) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if fams := w.PromFamilies(5); fams != nil {
+		t.Fatalf("nil PromFamilies = %v", fams)
+	}
+}
+
+// TestWorkloadConcurrent hammers Observe and Snapshot from many
+// goroutines; run under -race this pins goroutine safety.
+func TestWorkloadConcurrent(t *testing.T) {
+	w := NewWorkloadStats(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Observe(obsRecord(fmt.Sprintf("fp-%d", (g+i)%6), int64(i), func(r *QueryRecord) {
+					r.Views = []ViewUse{{Name: "v", Referenced: true, ExtentBytes: 1}}
+				}))
+				if i%50 == 0 {
+					_ = w.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := w.Snapshot()
+	var n int64 = s.TotalQueries
+	if n != 8*200 {
+		t.Fatalf("total = %d, want %d", n, 8*200)
+	}
+	var retained int64
+	for _, f := range s.Fingerprints {
+		retained += f.Count
+	}
+	if s.Overflow != nil {
+		retained += s.Overflow.Count
+	}
+	if retained != n {
+		t.Fatalf("retained+overflow = %d, want %d (no observation may be lost)", retained, n)
+	}
+}
+
+func TestAdvisor(t *testing.T) {
+	w := NewWorkloadStats(16)
+	// Hot and slow, base-scanning: must rank first.
+	for i := 0; i < 20; i++ {
+		w.Observe(obsRecord("hot-unserved", 10_000, func(r *QueryRecord) { r.BaseScans = 1 }))
+	}
+	// Cold base-scanner: lower score.
+	w.Observe(obsRecord("cold-unserved", 10_000, func(r *QueryRecord) { r.BaseScans = 1 }))
+	// Hot but fully served: not a candidate.
+	for i := 0; i < 30; i++ {
+		w.Observe(obsRecord("served", 1_000, func(r *QueryRecord) {
+			r.Views = []ViewUse{{Name: "v_hot", Referenced: true}}
+		}))
+	}
+	// Residual-selection fingerprint: a candidate too.
+	for i := 0; i < 5; i++ {
+		w.Observe(obsRecord("residual", 2_000, func(r *QueryRecord) { r.PredResidual = 1 }))
+	}
+	// A view that was materialized but never referenced.
+	w.Observe(obsRecord("builder", 500, func(r *QueryRecord) {
+		r.Views = []ViewUse{{Name: "v_wasted", MaterializeNS: 1_000_000}}
+	}))
+
+	rep := w.Snapshot().Advise(AdvisorOptions{RegisteredViews: []string{"v_hot", "v_wasted", "v_never"}})
+	if len(rep.Candidates) != 3 {
+		t.Fatalf("candidates = %+v, want 3", rep.Candidates)
+	}
+	if rep.Candidates[0].Fingerprint != "hot-unserved" {
+		t.Fatalf("top candidate = %q, want hot-unserved", rep.Candidates[0].Fingerprint)
+	}
+	if rep.Candidates[0].ScoreNS != 20*10_000 {
+		t.Errorf("top score = %d, want %d", rep.Candidates[0].ScoreNS, 20*10_000)
+	}
+	if rep.Candidates[0].Reason != "base scans" {
+		t.Errorf("top reason = %q", rep.Candidates[0].Reason)
+	}
+	for _, c := range rep.Candidates {
+		if c.Fingerprint == "served" {
+			t.Errorf("fully served fingerprint recommended: %+v", c)
+		}
+	}
+
+	cold := map[string]string{}
+	for _, v := range rep.ColdViews {
+		cold[v.View] = v.Reason
+	}
+	if _, ok := cold["v_hot"]; ok {
+		t.Errorf("hot view flagged cold: %v", cold)
+	}
+	if cold["v_wasted"] != "materialized but unused" {
+		t.Errorf("v_wasted reason = %q", cold["v_wasted"])
+	}
+	if cold["v_never"] != "registered but unused" {
+		t.Errorf("v_never reason = %q", cold["v_never"])
+	}
+
+	// Bounds respected.
+	bounded := w.Snapshot().Advise(AdvisorOptions{MaxCandidates: 1, MaxColdViews: 1})
+	if len(bounded.Candidates) != 1 || len(bounded.ColdViews) != 1 {
+		t.Errorf("bounds ignored: %d candidates, %d cold", len(bounded.Candidates), len(bounded.ColdViews))
+	}
+
+	str := rep.String()
+	if !strings.Contains(str, "hot-unserved") || !strings.Contains(str, "v_wasted") {
+		t.Errorf("report String() missing entries:\n%s", str)
+	}
+}
+
+func TestWorkloadPromFamilies(t *testing.T) {
+	w := NewWorkloadStats(8)
+	for i := 0; i < 3; i++ {
+		w.Observe(obsRecord("fp-a", 1000, func(r *QueryRecord) {
+			r.Views = []ViewUse{{Name: "v1", Referenced: true, ExtentBytes: 10}}
+		}))
+	}
+	w.Observe(obsRecord("fp-b", 2000, func(r *QueryRecord) { r.BaseScans = 1 }))
+
+	fams := w.PromFamilies(1) // top-1: only fp-a survives the fingerprint cut
+	byName := map[string]LabeledFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	fq := byName["engine.workload.fingerprint.queries"]
+	if len(fq.Samples) != 1 || fq.Samples[0].Label != "fp-a" || fq.Samples[0].Value != 3 {
+		t.Errorf("fingerprint.queries = %+v", fq.Samples)
+	}
+	vq := byName["engine.workload.view.queries"]
+	if len(vq.Samples) != 1 || vq.Samples[0].Label != "v1" || vq.Samples[0].Value != 3 {
+		t.Errorf("view.queries = %+v", vq.Samples)
+	}
+	vb := byName["engine.workload.view.extent_bytes"]
+	if len(vb.Samples) != 1 || vb.Samples[0].Value != 30 {
+		t.Errorf("view.extent_bytes = %+v", vb.Samples)
+	}
+
+	// Families render through WriteProm without identity collisions.
+	snap := NewRegistry().Snapshot()
+	snap.Labeled = w.PromFamilies(10)
+	var sb strings.Builder
+	if err := snap.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkNoDuplicateSamples(t, sb.String())
+	if !strings.Contains(sb.String(), `engine_workload_fingerprint_queries{fingerprint="fp-a"} 3`) {
+		t.Errorf("exposition missing fingerprint series:\n%s", sb.String())
+	}
+}

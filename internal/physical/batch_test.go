@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"xamdb/internal/algebra"
@@ -295,8 +296,23 @@ func TestBatchInstrumentCounts(t *testing.T) {
 	if st.Checkpoints == 0 {
 		t.Fatal("poll count must surface as checkpoints")
 	}
-	if s := st.String(); s == "" {
-		t.Fatal("render")
+	// Vector-efficiency accounting: the fused filter emits selection
+	// vectors over full physical windows, so PhysRows is the pre-selection
+	// row count and Rows/PhysRows the selection density.
+	if st.PhysRows != int64(rel.Len()) {
+		t.Fatalf("phys rows %d, want %d", st.PhysRows, rel.Len())
+	}
+	if st.PhysRows <= st.Rows {
+		t.Fatalf("selective filter must show phys=%d > live=%d", st.PhysRows, st.Rows)
+	}
+	s := st.String()
+	if !strings.Contains(s, "fill=") || !strings.Contains(s, "sel=") {
+		t.Fatalf("render must carry fill ratio and selection density: %q", s)
+	}
+	wantFill := fmt.Sprintf("fill=%.1f", float64(st.Rows)/float64(st.Batches))
+	wantSel := fmt.Sprintf("sel=%.1f%%", 100*float64(st.Rows)/float64(st.PhysRows))
+	if !strings.Contains(s, wantFill) || !strings.Contains(s, wantSel) {
+		t.Fatalf("render %q must carry %q and %q", s, wantFill, wantSel)
 	}
 }
 

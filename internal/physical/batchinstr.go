@@ -61,6 +61,7 @@ func (i *BatchInstrument) NextBatch() (*Batch, bool) {
 	i.stats.Batches++
 	if ok {
 		i.stats.Rows += int64(b.Rows())
+		i.stats.PhysRows += int64(b.N)
 	}
 	if i.bp != nil {
 		i.stats.Checkpoints = int64(i.bp.Polls())

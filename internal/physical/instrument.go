@@ -24,7 +24,13 @@ type OpStats struct {
 	Examined int64 `json:"examined,omitempty"`
 	// Batches counts NextBatch calls served by a batch operator; row
 	// operators leave it zero.
-	Batches  int64      `json:"batches,omitempty"`
+	Batches int64 `json:"batches,omitempty"`
+	// PhysRows counts physical batch rows delivered before selection-vector
+	// filtering (Batch.N summed over batches). With Rows it exposes the
+	// selection-vector density (Rows/PhysRows), and with Batches the batch
+	// fill ratio (Rows/Batches) — the vector-efficiency figures of the
+	// `-analyze` rendering. Row operators leave it zero.
+	PhysRows int64      `json:"phys_rows,omitempty"`
 	Children []*OpStats `json:"children,omitempty"`
 }
 
@@ -60,7 +66,10 @@ func (s *OpStats) render(sb *strings.Builder, depth int) {
 		fmt.Fprintf(sb, " exam=%d", s.Examined)
 	}
 	if s.Batches > 0 {
-		fmt.Fprintf(sb, " batches=%d", s.Batches)
+		fmt.Fprintf(sb, " batches=%d fill=%.1f", s.Batches, float64(s.Rows)/float64(s.Batches))
+	}
+	if s.PhysRows > 0 {
+		fmt.Fprintf(sb, " sel=%.1f%%", 100*float64(s.Rows)/float64(s.PhysRows))
 	}
 	sb.WriteByte('\n')
 	for _, c := range s.Children {

@@ -159,11 +159,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // logShed records a request the admission layer rejected (or that was
-// cancelled while queued) in the engine's query log, so the log — like the
-// admission counters — accounts every request, not just the ones that ran.
+// cancelled while queued) in the engine's query log and workload table, so
+// both — like the admission counters — account every request, not just the
+// ones that ran.
 func (s *Server) logShed(query string, start time.Time, res admission.Result) {
-	lg := s.e.QueryLog
-	if lg == nil {
+	if s.e.QueryLog == nil && s.e.Workload == nil {
 		return
 	}
 	if len(query) > 256 {
@@ -179,7 +179,8 @@ func (s *Server) logShed(query string, start time.Time, res admission.Result) {
 	if res.Err != nil {
 		rec.Error = res.Err.Error()
 	}
-	lg.Record(rec)
+	s.e.Workload.Observe(rec)
+	s.e.QueryLog.Record(rec)
 }
 
 // admissionResponse is the /debug/admission JSON schema.

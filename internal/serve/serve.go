@@ -94,20 +94,30 @@ func NewWithQuery(e *engine.Engine, ctrl *admission.Controller) *Server {
 // Handler returns the serving mux:
 //
 //	/query            POST: admission-controlled query execution (JSON)
-//	/metrics          Prometheus text exposition (engine registry)
+//	/metrics          Prometheus text exposition (engine registry + top-K
+//	                  workload fingerprint/view series)
 //	/debug/queries    query log: recent, slow, top-K by latency, error tail
+//	/debug/workload   fingerprint-aggregated workload table + per-view
+//	                  attribution (JSON; ?format=table for terminals)
+//	/debug/advisor    view advisor: materialization candidates and cold
+//	                  views (JSON; ?format=table)
 //	/debug/catalog    documents, views, extent states, planning epochs
 //	/debug/plancache  rewriting-cache occupancy and hit/miss totals
 //	/debug/admission  admission-control accounting and configuration
 //	/healthz          liveness (always 200)
 //	/readyz           readiness (200 once a document is registered)
 //	/debug/pprof/...  net/http/pprof profiles
+//
+// /debug/workload and /debug/advisor answer 503 with Retry-After while the
+// admission controller drains.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/debug/admission", s.handleAdmission)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleQueries)
+	mux.HandleFunc("/debug/workload", s.handleWorkload)
+	mux.HandleFunc("/debug/advisor", s.handleAdvisor)
 	mux.HandleFunc("/debug/catalog", s.handleCatalog)
 	mux.HandleFunc("/debug/plancache", s.handlePlanCache)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -179,10 +189,12 @@ func (s *Server) Serve(ctx context.Context) error {
 }
 
 // handleMetrics syncs the planning-state gauges and writes the registry
-// snapshot in Prometheus text format.
+// snapshot in Prometheus text format, with the workload observatory's
+// top-K fingerprint and per-view series attached as labeled families.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.e.SyncStateGauges()
 	snap := s.e.Registry().Snapshot()
+	snap.Labeled = s.e.Workload.PromFamilies(promWorkloadTopK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := snap.WriteProm(w); err != nil {
 		// Headers are gone; all we can do is abort the response body.

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"xamdb/internal/obs"
+)
+
+// promWorkloadTopK bounds how many per-fingerprint series the /metrics
+// exposition carries (the full table stays on /debug/workload); label
+// cardinality is a scrape-storage cost, not a table cost.
+const promWorkloadTopK = 10
+
+// guardDraining answers 503 + Retry-After while the admission controller
+// drains, so scrapers back off the observability surface during shutdown
+// the same way queries are shed. Returns true when the request was
+// answered.
+func (s *Server) guardDraining(w http.ResponseWriter) bool {
+	if s.ctrl == nil || !s.ctrl.Draining() {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.ctrl.RetryAfter()))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "draining")
+	return true
+}
+
+// workloadResponse is the /debug/workload JSON schema.
+type workloadResponse struct {
+	Workload *obs.WorkloadSnapshot `json:"workload"`
+}
+
+// handleWorkload serves the workload observatory: the fingerprint
+// aggregate table (count-descending) and the per-view attribution index.
+// ?n bounds the fingerprint rows (default 50); ?format=table renders the
+// human-readable tables instead of JSON.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	if s.guardDraining(w) {
+		return
+	}
+	snap := s.e.Workload.Snapshot()
+	if n := queryInt(r, "n", 50); len(snap.Fingerprints) > n {
+		snap.Fingerprints = snap.Fingerprints[:n]
+	}
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, snap.String())
+		return
+	}
+	writeJSON(w, workloadResponse{Workload: snap})
+}
+
+// advisorResponse is the /debug/advisor JSON schema.
+type advisorResponse struct {
+	Advisor *obs.AdvisorReport `json:"advisor"`
+}
+
+// handleAdvisor serves the view advisor's report: materialization
+// candidates (hot fingerprints still base-scanning or carrying residual
+// selections, scored frequency × latency) and cold views. ?n bounds both
+// lists (default 20); ?format=table renders the human-readable tables.
+func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	if s.guardDraining(w) {
+		return
+	}
+	n := queryInt(r, "n", 20)
+	rep := s.e.Advise(obs.AdvisorOptions{MaxCandidates: n, MaxColdViews: n})
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.String())
+		return
+	}
+	writeJSON(w, advisorResponse{Advisor: rep})
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xamdb/internal/admission"
+	"xamdb/internal/obs"
+)
+
+// TestWorkloadEndpoints drives /debug/workload and /debug/advisor over a
+// warm engine: the aggregate table carries both the view-served and the
+// base-scanned fingerprints with per-view attribution, the advisor ranks
+// the base-scanned pattern as the top candidate, and /metrics carries the
+// labeled top-K series.
+func TestWorkloadEndpoints(t *testing.T) {
+	e := newEngine(t)
+	// Served by vt.
+	for i := 0; i < 2; i++ {
+		if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No view covers authors: base scans — the advisor's target.
+	for i := 0; i < 4; i++ {
+		if _, _, err := e.Query(`doc("bib.xml")//book/author`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(e).Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/debug/workload")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/workload status %d", code)
+	}
+	var wr struct {
+		Workload *obs.WorkloadSnapshot `json:"workload"`
+	}
+	if err := json.Unmarshal([]byte(body), &wr); err != nil {
+		t.Fatalf("/debug/workload JSON: %v\n%s", err, body)
+	}
+	if wr.Workload.TotalQueries != 6 || len(wr.Workload.Fingerprints) != 2 {
+		t.Fatalf("workload snapshot: %+v", wr.Workload)
+	}
+	if top := wr.Workload.Fingerprints[0]; top.Count != 4 || top.BaseScans != 4 {
+		t.Fatalf("count-descending order broken: %+v", top)
+	}
+	if len(wr.Workload.Views) != 1 || wr.Workload.Views[0].View != "vt" ||
+		wr.Workload.Views[0].Queries != 2 {
+		t.Fatalf("view attribution: %+v", wr.Workload.Views)
+	}
+
+	// ?n clamps the fingerprint rows; ?format=table renders text.
+	code, body = get(t, ts, "/debug/workload?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("?n=1 status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &wr); err != nil || len(wr.Workload.Fingerprints) != 1 {
+		t.Fatalf("?n=1 must keep one row: %v\n%s", err, body)
+	}
+	code, body = get(t, ts, "/debug/workload?format=table")
+	if code != http.StatusOK || !strings.Contains(body, "fingerprint") {
+		t.Fatalf("table render: %d\n%s", code, body)
+	}
+
+	code, body = get(t, ts, "/debug/advisor")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/advisor status %d", code)
+	}
+	var ar struct {
+		Advisor *obs.AdvisorReport `json:"advisor"`
+	}
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatalf("/debug/advisor JSON: %v\n%s", err, body)
+	}
+	if len(ar.Advisor.Candidates) == 0 ||
+		!strings.Contains(ar.Advisor.Candidates[0].Query, "author") {
+		t.Fatalf("advisor must rank the base-scanned author query first: %+v", ar.Advisor)
+	}
+	code, body = get(t, ts, "/debug/advisor?format=table")
+	if code != http.StatusOK || !strings.Contains(body, "advisor:") {
+		t.Fatalf("advisor table render: %d\n%s", code, body)
+	}
+
+	// /metrics carries the labeled workload series.
+	code, body = get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE engine_workload_fingerprint_queries counter",
+		`engine_workload_view_queries{view="vt"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestWorkloadEndpointsDrainGuard pins the documented drain behavior: both
+// workload endpoints answer 503 with Retry-After while the controller
+// drains.
+func TestWorkloadEndpointsDrainGuard(t *testing.T) {
+	e := newEngine(t)
+	ctrl := admission.New(testCtrlConfig())
+	ts := httptest.NewServer(NewWithQuery(e, ctrl).Handler())
+	defer ts.Close()
+
+	ctrl.Drain(10 * time.Millisecond)
+	for _, path := range []string{"/debug/workload", "/debug/advisor"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s during drain: status %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s during drain must carry Retry-After", path)
+		}
+	}
+}
+
+// TestWorkloadEndpointNilObservatory pins that a disabled observatory
+// serves empty (not erroring) responses.
+func TestWorkloadEndpointNilObservatory(t *testing.T) {
+	e := newEngine(t)
+	e.Workload = nil
+	if _, _, err := e.Query(`doc("bib.xml")//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(e).Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/debug/workload")
+	if code != http.StatusOK || !strings.Contains(body, `"total_queries": 0`) {
+		t.Fatalf("nil observatory: %d\n%s", code, body)
+	}
+	if code, _ := get(t, ts, "/debug/advisor"); code != http.StatusOK {
+		t.Fatalf("nil observatory advisor: %d", code)
+	}
+}
